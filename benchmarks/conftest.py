@@ -1,0 +1,58 @@
+"""Benchmark harness: every paper table/figure as a pytest-benchmark case.
+
+Each benchmark file regenerates exactly one paper artifact through the
+experiment registry, prints the reproduced table, and asserts the
+artifact's *shape checks* (who wins, which way trends point, where
+crossovers fall) — not the paper's absolute numbers, which belong to the
+authors' datasets and hardware.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Datasets and fitted models are cached per process (see
+``repro.experiments.datasets``), so the first benchmark touching a domain
+pays its generation cost and the rest reuse it; the benchmark timings
+therefore measure experiment logic, not dataset generation, for all but
+the first user of each domain.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+#: Experiments whose checks compare wall-clock timings.  On a small shared
+#: host a background burst can invert a sub-second comparison, so these
+#: get one retry before the benchmark fails — accuracy-shaped experiments
+#: are deterministic and never retried.
+_TIMING_EXPERIMENTS = {"table13", "fig7", "extension_incremental", "ablation_hard_vs_soft"}
+
+
+@pytest.fixture
+def paper_experiment(benchmark, capsys):
+    """Run a registered experiment under the benchmark clock and verify
+    its shape checks."""
+
+    def _run(experiment_id: str, scale: str = "small"):
+        result = benchmark.pedantic(
+            run_experiment, args=(experiment_id, scale), iterations=1, rounds=1
+        )
+        failed = [name for name, ok in result.checks.items() if not ok]
+        if failed and experiment_id in _TIMING_EXPERIMENTS:
+            with capsys.disabled():
+                print(
+                    f"\n[{experiment_id}] timing checks failed under load "
+                    f"({failed}); retrying once"
+                )
+            result = run_experiment(experiment_id, scale)
+            failed = [name for name, ok in result.checks.items() if not ok]
+        with capsys.disabled():
+            print("\n" + result.to_text())
+        assert result.rows, f"{experiment_id} produced no rows"
+        assert not failed, f"{experiment_id} shape checks failed: {failed}"
+        return result
+
+    return _run

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper design ablation (hard DP vs soft EM training).
+
+See the corresponding module in repro.experiments for the experiment
+definition and DESIGN.md for the paper-artifact mapping.
+"""
+
+
+def test_ablation_hard_vs_soft(paper_experiment):
+    paper_experiment("ablation_hard_vs_soft")

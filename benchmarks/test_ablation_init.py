@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper design ablation (initialization threshold sweep).
+
+See the corresponding module in repro.experiments for the experiment
+definition and DESIGN.md for the paper-artifact mapping.
+"""
+
+
+def test_ablation_init(paper_experiment):
+    paper_experiment("ablation_init")

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper design ablation (difficulty prior under skew).
+
+See the corresponding module in repro.experiments for the experiment
+definition and DESIGN.md for the paper-artifact mapping.
+"""
+
+
+def test_ablation_prior(paper_experiment):
+    paper_experiment("ablation_prior")

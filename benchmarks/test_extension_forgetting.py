@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper extension (forgetting-aware assignment).
+
+See the corresponding module in repro.experiments for the experiment
+definition and DESIGN.md for the paper-artifact mapping.
+"""
+
+
+def test_extension_forgetting(paper_experiment):
+    paper_experiment("extension_forgetting")

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the incremental fold-in extension.
+
+See the corresponding module in repro.experiments for the experiment
+definition and DESIGN.md for the paper-artifact mapping.
+"""
+
+
+def test_extension_incremental(paper_experiment):
+    paper_experiment("extension_incremental")

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the data-efficiency extension sweep.
+
+See the corresponding module in repro.experiments for the experiment
+definition and DESIGN.md for the paper-artifact mapping.
+"""
+
+
+def test_extension_scaling(paper_experiment):
+    paper_experiment("extension_scaling")

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper extension (skip-level progression transitions).
+
+See the corresponding module in repro.experiments for the experiment
+definition and DESIGN.md for the paper-artifact mapping.
+"""
+
+
+def test_extension_skip(paper_experiment):
+    paper_experiment("extension_skip")

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the upskilling-recommender extension (paper Figure 1).
+
+See the corresponding module in repro.experiments for the experiment
+definition and DESIGN.md for the paper-artifact mapping.
+"""
+
+
+def test_extension_upskill(paper_experiment):
+    paper_experiment("extension_upskill")

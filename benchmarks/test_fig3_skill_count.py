@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Figure 3 (held-out log-likelihood vs skill count, Cooking).
+
+See the corresponding module in repro.experiments for the experiment
+definition and DESIGN.md for the paper-artifact mapping.
+"""
+
+
+def test_fig3(paper_experiment):
+    paper_experiment("fig3")

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Figure 4 (language model components per level).
+
+See the corresponding module in repro.experiments for the experiment
+definition and DESIGN.md for the paper-artifact mapping.
+"""
+
+
+def test_fig4(paper_experiment):
+    paper_experiment("fig4")

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Figure 5 (cooking components and novice overreach).
+
+See the corresponding module in repro.experiments for the experiment
+definition and DESIGN.md for the paper-artifact mapping.
+"""
+
+
+def test_fig5(paper_experiment):
+    paper_experiment("fig5")

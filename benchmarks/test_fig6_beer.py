@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Figure 6 (beer ABV distributions per level).
+
+See the corresponding module in repro.experiments for the experiment
+definition and DESIGN.md for the paper-artifact mapping.
+"""
+
+
+def test_fig6(paper_experiment):
+    paper_experiment("fig6")

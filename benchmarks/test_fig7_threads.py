@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Figure 7 (training time vs worker count).
+
+See the corresponding module in repro.experiments for the experiment
+definition and DESIGN.md for the paper-artifact mapping.
+"""
+
+
+def test_fig7(paper_experiment):
+    paper_experiment("fig7")

@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the library's hot kernels.
+
+Unlike the paper-artifact benchmarks (one pedantic round each), these are
+conventional pytest-benchmark measurements with many rounds, guarding the
+performance of the three inner loops everything else is built on:
+
+- the assignment DP (Equation 4) — dominates training time,
+- the (levels × items) score-table build — once per training iteration,
+- one FFM training epoch — dominates the Table XII task.
+
+They assert only generous sanity floors (so a 10× regression fails loudly)
+and otherwise exist to track the numbers over time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dp import best_monotone_path
+from repro.core.model import SkillParameters
+from repro.recsys.encoding import RatingEncoder, RatingInstance
+from repro.recsys.ffm import FFMConfig, FFMModel
+
+SEQUENCE_LENGTH = 200
+NUM_LEVELS = 5
+
+
+@pytest.fixture(scope="module")
+def dp_scores():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(SEQUENCE_LENGTH, NUM_LEVELS))
+
+
+def test_perf_assignment_dp(benchmark, dp_scores):
+    result = benchmark(best_monotone_path, dp_scores)
+    assert len(result.levels) == SEQUENCE_LENGTH
+    # Sanity floor: > 100k actions/second on any modern machine.
+    assert benchmark.stats["mean"] < SEQUENCE_LENGTH / 100_000
+
+
+def test_perf_skiplevel_dp(benchmark, dp_scores):
+    penalties = np.array([0.0, np.log(0.7), np.log(0.3)])
+    result = benchmark(
+        best_monotone_path, dp_scores, max_step=2, step_log_penalties=penalties
+    )
+    assert len(result.levels) == SEQUENCE_LENGTH
+
+
+@pytest.fixture(scope="module")
+def encoded_catalog():
+    from repro.synth import SyntheticConfig, generate_synthetic
+
+    ds = generate_synthetic(SyntheticConfig(num_users=5, num_items=2000, seed=0))
+    return ds.feature_set.encode(ds.catalog)
+
+
+def test_perf_score_table(benchmark, encoded_catalog):
+    rows = np.arange(encoded_catalog.num_items)
+    params = SkillParameters.fit_from_assignments(
+        encoded_catalog, rows, rows % NUM_LEVELS, num_levels=NUM_LEVELS
+    )
+    table = benchmark(params.item_score_table, encoded_catalog)
+    assert table.shape == (NUM_LEVELS, 2000)
+
+
+def test_perf_ffm_epoch(benchmark):
+    rng = np.random.default_rng(1)
+    instances = [
+        RatingInstance(
+            user=f"u{int(rng.integers(200))}",
+            item=f"i{int(rng.integers(300))}",
+            rating=float(rng.uniform(0, 5)),
+            skill=int(rng.integers(1, 6)),
+            difficulty=float(rng.uniform(1, 5)),
+        )
+        for _ in range(2000)
+    ]
+    encoder = RatingEncoder(include_skill=True, include_difficulty=True).fit(instances)
+    samples = encoder.encode(instances)
+
+    def one_epoch():
+        model = FFMModel(
+            encoder.num_features, encoder.num_fields, FFMConfig(epochs=1, seed=0)
+        )
+        model.fit(samples)
+        return model
+
+    model = benchmark(one_epoch)
+    assert np.isfinite(model.rmse(samples))

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Table X (item prediction at random positions).
+
+See the corresponding module in repro.experiments for the experiment
+definition and DESIGN.md for the paper-artifact mapping.
+"""
+
+
+def test_table10(paper_experiment):
+    paper_experiment("table10")

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Table XII (beer rating prediction with FFMs).
+
+See the corresponding module in repro.experiments for the experiment
+definition and DESIGN.md for the paper-artifact mapping.
+"""
+
+
+def test_table12(paper_experiment):
+    paper_experiment("table12")

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Table XIII (training time vs parallelization condition).
+
+See the corresponding module in repro.experiments for the experiment
+definition and DESIGN.md for the paper-artifact mapping.
+"""
+
+
+def test_table13(paper_experiment):
+    paper_experiment("table13")

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Table I (dataset statistics after filtering).
+
+See the corresponding module in repro.experiments for the experiment
+definition and DESIGN.md for the paper-artifact mapping.
+"""
+
+
+def test_table1(paper_experiment):
+    paper_experiment("table1")

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Table II (correction rules by skill dominance).
+
+See the corresponding module in repro.experiments for the experiment
+definition and DESIGN.md for the paper-artifact mapping.
+"""
+
+
+def test_table2(paper_experiment):
+    paper_experiment("table2")

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Table IV (top movies per level, raw data).
+
+See the corresponding module in repro.experiments for the experiment
+definition and DESIGN.md for the paper-artifact mapping.
+"""
+
+
+def test_table4(paper_experiment):
+    paper_experiment("table4")

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Table V (top movies per level after lastness preprocessing).
+
+See the corresponding module in repro.experiments for the experiment
+definition and DESIGN.md for the paper-artifact mapping.
+"""
+
+
+def test_table5(paper_experiment):
+    paper_experiment("table5")

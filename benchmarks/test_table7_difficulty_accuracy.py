@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Table VII (difficulty accuracy on Synthetic).
+
+See the corresponding module in repro.experiments for the experiment
+definition and DESIGN.md for the paper-artifact mapping.
+"""
+
+
+def test_table7(paper_experiment):
+    paper_experiment("table7")

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Table IX (difficulty accuracy on Synthetic_dense).
+
+See the corresponding module in repro.experiments for the experiment
+definition and DESIGN.md for the paper-artifact mapping.
+"""
+
+
+def test_table9(paper_experiment):
+    paper_experiment("table9")

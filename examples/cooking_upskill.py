@@ -1,0 +1,76 @@
+"""Cooking domain: skill interpretation and upskilling recommendations.
+
+Reproduces the paper's cooking-domain analysis (Section VI-C, Figure 5) on
+simulated Rakuten-Recipe-style data and turns it into a recommendation:
+
+- fits the multi-faceted model (recipe category, time/cost class,
+  ingredient and step counts + recipe id),
+- shows how recipe complexity grows with the learned skill level — and how
+  the *lowest* level overreaches (novices picking too-hard recipes),
+- recommends, for a mid-skill cook, recipes one notch above their level.
+
+Run:  python examples/cooking_upskill.py
+"""
+
+from repro.analysis import feature_trend
+from repro.core import fit_skill_model, generation_difficulty
+from repro.synth import CookingConfig, generate_cooking
+
+
+def main() -> None:
+    dataset = generate_cooking(CookingConfig(num_users=400, num_items=1500, seed=3))
+    print(
+        f"cooking dataset: {dataset.log.num_users} cooks, {len(dataset.catalog)} recipes, "
+        f"{dataset.log.num_actions} cook reports"
+    )
+
+    model = fit_skill_model(
+        dataset.log,
+        dataset.catalog,
+        dataset.feature_set,
+        num_levels=5,
+        init_min_actions=15,
+        max_iterations=30,
+    )
+
+    # --- Figure 5 shape: complexity per learned level -------------------
+    steps = feature_trend(model, "num_steps")
+    ingredients = feature_trend(model, "num_ingredients")
+    print("\nmean recipe complexity by learned skill level:")
+    print(f"{'level':>5} {'steps':>7} {'ingredients':>12}")
+    for level in range(1, 6):
+        print(
+            f"{level:>5} {steps.means[level - 1]:>7.2f} "
+            f"{ingredients.means[level - 1]:>12.2f}"
+        )
+    print(
+        "note the paper's novice-overreach anomaly: level 1 looks like a medium "
+        "level because beginners misjudge recipe difficulty."
+    )
+
+    # --- upskilling recommendation --------------------------------------
+    # The assembled recommender (paper Figure 1): interest × challenge fit.
+    from repro.recsys import UpskillConfig, UpskillRecommender
+
+    difficulty = generation_difficulty(model, prior="empirical")
+    recommender = UpskillRecommender(
+        model, difficulty, UpskillConfig(window_low=0.0, window_high=1.0)
+    )
+    # find a cook currently at level 3
+    cook = next(
+        user
+        for user in dataset.log.users
+        if model.skill_trajectory(user)[-1] == 3
+    )
+    print(f"\nupskilling menu for {cook!r} (level 3) — one notch up:")
+    for rec in recommender.recommend(cook, k=5, log=dataset.log):
+        recipe = dataset.catalog[rec.item]
+        print(
+            f"  {rec.item}: difficulty {rec.difficulty:.2f} "
+            f"(challenge fit {rec.challenge_fit:.2f}, interest {rec.interest:.4f}), "
+            f"{recipe.features['num_steps']} steps, {recipe.features['time_class']}"
+        )
+
+
+if __name__ == "__main__":
+    main()

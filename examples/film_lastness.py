@@ -1,0 +1,82 @@
+"""Film domain: the lastness confounder and its preprocessing fix.
+
+Reproduces the paper's Table IV → Table V contrast (Section VI-C): on raw
+movie-watching data a progression model mistakes release-date drift for
+skill, because people preferentially watch recently released movies; after
+dropping every movie released after the dataset's earliest action the
+confound disappears and the top level surfaces old classics instead.
+
+Run:  python examples/film_lastness.py
+"""
+
+from repro.analysis import remove_lastness, top_items_summary
+from repro.core import fit_skill_model
+from repro.synth import FilmConfig, generate_film
+
+
+def _report(model, catalog, header):
+    print(header)
+    print(f"{'level':>5} {'mean release year':>18} {'mean true difficulty':>21}")
+    for level in range(1, model.num_levels + 1):
+        summary = top_items_summary(
+            model, level, 10, catalog=catalog, metadata_keys=("year", "difficulty")
+        )
+        print(
+            f"{level:>5} {summary.mean_metadata['year']:>18.1f} "
+            f"{summary.mean_metadata['difficulty']:>21.2f}"
+        )
+
+
+def main() -> None:
+    dataset = generate_film(
+        FilmConfig(num_users=300, num_items=600, mean_sequence_length=50, seed=21)
+    )
+    print(
+        f"film dataset: {dataset.log.num_users} viewers, {len(dataset.catalog)} movies, "
+        f"{dataset.log.num_actions} views"
+    )
+
+    # --- raw fit: the confound ------------------------------------------
+    raw_model = fit_skill_model(
+        dataset.log,
+        dataset.catalog,
+        dataset.feature_set,
+        num_levels=5,
+        init_min_actions=20,
+        max_iterations=30,
+    )
+    _report(
+        raw_model,
+        dataset.catalog,
+        "\nTOP-10 MOVIES PER LEVEL — RAW DATA (paper Table IV):",
+    )
+    print("→ release year drifts upward with 'skill': the model learned recency, not taste.")
+
+    # --- preprocessing + refit: the fix ----------------------------------
+    clean_log, clean_catalog, stats = remove_lastness(dataset.log, dataset.catalog)
+    print(
+        f"\npreprocessing: dropped movies released after t={stats.cutoff_time:.1f} "
+        f"({stats.items_before} → {stats.items_after} movies, "
+        f"{stats.actions_before} → {stats.actions_after} actions)"
+    )
+    clean_model = fit_skill_model(
+        clean_log,
+        clean_catalog,
+        dataset.feature_set,
+        num_levels=5,
+        init_min_actions=20,
+        max_iterations=30,
+    )
+    _report(
+        clean_model,
+        clean_catalog,
+        "\nTOP-10 MOVIES PER LEVEL — AFTER PREPROCESSING (paper Table V):",
+    )
+    print(
+        "→ the year drift collapses and true difficulty now rises with level: "
+        "the top level prefers classics, the bottom level light blockbusters."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Cold-start difficulty: scoring items nobody has selected yet.
+
+The paper's main argument for generation-based difficulty estimation
+(Section V-B) is that assignment-based estimates simply do not exist for
+new products.  This example demonstrates the full cold-start path:
+
+1. train a skill model on cooking data using *shared* features only (no
+   item-id feature — a new item has no id parameter),
+2. invent brand-new recipes,
+3. estimate their difficulty from features alone, and sanity-check the
+   estimates against the complexity knobs we built them with.
+
+Run:  python examples/new_item_difficulty.py
+"""
+
+from repro.core import FeatureKind, fit_skill_model
+from repro.core.difficulty import generation_difficulty
+from repro.core.features import ID_FEATURE
+from repro.data import Item, ItemCatalog
+from repro.synth import CookingConfig, generate_cooking
+
+
+def main() -> None:
+    dataset = generate_cooking(CookingConfig(num_users=400, num_items=1500, seed=5))
+
+    # Shared features only: a model meant to score unseen items must not
+    # depend on the item-id categorical.
+    shared = dataset.feature_set.subset(
+        [name for name in dataset.feature_set.names if name != ID_FEATURE]
+    )
+    model = fit_skill_model(
+        dataset.log,
+        dataset.catalog,
+        shared,
+        num_levels=5,
+        init_min_actions=15,
+        max_iterations=30,
+    )
+    print(f"model trained on {dataset.log.num_actions} cook reports, shared features only")
+
+    # Three recipes that have never appeared in any action sequence.
+    new_recipes = ItemCatalog(
+        [
+            Item(
+                id="weeknight-omelette",
+                features={
+                    "category": "rice",
+                    "time_class": "~15min",
+                    "cost_class": "~300yen",
+                    "main_ingredient": "egg",
+                    "num_ingredients": 3,
+                    "num_steps": 3,
+                },
+            ),
+            Item(
+                id="sunday-ramen",
+                features={
+                    "category": "noodles",
+                    "time_class": "~60min",
+                    "cost_class": "~1000yen",
+                    "main_ingredient": "pork",
+                    "num_ingredients": 9,
+                    "num_steps": 8,
+                },
+            ),
+            Item(
+                id="festival-banquet",
+                features={
+                    "category": "hotpot",
+                    "time_class": "60min+",
+                    "cost_class": "1000yen+",
+                    "main_ingredient": "salmon",
+                    "num_ingredients": 14,
+                    "num_steps": 13,
+                },
+            ),
+        ]
+    )
+    encoded = shared.encode(new_recipes)
+    difficulty = generation_difficulty(model, prior="empirical", encoded=encoded)
+
+    print("\ncold-start difficulty estimates (scale 1..5):")
+    for recipe_id in new_recipes.ids:
+        print(f"  {recipe_id:<20} {difficulty[recipe_id]:.2f}")
+    print(
+        "\nthe banquet should comfortably out-rank the omelette — difficulty "
+        "follows the complexity features, no selection history needed."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Offline environments without the `wheel` package cannot do PEP 517
+editable installs; this shim enables `pip install -e . --no-use-pep517`.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""repro — reproduction of "Toward Recommendation for Upskilling:
+Modeling Skill Improvement and Item Difficulty in Action Sequences"
+(Umemoto, Milo, Kitsuregawa; ICDE 2020).
+
+Public entry points:
+
+- :func:`repro.core.fit_skill_model` — train the multi-faceted progression
+  model on an action log.
+- :func:`repro.core.assignment_difficulty` /
+  :func:`repro.core.generation_difficulty` — estimate item difficulty from
+  a fitted model.
+- :mod:`repro.synth` — the paper's synthetic dataset plus simulators for
+  its four real domains (language, cooking, beer, film).
+- :mod:`repro.recsys` — item-prediction and FFM rating-prediction tasks.
+- :mod:`repro.experiments` — one runner per paper table/figure.
+"""
+
+from repro import core, data
+from repro.core import (
+    FeatureKind,
+    FeatureSet,
+    FeatureSpec,
+    ParallelConfig,
+    SkillModel,
+    Trainer,
+    TrainerConfig,
+    assignment_difficulty,
+    fit_id_baseline,
+    fit_skill_model,
+    fit_uniform_baseline,
+    generation_difficulty,
+    select_skill_count,
+)
+from repro.data import Action, ActionLog, ActionSequence, Item, ItemCatalog, filter_log
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "data",
+    "FeatureKind",
+    "FeatureSet",
+    "FeatureSpec",
+    "ParallelConfig",
+    "SkillModel",
+    "Trainer",
+    "TrainerConfig",
+    "assignment_difficulty",
+    "fit_id_baseline",
+    "fit_skill_model",
+    "fit_uniform_baseline",
+    "generation_difficulty",
+    "select_skill_count",
+    "Action",
+    "ActionLog",
+    "ActionSequence",
+    "Item",
+    "ItemCatalog",
+    "filter_log",
+    "__version__",
+]

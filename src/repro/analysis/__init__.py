@@ -1,0 +1,56 @@
+"""Evaluation metrics, interpretation, and preprocessing analyses."""
+
+from repro.analysis.metrics import (
+    EvaluationScores,
+    bootstrap_ci,
+    paired_wilcoxon,
+    rmse,
+    score_estimates,
+)
+from repro.analysis.dominance import DominanceEntry, dominance_scores, top_dominated
+from repro.analysis.interpret import (
+    LevelTrend,
+    TopItemsSummary,
+    feature_trend,
+    top_items_summary,
+)
+from repro.analysis.preprocessing import LastnessStats, remove_lastness
+from repro.analysis.trajectories import (
+    TrajectorySummary,
+    level_dwell_times,
+    mean_level_curve,
+    reach_rates,
+    summarize_trajectories,
+)
+from repro.analysis.report import model_card
+from repro.analysis.calibration import (
+    CalibrationBin,
+    CalibrationCurve,
+    difficulty_calibration,
+)
+
+__all__ = [
+    "EvaluationScores",
+    "bootstrap_ci",
+    "paired_wilcoxon",
+    "rmse",
+    "score_estimates",
+    "DominanceEntry",
+    "dominance_scores",
+    "top_dominated",
+    "LevelTrend",
+    "TopItemsSummary",
+    "feature_trend",
+    "top_items_summary",
+    "LastnessStats",
+    "remove_lastness",
+    "TrajectorySummary",
+    "level_dwell_times",
+    "mean_level_curve",
+    "reach_rates",
+    "summarize_trajectories",
+    "CalibrationBin",
+    "CalibrationCurve",
+    "difficulty_calibration",
+    "model_card",
+]

@@ -1,0 +1,116 @@
+"""Calibration of difficulty estimates against observed behaviour.
+
+The paper's within-capacity assumption (Section V) predicts a diagnostic:
+if difficulty estimates are calibrated, then binning items by estimated
+difficulty and asking *who actually selects them* should produce a
+monotone curve — harder bins drawing more-skilled selectors.  This module
+computes that reliability curve, giving a ground-truth-free sanity check
+usable on real domains where no true difficulty exists.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import SkillModel
+from repro.data.actions import ActionLog
+from repro.exceptions import ConfigurationError, DataError
+
+__all__ = ["CalibrationBin", "CalibrationCurve", "difficulty_calibration"]
+
+
+@dataclass(frozen=True)
+class CalibrationBin:
+    """One bin of the reliability curve."""
+
+    difficulty_low: float
+    difficulty_high: float
+    mean_estimated_difficulty: float
+    mean_selector_skill: float
+    num_actions: int
+
+
+@dataclass(frozen=True)
+class CalibrationCurve:
+    """The full reliability curve plus aggregate diagnostics."""
+
+    bins: tuple[CalibrationBin, ...]
+
+    @property
+    def monotone_fraction(self) -> float:
+        """Fraction of adjacent bin pairs where selector skill increases —
+        1.0 is perfect rank calibration."""
+        pairs = [
+            (a.mean_selector_skill, b.mean_selector_skill)
+            for a, b in zip(self.bins, self.bins[1:])
+            if a.num_actions and b.num_actions
+        ]
+        if not pairs:
+            return float("nan")
+        return float(np.mean([b > a for a, b in pairs]))
+
+    @property
+    def skill_span(self) -> float:
+        """Selector-skill difference between the hardest and easiest bins."""
+        populated = [b for b in self.bins if b.num_actions]
+        if len(populated) < 2:
+            return float("nan")
+        return populated[-1].mean_selector_skill - populated[0].mean_selector_skill
+
+
+def difficulty_calibration(
+    model: SkillModel,
+    log: ActionLog,
+    estimates: Mapping,
+    *,
+    num_bins: int = 5,
+) -> CalibrationCurve:
+    """Bin items by estimated difficulty; average selector skill per bin.
+
+    ``log`` must be the training log (assignments align per user).  Items
+    without an estimate raise — calibrating a partial estimator silently
+    would mask exactly the coverage gap the caller should know about.
+    """
+    if num_bins < 2:
+        raise ConfigurationError("num_bins must be >= 2")
+    skills: list[float] = []
+    difficulties: list[float] = []
+    for seq in log:
+        levels = model.skill_trajectory(seq.user)
+        if len(levels) != len(seq):
+            raise DataError(
+                f"user {seq.user!r}: assignments do not align with the log; "
+                "pass the log the model was trained on"
+            )
+        for action, level in zip(seq, levels):
+            if action.item not in estimates:
+                raise DataError(f"no difficulty estimate for item {action.item!r}")
+            skills.append(float(level))
+            difficulties.append(float(estimates[action.item]))
+    if not skills:
+        raise DataError("log contains no actions")
+
+    skills_arr = np.asarray(skills)
+    difficulty_arr = np.asarray(difficulties)
+    edges = np.linspace(1.0, model.num_levels, num_bins + 1)
+    bins = []
+    for k in range(num_bins):
+        low, high = edges[k], edges[k + 1]
+        if k == num_bins - 1:
+            mask = (difficulty_arr >= low) & (difficulty_arr <= high)
+        else:
+            mask = (difficulty_arr >= low) & (difficulty_arr < high)
+        count = int(mask.sum())
+        bins.append(
+            CalibrationBin(
+                difficulty_low=float(low),
+                difficulty_high=float(high),
+                mean_estimated_difficulty=float(difficulty_arr[mask].mean()) if count else float("nan"),
+                mean_selector_skill=float(skills_arr[mask].mean()) if count else float("nan"),
+                num_actions=count,
+            )
+        )
+    return CalibrationCurve(bins=tuple(bins))

@@ -1,0 +1,68 @@
+"""Dominance scores for categorical features (paper Tables II and III).
+
+Following McAuley & Leskovec's acquired-taste measure, the paper contrasts
+the most and least skilled users through the probability gap
+
+    score(x) = P_f(x | θ_f(S)) − P_f(x | θ_f(1))
+
+for each categorical value ``x`` of a feature ``f``.  Strongly negative
+scores mark values dominated by unskilled users (e.g. "Pale Lager",
+capitalization fixes); strongly positive ones mark values dominated by
+skilled users ("Imperial/Double IPA", article-usage fixes).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.distributions import Categorical
+from repro.core.model import SkillModel
+from repro.exceptions import ConfigurationError
+
+__all__ = ["DominanceEntry", "dominance_scores", "top_dominated"]
+
+
+@dataclass(frozen=True)
+class DominanceEntry:
+    """One categorical value with its dominance score."""
+
+    value: Hashable
+    score: float
+
+
+def dominance_scores(model: SkillModel, feature_name: str) -> list[DominanceEntry]:
+    """Scores for every value of ``feature_name``, unsorted.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` if the feature is
+    not categorical — dominance is only defined on category probabilities.
+    """
+    low = model.parameters.distribution(feature_name, 1)
+    high = model.parameters.distribution(feature_name, model.num_levels)
+    if not isinstance(low, Categorical) or not isinstance(high, Categorical):
+        raise ConfigurationError(
+            f"dominance scores need a categorical feature; {feature_name!r} is not"
+        )
+    vocab = model.encoded.vocabulary(feature_name)
+    scores = high.probs - low.probs
+    return [DominanceEntry(value=v, score=float(s)) for v, s in zip(vocab, scores)]
+
+
+def top_dominated(
+    model: SkillModel, feature_name: str, k: int = 10
+) -> tuple[list[DominanceEntry], list[DominanceEntry]]:
+    """The ``k`` most unskilled-dominated and skilled-dominated values.
+
+    Returns ``(unskilled, skilled)``: the first list sorted by ascending
+    score (most negative first, paper's left tables), the second by
+    descending score (paper's right tables).
+    """
+    if k < 1:
+        raise ConfigurationError("k must be >= 1")
+    entries = dominance_scores(model, feature_name)
+    by_score = sorted(entries, key=lambda e: e.score)
+    unskilled = [e for e in by_score[:k] if e.score < 0]
+    skilled = [e for e in reversed(by_score[-k:]) if e.score > 0]
+    return unskilled, skilled

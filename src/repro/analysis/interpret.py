@@ -1,0 +1,99 @@
+"""Interpretation helpers for fitted skill models (paper Section VI-C).
+
+The paper's qualitative analysis inspects, per skill level:
+
+- the *means* of numeric feature distributions (Figures 4-6: corrections
+  per annotator, cooking time/steps, ABV),
+- the most probable items (Tables IV/V: top movies per level), and
+- summaries of item metadata over those top items (we report mean release
+  year and mean ground-truth difficulty, which is how the lastness effect
+  and its fix are made measurable without eyeballing movie titles).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import SkillModel
+from repro.exceptions import ConfigurationError
+
+__all__ = ["LevelTrend", "feature_trend", "TopItemsSummary", "top_items_summary"]
+
+
+@dataclass(frozen=True)
+class LevelTrend:
+    """Per-level means of one feature, with simple monotonicity flags."""
+
+    feature: str
+    means: tuple[float, ...]
+
+    @property
+    def increasing(self) -> bool:
+        """Strictly increasing across all levels (Fig. 6 ABV shape)."""
+        return all(b > a for a, b in zip(self.means, self.means[1:]))
+
+    @property
+    def decreasing(self) -> bool:
+        """Strictly decreasing across all levels (Fig. 4 corrections shape)."""
+        return all(b < a for a, b in zip(self.means, self.means[1:]))
+
+    @property
+    def spread(self) -> float:
+        """Max minus min of the per-level means — ≈0 for skill-neutral
+        features like the Language sentence count."""
+        return float(max(self.means) - min(self.means))
+
+
+def feature_trend(model: SkillModel, feature_name: str) -> LevelTrend:
+    """Per-level distribution means of a numeric or categorical feature."""
+    return LevelTrend(
+        feature=feature_name,
+        means=tuple(model.feature_level_means(feature_name)),
+    )
+
+
+@dataclass(frozen=True)
+class TopItemsSummary:
+    """The top-k items of one level plus metadata aggregates."""
+
+    level: int
+    items: tuple[Hashable, ...]
+    probabilities: tuple[float, ...]
+    mean_metadata: dict[str, float]
+
+
+def top_items_summary(
+    model: SkillModel,
+    level: int,
+    k: int = 10,
+    *,
+    catalog=None,
+    metadata_keys: tuple[str, ...] = (),
+) -> TopItemsSummary:
+    """Top-k items at a level, averaging the requested metadata keys.
+
+    ``catalog`` is required when ``metadata_keys`` is non-empty; items
+    missing a key are skipped in that key's mean (NaN if all are missing).
+    """
+    if metadata_keys and catalog is None:
+        raise ConfigurationError("metadata_keys requires a catalog")
+    top = model.top_items(level, k)
+    items = tuple(item_id for item_id, _ in top)
+    probabilities = tuple(prob for _, prob in top)
+    mean_metadata: dict[str, float] = {}
+    for key in metadata_keys:
+        values = [
+            float(catalog[item_id].metadata[key])
+            for item_id in items
+            if key in catalog[item_id].metadata
+        ]
+        mean_metadata[key] = float(np.mean(values)) if values else float("nan")
+    return TopItemsSummary(
+        level=level,
+        items=items,
+        probabilities=probabilities,
+        mean_metadata=mean_metadata,
+    )

@@ -1,0 +1,144 @@
+"""Evaluation measures used throughout the paper's Section VI.
+
+- Three correlations (Pearson's r, Spearman's ρ, Kendall's τ) and RMSE for
+  scoring skill/difficulty estimates against ground truth (Tables VI-IX).
+- Bootstrap confidence intervals for any of them (the paper reports 95%
+  CIs of Pearson's r).
+- A Wilcoxon signed-rank test on paired squared errors with Bonferroni
+  correction (the paper's significance protocol).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "EvaluationScores",
+    "score_estimates",
+    "rmse",
+    "bootstrap_ci",
+    "paired_wilcoxon",
+]
+
+
+@dataclass(frozen=True)
+class EvaluationScores:
+    """The paper's four accuracy columns for one model."""
+
+    pearson: float
+    spearman: float
+    kendall: float
+    rmse: float
+
+    def as_row(self) -> tuple[float, float, float, float]:
+        """The four measures as a table row (r, ρ, τ, RMSE)."""
+        return (self.pearson, self.spearman, self.kendall, self.rmse)
+
+
+def rmse(truth: np.ndarray, estimate: np.ndarray) -> float:
+    """Root mean squared error between matched arrays."""
+    truth = np.asarray(truth, dtype=np.float64)
+    estimate = np.asarray(estimate, dtype=np.float64)
+    if truth.shape != estimate.shape:
+        raise ConfigurationError(f"shape mismatch: {truth.shape} vs {estimate.shape}")
+    if truth.size == 0:
+        raise ConfigurationError("cannot compute RMSE of empty arrays")
+    return float(np.sqrt(np.mean((truth - estimate) ** 2)))
+
+
+def score_estimates(truth: np.ndarray, estimate: np.ndarray) -> EvaluationScores:
+    """All four measures at once.
+
+    Degenerate inputs (either array constant) have undefined correlations;
+    scipy returns NaN there, which we propagate — a constant estimator
+    *should* look broken in the tables, not average.
+    """
+    truth = np.asarray(truth, dtype=np.float64)
+    estimate = np.asarray(estimate, dtype=np.float64)
+    if truth.shape != estimate.shape:
+        raise ConfigurationError(f"shape mismatch: {truth.shape} vs {estimate.shape}")
+    if truth.size < 2:
+        raise ConfigurationError("need at least two points for correlations")
+    with warnings.catch_warnings():
+        # Constant inputs yield NaN correlations by design; the warning
+        # would only repeat what the NaN already says.
+        warnings.simplefilter("ignore", stats.ConstantInputWarning)
+        pearson = stats.pearsonr(truth, estimate).statistic
+        spearman = stats.spearmanr(truth, estimate).statistic
+        kendall = stats.kendalltau(truth, estimate).statistic
+    return EvaluationScores(
+        pearson=float(pearson),
+        spearman=float(spearman),
+        kendall=float(kendall),
+        rmse=rmse(truth, estimate),
+    )
+
+
+def bootstrap_ci(
+    truth: np.ndarray,
+    estimate: np.ndarray,
+    statistic=None,
+    *,
+    num_resamples: int = 1000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI of a paired statistic (default: Pearson's r).
+
+    Resamples (truth, estimate) pairs with replacement; degenerate
+    resamples (constant arrays) are skipped rather than polluting the
+    percentiles.
+    """
+    truth = np.asarray(truth, dtype=np.float64)
+    estimate = np.asarray(estimate, dtype=np.float64)
+    if truth.shape != estimate.shape or truth.size < 2:
+        raise ConfigurationError("need matched arrays of length >= 2")
+    if not 0 < confidence < 1:
+        raise ConfigurationError("confidence must be in (0, 1)")
+    if statistic is None:
+        statistic = lambda t, e: stats.pearsonr(t, e).statistic  # noqa: E731
+    rng = np.random.default_rng(seed)
+    values = []
+    n = truth.size
+    for _ in range(num_resamples):
+        idx = rng.integers(n, size=n)
+        t, e = truth[idx], estimate[idx]
+        if np.ptp(t) == 0 or np.ptp(e) == 0:
+            continue
+        values.append(statistic(t, e))
+    if not values:
+        raise ConfigurationError("all bootstrap resamples were degenerate")
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(values, [alpha, 1.0 - alpha])
+    return float(low), float(high)
+
+
+def paired_wilcoxon(
+    errors_a: np.ndarray,
+    errors_b: np.ndarray,
+    *,
+    num_comparisons: int = 1,
+) -> tuple[float, bool]:
+    """Wilcoxon signed-rank test on paired errors, Bonferroni-corrected.
+
+    Returns ``(corrected p-value, significant at 0.01)``, matching the
+    paper's "significant with p < 0.01 after Bonferroni correction".
+    Identical pairs are dropped (scipy's ``zero_method='wilcox'``).
+    """
+    errors_a = np.asarray(errors_a, dtype=np.float64)
+    errors_b = np.asarray(errors_b, dtype=np.float64)
+    if errors_a.shape != errors_b.shape or errors_a.size < 2:
+        raise ConfigurationError("need matched error arrays of length >= 2")
+    if num_comparisons < 1:
+        raise ConfigurationError("num_comparisons must be >= 1")
+    if np.allclose(errors_a, errors_b):
+        return 1.0, False
+    result = stats.wilcoxon(errors_a, errors_b, zero_method="wilcox")
+    p_corrected = min(1.0, float(result.pvalue) * num_comparisons)
+    return p_corrected, p_corrected < 0.01

@@ -1,0 +1,63 @@
+"""Confounder preprocessing (paper Section VI-C, Film).
+
+The lastness effect — users preferring recently released items — makes a
+progression model confuse release-date drift with skill.  The paper's fix:
+exclude every item released *after the earliest action in the whole
+dataset*, so that any remaining item could have been selected at any
+observed time.  :func:`remove_lastness` implements exactly that rule
+against an item-metadata release key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.actions import ActionLog
+from repro.data.items import ItemCatalog
+from repro.exceptions import DataError
+
+__all__ = ["LastnessStats", "remove_lastness"]
+
+
+@dataclass(frozen=True)
+class LastnessStats:
+    """What the preprocessing removed."""
+
+    cutoff_time: float
+    items_before: int
+    items_after: int
+    actions_before: int
+    actions_after: int
+
+
+def remove_lastness(
+    log: ActionLog,
+    catalog: ItemCatalog,
+    *,
+    release_key: str = "year",
+) -> tuple[ActionLog, ItemCatalog, LastnessStats]:
+    """Drop items released after the dataset's earliest action.
+
+    ``release_key`` names the item-metadata field holding the release
+    time, which must be on the same axis as action times (the film
+    simulator uses calendar years for both).  Items lacking the key raise
+    :class:`~repro.exceptions.DataError`: silently keeping them would
+    defeat the preprocessing.
+    """
+    cutoff = log.earliest_time()
+    keep = []
+    for item in catalog:
+        if release_key not in item.metadata:
+            raise DataError(f"item {item.id!r} has no release metadata {release_key!r}")
+        if float(item.metadata[release_key]) <= cutoff:
+            keep.append(item.id)
+    filtered_log = log.restrict_items(keep)
+    filtered_catalog = catalog.restrict(keep)
+    stats = LastnessStats(
+        cutoff_time=cutoff,
+        items_before=len(catalog),
+        items_after=len(filtered_catalog),
+        actions_before=log.num_actions,
+        actions_after=filtered_log.num_actions,
+    )
+    return filtered_log, filtered_catalog, stats

@@ -1,0 +1,162 @@
+"""Model cards: a one-stop text report for a fitted skill model.
+
+Bundles the analyses a reviewer or operator asks for first — scale,
+convergence, trajectory analytics, per-feature level trends, dominance
+lists, difficulty distribution and calibration — into one markdown
+document.  Used by ``python -m repro inspect`` and directly callable:
+
+    print(model_card(model, log))
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.analysis.calibration import difficulty_calibration
+from repro.analysis.dominance import top_dominated
+from repro.analysis.interpret import feature_trend
+from repro.analysis.trajectories import summarize_trajectories
+from repro.core.difficulty import PRIOR_EMPIRICAL, generation_difficulty
+from repro.core.distributions import Categorical
+from repro.core.features import ID_FEATURE, FeatureKind
+from repro.core.model import SkillModel
+from repro.data.actions import ActionLog
+from repro.exceptions import ReproError
+
+__all__ = ["model_card"]
+
+
+def _section(title: str) -> list[str]:
+    return ["", f"## {title}", ""]
+
+
+def model_card(
+    model: SkillModel,
+    log: ActionLog | None = None,
+    *,
+    difficulties: Mapping | None = None,
+    top_k: int = 5,
+) -> str:
+    """Render a markdown model card.
+
+    ``log`` enables the sections that need the training data (calibration);
+    ``difficulties`` defaults to empirical-prior generation estimates.
+    """
+    lines: list[str] = ["# Skill model card"]
+
+    # --- scale & convergence --------------------------------------------
+    lines += _section("Training")
+    lines.append(
+        f"- levels: {model.num_levels}; features: {len(model.feature_set)} "
+        f"({', '.join(model.feature_set.names)})"
+    )
+    lines.append(
+        f"- items in catalog: {model.encoded.num_items}; users: {len(model.assignments)}"
+    )
+    lines.append(
+        f"- iterations: {model.trace.num_iterations} "
+        f"(converged: {model.trace.converged}); final log-likelihood "
+        f"{model.log_likelihood:.1f}"
+    )
+    prior = model.empirical_skill_prior()
+    lines.append(
+        "- assigned-level distribution: "
+        + ", ".join(f"L{k + 1} {p:.0%}" for k, p in enumerate(prior))
+    )
+
+    # --- trajectories -----------------------------------------------------
+    summary = summarize_trajectories(model)
+    lines += _section("Trajectories")
+    lines.append(f"- mean final level: {summary.mean_final_level:.2f}")
+    lines.append(
+        "- reach rates: "
+        + ", ".join(f"L{k + 1} {r:.0%}" for k, r in enumerate(summary.reach_rates))
+    )
+    lines.append(
+        "- population learning curve: "
+        + " → ".join(f"{level:.2f}" for level in summary.level_curve)
+    )
+
+    # --- feature trends ----------------------------------------------------
+    lines += _section("Feature trends (distribution means per level)")
+    for spec in model.feature_set.specs:
+        if spec.is_id:
+            continue
+        trend = feature_trend(model, spec.name)
+        shape = "↑" if trend.increasing else ("↓" if trend.decreasing else "·")
+        lines.append(
+            f"- `{spec.name}` ({spec.kind.value}) {shape}: "
+            + ", ".join(f"{m:.3g}" for m in trend.means)
+        )
+
+    # --- dominance ----------------------------------------------------------
+    categorical = [
+        spec.name
+        for spec in model.feature_set.specs
+        if spec.kind is FeatureKind.CATEGORICAL and not spec.is_id
+    ]
+    for name in categorical:
+        dist = model.parameters.distribution(name, 1)
+        if isinstance(dist, Categorical) and dist.num_categories > 2:
+            unskilled, skilled = top_dominated(model, name, k=top_k)
+            lines += _section(f"Dominance — `{name}`")
+            lines.append(
+                "- novice-dominated: "
+                + ", ".join(f"{e.value} ({e.score:+.3f})" for e in unskilled)
+            )
+            lines.append(
+                "- expert-dominated: "
+                + ", ".join(f"{e.value} ({e.score:+.3f})" for e in skilled)
+            )
+
+    # --- difficulty ----------------------------------------------------------
+    if difficulties is None:
+        difficulties = generation_difficulty(model, prior=PRIOR_EMPIRICAL)
+    values = np.asarray(list(difficulties.values()))
+    lines += _section("Item difficulty (generation-based, empirical prior)")
+    lines.append(
+        f"- range [{values.min():.2f}, {values.max():.2f}], "
+        f"mean {values.mean():.2f}, median {np.median(values):.2f}"
+    )
+    edges = np.linspace(1, model.num_levels, model.num_levels + 1)
+    histogram, _ = np.histogram(values, bins=edges)
+    lines.append(
+        "- histogram: "
+        + ", ".join(
+            f"[{edges[k]:.1f},{edges[k + 1]:.1f}) {count}"
+            for k, count in enumerate(histogram)
+        )
+    )
+
+    if log is not None:
+        try:
+            curve = difficulty_calibration(model, log, difficulties)
+            lines += _section("Calibration (who selects each difficulty bin?)")
+            for bin_ in curve.bins:
+                if bin_.num_actions:
+                    lines.append(
+                        f"- difficulty [{bin_.difficulty_low:.1f}, "
+                        f"{bin_.difficulty_high:.1f}): mean selector skill "
+                        f"{bin_.mean_selector_skill:.2f} over {bin_.num_actions} actions"
+                    )
+            lines.append(
+                f"- monotone fraction {curve.monotone_fraction:.2f}, "
+                f"skill span {curve.skill_span:.2f}"
+            )
+        except ReproError as exc:
+            lines += _section("Calibration")
+            lines.append(f"- unavailable: {exc}")
+
+    # --- top items per level --------------------------------------------------
+    if ID_FEATURE in model.feature_set.names:
+        lines += _section("Most typical items per level")
+        for level in (1, model.num_levels):
+            top = model.top_items(level, top_k)
+            lines.append(
+                f"- level {level}: "
+                + ", ".join(f"{item}" for item, _ in top)
+            )
+
+    return "\n".join(lines) + "\n"

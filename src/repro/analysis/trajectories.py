@@ -1,0 +1,122 @@
+"""Trajectory analytics over fitted skill assignments.
+
+A production upskilling system reports more than point estimates: how long
+users dwell at each level, how far cohorts typically progress, and what a
+"normal" learning curve looks like.  These analyses read only the fitted
+model's assignments, so they apply to any trainer in the library (base,
+satisfaction-weighted, forgetting-aware, EM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import SkillModel
+from repro.exceptions import ConfigurationError, DataError
+
+__all__ = [
+    "level_dwell_times",
+    "reach_rates",
+    "mean_level_curve",
+    "TrajectorySummary",
+    "summarize_trajectories",
+]
+
+
+def level_dwell_times(model: SkillModel) -> dict[int, list[int]]:
+    """Actions spent per visit at each level, over all users.
+
+    A "visit" is a maximal run of consecutive actions at one level; for
+    monotone trainers each level is visited at most once per user, but the
+    forgetting-aware trainer can revisit.
+    """
+    dwell: dict[int, list[int]] = {level: [] for level in range(1, model.num_levels + 1)}
+    for user in model.assignments:
+        levels = model.skill_trajectory(user)
+        if len(levels) == 0:
+            continue
+        run_level = int(levels[0])
+        run_length = 0
+        for level in levels:
+            if int(level) == run_level:
+                run_length += 1
+            else:
+                dwell[run_level].append(run_length)
+                run_level = int(level)
+                run_length = 1
+        dwell[run_level].append(run_length)
+    return dwell
+
+
+def reach_rates(model: SkillModel) -> np.ndarray:
+    """Fraction of users whose trajectory ever reaches each level 1..S."""
+    if not model.assignments:
+        raise DataError("model has no assignments")
+    counts = np.zeros(model.num_levels, dtype=np.float64)
+    for user in model.assignments:
+        top = int(model.skill_trajectory(user).max())
+        counts[:top] += 1
+    return counts / len(model.assignments)
+
+
+def mean_level_curve(model: SkillModel, num_points: int = 10) -> np.ndarray:
+    """Average level at ``num_points`` normalized sequence positions.
+
+    The population learning curve: position 0 is every user's first
+    action, position 1 their last.  Users shorter than ``num_points``
+    contribute via nearest-position sampling.
+    """
+    if num_points < 2:
+        raise ConfigurationError("num_points must be >= 2")
+    if not model.assignments:
+        raise DataError("model has no assignments")
+    grid = np.linspace(0.0, 1.0, num_points)
+    total = np.zeros(num_points)
+    counted = 0
+    for user in model.assignments:
+        levels = model.skill_trajectory(user).astype(np.float64)
+        if len(levels) == 0:
+            continue
+        positions = np.minimum((grid * (len(levels) - 1)).round().astype(int), len(levels) - 1)
+        total += levels[positions]
+        counted += 1
+    if counted == 0:
+        raise DataError("model has no non-empty trajectories")
+    return total / counted
+
+
+@dataclass(frozen=True)
+class TrajectorySummary:
+    """Headline numbers of a fitted population."""
+
+    num_users: int
+    mean_final_level: float
+    reach_rates: tuple[float, ...]
+    mean_dwell_per_level: tuple[float, ...]
+    level_curve: tuple[float, ...]
+
+    @property
+    def curve_is_non_decreasing(self) -> bool:
+        """True when the population learning curve never dips — guaranteed
+        for monotone trainers, informative for the forgetting trainer."""
+        return all(b >= a - 1e-9 for a, b in zip(self.level_curve, self.level_curve[1:]))
+
+
+def summarize_trajectories(model: SkillModel, *, curve_points: int = 10) -> TrajectorySummary:
+    """All trajectory analytics bundled, for reports and examples."""
+    dwell = level_dwell_times(model)
+    finals = [int(model.skill_trajectory(user)[-1]) for user in model.assignments if len(model.skill_trajectory(user))]
+    if not finals:
+        raise DataError("model has no non-empty trajectories")
+    return TrajectorySummary(
+        num_users=len(model.assignments),
+        mean_final_level=float(np.mean(finals)),
+        reach_rates=tuple(float(x) for x in reach_rates(model)),
+        mean_dwell_per_level=tuple(
+            float(np.mean(dwell[level])) if dwell[level] else float("nan")
+            for level in range(1, model.num_levels + 1)
+        ),
+        level_curve=tuple(float(x) for x in mean_level_curve(model, curve_points)),
+    )

@@ -1,0 +1,105 @@
+"""Baseline skill models used in the paper's evaluation (Section VI-D).
+
+- **Uniform** — segments every user sequence into ``S`` equal-length
+  groups and labels the ``s``-th group with level ``s``.  No learning; the
+  paper's weakest baseline.  We still fit a parameter grid from those fixed
+  labels so the baseline can produce ``P(i | s)`` for the item-prediction
+  task and the generation-based difficulty API (the paper itself only
+  combines Uniform with assignment-based difficulty).
+- **ID** — Yang et al.'s progression model: identical training loop, but
+  the only feature is the item id.  The intermediate ablations of Table VI
+  (ID+categorical, ID+gamma, ID+Poisson) are the same constructor with a
+  feature subset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.features import FeatureSet, FeatureSpec
+from repro.core.model import SkillModel, SkillParameters, TrainingTrace
+from repro.core.training import Trainer, TrainerConfig, uniform_segment_levels
+from repro.data.actions import ActionLog
+from repro.data.items import ItemCatalog
+from repro.exceptions import DataError
+
+__all__ = ["fit_uniform_baseline", "fit_id_baseline", "id_feature_set"]
+
+
+def id_feature_set() -> FeatureSet:
+    """The feature set of the ID baseline: the item id alone."""
+    return FeatureSet([FeatureSpec.id_spec()])
+
+
+def fit_uniform_baseline(
+    log: ActionLog,
+    catalog: ItemCatalog,
+    num_levels: int,
+    *,
+    feature_set: FeatureSet | None = None,
+    smoothing: float = 0.01,
+) -> SkillModel:
+    """The Uniform baseline: fixed equal-segment assignments, one
+    parameter fit, no iteration.
+
+    ``feature_set`` defaults to the ID-only set, which is all the
+    downstream tasks need from this baseline.
+    """
+    if log.num_actions == 0:
+        raise DataError("cannot fit the uniform baseline on an empty log")
+    feature_set = feature_set or id_feature_set()
+    encoded = feature_set.encode(catalog)
+
+    users = list(log.users)
+    user_rows = [encoded.rows_for(log.sequence(u).items) for u in users]
+    user_levels = [uniform_segment_levels(len(rows), num_levels) for rows in user_rows]
+
+    parameters = SkillParameters.fit_from_assignments(
+        encoded,
+        np.concatenate(user_rows),
+        np.concatenate(user_levels),
+        num_levels=num_levels,
+        smoothing=smoothing,
+    )
+    table = parameters.item_score_table(encoded)
+    total_ll = float(
+        sum(
+            table[levels, rows].sum()
+            for rows, levels in zip(user_rows, user_levels)
+        )
+    )
+    assignments = {
+        user: (levels + 1).astype(np.int64) for user, levels in zip(users, user_levels)
+    }
+    times = {
+        user: np.asarray(log.sequence(user).times, dtype=np.float64) for user in users
+    }
+    trace = TrainingTrace(log_likelihoods=(total_ll,), converged=True, num_iterations=1)
+    return SkillModel(
+        parameters=parameters,
+        encoded=encoded,
+        assignments=assignments,
+        trace=trace,
+        _assignment_times=times,
+    )
+
+
+def fit_id_baseline(
+    log: ActionLog,
+    catalog: ItemCatalog,
+    num_levels: int,
+    *,
+    extra_features: FeatureSet | None = None,
+    **config_kwargs,
+) -> SkillModel:
+    """Yang et al.'s ID progression model, optionally with extra features.
+
+    With ``extra_features=None`` this is the plain ID baseline; passing a
+    subset of the domain's feature set produces the ID+categorical /
+    ID+gamma / ID+Poisson ablation rows of Table VI.
+    """
+    feature_set = (
+        id_feature_set() if extra_features is None else extra_features.with_id_feature()
+    )
+    config = TrainerConfig(num_levels=num_levels, **config_kwargs)
+    return Trainer(config).fit(log, catalog, feature_set)

@@ -1,0 +1,267 @@
+"""Observation models for item features (paper Section IV-A/B).
+
+Each (feature, skill-level) cell of the skill model holds one distribution
+from this module:
+
+- :class:`Categorical` — closed-form MLE with additive smoothing
+  (Equation 6, pseudo-count ``λ = 0.01`` by default, after Shin et al.).
+- :class:`Poisson` — closed-form MLE, the sample mean (Equation 7).
+- :class:`Gamma` — no closed form; fitted by Newton refinement of the
+  standard Minka/Choi–Wette initial estimate (the "numerical analysis
+  approaches" the paper defers to).
+- :class:`LogNormal` — closed-form MLE on log-values.
+
+All distributions are immutable; ``fit`` is a classmethod so a trainer can
+re-estimate a cell without mutating the old model.  Every ``fit`` accepts
+optional non-negative ``weights`` so the soft-EM ablation can reuse the
+same estimators with fractional responsibilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import gammaln, polygamma, psi
+
+from repro.exceptions import ConfigurationError, SchemaError
+
+__all__ = ["Categorical", "Poisson", "Gamma", "LogNormal", "distribution_for_kind"]
+
+#: Smallest rate / shape / scale we allow, to keep log-densities finite.
+_EPS = 1e-12
+#: Cap on the gamma shape so near-constant samples stay numerically sane.
+_MAX_GAMMA_SHAPE = 1e6
+
+
+def _check_weights(values: np.ndarray, weights: np.ndarray | None) -> np.ndarray:
+    if weights is None:
+        return np.ones(len(values), dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (len(values),):
+        raise ConfigurationError(
+            f"weights shape {weights.shape} does not match {len(values)} values"
+        )
+    if np.any(weights < 0):
+        raise ConfigurationError("weights must be non-negative")
+    return weights
+
+
+@dataclass(frozen=True)
+class Categorical:
+    """Categorical distribution over ``C`` category codes ``0..C-1``."""
+
+    probs: np.ndarray
+
+    def __post_init__(self) -> None:
+        probs = np.asarray(self.probs, dtype=np.float64)
+        if probs.ndim != 1 or len(probs) == 0:
+            raise ConfigurationError("categorical probs must be a non-empty 1-D array")
+        if np.any(probs < 0) or not np.isclose(probs.sum(), 1.0, atol=1e-8):
+            raise ConfigurationError("categorical probs must be non-negative and sum to 1")
+        object.__setattr__(self, "probs", probs)
+
+    @property
+    def num_categories(self) -> int:
+        return len(self.probs)
+
+    @classmethod
+    def fit(
+        cls,
+        values: np.ndarray,
+        *,
+        num_categories: int,
+        smoothing: float = 0.01,
+        weights: np.ndarray | None = None,
+    ) -> "Categorical":
+        """Smoothed MLE (Equation 6): ``(λ + n_c) / (λC + n)``.
+
+        Works for an empty sample too, where it degrades gracefully to the
+        uniform distribution — this is how skill levels that received no
+        assignments in an iteration stay well-defined.
+        """
+        if num_categories <= 0:
+            raise ConfigurationError("num_categories must be positive")
+        if smoothing < 0:
+            raise ConfigurationError("smoothing must be non-negative")
+        if smoothing == 0 and len(values) == 0:
+            raise ConfigurationError("unsmoothed fit needs at least one observation")
+        values = np.asarray(values, dtype=np.int64)
+        if len(values) and (values.min() < 0 or values.max() >= num_categories):
+            raise SchemaError("category code outside [0, num_categories)")
+        weights = _check_weights(values, weights)
+        counts = np.bincount(values, weights=weights, minlength=num_categories)
+        total = counts.sum()
+        probs = (smoothing + counts) / (smoothing * num_categories + total)
+        return cls(probs)
+
+    def log_prob(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.int64)
+        if len(values) and (values.min() < 0 or values.max() >= self.num_categories):
+            raise SchemaError("category code outside [0, num_categories)")
+        with np.errstate(divide="ignore"):
+            log_probs = np.log(self.probs)
+        return log_probs[values]
+
+    def mean(self) -> float:
+        """Expected category code (mostly useful for synthetic sanity checks)."""
+        return float(np.dot(np.arange(self.num_categories), self.probs))
+
+
+@dataclass(frozen=True)
+class Poisson:
+    """Poisson distribution over counts ``k >= 0``."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.rate) or self.rate <= 0:
+            raise ConfigurationError(f"Poisson rate must be positive, got {self.rate}")
+
+    @classmethod
+    def fit(cls, values: np.ndarray, *, weights: np.ndarray | None = None) -> "Poisson":
+        """MLE (Equation 7): the (weighted) sample mean, floored at a tiny
+        positive value so all-zero samples stay valid."""
+        values = np.asarray(values, dtype=np.float64)
+        weights = _check_weights(values, weights)
+        total_weight = weights.sum()
+        if total_weight <= 0:
+            return cls(rate=1.0)
+        mean = float(np.dot(weights, values) / total_weight)
+        return cls(rate=max(mean, _EPS))
+
+    def log_prob(self, values: np.ndarray) -> np.ndarray:
+        k = np.asarray(values, dtype=np.float64)
+        if np.any(k < 0):
+            raise SchemaError("Poisson values must be >= 0")
+        return k * np.log(self.rate) - self.rate - gammaln(k + 1.0)
+
+    def mean(self) -> float:
+        return self.rate
+
+
+@dataclass(frozen=True)
+class Gamma:
+    """Gamma distribution (shape ``k``, scale ``θ``) over positive reals."""
+
+    shape: float
+    scale: float
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.shape) or self.shape <= 0:
+            raise ConfigurationError(f"gamma shape must be positive, got {self.shape}")
+        if not np.isfinite(self.scale) or self.scale <= 0:
+            raise ConfigurationError(f"gamma scale must be positive, got {self.scale}")
+
+    @classmethod
+    def fit(
+        cls,
+        values: np.ndarray,
+        *,
+        weights: np.ndarray | None = None,
+        newton_steps: int = 25,
+    ) -> "Gamma":
+        """Approximate MLE via the closed-form Choi–Wette estimate refined
+        with Newton steps on ``log k − ψ(k) = s``.
+
+        Near-constant samples drive the shape towards infinity; it is capped
+        so the density stays finite.  An empty sample returns a vague
+        ``Gamma(1, 1)`` (exponential) placeholder.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if np.any(values <= 0):
+            raise SchemaError("gamma values must be strictly positive")
+        weights = _check_weights(values, weights)
+        total_weight = weights.sum()
+        if total_weight <= 0:
+            return cls(shape=1.0, scale=1.0)
+        mean = float(np.dot(weights, values) / total_weight)
+        mean_log = float(np.dot(weights, np.log(values)) / total_weight)
+        s = np.log(mean) - mean_log  # >= 0 by Jensen; == 0 iff constant sample
+        if s < 1e-10:
+            shape = _MAX_GAMMA_SHAPE
+        else:
+            shape = (3.0 - s + np.sqrt((s - 3.0) ** 2 + 24.0 * s)) / (12.0 * s)
+            for _ in range(newton_steps):
+                step = (np.log(shape) - psi(shape) - s) / (1.0 / shape - polygamma(1, shape))
+                new_shape = shape - step
+                if new_shape <= 0 or not np.isfinite(new_shape):
+                    break
+                if abs(new_shape - shape) < 1e-12 * shape:
+                    shape = new_shape
+                    break
+                shape = new_shape
+            shape = float(np.clip(shape, _EPS, _MAX_GAMMA_SHAPE))
+        scale = max(mean / shape, _EPS)
+        return cls(shape=float(shape), scale=float(scale))
+
+    def log_prob(self, values: np.ndarray) -> np.ndarray:
+        x = np.asarray(values, dtype=np.float64)
+        if np.any(x <= 0):
+            raise SchemaError("gamma values must be strictly positive")
+        k, theta = self.shape, self.scale
+        return (k - 1.0) * np.log(x) - x / theta - gammaln(k) - k * np.log(theta)
+
+    def mean(self) -> float:
+        return self.shape * self.scale
+
+
+@dataclass(frozen=True)
+class LogNormal:
+    """Log-normal distribution over positive reals."""
+
+    mu: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.mu):
+            raise ConfigurationError(f"log-normal mu must be finite, got {self.mu}")
+        if not np.isfinite(self.sigma) or self.sigma <= 0:
+            raise ConfigurationError(f"log-normal sigma must be positive, got {self.sigma}")
+
+    @classmethod
+    def fit(cls, values: np.ndarray, *, weights: np.ndarray | None = None) -> "LogNormal":
+        """Closed-form MLE on log-values, with a small variance floor so a
+        constant (or empty) sample stays a proper density."""
+        values = np.asarray(values, dtype=np.float64)
+        if np.any(values <= 0):
+            raise SchemaError("log-normal values must be strictly positive")
+        weights = _check_weights(values, weights)
+        total_weight = weights.sum()
+        if total_weight <= 0:
+            return cls(mu=0.0, sigma=1.0)
+        logs = np.log(values)
+        mu = float(np.dot(weights, logs) / total_weight)
+        var = float(np.dot(weights, (logs - mu) ** 2) / total_weight)
+        return cls(mu=mu, sigma=max(np.sqrt(var), 1e-6))
+
+    def log_prob(self, values: np.ndarray) -> np.ndarray:
+        x = np.asarray(values, dtype=np.float64)
+        if np.any(x <= 0):
+            raise SchemaError("log-normal values must be strictly positive")
+        log_x = np.log(x)
+        return (
+            -log_x
+            - np.log(self.sigma)
+            - 0.5 * np.log(2.0 * np.pi)
+            - 0.5 * ((log_x - self.mu) / self.sigma) ** 2
+        )
+
+    def mean(self) -> float:
+        return float(np.exp(self.mu + 0.5 * self.sigma**2))
+
+
+def distribution_for_kind(kind) -> type:
+    """The distribution class used to model a :class:`FeatureKind`."""
+    from repro.core.features import FeatureKind
+
+    mapping = {
+        FeatureKind.CATEGORICAL: Categorical,
+        FeatureKind.COUNT: Poisson,
+        FeatureKind.POSITIVE: Gamma,
+        FeatureKind.LOG_POSITIVE: LogNormal,
+    }
+    try:
+        return mapping[kind]
+    except KeyError:
+        raise ConfigurationError(f"no distribution registered for kind {kind!r}") from None

@@ -1,0 +1,219 @@
+"""Skill-decay extension: users can forget (paper Section VII).
+
+The paper's discussion names relaxing monotonicity as the first limitation:
+"it is possible that users lose some skills if they have not taken actions
+for a while", pointing at Ebbinghaus's forgetting curve and the gap between
+consecutive actions as the key signal.  This module implements that
+extension:
+
+- transitions between consecutive actions are *stay*, *up one*, or — new —
+  *down one*, where the down transition carries a time-gap-dependent
+  log-weight ``log(1 − exp(−gap / half_life))`` (Ebbinghaus-style: a
+  vanishing gap makes forgetting impossible, a long idle gap makes it
+  likely);
+- the assignment step becomes a banded Viterbi over this richer lattice
+  (:func:`best_decay_path`);
+- :func:`fit_forgetting_model` runs the same coordinate ascent as the base
+  trainer with the decay-aware DP, reusing the parameter grid, update
+  step, and :class:`~repro.core.model.SkillModel` container (whose
+  trajectories are then no longer guaranteed monotone — by design).
+
+The base monotone model is the special case ``half_life = inf``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dp import PathResult
+from repro.core.features import FeatureSet
+from repro.core.model import SkillModel, SkillParameters, TrainingTrace
+from repro.core.training import uniform_segment_levels
+from repro.data.actions import ActionLog
+from repro.data.items import ItemCatalog
+from repro.exceptions import ConfigurationError, DataError
+
+__all__ = ["ForgettingConfig", "best_decay_path", "fit_forgetting_model"]
+
+
+@dataclass(frozen=True)
+class ForgettingConfig:
+    """Hyper-parameters of the decay-aware trainer.
+
+    ``half_life`` is the Ebbinghaus time constant: after an idle gap of
+    ``half_life`` time units the forgetting weight is ``1 − e^{-1} ≈ 0.63``
+    of its asymptote.  ``down_floor`` caps how unlikely a drop can get so
+    log-weights stay finite for tiny gaps.
+    """
+
+    num_levels: int
+    half_life: float = 10.0
+    down_floor: float = 1e-6
+    smoothing: float = 0.01
+    init_min_actions: int = 50
+    max_iterations: int = 50
+    tol: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.num_levels < 1:
+            raise ConfigurationError("num_levels must be >= 1")
+        if self.half_life <= 0:
+            raise ConfigurationError("half_life must be positive")
+        if not 0 < self.down_floor < 1:
+            raise ConfigurationError("down_floor must be in (0, 1)")
+        if self.max_iterations < 1:
+            raise ConfigurationError("max_iterations must be >= 1")
+
+
+def forgetting_log_weight(
+    gaps: np.ndarray, half_life: float, floor: float = 1e-6
+) -> np.ndarray:
+    """Log-weight of a one-level drop across each time gap.
+
+    Ebbinghaus-shaped: ``log(max(floor, 1 − exp(−gap / half_life)))``.
+    """
+    gaps = np.asarray(gaps, dtype=np.float64)
+    if np.any(gaps < 0):
+        raise ConfigurationError("time gaps must be non-negative")
+    probability = np.maximum(floor, 1.0 - np.exp(-gaps / half_life))
+    return np.log(probability)
+
+
+def best_decay_path(
+    scores: np.ndarray,
+    gaps: np.ndarray,
+    *,
+    half_life: float,
+    down_floor: float = 1e-6,
+) -> PathResult:
+    """Viterbi over the stay/up/down lattice with gap-dependent drops.
+
+    Parameters
+    ----------
+    scores:
+        ``(n_actions, n_levels)`` log-likelihoods, as in the monotone DP.
+    gaps:
+        ``(n_actions - 1,)`` non-negative time gaps between consecutive
+        actions (``gaps[k] = t_{k+1} − t_k``).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ConfigurationError("scores must be 2-D")
+    n_actions, n_levels = scores.shape
+    if n_actions == 0:
+        return PathResult(levels=np.empty(0, dtype=np.int64), log_likelihood=0.0)
+    if n_levels == 0:
+        raise ConfigurationError("need at least one skill level")
+    gaps = np.asarray(gaps, dtype=np.float64)
+    if gaps.shape != (max(0, n_actions - 1),):
+        raise ConfigurationError("gaps must have length n_actions - 1")
+    down_weights = forgetting_log_weight(gaps, half_life, down_floor)
+
+    best = scores[0].copy()
+    # move[n, s] ∈ {-1, 0, +1}: the transition that entered level s at n.
+    move = np.zeros((n_actions, n_levels), dtype=np.int64)
+    for n in range(1, n_actions):
+        stay = best
+        up = np.full(n_levels, -np.inf)
+        up[1:] = best[:-1]
+        down = np.full(n_levels, -np.inf)
+        down[:-1] = best[1:] + down_weights[n - 1]
+        # Tie order (up > stay > down): prefer the predecessor at the
+        # lowest prior level, conservative skill attribution.
+        stacked = np.stack([up, stay, down])
+        choice = np.argmax(stacked, axis=0)  # first max wins → up preferred
+        move[n] = 1 - choice  # 0→+1, 1→0, 2→-1
+        best = stacked[choice, np.arange(n_levels)] + scores[n]
+
+    levels = np.empty(n_actions, dtype=np.int64)
+    levels[-1] = int(np.argmax(best))
+    for n in range(n_actions - 1, 0, -1):
+        levels[n - 1] = levels[n] - move[n, levels[n]]
+    return PathResult(levels=levels, log_likelihood=float(best[levels[-1]]))
+
+
+def fit_forgetting_model(
+    log: ActionLog,
+    catalog: ItemCatalog,
+    feature_set: FeatureSet,
+    config: ForgettingConfig,
+) -> SkillModel:
+    """Coordinate-ascent training with the decay-aware assignment step."""
+    if log.num_actions == 0:
+        raise DataError("cannot train on an empty action log")
+    encoded = feature_set.encode(catalog)
+    users = list(log.users)
+    user_rows = [encoded.rows_for(log.sequence(u).items) for u in users]
+    user_gaps = [
+        np.diff(np.asarray(log.sequence(u).times, dtype=np.float64)) for u in users
+    ]
+    all_rows = np.concatenate(user_rows)
+
+    init_rows, init_levels = [], []
+    for rows in user_rows:
+        if len(rows) >= config.init_min_actions:
+            init_rows.append(rows)
+            init_levels.append(uniform_segment_levels(len(rows), config.num_levels))
+    if not init_rows:
+        for rows in user_rows:
+            init_rows.append(rows)
+            init_levels.append(uniform_segment_levels(len(rows), config.num_levels))
+    parameters = SkillParameters.fit_from_assignments(
+        encoded,
+        np.concatenate(init_rows),
+        np.concatenate(init_levels),
+        num_levels=config.num_levels,
+        smoothing=config.smoothing,
+    )
+
+    log_likelihoods: list[float] = []
+    converged = False
+    level_arrays: list[np.ndarray] = []
+    for _ in range(config.max_iterations):
+        table = parameters.item_score_table(encoded)
+        total_ll = 0.0
+        level_arrays = []
+        for rows, gaps in zip(user_rows, user_gaps):
+            result = best_decay_path(
+                table[:, rows].T,
+                gaps,
+                half_life=config.half_life,
+                down_floor=config.down_floor,
+            )
+            level_arrays.append(result.levels)
+            total_ll += result.log_likelihood
+        if log_likelihoods:
+            previous = log_likelihoods[-1]
+            log_likelihoods.append(total_ll)
+            if abs(total_ll - previous) <= config.tol * max(1.0, abs(previous)):
+                converged = True
+                break
+        else:
+            log_likelihoods.append(total_ll)
+        parameters = SkillParameters.fit_from_assignments(
+            encoded,
+            all_rows,
+            np.concatenate(level_arrays),
+            num_levels=config.num_levels,
+            smoothing=config.smoothing,
+        )
+
+    assignments = {
+        user: (levels + 1).astype(np.int64)
+        for user, levels in zip(users, level_arrays)
+    }
+    times = {user: np.asarray(log.sequence(user).times, dtype=np.float64) for user in users}
+    trace = TrainingTrace(
+        log_likelihoods=tuple(log_likelihoods),
+        converged=converged,
+        num_iterations=len(log_likelihoods),
+    )
+    return SkillModel(
+        parameters=parameters,
+        encoded=encoded,
+        assignments=assignments,
+        trace=trace,
+        _assignment_times=times,
+    )

@@ -1,0 +1,147 @@
+"""Incremental model updates for arriving actions.
+
+The skill-improvement problem is offline (the paper leans on that in
+Section VI-F), but a deployed upskilling recommender sees new actions
+continuously and cannot retrain from scratch per event.  Exploiting the
+model's dependency structure once more: with parameters ``Θ`` fixed, a
+user's optimal skill path depends only on *their own* sequence — so
+absorbing new actions for some users requires exactly one DP per affected
+user and nothing else.
+
+:func:`extend_model` implements that fold-in, optionally followed by a few
+full refinement iterations (``refit_iterations``) when enough data arrived
+to warrant touching ``Θ``.  New users are supported; new *items* are not —
+an ID-bearing parameter grid has no parameters for them, so they require a
+scheduled retrain (the same boundary as
+:meth:`~repro.core.model.SkillModel.score_items` documents).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.core.dp import best_monotone_path
+from repro.core.model import SkillModel, SkillParameters, TrainingTrace
+from repro.data.actions import Action, ActionLog, ActionSequence
+from repro.exceptions import ConfigurationError, DataError
+
+__all__ = ["extend_model"]
+
+
+def extend_model(
+    model: SkillModel,
+    log: ActionLog,
+    new_actions: Iterable[Action],
+    *,
+    refit_iterations: int = 0,
+    smoothing: float = 0.01,
+) -> tuple[SkillModel, ActionLog]:
+    """Fold new actions into a fitted model.
+
+    Parameters
+    ----------
+    model:
+        The fitted model to extend.
+    log:
+        The log the model was fitted on (the source of existing
+        sequences).
+    new_actions:
+        Arriving actions.  Items must already exist in the model's
+        catalog; users may be new.
+    refit_iterations:
+        0 (default) keeps ``Θ`` frozen and only re-assigns affected users
+        — the cheap steady-state path.  A positive value additionally runs
+        that many full assignment/update iterations afterwards.
+
+    Returns
+    -------
+    (updated model, updated log)
+        The updated log contains the merged sequences and is what the next
+        ``extend_model`` call should receive.
+    """
+    new_actions = list(new_actions)
+    if not new_actions:
+        raise DataError("no new actions to absorb")
+    if refit_iterations < 0:
+        raise ConfigurationError("refit_iterations must be >= 0")
+    for action in new_actions:
+        if action.item not in model.encoded.index_of:
+            raise DataError(
+                f"item {action.item!r} is not in the model's catalog; "
+                "new items require a full retrain"
+            )
+
+    # Merge the new actions into the affected users' sequences.
+    arrivals: dict = {}
+    for action in new_actions:
+        arrivals.setdefault(action.user, []).append(action)
+    merged_sequences = []
+    touched = set(arrivals)
+    for seq in log:
+        if seq.user in arrivals:
+            merged_sequences.append(
+                ActionSequence(seq.user, list(seq.actions) + arrivals.pop(seq.user))
+            )
+        else:
+            merged_sequences.append(seq)
+    for user, actions in arrivals.items():  # brand-new users
+        merged_sequences.append(ActionSequence(user, actions))
+    merged_log = ActionLog(merged_sequences)
+
+    # Re-assign only the touched users under the frozen parameters.
+    table = model.parameters.item_score_table(model.encoded)
+    assignments = dict(model.assignments)
+    times = dict(model._assignment_times)
+    for user in touched:
+        seq = merged_log.sequence(user)
+        rows = model.encoded.rows_for(seq.items)
+        result = best_monotone_path(table[:, rows].T)
+        assignments[user] = (result.levels + 1).astype(np.int64)
+        times[user] = np.asarray(seq.times, dtype=np.float64)
+
+    parameters = model.parameters
+    trace_lls = list(model.trace.log_likelihoods)
+    if refit_iterations:
+        users = list(merged_log.users)
+        user_rows = [model.encoded.rows_for(merged_log.sequence(u).items) for u in users]
+        all_rows = np.concatenate(user_rows)
+        for _ in range(refit_iterations):
+            table = parameters.item_score_table(model.encoded)
+            level_arrays = []
+            total_ll = 0.0
+            for rows in user_rows:
+                result = best_monotone_path(table[:, rows].T)
+                level_arrays.append(result.levels)
+                total_ll += result.log_likelihood
+            trace_lls.append(total_ll)
+            parameters = SkillParameters.fit_from_assignments(
+                model.encoded,
+                all_rows,
+                np.concatenate(level_arrays),
+                num_levels=model.num_levels,
+                smoothing=smoothing,
+            )
+        assignments = {
+            user: (levels + 1).astype(np.int64)
+            for user, levels in zip(users, level_arrays)
+        }
+        times = {
+            user: np.asarray(merged_log.sequence(user).times, dtype=np.float64)
+            for user in users
+        }
+
+    trace = TrainingTrace(
+        log_likelihoods=tuple(trace_lls),
+        converged=model.trace.converged and not refit_iterations,
+        num_iterations=len(trace_lls),
+    )
+    updated = SkillModel(
+        parameters=parameters,
+        encoded=model.encoded,
+        assignments=assignments,
+        trace=trace,
+        _assignment_times=times,
+    )
+    return updated, merged_log

@@ -1,0 +1,360 @@
+"""The multi-faceted skill model (paper Section IV).
+
+Two classes live here:
+
+- :class:`SkillParameters` — the ``S × F`` grid of observation
+  distributions ``θ_f(s)`` plus vectorized scoring: ``log P(i | s)`` for
+  every catalog item at every level in one array.
+- :class:`SkillModel` — a *fitted* model: parameters, the skill levels
+  assigned to every training action, and the encoded catalog, with the
+  query API used by difficulty estimation, interpretation, and the
+  prediction tasks.
+
+Training logic (initialization, the assignment/update alternation,
+convergence) is in :mod:`repro.core.training`; this module only knows how
+to score and how to re-estimate parameters from a fixed assignment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.distributions import Categorical, distribution_for_kind
+from repro.core.features import EncodedItems, FeatureKind, FeatureSet, ID_FEATURE
+from repro.data.actions import ActionLog
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+
+__all__ = ["SkillParameters", "SkillModel", "TrainingTrace"]
+
+
+@dataclass(frozen=True)
+class SkillParameters:
+    """The ``θ_f(s)`` grid: ``cells[s][f]`` is the distribution of feature
+    ``f`` under skill level ``s`` (0-based level index)."""
+
+    feature_set: FeatureSet
+    num_levels: int
+    cells: tuple[tuple[object, ...], ...]
+
+    def __post_init__(self) -> None:
+        if self.num_levels <= 0:
+            raise ConfigurationError("num_levels must be positive")
+        if len(self.cells) != self.num_levels:
+            raise ConfigurationError(
+                f"expected {self.num_levels} level rows, got {len(self.cells)}"
+            )
+        for row in self.cells:
+            if len(row) != len(self.feature_set):
+                raise ConfigurationError(
+                    f"expected {len(self.feature_set)} feature cells per level, got {len(row)}"
+                )
+
+    def distribution(self, feature_name: str, level: int) -> object:
+        """The distribution of ``feature_name`` at 1-based skill ``level``."""
+        _check_level(level, self.num_levels)
+        return self.cells[level - 1][self.feature_set.index_of_feature(feature_name)]
+
+    def item_score_table(self, encoded: EncodedItems) -> np.ndarray:
+        """``log P(i | s)`` for every item at every level.
+
+        Returns an array of shape ``(num_levels, num_items)``.  This is the
+        workhorse of the assignment step: each training iteration computes
+        it once, then every user's DP just gathers rows from it.
+        """
+        if encoded.feature_set is not self.feature_set and (
+            encoded.feature_set.names != self.feature_set.names
+        ):
+            raise ConfigurationError("encoded items do not match the model's feature set")
+        table = np.zeros((self.num_levels, encoded.num_items), dtype=np.float64)
+        for f, _spec in enumerate(self.feature_set):
+            column = encoded.columns[f]
+            for s in range(self.num_levels):
+                table[s] += self.cells[s][f].log_prob(column)
+        return table
+
+    @classmethod
+    def fit_from_assignments(
+        cls,
+        encoded: EncodedItems,
+        action_rows: np.ndarray,
+        action_levels: np.ndarray,
+        *,
+        num_levels: int,
+        smoothing: float = 0.01,
+        cell_fitter=None,
+    ) -> "SkillParameters":
+        """Update step (Equations 5-7): per-(feature, level) MLE over the
+        actions assigned to that level.
+
+        ``action_rows[k]`` is the catalog row of the item in the k-th
+        action; ``action_levels[k]`` its assigned 0-based level.
+        ``cell_fitter``, when given, is a callable
+        ``(jobs, fit_one) -> list`` used to parallelize the independent
+        per-cell fits (see :mod:`repro.core.parallel`).
+        """
+        action_rows = np.asarray(action_rows, dtype=np.int64)
+        action_levels = np.asarray(action_levels, dtype=np.int64)
+        if action_rows.shape != action_levels.shape:
+            raise ConfigurationError("action_rows and action_levels must align")
+        if len(action_levels) and (
+            action_levels.min() < 0 or action_levels.max() >= num_levels
+        ):
+            raise ConfigurationError("assigned level outside [0, num_levels)")
+        feature_set = encoded.feature_set
+        # Group action rows by level once; every (feature, level) fit reuses it.
+        rows_by_level = [action_rows[action_levels == s] for s in range(num_levels)]
+
+        def fit_one(job: tuple[int, int]):
+            s, f = job
+            spec = feature_set.specs[f]
+            values = encoded.columns[f][rows_by_level[s]]
+            dist_cls = distribution_for_kind(spec.kind)
+            if spec.kind is FeatureKind.CATEGORICAL:
+                vocab = encoded.vocabularies[f]
+                assert vocab is not None
+                return dist_cls.fit(values, num_categories=len(vocab), smoothing=smoothing)
+            return dist_cls.fit(values)
+
+        jobs = [(s, f) for s in range(num_levels) for f in range(len(feature_set))]
+        if cell_fitter is None:
+            fitted = [fit_one(job) for job in jobs]
+        else:
+            fitted = cell_fitter(jobs, fit_one)
+        cells = tuple(
+            tuple(fitted[s * len(feature_set) + f] for f in range(len(feature_set)))
+            for s in range(num_levels)
+        )
+        return cls(feature_set=feature_set, num_levels=num_levels, cells=cells)
+
+    @classmethod
+    def fit_from_responsibilities(
+        cls,
+        encoded: EncodedItems,
+        action_rows: np.ndarray,
+        responsibilities: np.ndarray,
+        *,
+        smoothing: float = 0.01,
+    ) -> "SkillParameters":
+        """Soft-assignment (EM) update used only by the ablation benchmark.
+
+        ``responsibilities`` has shape ``(n_actions, num_levels)`` with rows
+        summing to one.
+        """
+        action_rows = np.asarray(action_rows, dtype=np.int64)
+        responsibilities = np.asarray(responsibilities, dtype=np.float64)
+        if responsibilities.ndim != 2 or responsibilities.shape[0] != len(action_rows):
+            raise ConfigurationError("responsibilities must be (n_actions, num_levels)")
+        num_levels = responsibilities.shape[1]
+        feature_set = encoded.feature_set
+        cells = []
+        for s in range(num_levels):
+            weights = responsibilities[:, s]
+            row = []
+            for f, spec in enumerate(feature_set):
+                values = encoded.columns[f][action_rows]
+                dist_cls = distribution_for_kind(spec.kind)
+                if spec.kind is FeatureKind.CATEGORICAL:
+                    vocab = encoded.vocabularies[f]
+                    assert vocab is not None
+                    row.append(
+                        dist_cls.fit(
+                            values,
+                            num_categories=len(vocab),
+                            smoothing=smoothing,
+                            weights=weights,
+                        )
+                    )
+                else:
+                    row.append(dist_cls.fit(values, weights=weights))
+            cells.append(tuple(row))
+        return cls(feature_set=feature_set, num_levels=num_levels, cells=tuple(cells))
+
+
+@dataclass(frozen=True)
+class TrainingTrace:
+    """Per-iteration diagnostics recorded by the trainer."""
+
+    log_likelihoods: tuple[float, ...]
+    converged: bool
+    num_iterations: int
+
+    @property
+    def final_log_likelihood(self) -> float:
+        if not self.log_likelihoods:
+            raise NotFittedError("training trace is empty")
+        return self.log_likelihoods[-1]
+
+
+@dataclass(frozen=True)
+class SkillModel:
+    """A fitted skill-improvement model.
+
+    Skill levels in the public API are **1-based** (``1..S``) to match the
+    paper; internal arrays are 0-based.
+    """
+
+    parameters: SkillParameters
+    encoded: EncodedItems
+    assignments: Mapping[Hashable, np.ndarray]  # user -> 1-based levels per action
+    trace: TrainingTrace
+    _assignment_times: Mapping[Hashable, np.ndarray] = field(repr=False, default=None)
+
+    @property
+    def num_levels(self) -> int:
+        return self.parameters.num_levels
+
+    @property
+    def feature_set(self) -> FeatureSet:
+        return self.parameters.feature_set
+
+    @property
+    def log_likelihood(self) -> float:
+        """Training log-likelihood at the final iteration (Equation 3)."""
+        return self.trace.final_log_likelihood
+
+    # ---------------------------------------------------------------- skills
+
+    def skill_trajectory(self, user: Hashable) -> np.ndarray:
+        """The 1-based skill level at each of ``user``'s training actions."""
+        try:
+            return self.assignments[user]
+        except KeyError:
+            raise DataError(f"user {user!r} was not in the training data") from None
+
+    def skill_at(self, user: Hashable, time: float) -> int:
+        """Skill level at an arbitrary time, inferred from the
+        chronologically closest training action (paper Section VI-B)."""
+        levels = self.skill_trajectory(user)
+        if self._assignment_times is None or user not in self._assignment_times:
+            raise NotFittedError("model was fitted without per-action times")
+        times = self._assignment_times[user]
+        nearest = int(np.argmin(np.abs(times - time)))
+        return int(levels[nearest])
+
+    def all_assigned_levels(self) -> np.ndarray:
+        """Every assigned level over all users/actions, concatenated."""
+        if not self.assignments:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([self.assignments[u] for u in self.assignments])
+
+    def empirical_skill_prior(self) -> np.ndarray:
+        """``P(s)`` estimated from the training assignments (Section V-B.2).
+
+        Returns an array of length ``S`` summing to one.
+        """
+        levels = self.all_assigned_levels()
+        if len(levels) == 0:
+            raise NotFittedError("no assignments recorded")
+        counts = np.bincount(levels - 1, minlength=self.num_levels).astype(np.float64)
+        return counts / counts.sum()
+
+    # ----------------------------------------------------------------- items
+
+    def item_score_table(self) -> np.ndarray:
+        """``log P(i | s)`` over the training catalog, shape ``(S, |I|)``."""
+        return self.parameters.item_score_table(self.encoded)
+
+    def score_items(self, encoded: EncodedItems | None = None) -> np.ndarray:
+        """``log P(i | s)`` for an arbitrary encoded catalog (e.g. unseen
+        items for the generation-based difficulty of new products)."""
+        return self.parameters.item_score_table(self.encoded if encoded is None else encoded)
+
+    def posterior_skill_given_item(
+        self,
+        prior: np.ndarray | None = None,
+        encoded: EncodedItems | None = None,
+    ) -> np.ndarray:
+        """``P(s | i)`` via Bayes' rule (Equation 10), shape ``(|I|, S)``.
+
+        ``prior=None`` means the uniform prior ``P(s) = 1/S``.
+        Computation is done in log space for numerical stability.
+        """
+        scores = self.score_items(encoded)  # (S, n_items), log-likelihoods
+        if prior is None:
+            log_prior = np.zeros(self.num_levels)
+        else:
+            prior = np.asarray(prior, dtype=np.float64)
+            if prior.shape != (self.num_levels,):
+                raise ConfigurationError(f"prior must have length {self.num_levels}")
+            if np.any(prior < 0) or not np.isclose(prior.sum(), 1.0, atol=1e-8):
+                raise ConfigurationError("prior must be a probability vector")
+            with np.errstate(divide="ignore"):
+                log_prior = np.log(prior)
+        log_joint = scores + log_prior[:, None]  # (S, n_items)
+        log_joint -= log_joint.max(axis=0, keepdims=True)
+        joint = np.exp(log_joint)
+        return (joint / joint.sum(axis=0, keepdims=True)).T
+
+    def item_probabilities(self, level: int) -> np.ndarray:
+        """``P(item id | s)`` from the ID feature's categorical cell.
+
+        Only available when the feature set includes the ID feature;
+        this backs the item-prediction task and the top-movies tables.
+        Returned in the order of ``self.encoded.vocabulary(ID_FEATURE)``.
+        """
+        dist = self.parameters.distribution(ID_FEATURE, level)
+        if not isinstance(dist, Categorical):
+            raise ConfigurationError("ID feature is not categorical")
+        return dist.probs
+
+    def top_items(self, level: int, k: int = 10) -> list[tuple[Hashable, float]]:
+        """The ``k`` most probable item ids at 1-based ``level`` with their
+        probabilities (paper Tables IV/V)."""
+        probs = self.item_probabilities(level)
+        vocab = self.encoded.vocabulary(ID_FEATURE)
+        order = np.argsort(-probs)[:k]
+        return [(vocab[idx], float(probs[idx])) for idx in order]
+
+    # ------------------------------------------------------------ inspection
+
+    def feature_level_means(self, feature_name: str) -> list[float]:
+        """Mean of ``feature_name``'s distribution at each level 1..S.
+
+        This is what Figures 4-6 report (e.g. mean corrections per
+        annotator, mean ABV) to show skill-dependent drift.
+        """
+        return [
+            self.parameters.distribution(feature_name, level).mean()
+            for level in range(1, self.num_levels + 1)
+        ]
+
+    def evaluate_log_likelihood(
+        self, log: ActionLog, level_lookup
+    ) -> float:
+        """Held-out log-likelihood of ``log`` under this model.
+
+        ``level_lookup(user, time)`` must return the 1-based level to score
+        each action at (for the S-selection procedure this is the level of
+        the nearest training action).  Items absent from the training
+        catalog raise :class:`~repro.exceptions.SchemaError`.
+        """
+        table = self.item_score_table()
+        total = 0.0
+        for seq in log:
+            for action in seq:
+                row = self.encoded.index_of.get(action.item)
+                if row is None:
+                    raise DataError(f"item {action.item!r} not in the model's catalog")
+                level = level_lookup(action.user, action.time)
+                _check_level(level, self.num_levels)
+                total += float(table[level - 1, row])
+        return total
+
+
+def _check_level(level: int, num_levels: int) -> None:
+    if not 1 <= level <= num_levels:
+        raise ConfigurationError(f"skill level {level} outside 1..{num_levels}")
+
+
+def concatenate_assignments(
+    users: Sequence[Hashable], assignments: Mapping[Hashable, np.ndarray]
+) -> np.ndarray:
+    """Concatenate per-user level arrays in the given user order."""
+    parts: Iterable[np.ndarray] = (assignments[user] for user in users)
+    arrays = [np.asarray(part, dtype=np.int64) for part in parts]
+    if not arrays:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(arrays)

@@ -1,0 +1,266 @@
+"""Parallel execution of the training steps (paper Section IV-C).
+
+The paper exploits three independence structures:
+
+1. **Users** — the assignment DP for one user's sequence never looks at
+   another user's, so sequences can be assigned in parallel.
+2. **Skill levels** — ``θ_f(s)`` and ``θ_f(s')`` are independent for
+   ``s ≠ s'``, so the update step parallelizes over levels.
+3. **Features** — unique to the multi-faceted model: cells for different
+   features are also independent, adding a second update-step axis.
+
+:class:`ParallelConfig` switches each axis on or off, mirroring the rows of
+Table XIII.  The assignment step uses a *process* pool (the DP inner loop
+is Python-level and GIL-bound); score tables are shipped to workers once
+per step via the pool initializer, not once per user.  The update step uses
+a *thread* pool (its work is NumPy reductions that release the GIL).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dp import PathResult, best_monotone_path
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ParallelConfig", "PoolAssigner", "assign_paths", "make_cell_fitter"]
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Which training axes run in parallel, and with how many workers.
+
+    The default is fully serial, matching the first row of Table XIII.
+    """
+
+    users: bool = False
+    skills: bool = False
+    features: bool = False
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+
+    @classmethod
+    def all_axes(cls, workers: int | None = None) -> "ParallelConfig":
+        """Every axis enabled (last row of Table XIII)."""
+        if workers is None:
+            workers = max(1, multiprocessing.cpu_count() or 2)
+        return cls(users=True, skills=True, features=True, workers=workers)
+
+    @property
+    def any_update_axis(self) -> bool:
+        return self.skills or self.features
+
+
+# --------------------------------------------------------------------------
+# Assignment step: per-user DP over a shared (S, |I|) score table.
+#
+# The training loop calls the assigner once per iteration with a fresh
+# score table, so the pool is created once per fit (PoolAssigner) and each
+# task ships (table, chunk-of-row-arrays) — the table changes between
+# iterations and must travel with the task.
+# --------------------------------------------------------------------------
+
+
+def _assign_chunk(
+    task: tuple[np.ndarray, list[np.ndarray], int, np.ndarray | None],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Worker body: DP every sequence in the chunk.
+
+    Results are marshalled as three flat arrays (concatenated levels,
+    per-user lengths, per-user log-likelihoods) — pickling two small
+    arrays per chunk is far cheaper than one object pair per user.
+    """
+    table, chunk, max_step, penalties = task
+    level_parts = []
+    lengths = np.empty(len(chunk), dtype=np.int64)
+    lls = np.empty(len(chunk), dtype=np.float64)
+    for pos, rows in enumerate(chunk):
+        result = best_monotone_path(
+            table[:, rows].T, max_step=max_step, step_log_penalties=penalties
+        )
+        level_parts.append(result.levels)
+        lengths[pos] = len(result.levels)
+        lls[pos] = result.log_likelihood
+    levels = np.concatenate(level_parts) if level_parts else np.empty(0, dtype=np.int64)
+    return levels, lengths, lls
+
+
+class PoolAssigner:
+    """A reusable process pool for the assignment step.
+
+    Creating a process pool costs tens of milliseconds; the trainer runs
+    the assignment step every iteration, so the pool is created lazily on
+    first use and reused until :meth:`close`.  Use as a context manager::
+
+        with PoolAssigner(config) as assigner:
+            for _ in range(iterations):
+                paths = assigner.assign(table, user_rows)
+    """
+
+    def __init__(
+        self,
+        config: ParallelConfig | None = None,
+        *,
+        max_step: int = 1,
+        step_log_penalties: np.ndarray | None = None,
+    ):
+        self.config = config
+        self.max_step = max_step
+        self.step_log_penalties = (
+            None
+            if step_log_penalties is None
+            else np.asarray(step_log_penalties, dtype=np.float64)
+        )
+        self._pool: ProcessPoolExecutor | None = None
+
+    def __enter__(self) -> "PoolAssigner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    @property
+    def parallel_enabled(self) -> bool:
+        config = self.config
+        return config is not None and config.users and config.workers > 1
+
+    def assign(
+        self, score_table: np.ndarray, user_rows: Sequence[np.ndarray]
+    ) -> list[PathResult]:
+        """Best monotone path per user; order matches ``user_rows``."""
+        if not self.parallel_enabled or len(user_rows) <= 1:
+            return [
+                best_monotone_path(
+                    score_table[:, rows].T,
+                    max_step=self.max_step,
+                    step_log_penalties=self.step_log_penalties,
+                )
+                for rows in user_rows
+            ]
+        assert self.config is not None
+        workers = min(self.config.workers, len(user_rows))
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+        index_buckets, row_buckets = _balanced_buckets(user_rows, num_buckets=workers * 2)
+        tasks = [
+            (score_table, chunk, self.max_step, self.step_log_penalties)
+            for chunk in row_buckets
+        ]
+        results: list[PathResult | None] = [None] * len(user_rows)
+        for indices, (levels, lengths, lls) in zip(
+            index_buckets, self._pool.map(_assign_chunk, tasks)
+        ):
+            offsets = np.concatenate([[0], np.cumsum(lengths)])
+            for pos, idx in enumerate(indices):
+                results[idx] = PathResult(
+                    levels=levels[offsets[pos] : offsets[pos + 1]],
+                    log_likelihood=float(lls[pos]),
+                )
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+
+def assign_paths(
+    score_table: np.ndarray,
+    user_rows: Sequence[np.ndarray],
+    config: ParallelConfig | None = None,
+) -> list[PathResult]:
+    """One-shot variant of :class:`PoolAssigner` (pool per call).
+
+    Parameters
+    ----------
+    score_table:
+        ``log P(i | s)`` of shape ``(num_levels, num_items)``.
+    user_rows:
+        For each user, the catalog row index of each action's item, in
+        chronological order.
+    config:
+        ``None`` or ``config.users == False`` runs serially.
+
+    Results are returned aligned with ``user_rows`` regardless of how work
+    was distributed across workers.
+    """
+    with PoolAssigner(config) as assigner:
+        return assigner.assign(score_table, user_rows)
+
+
+def _balanced_buckets(
+    user_rows: Sequence[np.ndarray], num_buckets: int
+) -> tuple[list[list[int]], list[list[np.ndarray]]]:
+    """Greedy longest-first packing of users into load-balanced buckets.
+
+    Sequence lengths are heavy-tailed (a few prolific users dominate), so
+    equal-count chunks would leave most workers idle.  Returns parallel
+    lists of original indices and row arrays so callers can restore input
+    order.
+    """
+    num_buckets = max(1, min(num_buckets, len(user_rows)))
+    order = sorted(range(len(user_rows)), key=lambda k: -len(user_rows[k]))
+    loads = [0] * num_buckets
+    index_buckets: list[list[int]] = [[] for _ in range(num_buckets)]
+    row_buckets: list[list[np.ndarray]] = [[] for _ in range(num_buckets)]
+    for k in order:
+        lightest = loads.index(min(loads))
+        index_buckets[lightest].append(k)
+        row_buckets[lightest].append(user_rows[k])
+        loads[lightest] += max(1, len(user_rows[k]))
+    return index_buckets, row_buckets
+
+
+# --------------------------------------------------------------------------
+# Update step: independent per-(level, feature) cell fits.
+# --------------------------------------------------------------------------
+
+
+def make_cell_fitter(config: ParallelConfig | None) -> Callable | None:
+    """Build the ``cell_fitter`` callback for
+    :meth:`~repro.core.model.SkillParameters.fit_from_assignments`.
+
+    Returns ``None`` (serial) unless at least one update axis is enabled.
+    Jobs are ``(level, feature)`` pairs; they are grouped so that the
+    enabled axes determine the unit of parallel work:
+
+    - skills only   → one task per level (a row of cells),
+    - features only → one task per feature (a column of cells),
+    - both          → one task per cell.
+    """
+    if config is None or not config.any_update_axis or config.workers == 1:
+        return None
+
+    def group_key(job: tuple[int, int]):
+        level, feature = job
+        if config.skills and config.features:
+            return job
+        if config.skills:
+            return level
+        return feature
+
+    def fitter(jobs: list[tuple[int, int]], fit_one: Callable) -> list:
+        groups: dict[object, list[int]] = {}
+        for pos, job in enumerate(jobs):
+            groups.setdefault(group_key(job), []).append(pos)
+
+        def run_group(positions: list[int]) -> list[tuple[int, object]]:
+            return [(pos, fit_one(jobs[pos])) for pos in positions]
+
+        results: list[object | None] = [None] * len(jobs)
+        with ThreadPoolExecutor(max_workers=config.workers) as pool:
+            for fitted in pool.map(run_group, groups.values()):
+                for pos, dist in fitted:
+                    results[pos] = dist
+        return results
+
+    return fitter

@@ -1,0 +1,177 @@
+"""Satisfaction-weighted training (paper Section VII).
+
+The paper's cooking analysis (Section VI-C) found novices selecting
+recipes *beyond* their ability, violating the within-capacity assumption:
+"A model that learns such actions as being typical for unskilled users
+would repeat the same mistake by recommending difficult items to them.
+This calls for estimating whether users are satisfied with their actions
+and incorporating user satisfaction into the skill model."
+
+This module implements that incorporation.  Each action receives a
+satisfaction weight in ``[0, 1]`` (from ratings, task success, or any
+caller-supplied signal); the parameter-update step then performs
+*weighted* maximum likelihood, so unsatisfying actions — e.g. a novice's
+failed attempt at an elaborate dish — contribute little to the
+distribution of their assigned level.  The assignment DP itself is
+unchanged: where a user sits in the lattice is still decided by everything
+they did, but what each level *looks like* is learned mostly from the
+actions that went well.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.features import FeatureSet
+from repro.core.model import SkillModel, SkillParameters, TrainingTrace
+from repro.core.parallel import ParallelConfig, PoolAssigner
+from repro.core.training import uniform_segment_levels
+from repro.data.actions import Action, ActionLog
+from repro.data.items import ItemCatalog
+from repro.exceptions import ConfigurationError, DataError
+
+__all__ = ["SatisfactionConfig", "rating_satisfaction", "fit_satisfaction_model"]
+
+
+def rating_satisfaction(max_rating: float = 5.0, floor: float = 0.05) -> Callable[[Action], float]:
+    """A satisfaction function reading the action's rating.
+
+    Maps ``rating / max_rating`` into ``[floor, 1]`` — the floor keeps
+    even disastrous actions faintly visible so levels with only failures
+    stay estimable.  Raises on unrated actions: silently defaulting would
+    hide a data problem.
+    """
+    if max_rating <= 0:
+        raise ConfigurationError("max_rating must be positive")
+    if not 0 <= floor < 1:
+        raise ConfigurationError("floor must be in [0, 1)")
+
+    def weight(action: Action) -> float:
+        if action.rating is None:
+            raise DataError(
+                f"action on {action.item!r} by {action.user!r} has no rating; "
+                "rating_satisfaction needs rated logs"
+            )
+        return floor + (1.0 - floor) * float(np.clip(action.rating / max_rating, 0.0, 1.0))
+
+    return weight
+
+
+@dataclass(frozen=True)
+class SatisfactionConfig:
+    """Hyper-parameters of the satisfaction-weighted trainer."""
+
+    num_levels: int
+    satisfaction: Callable[[Action], float] | None = None  # default: rating-based
+    smoothing: float = 0.01
+    init_min_actions: int = 50
+    max_iterations: int = 50
+    tol: float = 1e-6
+    parallel: ParallelConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_levels < 1:
+            raise ConfigurationError("num_levels must be >= 1")
+        if self.max_iterations < 1:
+            raise ConfigurationError("max_iterations must be >= 1")
+
+
+def _action_weights(
+    log: ActionLog, satisfaction: Callable[[Action], float]
+) -> Mapping:
+    weights = {}
+    for seq in log:
+        values = np.asarray([satisfaction(action) for action in seq], dtype=np.float64)
+        if np.any(values < 0) or np.any(values > 1):
+            raise ConfigurationError("satisfaction weights must lie in [0, 1]")
+        weights[seq.user] = values
+    return weights
+
+
+def fit_satisfaction_model(
+    log: ActionLog,
+    catalog: ItemCatalog,
+    feature_set: FeatureSet,
+    config: SatisfactionConfig,
+) -> SkillModel:
+    """Coordinate ascent with satisfaction-weighted parameter updates."""
+    if log.num_actions == 0:
+        raise DataError("cannot train on an empty action log")
+    satisfaction = config.satisfaction or rating_satisfaction()
+    per_user_weights = _action_weights(log, satisfaction)
+
+    encoded = feature_set.encode(catalog)
+    users = list(log.users)
+    user_rows = [encoded.rows_for(log.sequence(u).items) for u in users]
+    all_rows = np.concatenate(user_rows)
+    all_weights = np.concatenate([per_user_weights[u] for u in users])
+
+    # Initialization: weighted uniform segments of the long sequences.
+    init_responsibilities = []
+    init_rows = []
+    for user, rows in zip(users, user_rows):
+        if len(rows) < config.init_min_actions:
+            continue
+        levels = uniform_segment_levels(len(rows), config.num_levels)
+        resp = np.zeros((len(rows), config.num_levels))
+        resp[np.arange(len(rows)), levels] = per_user_weights[user]
+        init_responsibilities.append(resp)
+        init_rows.append(rows)
+    if not init_rows:
+        for user, rows in zip(users, user_rows):
+            levels = uniform_segment_levels(len(rows), config.num_levels)
+            resp = np.zeros((len(rows), config.num_levels))
+            resp[np.arange(len(rows)), levels] = per_user_weights[user]
+            init_responsibilities.append(resp)
+            init_rows.append(rows)
+    parameters = SkillParameters.fit_from_responsibilities(
+        encoded,
+        np.concatenate(init_rows),
+        np.concatenate(init_responsibilities),
+        smoothing=config.smoothing,
+    )
+
+    log_likelihoods: list[float] = []
+    converged = False
+    level_arrays: list[np.ndarray] = []
+    with PoolAssigner(config.parallel) as assigner:
+        for _ in range(config.max_iterations):
+            table = parameters.item_score_table(encoded)
+            paths = assigner.assign(table, user_rows)
+            total_ll = float(sum(p.log_likelihood for p in paths))
+            level_arrays = [p.levels for p in paths]
+            if log_likelihoods:
+                previous = log_likelihoods[-1]
+                log_likelihoods.append(total_ll)
+                if abs(total_ll - previous) <= config.tol * max(1.0, abs(previous)):
+                    converged = True
+                    break
+            else:
+                log_likelihoods.append(total_ll)
+            # Weighted update: responsibility = one-hot(level) × weight.
+            all_levels = np.concatenate(level_arrays)
+            responsibilities = np.zeros((len(all_rows), config.num_levels))
+            responsibilities[np.arange(len(all_rows)), all_levels] = all_weights
+            parameters = SkillParameters.fit_from_responsibilities(
+                encoded, all_rows, responsibilities, smoothing=config.smoothing
+            )
+
+    assignments = {
+        user: (levels + 1).astype(np.int64) for user, levels in zip(users, level_arrays)
+    }
+    times = {user: np.asarray(log.sequence(user).times, dtype=np.float64) for user in users}
+    trace = TrainingTrace(
+        log_likelihoods=tuple(log_likelihoods),
+        converged=converged,
+        num_iterations=len(log_likelihoods),
+    )
+    return SkillModel(
+        parameters=parameters,
+        encoded=encoded,
+        assignments=assignments,
+        trace=trace,
+        _assignment_times=times,
+    )

@@ -1,0 +1,96 @@
+"""Data-driven selection of the number of skill levels (paper Section VI-B).
+
+For domains with prior knowledge the paper fixes ``S`` (5 for Beer/Film
+after McAuley & Leskovec and Yang et al.).  Elsewhere it sweeps candidate
+values: hold out 10% of actions, train at each ``S``, score the held-out
+actions using the skill level of the *chronologically closest training
+action*, and keep the ``S`` with the highest held-out log-likelihood
+(Figure 3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.features import FeatureSet
+from repro.core.model import SkillModel
+from repro.core.training import Trainer, TrainerConfig
+from repro.data.actions import ActionLog
+from repro.data.items import ItemCatalog
+from repro.data.splits import HeldOutAction, holdout_fraction
+from repro.exceptions import ConfigurationError
+
+__all__ = ["SkillCountResult", "held_out_log_likelihood", "select_skill_count"]
+
+
+@dataclass(frozen=True)
+class SkillCountResult:
+    """Held-out log-likelihood per candidate ``S`` and the winner."""
+
+    candidates: tuple[int, ...]
+    log_likelihoods: tuple[float, ...]
+    best: int
+
+    def as_series(self) -> list[tuple[int, float]]:
+        """(S, held-out log-likelihood) pairs — the Figure 3 curve."""
+        return list(zip(self.candidates, self.log_likelihoods))
+
+
+def held_out_log_likelihood(
+    model: SkillModel, held: Sequence[HeldOutAction]
+) -> float:
+    """Score held-out actions at the nearest-training-action skill level.
+
+    Held-out items missing from the model's catalog are impossible here by
+    construction (the catalog covers the full domain); a missing *user*
+    means the caller split incorrectly and raises.
+    """
+    table = model.item_score_table()
+    total = 0.0
+    for held_action in held:
+        action = held_action.action
+        level = model.skill_at(action.user, action.time)
+        row = model.encoded.index_of[action.item]
+        total += float(table[level - 1, row])
+    return total
+
+
+def select_skill_count(
+    log: ActionLog,
+    catalog: ItemCatalog,
+    feature_set: FeatureSet,
+    candidates: Sequence[int],
+    *,
+    test_fraction: float = 0.1,
+    seed: int = 0,
+    **trainer_kwargs,
+) -> SkillCountResult:
+    """Sweep candidate skill counts and pick the held-out-likelihood winner.
+
+    ``trainer_kwargs`` (smoothing, init_min_actions, max_iterations, ...)
+    are forwarded to every candidate's :class:`TrainerConfig` so the sweep
+    compares like with like.
+    """
+    candidates = tuple(int(s) for s in candidates)
+    if not candidates:
+        raise ConfigurationError("need at least one candidate skill count")
+    if any(s < 1 for s in candidates):
+        raise ConfigurationError("candidate skill counts must be >= 1")
+    rng = np.random.default_rng(seed)
+    train_log, held = holdout_fraction(log, test_fraction, rng)
+
+    log_likelihoods = []
+    for num_levels in candidates:
+        config = TrainerConfig(num_levels=num_levels, **trainer_kwargs)
+        model = Trainer(config).fit(train_log, catalog, feature_set)
+        log_likelihoods.append(held_out_log_likelihood(model, held))
+
+    best = candidates[int(np.argmax(log_likelihoods))]
+    return SkillCountResult(
+        candidates=candidates,
+        log_likelihoods=tuple(log_likelihoods),
+        best=best,
+    )

@@ -1,0 +1,177 @@
+"""Persistence for fitted skill models.
+
+A fitted :class:`~repro.core.model.SkillModel` is an offline artifact the
+paper's envisioned recommender would train periodically and serve from; it
+needs to survive a process boundary.  :func:`save_model` writes two files:
+
+- ``<prefix>.json`` — structure: feature specs, level count, training
+  trace, item ids, vocabularies, and the user order;
+- ``<prefix>.npz`` — arrays: per-cell distribution parameters, encoded
+  feature columns, per-user assignments and action times.
+
+No pickling: everything is JSON or plain ``numpy`` arrays, so models load
+safely across library versions and from untrusted storage.  Identifiers
+must be JSON-representable (the same rule as :mod:`repro.data.io`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.distributions import Categorical, Gamma, LogNormal, Poisson
+from repro.core.features import EncodedItems, FeatureKind, FeatureSet, FeatureSpec
+from repro.core.model import SkillModel, SkillParameters, TrainingTrace
+from repro.exceptions import DataError
+
+__all__ = ["save_model", "load_model"]
+
+_FORMAT_VERSION = 1
+
+_DIST_TAGS = {Categorical: "categorical", Poisson: "poisson", Gamma: "gamma", LogNormal: "lognormal"}
+
+
+def _cell_payload(dist) -> tuple[str, np.ndarray]:
+    """(tag, parameter vector) for one distribution cell."""
+    if isinstance(dist, Categorical):
+        return "categorical", np.asarray(dist.probs, dtype=np.float64)
+    if isinstance(dist, Poisson):
+        return "poisson", np.asarray([dist.rate])
+    if isinstance(dist, Gamma):
+        return "gamma", np.asarray([dist.shape, dist.scale])
+    if isinstance(dist, LogNormal):
+        return "lognormal", np.asarray([dist.mu, dist.sigma])
+    raise DataError(f"cannot serialize distribution of type {type(dist).__name__}")
+
+
+def _cell_restore(tag: str, params: np.ndarray):
+    if tag == "categorical":
+        return Categorical(params)
+    if tag == "poisson":
+        return Poisson(rate=float(params[0]))
+    if tag == "gamma":
+        return Gamma(shape=float(params[0]), scale=float(params[1]))
+    if tag == "lognormal":
+        return LogNormal(mu=float(params[0]), sigma=float(params[1]))
+    raise DataError(f"unknown distribution tag {tag!r} in model file")
+
+
+def save_model(model: SkillModel, path_prefix: str | Path) -> tuple[Path, Path]:
+    """Write ``<prefix>.json`` and ``<prefix>.npz``; returns both paths."""
+    prefix = Path(path_prefix)
+    feature_set = model.feature_set
+    users = list(model.assignments)
+
+    structure = {
+        "format_version": _FORMAT_VERSION,
+        "num_levels": model.num_levels,
+        "features": [
+            {"name": spec.name, "kind": spec.kind.value} for spec in feature_set.specs
+        ],
+        "cells": [
+            [_DIST_TAGS[type(model.parameters.cells[s][f])] for f in range(len(feature_set))]
+            for s in range(model.num_levels)
+        ],
+        "item_ids": list(model.encoded.item_ids),
+        "vocabularies": [
+            list(vocab) if vocab is not None else None
+            for vocab in model.encoded.vocabularies
+        ],
+        "users": users,
+        "trace": {
+            "log_likelihoods": list(model.trace.log_likelihoods),
+            "converged": model.trace.converged,
+            "num_iterations": model.trace.num_iterations,
+        },
+    }
+    arrays: dict[str, np.ndarray] = {}
+    for s in range(model.num_levels):
+        for f in range(len(feature_set)):
+            _tag, params = _cell_payload(model.parameters.cells[s][f])
+            arrays[f"cell_{s}_{f}"] = params
+    for f, column in enumerate(model.encoded.columns):
+        arrays[f"column_{f}"] = column
+    for k, user in enumerate(users):
+        arrays[f"assign_{k}"] = np.asarray(model.assignments[user], dtype=np.int64)
+        arrays[f"times_{k}"] = np.asarray(model._assignment_times[user], dtype=np.float64)
+
+    json_path = prefix.with_suffix(".json")
+    npz_path = prefix.with_suffix(".npz")
+    try:
+        json_path.write_text(json.dumps(structure, ensure_ascii=False), encoding="utf-8")
+    except TypeError as exc:
+        raise DataError(f"model contains non-JSON identifiers: {exc}") from exc
+    with npz_path.open("wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    return json_path, npz_path
+
+
+def load_model(path_prefix: str | Path) -> SkillModel:
+    """Reconstruct a model written by :func:`save_model`."""
+    prefix = Path(path_prefix)
+    json_path = prefix.with_suffix(".json")
+    npz_path = prefix.with_suffix(".npz")
+    if not json_path.exists() or not npz_path.exists():
+        raise DataError(f"missing model files {json_path} / {npz_path}")
+    try:
+        structure = json.loads(json_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise DataError(f"{json_path}: malformed model file ({exc})") from exc
+    if structure.get("format_version") != _FORMAT_VERSION:
+        raise DataError(
+            f"unsupported model format version {structure.get('format_version')!r}"
+        )
+    arrays = np.load(npz_path)
+
+    feature_set = FeatureSet(
+        FeatureSpec(entry["name"], FeatureKind(entry["kind"]))
+        for entry in structure["features"]
+    )
+    num_levels = int(structure["num_levels"])
+    try:
+        cells = tuple(
+            tuple(
+                _cell_restore(structure["cells"][s][f], arrays[f"cell_{s}_{f}"])
+                for f in range(len(feature_set))
+            )
+            for s in range(num_levels)
+        )
+        columns = tuple(arrays[f"column_{f}"] for f in range(len(feature_set)))
+    except KeyError as exc:
+        raise DataError(f"model file is missing array {exc.args[0]!r}") from None
+    parameters = SkillParameters(
+        feature_set=feature_set, num_levels=num_levels, cells=cells
+    )
+
+    # JSON round-trips tuples as lists and keeps ids JSON-typed, matching
+    # what repro.data.io enforces for persisted data.
+    item_ids = tuple(structure["item_ids"])
+    vocabularies = tuple(
+        tuple(vocab) if vocab is not None else None
+        for vocab in structure["vocabularies"]
+    )
+    encoded = EncodedItems(
+        feature_set=feature_set,
+        item_ids=item_ids,
+        index_of={item_id: pos for pos, item_id in enumerate(item_ids)},
+        columns=columns,
+        vocabularies=vocabularies,
+    )
+
+    users = structure["users"]
+    assignments = {user: arrays[f"assign_{k}"] for k, user in enumerate(users)}
+    times = {user: arrays[f"times_{k}"] for k, user in enumerate(users)}
+    trace = TrainingTrace(
+        log_likelihoods=tuple(structure["trace"]["log_likelihoods"]),
+        converged=bool(structure["trace"]["converged"]),
+        num_iterations=int(structure["trace"]["num_iterations"]),
+    )
+    return SkillModel(
+        parameters=parameters,
+        encoded=encoded,
+        assignments=assignments,
+        trace=trace,
+        _assignment_times=times,
+    )

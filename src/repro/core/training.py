@@ -1,0 +1,237 @@
+"""Hard-assignment coordinate-ascent training (paper Section IV-B).
+
+The trainer alternates two steps until the log-likelihood (Equation 3)
+stops improving:
+
+1. **Assignment** — with parameters fixed, find every user's best monotone
+   skill path by dynamic programming (:mod:`repro.core.dp`).
+2. **Update** — with assignments fixed, re-estimate each ``θ_f(s)`` by
+   (smoothed) maximum likelihood (Equations 5-7).
+
+Initialization follows the paper: take the users with at least ``N``
+actions (``U_{≥N}``), split each of their sequences into ``S`` equal-time
+groups, label the ``s``-th group with level ``s``, and fit the first
+parameter set from those labels.  If no user is that long, all users are
+used — a small-data fallback the paper's filtered datasets never need.
+
+This hard-assignment scheme is Yang et al.'s: it was reported to run about
+1000× faster than EM with comparable fit quality; the EM comparison lives
+in ``benchmarks/test_ablation_hard_vs_soft.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.features import FeatureSet
+from repro.core.model import SkillModel, SkillParameters, TrainingTrace
+from repro.core.parallel import ParallelConfig, PoolAssigner, make_cell_fitter
+from repro.data.actions import ActionLog
+from repro.data.items import ItemCatalog
+from repro.exceptions import ConfigurationError, ConvergenceError, DataError
+
+__all__ = ["TrainerConfig", "Trainer", "uniform_segment_levels", "fit_skill_model"]
+
+
+def uniform_segment_levels(num_actions: int, num_levels: int) -> np.ndarray:
+    """Split ``num_actions`` positions into ``num_levels`` equal groups.
+
+    Returns 0-based level per position.  This is both the initialization
+    labeling (Section IV-B) and the whole of the Uniform baseline
+    (Section VI-D).  When the sequence is shorter than ``num_levels`` the
+    trailing levels simply receive no actions.
+    """
+    if num_levels <= 0:
+        raise ConfigurationError("num_levels must be positive")
+    if num_actions < 0:
+        raise ConfigurationError("num_actions must be non-negative")
+    levels = np.empty(num_actions, dtype=np.int64)
+    offset = 0
+    for s, group in enumerate(np.array_split(np.arange(num_actions), num_levels)):
+        levels[offset : offset + len(group)] = s
+        offset += len(group)
+    return levels
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Hyper-parameters of the training loop.
+
+    ``init_min_actions`` is the paper's ``N``: only users with at least
+    this many actions inform the initial parameter fit (``U_{≥N}``,
+    Section IV-B; both the paper and Shin et al. use 50).  ``tol`` is the
+    relative log-likelihood improvement below which we declare convergence.
+    ``strict`` raises :class:`~repro.exceptions.ConvergenceError` if the
+    objective ever *decreases* materially — with additive smoothing and the
+    numerical gamma fit, hair-width decreases are legal, so the check uses
+    a generous margin.
+    """
+
+    num_levels: int
+    smoothing: float = 0.01
+    init_min_actions: int = 50
+    max_iterations: int = 100
+    tol: float = 1e-6
+    strict: bool = False
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
+    #: Largest level jump per transition (1 = the paper's base model).
+    max_step: int = 1
+    #: Optional log-weights per step size 0..max_step (skip-level
+    #: progressions à la Shin et al.); ``None`` = unweighted.
+    step_log_penalties: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_levels < 1:
+            raise ConfigurationError("num_levels must be >= 1")
+        if self.smoothing < 0:
+            raise ConfigurationError("smoothing must be >= 0")
+        if self.init_min_actions < 1:
+            raise ConfigurationError("init_min_actions must be >= 1")
+        if self.max_iterations < 1:
+            raise ConfigurationError("max_iterations must be >= 1")
+        if self.tol < 0:
+            raise ConfigurationError("tol must be >= 0")
+        if self.max_step < 1:
+            raise ConfigurationError("max_step must be >= 1")
+        if self.step_log_penalties is not None:
+            penalties = tuple(float(p) for p in self.step_log_penalties)
+            if len(penalties) != self.max_step + 1:
+                raise ConfigurationError(
+                    "step_log_penalties needs one entry per step size 0..max_step"
+                )
+            object.__setattr__(self, "step_log_penalties", penalties)
+
+
+class Trainer:
+    """Fits a :class:`~repro.core.model.SkillModel` to an action log."""
+
+    def __init__(self, config: TrainerConfig):
+        self.config = config
+
+    def fit(
+        self,
+        log: ActionLog,
+        catalog: ItemCatalog,
+        feature_set: FeatureSet,
+    ) -> SkillModel:
+        """Run initialization + alternation to convergence.
+
+        Raises :class:`~repro.exceptions.DataError` on an empty log or on
+        actions referencing items missing from ``catalog``.
+        """
+        if log.num_actions == 0:
+            raise DataError("cannot train on an empty action log")
+        cfg = self.config
+        encoded = feature_set.encode(catalog)
+        users = list(log.users)
+        user_rows = [encoded.rows_for(log.sequence(u).items) for u in users]
+        user_times = [np.asarray(log.sequence(u).times, dtype=np.float64) for u in users]
+
+        parameters = self._initialize(encoded, users, user_rows, log)
+        cell_fitter = make_cell_fitter(cfg.parallel)
+
+        log_likelihoods: list[float] = []
+        converged = False
+        level_arrays: list[np.ndarray] = []
+        with PoolAssigner(
+            cfg.parallel,
+            max_step=cfg.max_step,
+            step_log_penalties=cfg.step_log_penalties,
+        ) as assigner:
+            for _ in range(cfg.max_iterations):
+                table = parameters.item_score_table(encoded)
+                paths = assigner.assign(table, user_rows)
+                total_ll = float(sum(p.log_likelihood for p in paths))
+                level_arrays = [p.levels for p in paths]
+
+                if log_likelihoods:
+                    previous = log_likelihoods[-1]
+                    improvement = total_ll - previous
+                    if cfg.strict and improvement < -1e-3 * max(1.0, abs(previous)):
+                        raise ConvergenceError(
+                            f"objective decreased from {previous:.6f} to {total_ll:.6f}"
+                        )
+                    log_likelihoods.append(total_ll)
+                    if abs(improvement) <= cfg.tol * max(1.0, abs(previous)):
+                        converged = True
+                        break
+                else:
+                    log_likelihoods.append(total_ll)
+
+                action_rows = np.concatenate(user_rows) if user_rows else np.empty(0, np.int64)
+                action_levels = (
+                    np.concatenate(level_arrays) if level_arrays else np.empty(0, np.int64)
+                )
+                parameters = SkillParameters.fit_from_assignments(
+                    encoded,
+                    action_rows,
+                    action_levels,
+                    num_levels=cfg.num_levels,
+                    smoothing=cfg.smoothing,
+                    cell_fitter=cell_fitter,
+                )
+
+        assignments = {
+            user: (levels + 1).astype(np.int64)  # expose 1-based levels
+            for user, levels in zip(users, level_arrays)
+        }
+        times = {user: t for user, t in zip(users, user_times)}
+        trace = TrainingTrace(
+            log_likelihoods=tuple(log_likelihoods),
+            converged=converged,
+            num_iterations=len(log_likelihoods),
+        )
+        return SkillModel(
+            parameters=parameters,
+            encoded=encoded,
+            assignments=assignments,
+            trace=trace,
+            _assignment_times=times,
+        )
+
+    def _initialize(
+        self,
+        encoded,
+        users: list,
+        user_rows: list[np.ndarray],
+        log: ActionLog,
+    ) -> SkillParameters:
+        """Fit the first parameter set from uniform-segment labels of the
+        long sequences (``U_{≥N}``)."""
+        cfg = self.config
+        init_rows: list[np.ndarray] = []
+        init_levels: list[np.ndarray] = []
+        for user, rows in zip(users, user_rows):
+            if len(rows) >= cfg.init_min_actions:
+                init_rows.append(rows)
+                init_levels.append(uniform_segment_levels(len(rows), cfg.num_levels))
+        if not init_rows:
+            # Small-data fallback: no user reaches N actions, use everyone.
+            for rows in user_rows:
+                init_rows.append(rows)
+                init_levels.append(uniform_segment_levels(len(rows), cfg.num_levels))
+        return SkillParameters.fit_from_assignments(
+            encoded,
+            np.concatenate(init_rows),
+            np.concatenate(init_levels),
+            num_levels=cfg.num_levels,
+            smoothing=cfg.smoothing,
+            cell_fitter=make_cell_fitter(cfg.parallel),
+        )
+
+
+def fit_skill_model(
+    log: ActionLog,
+    catalog: ItemCatalog,
+    feature_set: FeatureSet,
+    num_levels: int,
+    **config_kwargs,
+) -> SkillModel:
+    """One-call convenience wrapper around :class:`Trainer`.
+
+    ``config_kwargs`` are forwarded to :class:`TrainerConfig`.
+    """
+    config = TrainerConfig(num_levels=num_levels, **config_kwargs)
+    return Trainer(config).fit(log, catalog, feature_set)

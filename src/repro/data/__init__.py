@@ -1,0 +1,38 @@
+"""Dataset layer: action sequences, item catalogs, filtering, splits, IO."""
+
+from repro.data.actions import Action, ActionLog, ActionSequence
+from repro.data.items import Item, ItemCatalog
+from repro.data.filtering import FilterStats, filter_log
+from repro.data.splits import (
+    HeldOutAction,
+    holdout_fraction,
+    holdout_last_position,
+    holdout_random_position,
+)
+from repro.data.io import load_catalog, load_log, save_catalog, save_log
+from repro.data.stats import LogStatistics, describe_log, popularity_gini
+from repro.data.validation import ValidationIssue, ValidationReport, validate_inputs
+
+__all__ = [
+    "Action",
+    "ActionLog",
+    "ActionSequence",
+    "Item",
+    "ItemCatalog",
+    "FilterStats",
+    "filter_log",
+    "HeldOutAction",
+    "holdout_fraction",
+    "holdout_last_position",
+    "holdout_random_position",
+    "load_catalog",
+    "load_log",
+    "save_catalog",
+    "save_log",
+    "LogStatistics",
+    "describe_log",
+    "popularity_gini",
+    "ValidationIssue",
+    "ValidationReport",
+    "validate_inputs",
+]

@@ -1,0 +1,225 @@
+"""Action-sequence dataset structures.
+
+The paper's input is a set of *action sequences*: each user ``u`` has a
+chronologically ordered list of actions, and each action is a triple
+``(t, u, i)`` of time, user, and selected item (Section III).  This module
+provides the three corresponding containers:
+
+- :class:`Action` — one ``(t, u, i)`` triple, optionally carrying a rating
+  (used only by the rating-prediction task, never by the skill model).
+- :class:`ActionSequence` — one user's actions, sorted by time.
+- :class:`ActionLog` — the full dataset ``A = ∪_u A_u``.
+
+These types are deliberately independent of the model's feature schema:
+they store opaque, hashable user and item identifiers.  Encoding items into
+model-ready arrays happens in :mod:`repro.core.features`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from dataclasses import dataclass, field
+
+from repro.exceptions import DataError
+
+__all__ = ["Action", "ActionSequence", "ActionLog"]
+
+UserId = Hashable
+ItemId = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Action:
+    """One user action: user ``user`` selected item ``item`` at time ``time``.
+
+    ``rating`` is an optional user-provided score attached to the action
+    (e.g. a beer review score).  The skill model ignores it; the
+    rating-prediction task (paper Table XII) consumes it.
+    """
+
+    time: float
+    user: UserId
+    item: ItemId
+    rating: float | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.time, (int, float)):
+            raise DataError(f"action time must be numeric, got {type(self.time).__name__}")
+
+
+@dataclass(frozen=True)
+class ActionSequence:
+    """One user's chronologically sorted actions.
+
+    Construction validates that every action belongs to ``user`` and that
+    times are non-decreasing; pass ``presorted=False`` (the default) to have
+    the constructor sort for you.
+    """
+
+    user: UserId
+    actions: tuple[Action, ...]
+
+    def __init__(self, user: UserId, actions: Iterable[Action], *, presorted: bool = False):
+        acts = tuple(actions) if presorted else tuple(sorted(actions, key=lambda a: a.time))
+        for action in acts:
+            if action.user != user:
+                raise DataError(
+                    f"action for user {action.user!r} placed in sequence of user {user!r}"
+                )
+        if presorted:
+            for prev, cur in itertools.pairwise(acts):
+                if cur.time < prev.time:
+                    raise DataError(f"sequence of user {user!r} is not sorted by time")
+        object.__setattr__(self, "user", user)
+        object.__setattr__(self, "actions", acts)
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def __iter__(self) -> Iterator[Action]:
+        return iter(self.actions)
+
+    def __getitem__(self, index: int) -> Action:
+        return self.actions[index]
+
+    @property
+    def items(self) -> tuple[ItemId, ...]:
+        """Item ids in chronological order (with repetitions)."""
+        return tuple(a.item for a in self.actions)
+
+    @property
+    def unique_items(self) -> frozenset[ItemId]:
+        """Distinct items this user has ever selected."""
+        return frozenset(a.item for a in self.actions)
+
+    @property
+    def times(self) -> tuple[float, ...]:
+        return tuple(a.time for a in self.actions)
+
+    def without_index(self, index: int) -> "ActionSequence":
+        """A copy of the sequence with the action at ``index`` removed.
+
+        Used by the item-prediction harness to hold one action out.
+        """
+        if not -len(self.actions) <= index < len(self.actions):
+            raise DataError(f"hold-out index {index} out of range for length {len(self.actions)}")
+        index %= len(self.actions)
+        remaining = self.actions[:index] + self.actions[index + 1 :]
+        return ActionSequence(self.user, remaining, presorted=True)
+
+
+@dataclass(frozen=True)
+class ActionLog:
+    """The full dataset: one :class:`ActionSequence` per user.
+
+    Iterating an :class:`ActionLog` yields the sequences; ``len`` is the
+    total number of *actions* (``|A|`` in the paper), matching the row
+    counts reported in Table I.
+    """
+
+    sequences: tuple[ActionSequence, ...]
+    _by_user: Mapping[UserId, ActionSequence] = field(repr=False, compare=False)
+
+    def __init__(self, sequences: Iterable[ActionSequence]):
+        seqs = tuple(sequences)
+        by_user: dict[UserId, ActionSequence] = {}
+        for seq in seqs:
+            if seq.user in by_user:
+                raise DataError(f"duplicate sequence for user {seq.user!r}")
+            by_user[seq.user] = seq
+        object.__setattr__(self, "sequences", seqs)
+        object.__setattr__(self, "_by_user", by_user)
+
+    @classmethod
+    def from_actions(cls, actions: Iterable[Action]) -> "ActionLog":
+        """Group a flat iterable of actions into per-user sorted sequences."""
+        by_user: dict[UserId, list[Action]] = {}
+        for action in actions:
+            by_user.setdefault(action.user, []).append(action)
+        return cls(ActionSequence(user, acts) for user, acts in by_user.items())
+
+    def __len__(self) -> int:
+        return sum(len(seq) for seq in self.sequences)
+
+    def __iter__(self) -> Iterator[ActionSequence]:
+        return iter(self.sequences)
+
+    def __contains__(self, user: UserId) -> bool:
+        return user in self._by_user
+
+    @property
+    def num_users(self) -> int:
+        return len(self.sequences)
+
+    @property
+    def num_actions(self) -> int:
+        return len(self)
+
+    @property
+    def users(self) -> tuple[UserId, ...]:
+        return tuple(seq.user for seq in self.sequences)
+
+    @property
+    def selected_items(self) -> frozenset[ItemId]:
+        """All items that occur in at least one action."""
+        return frozenset(
+            item for seq in self.sequences for item in seq.unique_items
+        )
+
+    def sequence(self, user: UserId) -> ActionSequence:
+        """The sequence of ``user``; raises :class:`DataError` if absent."""
+        try:
+            return self._by_user[user]
+        except KeyError:
+            raise DataError(f"no sequence for user {user!r}") from None
+
+    def actions(self) -> Iterator[Action]:
+        """All actions, grouped by user, chronological within each user."""
+        for seq in self.sequences:
+            yield from seq
+
+    def item_counts(self) -> dict[ItemId, int]:
+        """Number of actions selecting each item."""
+        counts: dict[ItemId, int] = {}
+        for seq in self.sequences:
+            for item in seq.items:
+                counts[item] = counts.get(item, 0) + 1
+        return counts
+
+    def item_user_counts(self) -> dict[ItemId, int]:
+        """Number of *distinct users* that selected each item.
+
+        This is the quantity the paper's filtering thresholds on ("items
+        selected by less than 50 unique users", Section VI-B).
+        """
+        counts: dict[ItemId, int] = {}
+        for seq in self.sequences:
+            for item in seq.unique_items:
+                counts[item] = counts.get(item, 0) + 1
+        return counts
+
+    def restrict_users(self, keep: Iterable[UserId]) -> "ActionLog":
+        """A new log containing only the sequences of ``keep`` users."""
+        keep_set = set(keep)
+        return ActionLog(seq for seq in self.sequences if seq.user in keep_set)
+
+    def restrict_items(self, keep: Iterable[ItemId]) -> "ActionLog":
+        """A new log with actions on items outside ``keep`` removed.
+
+        Users whose sequences become empty are dropped entirely.
+        """
+        keep_set = set(keep)
+        pruned = []
+        for seq in self.sequences:
+            acts = tuple(a for a in seq if a.item in keep_set)
+            if acts:
+                pruned.append(ActionSequence(seq.user, acts, presorted=True))
+        return ActionLog(pruned)
+
+    def earliest_time(self) -> float:
+        """``min_{(t,u,i) ∈ A} t`` — used by the lastness preprocessing."""
+        times = [seq.actions[0].time for seq in self.sequences if len(seq)]
+        if not times:
+            raise DataError("cannot take earliest time of an empty log")
+        return min(times)

@@ -1,0 +1,119 @@
+"""Serialization of action logs and item catalogs.
+
+JSON Lines is the interchange format: one JSON object per line, so logs
+stream without loading everything twice and diffs stay line-oriented.
+
+- Action records: ``{"time": ..., "user": ..., "item": ..., "rating": ...}``
+  (``rating`` omitted when absent).
+- Item records: ``{"id": ..., "features": {...}, "metadata": {...}}``.
+
+Identifiers survive a round-trip as written for JSON-representable types
+(strings, ints, floats, bools); exotic hashables are rejected at save time
+rather than silently stringified.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.data.actions import Action, ActionLog
+from repro.data.items import Item, ItemCatalog
+from repro.exceptions import DataError
+
+__all__ = ["save_log", "load_log", "save_catalog", "load_catalog"]
+
+_JSON_ID_TYPES = (str, int, float, bool)
+
+
+def _check_id(value, what: str):
+    if not isinstance(value, _JSON_ID_TYPES):
+        raise DataError(
+            f"{what} {value!r} of type {type(value).__name__} is not JSON-serializable; "
+            "use str/int/float/bool identifiers for persisted data"
+        )
+    return value
+
+
+def save_log(log: ActionLog, path: str | Path) -> None:
+    """Write an action log as JSONL, one action per line, grouped by user."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for seq in log:
+            for action in seq:
+                record = {
+                    "time": action.time,
+                    "user": _check_id(action.user, "user id"),
+                    "item": _check_id(action.item, "item id"),
+                }
+                if action.rating is not None:
+                    record["rating"] = action.rating
+                handle.write(json.dumps(record, ensure_ascii=False) + "\n")
+
+
+def load_log(path: str | Path) -> ActionLog:
+    """Read an action log written by :func:`save_log`."""
+    path = Path(path)
+    actions = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                actions.append(
+                    Action(
+                        time=record["time"],
+                        user=record["user"],
+                        item=record["item"],
+                        rating=record.get("rating"),
+                    )
+                )
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                raise DataError(f"{path}:{line_number}: malformed action record ({exc})") from exc
+    return ActionLog.from_actions(actions)
+
+
+def save_catalog(catalog: ItemCatalog, path: str | Path) -> None:
+    """Write an item catalog as JSONL, one item per line."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for item in catalog:
+            record = {
+                "id": _check_id(item.id, "item id"),
+                "features": dict(item.features),
+                "metadata": dict(item.metadata),
+            }
+            try:
+                handle.write(json.dumps(record, ensure_ascii=False) + "\n")
+            except TypeError as exc:
+                raise DataError(f"item {item.id!r} has non-JSON feature values: {exc}") from exc
+
+
+def load_catalog(path: str | Path) -> ItemCatalog:
+    """Read an item catalog written by :func:`save_catalog`.
+
+    JSON turns feature tuples into lists; categorical values used as dict
+    keys elsewhere must therefore be scalars, which
+    :class:`~repro.core.features.FeatureSet` enforces at encode time.
+    """
+    path = Path(path)
+    items = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                items.append(
+                    Item(
+                        id=record["id"],
+                        features=record["features"],
+                        metadata=record.get("metadata", {}),
+                    )
+                )
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                raise DataError(f"{path}:{line_number}: malformed item record ({exc})") from exc
+    return ItemCatalog(items)

@@ -1,0 +1,115 @@
+"""Item catalog: multi-faceted feature storage for items.
+
+The paper represents every item as a tuple of ``F`` features
+``i = (i_1, ..., i_F)`` (Section III).  :class:`ItemCatalog` stores those
+tuples keyed by item id, along with optional per-item metadata that the
+model never sees (display names, ground-truth difficulty in synthetic data,
+release years for the film lastness analysis).
+
+The catalog is schema-light on purpose: it records feature *names* and raw
+values only.  What distribution each feature follows — and therefore how it
+is validated and encoded — is declared separately in
+:class:`repro.core.features.FeatureSet`, keeping the data layer independent
+of the modeling layer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import DataError
+
+__all__ = ["Item", "ItemCatalog"]
+
+ItemId = Hashable
+
+
+@dataclass(frozen=True)
+class Item:
+    """One item: an id, its feature values by name, and free-form metadata."""
+
+    id: ItemId
+    features: Mapping[str, Any]
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "features", dict(self.features))
+        object.__setattr__(self, "metadata", dict(self.metadata))
+
+    def feature(self, name: str) -> Any:
+        try:
+            return self.features[name]
+        except KeyError:
+            raise DataError(f"item {self.id!r} has no feature {name!r}") from None
+
+
+class ItemCatalog:
+    """All items of a domain, with uniform feature names.
+
+    Every item in a catalog must carry exactly the same set of feature
+    names; this mirrors the paper's fixed-width feature tuple and lets the
+    encoder build dense arrays without missing-value handling.
+    """
+
+    def __init__(self, items: Iterable[Item]):
+        self._items: dict[ItemId, Item] = {}
+        self._feature_names: tuple[str, ...] | None = None
+        for item in items:
+            if item.id in self._items:
+                raise DataError(f"duplicate item id {item.id!r}")
+            names = tuple(sorted(item.features))
+            if self._feature_names is None:
+                self._feature_names = names
+            elif names != self._feature_names:
+                raise DataError(
+                    f"item {item.id!r} has features {names}, "
+                    f"expected {self._feature_names}"
+                )
+            self._items[item.id] = item
+        if self._feature_names is None:
+            self._feature_names = ()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self._items.values())
+
+    def __contains__(self, item_id: ItemId) -> bool:
+        return item_id in self._items
+
+    def __getitem__(self, item_id: ItemId) -> Item:
+        try:
+            return self._items[item_id]
+        except KeyError:
+            raise DataError(f"unknown item id {item_id!r}") from None
+
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        """Feature names shared by every item, sorted alphabetically."""
+        assert self._feature_names is not None
+        return self._feature_names
+
+    @property
+    def ids(self) -> tuple[ItemId, ...]:
+        return tuple(self._items)
+
+    def get(self, item_id: ItemId, default: Item | None = None) -> Item | None:
+        return self._items.get(item_id, default)
+
+    def feature_values(self, name: str) -> list[Any]:
+        """The value of feature ``name`` for every item, in catalog order."""
+        if name not in self.feature_names:
+            raise DataError(f"catalog has no feature {name!r}")
+        return [item.features[name] for item in self]
+
+    def restrict(self, keep: Iterable[ItemId]) -> "ItemCatalog":
+        """A new catalog containing only the items in ``keep``."""
+        keep_set = set(keep)
+        return ItemCatalog(item for item in self if item.id in keep_set)
+
+    def subset_where(self, predicate) -> "ItemCatalog":
+        """A new catalog of the items for which ``predicate(item)`` is true."""
+        return ItemCatalog(item for item in self if predicate(item))

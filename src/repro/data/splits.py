@@ -1,0 +1,99 @@
+"""Train/test splits of action logs.
+
+Three split shapes back the paper's quantitative experiments:
+
+- :func:`holdout_fraction` — hold out a random fraction of *actions*
+  (Section VI-B, the 90/10 split used to select the skill count ``S``).
+- :func:`holdout_random_position` — one action at a random position per
+  user (Table X, "missing data recovery").
+- :func:`holdout_last_position` — each user's final action (Table XI,
+  "forecast the future").
+
+All splits leave the training side chronologically sorted and never
+produce empty training sequences: a user must keep at least one training
+action to appear in the test set, since every evaluation protocol infers
+the test-time skill level from the nearest *training* action.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.actions import Action, ActionLog, ActionSequence
+from repro.exceptions import ConfigurationError
+
+__all__ = ["HeldOutAction", "holdout_fraction", "holdout_random_position", "holdout_last_position"]
+
+
+@dataclass(frozen=True)
+class HeldOutAction:
+    """One held-out test action plus where it sat in its user's sequence."""
+
+    action: Action
+    position: int
+    sequence_length: int
+
+
+def holdout_fraction(
+    log: ActionLog, fraction: float, rng: np.random.Generator
+) -> tuple[ActionLog, list[HeldOutAction]]:
+    """Hold out ``fraction`` of each user's actions uniformly at random.
+
+    Per-user sampling (rather than global) guarantees every tested user
+    retains training actions.  Users with a single action contribute no
+    test actions.
+    """
+    if not 0 < fraction < 1:
+        raise ConfigurationError(f"fraction must be in (0, 1), got {fraction}")
+    train_sequences = []
+    held: list[HeldOutAction] = []
+    for seq in log:
+        n = len(seq)
+        if n <= 1:
+            train_sequences.append(seq)
+            continue
+        num_test = min(n - 1, max(1, round(n * fraction))) if n * fraction >= 0.5 else 0
+        if num_test == 0:
+            train_sequences.append(seq)
+            continue
+        test_positions = set(rng.choice(n, size=num_test, replace=False).tolist())
+        train_actions = tuple(
+            action for pos, action in enumerate(seq) if pos not in test_positions
+        )
+        train_sequences.append(ActionSequence(seq.user, train_actions, presorted=True))
+        held.extend(
+            HeldOutAction(action=seq[pos], position=pos, sequence_length=n)
+            for pos in sorted(test_positions)
+        )
+    return ActionLog(train_sequences), held
+
+
+def holdout_random_position(
+    log: ActionLog, rng: np.random.Generator
+) -> tuple[ActionLog, list[HeldOutAction]]:
+    """Hold out one action at a uniformly random position per user.
+
+    Users with fewer than two actions are passed through untested.
+    """
+    return _holdout_one(log, lambda n: int(rng.integers(n)))
+
+
+def holdout_last_position(log: ActionLog) -> tuple[ActionLog, list[HeldOutAction]]:
+    """Hold out each user's chronologically last action."""
+    return _holdout_one(log, lambda n: n - 1)
+
+
+def _holdout_one(log: ActionLog, pick) -> tuple[ActionLog, list[HeldOutAction]]:
+    train_sequences = []
+    held: list[HeldOutAction] = []
+    for seq in log:
+        n = len(seq)
+        if n < 2:
+            train_sequences.append(seq)
+            continue
+        position = pick(n)
+        train_sequences.append(seq.without_index(position))
+        held.append(HeldOutAction(action=seq[position], position=position, sequence_length=n))
+    return ActionLog(train_sequences), held

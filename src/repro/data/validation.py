@@ -1,0 +1,162 @@
+"""Pre-flight validation of training inputs.
+
+Real logs arrive with problems the trainer would otherwise surface one
+exception at a time: actions on unknown items, users too short to carry
+signal, unrated actions in a rating pipeline, time anomalies.
+:func:`validate_inputs` audits a (log, catalog, feature set) triple in one
+pass and returns a structured report, so callers can decide what to fix,
+what to filter, and what to ignore *before* spending a training run.
+
+The report never mutates anything and validation problems are not
+exceptions here — the caller asked "what's wrong with this data", and the
+answer to that question is data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.data.actions import ActionLog
+from repro.data.items import ItemCatalog
+from repro.exceptions import SchemaError
+
+if TYPE_CHECKING:  # layering: the data layer never imports core at runtime
+    from repro.core.features import FeatureSet
+
+__all__ = ["ValidationIssue", "ValidationReport", "validate_inputs"]
+
+#: Issue severities, in escalating order.
+INFO = "info"
+WARNING = "warning"
+ERROR = "error"
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One finding: a severity, a machine-usable code, and a description."""
+
+    severity: str
+    code: str
+    message: str
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """All findings for one input triple."""
+
+    issues: tuple[ValidationIssue, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing blocks training (no ERROR-severity issue)."""
+        return not any(issue.severity == ERROR for issue in self.issues)
+
+    def by_severity(self, severity: str) -> list[ValidationIssue]:
+        """All issues of one severity."""
+        return [issue for issue in self.issues if issue.severity == severity]
+
+    def to_text(self) -> str:
+        """One line per issue, severity-tagged."""
+        if not self.issues:
+            return "no issues found"
+        return "\n".join(
+            f"[{issue.severity.upper():7s}] {issue.code}: {issue.message}"
+            for issue in self.issues
+        )
+
+
+def validate_inputs(
+    log: ActionLog,
+    catalog: ItemCatalog,
+    feature_set: "FeatureSet | None" = None,
+    *,
+    min_actions_hint: int = 2,
+    expect_ratings: bool = False,
+) -> ValidationReport:
+    """Audit a training triple; see module docstring for the philosophy.
+
+    ERRORs block training outright (empty log, unknown items, unencodable
+    features); WARNINGs flag quality risks (very short sequences, items
+    never selected, missing ratings when ``expect_ratings``); INFO notes
+    scale facts worth knowing.
+    """
+    issues: list[ValidationIssue] = []
+
+    if log.num_users == 0:
+        issues.append(ValidationIssue(ERROR, "empty-log", "the action log has no users"))
+        return ValidationReport(tuple(issues))
+    if len(catalog) == 0:
+        issues.append(ValidationIssue(ERROR, "empty-catalog", "the item catalog is empty"))
+        return ValidationReport(tuple(issues))
+
+    unknown = sorted(
+        {str(item) for item in log.selected_items if item not in catalog}
+    )
+    if unknown:
+        shown = ", ".join(unknown[:5]) + ("..." if len(unknown) > 5 else "")
+        issues.append(
+            ValidationIssue(
+                ERROR,
+                "unknown-items",
+                f"{len(unknown)} selected items missing from the catalog ({shown})",
+            )
+        )
+
+    if feature_set is not None:
+        try:
+            feature_set.encode(catalog)
+        except SchemaError as exc:
+            issues.append(ValidationIssue(ERROR, "schema-violation", str(exc)))
+
+    short = [seq.user for seq in log if len(seq) < min_actions_hint]
+    if short:
+        issues.append(
+            ValidationIssue(
+                WARNING,
+                "short-sequences",
+                f"{len(short)}/{log.num_users} users have fewer than "
+                f"{min_actions_hint} actions; their skill cannot progress",
+            )
+        )
+
+    selected = log.selected_items
+    never_selected = len(catalog) - sum(1 for item in catalog if item.id in selected)
+    if never_selected:
+        issues.append(
+            ValidationIssue(
+                WARNING,
+                "never-selected-items",
+                f"{never_selected}/{len(catalog)} catalog items never appear in "
+                "the log; assignment-based difficulty will not cover them",
+            )
+        )
+
+    if expect_ratings:
+        unrated = sum(1 for action in log.actions() if action.rating is None)
+        if unrated == log.num_actions:
+            issues.append(
+                ValidationIssue(
+                    ERROR, "no-ratings", "no action carries a rating; the rating "
+                    "pipeline cannot run"
+                )
+            )
+        elif unrated:
+            issues.append(
+                ValidationIssue(
+                    WARNING,
+                    "partial-ratings",
+                    f"{unrated}/{log.num_actions} actions lack ratings",
+                )
+            )
+
+    lengths = [len(seq) for seq in log]
+    issues.append(
+        ValidationIssue(
+            INFO,
+            "scale",
+            f"{log.num_users} users, {len(catalog)} items, {log.num_actions} actions; "
+            f"sequence length {min(lengths)}–{max(lengths)}",
+        )
+    )
+    return ValidationReport(tuple(issues))

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch one base class to handle any library failure::
+
+    try:
+        model.fit(log)
+    except ReproError as exc:
+        ...
+
+The hierarchy is deliberately shallow.  Each subclass marks a distinct
+failure *category* a caller may reasonably want to branch on, not a distinct
+call site.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DataError",
+    "SchemaError",
+    "NotFittedError",
+    "ConvergenceError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class DataError(ReproError):
+    """Raised when input data is malformed or inconsistent.
+
+    Examples: an action referencing an unknown item, an empty action log
+    passed to a trainer, an unsorted sequence where chronological order is
+    required.
+    """
+
+
+class SchemaError(DataError):
+    """Raised when item feature values do not match the declared schema.
+
+    Examples: a gamma-distributed feature receiving a non-positive value, a
+    categorical feature receiving an unseen category when the vocabulary is
+    closed.
+    """
+
+
+class NotFittedError(ReproError):
+    """Raised when a model is queried before :meth:`fit` has been called."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative optimizer fails to make progress.
+
+    This signals a genuine defect (e.g. the objective decreased, which the
+    coordinate-ascent training loop guarantees cannot happen), not merely
+    hitting the iteration cap, which is reported as a normal result.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised when caller-supplied configuration is invalid.
+
+    Examples: a non-positive number of skill levels, a smoothing constant
+    below zero, a parallelism axis that does not exist.
+    """

@@ -1,0 +1,69 @@
+"""Experiment suite: one registered runner per paper table/figure.
+
+``load_all()`` imports every experiment module so the registry is
+populated; the registry module calls it lazily on first lookup.
+"""
+
+import importlib
+
+_EXPERIMENT_MODULES = (
+    "exp_table1",
+    "exp_fig3",
+    "exp_fig4",
+    "exp_table2",
+    "exp_fig5",
+    "exp_fig6",
+    "exp_table3",
+    "exp_table4",
+    "exp_table5",
+    "exp_table6",
+    "exp_table7",
+    "exp_table8",
+    "exp_table9",
+    "exp_table10",
+    "exp_table11",
+    "exp_table12",
+    "exp_table13",
+    "exp_fig7",
+    "exp_ablation_hard_vs_soft",
+    "exp_ablation_smoothing",
+    "exp_ablation_init",
+    "exp_ablation_prior",
+    "exp_extension_skip",
+    "exp_extension_forgetting",
+    "exp_extension_satisfaction",
+    "exp_extension_markov",
+    "exp_extension_upskill",
+    "exp_extension_scaling",
+    "exp_extension_incremental",
+)
+
+_loaded = False
+
+
+def load_all() -> None:
+    """Import every experiment module (idempotent)."""
+    global _loaded
+    if _loaded:
+        return
+    for module in _EXPERIMENT_MODULES:
+        importlib.import_module(f"repro.experiments.{module}")
+    _loaded = True
+
+
+from repro.experiments.registry import (  # noqa: E402  (re-export after loader)
+    Experiment,
+    ExperimentResult,
+    all_experiments,
+    get_experiment,
+    run_experiment,
+)
+
+__all__ = [
+    "load_all",
+    "Experiment",
+    "ExperimentResult",
+    "all_experiments",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,134 @@
+"""Shared machinery for the synthetic accuracy experiments (Tables VI-IX).
+
+Fits the paper's model ladder on a synthetic dataset —
+
+    Uniform → ID → ID+categorical → ID+gamma → ID+Poisson → Multi-faceted
+
+— and scores skill assignments (per action) and difficulty estimates (per
+selected item) against the generator's ground truth.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from functools import lru_cache
+
+import numpy as np
+
+from repro.analysis.metrics import EvaluationScores, score_estimates
+from repro.core.baselines import fit_id_baseline, fit_uniform_baseline
+from repro.core.difficulty import (
+    PRIOR_EMPIRICAL,
+    PRIOR_UNIFORM,
+    assignment_difficulty,
+    generation_difficulty,
+)
+from repro.core.model import SkillModel
+from repro.core.training import fit_skill_model
+from repro.experiments import datasets
+from repro.synth.base import SimulatedDataset
+from repro.synth.generator import synthetic_feature_set
+
+__all__ = [
+    "SKILL_MODELS",
+    "skill_model_suite",
+    "skill_accuracy",
+    "difficulty_accuracy",
+    "rare_item_rmse",
+]
+
+#: Ladder order, matching Table VI's rows.
+SKILL_MODELS = (
+    "Uniform",
+    "ID",
+    "ID+categorical",
+    "ID+gamma",
+    "ID+Poisson",
+    "Multi-faceted",
+)
+
+_FEATURE_OF = {
+    "ID+categorical": "category",
+    "ID+gamma": "intensity",
+    "ID+Poisson": "steps",
+}
+
+_TRAINER_KWARGS = {"init_min_actions": 40, "max_iterations": 30}
+
+
+@lru_cache(maxsize=None)
+def skill_model_suite(dataset_name: str, scale: str) -> Mapping[str, SkillModel]:
+    """All six models fitted on the named synthetic dataset (cached)."""
+    ds = datasets.dataset(dataset_name, scale)
+    base = synthetic_feature_set(include_id=False)
+    num_levels = datasets.NUM_LEVELS[dataset_name]
+    suite: dict[str, SkillModel] = {
+        "Uniform": fit_uniform_baseline(ds.log, ds.catalog, num_levels),
+        "ID": fit_id_baseline(ds.log, ds.catalog, num_levels, **_TRAINER_KWARGS),
+    }
+    for name, feature in _FEATURE_OF.items():
+        suite[name] = fit_id_baseline(
+            ds.log,
+            ds.catalog,
+            num_levels,
+            extra_features=base.subset([feature]),
+            **_TRAINER_KWARGS,
+        )
+    suite["Multi-faceted"] = fit_skill_model(
+        ds.log, ds.catalog, ds.feature_set, num_levels, **_TRAINER_KWARGS
+    )
+    return suite
+
+
+def skill_accuracy(ds: SimulatedDataset, model: SkillModel) -> EvaluationScores:
+    """Per-action skill accuracy against the generator's true levels."""
+    truth = ds.true_skill_array()
+    estimate = np.concatenate([model.skill_trajectory(seq.user) for seq in ds.log])
+    return score_estimates(truth, estimate)
+
+
+def _difficulty_truth_and_estimate(
+    ds: SimulatedDataset, estimates: Mapping
+) -> tuple[np.ndarray, np.ndarray]:
+    """Align truth/estimate over the items that *were selected* (the paper
+    evaluates difficulty on items appearing in the data)."""
+    selected = sorted(ds.log.selected_items, key=str)
+    truth = np.asarray([ds.true_difficulty[item] for item in selected])
+    estimate = np.asarray([estimates[item] for item in selected])
+    return truth, estimate
+
+
+def difficulty_accuracy(
+    ds: SimulatedDataset, model: SkillModel, method: str
+) -> tuple[EvaluationScores, Mapping]:
+    """Difficulty accuracy for one (skill model, difficulty method) pair.
+
+    ``method`` is ``"Assignment"``, ``"Uniform"``, or ``"Empirical"``
+    (Table VII's difficulty columns).
+    """
+    if method == "Assignment":
+        estimates = assignment_difficulty(model, ds.log)
+    elif method == "Uniform":
+        estimates = generation_difficulty(model, prior=PRIOR_UNIFORM)
+    elif method == "Empirical":
+        estimates = generation_difficulty(model, prior=PRIOR_EMPIRICAL)
+    else:
+        raise ValueError(f"unknown difficulty method {method!r}")
+    truth, estimate = _difficulty_truth_and_estimate(ds, estimates)
+    return score_estimates(truth, estimate), estimates
+
+
+def rare_item_rmse(
+    ds: SimulatedDataset, estimates: Mapping, *, max_occurrences: int = 2
+) -> tuple[float, int]:
+    """RMSE restricted to rare items (paper: selected < 3 times).
+
+    Returns ``(rmse, number of rare items)``.
+    """
+    counts = ds.log.item_counts()
+    rare = [item for item, count in counts.items() if count <= max_occurrences]
+    if not rare:
+        return float("nan"), 0
+    truth = np.asarray([ds.true_difficulty[item] for item in rare])
+    estimate = np.asarray([estimates[item] for item in rare])
+    return float(np.sqrt(np.mean((truth - estimate) ** 2))), len(rare)

@@ -1,0 +1,110 @@
+"""Shared dataset construction for the experiment suite.
+
+Centralizes two things:
+
+- **Scale presets** — each domain's generator config at ``"small"``
+  (seconds per experiment; used by tests and benchmarks) and ``"full"``
+  (minutes; closer to the paper's shape).  Paper-exact sizes are one
+  config away (``SyntheticConfig.paper_scale()``) but deliberately not a
+  preset: they need hours, not minutes.
+- **Per-process caching** — several experiments reuse the same dataset
+  and the same fitted model; generating/fitting once per process keeps the
+  whole suite fast without any cross-run state.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.model import SkillModel
+from repro.core.training import fit_skill_model
+from repro.exceptions import ConfigurationError
+from repro.synth import (
+    BeerConfig,
+    CookingConfig,
+    FilmConfig,
+    LanguageConfig,
+    SimulatedDataset,
+    SyntheticConfig,
+    generate_beer,
+    generate_cooking,
+    generate_film,
+    generate_language,
+    generate_synthetic,
+)
+
+__all__ = ["dataset", "fitted_model", "NUM_LEVELS"]
+
+#: Paper skill counts per domain (Section VI-B).
+NUM_LEVELS = {
+    "language": 3,
+    "cooking": 5,
+    "beer": 5,
+    "film": 5,
+    "synthetic": 5,
+    "synthetic_dense": 5,
+}
+
+_CONFIGS = {
+    "small": {
+        "synthetic": SyntheticConfig(num_users=400, num_items=2000, seed=11),
+        "synthetic_dense": SyntheticConfig(num_users=400, num_items=2000, seed=11).dense(),
+        "language": LanguageConfig(num_users=400, seed=11),
+        "cooking": CookingConfig(num_users=400, num_items=1500, seed=11),
+        "beer": BeerConfig(num_users=120, num_items=500, mean_sequence_length=80, seed=11),
+        "film": FilmConfig(num_users=200, num_items=500, mean_sequence_length=40, seed=11),
+    },
+    "full": {
+        "synthetic": SyntheticConfig(num_users=2000, num_items=10000, seed=11),
+        "synthetic_dense": SyntheticConfig(num_users=2000, num_items=10000, seed=11).dense(),
+        "language": LanguageConfig(num_users=2000, seed=11),
+        "cooking": CookingConfig(num_users=1500, num_items=8000, seed=11),
+        "beer": BeerConfig(num_users=400, num_items=1500, mean_sequence_length=150, seed=11),
+        "film": FilmConfig(num_users=800, num_items=1200, mean_sequence_length=80, seed=11),
+    },
+}
+
+_GENERATORS = {
+    "synthetic": generate_synthetic,
+    "synthetic_dense": generate_synthetic,
+    "language": generate_language,
+    "cooking": generate_cooking,
+    "beer": generate_beer,
+    "film": generate_film,
+}
+
+
+@lru_cache(maxsize=None)
+def dataset(name: str, scale: str = "small") -> SimulatedDataset:
+    """The named simulated dataset at the given scale (cached)."""
+    try:
+        config = _CONFIGS[scale][name]
+    except KeyError:
+        raise ConfigurationError(
+            f"no dataset {name!r} at scale {scale!r}; "
+            f"known: {sorted(_CONFIGS['small'])} × {sorted(_CONFIGS)}"
+        ) from None
+    ds = _GENERATORS[name](config)
+    if name == "synthetic_dense":
+        # generate_synthetic names both variants "synthetic"; retag.
+        ds = SimulatedDataset(
+            name="synthetic_dense",
+            log=ds.log,
+            catalog=ds.catalog,
+            feature_set=ds.feature_set,
+            true_skills=ds.true_skills,
+            true_difficulty=ds.true_difficulty,
+        )
+    return ds
+
+
+@lru_cache(maxsize=None)
+def fitted_model(name: str, scale: str = "small", **trainer_kwargs) -> SkillModel:
+    """The multi-faceted model fitted on the named dataset (cached).
+
+    ``trainer_kwargs`` must be hashable; they participate in the cache key.
+    """
+    ds = dataset(name, scale)
+    return fit_skill_model(
+        ds.log, ds.catalog, ds.feature_set, NUM_LEVELS[name], **trainer_kwargs
+    )

@@ -1,0 +1,71 @@
+"""Ablation: hard (DP) assignment vs soft (EM) training.
+
+The paper adopts hard assignment citing Yang et al.'s ~1000× speedup over
+EM "with comparable fitting quality" (Section IV-B).  Our DP and
+forward–backward implementations are both vectorized per action, so the
+wall-clock gap here reflects algorithmic overhead only (EM's log-sum-exp
+lattice plus weighted refits) — expect "hard is faster, accuracy is
+comparable", not three orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.soft_em import SoftEMConfig, fit_soft_em
+from repro.core.training import fit_skill_model
+from repro.experiments import accuracy, datasets
+from repro.experiments.registry import ExperimentResult, register
+
+
+@register(
+    "ablation_hard_vs_soft",
+    "Ablation: hard DP assignment vs soft EM",
+    "Section IV-B (design choice)",
+)
+def run(scale: str = "small") -> ExperimentResult:
+    """Run this experiment at the given scale (see module docstring)."""
+    ds = datasets.dataset("synthetic", scale)
+    iterations = 15
+
+    start = time.perf_counter()
+    hard = fit_skill_model(
+        ds.log, ds.catalog, ds.feature_set, 5, init_min_actions=40, max_iterations=iterations
+    )
+    hard_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    soft = fit_soft_em(
+        ds.log,
+        ds.catalog,
+        ds.feature_set,
+        SoftEMConfig(num_levels=5, init_min_actions=40, max_iterations=iterations),
+    )
+    soft_time = time.perf_counter() - start
+
+    hard_scores = accuracy.skill_accuracy(ds, hard)
+    soft_scores = accuracy.skill_accuracy(ds, soft)
+    rows = (
+        ("hard (DP)", hard_time, hard.trace.num_iterations, *hard_scores.as_row()),
+        ("soft (EM)", soft_time, soft.trace.num_iterations, *soft_scores.as_row()),
+    )
+    checks = {
+        "hard_is_faster": hard_time < soft_time,
+        # "Comparable fitting quality" (Yang et al.): neither trainer may
+        # dominate by a wide margin.  On our synthetic data EM's soft
+        # posteriors tend to land slightly *above* the DP — the trade the
+        # paper makes is speed, not accuracy.
+        "quality_comparable": abs(hard_scores.pearson - soft_scores.pearson) < 0.2,
+    }
+    return ExperimentResult(
+        experiment_id="ablation_hard_vs_soft",
+        title=f"Ablation — hard assignment vs EM on Synthetic (scale={scale})",
+        headers=("trainer", "time (s)", "iters", "Pearson r", "Spearman ρ", "Kendall τ", "RMSE"),
+        rows=rows,
+        notes=(
+            "Paper rationale: hard assignment ~1000× faster than EM with comparable "
+            "fit (Yang et al.); both loops here are equally vectorized, so the gap "
+            "is smaller but the direction must hold."
+        ),
+        checks=checks,
+    )

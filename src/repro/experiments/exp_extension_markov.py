@@ -1,0 +1,108 @@
+"""Extension: progression model vs first-order Markov chain.
+
+The paper's related-work section positions progression modelling against
+sequential recommendation, and Yang et al. report the ID progression model
+beating a hidden Markov model on next-event prediction.  This experiment
+pits the multi-faceted model against a smoothed first-order Markov chain
+on the last-position prediction task across the three item domains.
+
+The honest expectation: the Markov chain is a strong *local* predictor
+where consecutive selections correlate, while the progression model wins
+where the skill state carries more signal than the previous item (sparse
+domains).  Both must beat random by a wide margin; the table shows where
+each approach earns its keep — and why the paper calls them complementary.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.training import fit_skill_model
+from repro.data.splits import holdout_last_position
+from repro.experiments import datasets
+from repro.experiments.registry import ExperimentResult, register
+from repro.recsys.markov import MarkovItemModel
+from repro.recsys.ranking import predict_items, random_guess_expectation
+
+_DOMAINS = ("cooking", "beer", "film")
+
+
+@lru_cache(maxsize=None)
+def _domain_results(domain: str, scale: str):
+    ds = datasets.dataset(domain, scale)
+    train_log, held = holdout_last_position(ds.log)
+    progression = fit_skill_model(
+        train_log,
+        ds.catalog,
+        ds.feature_set,
+        datasets.NUM_LEVELS[domain],
+        init_min_actions=20,
+        max_iterations=25,
+    )
+    markov = MarkovItemModel(ds.catalog).fit(train_log)
+    return (
+        predict_items(progression, held),
+        markov.predict_items(train_log, held),
+        len(ds.catalog),
+    )
+
+
+@register(
+    "extension_markov",
+    "Extension: progression vs Markov-chain next-item prediction",
+    "Section II (sequential recommendation contrast)",
+)
+def run(scale: str = "small") -> ExperimentResult:
+    """Run this experiment at the given scale (see module docstring)."""
+    rows = []
+    beats_random = []
+    rr = {}
+    for domain in _DOMAINS:
+        prog, markov, num_items = _domain_results(domain, scale)
+        rand_acc, rand_rr = random_guess_expectation(num_items)
+        rr[(domain, "progression")] = prog.mean_reciprocal_rank
+        rr[(domain, "markov")] = markov.mean_reciprocal_rank
+        beats_random.append(prog.mean_reciprocal_rank > 2 * rand_rr)
+        beats_random.append(markov.mean_reciprocal_rank > 2 * rand_rr)
+        rows.append(
+            (
+                domain,
+                prog.acc_at_10,
+                prog.mean_reciprocal_rank,
+                markov.acc_at_10,
+                markov.mean_reciprocal_rank,
+                rand_rr,
+            )
+        )
+
+    checks = {
+        "both_beat_random_everywhere": all(beats_random),
+        # Neither approach should dominate by an order of magnitude —
+        # they capture different signals (the paper calls them
+        # complementary and proposes fusing them as future work).
+        "approaches_comparable": all(
+            rr[(d, "progression")] > 0.2 * rr[(d, "markov")] for d in _DOMAINS
+        ),
+    }
+    return ExperimentResult(
+        experiment_id="extension_markov",
+        title=f"Extension — progression vs Markov chain, last-position prediction (scale={scale})",
+        headers=(
+            "dataset",
+            "progression Acc@10",
+            "progression RR",
+            "Markov Acc@10",
+            "Markov RR",
+            "random RR",
+        ),
+        rows=tuple(rows),
+        notes=(
+            "Yang et al. report the ID progression model beating an HMM on "
+            "next-event prediction; a first-order Markov chain is the classic "
+            "sequential baseline. The two models read different signals "
+            "(latent skill vs previous item) — the paper proposes fusing them."
+        ),
+        checks=checks,
+    )

@@ -1,0 +1,111 @@
+"""Extension: satisfaction-weighted training (paper Section VII).
+
+The cooking domain's novice-overreach anomaly (Figure 5) contaminates the
+lowest level's distributions with too-difficult recipes; the paper's
+proposed remedy is to estimate per-action satisfaction and fold it into
+the skill model.  Here the cooking simulator emits a satisfaction rating
+(high when within ability, low when overreaching), and we compare:
+
+- the **base** trainer, which weighs every action equally, with
+- the **satisfaction-weighted** trainer, which down-weights unsatisfying
+  actions in the update step.
+
+Two effects are checked: the Figure 5 anomaly (level 1 looking like a
+medium level) shrinks, and the generation-based item-difficulty estimates
+get closer to ground truth — unskilled users' failed attempts no longer
+drag hard recipes' difficulty down.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.analysis.metrics import score_estimates
+from repro.core.difficulty import PRIOR_EMPIRICAL, generation_difficulty
+from repro.core.satisfaction import SatisfactionConfig, fit_satisfaction_model
+from repro.core.training import fit_skill_model
+from repro.experiments.registry import ExperimentResult, register
+from repro.synth.cooking import CookingConfig, generate_cooking
+
+_SIZES = {"small": (400, 1500), "full": (1500, 8000)}
+
+
+@lru_cache(maxsize=None)
+def _overreach_dataset(scale: str):
+    users, items = _SIZES[scale]
+    return generate_cooking(
+        CookingConfig(num_users=users, num_items=items, seed=47, novice_overreach=0.5)
+    )
+
+
+def _anomaly_size(model) -> float:
+    """How much harder level 1's recipes look than level 2's (mean steps).
+
+    Positive = the Figure 5 anomaly is present; ~0 = clean monotone shape.
+    """
+    means = model.feature_level_means("num_steps")
+    return float(means[0] - means[1])
+
+
+def _difficulty_accuracy(ds, model):
+    estimates = generation_difficulty(model, prior=PRIOR_EMPIRICAL)
+    selected = sorted(ds.log.selected_items, key=str)
+    truth = np.asarray([ds.true_difficulty[i] for i in selected])
+    values = np.asarray([estimates[i] for i in selected])
+    return score_estimates(truth, values)
+
+
+@register(
+    "extension_satisfaction",
+    "Extension: satisfaction-weighted training",
+    "Section VII (user-satisfaction modelling)",
+)
+def run(scale: str = "small") -> ExperimentResult:
+    """Run this experiment at the given scale (see module docstring)."""
+    ds = _overreach_dataset(scale)
+    kwargs = dict(init_min_actions=15, max_iterations=25)
+
+    base = fit_skill_model(ds.log, ds.catalog, ds.feature_set, 5, **kwargs)
+    weighted = fit_satisfaction_model(
+        ds.log,
+        ds.catalog,
+        ds.feature_set,
+        SatisfactionConfig(num_levels=5, init_min_actions=15, max_iterations=25),
+    )
+
+    base_anomaly = _anomaly_size(base)
+    weighted_anomaly = _anomaly_size(weighted)
+    base_difficulty = _difficulty_accuracy(ds, base)
+    weighted_difficulty = _difficulty_accuracy(ds, weighted)
+    rows = (
+        ("base (unweighted)", base_anomaly, *base_difficulty.as_row()),
+        ("satisfaction-weighted", weighted_anomaly, *weighted_difficulty.as_row()),
+    )
+    checks = {
+        "anomaly_shrinks": weighted_anomaly < base_anomaly,
+        "difficulty_estimates_improve": weighted_difficulty.rmse
+        <= base_difficulty.rmse + 0.01,
+        "base_shows_the_anomaly": base_anomaly > 0.5,
+    }
+    return ExperimentResult(
+        experiment_id="extension_satisfaction",
+        title=f"Extension — satisfaction-weighted training on Cooking (scale={scale})",
+        headers=(
+            "trainer",
+            "level1−level2 steps gap",
+            "difficulty r",
+            "difficulty ρ",
+            "difficulty τ",
+            "difficulty RMSE",
+        ),
+        rows=rows,
+        notes=(
+            "The anomaly column is the Figure 5 signature (mean recipe steps at "
+            "level 1 minus level 2; positive = novices look like mid-level cooks). "
+            "Down-weighting unsatisfying actions should shrink it and sharpen the "
+            "difficulty estimates."
+        ),
+        checks=checks,
+    )

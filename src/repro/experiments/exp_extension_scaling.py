@@ -1,0 +1,91 @@
+"""Extension: data efficiency of the model ladder.
+
+How much data does each model need?  The paper's sparsity study (Tables
+VI/VIII) varies *items*; this companion sweep varies *users* at a fixed
+catalog, tracing skill accuracy as the log grows.  Measured shape: the ID
+model is **flat** — at a few actions per item, extra users barely improve
+its per-(item, level) counts, so it stays stuck near its floor — while the
+multi-faceted model converts every additional user into accuracy through
+the shared features.  The gap therefore *widens* with data until the ID
+model finally gets enough coverage (the paper's dense regime, Table VIII,
+where the gap collapses again).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.analysis.metrics import score_estimates
+from repro.core.baselines import fit_id_baseline
+from repro.core.training import fit_skill_model
+from repro.experiments.registry import ExperimentResult, register
+from repro.synth.generator import SyntheticConfig, generate_synthetic
+
+_USER_COUNTS = {"small": (50, 100, 200, 400), "full": (100, 300, 1000, 3000)}
+_NUM_ITEMS = {"small": 2000, "full": 10000}
+
+
+@lru_cache(maxsize=None)
+def _dataset(num_users: int, num_items: int):
+    return generate_synthetic(
+        SyntheticConfig(num_users=num_users, num_items=num_items, seed=53)
+    )
+
+
+def _pearson(ds, model) -> float:
+    truth = ds.true_skill_array()
+    estimate = np.concatenate([model.skill_trajectory(seq.user) for seq in ds.log])
+    return score_estimates(truth, estimate).pearson
+
+
+@register(
+    "extension_scaling",
+    "Extension: skill accuracy vs training-set size",
+    "Companion to Tables VI/VIII (data-sparsity study)",
+)
+def run(scale: str = "small") -> ExperimentResult:
+    """Run this experiment at the given scale (see module docstring)."""
+    num_items = _NUM_ITEMS[scale]
+    kwargs = dict(init_min_actions=40, max_iterations=25)
+    rows = []
+    gaps = {}
+    multi_scores = {}
+    for num_users in _USER_COUNTS[scale]:
+        ds = _dataset(num_users, num_items)
+        multi = fit_skill_model(ds.log, ds.catalog, ds.feature_set, 5, **kwargs)
+        id_model = fit_id_baseline(ds.log, ds.catalog, 5, **kwargs)
+        r_multi = _pearson(ds, multi)
+        r_id = _pearson(ds, id_model)
+        gaps[num_users] = r_multi - r_id
+        multi_scores[num_users] = r_multi
+        rows.append((num_users, ds.log.num_actions, r_id, r_multi, r_multi - r_id))
+
+    counts = _USER_COUNTS[scale]
+    id_scores = {row[0]: row[2] for row in rows}
+    checks = {
+        "multi_always_ahead": all(gap > 0 for gap in gaps.values()),
+        # Multi-faceted converts data into accuracy; the ID model's
+        # per-(item, level) counts stay starved at this catalog size.
+        "multi_improves_with_data": multi_scores[counts[-1]]
+        > multi_scores[counts[0]] + 0.15,
+        "id_gains_less_than_multi": (
+            id_scores[counts[-1]] - id_scores[counts[0]]
+            < (multi_scores[counts[-1]] - multi_scores[counts[0]]) - 0.05
+        ),
+    }
+    return ExperimentResult(
+        experiment_id="extension_scaling",
+        title=f"Extension — skill accuracy vs #users, {num_items} items (scale={scale})",
+        headers=("#users", "#actions", "ID r", "Multi-faceted r", "gap"),
+        rows=tuple(rows),
+        notes=(
+            "Fixed catalog, growing user base. The ID model stays near its floor "
+            "(each item is still seen only a handful of times per level), while the "
+            "multi-faceted model converts every extra user into accuracy via the "
+            "shared features — the data-efficiency face of the paper's sparsity "
+            "argument."
+        ),
+        checks=checks,
+    )

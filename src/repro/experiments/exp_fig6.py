@@ -1,0 +1,34 @@
+"""Figure 6: ABV distributions per skill level in the beer domain.
+
+The paper finds skilled users prefer stronger beers: the learned gamma
+means climb from 5.85% ABV at level 1 to 7.46% at level 5.  We fit on the
+simulated RateBeer data and check the same monotone drift.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.interpret import feature_trend
+from repro.experiments import datasets
+from repro.experiments.registry import ExperimentResult, register
+
+
+@register("fig6", "Figure 6: beer ABV distributions per skill level", "Section VI-C, Figure 6")
+def run(scale: str = "small") -> ExperimentResult:
+    """Run this experiment at the given scale (see module docstring)."""
+    model = datasets.fitted_model("beer", scale, init_min_actions=30, max_iterations=30)
+    abv = feature_trend(model, "abv")
+    rows = tuple((level, abv.means[level - 1]) for level in range(1, model.num_levels + 1))
+    checks = {
+        "abv_rises_low_to_high": abv.means[-1] > abv.means[0],
+        # The drift should be substantive, not sampling noise: the paper's
+        # gap is ~1.6 points of ABV; ask for at least half a point here.
+        "abv_gap_substantive": abv.means[-1] - abv.means[0] > 0.5,
+    }
+    return ExperimentResult(
+        experiment_id="fig6",
+        title=f"Figure 6 — mean ABV per skill level (scale={scale})",
+        headers=("Level", "ABV mean (%)"),
+        rows=rows,
+        notes="Paper: mean ABV 5.846 at s=1 rising to 7.460 at s=5.",
+        checks=checks,
+    )

@@ -1,0 +1,63 @@
+"""Table X: item prediction at random positions (missing-data recovery).
+
+Paper shape: Multi-faceted > ID > Uniform on Acc@10 and RR across Cooking,
+Beer, and Film; the margin is largest on Cooking, the domain with the most
+items per action (sparsest IDs); everything beats random guessing by a
+wide margin.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import datasets, prediction
+from repro.experiments.registry import ExperimentResult, register
+from repro.recsys.ranking import random_guess_expectation
+
+
+def _rows_and_checks(scale: str, holdout: str):
+    rows = []
+    acc = {}
+    rr = {}
+    for domain in prediction.DOMAINS:
+        results = prediction.item_prediction_results(domain, scale, holdout)
+        num_items = len(datasets.dataset(domain, scale).catalog)
+        rand_acc, rand_rr = random_guess_expectation(num_items)
+        for model in prediction.MODELS:
+            result = results[model]
+            acc[(domain, model)] = result.acc_at_10
+            rr[(domain, model)] = result.mean_reciprocal_rank
+            rows.append(
+                (domain, model, result.acc_at_10, result.mean_reciprocal_rank, rand_acc, rand_rr)
+            )
+    checks = {
+        "multi_beats_uniform_everywhere": all(
+            rr[(d, "Multi-faceted")] > rr[(d, "Uniform")] for d in prediction.DOMAINS
+        ),
+        "multi_at_least_id_on_rr": all(
+            rr[(d, "Multi-faceted")] >= rr[(d, "ID")] * 0.95 for d in prediction.DOMAINS
+        ),
+        "multi_beats_id_on_cooking": rr[("cooking", "Multi-faceted")]
+        > rr[("cooking", "ID")],
+        "beats_random_guessing": all(
+            acc[(d, "Multi-faceted")]
+            > random_guess_expectation(len(datasets.dataset(d, scale).catalog))[0]
+            for d in prediction.DOMAINS
+        ),
+    }
+    return tuple(rows), checks
+
+
+@register("table10", "Table X: item prediction at random positions", "Section VI-E, Table X")
+def run(scale: str = "small") -> ExperimentResult:
+    """Run this experiment at the given scale (see module docstring)."""
+    rows, checks = _rows_and_checks(scale, "random")
+    return ExperimentResult(
+        experiment_id="table10",
+        title=f"Table X — item prediction at random positions (scale={scale})",
+        headers=("Dataset", "Model", "Acc@10", "RR", "random Acc@10", "random RR"),
+        rows=rows,
+        notes=(
+            "Paper (random): Cooking Multi 0.073/0.035 vs ID 0.050/0.024 vs Uniform "
+            "0.023/0.011; largest margins on the sparsest domain."
+        ),
+        checks=checks,
+    )

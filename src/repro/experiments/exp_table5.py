@@ -1,0 +1,71 @@
+"""Table V: top movies per level *with* lastness preprocessing.
+
+The paper's fix for Table IV's confound: drop every movie released after
+the earliest action in the data, so any movie could be selected at any
+time, then refit.  The highest level then surfaces *classics* (old,
+high-difficulty films) and the lowest level *light* blockbusters.
+
+Reproducible signatures after preprocessing:
+
+- the release-year drift of Table IV collapses or reverses, and
+- mean ground-truth difficulty of the top items now rises with level.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.preprocessing import remove_lastness
+from repro.core.training import fit_skill_model
+from repro.experiments import datasets
+from repro.experiments.exp_table4 import film_level_summaries
+from repro.experiments.registry import ExperimentResult, register
+
+
+@register("table5", "Table V: top movies per level (with preprocessing)", "Section VI-C, Table V")
+def run(scale: str = "small") -> ExperimentResult:
+    """Run this experiment at the given scale (see module docstring)."""
+    ds = datasets.dataset("film", scale)
+    clean_log, clean_catalog, stats = remove_lastness(ds.log, ds.catalog, release_key="year")
+    model = fit_skill_model(
+        clean_log,
+        clean_catalog,
+        ds.feature_set,
+        datasets.NUM_LEVELS["film"],
+        init_min_actions=20,
+        max_iterations=30,
+    )
+    summaries = film_level_summaries(model, clean_catalog)
+
+    rows = tuple(
+        (
+            s.level,
+            s.mean_metadata["year"],
+            s.mean_metadata["difficulty"],
+            ", ".join(str(i) for i in s.items[:3]),
+        )
+        for s in summaries
+    )
+    years = [s.mean_metadata["year"] for s in summaries]
+    difficulties = [s.mean_metadata["difficulty"] for s in summaries]
+
+    # Re-run the raw-data analysis for the drift comparison (cached).
+    raw_model = datasets.fitted_model("film", scale, init_min_actions=20, max_iterations=30)
+    raw_years = [
+        s.mean_metadata["year"] for s in film_level_summaries(raw_model, ds.catalog)
+    ]
+    checks = {
+        "year_drift_reduced_vs_table4": (years[-1] - years[0]) < (raw_years[-1] - raw_years[0]),
+        "top_level_prefers_classics": difficulties[-1] > difficulties[0],
+        "preprocessing_removed_items": stats.items_after < stats.items_before,
+    }
+    return ExperimentResult(
+        experiment_id="table5",
+        title=f"Table V — top movies per level after lastness preprocessing (scale={scale})",
+        headers=("Level", "mean release year", "mean true difficulty", "top items"),
+        rows=rows,
+        notes=(
+            f"Preprocessing cutoff t={stats.cutoff_time:.1f}: kept {stats.items_after}/"
+            f"{stats.items_before} movies, {stats.actions_after}/{stats.actions_before} actions. "
+            "Paper: highest level now surfaces classics (Rear Window, Casablanca, Citizen Kane)."
+        ),
+        checks=checks,
+    )

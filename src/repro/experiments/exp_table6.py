@@ -1,0 +1,76 @@
+"""Table VI: skill-assignment accuracy on the Synthetic dataset.
+
+Paper numbers (Pearson's r): Uniform 0.345, ID 0.499, ID+categorical
+0.651, ID+gamma 0.676, ID+Poisson 0.759, Multi-faceted 0.819 — each added
+feature helps, and the full model wins on every measure.  We check the
+ladder's ordering and report the multi-faceted model's bootstrap CI, as
+the paper does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.metrics import bootstrap_ci, paired_wilcoxon
+from repro.experiments import accuracy, datasets
+from repro.experiments.registry import ExperimentResult, register
+
+
+@register("table6", "Table VI: skill accuracy on Synthetic", "Section VI-D, Table VI")
+def run(scale: str = "small") -> ExperimentResult:
+    """Run this experiment at the given scale (see module docstring)."""
+    ds = datasets.dataset("synthetic", scale)
+    suite = accuracy.skill_model_suite("synthetic", scale)
+    scores = {name: accuracy.skill_accuracy(ds, model) for name, model in suite.items()}
+
+    rows = tuple(
+        (name, *scores[name].as_row()) for name in accuracy.SKILL_MODELS
+    )
+    truth = ds.true_skill_array().astype(np.float64)
+    multi_est = np.concatenate(
+        [suite["Multi-faceted"].skill_trajectory(seq.user) for seq in ds.log]
+    ).astype(np.float64)
+    uniform_est = np.concatenate(
+        [suite["Uniform"].skill_trajectory(seq.user) for seq in ds.log]
+    ).astype(np.float64)
+    id_est = np.concatenate(
+        [suite["ID"].skill_trajectory(seq.user) for seq in ds.log]
+    ).astype(np.float64)
+    ci_low, ci_high = bootstrap_ci(truth, multi_est, num_resamples=200, seed=3)
+    p_vs_id, sig_id = paired_wilcoxon(
+        (truth - multi_est) ** 2, (truth - id_est) ** 2, num_comparisons=2
+    )
+    p_vs_uniform, sig_uniform = paired_wilcoxon(
+        (truth - multi_est) ** 2, (truth - uniform_est) ** 2, num_comparisons=2
+    )
+
+    pearson = {name: scores[name].pearson for name in accuracy.SKILL_MODELS}
+    checks = {
+        "multi_beats_id": pearson["Multi-faceted"] > pearson["ID"],
+        "id_beats_uniform": pearson["ID"] > pearson["Uniform"],
+        "each_feature_helps": all(
+            pearson[name] > pearson["ID"]
+            for name in ("ID+categorical", "ID+gamma", "ID+Poisson")
+        ),
+        "multi_best_on_all_measures": all(
+            scores["Multi-faceted"].as_row()[c] >= max(
+                scores[name].as_row()[c] for name in accuracy.SKILL_MODELS[:-1]
+            )
+            for c in range(3)  # the three correlations (higher is better)
+        )
+        and scores["Multi-faceted"].rmse
+        <= min(scores[name].rmse for name in accuracy.SKILL_MODELS[:-1]),
+        "improvement_significant": sig_id and sig_uniform,
+    }
+    return ExperimentResult(
+        experiment_id="table6",
+        title=f"Table VI — skill accuracy on Synthetic (scale={scale})",
+        headers=("Model", "Pearson r", "Spearman ρ", "Kendall τ", "RMSE"),
+        rows=rows,
+        notes=(
+            f"Multi-faceted 95% CI of r: [{ci_low:.3f}, {ci_high:.3f}] "
+            f"(paper: [0.818, 0.820]). Wilcoxon vs ID p={p_vs_id:.2e}, "
+            f"vs Uniform p={p_vs_uniform:.2e} (Bonferroni-corrected)."
+        ),
+        checks=checks,
+    )

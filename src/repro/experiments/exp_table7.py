@@ -1,0 +1,79 @@
+"""Table VII: item-difficulty accuracy on the Synthetic dataset.
+
+Paper shape: difficulty accuracy tracks skill accuracy (Multi-faceted >
+ID > Uniform); for the multi-faceted model the generation-based
+estimators beat the assignment-based one, Empirical prior best of all
+(r = 0.921); and on *rare* items (selected < 3 times) the generation-based
+estimate degrades far less than the assignment-based one.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import accuracy, datasets
+from repro.experiments.registry import ExperimentResult, register
+
+#: (skill model, difficulty method) grid exactly as in Table VII.
+_GRID = (
+    ("Uniform", "Assignment"),
+    ("ID", "Assignment"),
+    ("ID", "Uniform"),
+    ("ID", "Empirical"),
+    ("Multi-faceted", "Assignment"),
+    ("Multi-faceted", "Uniform"),
+    ("Multi-faceted", "Empirical"),
+)
+
+
+@register("table7", "Table VII: difficulty accuracy on Synthetic", "Section VI-D, Table VII")
+def run(scale: str = "small") -> ExperimentResult:
+    """Run this experiment at the given scale (see module docstring)."""
+    ds = datasets.dataset("synthetic", scale)
+    suite = accuracy.skill_model_suite("synthetic", scale)
+
+    rows = []
+    pearson: dict[tuple[str, str], float] = {}
+    rare: dict[tuple[str, str], float] = {}
+    for skill_name, method in _GRID:
+        scores, estimates = accuracy.difficulty_accuracy(ds, suite[skill_name], method)
+        rare_rmse, rare_count = accuracy.rare_item_rmse(ds, estimates)
+        pearson[(skill_name, method)] = scores.pearson
+        rare[(skill_name, method)] = rare_rmse
+        rows.append((skill_name, method, *scores.as_row(), rare_rmse))
+
+    checks = {
+        "multi_beats_id_beats_uniform": (
+            pearson[("Multi-faceted", "Empirical")]
+            > pearson[("ID", "Empirical")]
+            > pearson[("Uniform", "Assignment")]
+        ),
+        "generation_beats_assignment_for_multi": (
+            pearson[("Multi-faceted", "Empirical")]
+            > pearson[("Multi-faceted", "Assignment")]
+        ),
+        "empirical_at_least_uniform_for_multi": (
+            pearson[("Multi-faceted", "Empirical")]
+            >= pearson[("Multi-faceted", "Uniform")] - 0.01
+        ),
+        "generation_more_robust_on_rare_items": (
+            rare[("Multi-faceted", "Empirical")] < rare[("Multi-faceted", "Assignment")]
+        ),
+    }
+    return ExperimentResult(
+        experiment_id="table7",
+        title=f"Table VII — difficulty accuracy on Synthetic (scale={scale})",
+        headers=(
+            "Skill model",
+            "Difficulty",
+            "Pearson r",
+            "Spearman ρ",
+            "Kendall τ",
+            "RMSE",
+            "rare-item RMSE",
+        ),
+        rows=tuple(rows),
+        notes=(
+            "Paper best: Multi-faceted + Empirical (r=0.921, RMSE=0.614); on rare items "
+            "Assignment degrades 46% vs Empirical 36%."
+        ),
+        checks=checks,
+    )

@@ -1,0 +1,56 @@
+"""Table VIII: skill accuracy on Synthetic_dense (data-sparsity study).
+
+Synthetic_dense has one fifth the items of Synthetic, so every item is
+selected ~5× more often.  Paper shape: the model ordering is unchanged
+(Multi-faceted > ID > Uniform), but the Multi-faceted-over-ID gap shrinks
+dramatically (Δr = 0.004 dense vs 0.320 sparse) — the multi-faceted
+features matter most when item IDs are sparse.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import accuracy, datasets
+from repro.experiments.registry import ExperimentResult, register
+
+_MODELS = ("Uniform", "ID", "Multi-faceted")
+
+
+@register("table8", "Table VIII: skill accuracy on Synthetic_dense", "Section VI-D, Table VIII")
+def run(scale: str = "small") -> ExperimentResult:
+    """Run this experiment at the given scale (see module docstring)."""
+    dense = datasets.dataset("synthetic_dense", scale)
+    dense_suite = accuracy.skill_model_suite("synthetic_dense", scale)
+    dense_scores = {
+        name: accuracy.skill_accuracy(dense, dense_suite[name]) for name in _MODELS
+    }
+
+    sparse = datasets.dataset("synthetic", scale)
+    sparse_suite = accuracy.skill_model_suite("synthetic", scale)
+    sparse_scores = {
+        name: accuracy.skill_accuracy(sparse, sparse_suite[name]) for name in _MODELS
+    }
+
+    rows = tuple((name, *dense_scores[name].as_row()) for name in _MODELS)
+    dense_gap = dense_scores["Multi-faceted"].pearson - dense_scores["ID"].pearson
+    sparse_gap = sparse_scores["Multi-faceted"].pearson - sparse_scores["ID"].pearson
+    checks = {
+        "ordering_unchanged": (
+            dense_scores["Multi-faceted"].pearson
+            >= dense_scores["ID"].pearson
+            > dense_scores["Uniform"].pearson
+        ),
+        "id_much_stronger_when_dense": dense_scores["ID"].pearson
+        > sparse_scores["ID"].pearson + 0.1,
+        "multi_vs_id_gap_shrinks": dense_gap < sparse_gap,
+    }
+    return ExperimentResult(
+        experiment_id="table8",
+        title=f"Table VIII — skill accuracy on Synthetic_dense (scale={scale})",
+        headers=("Model", "Pearson r", "Spearman ρ", "Kendall τ", "RMSE"),
+        rows=rows,
+        notes=(
+            f"Multi-faceted−ID gap in r: {dense_gap:.3f} dense vs {sparse_gap:.3f} sparse "
+            "(paper: 0.004 vs 0.320) — the features pay off under sparsity."
+        ),
+        checks=checks,
+    )

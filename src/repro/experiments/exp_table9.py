@@ -1,0 +1,77 @@
+"""Table IX: difficulty accuracy on Synthetic_dense.
+
+Paper shape: ordering unchanged from Table VII but the Multi-faceted gain
+over ID shrinks, and — the interesting reversal — with dense data the
+**Assignment** difficulty estimator catches up with (and on correlations
+beats) the generation-based estimators for the multi-faceted model: with
+plenty of observations per item, averaging observed selector skills is no
+longer handicapped.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import accuracy, datasets
+from repro.experiments.registry import ExperimentResult, register
+
+_GRID = (
+    ("Uniform", "Assignment"),
+    ("ID", "Assignment"),
+    ("ID", "Uniform"),
+    ("ID", "Empirical"),
+    ("Multi-faceted", "Assignment"),
+    ("Multi-faceted", "Uniform"),
+    ("Multi-faceted", "Empirical"),
+)
+
+
+@register("table9", "Table IX: difficulty accuracy on Synthetic_dense", "Section VI-D, Table IX")
+def run(scale: str = "small") -> ExperimentResult:
+    """Run this experiment at the given scale (see module docstring)."""
+    dense = datasets.dataset("synthetic_dense", scale)
+    suite = accuracy.skill_model_suite("synthetic_dense", scale)
+
+    rows = []
+    pearson: dict[tuple[str, str], float] = {}
+    for skill_name, method in _GRID:
+        scores, _ = accuracy.difficulty_accuracy(dense, suite[skill_name], method)
+        pearson[(skill_name, method)] = scores.pearson
+        rows.append((skill_name, method, *scores.as_row()))
+
+    # The sparse-data gap, for the shrinkage comparison.
+    sparse = datasets.dataset("synthetic", scale)
+    sparse_suite = accuracy.skill_model_suite("synthetic", scale)
+    sparse_multi, _ = accuracy.difficulty_accuracy(
+        sparse, sparse_suite["Multi-faceted"], "Empirical"
+    )
+    sparse_id, _ = accuracy.difficulty_accuracy(sparse, sparse_suite["ID"], "Empirical")
+    dense_gap = pearson[("Multi-faceted", "Empirical")] - pearson[("ID", "Empirical")]
+    sparse_gap = sparse_multi.pearson - sparse_id.pearson
+
+    checks = {
+        "multi_still_at_least_id": pearson[("Multi-faceted", "Empirical")]
+        >= pearson[("ID", "Empirical")] - 0.02,
+        "gap_shrinks_with_density": dense_gap < sparse_gap,
+        # The paper's reversal: dense data rehabilitates Assignment.
+        "assignment_competitive_when_dense": (
+            pearson[("Multi-faceted", "Assignment")]
+            >= pearson[("Multi-faceted", "Empirical")] - 0.05
+        ),
+    }
+    return ExperimentResult(
+        experiment_id="table9",
+        title=f"Table IX — difficulty accuracy on Synthetic_dense (scale={scale})",
+        headers=(
+            "Skill model",
+            "Difficulty",
+            "Pearson r",
+            "Spearman ρ",
+            "Kendall τ",
+            "RMSE",
+        ),
+        rows=tuple(rows),
+        notes=(
+            f"Multi−ID gap in r (Empirical): {dense_gap:.3f} dense vs {sparse_gap:.3f} sparse. "
+            "Paper: Assignment beats Empirical on correlations when data is dense."
+        ),
+        checks=checks,
+    )

@@ -1,0 +1,49 @@
+"""Shared machinery for the item-prediction experiments (Tables X/XI)."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.baselines import fit_id_baseline, fit_uniform_baseline
+from repro.core.training import fit_skill_model
+from repro.data.splits import holdout_last_position, holdout_random_position
+from repro.experiments import datasets
+from repro.exceptions import ConfigurationError
+from repro.recsys.ranking import ItemPredictionResult, predict_items
+
+__all__ = ["DOMAINS", "MODELS", "item_prediction_results"]
+
+#: The paper runs Tables X/XI on Cooking, Beer, and Film (Language has
+#: single-use items, so ID-based ranking is undefined there).
+DOMAINS = ("cooking", "beer", "film")
+MODELS = ("Uniform", "ID", "Multi-faceted")
+
+_TRAINER_KWARGS = {"init_min_actions": 20, "max_iterations": 25}
+
+
+@lru_cache(maxsize=None)
+def item_prediction_results(
+    domain: str, scale: str, holdout: str
+) -> dict[str, ItemPredictionResult]:
+    """Acc@10/RR results of the three models on one domain+holdout (cached)."""
+    if domain not in DOMAINS:
+        raise ConfigurationError(f"domain must be one of {DOMAINS}, got {domain!r}")
+    ds = datasets.dataset(domain, scale)
+    if holdout == "random":
+        train_log, held = holdout_random_position(ds.log, np.random.default_rng(13))
+    elif holdout == "last":
+        train_log, held = holdout_last_position(ds.log)
+    else:
+        raise ConfigurationError(f"holdout must be 'random' or 'last', got {holdout!r}")
+    num_levels = datasets.NUM_LEVELS[domain]
+
+    models = {
+        "Uniform": fit_uniform_baseline(train_log, ds.catalog, num_levels),
+        "ID": fit_id_baseline(train_log, ds.catalog, num_levels, **_TRAINER_KWARGS),
+        "Multi-faceted": fit_skill_model(
+            train_log, ds.catalog, ds.feature_set, num_levels, **_TRAINER_KWARGS
+        ),
+    }
+    return {name: predict_items(model, held) for name, model in models.items()}

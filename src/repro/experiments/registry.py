@@ -1,0 +1,133 @@
+"""Experiment registry: one named runner per paper table/figure.
+
+Every experiment module registers a function ``run(scale) ->
+ExperimentResult`` under the paper artifact's id ("table6", "fig3", ...).
+The CLI (``python -m repro run table6``) and the benchmark suite both go
+through this registry, so the numbers in EXPERIMENTS.md, the benches, and
+ad-hoc runs can never drift apart.
+
+``scale`` selects dataset sizes: ``"small"`` for CI-friendly runs and
+``"full"`` for runs closer to the paper's scale.  Results report *shape*
+(orderings, trends, crossovers), not the paper's absolute numbers — our
+substrate is a simulator, not the authors' data.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.tables import format_table
+
+__all__ = ["ExperimentResult", "Experiment", "register", "get_experiment", "all_experiments", "run_experiment"]
+
+SCALES = ("small", "full")
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """The output of one experiment run."""
+
+    experiment_id: str
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple, ...]
+    notes: str = ""
+    checks: dict[str, bool] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        """Render the result as an aligned table plus notes and checks."""
+        parts = [format_table(self.headers, self.rows, title=self.title)]
+        if self.notes:
+            parts.append(self.notes)
+        if self.checks:
+            parts.append(
+                "shape checks: "
+                + ", ".join(f"{name}={'PASS' if ok else 'FAIL'}" for name, ok in self.checks.items())
+            )
+        return "\n".join(parts)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        """True when every registered shape check held on this run."""
+        return all(self.checks.values())
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered paper artifact reproduction."""
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    runner: Callable[[str], ExperimentResult]
+
+    def run(self, scale: str = "small") -> ExperimentResult:
+        """Execute the experiment at a registered scale preset."""
+        if scale not in SCALES:
+            raise ConfigurationError(f"scale must be one of {SCALES}, got {scale!r}")
+        return self.runner(scale)
+
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def register(experiment_id: str, title: str, paper_reference: str):
+    """Decorator registering a ``run(scale)`` function as an experiment."""
+
+    def decorator(runner: Callable[[str], ExperimentResult]):
+        if experiment_id in _REGISTRY:
+            raise ConfigurationError(f"experiment {experiment_id!r} registered twice")
+        _REGISTRY[experiment_id] = Experiment(
+            experiment_id=experiment_id,
+            title=title,
+            paper_reference=paper_reference,
+            runner=runner,
+        )
+        return runner
+
+    return decorator
+
+
+def _ensure_loaded() -> None:
+    # Importing the package registers every experiment module exactly once.
+    from repro import experiments  # noqa: F401
+
+    experiments.load_all()
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up one registered experiment by its artifact id."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def all_experiments() -> Sequence[Experiment]:
+    """Every registered experiment, tables first, figures next, extras last."""
+    _ensure_loaded()
+    return [
+        _REGISTRY[key]
+        for key in sorted(_REGISTRY, key=_artifact_sort_key)
+    ]
+
+
+def run_experiment(experiment_id: str, scale: str = "small") -> ExperimentResult:
+    """Convenience: look up and run one experiment."""
+    return get_experiment(experiment_id).run(scale)
+
+
+def _artifact_sort_key(experiment_id: str):
+    """Sort tables/figures numerically, ablations last."""
+    for prefix in ("table", "fig"):
+        if experiment_id.startswith(prefix):
+            suffix = experiment_id[len(prefix) :]
+            if suffix.isdigit():
+                return (0 if prefix == "table" else 1, int(suffix), experiment_id)
+    return (2, 0, experiment_id)

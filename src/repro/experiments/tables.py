@@ -1,0 +1,53 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment produces rows of cells; this module renders them as an
+aligned ASCII table the way the paper's tables read, so the benchmark
+harness and the CLI can print directly comparable output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["format_table", "format_cell"]
+
+
+def format_cell(value) -> str:
+    """Human formatting: floats at 3 decimals, everything else via str."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: str | None = None,
+) -> str:
+    """An aligned, pipe-separated table with a rule under the header."""
+    if not headers:
+        raise ConfigurationError("a table needs headers")
+    str_rows = [[format_cell(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in str_rows)) if str_rows else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Downstream recommendation tasks: item prediction and FFM rating prediction."""
+
+from repro.recsys.encoding import FFMSample, RatingEncoder, RatingInstance
+from repro.recsys.ffm import FFMConfig, FFMModel
+from repro.recsys.ranking import (
+    ItemPredictionResult,
+    predict_items,
+    random_guess_expectation,
+)
+from repro.recsys.markov import MarkovItemModel
+from repro.recsys.metrics import mean_rank, ndcg_at_k, ranking_summary, recall_at_k
+from repro.recsys.upskill import Recommendation, UpskillConfig, UpskillRecommender
+from repro.recsys.rating import VARIANTS, RatingTaskResult, build_instances, run_rating_task
+
+__all__ = [
+    "FFMSample",
+    "RatingEncoder",
+    "RatingInstance",
+    "FFMConfig",
+    "FFMModel",
+    "ItemPredictionResult",
+    "predict_items",
+    "random_guess_expectation",
+    "MarkovItemModel",
+    "mean_rank",
+    "ndcg_at_k",
+    "ranking_summary",
+    "recall_at_k",
+    "Recommendation",
+    "UpskillConfig",
+    "UpskillRecommender",
+    "VARIANTS",
+    "RatingTaskResult",
+    "build_instances",
+    "run_rating_task",
+]

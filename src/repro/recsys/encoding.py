@@ -1,0 +1,155 @@
+"""Field-aware feature encoding for the rating-prediction task.
+
+Field-aware factorization machines (Juan et al., RecSys '16) take sparse
+samples of ``(field, feature index, value)`` triples.  This module builds
+them from rating actions:
+
+- field ``user`` — one-hot user id,
+- field ``item`` — one-hot item id,
+- field ``skill`` — one-hot skill level (the ``+S`` variants of
+  Table XII),
+- field ``difficulty`` — a single numeric feature carrying the estimated
+  item difficulty (the ``+D`` variants).
+
+The encoder is fitted on training samples; unseen users/items at test time
+map to a shared out-of-vocabulary index per field, mirroring how libffm
+handles cold features (their latent vectors stay near initialization).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["FFMSample", "RatingInstance", "RatingEncoder", "FIELDS"]
+
+FIELDS = ("user", "item", "skill", "difficulty")
+
+
+@dataclass(frozen=True)
+class FFMSample:
+    """One encoded sample: parallel arrays of active features."""
+
+    fields: np.ndarray  # int64, field index per active feature
+    indices: np.ndarray  # int64, global feature index
+    values: np.ndarray  # float64, feature value (1.0 for one-hots)
+    target: float
+
+
+@dataclass(frozen=True)
+class RatingInstance:
+    """One raw rating record before encoding."""
+
+    user: Hashable
+    item: Hashable
+    rating: float
+    skill: int | None = None
+    difficulty: float | None = None
+
+
+@dataclass
+class RatingEncoder:
+    """Maps rating instances to :class:`FFMSample` lists.
+
+    ``include_skill`` / ``include_difficulty`` select the Table XII
+    variant: U+I (both off), U+I+S, U+I+D, U+I+S+D.
+    """
+
+    include_skill: bool = False
+    include_difficulty: bool = False
+    _user_index: dict = field(default_factory=dict, repr=False)
+    _item_index: dict = field(default_factory=dict, repr=False)
+    _skill_index: dict = field(default_factory=dict, repr=False)
+    _difficulty_feature: int | None = field(default=None, repr=False)
+    _frozen: bool = field(default=False, repr=False)
+    _num_features: int = field(default=0, repr=False)
+
+    def fit(self, instances: Sequence[RatingInstance]) -> "RatingEncoder":
+        """Build vocabularies from training instances.
+
+        Reserves one out-of-vocabulary index per one-hot field.
+        """
+        if self._frozen:
+            raise ConfigurationError("encoder is already fitted")
+        for inst in instances:
+            self._user_index.setdefault(inst.user, len(self._user_index))
+            self._item_index.setdefault(inst.item, len(self._item_index))
+            if self.include_skill:
+                if inst.skill is None:
+                    raise ConfigurationError("include_skill=True but instance lacks a skill")
+                self._skill_index.setdefault(inst.skill, len(self._skill_index))
+        # Global feature index layout: [users | user-OOV | items | item-OOV |
+        # skills | skill-OOV | difficulty].
+        offset = 0
+        self._user_offset = offset
+        offset += len(self._user_index) + 1
+        self._item_offset = offset
+        offset += len(self._item_index) + 1
+        self._skill_offset = offset
+        if self.include_skill:
+            offset += len(self._skill_index) + 1
+        if self.include_difficulty:
+            self._difficulty_feature = offset
+            offset += 1
+        self._num_features = offset
+        self._frozen = True
+        return self
+
+    @property
+    def num_features(self) -> int:
+        self._require_fitted()
+        return self._num_features
+
+    @property
+    def num_fields(self) -> int:
+        return 2 + int(self.include_skill) + int(self.include_difficulty)
+
+    def encode(self, instances: Sequence[RatingInstance]) -> list[FFMSample]:
+        """Encode instances (training or test) into samples."""
+        self._require_fitted()
+        samples = []
+        for inst in instances:
+            fields = [0, 1]
+            indices = [
+                self._user_offset
+                + self._user_index.get(inst.user, len(self._user_index)),
+                self._item_offset
+                + self._item_index.get(inst.item, len(self._item_index)),
+            ]
+            values = [1.0, 1.0]
+            next_field = 2
+            if self.include_skill:
+                if inst.skill is None:
+                    raise ConfigurationError("include_skill=True but instance lacks a skill")
+                fields.append(next_field)
+                indices.append(
+                    self._skill_offset
+                    + self._skill_index.get(inst.skill, len(self._skill_index))
+                )
+                values.append(1.0)
+                next_field += 1
+            if self.include_difficulty:
+                if inst.difficulty is None:
+                    raise ConfigurationError(
+                        "include_difficulty=True but instance lacks a difficulty"
+                    )
+                fields.append(next_field)
+                indices.append(self._difficulty_feature)
+                values.append(float(inst.difficulty))
+            samples.append(
+                FFMSample(
+                    fields=np.asarray(fields, dtype=np.int64),
+                    indices=np.asarray(indices, dtype=np.int64),
+                    values=np.asarray(values, dtype=np.float64),
+                    target=float(inst.rating),
+                )
+            )
+        return samples
+
+    def _require_fitted(self) -> None:
+        if not self._frozen:
+            raise ConfigurationError("encoder must be fitted before use")

@@ -1,0 +1,79 @@
+"""Ranking metrics beyond the paper's Acc@10 / RR.
+
+The paper evaluates item prediction with top-10 accuracy and reciprocal
+rank.  Practitioners comparing against modern sequential-recommendation
+baselines usually also want NDCG@k and recall@k; these compute directly
+from the mid-rank arrays :class:`~repro.recsys.ranking.ItemPredictionResult`
+already carries, so any experiment's output can be re-scored without
+re-running models.
+
+All functions take ranks (1-based, possibly fractional mid-ranks for tied
+items) with one entry per evaluated action and a single relevant item per
+action — the paper's protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.recsys.ranking import ItemPredictionResult
+
+__all__ = ["ndcg_at_k", "recall_at_k", "mean_rank", "ranking_summary"]
+
+
+def _check_ranks(ranks: np.ndarray) -> np.ndarray:
+    ranks = np.asarray(ranks, dtype=np.float64)
+    if ranks.ndim != 1 or ranks.size == 0:
+        raise ConfigurationError("ranks must be a non-empty 1-D array")
+    if np.any(ranks < 1):
+        raise ConfigurationError("ranks are 1-based; found a rank below 1")
+    return ranks
+
+
+def ndcg_at_k(ranks: np.ndarray, k: int = 10) -> float:
+    """Mean NDCG@k with a single relevant item per action.
+
+    With one relevant item the ideal DCG is 1, so per action
+    ``NDCG@k = 1 / log2(rank + 1)`` if the item ranks within ``k``, else 0.
+    Fractional mid-ranks interpolate the discount smoothly, which keeps
+    tied items' credit fair.
+    """
+    if k < 1:
+        raise ConfigurationError("k must be >= 1")
+    ranks = _check_ranks(ranks)
+    gains = np.where(ranks <= k, 1.0 / np.log2(ranks + 1.0), 0.0)
+    return float(gains.mean())
+
+
+def recall_at_k(ranks: np.ndarray, k: int = 10) -> float:
+    """Fraction of actions whose relevant item ranks within ``k``.
+
+    With one relevant item per action this equals hit-rate@k (and the
+    paper's Acc@k).
+    """
+    if k < 1:
+        raise ConfigurationError("k must be >= 1")
+    ranks = _check_ranks(ranks)
+    return float(np.mean(ranks <= k))
+
+
+def mean_rank(ranks: np.ndarray) -> float:
+    """Average (mid-)rank of the relevant item — lower is better."""
+    return float(_check_ranks(ranks).mean())
+
+
+def ranking_summary(result: ItemPredictionResult, *, ks: tuple[int, ...] = (1, 5, 10, 20)) -> dict:
+    """All metrics of one prediction result in a flat dict.
+
+    Keys: ``rr``, ``mean_rank``, and per cutoff ``recall@k`` / ``ndcg@k``.
+    """
+    ranks = result.ranks
+    summary: dict[str, float] = {
+        "rr": result.mean_reciprocal_rank,
+        "mean_rank": mean_rank(ranks),
+    }
+    for k in ks:
+        summary[f"recall@{k}"] = recall_at_k(ranks, k)
+        summary[f"ndcg@{k}"] = ndcg_at_k(ranks, k)
+    return summary

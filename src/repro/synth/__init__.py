@@ -1,0 +1,49 @@
+"""Data generators: the paper's Synthetic recipe plus simulators for its
+four real domains (language, cooking, beer, film).
+
+Real counterparts are proprietary or no longer distributed; each simulator
+reproduces the corresponding domain's feature schema and the specific
+phenomena the paper analyses (see each module's docstring and DESIGN.md's
+substitution table).
+"""
+
+from repro.synth.base import SimulatedDataset, monotone_skill_path, sample_sequence_length
+from repro.synth.seeds import rng_for
+from repro.synth.generator import SyntheticConfig, generate_synthetic, synthetic_feature_set
+from repro.synth.language import (
+    CORRECTION_RULES,
+    LanguageConfig,
+    generate_language,
+    language_feature_set,
+)
+from repro.synth.cooking import CookingConfig, cooking_feature_set, generate_cooking
+from repro.synth.beer import BEER_STYLES, BeerConfig, beer_feature_set, generate_beer
+from repro.synth.film import GENRES, FilmConfig, film_feature_set, generate_film
+from repro.synth.forgetting import ForgettingDataConfig, generate_forgetting
+
+__all__ = [
+    "SimulatedDataset",
+    "monotone_skill_path",
+    "sample_sequence_length",
+    "rng_for",
+    "SyntheticConfig",
+    "generate_synthetic",
+    "synthetic_feature_set",
+    "CORRECTION_RULES",
+    "LanguageConfig",
+    "generate_language",
+    "language_feature_set",
+    "CookingConfig",
+    "cooking_feature_set",
+    "generate_cooking",
+    "BEER_STYLES",
+    "BeerConfig",
+    "beer_feature_set",
+    "generate_beer",
+    "GENRES",
+    "FilmConfig",
+    "film_feature_set",
+    "generate_film",
+    "ForgettingDataConfig",
+    "generate_forgetting",
+]

@@ -1,0 +1,89 @@
+"""Shared building blocks for the domain simulators.
+
+Every simulator produces a :class:`SimulatedDataset`: an action log, an
+item catalog, the feature set to model it with, and the *ground truth* the
+generator used (per-action true skill, per-item true difficulty) so
+experiments can score estimates against it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.features import FeatureSet
+from repro.data.actions import ActionLog
+from repro.data.items import ItemCatalog
+from repro.exceptions import ConfigurationError
+
+__all__ = ["SimulatedDataset", "sample_sequence_length", "monotone_skill_path"]
+
+
+@dataclass(frozen=True)
+class SimulatedDataset:
+    """A generated domain: data plus the ground truth behind it.
+
+    ``true_skills`` maps user → 1-based true level per action (aligned with
+    the user's sequence).  ``true_difficulty`` maps item → the real-valued
+    difficulty the generator assigned.  Real datasets have neither; the
+    simulators always do, which is what makes Tables VI-IX measurable.
+    """
+
+    name: str
+    log: ActionLog
+    catalog: ItemCatalog
+    feature_set: FeatureSet
+    true_skills: Mapping[Hashable, np.ndarray] = field(default_factory=dict)
+    true_difficulty: Mapping[Hashable, float] = field(default_factory=dict)
+
+    def true_skill_array(self) -> np.ndarray:
+        """All true per-action levels concatenated in log order."""
+        parts = [self.true_skills[seq.user] for seq in self.log]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([np.asarray(p, dtype=np.int64) for p in parts])
+
+
+def sample_sequence_length(
+    rng: np.random.Generator, mean: float, minimum: int = 1
+) -> int:
+    """Sequence length ``~ Poisson(mean)``, floored at ``minimum``.
+
+    The paper draws ``|A_u| ~ Poisson(50)`` (Section VI-A step 3a).
+    """
+    if mean <= 0:
+        raise ConfigurationError("mean sequence length must be positive")
+    return max(minimum, int(rng.poisson(mean)))
+
+
+def monotone_skill_path(
+    rng: np.random.Generator,
+    length: int,
+    num_levels: int,
+    *,
+    start_level: int | None = None,
+    level_up_prob: float = 0.1,
+) -> np.ndarray:
+    """A 1-based, monotone, step-by-one skill path of ``length`` actions.
+
+    ``start_level=None`` draws the initial level uniformly from ``1..S``
+    (paper step 3b).  Each action thereafter levels up with probability
+    ``level_up_prob`` while below the cap.  Domain simulators that couple
+    level-ups to *what* was selected (the paper's step 3d) implement their
+    own loop and only use this for background users.
+    """
+    if num_levels < 1:
+        raise ConfigurationError("num_levels must be >= 1")
+    if not 0 <= level_up_prob <= 1:
+        raise ConfigurationError("level_up_prob must be in [0, 1]")
+    level = int(rng.integers(1, num_levels + 1)) if start_level is None else int(start_level)
+    if not 1 <= level <= num_levels:
+        raise ConfigurationError(f"start_level {level} outside 1..{num_levels}")
+    path = np.empty(length, dtype=np.int64)
+    for n in range(length):
+        path[n] = level
+        if level < num_levels and rng.random() < level_up_prob:
+            level += 1
+    return path

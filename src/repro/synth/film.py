@@ -1,0 +1,235 @@
+"""Simulated MovieLens film domain with the lastness confounder.
+
+The paper's Film analysis (Section VI-C, Tables IV/V) hinges on a temporal
+confounder it calls the **lastness effect**: people preferentially watch
+*recently released* movies, so new movies appear disproportionately at the
+late positions of user sequences, and a naive progression model mistakes
+release-date drift for skill.  The paper's fix is preprocessing: drop every
+movie released after the earliest action in the data, so any movie could
+have been selected at any time.
+
+This simulator makes that whole story reproducible:
+
+- Movies have a release year (1930–2009), a genre, a director, and a lead
+  actor.  A fraction are *classics* — old, auteur-directed films with high
+  appreciation difficulty; the rest are *light* entertainment (low
+  difficulty) or mid-range *regular* films.
+- Users act in calendar time (1995–2012).  Selection weight multiplies a
+  **recency kernel** over ``(now − release)`` — the lastness effect — with
+  a **capacity kernel** over ``(difficulty − skill)``.
+- Ratings are generated like the beer domain's, so the film data also
+  feeds the rating-prediction task.
+
+With the recency kernel active, the top items per learned level drift by
+release year (Table IV's shape); after
+:func:`repro.analysis.preprocessing.remove_lastness` the drift collapses
+and the difficulty signal dominates (Table V's shape).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.features import FeatureKind, FeatureSet, FeatureSpec
+from repro.data.actions import Action, ActionLog, ActionSequence
+from repro.data.items import Item, ItemCatalog
+from repro.exceptions import ConfigurationError
+from repro.synth.base import SimulatedDataset
+from repro.synth.seeds import rng_for
+
+__all__ = ["FilmConfig", "generate_film", "film_feature_set", "GENRES"]
+
+GENRES = (
+    "action", "adventure", "animation", "comedy", "crime", "documentary",
+    "drama", "fantasy", "film-noir", "horror", "musical", "mystery",
+    "romance", "sci-fi", "thriller", "war", "western",
+)
+#: Genres that classics skew toward vs light entertainment.
+_CLASSIC_GENRES = ("drama", "film-noir", "mystery", "war", "crime", "romance", "musical")
+_LIGHT_GENRES = ("action", "adventure", "comedy", "sci-fi", "fantasy", "animation")
+
+
+@dataclass(frozen=True)
+class FilmConfig:
+    """Simulation knobs for the film domain.
+
+    ``lastness_tau`` is the e-folding time (in years) of the recency
+    kernel; smaller means a stronger lastness effect.  ``lastness_floor``
+    keeps old movies selectable at a base rate.  Setting
+    ``lastness_tau=inf`` disables the confounder entirely (useful in
+    tests).
+    """
+
+    num_users: int = 500
+    num_items: int = 800
+    num_levels: int = 5
+    mean_sequence_length: float = 60.0
+    classic_fraction: float = 0.25
+    num_directors: int = 120
+    num_actors: int = 240
+    first_release_year: float = 1930.0
+    last_release_year: float = 2009.0
+    first_action_year: float = 1995.0
+    last_action_year: float = 2012.0
+    lastness_tau: float = 2.5
+    lastness_floor: float = 0.08
+    skill_affinity: float = 1.0
+    level_up_prob: float = 0.05
+    rating_noise: float = 0.4
+    start_at_bottom_prob: float = 0.5
+    popularity_exponent: float = 0.8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_users < 1 or self.num_items < 1:
+            raise ConfigurationError("counts must be positive")
+        if self.num_levels < 2:
+            raise ConfigurationError("need >= 2 skill levels")
+        if not 0 <= self.classic_fraction <= 1:
+            raise ConfigurationError("classic_fraction must be in [0, 1]")
+        if self.first_release_year >= self.last_release_year:
+            raise ConfigurationError("release year window is empty")
+        if self.first_action_year >= self.last_action_year:
+            raise ConfigurationError("action year window is empty")
+        if self.lastness_tau <= 0:
+            raise ConfigurationError("lastness_tau must be positive (use inf to disable)")
+
+
+def film_feature_set() -> FeatureSet:
+    """Feature schema of movies: all categorical, as in the paper."""
+    return FeatureSet(
+        [
+            FeatureSpec("genre", FeatureKind.CATEGORICAL, vocabulary=GENRES),
+            FeatureSpec("director", FeatureKind.CATEGORICAL),
+            FeatureSpec("actor", FeatureKind.CATEGORICAL),
+        ]
+    ).with_id_feature()
+
+
+def _generate_movies(config: FilmConfig):
+    rng = rng_for(config.seed, "film", "movies")
+    # A small set of auteur directors make mostly classics, giving the
+    # director feature real signal about difficulty.
+    num_auteurs = max(1, config.num_directors // 8)
+    items = []
+    years = np.empty(config.num_items)
+    difficulties = np.empty(config.num_items)
+    true_difficulty: dict[str, float] = {}
+    for k in range(config.num_items):
+        is_classic = rng.random() < config.classic_fraction
+        if is_classic:
+            # Classics skew old: quadratic pull toward the early years.
+            frac = rng.random() ** 2
+            difficulty = float(np.clip(rng.normal(4.3, 0.5), 1.0, config.num_levels))
+            genre = _CLASSIC_GENRES[int(rng.integers(len(_CLASSIC_GENRES)))]
+            director = f"director{int(rng.integers(num_auteurs))}"
+        else:
+            frac = 1.0 - rng.random() ** 2  # light films skew recent
+            if rng.random() < 0.6:
+                difficulty = float(np.clip(rng.normal(1.6, 0.5), 1.0, config.num_levels))
+                genre = _LIGHT_GENRES[int(rng.integers(len(_LIGHT_GENRES)))]
+            else:
+                difficulty = float(np.clip(rng.normal(3.0, 0.7), 1.0, config.num_levels))
+                genre = GENRES[int(rng.integers(len(GENRES)))]
+            director = f"director{int(rng.integers(num_auteurs, config.num_directors))}"
+        year = config.first_release_year + frac * (
+            config.last_release_year - config.first_release_year
+        )
+        movie_id = f"movie{k}"
+        items.append(
+            Item(
+                id=movie_id,
+                features={
+                    "genre": genre,
+                    "director": director,
+                    "actor": f"actor{int(rng.integers(config.num_actors))}",
+                },
+                metadata={
+                    "year": float(year),
+                    "difficulty": difficulty,
+                    "classic": bool(is_classic),
+                    "quality": float(rng.normal(0, 0.3)),
+                },
+            )
+        )
+        years[k] = year
+        difficulties[k] = difficulty
+        true_difficulty[movie_id] = difficulty
+    return ItemCatalog(items), true_difficulty, years, difficulties
+
+
+def generate_film(config: FilmConfig | None = None) -> SimulatedDataset:
+    """Simulate movie-watching sequences in calendar time."""
+    config = config or FilmConfig()
+    catalog, true_difficulty, years, difficulties = _generate_movies(config)
+    movie_ids = list(catalog.ids)
+    qualities = np.asarray([catalog[i].metadata["quality"] for i in movie_ids])
+    rng = rng_for(config.seed, "film", "sequences")
+
+    # Head-skewed popularity: blockbusters draw most views; without the
+    # skew, ID-based ranking could not beat random guessing.
+    popularity = 1.0 / np.arange(1, config.num_items + 1, dtype=np.float64) ** (
+        config.popularity_exponent
+    )
+    rng.shuffle(popularity)
+    # Capacity kernel per level (independent of time), computed once.
+    capacity = np.empty((config.num_levels, config.num_items))
+    for level in range(1, config.num_levels + 1):
+        gap = difficulties - level
+        capacity[level - 1] = popularity * np.where(
+            gap > 0,
+            np.exp(-config.skill_affinity * 2.0 * gap),
+            np.exp(config.skill_affinity * 0.4 * gap),
+        )
+
+    sequences = []
+    true_skills: dict[str, np.ndarray] = {}
+    for u in range(config.num_users):
+        user = f"viewer{u}"
+        length = max(2, int(rng.poisson(config.mean_sequence_length)))
+        start = rng.uniform(config.first_action_year, config.last_action_year - 1.0)
+        span = rng.uniform(1.0, config.last_action_year - start)
+        times = np.sort(start + rng.random(length) * span)
+        if rng.random() < config.start_at_bottom_prob:
+            level = 1  # most viewers enter the platform as casual fans
+        else:
+            level = int(rng.integers(1, config.num_levels + 1))
+        actions = []
+        levels = np.empty(length, dtype=np.int64)
+        for n in range(length):
+            now = float(times[n])
+            levels[n] = level
+            released = years <= now
+            age = now - years
+            if np.isinf(config.lastness_tau):
+                recency = np.ones_like(age)
+            else:
+                recency = np.exp(-age / config.lastness_tau) + config.lastness_floor
+            weights = np.where(released, recency * capacity[level - 1], 0.0)
+            total = weights.sum()
+            if total <= 0:  # nothing released yet: fall back to the oldest film
+                idx = int(np.argmin(years))
+            else:
+                cdf = np.cumsum(weights)
+                idx = int(np.searchsorted(cdf, rng.random() * cdf[-1], side="right"))
+                idx = min(idx, config.num_items - 1)
+            match = -0.25 * abs(float(difficulties[idx]) - level)
+            rating = float(
+                np.clip(3.4 + float(qualities[idx]) + match + rng.normal(0, config.rating_noise), 0, 5)
+            )
+            actions.append(Action(time=now, user=user, item=movie_ids[idx], rating=rating))
+            if level < config.num_levels and rng.random() < config.level_up_prob:
+                level += 1
+        sequences.append(ActionSequence(user, actions, presorted=True))
+        true_skills[user] = levels
+
+    return SimulatedDataset(
+        name="film",
+        log=ActionLog(sequences),
+        catalog=catalog,
+        feature_set=film_feature_set(),
+        true_skills=true_skills,
+        true_difficulty=true_difficulty,
+    )

@@ -1,0 +1,109 @@
+"""Synthetic dataset with skill decay (for the forgetting extension).
+
+Extends the paper's synthetic recipe (Section VI-A) with the phenomenon
+its discussion section raises: skills fade over idle periods.  Users act
+at irregular times (exponential inter-arrival gaps); before each action,
+the skill drops one level with probability ``1 − exp(−gap / half_life)``
+(Ebbinghaus-shaped), then the usual within-capacity selection and
+step-up-on-success dynamics apply.
+
+Ground truth therefore contains genuine level *decreases*, which the base
+monotone model cannot represent — exactly the failure mode
+:mod:`repro.core.forgetting` exists to fix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.actions import Action, ActionLog, ActionSequence
+from repro.exceptions import ConfigurationError
+from repro.synth.base import SimulatedDataset, sample_sequence_length
+from repro.synth.generator import SyntheticConfig, _generate_items, synthetic_feature_set
+from repro.synth.seeds import rng_for
+
+__all__ = ["ForgettingDataConfig", "generate_forgetting"]
+
+
+@dataclass(frozen=True)
+class ForgettingDataConfig:
+    """Knobs of the decaying-skill generator.
+
+    ``base`` supplies the item catalog and selection dynamics;
+    ``mean_gap``/``long_gap_prob``/``long_gap_scale`` shape the action
+    times (mostly short gaps with occasional long breaks, where forgetting
+    bites); ``half_life`` is the true decay constant.
+    """
+
+    #: Decay must stay an occasional correction, not the dominant drift:
+    #: if forgetting outpaces levelling up, the population drains to level
+    #: 1 and *any* progression model inverts.  The defaults keep expected
+    #: ups above expected drops (≈ 0.08 vs ≈ 0.05 per action).
+    base: SyntheticConfig = SyntheticConfig(
+        num_users=300, num_items=1500, seed=41, level_up_prob=0.15
+    )
+    mean_gap: float = 0.2
+    long_gap_prob: float = 0.05
+    long_gap_scale: float = 40.0
+    half_life: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.mean_gap <= 0 or self.long_gap_scale <= 0:
+            raise ConfigurationError("gap scales must be positive")
+        if not 0 <= self.long_gap_prob <= 1:
+            raise ConfigurationError("long_gap_prob must be in [0, 1]")
+        if self.half_life <= 0:
+            raise ConfigurationError("half_life must be positive")
+
+
+def generate_forgetting(config: ForgettingDataConfig | None = None) -> SimulatedDataset:
+    """Generate action sequences whose true skill can decay over gaps."""
+    config = config or ForgettingDataConfig()
+    base = config.base
+    catalog, true_difficulty, pools = _generate_items(base)
+    rng = rng_for(base.seed, "forgetting", "sequences")
+
+    sequences = []
+    true_skills: dict[int, np.ndarray] = {}
+    for user in range(base.num_users):
+        length = sample_sequence_length(rng, base.mean_sequence_length)
+        level = int(rng.integers(1, base.num_levels + 1))
+        actions = []
+        levels = np.empty(length, dtype=np.int64)
+        now = 0.0
+        for n in range(length):
+            if n > 0:
+                # Mostly steady practice, occasionally a long break.
+                if rng.random() < config.long_gap_prob:
+                    gap = rng.exponential(config.long_gap_scale)
+                else:
+                    gap = rng.exponential(config.mean_gap)
+                now += gap
+                # Ebbinghaus decay over the idle gap.
+                forget_prob = 1.0 - np.exp(-gap / config.half_life)
+                if level > 1 and rng.random() < forget_prob:
+                    level -= 1
+            levels[n] = level
+            at_level = level == 1 or rng.random() < base.at_level_prob
+            if at_level:
+                pool = pools[level - 1]
+            else:
+                easier = int(rng.integers(1, level))
+                pool = pools[easier - 1]
+            item_id = int(pool[rng.integers(len(pool))])
+            actions.append(Action(time=now, user=user, item=item_id))
+            if at_level and level < base.num_levels and rng.random() < base.level_up_prob:
+                level += 1
+        sequences.append(ActionSequence(user, actions, presorted=True))
+        true_skills[user] = levels
+
+    return SimulatedDataset(
+        name="forgetting",
+        log=ActionLog(sequences),
+        catalog=catalog,
+        feature_set=synthetic_feature_set(),
+        true_skills=true_skills,
+        true_difficulty=true_difficulty,
+    )

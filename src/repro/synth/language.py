@@ -1,0 +1,210 @@
+"""Simulated Lang-8 language-learning domain.
+
+The paper's Language dataset (NAIST Lang-8 Learner Corpora) is
+distribution-restricted, so we simulate a corpus with the same structure
+and the same skill signal the paper reports (Section VI-A/C, Figure 4,
+Table II):
+
+- Every action is one user posting an English article; **each article is a
+  distinct item selected exactly once** (by its author), which is why the
+  paper excludes this domain from item prediction and never filters it.
+- Item features mirror the paper's:
+
+  - ``sentences`` — sentence count, Poisson; the paper found *no* skill
+    trend here (means ≈ 10.8 / 11.6 / 10.3 across levels), so we hold the
+    mean flat on purpose: a good model should learn nothing from it.
+  - ``corrections`` — mean corrections per corrector, gamma; decreases
+    with skill (paper means ≈ 5.06 / 4.85 / 2.64).
+  - ``corrected_ratio`` — fraction of corrected sentences, gamma;
+    decreases with skill.
+  - ``rule`` — a categorical correction rule extracted from the article's
+    edits; novice rules (capitalization "i"→"I", missing periods) fade as
+    skill grows and advanced rules (article usage "a"→"the", annotator
+    parentheses) grow — exactly the dominance contrast of Table II.
+
+The simulator is the only one whose catalog grows with the log (one item
+per action), exercising the extreme-sparsity path of the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.features import FeatureKind, FeatureSet, FeatureSpec
+from repro.data.actions import Action, ActionLog, ActionSequence
+from repro.data.items import Item, ItemCatalog
+from repro.exceptions import ConfigurationError
+from repro.synth.base import SimulatedDataset, sample_sequence_length
+from repro.synth.seeds import rng_for
+
+__all__ = ["LanguageConfig", "generate_language", "language_feature_set", "CORRECTION_RULES"]
+
+#: Correction rules as (before, after, novice_weight, expert_weight).
+#: ``ε`` marks an insertion/deletion, as in the paper's Table II.
+#: Novice-dominated rules carry high first weights; expert-dominated rules
+#: high second weights; fillers are flat.
+CORRECTION_RULES: tuple[tuple[str, str, float, float], ...] = (
+    # --- novice-dominated (capitalization, punctuation, basic articles)
+    ('"i"', '"I"', 10.0, 1.0),
+    ("ε", '"I"', 7.0, 1.0),
+    ('"english"', '"English"', 6.0, 0.8),
+    ("ε", '"a"', 6.0, 1.5),
+    ("ε", '"."', 5.5, 1.2),
+    ("ε", '"my"', 4.0, 1.0),
+    ('"."', "ε", 4.0, 1.2),
+    ("ε", '"English"', 3.5, 0.8),
+    ('","', "ε", 3.5, 1.3),
+    ('"i"', "ε", 3.0, 0.7),
+    # --- expert-dominated (article nuance, annotator comments in brackets)
+    ("ε", '"the"', 2.0, 9.0),
+    ("ε", '"("', 0.8, 6.5),
+    ("ε", '")"', 0.8, 6.5),
+    ('"the"', "ε", 1.2, 6.0),
+    ("ε", '"of"', 1.0, 5.0),
+    ('"of"', "ε", 0.8, 3.5),
+    ("ε", '"["', 0.4, 2.8),
+    ("ε", '"]"', 0.4, 2.8),
+    ('"a"', '"the"', 1.0, 3.0),
+    ("ε", '"/"', 0.3, 2.0),
+    # --- skill-neutral filler rules
+    ('"is"', '"was"', 2.0, 2.0),
+    ('"go"', '"went"', 2.0, 2.0),
+    ('"very"', "ε", 1.5, 1.5),
+    ('"much"', '"many"', 1.5, 1.5),
+    ('"in"', '"on"', 2.5, 2.5),
+    ('"at"', '"in"', 2.0, 2.0),
+)
+
+
+@dataclass(frozen=True)
+class LanguageConfig:
+    """Simulation knobs; the defaults produce the paper's qualitative shape.
+
+    ``correction_means`` are the per-level means of the
+    corrections-per-corrector feature (length must equal ``num_levels``);
+    the defaults are the values the paper learned.  ``sentence_mean`` is
+    deliberately level-independent.
+    """
+
+    num_users: int = 800
+    num_levels: int = 3
+    mean_sequence_length: float = 12.0
+    sentence_mean: float = 11.0
+    correction_means: tuple[float, ...] = (5.06, 4.85, 2.64)
+    corrected_ratio_means: tuple[float, ...] = (0.80, 0.62, 0.38)
+    level_up_prob: float = 0.12
+    start_at_bottom_prob: float = 0.7
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_users < 1:
+            raise ConfigurationError("need at least one user")
+        if len(self.correction_means) != self.num_levels:
+            raise ConfigurationError("correction_means must have one entry per level")
+        if len(self.corrected_ratio_means) != self.num_levels:
+            raise ConfigurationError("corrected_ratio_means must have one entry per level")
+        if any(m <= 0 for m in self.correction_means + self.corrected_ratio_means):
+            raise ConfigurationError("gamma feature means must be positive")
+
+
+def language_feature_set() -> FeatureSet:
+    """Feature schema of simulated articles.
+
+    No ID feature: every article is written once, so the item id carries
+    zero generalizable signal (the paper excludes Language from the
+    ID-based prediction tasks for the same reason).
+    """
+    return FeatureSet(
+        [
+            FeatureSpec("sentences", FeatureKind.COUNT),
+            FeatureSpec("corrections", FeatureKind.POSITIVE),
+            FeatureSpec("corrected_ratio", FeatureKind.POSITIVE),
+            FeatureSpec("rule", FeatureKind.CATEGORICAL, vocabulary=_rule_names()),
+        ]
+    )
+
+
+def _rule_names() -> tuple[str, ...]:
+    return tuple(f"{before}→{after}" for before, after, _, _ in CORRECTION_RULES)
+
+
+def _rule_probs(config: LanguageConfig) -> np.ndarray:
+    """Per-level rule distributions, shape ``(num_levels, num_rules)``.
+
+    Weights interpolate linearly from the novice weight at level 1 to the
+    expert weight at level S.
+    """
+    rules = np.asarray(
+        [(novice, expert) for _, _, novice, expert in CORRECTION_RULES], dtype=np.float64
+    )
+    probs = np.empty((config.num_levels, len(rules)))
+    for level in range(1, config.num_levels + 1):
+        frac = 0.0 if config.num_levels == 1 else (level - 1) / (config.num_levels - 1)
+        weights = rules[:, 0] * (1.0 - frac) + rules[:, 1] * frac
+        probs[level - 1] = weights / weights.sum()
+    return probs
+
+
+def generate_language(config: LanguageConfig | None = None) -> SimulatedDataset:
+    """Simulate learners posting articles; one fresh item per action."""
+    config = config or LanguageConfig()
+    rng = rng_for(config.seed, "language")
+    rule_probs = _rule_probs(config)
+    gamma_shape = 4.0  # moderate spread around the per-level means
+
+    items: list[Item] = []
+    sequences: list[ActionSequence] = []
+    true_skills: dict[str, np.ndarray] = {}
+    true_difficulty: dict[str, float] = {}
+    article_counter = 0
+    for u in range(config.num_users):
+        user = f"learner{u}"
+        length = sample_sequence_length(rng, config.mean_sequence_length)
+        level = 1 if rng.random() < config.start_at_bottom_prob else int(
+            rng.integers(1, config.num_levels + 1)
+        )
+        actions = []
+        levels = np.empty(length, dtype=np.int64)
+        for n in range(length):
+            levels[n] = level
+            article_id = f"article{article_counter}"
+            article_counter += 1
+            sentences = int(rng.poisson(config.sentence_mean))
+            corrections = float(
+                rng.gamma(gamma_shape, config.correction_means[level - 1] / gamma_shape)
+            )
+            ratio = float(
+                rng.gamma(gamma_shape, config.corrected_ratio_means[level - 1] / gamma_shape)
+            )
+            rule = _rule_names()[int(rng.choice(len(CORRECTION_RULES), p=rule_probs[level - 1]))]
+            items.append(
+                Item(
+                    id=article_id,
+                    features={
+                        "sentences": sentences,
+                        "corrections": max(corrections, 1e-6),
+                        "corrected_ratio": max(ratio, 1e-6),
+                        "rule": rule,
+                    },
+                    metadata={"author": user, "true_level": level},
+                )
+            )
+            # An article "written at" level s effectively has difficulty s:
+            # only a level-s author produces it.
+            true_difficulty[article_id] = float(level)
+            actions.append(Action(time=float(n), user=user, item=article_id))
+            if level < config.num_levels and rng.random() < config.level_up_prob:
+                level += 1
+        sequences.append(ActionSequence(user, actions, presorted=True))
+        true_skills[user] = levels
+
+    return SimulatedDataset(
+        name="language",
+        log=ActionLog(sequences),
+        catalog=ItemCatalog(items),
+        feature_set=language_feature_set(),
+        true_skills=true_skills,
+        true_difficulty=true_difficulty,
+    )

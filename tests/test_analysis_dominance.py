@@ -1,0 +1,91 @@
+"""Tests for repro.analysis.dominance and interpret."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.dominance import dominance_scores, top_dominated
+from repro.analysis.interpret import feature_trend, top_items_summary
+from repro.exceptions import ConfigurationError
+
+
+class TestDominance:
+    def test_scores_are_probability_gaps(self, fitted_tiny_model):
+        entries = dominance_scores(fitted_tiny_model, "color")
+        low = fitted_tiny_model.parameters.distribution("color", 1)
+        high = fitted_tiny_model.parameters.distribution(
+            "color", fitted_tiny_model.num_levels
+        )
+        vocab = fitted_tiny_model.encoded.vocabulary("color")
+        for entry in entries:
+            code = vocab.index(entry.value)
+            assert entry.score == pytest.approx(high.probs[code] - low.probs[code])
+
+    def test_scores_sum_to_zero(self, fitted_tiny_model):
+        entries = dominance_scores(fitted_tiny_model, "color")
+        assert sum(e.score for e in entries) == pytest.approx(0.0, abs=1e-9)
+
+    def test_non_categorical_rejected(self, fitted_tiny_model):
+        with pytest.raises(ConfigurationError):
+            dominance_scores(fitted_tiny_model, "weight")
+
+    def test_top_dominated_split(self, fitted_tiny_model):
+        unskilled, skilled = top_dominated(fitted_tiny_model, "color", k=3)
+        assert all(e.score < 0 for e in unskilled)
+        assert all(e.score > 0 for e in skilled)
+        # ordering: most extreme first on each side
+        if len(unskilled) > 1:
+            assert unskilled[0].score <= unskilled[1].score
+        if len(skilled) > 1:
+            assert skilled[0].score >= skilled[1].score
+
+    def test_k_validation(self, fitted_tiny_model):
+        with pytest.raises(ConfigurationError):
+            top_dominated(fitted_tiny_model, "color", k=0)
+
+    def test_planted_signal_recovered(self):
+        """On the language simulator, the planted rule gradient must come
+        out of the fitted model's dominance ranking."""
+        from repro.core.training import fit_skill_model
+        from repro.synth import LanguageConfig, generate_language
+
+        ds = generate_language(LanguageConfig(num_users=200, seed=4))
+        model = fit_skill_model(
+            ds.log, ds.catalog, ds.feature_set, 3, init_min_actions=10, max_iterations=20
+        )
+        unskilled, skilled = top_dominated(model, "rule", k=10)
+        assert any(e.value == '"i"→"I"' for e in unskilled)
+        assert any(e.value == 'ε→"the"' for e in skilled)
+
+
+class TestInterpret:
+    def test_feature_trend_shapes(self, fitted_tiny_model):
+        trend = feature_trend(fitted_tiny_model, "steps")
+        assert len(trend.means) == fitted_tiny_model.num_levels
+        assert trend.spread == pytest.approx(max(trend.means) - min(trend.means))
+
+    def test_trend_flags(self):
+        from repro.analysis.interpret import LevelTrend
+
+        assert LevelTrend("x", (1.0, 2.0, 3.0)).increasing
+        assert not LevelTrend("x", (1.0, 2.0, 3.0)).decreasing
+        assert LevelTrend("x", (3.0, 2.0, 1.0)).decreasing
+        assert not LevelTrend("x", (1.0, 3.0, 2.0)).increasing
+
+    def test_top_items_summary(self, fitted_tiny_model, tiny_catalog):
+        summary = top_items_summary(
+            fitted_tiny_model, 1, 5, catalog=tiny_catalog, metadata_keys=("difficulty",)
+        )
+        assert summary.level == 1
+        assert len(summary.items) == 5
+        assert "difficulty" in summary.mean_metadata
+        assert 1.0 <= summary.mean_metadata["difficulty"] <= 3.0
+
+    def test_metadata_requires_catalog(self, fitted_tiny_model):
+        with pytest.raises(ConfigurationError):
+            top_items_summary(fitted_tiny_model, 1, 5, metadata_keys=("difficulty",))
+
+    def test_missing_metadata_key_gives_nan(self, fitted_tiny_model, tiny_catalog):
+        summary = top_items_summary(
+            fitted_tiny_model, 1, 3, catalog=tiny_catalog, metadata_keys=("ghost",)
+        )
+        assert np.isnan(summary.mean_metadata["ghost"])

@@ -1,0 +1,124 @@
+"""Tests for repro.analysis.metrics."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.analysis.metrics import (
+    bootstrap_ci,
+    paired_wilcoxon,
+    rmse,
+    score_estimates,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestRmse:
+    def test_known_value(self):
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_perfect(self):
+        assert rmse(np.array([1.0, 2.0]), np.array([1.0, 2.0])) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            rmse(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_empty(self):
+        with pytest.raises(ConfigurationError):
+            rmse(np.array([]), np.array([]))
+
+
+class TestScoreEstimates:
+    def test_perfect_correlation(self):
+        truth = np.array([1.0, 2.0, 3.0, 4.0])
+        scores = score_estimates(truth, truth * 2)
+        assert scores.pearson == pytest.approx(1.0)
+        assert scores.spearman == pytest.approx(1.0)
+        assert scores.kendall == pytest.approx(1.0)
+
+    def test_anti_correlation(self):
+        truth = np.array([1.0, 2.0, 3.0])
+        scores = score_estimates(truth, -truth)
+        assert scores.pearson == pytest.approx(-1.0)
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=50), rng.normal(size=50)
+        scores = score_estimates(a, b)
+        assert scores.pearson == pytest.approx(stats.pearsonr(a, b).statistic)
+        assert scores.spearman == pytest.approx(stats.spearmanr(a, b).statistic)
+        assert scores.kendall == pytest.approx(stats.kendalltau(a, b).statistic)
+
+    def test_constant_estimate_gives_nan(self):
+        scores = score_estimates(np.array([1.0, 2.0, 3.0]), np.array([2.0, 2.0, 2.0]))
+        assert np.isnan(scores.pearson)
+
+    def test_too_short(self):
+        with pytest.raises(ConfigurationError):
+            score_estimates(np.array([1.0]), np.array([1.0]))
+
+    def test_as_row(self):
+        scores = score_estimates(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+        assert len(scores.as_row()) == 4
+
+
+class TestBootstrapCI:
+    def test_contains_point_estimate(self):
+        rng = np.random.default_rng(1)
+        truth = rng.normal(size=200)
+        estimate = truth + rng.normal(0, 0.5, size=200)
+        low, high = bootstrap_ci(truth, estimate, num_resamples=300, seed=0)
+        point = stats.pearsonr(truth, estimate).statistic
+        assert low <= point <= high
+        assert high - low < 0.3
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=50)
+        b = a + rng.normal(0, 1, size=50)
+        assert bootstrap_ci(a, b, seed=5) == bootstrap_ci(a, b, seed=5)
+
+    def test_custom_statistic(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0] * 10)
+        b = a + 1
+        low, high = bootstrap_ci(a, b, statistic=lambda t, e: np.mean(e - t), seed=0)
+        assert low == pytest.approx(1.0)
+        assert high == pytest.approx(1.0)
+
+    def test_bad_confidence(self):
+        a = np.array([1.0, 2.0, 3.0])
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci(a, a, confidence=1.5)
+
+
+class TestPairedWilcoxon:
+    def test_clear_difference_significant(self):
+        rng = np.random.default_rng(3)
+        base = rng.uniform(1, 2, size=200)
+        worse = base + rng.uniform(0.5, 1.0, size=200)
+        p, significant = paired_wilcoxon(base, worse)
+        assert significant
+        assert p < 0.01
+
+    def test_identical_not_significant(self):
+        a = np.ones(50)
+        p, significant = paired_wilcoxon(a, a)
+        assert not significant
+        assert p == 1.0
+
+    def test_bonferroni_scales_p(self):
+        rng = np.random.default_rng(4)
+        a = rng.uniform(size=30)
+        b = a + rng.normal(0, 0.3, size=30)
+        p1, _ = paired_wilcoxon(a, b, num_comparisons=1)
+        p3, _ = paired_wilcoxon(a, b, num_comparisons=3)
+        assert p3 == pytest.approx(min(1.0, p1 * 3))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            paired_wilcoxon(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            paired_wilcoxon(np.ones(5), np.ones(5), num_comparisons=0)

@@ -1,0 +1,86 @@
+"""Tests for repro.analysis.preprocessing (lastness removal)."""
+
+import pytest
+
+from repro.analysis.preprocessing import remove_lastness
+from repro.data.actions import Action, ActionLog
+from repro.data.items import Item, ItemCatalog
+from repro.exceptions import DataError
+
+
+def _catalog(years):
+    return ItemCatalog(
+        [Item(id=f"m{k}", features={"g": "x"}, metadata={"year": y}) for k, y in enumerate(years)]
+    )
+
+
+class TestRemoveLastness:
+    def test_cutoff_is_earliest_action(self):
+        catalog = _catalog([1990.0, 2000.0, 2010.0])
+        log = ActionLog.from_actions(
+            [
+                Action(time=2005.0, user="u", item="m0"),
+                Action(time=2008.0, user="u", item="m2"),
+            ]
+        )
+        clean_log, clean_catalog, stats = remove_lastness(log, catalog)
+        assert stats.cutoff_time == 2005.0
+        # m2 (2010) released after the cutoff: dropped from both sides
+        assert "m2" not in clean_catalog
+        assert "m2" not in clean_log.selected_items
+        assert "m0" in clean_catalog and "m1" in clean_catalog
+
+    def test_every_kept_item_selectable_at_any_time(self):
+        catalog = _catalog([1990.0, 2003.0, 2007.0])
+        log = ActionLog.from_actions(
+            [
+                Action(time=2004.0, user="a", item="m0"),
+                Action(time=2009.0, user="b", item="m2"),
+            ]
+        )
+        clean_log, clean_catalog, _ = remove_lastness(log, catalog)
+        cutoff = log.earliest_time()
+        for item in clean_catalog:
+            assert item.metadata["year"] <= cutoff
+
+    def test_users_with_no_remaining_actions_dropped(self):
+        catalog = _catalog([1990.0, 2010.0])
+        log = ActionLog.from_actions(
+            [
+                Action(time=2000.0, user="a", item="m0"),
+                Action(time=2012.0, user="b", item="m1"),
+            ]
+        )
+        clean_log, _, _ = remove_lastness(log, catalog)
+        assert clean_log.users == ("a",)
+
+    def test_missing_release_key(self):
+        catalog = ItemCatalog([Item(id="m", features={"g": "x"})])
+        log = ActionLog.from_actions([Action(time=2000.0, user="u", item="m")])
+        with pytest.raises(DataError):
+            remove_lastness(log, catalog)
+
+    def test_custom_release_key(self):
+        catalog = ItemCatalog(
+            [Item(id="m", features={"g": "x"}, metadata={"released": 1990.0})]
+        )
+        log = ActionLog.from_actions([Action(time=2000.0, user="u", item="m")])
+        clean_log, clean_catalog, stats = remove_lastness(
+            log, catalog, release_key="released"
+        )
+        assert len(clean_catalog) == 1
+        assert stats.items_after == 1
+
+    def test_stats_reported(self):
+        catalog = _catalog([1990.0, 2010.0])
+        log = ActionLog.from_actions(
+            [
+                Action(time=2000.0, user="a", item="m0"),
+                Action(time=2012.0, user="a", item="m1"),
+            ]
+        )
+        _, _, stats = remove_lastness(log, catalog)
+        assert stats.items_before == 2
+        assert stats.items_after == 1
+        assert stats.actions_before == 2
+        assert stats.actions_after == 1

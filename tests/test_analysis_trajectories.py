@@ -1,0 +1,103 @@
+"""Tests for repro.analysis.trajectories and calibration."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.calibration import difficulty_calibration
+from repro.analysis.trajectories import (
+    level_dwell_times,
+    mean_level_curve,
+    reach_rates,
+    summarize_trajectories,
+)
+from repro.core.difficulty import generation_difficulty
+from repro.exceptions import ConfigurationError, DataError
+
+
+class TestDwellTimes:
+    def test_runs_partition_each_trajectory(self, fitted_tiny_model):
+        dwell = level_dwell_times(fitted_tiny_model)
+        total = sum(sum(runs) for runs in dwell.values())
+        expected = sum(
+            len(fitted_tiny_model.skill_trajectory(u))
+            for u in fitted_tiny_model.assignments
+        )
+        assert total == expected
+
+    def test_monotone_model_visits_each_level_once_per_user(self, fitted_tiny_model):
+        dwell = level_dwell_times(fitted_tiny_model)
+        num_users = len(fitted_tiny_model.assignments)
+        for runs in dwell.values():
+            assert len(runs) <= num_users
+
+
+class TestReachRates:
+    def test_non_increasing_and_bounded(self, fitted_tiny_model):
+        rates = reach_rates(fitted_tiny_model)
+        assert rates[0] == 1.0  # everyone reaches level 1
+        assert np.all(np.diff(rates) <= 1e-12)
+        assert np.all((0 <= rates) & (rates <= 1))
+
+
+class TestMeanLevelCurve:
+    def test_monotone_for_monotone_trainer(self, fitted_tiny_model):
+        curve = mean_level_curve(fitted_tiny_model, num_points=8)
+        assert len(curve) == 8
+        assert np.all(np.diff(curve) >= -1e-9)
+
+    def test_endpoints(self, fitted_tiny_model):
+        curve = mean_level_curve(fitted_tiny_model, num_points=5)
+        firsts = np.mean(
+            [fitted_tiny_model.skill_trajectory(u)[0] for u in fitted_tiny_model.assignments]
+        )
+        lasts = np.mean(
+            [fitted_tiny_model.skill_trajectory(u)[-1] for u in fitted_tiny_model.assignments]
+        )
+        assert curve[0] == pytest.approx(firsts)
+        assert curve[-1] == pytest.approx(lasts)
+
+    def test_validation(self, fitted_tiny_model):
+        with pytest.raises(ConfigurationError):
+            mean_level_curve(fitted_tiny_model, num_points=1)
+
+
+class TestSummary:
+    def test_bundles_everything(self, fitted_tiny_model):
+        summary = summarize_trajectories(fitted_tiny_model, curve_points=6)
+        assert summary.num_users == 3
+        assert 1.0 <= summary.mean_final_level <= 3.0
+        assert len(summary.reach_rates) == 3
+        assert len(summary.level_curve) == 6
+        assert summary.curve_is_non_decreasing
+
+
+class TestCalibration:
+    def test_curve_shape(self, fitted_tiny_model, tiny_log):
+        estimates = generation_difficulty(fitted_tiny_model, prior="empirical")
+        curve = difficulty_calibration(fitted_tiny_model, tiny_log, estimates, num_bins=3)
+        assert len(curve.bins) == 3
+        assert sum(b.num_actions for b in curve.bins) == tiny_log.num_actions
+
+    def test_planted_data_is_rank_calibrated(self):
+        """On synthetic data with strong signal, harder bins must attract
+        more skilled selectors."""
+        from repro.core.training import fit_skill_model
+        from repro.synth import SyntheticConfig, generate_synthetic
+
+        ds = generate_synthetic(SyntheticConfig(num_users=120, num_items=600, seed=9))
+        model = fit_skill_model(
+            ds.log, ds.catalog, ds.feature_set, 5, init_min_actions=30, max_iterations=20
+        )
+        estimates = generation_difficulty(model, prior="empirical")
+        curve = difficulty_calibration(model, ds.log, estimates, num_bins=5)
+        assert curve.monotone_fraction >= 0.75
+        assert curve.skill_span > 1.0
+
+    def test_missing_estimate_rejected(self, fitted_tiny_model, tiny_log):
+        with pytest.raises(DataError):
+            difficulty_calibration(fitted_tiny_model, tiny_log, {"i0": 1.0})
+
+    def test_validation(self, fitted_tiny_model, tiny_log):
+        estimates = generation_difficulty(fitted_tiny_model)
+        with pytest.raises(ConfigurationError):
+            difficulty_calibration(fitted_tiny_model, tiny_log, estimates, num_bins=1)

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "table6"])
+        assert args.experiment == "table6"
+        assert args.scale == "small"
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table6", "--scale", "huge"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table6" in out
+        assert "fig7" in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "PASS" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "table99"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        assert "beer" in capsys.readouterr().out
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import exceptions
+
+        for name in exceptions.__all__:
+            cls = getattr(exceptions, name)
+            assert issubclass(cls, exceptions.ReproError)
+
+    def test_schema_error_is_data_error(self):
+        from repro.exceptions import DataError, SchemaError
+
+        assert issubclass(SchemaError, DataError)
+
+    def test_package_exports(self):
+        import repro
+
+        assert repro.__version__
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

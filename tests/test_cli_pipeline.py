@@ -1,0 +1,82 @@
+"""Tests for the simulate → fit → score CLI pipeline and schema IO."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.features import FeatureKind, FeatureSet, FeatureSpec
+from repro.exceptions import ConfigurationError
+
+
+class TestFeatureSetJson:
+    def test_round_trip(self):
+        fs = FeatureSet(
+            [
+                FeatureSpec("a", FeatureKind.CATEGORICAL, vocabulary=("x", "y")),
+                FeatureSpec("b", FeatureKind.COUNT),
+                FeatureSpec("c", FeatureKind.POSITIVE),
+            ]
+        )
+        restored = FeatureSet.from_json(fs.to_json())
+        assert restored.names == fs.names
+        assert restored.specs[0].vocabulary == ("x", "y")
+        assert restored.specs[1].kind is FeatureKind.COUNT
+
+    def test_json_serializable(self):
+        fs = FeatureSet([FeatureSpec("a", FeatureKind.COUNT)])
+        json.dumps(fs.to_json())  # must not raise
+
+    def test_malformed_payload(self):
+        with pytest.raises(ConfigurationError):
+            FeatureSet.from_json([{"name": "a", "kind": "nonsense"}])
+        with pytest.raises(ConfigurationError):
+            FeatureSet.from_json([{"kind": "count"}])
+
+
+class TestCliPipeline:
+    def test_simulate_fit_score(self, tmp_path, capsys):
+        data = str(tmp_path / "cook")
+        model = str(tmp_path / "model")
+        assert main(
+            ["simulate", "cooking", "--out", data, "--users", "60", "--items", "200", "--seed", "2"]
+        ) == 0
+        assert (tmp_path / "cook.log.jsonl").exists()
+        assert (tmp_path / "cook.catalog.jsonl").exists()
+        assert (tmp_path / "cook.schema.json").exists()
+
+        assert main(
+            [
+                "fit", data,
+                "--levels", "4",
+                "--model", model,
+                "--init-min-actions", "10",
+                "--max-iterations", "10",
+            ]
+        ) == 0
+        assert (tmp_path / "model.json").exists()
+        assert (tmp_path / "model.npz").exists()
+
+        out_file = str(tmp_path / "difficulty.jsonl")
+        assert main(["score", model, "--top", "3", "--output", out_file]) == 0
+        lines = (tmp_path / "difficulty.jsonl").read_text().strip().splitlines()
+        assert len(lines) == 200
+        record = json.loads(lines[0])
+        assert 1.0 <= record["difficulty"] <= 4.0
+        out = capsys.readouterr().out
+        assert "fitted in" in out
+
+    def test_simulate_language_has_no_items_knob(self, tmp_path, capsys):
+        code = main(
+            ["simulate", "language", "--out", str(tmp_path / "x"), "--items", "10"]
+        )
+        assert code == 2
+        assert "no --items knob" in capsys.readouterr().err
+
+    def test_simulate_unknown_domain(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "chess", "--out", "x"])
+
+    def test_score_missing_model(self, tmp_path, capsys):
+        assert main(["score", str(tmp_path / "nope")]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,84 @@
+"""Tests for repro.core.baselines (Uniform and ID models)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import fit_id_baseline, fit_uniform_baseline, id_feature_set
+from repro.core.features import ID_FEATURE
+from repro.core.training import uniform_segment_levels
+from repro.data.actions import ActionLog
+from repro.exceptions import DataError
+
+
+class TestIdFeatureSet:
+    def test_only_id(self):
+        fs = id_feature_set()
+        assert fs.names == (ID_FEATURE,)
+
+
+class TestUniformBaseline:
+    def test_assignments_are_equal_segments(self, tiny_log, tiny_catalog):
+        model = fit_uniform_baseline(tiny_log, tiny_catalog, 3)
+        for seq in tiny_log:
+            expected = uniform_segment_levels(len(seq), 3) + 1
+            np.testing.assert_array_equal(model.skill_trajectory(seq.user), expected)
+
+    def test_no_iteration(self, tiny_log, tiny_catalog):
+        model = fit_uniform_baseline(tiny_log, tiny_catalog, 3)
+        assert model.trace.num_iterations == 1
+        assert model.trace.converged
+
+    def test_produces_usable_id_distributions(self, tiny_log, tiny_catalog):
+        model = fit_uniform_baseline(tiny_log, tiny_catalog, 3)
+        probs = model.item_probabilities(2)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_custom_feature_set(self, tiny_log, tiny_catalog, tiny_feature_set):
+        model = fit_uniform_baseline(
+            tiny_log, tiny_catalog, 3, feature_set=tiny_feature_set
+        )
+        assert model.feature_set.names == tiny_feature_set.names
+
+    def test_empty_log_rejected(self, tiny_catalog):
+        with pytest.raises(DataError):
+            fit_uniform_baseline(ActionLog([]), tiny_catalog, 3)
+
+    def test_log_likelihood_consistent_with_assignments(self, tiny_log, tiny_catalog):
+        model = fit_uniform_baseline(tiny_log, tiny_catalog, 2)
+        table = model.item_score_table()
+        manual = 0.0
+        for seq in tiny_log:
+            levels = model.skill_trajectory(seq.user) - 1
+            rows = model.encoded.rows_for(seq.items)
+            manual += table[levels, rows].sum()
+        assert model.log_likelihood == pytest.approx(manual)
+
+    def test_skill_at_works(self, tiny_log, tiny_catalog):
+        model = fit_uniform_baseline(tiny_log, tiny_catalog, 3)
+        assert model.skill_at("u0", 0.0) == 1
+        assert model.skill_at("u0", 1e9) == 3
+
+
+class TestIdBaseline:
+    def test_uses_only_id_feature(self, tiny_log, tiny_catalog):
+        model = fit_id_baseline(tiny_log, tiny_catalog, 3, init_min_actions=5)
+        assert model.feature_set.names == (ID_FEATURE,)
+
+    def test_extra_features_added(self, tiny_log, tiny_catalog, tiny_feature_set):
+        model = fit_id_baseline(
+            tiny_log,
+            tiny_catalog,
+            3,
+            extra_features=tiny_feature_set.subset(["steps"]),
+            init_min_actions=5,
+        )
+        assert set(model.feature_set.names) == {ID_FEATURE, "steps"}
+
+    def test_id_model_fits_better_than_uniform(self, tiny_log, tiny_catalog):
+        """Trained assignments must reach at least the uniform baseline's
+        likelihood — it starts from that initialization."""
+        uniform = fit_uniform_baseline(tiny_log, tiny_catalog, 3)
+        trained = fit_id_baseline(
+            tiny_log, tiny_catalog, 3, init_min_actions=5, max_iterations=30
+        )
+        assert trained.log_likelihood >= uniform.log_likelihood - 1e-6

@@ -1,0 +1,209 @@
+"""Tests for repro.core.distributions: fits, densities, edge cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.core.distributions import Categorical, Gamma, LogNormal, Poisson, distribution_for_kind
+from repro.core.features import FeatureKind
+from repro.exceptions import ConfigurationError, SchemaError
+
+
+class TestCategorical:
+    def test_fit_matches_equation6(self):
+        # counts: category 0 twice, category 1 once, category 2 never
+        values = np.array([0, 0, 1])
+        dist = Categorical.fit(values, num_categories=3, smoothing=0.01)
+        expected = (0.01 + np.array([2, 1, 0])) / (0.03 + 3)
+        np.testing.assert_allclose(dist.probs, expected)
+
+    def test_empty_fit_is_uniform(self):
+        dist = Categorical.fit(np.array([], dtype=int), num_categories=4)
+        np.testing.assert_allclose(dist.probs, 0.25)
+
+    def test_unsmoothed_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Categorical.fit(np.array([], dtype=int), num_categories=2, smoothing=0.0)
+
+    def test_log_prob(self):
+        dist = Categorical(np.array([0.5, 0.5]))
+        np.testing.assert_allclose(dist.log_prob(np.array([0, 1])), np.log(0.5))
+
+    def test_out_of_range_code(self):
+        dist = Categorical(np.array([1.0]))
+        with pytest.raises(SchemaError):
+            dist.log_prob(np.array([1]))
+        with pytest.raises(SchemaError):
+            Categorical.fit(np.array([5]), num_categories=2)
+
+    def test_invalid_probs(self):
+        with pytest.raises(ConfigurationError):
+            Categorical(np.array([0.5, 0.2]))
+        with pytest.raises(ConfigurationError):
+            Categorical(np.array([-0.5, 1.5]))
+
+    def test_weighted_fit(self):
+        values = np.array([0, 1])
+        dist = Categorical.fit(
+            values, num_categories=2, smoothing=0.0, weights=np.array([3.0, 1.0])
+        )
+        np.testing.assert_allclose(dist.probs, [0.75, 0.25])
+
+    def test_mean(self):
+        dist = Categorical(np.array([0.0, 1.0]))
+        assert dist.mean() == 1.0
+
+
+class TestPoisson:
+    def test_fit_is_mean(self):
+        dist = Poisson.fit(np.array([2, 4, 6]))
+        assert dist.rate == pytest.approx(4.0)
+
+    def test_empty_fit_default(self):
+        assert Poisson.fit(np.array([])).rate == 1.0
+
+    def test_all_zero_sample_valid(self):
+        dist = Poisson.fit(np.zeros(10))
+        assert dist.rate > 0
+        assert np.isfinite(dist.log_prob(np.array([0]))[0])
+
+    def test_log_prob_matches_scipy(self):
+        dist = Poisson(rate=3.2)
+        k = np.array([0, 1, 5, 12])
+        np.testing.assert_allclose(dist.log_prob(k), stats.poisson.logpmf(k, 3.2))
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(SchemaError):
+            Poisson(1.0).log_prob(np.array([-1]))
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            Poisson(rate=0.0)
+
+    def test_weighted_fit(self):
+        dist = Poisson.fit(np.array([0.0, 10.0]), weights=np.array([1.0, 3.0]))
+        assert dist.rate == pytest.approx(7.5)
+
+
+class TestGamma:
+    def test_fit_recovers_parameters(self):
+        rng = np.random.default_rng(0)
+        sample = rng.gamma(shape=3.0, scale=2.0, size=20000)
+        dist = Gamma.fit(sample)
+        assert dist.shape == pytest.approx(3.0, rel=0.05)
+        assert dist.scale == pytest.approx(2.0, rel=0.05)
+
+    def test_log_prob_matches_scipy(self):
+        dist = Gamma(shape=2.5, scale=1.7)
+        x = np.array([0.1, 1.0, 5.0])
+        np.testing.assert_allclose(
+            dist.log_prob(x), stats.gamma.logpdf(x, a=2.5, scale=1.7)
+        )
+
+    def test_constant_sample_capped(self):
+        dist = Gamma.fit(np.full(10, 3.0))
+        assert np.isfinite(dist.shape)
+        assert dist.mean() == pytest.approx(3.0, rel=1e-3)
+
+    def test_empty_fit_default(self):
+        dist = Gamma.fit(np.array([]))
+        assert dist.shape == 1.0 and dist.scale == 1.0
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(SchemaError):
+            Gamma.fit(np.array([1.0, 0.0]))
+        with pytest.raises(SchemaError):
+            Gamma(1.0, 1.0).log_prob(np.array([-1.0]))
+
+    def test_single_observation(self):
+        dist = Gamma.fit(np.array([5.0]))
+        assert np.isfinite(dist.shape) and dist.scale > 0
+
+    def test_fit_is_approximate_mle(self):
+        """The fitted parameters should beat nearby perturbations in likelihood."""
+        rng = np.random.default_rng(1)
+        sample = rng.gamma(shape=2.0, scale=0.5, size=2000)
+        dist = Gamma.fit(sample)
+        best = dist.log_prob(sample).sum()
+        for factor in (0.9, 1.1):
+            worse = Gamma(shape=dist.shape * factor, scale=dist.scale)
+            assert worse.log_prob(sample).sum() <= best + 1e-6
+
+
+class TestLogNormal:
+    def test_fit_recovers_parameters(self):
+        rng = np.random.default_rng(0)
+        sample = rng.lognormal(mean=1.0, sigma=0.5, size=20000)
+        dist = LogNormal.fit(sample)
+        assert dist.mu == pytest.approx(1.0, abs=0.02)
+        assert dist.sigma == pytest.approx(0.5, abs=0.02)
+
+    def test_log_prob_matches_scipy(self):
+        dist = LogNormal(mu=0.3, sigma=0.8)
+        x = np.array([0.1, 1.0, 4.0])
+        np.testing.assert_allclose(
+            dist.log_prob(x), stats.lognorm.logpdf(x, s=0.8, scale=np.exp(0.3))
+        )
+
+    def test_constant_sample_floored(self):
+        dist = LogNormal.fit(np.full(5, 2.0))
+        assert dist.sigma >= 1e-6
+        assert np.isfinite(dist.log_prob(np.array([2.0]))[0])
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(SchemaError):
+            LogNormal.fit(np.array([-1.0]))
+
+    def test_mean(self):
+        dist = LogNormal(mu=0.0, sigma=1.0)
+        assert dist.mean() == pytest.approx(np.exp(0.5))
+
+
+class TestRegistry:
+    def test_all_kinds_mapped(self):
+        assert distribution_for_kind(FeatureKind.CATEGORICAL) is Categorical
+        assert distribution_for_kind(FeatureKind.COUNT) is Poisson
+        assert distribution_for_kind(FeatureKind.POSITIVE) is Gamma
+        assert distribution_for_kind(FeatureKind.LOG_POSITIVE) is LogNormal
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            distribution_for_kind("nope")
+
+
+class TestWeightValidation:
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Poisson.fit(np.array([1.0]), weights=np.array([-1.0]))
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Gamma.fit(np.array([1.0, 2.0]), weights=np.array([1.0]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(st.integers(0, 4), min_size=0, max_size=50),
+    smoothing=st.floats(min_value=1e-4, max_value=1.0),
+)
+def test_categorical_fit_always_proper(values, smoothing):
+    """Property: smoothed categorical fits are proper distributions."""
+    dist = Categorical.fit(np.asarray(values, dtype=int), num_categories=5, smoothing=smoothing)
+    assert np.all(dist.probs > 0)
+    assert dist.probs.sum() == pytest.approx(1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=1e-3, max_value=1e3, allow_nan=False), min_size=2, max_size=60
+    )
+)
+def test_gamma_fit_always_valid(values):
+    """Property: the gamma fit never produces an invalid density."""
+    dist = Gamma.fit(np.asarray(values))
+    assert np.isfinite(dist.shape) and dist.shape > 0
+    assert np.isfinite(dist.scale) and dist.scale > 0
+    assert np.all(np.isfinite(dist.log_prob(np.asarray(values))))

@@ -1,0 +1,148 @@
+"""Tests for repro.core.dp: the monotone-path dynamic program.
+
+The crown jewel here is the property test comparing the DP against brute
+force over every valid monotone path.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dp import best_monotone_path, path_log_likelihood
+from repro.exceptions import ConfigurationError
+
+
+def brute_force_best(scores: np.ndarray) -> float:
+    """Max total score over all valid paths, by exhaustive enumeration."""
+    n, S = scores.shape
+    best = -np.inf
+    for start in range(S):
+        # enumerate all 2^(n-1) stay/up decision vectors
+        for steps in itertools.product((0, 1), repeat=n - 1):
+            levels = np.cumsum((start,) + steps)
+            if levels[-1] >= S:
+                continue
+            total = scores[np.arange(n), levels].sum()
+            best = max(best, total)
+    return best
+
+
+class TestBestMonotonePath:
+    def test_single_action_picks_argmax(self):
+        scores = np.array([[1.0, 3.0, 2.0]])
+        result = best_monotone_path(scores)
+        assert result.levels.tolist() == [1]
+        assert result.log_likelihood == 3.0
+
+    def test_empty_sequence(self):
+        result = best_monotone_path(np.empty((0, 3)))
+        assert len(result.levels) == 0
+        assert result.log_likelihood == 0.0
+
+    def test_single_level(self):
+        scores = np.array([[1.0], [2.0], [3.0]])
+        result = best_monotone_path(scores)
+        assert result.levels.tolist() == [0, 0, 0]
+        assert result.log_likelihood == 6.0
+
+    def test_monotone_and_step_constraint(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=(30, 4))
+        levels = best_monotone_path(scores).levels
+        steps = np.diff(levels)
+        assert np.all((steps == 0) | (steps == 1))
+
+    def test_forced_progression(self):
+        # Each action strongly prefers the next level up.
+        scores = np.full((3, 3), -10.0)
+        for n in range(3):
+            scores[n, n] = 0.0
+        result = best_monotone_path(scores)
+        assert result.levels.tolist() == [0, 1, 2]
+
+    def test_can_start_above_bottom(self):
+        scores = np.array([[-10.0, 0.0], [-10.0, 0.0]])
+        result = best_monotone_path(scores)
+        assert result.levels.tolist() == [1, 1]
+
+    def test_need_not_reach_top(self):
+        scores = np.array([[0.0, -10.0], [0.0, -10.0]])
+        result = best_monotone_path(scores)
+        assert result.levels.tolist() == [0, 0]
+
+    def test_cannot_skip_levels(self):
+        # Level 2 is great at action 1, but reaching it from level 0 in one
+        # step is illegal; the best legal path must sacrifice something.
+        scores = np.array([[0.0, -5.0, -5.0], [-5.0, -5.0, 100.0]])
+        result = best_monotone_path(scores)
+        # from level 0 we can only reach level 1; from level 1 (start) we
+        # can reach 2: path [1, 2] scores -5 + 100 = 95.
+        assert result.levels.tolist() == [1, 2]
+        assert result.log_likelihood == pytest.approx(95.0)
+
+    def test_ties_break_to_lower_level(self):
+        scores = np.zeros((4, 3))
+        result = best_monotone_path(scores)
+        assert result.levels.tolist() == [0, 0, 0, 0]
+
+    def test_reported_ll_matches_path(self):
+        rng = np.random.default_rng(7)
+        scores = rng.normal(size=(20, 5))
+        result = best_monotone_path(scores)
+        assert result.log_likelihood == pytest.approx(
+            path_log_likelihood(scores, result.levels)
+        )
+
+    def test_bad_shapes(self):
+        with pytest.raises(ConfigurationError):
+            best_monotone_path(np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            best_monotone_path(np.empty((2, 0)))
+
+
+class TestPathLogLikelihood:
+    def test_validates_monotonicity(self):
+        scores = np.zeros((3, 3))
+        with pytest.raises(ConfigurationError):
+            path_log_likelihood(scores, np.array([2, 1, 0]))  # decreasing
+        with pytest.raises(ConfigurationError):
+            path_log_likelihood(scores, np.array([0, 2, 2]))  # skips a level
+
+    def test_validates_range(self):
+        scores = np.zeros((2, 2))
+        with pytest.raises(ConfigurationError):
+            path_log_likelihood(scores, np.array([0, 5]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            path_log_likelihood(np.zeros((2, 2)), np.array([0]))
+
+    def test_empty(self):
+        assert path_log_likelihood(np.empty((0, 2)), np.empty(0, dtype=int)) == 0.0
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    n=st.integers(1, 7),
+    s=st.integers(1, 4),
+    data=st.data(),
+)
+def test_dp_matches_brute_force(n, s, data):
+    """Property: the DP finds the globally optimal monotone path."""
+    flat = data.draw(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=n * s,
+            max_size=n * s,
+        )
+    )
+    scores = np.asarray(flat).reshape(n, s)
+    result = best_monotone_path(scores)
+    assert result.log_likelihood == pytest.approx(brute_force_best(scores))
+    # and the reported path actually achieves the reported value
+    assert path_log_likelihood(scores, result.levels) == pytest.approx(
+        result.log_likelihood
+    )

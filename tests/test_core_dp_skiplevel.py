@@ -1,0 +1,159 @@
+"""Tests for the generalized (skip-level) monotone DP and trainer."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dp import best_monotone_path, path_log_likelihood
+from repro.exceptions import ConfigurationError
+
+
+def brute_force_best(scores, max_step, penalties):
+    """Exhaustive max over paths with steps in 0..max_step."""
+    n, S = scores.shape
+    best = -np.inf
+    for path in itertools.product(range(S), repeat=n):
+        steps = np.diff(path)
+        if np.any(steps < 0) or np.any(steps > max_step):
+            continue
+        total = scores[np.arange(n), list(path)].sum()
+        total += penalties[steps].sum() if n > 1 else 0.0
+        best = max(best, total)
+    return best
+
+
+class TestSkipLevelDP:
+    def test_jump_of_two_reachable(self):
+        scores = np.full((2, 3), -100.0)
+        scores[0, 0] = 0.0
+        scores[1, 2] = 0.0
+        blocked = best_monotone_path(scores, max_step=1)
+        allowed = best_monotone_path(scores, max_step=2)
+        assert allowed.levels.tolist() == [0, 2]
+        assert allowed.log_likelihood > blocked.log_likelihood
+
+    def test_penalties_change_the_optimum(self):
+        scores = np.zeros((2, 3))
+        scores[1, 2] = 1.0  # slight pull to jump 0 → 2
+        free = best_monotone_path(scores, max_step=2)
+        assert free.levels.tolist() == [0, 2]
+        taxed = best_monotone_path(
+            scores, max_step=2, step_log_penalties=np.array([0.0, 0.0, -5.0])
+        )
+        # the −5 jump tax beats the +1 gain: any non-jumping path wins
+        assert taxed.levels.tolist() != [0, 2]
+
+    def test_invalid_penalties(self):
+        scores = np.zeros((2, 2))
+        with pytest.raises(ConfigurationError):
+            best_monotone_path(scores, max_step=1, step_log_penalties=np.array([0.0]))
+        with pytest.raises(ConfigurationError):
+            best_monotone_path(scores, max_step=1, step_log_penalties=np.array([0.0, 0.5]))
+        with pytest.raises(ConfigurationError):
+            best_monotone_path(scores, max_step=0)
+        with pytest.raises(ConfigurationError):
+            best_monotone_path(
+                scores, max_step=1, step_log_penalties=np.array([-np.inf, -np.inf])
+            )
+
+    def test_path_ll_validates_max_step(self):
+        scores = np.zeros((2, 3))
+        with pytest.raises(ConfigurationError):
+            path_log_likelihood(scores, np.array([0, 2]))  # default max_step=1
+        assert path_log_likelihood(scores, np.array([0, 2]), max_step=2) == 0.0
+
+    def test_path_ll_includes_penalties(self):
+        scores = np.zeros((3, 3))
+        penalties = np.array([0.0, -1.0, -3.0])
+        total = path_log_likelihood(
+            scores, np.array([0, 1, 1]), max_step=2, step_log_penalties=penalties
+        )
+        assert total == pytest.approx(-1.0)  # one 1-step, one 0-step
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    n=st.integers(1, 5),
+    s=st.integers(1, 4),
+    max_step=st.integers(1, 3),
+    data=st.data(),
+)
+def test_skip_dp_matches_brute_force(n, s, max_step, data):
+    """Property: the generalized DP is optimal for any step bound/penalty."""
+    flat = data.draw(
+        st.lists(
+            st.floats(min_value=-50, max_value=50, allow_nan=False),
+            min_size=n * s,
+            max_size=n * s,
+        )
+    )
+    raw = data.draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=max_step + 1,
+            max_size=max_step + 1,
+        )
+    )
+    penalties = -np.asarray(raw)
+    scores = np.asarray(flat).reshape(n, s)
+    result = best_monotone_path(scores, max_step=max_step, step_log_penalties=penalties)
+    assert result.log_likelihood == pytest.approx(
+        brute_force_best(scores, max_step, penalties)
+    )
+    assert path_log_likelihood(
+        scores, result.levels, max_step=max_step, step_log_penalties=penalties
+    ) == pytest.approx(result.log_likelihood)
+
+
+class TestSkipLevelTrainer:
+    def test_trainer_accepts_skip_config(self, tiny_log, tiny_catalog, tiny_feature_set):
+        from repro.core.training import fit_skill_model
+
+        model = fit_skill_model(
+            tiny_log,
+            tiny_catalog,
+            tiny_feature_set,
+            3,
+            max_step=2,
+            step_log_penalties=(0.0, -0.3, -1.2),
+            init_min_actions=5,
+            max_iterations=10,
+        )
+        for seq in tiny_log:
+            steps = np.diff(model.skill_trajectory(seq.user))
+            assert np.all((steps >= 0) & (steps <= 2))
+
+    def test_config_validation(self):
+        from repro.core.training import TrainerConfig
+
+        with pytest.raises(ConfigurationError):
+            TrainerConfig(num_levels=3, max_step=0)
+        with pytest.raises(ConfigurationError):
+            TrainerConfig(num_levels=3, max_step=2, step_log_penalties=(0.0, -1.0))
+
+    def test_parallel_matches_serial_with_skip(self, tiny_log, tiny_catalog, tiny_feature_set):
+        from repro.core.parallel import ParallelConfig
+        from repro.core.training import fit_skill_model
+
+        kwargs = dict(
+            max_step=2,
+            step_log_penalties=(0.0, -0.3, -1.2),
+            init_min_actions=5,
+            max_iterations=10,
+        )
+        serial = fit_skill_model(tiny_log, tiny_catalog, tiny_feature_set, 3, **kwargs)
+        parallel = fit_skill_model(
+            tiny_log,
+            tiny_catalog,
+            tiny_feature_set,
+            3,
+            parallel=ParallelConfig(users=True, workers=2),
+            **kwargs,
+        )
+        for user in tiny_log.users:
+            np.testing.assert_array_equal(
+                serial.skill_trajectory(user), parallel.skill_trajectory(user)
+            )

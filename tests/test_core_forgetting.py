@@ -1,0 +1,165 @@
+"""Tests for repro.core.forgetting (decay-aware assignment)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.forgetting import (
+    ForgettingConfig,
+    best_decay_path,
+    fit_forgetting_model,
+    forgetting_log_weight,
+)
+from repro.data.actions import ActionLog
+from repro.exceptions import ConfigurationError, DataError
+
+
+def brute_force_decay(scores, gaps, half_life, floor=1e-6):
+    """Exhaustive max over all ±1-step paths with gap-weighted drops."""
+    n, S = scores.shape
+    down = forgetting_log_weight(gaps, half_life, floor)
+    best = -np.inf
+    for path in itertools.product(range(S), repeat=n):
+        total = 0.0
+        ok = True
+        for t in range(1, n):
+            step = path[t] - path[t - 1]
+            if step == -1:
+                total += down[t - 1]
+            elif step not in (0, 1):
+                ok = False
+                break
+        if not ok:
+            continue
+        total += sum(scores[t, path[t]] for t in range(n))
+        best = max(best, total)
+    return best
+
+
+class TestForgettingWeight:
+    def test_zero_gap_hits_floor(self):
+        weight = forgetting_log_weight(np.array([0.0]), half_life=5.0, floor=1e-6)
+        assert weight[0] == pytest.approx(np.log(1e-6))
+
+    def test_long_gap_approaches_zero(self):
+        weight = forgetting_log_weight(np.array([1e6]), half_life=5.0)
+        assert weight[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_monotone_in_gap(self):
+        gaps = np.array([0.1, 1.0, 10.0, 100.0])
+        weights = forgetting_log_weight(gaps, half_life=5.0)
+        assert np.all(np.diff(weights) > 0)
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            forgetting_log_weight(np.array([-1.0]), half_life=5.0)
+
+
+class TestBestDecayPath:
+    def test_reduces_to_monotone_when_gaps_tiny(self):
+        """With near-zero gaps, drops are ~impossible: matches the base DP."""
+        from repro.core.dp import best_monotone_path
+
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=(15, 4))
+        gaps = np.full(14, 1e-9)
+        decay = best_decay_path(scores, gaps, half_life=10.0)
+        base = best_monotone_path(scores)
+        assert decay.log_likelihood == pytest.approx(base.log_likelihood, abs=1e-3)
+
+    def test_long_gap_allows_drop(self):
+        # Level 1 great early, level 0 great late; only possible via a drop.
+        scores = np.array([[-10.0, 0.0], [0.0, -10.0]])
+        result = best_decay_path(scores, np.array([1000.0]), half_life=5.0)
+        assert result.levels.tolist() == [1, 0]
+
+    def test_short_gap_blocks_drop(self):
+        scores = np.array([[-10.0, 0.0], [0.0, -10.0]])
+        result = best_decay_path(scores, np.array([1e-9]), half_life=5.0)
+        # dropping scores 0 + 0 + log(floor) ≈ −13.8; the best non-drop
+        # paths ([0,0] and [1,1]) tie at −10, so the drop must lose.
+        assert result.levels.tolist() != [1, 0]
+        assert result.log_likelihood == pytest.approx(-10.0)
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(3)
+        for _ in range(25):
+            n, S = int(rng.integers(2, 6)), int(rng.integers(1, 4))
+            scores = rng.normal(size=(n, S)) * 3
+            gaps = rng.exponential(5.0, size=n - 1)
+            result = best_decay_path(scores, gaps, half_life=5.0)
+            assert result.log_likelihood == pytest.approx(
+                brute_force_decay(scores, gaps, 5.0)
+            )
+
+    def test_steps_bounded(self):
+        rng = np.random.default_rng(1)
+        scores = rng.normal(size=(40, 5))
+        gaps = rng.exponential(3.0, size=39)
+        result = best_decay_path(scores, gaps, half_life=5.0)
+        steps = np.diff(result.levels)
+        assert np.all((steps >= -1) & (steps <= 1))
+
+    def test_empty(self):
+        result = best_decay_path(np.empty((0, 3)), np.empty(0), half_life=5.0)
+        assert len(result.levels) == 0
+
+    def test_gap_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            best_decay_path(np.zeros((3, 2)), np.zeros(1), half_life=5.0)
+
+
+class TestFitForgettingModel:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ForgettingConfig(num_levels=0)
+        with pytest.raises(ConfigurationError):
+            ForgettingConfig(num_levels=3, half_life=0.0)
+        with pytest.raises(ConfigurationError):
+            ForgettingConfig(num_levels=3, down_floor=0.0)
+
+    def test_empty_log(self, tiny_catalog, tiny_feature_set):
+        with pytest.raises(DataError):
+            fit_forgetting_model(
+                ActionLog([]), tiny_catalog, tiny_feature_set, ForgettingConfig(num_levels=2)
+            )
+
+    def test_fits_and_exposes_model_api(self, tiny_log, tiny_catalog, tiny_feature_set):
+        model = fit_forgetting_model(
+            tiny_log,
+            tiny_catalog,
+            tiny_feature_set,
+            ForgettingConfig(num_levels=3, init_min_actions=5, max_iterations=15),
+        )
+        assert set(model.assignments) == set(tiny_log.users)
+        levels = model.all_assigned_levels()
+        assert levels.min() >= 1 and levels.max() <= 3
+        assert np.isfinite(model.log_likelihood)
+
+    def test_recovers_planted_decay(self):
+        """On decaying data the model should beat the base trainer."""
+        from repro.core.training import fit_skill_model
+        from repro.synth.forgetting import ForgettingDataConfig, generate_forgetting
+        from repro.synth.generator import SyntheticConfig
+
+        ds = generate_forgetting(
+            ForgettingDataConfig(
+                base=SyntheticConfig(
+                    num_users=80, num_items=500, seed=6, level_up_prob=0.15
+                )
+            )
+        )
+        base = fit_skill_model(
+            ds.log, ds.catalog, ds.feature_set, 5, init_min_actions=30, max_iterations=15
+        )
+        decay = fit_forgetting_model(
+            ds.log,
+            ds.catalog,
+            ds.feature_set,
+            ForgettingConfig(num_levels=5, half_life=20.0, init_min_actions=30, max_iterations=15),
+        )
+        truth = ds.true_skill_array()
+        r_base = np.corrcoef(truth, np.concatenate([base.skill_trajectory(s.user) for s in ds.log]))[0, 1]
+        r_decay = np.corrcoef(truth, np.concatenate([decay.skill_trajectory(s.user) for s in ds.log]))[0, 1]
+        assert r_decay > r_base - 0.05

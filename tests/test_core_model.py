@@ -1,0 +1,193 @@
+"""Tests for repro.core.model: parameter grid, scoring, fitted-model API."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import Categorical, Gamma, Poisson
+from repro.core.features import ID_FEATURE, FeatureKind, FeatureSet, FeatureSpec
+from repro.core.model import SkillParameters
+from repro.data.items import Item, ItemCatalog
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+
+
+@pytest.fixture
+def encoded(tiny_catalog, tiny_feature_set):
+    return tiny_feature_set.encode(tiny_catalog)
+
+
+def _uniform_parameters(encoded, num_levels=3):
+    rows = np.arange(encoded.num_items)
+    levels = rows % num_levels
+    return SkillParameters.fit_from_assignments(
+        encoded, rows, levels, num_levels=num_levels
+    )
+
+
+class TestSkillParameters:
+    def test_fit_produces_right_cell_types(self, encoded):
+        params = _uniform_parameters(encoded)
+        assert isinstance(params.distribution("color", 1), Categorical)
+        assert isinstance(params.distribution("steps", 1), Poisson)
+        assert isinstance(params.distribution("weight", 1), Gamma)
+
+    def test_distribution_level_bounds(self, encoded):
+        params = _uniform_parameters(encoded)
+        with pytest.raises(ConfigurationError):
+            params.distribution("color", 0)
+        with pytest.raises(ConfigurationError):
+            params.distribution("color", 4)
+
+    def test_score_table_shape_and_finiteness(self, encoded):
+        params = _uniform_parameters(encoded)
+        table = params.item_score_table(encoded)
+        assert table.shape == (3, encoded.num_items)
+        assert np.all(np.isfinite(table))
+
+    def test_score_table_is_sum_of_feature_scores(self, encoded, tiny_feature_set):
+        params = _uniform_parameters(encoded)
+        table = params.item_score_table(encoded)
+        manual = np.zeros_like(table)
+        for s in range(3):
+            for f, _spec in enumerate(tiny_feature_set):
+                manual[s] += params.cells[s][f].log_prob(encoded.columns[f])
+        np.testing.assert_allclose(table, manual)
+
+    def test_misaligned_levels_rejected(self, encoded):
+        rows = np.arange(encoded.num_items)
+        with pytest.raises(ConfigurationError):
+            SkillParameters.fit_from_assignments(
+                encoded, rows, np.zeros(3, dtype=int), num_levels=2
+            )
+
+    def test_level_out_of_range_rejected(self, encoded):
+        rows = np.arange(encoded.num_items)
+        with pytest.raises(ConfigurationError):
+            SkillParameters.fit_from_assignments(
+                encoded, rows, np.full(len(rows), 5), num_levels=3
+            )
+
+    def test_empty_level_gets_default_cells(self, encoded):
+        """Levels with no assigned actions stay well-defined (smoothing)."""
+        rows = np.arange(encoded.num_items)
+        levels = np.zeros(len(rows), dtype=int)  # everything at level 1
+        params = SkillParameters.fit_from_assignments(
+            encoded, rows, levels, num_levels=3
+        )
+        table = params.item_score_table(encoded)
+        assert np.all(np.isfinite(table))
+
+    def test_soft_responsibilities_match_hard_when_degenerate(self, encoded):
+        rows = np.arange(encoded.num_items)
+        levels = rows % 3
+        hard = SkillParameters.fit_from_assignments(encoded, rows, levels, num_levels=3)
+        resp = np.zeros((len(rows), 3))
+        resp[np.arange(len(rows)), levels] = 1.0
+        soft = SkillParameters.fit_from_responsibilities(encoded, rows, resp)
+        np.testing.assert_allclose(
+            hard.item_score_table(encoded), soft.item_score_table(encoded), rtol=1e-8
+        )
+
+
+class TestSkillModelAPI:
+    def test_trajectories_are_one_based_and_monotone(self, fitted_tiny_model, tiny_log):
+        for seq in tiny_log:
+            traj = fitted_tiny_model.skill_trajectory(seq.user)
+            assert len(traj) == len(seq)
+            assert traj.min() >= 1
+            assert traj.max() <= fitted_tiny_model.num_levels
+            assert np.all(np.diff(traj) >= 0)
+
+    def test_unknown_user(self, fitted_tiny_model):
+        with pytest.raises(DataError):
+            fitted_tiny_model.skill_trajectory("ghost")
+
+    def test_skill_at_uses_nearest_action(self, fitted_tiny_model):
+        traj = fitted_tiny_model.skill_trajectory("u0")
+        assert fitted_tiny_model.skill_at("u0", -100.0) == traj[0]
+        assert fitted_tiny_model.skill_at("u0", 1e9) == traj[-1]
+
+    def test_empirical_prior_sums_to_one(self, fitted_tiny_model):
+        prior = fitted_tiny_model.empirical_skill_prior()
+        assert prior.shape == (3,)
+        assert prior.sum() == pytest.approx(1.0)
+
+    def test_posterior_rows_sum_to_one(self, fitted_tiny_model):
+        posterior = fitted_tiny_model.posterior_skill_given_item()
+        assert posterior.shape == (12, 3)
+        np.testing.assert_allclose(posterior.sum(axis=1), 1.0)
+
+    def test_posterior_with_explicit_prior(self, fitted_tiny_model):
+        prior = np.array([0.8, 0.1, 0.1])
+        posterior = fitted_tiny_model.posterior_skill_given_item(prior=prior)
+        np.testing.assert_allclose(posterior.sum(axis=1), 1.0)
+
+    def test_posterior_prior_validation(self, fitted_tiny_model):
+        with pytest.raises(ConfigurationError):
+            fitted_tiny_model.posterior_skill_given_item(prior=np.array([0.5, 0.5]))
+        with pytest.raises(ConfigurationError):
+            fitted_tiny_model.posterior_skill_given_item(prior=np.array([0.5, 0.6, -0.1]))
+
+    def test_degenerate_prior_zeroes_level(self, fitted_tiny_model):
+        """A zero prior mass on a level forces zero posterior there."""
+        prior = np.array([0.0, 0.5, 0.5])
+        posterior = fitted_tiny_model.posterior_skill_given_item(prior=prior)
+        np.testing.assert_allclose(posterior[:, 0], 0.0)
+
+    def test_top_items_ordering(self, fitted_tiny_model):
+        top = fitted_tiny_model.top_items(1, 5)
+        probs = [p for _, p in top]
+        assert probs == sorted(probs, reverse=True)
+        assert len(top) == 5
+
+    def test_item_probabilities_requires_id_feature(
+        self, tiny_log, tiny_catalog, tiny_feature_set
+    ):
+        from repro.core.training import fit_skill_model
+
+        model = fit_skill_model(
+            tiny_log, tiny_catalog, tiny_feature_set, 2, init_min_actions=5, max_iterations=5
+        )
+        with pytest.raises(ConfigurationError):
+            model.item_probabilities(1)
+
+    def test_feature_level_means_shapes(self, fitted_tiny_model):
+        means = fitted_tiny_model.feature_level_means("steps")
+        assert len(means) == 3
+        assert all(m >= 0 for m in means)
+
+    def test_log_likelihood_accessor(self, fitted_tiny_model):
+        assert fitted_tiny_model.log_likelihood == fitted_tiny_model.trace.log_likelihoods[-1]
+
+    def test_evaluate_log_likelihood(self, fitted_tiny_model, tiny_log):
+        ll = fitted_tiny_model.evaluate_log_likelihood(
+            tiny_log, fitted_tiny_model.skill_at
+        )
+        assert np.isfinite(ll)
+        # scoring the training data at assigned levels should be close to
+        # (and for identical lookups exactly) the training LL
+        assert ll == pytest.approx(fitted_tiny_model.log_likelihood, rel=0.05)
+
+    def test_score_items_on_new_catalog(self, tiny_log, tiny_catalog, tiny_feature_set):
+        """Scoring unseen items needs a model over shared features only —
+        an ID-bearing model has no parameter for a fresh id."""
+        from repro.core.training import fit_skill_model
+
+        model = fit_skill_model(
+            tiny_log, tiny_catalog, tiny_feature_set, 3, init_min_actions=5, max_iterations=10
+        )
+        new_items = ItemCatalog(
+            [Item(id="new", features={"color": "red", "steps": 2, "weight": 3.0})]
+        )
+        encoded = model.feature_set.encode(new_items)
+        scores = model.score_items(encoded)
+        assert scores.shape == (3, 1)
+        assert np.all(np.isfinite(scores))
+
+
+class TestTrainingTrace:
+    def test_empty_trace_raises(self):
+        from repro.core.model import TrainingTrace
+
+        trace = TrainingTrace(log_likelihoods=(), converged=False, num_iterations=0)
+        with pytest.raises(NotFittedError):
+            trace.final_log_likelihood

@@ -1,0 +1,132 @@
+"""Tests for repro.core.parallel: parallel results must equal serial ones."""
+
+import numpy as np
+import pytest
+
+from repro.core.dp import best_monotone_path
+from repro.core.model import SkillParameters
+from repro.core.parallel import ParallelConfig, PoolAssigner, assign_paths, make_cell_fitter
+from repro.core.training import fit_skill_model
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def score_table():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(4, 50))
+
+
+@pytest.fixture
+def user_rows():
+    rng = np.random.default_rng(1)
+    return [rng.integers(0, 50, size=rng.integers(1, 40)) for _ in range(13)]
+
+
+class TestParallelConfig:
+    def test_defaults_serial(self):
+        config = ParallelConfig()
+        assert not config.users and not config.skills and not config.features
+        assert not config.any_update_axis
+
+    def test_all_axes(self):
+        config = ParallelConfig.all_axes(workers=3)
+        assert config.users and config.skills and config.features
+        assert config.workers == 3
+
+    def test_all_axes_default_workers(self):
+        assert ParallelConfig.all_axes().workers >= 1
+
+    def test_invalid_workers(self):
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(workers=0)
+
+
+class TestAssignPaths:
+    def test_serial_matches_direct_dp(self, score_table, user_rows):
+        results = assign_paths(score_table, user_rows)
+        for rows, result in zip(user_rows, results):
+            direct = best_monotone_path(score_table[:, rows].T)
+            np.testing.assert_array_equal(result.levels, direct.levels)
+            assert result.log_likelihood == direct.log_likelihood
+
+    def test_parallel_matches_serial(self, score_table, user_rows):
+        serial = assign_paths(score_table, user_rows)
+        parallel = assign_paths(
+            score_table, user_rows, ParallelConfig(users=True, workers=2)
+        )
+        for a, b in zip(serial, parallel):
+            np.testing.assert_array_equal(a.levels, b.levels)
+            assert a.log_likelihood == pytest.approx(b.log_likelihood)
+
+    def test_pool_reuse_across_calls(self, score_table, user_rows):
+        with PoolAssigner(ParallelConfig(users=True, workers=2)) as assigner:
+            first = assigner.assign(score_table, user_rows)
+            second = assigner.assign(score_table * 0.5, user_rows)
+        assert len(first) == len(second) == len(user_rows)
+
+    def test_single_user_runs_serial(self, score_table):
+        rows = [np.array([0, 1, 2])]
+        results = assign_paths(score_table, rows, ParallelConfig(users=True, workers=4))
+        assert len(results) == 1
+
+    def test_empty_user_list(self, score_table):
+        assert assign_paths(score_table, []) == []
+
+    def test_empty_sequence_in_parallel(self, score_table):
+        rows = [np.array([], dtype=np.int64), np.array([1, 2, 3])]
+        results = assign_paths(score_table, rows, ParallelConfig(users=True, workers=2))
+        assert len(results[0].levels) == 0
+        assert len(results[1].levels) == 3
+
+
+class TestCellFitter:
+    def test_none_when_no_axis(self):
+        assert make_cell_fitter(None) is None
+        assert make_cell_fitter(ParallelConfig(users=True, workers=4)) is None
+        assert make_cell_fitter(ParallelConfig(skills=True, workers=1)) is None
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            ParallelConfig(skills=True, workers=2),
+            ParallelConfig(features=True, workers=2),
+            ParallelConfig(skills=True, features=True, workers=2),
+        ],
+    )
+    def test_parallel_fit_matches_serial(self, config, tiny_catalog, tiny_feature_set):
+        encoded = tiny_feature_set.encode(tiny_catalog)
+        rows = np.arange(encoded.num_items)
+        levels = rows % 3
+        serial = SkillParameters.fit_from_assignments(encoded, rows, levels, num_levels=3)
+        fitter = make_cell_fitter(config)
+        assert fitter is not None
+        parallel = SkillParameters.fit_from_assignments(
+            encoded, rows, levels, num_levels=3, cell_fitter=fitter
+        )
+        np.testing.assert_allclose(
+            serial.item_score_table(encoded), parallel.item_score_table(encoded)
+        )
+
+
+class TestEndToEndParallelTraining:
+    def test_parallel_fit_equals_serial_fit(self, tiny_log, tiny_catalog, tiny_feature_set):
+        """The full trainer must produce identical models on every axis mix."""
+        serial = fit_skill_model(
+            tiny_log, tiny_catalog, tiny_feature_set, 3, init_min_actions=5, max_iterations=10
+        )
+        parallel = fit_skill_model(
+            tiny_log,
+            tiny_catalog,
+            tiny_feature_set,
+            3,
+            init_min_actions=5,
+            max_iterations=10,
+            parallel=ParallelConfig.all_axes(workers=2),
+        )
+        assert serial.trace.log_likelihoods == pytest.approx(
+            parallel.trace.log_likelihoods
+        )
+        for user in tiny_log.users:
+            np.testing.assert_array_equal(
+                serial.skill_trajectory(user), parallel.skill_trajectory(user)
+            )

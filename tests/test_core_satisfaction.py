@@ -1,0 +1,145 @@
+"""Tests for repro.core.satisfaction (satisfaction-weighted training)."""
+
+import numpy as np
+import pytest
+
+from repro.core.satisfaction import (
+    SatisfactionConfig,
+    fit_satisfaction_model,
+    rating_satisfaction,
+)
+from repro.data.actions import Action, ActionLog
+from repro.exceptions import ConfigurationError, DataError
+
+
+def _rated_log():
+    rng = np.random.default_rng(4)
+    actions = []
+    for u in range(4):
+        for t in range(12):
+            actions.append(
+                Action(
+                    time=float(t),
+                    user=f"u{u}",
+                    item=f"i{int(rng.integers(12))}",
+                    rating=float(rng.uniform(1, 5)),
+                )
+            )
+    return ActionLog.from_actions(actions)
+
+
+class TestRatingSatisfaction:
+    def test_maps_into_floor_one(self):
+        weight = rating_satisfaction(max_rating=5.0, floor=0.1)
+        assert weight(Action(time=0, user="u", item="i", rating=5.0)) == pytest.approx(1.0)
+        assert weight(Action(time=0, user="u", item="i", rating=0.0)) == pytest.approx(0.1)
+        mid = weight(Action(time=0, user="u", item="i", rating=2.5))
+        assert 0.1 < mid < 1.0
+
+    def test_unrated_action_rejected(self):
+        weight = rating_satisfaction()
+        with pytest.raises(DataError):
+            weight(Action(time=0, user="u", item="i"))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            rating_satisfaction(max_rating=0)
+        with pytest.raises(ConfigurationError):
+            rating_satisfaction(floor=1.0)
+
+
+class TestFitSatisfactionModel:
+    def test_fits_rated_log(self, tiny_catalog, tiny_feature_set):
+        log = _rated_log()
+        model = fit_satisfaction_model(
+            log,
+            tiny_catalog,
+            tiny_feature_set,
+            SatisfactionConfig(num_levels=3, init_min_actions=5, max_iterations=15),
+        )
+        assert set(model.assignments) == set(log.users)
+        assert np.isfinite(model.log_likelihood)
+
+    def test_unrated_log_rejected(self, tiny_log, tiny_catalog, tiny_feature_set):
+        with pytest.raises(DataError):
+            fit_satisfaction_model(
+                tiny_log,
+                tiny_catalog,
+                tiny_feature_set,
+                SatisfactionConfig(num_levels=2, init_min_actions=5, max_iterations=3),
+            )
+
+    def test_custom_satisfaction_function(self, tiny_log, tiny_catalog, tiny_feature_set):
+        model = fit_satisfaction_model(
+            tiny_log,
+            tiny_catalog,
+            tiny_feature_set,
+            SatisfactionConfig(
+                num_levels=2,
+                satisfaction=lambda action: 1.0,  # constant weights = base model
+                init_min_actions=5,
+                max_iterations=10,
+            ),
+        )
+        assert np.isfinite(model.log_likelihood)
+
+    def test_constant_weights_match_base_trainer(self, tiny_log, tiny_catalog, tiny_feature_set):
+        """Weight 1 everywhere must reproduce the unweighted trainer."""
+        from repro.core.training import fit_skill_model
+
+        base = fit_skill_model(
+            tiny_log, tiny_catalog, tiny_feature_set, 3, init_min_actions=5, max_iterations=15
+        )
+        weighted = fit_satisfaction_model(
+            tiny_log,
+            tiny_catalog,
+            tiny_feature_set,
+            SatisfactionConfig(
+                num_levels=3,
+                satisfaction=lambda action: 1.0,
+                init_min_actions=5,
+                max_iterations=15,
+            ),
+        )
+        for user in tiny_log.users:
+            np.testing.assert_array_equal(
+                base.skill_trajectory(user), weighted.skill_trajectory(user)
+            )
+
+    def test_out_of_range_weights_rejected(self, tiny_log, tiny_catalog, tiny_feature_set):
+        with pytest.raises(ConfigurationError):
+            fit_satisfaction_model(
+                tiny_log,
+                tiny_catalog,
+                tiny_feature_set,
+                SatisfactionConfig(
+                    num_levels=2,
+                    satisfaction=lambda action: 2.0,
+                    init_min_actions=5,
+                    max_iterations=3,
+                ),
+            )
+
+    def test_shrinks_overreach_anomaly(self):
+        """The headline behaviour: down-weighting failures cleans level 1."""
+        from repro.core.training import fit_skill_model
+        from repro.synth.cooking import CookingConfig, generate_cooking
+
+        ds = generate_cooking(
+            CookingConfig(num_users=200, num_items=800, seed=7, novice_overreach=0.5)
+        )
+        base = fit_skill_model(
+            ds.log, ds.catalog, ds.feature_set, 5, init_min_actions=15, max_iterations=20
+        )
+        weighted = fit_satisfaction_model(
+            ds.log,
+            ds.catalog,
+            ds.feature_set,
+            SatisfactionConfig(num_levels=5, init_min_actions=15, max_iterations=20),
+        )
+        base_gap = base.feature_level_means("num_steps")[0] - base.feature_level_means("num_steps")[1]
+        weighted_gap = (
+            weighted.feature_level_means("num_steps")[0]
+            - weighted.feature_level_means("num_steps")[1]
+        )
+        assert weighted_gap < base_gap

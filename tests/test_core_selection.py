@@ -1,0 +1,82 @@
+"""Tests for repro.core.selection (skill-count selection)."""
+
+import numpy as np
+import pytest
+
+from repro.core.selection import held_out_log_likelihood, select_skill_count
+from repro.core.training import fit_skill_model
+from repro.data.splits import holdout_fraction
+from repro.exceptions import ConfigurationError
+
+
+class TestSelectSkillCount:
+    def test_returns_argmax(self, tiny_log, tiny_catalog, tiny_feature_set):
+        result = select_skill_count(
+            tiny_log,
+            tiny_catalog,
+            tiny_feature_set,
+            (1, 2, 3),
+            test_fraction=0.2,
+            seed=1,
+            init_min_actions=5,
+            max_iterations=10,
+        )
+        lls = dict(result.as_series())
+        assert result.best in (1, 2, 3)
+        assert lls[result.best] == max(lls.values())
+
+    def test_series_alignment(self, tiny_log, tiny_catalog, tiny_feature_set):
+        result = select_skill_count(
+            tiny_log,
+            tiny_catalog,
+            tiny_feature_set,
+            (2, 4),
+            seed=0,
+            init_min_actions=5,
+            max_iterations=5,
+        )
+        assert result.candidates == (2, 4)
+        assert len(result.log_likelihoods) == 2
+
+    def test_empty_candidates(self, tiny_log, tiny_catalog, tiny_feature_set):
+        with pytest.raises(ConfigurationError):
+            select_skill_count(tiny_log, tiny_catalog, tiny_feature_set, ())
+
+    def test_invalid_candidate(self, tiny_log, tiny_catalog, tiny_feature_set):
+        with pytest.raises(ConfigurationError):
+            select_skill_count(tiny_log, tiny_catalog, tiny_feature_set, (0, 2))
+
+    def test_deterministic_given_seed(self, tiny_log, tiny_catalog, tiny_feature_set):
+        kwargs = dict(test_fraction=0.2, seed=9, init_min_actions=5, max_iterations=10)
+        r1 = select_skill_count(tiny_log, tiny_catalog, tiny_feature_set, (2, 3), **kwargs)
+        r2 = select_skill_count(tiny_log, tiny_catalog, tiny_feature_set, (2, 3), **kwargs)
+        assert r1.log_likelihoods == r2.log_likelihoods
+
+
+class TestHeldOutLogLikelihood:
+    def test_negative_and_finite(self, tiny_log, tiny_catalog, tiny_feature_set):
+        train, held = holdout_fraction(tiny_log, 0.2, np.random.default_rng(3))
+        model = fit_skill_model(
+            train, tiny_catalog, tiny_feature_set, 2, init_min_actions=5, max_iterations=10
+        )
+        ll = held_out_log_likelihood(model, held)
+        assert np.isfinite(ll)
+        assert ll < 0  # log-probabilities of discrete-ish features
+
+    def test_empty_held_out(self, fitted_tiny_model):
+        assert held_out_log_likelihood(fitted_tiny_model, []) == 0.0
+
+    def test_matches_manual_computation(self, tiny_log, tiny_catalog, tiny_feature_set):
+        train, held = holdout_fraction(tiny_log, 0.2, np.random.default_rng(3))
+        model = fit_skill_model(
+            train, tiny_catalog, tiny_feature_set, 2, init_min_actions=5, max_iterations=10
+        )
+        table = model.item_score_table()
+        manual = sum(
+            table[
+                model.skill_at(h.action.user, h.action.time) - 1,
+                model.encoded.index_of[h.action.item],
+            ]
+            for h in held
+        )
+        assert held_out_log_likelihood(model, held) == pytest.approx(manual)

@@ -1,0 +1,83 @@
+"""Tests for repro.core.serialize (model persistence)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.serialize import load_model, save_model
+from repro.exceptions import DataError
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, fitted_tiny_model, tmp_path):
+        save_model(fitted_tiny_model, tmp_path / "model")
+        loaded = load_model(tmp_path / "model")
+
+        # structure
+        assert loaded.num_levels == fitted_tiny_model.num_levels
+        assert loaded.feature_set.names == fitted_tiny_model.feature_set.names
+        assert loaded.trace.log_likelihoods == pytest.approx(
+            fitted_tiny_model.trace.log_likelihoods
+        )
+        # scoring behaviour is byte-identical
+        np.testing.assert_allclose(
+            loaded.item_score_table(), fitted_tiny_model.item_score_table()
+        )
+        # assignments and time lookups
+        for user in fitted_tiny_model.assignments:
+            np.testing.assert_array_equal(
+                loaded.skill_trajectory(user), fitted_tiny_model.skill_trajectory(user)
+            )
+            assert loaded.skill_at(user, 3.0) == fitted_tiny_model.skill_at(user, 3.0)
+        # downstream estimators work on the loaded model
+        from repro.core.difficulty import generation_difficulty
+
+        original = generation_difficulty(fitted_tiny_model, prior="empirical")
+        restored = generation_difficulty(loaded, prior="empirical")
+        for item_id, value in original.items():
+            assert restored[item_id] == pytest.approx(value)
+
+    def test_returns_both_paths(self, fitted_tiny_model, tmp_path):
+        json_path, npz_path = save_model(fitted_tiny_model, tmp_path / "m")
+        assert json_path.exists() and npz_path.exists()
+
+    def test_vocabularies_survive(self, fitted_tiny_model, tmp_path):
+        save_model(fitted_tiny_model, tmp_path / "model")
+        loaded = load_model(tmp_path / "model")
+        assert loaded.encoded.vocabulary("color") == fitted_tiny_model.encoded.vocabulary(
+            "color"
+        )
+        top_original = fitted_tiny_model.top_items(1, 3)
+        top_loaded = loaded.top_items(1, 3)
+        assert [i for i, _ in top_original] == [i for i, _ in top_loaded]
+
+
+class TestFailureModes:
+    def test_missing_files(self, tmp_path):
+        with pytest.raises(DataError):
+            load_model(tmp_path / "nope")
+
+    def test_malformed_json(self, fitted_tiny_model, tmp_path):
+        json_path, _ = save_model(fitted_tiny_model, tmp_path / "model")
+        json_path.write_text("{not json")
+        with pytest.raises(DataError):
+            load_model(tmp_path / "model")
+
+    def test_wrong_format_version(self, fitted_tiny_model, tmp_path):
+        json_path, _ = save_model(fitted_tiny_model, tmp_path / "model")
+        structure = json.loads(json_path.read_text())
+        structure["format_version"] = 999
+        json_path.write_text(json.dumps(structure))
+        with pytest.raises(DataError):
+            load_model(tmp_path / "model")
+
+    def test_missing_array(self, fitted_tiny_model, tmp_path):
+        json_path, npz_path = save_model(fitted_tiny_model, tmp_path / "model")
+        # rewrite the npz without one required cell
+        arrays = dict(np.load(npz_path))
+        arrays.pop("cell_0_0")
+        with npz_path.open("wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(DataError):
+            load_model(tmp_path / "model")

@@ -1,0 +1,126 @@
+"""Tests for repro.core.soft_em (the EM ablation trainer)."""
+
+import numpy as np
+import pytest
+
+from repro.core.soft_em import SoftEMConfig, fit_soft_em, forward_backward
+from repro.data.actions import ActionLog
+from repro.exceptions import ConfigurationError, DataError
+
+
+class TestForwardBackward:
+    def test_responsibilities_normalized(self):
+        rng = np.random.default_rng(0)
+        emissions = rng.normal(size=(20, 4))
+        gamma, ll = forward_backward(emissions, step_up_prob=0.1)
+        assert gamma.shape == (20, 4)
+        np.testing.assert_allclose(gamma.sum(axis=1), 1.0, rtol=1e-10)
+        assert np.isfinite(ll)
+
+    def test_empty_sequence(self):
+        gamma, ll = forward_backward(np.empty((0, 3)), 0.1)
+        assert gamma.shape == (0, 3)
+        assert ll == 0.0
+
+    def test_single_action_posterior_is_softmax(self):
+        emissions = np.array([[0.0, 1.0, 2.0]])
+        gamma, ll = forward_backward(emissions, 0.1)
+        expected = np.exp(emissions[0]) / np.exp(emissions[0]).sum()
+        # uniform init cancels in the posterior of a single action
+        np.testing.assert_allclose(gamma[0], expected, rtol=1e-10)
+
+    def test_log_likelihood_matches_brute_force(self):
+        """Sum over all monotone paths with stay/up weights, tiny case."""
+        rng = np.random.default_rng(1)
+        n, S, q = 4, 3, 0.2
+        emissions = rng.normal(size=(n, S))
+
+        import itertools
+
+        total = -np.inf
+        for start in range(S):
+            for steps in itertools.product((0, 1), repeat=n - 1):
+                levels = np.cumsum((start,) + steps)
+                if levels[-1] >= S:
+                    continue
+                logp = -np.log(S) + emissions[np.arange(n), levels].sum()
+                for t, step in enumerate(steps):
+                    at_top = levels[t] == S - 1
+                    if at_top:
+                        # at the cap all mass stays (stay + up folded)
+                        logp += 0.0
+                    else:
+                        logp += np.log(q) if step else np.log1p(-q)
+                total = np.logaddexp(total, logp)
+        _, ll = forward_backward(emissions, q)
+        assert ll == pytest.approx(total)
+
+    def test_monotone_support_only(self):
+        """Mass on level decreases is impossible: with emissions forcing
+        level 2 early, level 1 late must have ~zero posterior."""
+        emissions = np.full((3, 3), -50.0)
+        emissions[0, 2] = 0.0  # first action almost surely level 3
+        gamma, _ = forward_backward(emissions, 0.1)
+        # posterior for later actions cannot drop below level 3
+        assert gamma[2, 0] < 1e-8
+        assert gamma[2, 1] < 1e-8
+
+
+class TestFitSoftEM:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            SoftEMConfig(num_levels=0)
+        with pytest.raises(ConfigurationError):
+            SoftEMConfig(num_levels=3, step_up_prob=0.0)
+        with pytest.raises(ConfigurationError):
+            SoftEMConfig(num_levels=3, max_iterations=0)
+
+    def test_empty_log_rejected(self, tiny_catalog, tiny_feature_set):
+        with pytest.raises(DataError):
+            fit_soft_em(
+                ActionLog([]), tiny_catalog, tiny_feature_set, SoftEMConfig(num_levels=2)
+            )
+
+    def test_log_likelihood_monotone(self, tiny_log, tiny_catalog, tiny_feature_set):
+        model = fit_soft_em(
+            tiny_log,
+            tiny_catalog,
+            tiny_feature_set,
+            SoftEMConfig(num_levels=3, init_min_actions=5, max_iterations=20),
+        )
+        lls = np.asarray(model.trace.log_likelihoods)
+        assert np.all(np.diff(lls) >= -1e-6 * np.abs(lls[:-1]))
+
+    def test_produces_comparable_model(self, tiny_log, tiny_catalog, tiny_feature_set):
+        model = fit_soft_em(
+            tiny_log,
+            tiny_catalog,
+            tiny_feature_set,
+            SoftEMConfig(num_levels=3, init_min_actions=5, max_iterations=20),
+        )
+        assert set(model.assignments) == set(tiny_log.users)
+        levels = model.all_assigned_levels()
+        assert levels.min() >= 1 and levels.max() <= 3
+        # the full SkillModel API works on EM output too
+        assert model.empirical_skill_prior().sum() == pytest.approx(1.0)
+
+    def test_comparable_accuracy_to_hard(self):
+        """On planted data, EM and hard assignment should land in the same
+        accuracy ballpark (the paper: 'comparable fitting quality')."""
+        from repro.core.training import fit_skill_model
+        from repro.synth import SyntheticConfig, generate_synthetic
+
+        ds = generate_synthetic(SyntheticConfig(num_users=60, num_items=300, seed=8))
+        hard = fit_skill_model(
+            ds.log, ds.catalog, ds.feature_set, 5, init_min_actions=30, max_iterations=15
+        )
+        soft = fit_soft_em(
+            ds.log,
+            ds.catalog,
+            ds.feature_set,
+            SoftEMConfig(num_levels=5, init_min_actions=30, max_iterations=15),
+        )
+        truth = ds.true_skill_array()
+        r_hard = np.corrcoef(truth, hard.all_assigned_levels())[0, 1]
+        r_soft = np.corrcoef(truth, soft.all_assigned_levels())[0, 1]
+        assert r_soft > 0.5 * r_hard

@@ -1,0 +1,147 @@
+"""Tests for repro.core.training: initialization, alternation, convergence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.training import Trainer, TrainerConfig, fit_skill_model, uniform_segment_levels
+from repro.data.actions import Action, ActionLog
+from repro.exceptions import ConfigurationError, DataError
+
+
+class TestUniformSegmentLevels:
+    def test_even_split(self):
+        levels = uniform_segment_levels(9, 3)
+        assert levels.tolist() == [0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+    def test_uneven_split_front_loads(self):
+        levels = uniform_segment_levels(7, 3)
+        assert levels.tolist() == [0, 0, 0, 1, 1, 2, 2]
+
+    def test_shorter_than_levels(self):
+        levels = uniform_segment_levels(2, 5)
+        assert levels.tolist() == [0, 1]
+
+    def test_zero_actions(self):
+        assert uniform_segment_levels(0, 3).tolist() == []
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            uniform_segment_levels(5, 0)
+        with pytest.raises(ConfigurationError):
+            uniform_segment_levels(-1, 3)
+
+    @settings(max_examples=60, deadline=None)
+    @given(n=st.integers(0, 200), s=st.integers(1, 10))
+    def test_properties(self, n, s):
+        levels = uniform_segment_levels(n, s)
+        assert len(levels) == n
+        if n:
+            assert np.all(np.diff(levels) >= 0)  # monotone
+            assert levels.min() >= 0 and levels.max() < s
+            # group sizes differ by at most one
+            sizes = np.bincount(levels, minlength=s)
+            assert sizes.max() - sizes.min() <= 1
+
+
+class TestTrainerConfig:
+    def test_validation(self):
+        for kwargs in (
+            {"num_levels": 0},
+            {"num_levels": 3, "smoothing": -1},
+            {"num_levels": 3, "init_min_actions": 0},
+            {"num_levels": 3, "max_iterations": 0},
+            {"num_levels": 3, "tol": -1e-3},
+        ):
+            with pytest.raises(ConfigurationError):
+                TrainerConfig(**kwargs)
+
+
+class TestTrainer:
+    def test_empty_log_rejected(self, tiny_catalog, tiny_feature_set):
+        trainer = Trainer(TrainerConfig(num_levels=2))
+        with pytest.raises(DataError):
+            trainer.fit(ActionLog([]), tiny_catalog, tiny_feature_set)
+
+    def test_log_likelihood_non_decreasing(self, tiny_log, tiny_catalog, tiny_feature_set):
+        model = fit_skill_model(
+            tiny_log, tiny_catalog, tiny_feature_set, 3, init_min_actions=5, max_iterations=30
+        )
+        lls = np.asarray(model.trace.log_likelihoods)
+        # coordinate ascent: allow hair-width numerical dips only
+        assert np.all(np.diff(lls) >= -1e-6 * np.abs(lls[:-1]))
+
+    def test_converges_and_assignments_cover_all_users(
+        self, tiny_log, tiny_catalog, tiny_feature_set
+    ):
+        model = fit_skill_model(
+            tiny_log, tiny_catalog, tiny_feature_set, 3, init_min_actions=5, max_iterations=50
+        )
+        assert model.trace.converged
+        assert set(model.assignments) == set(tiny_log.users)
+
+    def test_single_level_degenerates_gracefully(
+        self, tiny_log, tiny_catalog, tiny_feature_set
+    ):
+        model = fit_skill_model(
+            tiny_log, tiny_catalog, tiny_feature_set, 1, init_min_actions=5, max_iterations=5
+        )
+        assert np.all(model.all_assigned_levels() == 1)
+
+    def test_unknown_item_in_log(self, tiny_catalog, tiny_feature_set):
+        log = ActionLog.from_actions([Action(time=0.0, user="u", item="ghost")])
+        with pytest.raises(Exception):  # SchemaError via rows_for
+            fit_skill_model(log, tiny_catalog, tiny_feature_set, 2)
+
+    def test_init_fallback_when_no_long_user(self, tiny_log, tiny_catalog, tiny_feature_set):
+        """init_min_actions higher than any sequence length must still train."""
+        model = fit_skill_model(
+            tiny_log, tiny_catalog, tiny_feature_set, 2, init_min_actions=10_000, max_iterations=5
+        )
+        assert model.trace.num_iterations >= 1
+
+    def test_deterministic(self, tiny_log, tiny_catalog, tiny_feature_set):
+        m1 = fit_skill_model(
+            tiny_log, tiny_catalog, tiny_feature_set, 3, init_min_actions=5, max_iterations=20
+        )
+        m2 = fit_skill_model(
+            tiny_log, tiny_catalog, tiny_feature_set, 3, init_min_actions=5, max_iterations=20
+        )
+        assert m1.trace.log_likelihoods == m2.trace.log_likelihoods
+        for user in tiny_log.users:
+            np.testing.assert_array_equal(
+                m1.skill_trajectory(user), m2.skill_trajectory(user)
+            )
+
+    def test_max_iterations_respected(self, tiny_log, tiny_catalog, tiny_feature_set):
+        model = fit_skill_model(
+            tiny_log, tiny_catalog, tiny_feature_set, 3, init_min_actions=5, max_iterations=2
+        )
+        assert model.trace.num_iterations <= 2
+
+    def test_recovers_planted_progression(self):
+        """On data with a strong planted signal the model should track it."""
+        from repro.synth import SyntheticConfig, generate_synthetic
+
+        ds = generate_synthetic(SyntheticConfig(num_users=80, num_items=400, seed=5))
+        model = fit_skill_model(
+            ds.log, ds.catalog, ds.feature_set, 5, init_min_actions=30, max_iterations=30
+        )
+        truth = ds.true_skill_array()
+        estimate = model.all_assigned_levels()
+        correlation = np.corrcoef(truth, estimate)[0, 1]
+        assert correlation > 0.5
+
+    def test_smoothing_zero_allowed_when_data_covers(self, tiny_log, tiny_catalog, tiny_feature_set):
+        """λ=0 works as long as every level sees data for every category."""
+        model = fit_skill_model(
+            tiny_log,
+            tiny_catalog,
+            tiny_feature_set.subset(["steps", "weight"]),  # no categorical
+            2,
+            smoothing=0.0,
+            init_min_actions=5,
+            max_iterations=5,
+        )
+        assert np.isfinite(model.log_likelihood)

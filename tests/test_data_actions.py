@@ -1,0 +1,169 @@
+"""Tests for repro.data.actions."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.actions import Action, ActionLog, ActionSequence
+from repro.exceptions import DataError
+
+
+class TestAction:
+    def test_fields(self):
+        action = Action(time=1.5, user="u", item="i")
+        assert action.time == 1.5
+        assert action.user == "u"
+        assert action.item == "i"
+        assert action.rating is None
+
+    def test_rating_carried(self):
+        assert Action(time=0.0, user="u", item="i", rating=4.5).rating == 4.5
+
+    def test_non_numeric_time_rejected(self):
+        with pytest.raises(DataError):
+            Action(time="yesterday", user="u", item="i")
+
+    def test_frozen(self):
+        action = Action(time=0.0, user="u", item="i")
+        with pytest.raises(AttributeError):
+            action.time = 1.0
+
+
+class TestActionSequence:
+    def test_sorts_by_time(self):
+        actions = [Action(time=t, user="u", item=f"i{t}") for t in (3.0, 1.0, 2.0)]
+        seq = ActionSequence("u", actions)
+        assert seq.times == (1.0, 2.0, 3.0)
+
+    def test_presorted_validation(self):
+        bad = [Action(time=2.0, user="u", item="a"), Action(time=1.0, user="u", item="b")]
+        with pytest.raises(DataError):
+            ActionSequence("u", bad, presorted=True)
+
+    def test_wrong_user_rejected(self):
+        with pytest.raises(DataError):
+            ActionSequence("u", [Action(time=0.0, user="other", item="i")])
+
+    def test_equal_times_allowed(self):
+        seq = ActionSequence(
+            "u",
+            [Action(time=1.0, user="u", item="a"), Action(time=1.0, user="u", item="b")],
+            presorted=True,
+        )
+        assert len(seq) == 2
+
+    def test_items_and_unique_items(self):
+        seq = ActionSequence(
+            "u",
+            [
+                Action(time=0.0, user="u", item="a"),
+                Action(time=1.0, user="u", item="b"),
+                Action(time=2.0, user="u", item="a"),
+            ],
+        )
+        assert seq.items == ("a", "b", "a")
+        assert seq.unique_items == frozenset({"a", "b"})
+
+    def test_indexing_and_iteration(self):
+        seq = ActionSequence("u", [Action(time=float(t), user="u", item="x") for t in range(3)])
+        assert seq[0].time == 0.0
+        assert [a.time for a in seq] == [0.0, 1.0, 2.0]
+
+    def test_without_index(self):
+        seq = ActionSequence("u", [Action(time=float(t), user="u", item=f"i{t}") for t in range(4)])
+        shorter = seq.without_index(1)
+        assert shorter.items == ("i0", "i2", "i3")
+        assert len(seq) == 4  # original untouched
+
+    def test_without_index_negative(self):
+        seq = ActionSequence("u", [Action(time=float(t), user="u", item=f"i{t}") for t in range(3)])
+        assert seq.without_index(-1).items == ("i0", "i1")
+
+    def test_without_index_out_of_range(self):
+        seq = ActionSequence("u", [Action(time=0.0, user="u", item="i")])
+        with pytest.raises(DataError):
+            seq.without_index(5)
+
+
+class TestActionLog:
+    def test_from_actions_groups_users(self):
+        actions = [
+            Action(time=0.0, user="a", item="x"),
+            Action(time=0.0, user="b", item="y"),
+            Action(time=1.0, user="a", item="z"),
+        ]
+        log = ActionLog.from_actions(actions)
+        assert log.num_users == 2
+        assert log.num_actions == 3
+        assert log.sequence("a").items == ("x", "z")
+
+    def test_duplicate_user_rejected(self):
+        seqs = [
+            ActionSequence("u", [Action(time=0.0, user="u", item="a")]),
+            ActionSequence("u", [Action(time=1.0, user="u", item="b")]),
+        ]
+        with pytest.raises(DataError):
+            ActionLog(seqs)
+
+    def test_unknown_user(self, tiny_log):
+        with pytest.raises(DataError):
+            tiny_log.sequence("nobody")
+
+    def test_contains(self, tiny_log):
+        assert "u0" in tiny_log
+        assert "ghost" not in tiny_log
+
+    def test_selected_items(self):
+        log = ActionLog.from_actions(
+            [Action(time=0.0, user="u", item="a"), Action(time=1.0, user="u", item="b")]
+        )
+        assert log.selected_items == frozenset({"a", "b"})
+
+    def test_item_counts_vs_user_counts(self):
+        actions = [
+            Action(time=0.0, user="a", item="x"),
+            Action(time=1.0, user="a", item="x"),
+            Action(time=0.0, user="b", item="x"),
+        ]
+        log = ActionLog.from_actions(actions)
+        assert log.item_counts() == {"x": 3}
+        assert log.item_user_counts() == {"x": 2}
+
+    def test_restrict_users(self, tiny_log):
+        restricted = tiny_log.restrict_users(["u0"])
+        assert restricted.users == ("u0",)
+        assert restricted.num_actions == len(tiny_log.sequence("u0"))
+
+    def test_restrict_items_drops_empty_users(self):
+        actions = [
+            Action(time=0.0, user="a", item="x"),
+            Action(time=0.0, user="b", item="y"),
+        ]
+        log = ActionLog.from_actions(actions).restrict_items(["x"])
+        assert log.users == ("a",)
+
+    def test_earliest_time(self):
+        actions = [
+            Action(time=5.0, user="a", item="x"),
+            Action(time=2.0, user="b", item="y"),
+        ]
+        assert ActionLog.from_actions(actions).earliest_time() == 2.0
+
+    def test_earliest_time_empty(self):
+        with pytest.raises(DataError):
+            ActionLog([]).earliest_time()
+
+    def test_actions_iterates_everything(self, tiny_log):
+        assert sum(1 for _ in tiny_log.actions()) == tiny_log.num_actions
+
+
+@given(
+    times=st.lists(
+        st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=30
+    )
+)
+def test_sequence_always_sorted(times):
+    """Property: construction sorts arbitrary action times."""
+    seq = ActionSequence("u", [Action(time=t, user="u", item="i") for t in times])
+    assert np.all(np.diff(seq.times) >= 0)

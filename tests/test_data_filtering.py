@@ -1,0 +1,119 @@
+"""Tests for repro.data.filtering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.actions import Action, ActionLog
+from repro.data.filtering import filter_log
+from repro.exceptions import ConfigurationError
+
+
+def _log(pairs):
+    """Build a log from (user, item) pairs with per-user increasing times."""
+    clock = {}
+    actions = []
+    for user, item in pairs:
+        t = clock.get(user, 0)
+        clock[user] = t + 1
+        actions.append(Action(time=float(t), user=user, item=item))
+    return ActionLog.from_actions(actions)
+
+
+class TestFilterLog:
+    def test_no_op_when_thresholds_met(self):
+        log = _log([("a", "x"), ("a", "y"), ("b", "x"), ("b", "y")])
+        filtered, stats = filter_log(
+            log, min_unique_items_per_user=2, min_unique_users_per_item=2
+        )
+        assert filtered.num_actions == 4
+        assert stats.actions_after == 4
+
+    def test_short_users_dropped(self):
+        log = _log([("a", "x"), ("a", "y"), ("b", "x")])
+        filtered, _ = filter_log(
+            log, min_unique_items_per_user=2, min_unique_users_per_item=1
+        )
+        assert filtered.users == ("a",)
+
+    def test_rare_items_dropped(self):
+        log = _log([("a", "x"), ("a", "y"), ("b", "x"), ("b", "z")])
+        filtered, _ = filter_log(
+            log, min_unique_items_per_user=1, min_unique_users_per_item=2
+        )
+        assert filtered.selected_items == frozenset({"x"})
+
+    def test_cascade_reaches_fixpoint(self):
+        # Dropping item z (1 user) pushes user b under the user threshold,
+        # which pushes item y (now 1 user) out too.
+        log = _log(
+            [
+                ("a", "x"), ("a", "y"),
+                ("b", "y"), ("b", "z"),
+                ("c", "x"), ("c", "y"),
+                ("d", "x"), ("d", "w"),
+            ]
+        )
+        filtered, stats = filter_log(
+            log, min_unique_items_per_user=2, min_unique_users_per_item=2
+        )
+        # Fixpoint: every surviving user/item meets both thresholds.
+        for seq in filtered:
+            assert len(seq.unique_items) >= 2
+        for count in filtered.item_user_counts().values():
+            assert count >= 2
+        assert stats.rounds >= 1
+
+    def test_single_pass_mode(self):
+        log = _log([("a", "x"), ("a", "y"), ("b", "y"), ("b", "z")])
+        single, stats = filter_log(
+            log,
+            min_unique_items_per_user=2,
+            min_unique_users_per_item=2,
+            iterate=False,
+        )
+        assert stats.rounds == 1
+
+    def test_everything_filtered(self):
+        log = _log([("a", "x")])
+        filtered, stats = filter_log(
+            log, min_unique_items_per_user=5, min_unique_users_per_item=5
+        )
+        assert filtered.num_users == 0
+        assert stats.users_after == 0
+
+    def test_bad_thresholds(self):
+        log = _log([("a", "x")])
+        with pytest.raises(ConfigurationError):
+            filter_log(log, min_unique_items_per_user=0)
+
+    def test_stats_shape(self):
+        log = _log([("a", "x"), ("a", "y"), ("b", "x")])
+        _, stats = filter_log(
+            log, min_unique_items_per_user=2, min_unique_users_per_item=1
+        )
+        assert stats.users_before == 2
+        assert stats.users_after == 1
+        assert stats.actions_before == 3
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 8)), min_size=1, max_size=60
+    ),
+    user_min=st.integers(1, 3),
+    item_min=st.integers(1, 3),
+)
+def test_filter_fixpoint_property(pairs, user_min, item_min):
+    """Property: after iterate=True filtering, all thresholds hold."""
+    log = _log(pairs)
+    filtered, _ = filter_log(
+        log,
+        min_unique_items_per_user=user_min,
+        min_unique_users_per_item=item_min,
+    )
+    for seq in filtered:
+        assert len(seq.unique_items) >= user_min
+    for count in filtered.item_user_counts().values():
+        assert count >= item_min

@@ -1,0 +1,73 @@
+"""Tests for repro.data.items."""
+
+import pytest
+
+from repro.data.items import Item, ItemCatalog
+from repro.exceptions import DataError
+
+
+class TestItem:
+    def test_feature_access(self):
+        item = Item(id="x", features={"a": 1})
+        assert item.feature("a") == 1
+
+    def test_missing_feature(self):
+        with pytest.raises(DataError):
+            Item(id="x", features={}).feature("nope")
+
+    def test_mappings_are_copied(self):
+        features = {"a": 1}
+        item = Item(id="x", features=features)
+        features["a"] = 99
+        assert item.features["a"] == 1
+
+
+class TestItemCatalog:
+    def test_len_iter_contains(self, tiny_catalog):
+        assert len(tiny_catalog) == 12
+        assert "i0" in tiny_catalog
+        assert "ghost" not in tiny_catalog
+        assert sum(1 for _ in tiny_catalog) == 12
+
+    def test_getitem(self, tiny_catalog):
+        assert tiny_catalog["i3"].id == "i3"
+        with pytest.raises(DataError):
+            tiny_catalog["ghost"]
+
+    def test_get_default(self, tiny_catalog):
+        assert tiny_catalog.get("ghost") is None
+
+    def test_duplicate_ids_rejected(self):
+        items = [Item(id="x", features={"a": 1}), Item(id="x", features={"a": 2})]
+        with pytest.raises(DataError):
+            ItemCatalog(items)
+
+    def test_inconsistent_features_rejected(self):
+        items = [Item(id="x", features={"a": 1}), Item(id="y", features={"b": 2})]
+        with pytest.raises(DataError):
+            ItemCatalog(items)
+
+    def test_feature_names_sorted(self, tiny_catalog):
+        assert tiny_catalog.feature_names == ("color", "steps", "weight")
+
+    def test_feature_values_order(self, tiny_catalog):
+        values = tiny_catalog.feature_values("steps")
+        assert values == [k % 4 for k in range(12)]
+
+    def test_feature_values_unknown(self, tiny_catalog):
+        with pytest.raises(DataError):
+            tiny_catalog.feature_values("nope")
+
+    def test_restrict(self, tiny_catalog):
+        subset = tiny_catalog.restrict(["i0", "i5"])
+        assert set(subset.ids) == {"i0", "i5"}
+
+    def test_subset_where(self, tiny_catalog):
+        reds = tiny_catalog.subset_where(lambda item: item.features["color"] == "red")
+        assert all(item.features["color"] == "red" for item in reds)
+        assert len(reds) == 4
+
+    def test_empty_catalog(self):
+        catalog = ItemCatalog([])
+        assert len(catalog) == 0
+        assert catalog.feature_names == ()

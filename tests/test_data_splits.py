@@ -1,0 +1,85 @@
+"""Tests for repro.data.splits."""
+
+import numpy as np
+import pytest
+
+from repro.data.actions import Action, ActionLog
+from repro.data.splits import (
+    holdout_fraction,
+    holdout_last_position,
+    holdout_random_position,
+)
+from repro.exceptions import ConfigurationError
+
+
+def _log(lengths):
+    actions = []
+    for u, n in enumerate(lengths):
+        for t in range(n):
+            actions.append(Action(time=float(t), user=f"u{u}", item=f"i{u}_{t}"))
+    return ActionLog.from_actions(actions)
+
+
+class TestHoldoutFraction:
+    def test_counts_conserved(self):
+        log = _log([20, 30, 40])
+        train, held = holdout_fraction(log, 0.1, np.random.default_rng(0))
+        assert train.num_actions + len(held) == log.num_actions
+
+    def test_every_user_keeps_training_actions(self):
+        log = _log([10, 10])
+        train, held = holdout_fraction(log, 0.5, np.random.default_rng(0))
+        for seq in train:
+            assert len(seq) >= 1
+        tested_users = {h.action.user for h in held}
+        assert tested_users <= set(train.users)
+
+    def test_single_action_users_untested(self):
+        log = _log([1, 10])
+        train, held = holdout_fraction(log, 0.5, np.random.default_rng(0))
+        assert all(h.action.user != "u0" for h in held)
+        assert train.sequence("u0").items == ("i0_0",)
+
+    def test_bad_fraction(self):
+        log = _log([5])
+        for fraction in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ConfigurationError):
+                holdout_fraction(log, fraction, np.random.default_rng(0))
+
+    def test_deterministic_given_rng(self):
+        log = _log([20, 20])
+        _, held1 = holdout_fraction(log, 0.2, np.random.default_rng(7))
+        _, held2 = holdout_fraction(log, 0.2, np.random.default_rng(7))
+        assert [h.action for h in held1] == [h.action for h in held2]
+
+
+class TestHoldoutOne:
+    def test_random_position_one_per_user(self):
+        log = _log([5, 8, 12])
+        train, held = holdout_random_position(log, np.random.default_rng(1))
+        assert len(held) == 3
+        assert train.num_actions == log.num_actions - 3
+
+    def test_last_position_holds_final_action(self):
+        log = _log([4, 6])
+        train, held = holdout_last_position(log)
+        for h in held:
+            assert h.position == h.sequence_length - 1
+        assert train.sequence("u0").times == (0.0, 1.0, 2.0)
+
+    def test_short_sequences_skipped(self):
+        log = _log([1, 5])
+        _, held = holdout_last_position(log)
+        assert {h.action.user for h in held} == {"u1"}
+
+    def test_held_metadata(self):
+        log = _log([5])
+        _, held = holdout_last_position(log)
+        assert held[0].sequence_length == 5
+        assert held[0].action.item == "i0_4"
+
+    def test_train_sequences_stay_sorted(self):
+        log = _log([10])
+        train, _ = holdout_random_position(log, np.random.default_rng(3))
+        times = train.sequence("u0").times
+        assert all(a <= b for a, b in zip(times, times[1:]))

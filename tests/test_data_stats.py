@@ -1,0 +1,71 @@
+"""Tests for repro.data.stats."""
+
+import numpy as np
+import pytest
+
+from repro.data.actions import Action, ActionLog
+from repro.data.stats import describe_log, popularity_gini
+from repro.exceptions import DataError
+
+
+class TestPopularityGini:
+    def test_uniform_counts_zero(self):
+        assert popularity_gini(np.full(10, 7.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_counts_near_one(self):
+        counts = np.zeros(100)
+        counts[0] = 1000
+        assert popularity_gini(counts) > 0.95
+
+    def test_known_value(self):
+        # two items, counts 1 and 3: Gini = 1 + 1/2 − 2·(1+4)/(2·4) = 0.25
+        assert popularity_gini(np.array([1.0, 3.0])) == pytest.approx(0.25)
+
+    def test_all_zero(self):
+        assert popularity_gini(np.zeros(5)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            popularity_gini(np.array([]))
+        with pytest.raises(DataError):
+            popularity_gini(np.array([-1.0]))
+
+    def test_scale_invariant(self):
+        counts = np.array([1.0, 2.0, 5.0, 10.0])
+        assert popularity_gini(counts) == pytest.approx(popularity_gini(counts * 13))
+
+
+class TestDescribeLog:
+    def test_counts(self):
+        actions = [
+            Action(time=0.0, user="a", item="x"),
+            Action(time=1.0, user="a", item="y"),
+            Action(time=2.0, user="a", item="x"),
+            Action(time=0.0, user="b", item="x"),
+        ]
+        stats = describe_log(ActionLog.from_actions(actions))
+        assert stats.num_users == 2
+        assert stats.num_items == 2
+        assert stats.num_actions == 4
+        assert stats.actions_per_user_mean == 2.0
+        assert stats.actions_per_user_max == 3
+        assert stats.actions_per_item_mean == 2.0
+        assert stats.rare_items == 1  # y selected once
+
+    def test_empty_log(self):
+        with pytest.raises(DataError):
+            describe_log(ActionLog([]))
+
+    def test_simulators_are_head_skewed(self):
+        """The popularity knobs must actually produce head-skewed catalogs —
+        without that, Tables X/XI could not beat random guessing."""
+        from repro.synth import CookingConfig, generate_cooking
+
+        ds = generate_cooking(CookingConfig(num_users=120, num_items=400, seed=1))
+        stats = describe_log(ds.log)
+        assert stats.popularity_gini > 0.3
+
+    def test_as_row_arity(self):
+        actions = [Action(time=0.0, user="a", item="x"), Action(time=1.0, user="a", item="y")]
+        stats = describe_log(ActionLog.from_actions(actions))
+        assert len(stats.as_row()) == 7

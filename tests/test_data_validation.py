@@ -1,0 +1,85 @@
+"""Tests for repro.data.validation (input pre-flight)."""
+
+import pytest
+
+from repro.data.actions import Action, ActionLog
+from repro.data.items import Item, ItemCatalog
+from repro.data.validation import ERROR, INFO, WARNING, validate_inputs
+
+
+class TestValidateInputs:
+    def test_clean_inputs_ok(self, tiny_log, tiny_catalog, tiny_feature_set):
+        report = validate_inputs(tiny_log, tiny_catalog, tiny_feature_set)
+        assert report.ok
+        assert report.by_severity(INFO)  # scale line always present
+
+    def test_empty_log_is_error(self, tiny_catalog):
+        report = validate_inputs(ActionLog([]), tiny_catalog)
+        assert not report.ok
+        assert report.issues[0].code == "empty-log"
+
+    def test_empty_catalog_is_error(self, tiny_log):
+        report = validate_inputs(tiny_log, ItemCatalog([]))
+        assert not report.ok
+        assert report.issues[0].code == "empty-catalog"
+
+    def test_unknown_items_detected(self, tiny_catalog):
+        log = ActionLog.from_actions(
+            [Action(time=0.0, user="u", item="ghost"), Action(time=1.0, user="u", item="i0")]
+        )
+        report = validate_inputs(log, tiny_catalog)
+        assert not report.ok
+        codes = {issue.code for issue in report.issues}
+        assert "unknown-items" in codes
+
+    def test_schema_violation_detected(self, tiny_feature_set):
+        catalog = ItemCatalog(
+            [Item(id="i0", features={"color": "red", "steps": -1, "weight": 1.0})]
+        )
+        log = ActionLog.from_actions([Action(time=0.0, user="u", item="i0")])
+        report = validate_inputs(log, catalog, tiny_feature_set)
+        assert not report.ok
+        assert any(issue.code == "schema-violation" for issue in report.issues)
+
+    def test_short_sequences_warned(self, tiny_catalog):
+        log = ActionLog.from_actions([Action(time=0.0, user="solo", item="i0")])
+        report = validate_inputs(log, tiny_catalog, min_actions_hint=5)
+        assert report.ok  # warning, not error
+        assert any(issue.code == "short-sequences" for issue in report.issues)
+
+    def test_never_selected_items_warned(self, tiny_log, tiny_catalog):
+        report = validate_inputs(tiny_log, tiny_catalog)
+        warning_codes = {issue.code for issue in report.by_severity(WARNING)}
+        # tiny_log only uses a subset of the 12-item catalog sometimes;
+        # either way the check must not crash, and if all are covered there
+        # is simply no warning.
+        assert "never-selected-items" in warning_codes or report.ok
+
+    def test_ratings_expectations(self, tiny_log, tiny_catalog):
+        report = validate_inputs(tiny_log, tiny_catalog, expect_ratings=True)
+        assert not report.ok
+        assert any(issue.code == "no-ratings" for issue in report.issues)
+
+    def test_partial_ratings_warned(self, tiny_catalog):
+        log = ActionLog.from_actions(
+            [
+                Action(time=0.0, user="u", item="i0", rating=4.0),
+                Action(time=1.0, user="u", item="i1"),
+            ]
+        )
+        report = validate_inputs(log, tiny_catalog, expect_ratings=True)
+        assert report.ok
+        assert any(issue.code == "partial-ratings" for issue in report.issues)
+
+    def test_to_text(self, tiny_log, tiny_catalog):
+        text = validate_inputs(tiny_log, tiny_catalog).to_text()
+        assert "INFO" in text
+
+    def test_simulated_domains_validate_clean(self):
+        from repro.synth import CookingConfig, generate_cooking
+
+        ds = generate_cooking(CookingConfig(num_users=40, num_items=200))
+        report = validate_inputs(
+            ds.log, ds.catalog, ds.feature_set, expect_ratings=True
+        )
+        assert report.ok, report.to_text()

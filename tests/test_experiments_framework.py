@@ -1,0 +1,126 @@
+"""Tests for the experiment registry, table renderer, and dataset presets."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import all_experiments, get_experiment, run_experiment
+from repro.experiments.registry import ExperimentResult, _artifact_sort_key
+from repro.experiments.tables import format_cell, format_table
+
+#: Every paper artifact that must have a registered reproduction.
+PAPER_ARTIFACTS = {
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7",
+    "table8", "table9", "table10", "table11", "table12", "table13",
+    "fig3", "fig4", "fig5", "fig6", "fig7",
+}
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        registered = {exp.experiment_id for exp in all_experiments()}
+        missing = PAPER_ARTIFACTS - registered
+        assert not missing, f"unregistered paper artifacts: {sorted(missing)}"
+
+    def test_experiments_sorted_numerically(self):
+        ids = [e.experiment_id for e in all_experiments()]
+        tables = [i for i in ids if i.startswith("table")]
+        assert tables == sorted(tables, key=lambda i: int(i[5:]))
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("table99")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("table1").run("galactic")
+
+    def test_sort_key_handles_ablations(self):
+        assert _artifact_sort_key("ablation_x") > _artifact_sort_key("fig7")
+
+    def test_run_experiment_smoke(self):
+        """The cheapest experiment end-to-end through the registry."""
+        result = run_experiment("table1", "small")
+        assert isinstance(result, ExperimentResult)
+        assert result.rows
+        assert result.all_checks_pass
+        assert "Table I" in result.to_text()
+
+    def test_all_experiments_have_metadata(self):
+        for exp in all_experiments():
+            assert exp.title
+            assert exp.paper_reference
+
+
+class TestTables:
+    def test_alignment(self):
+        text = format_table(("a", "bbb"), ((1, 2.34567), ("xx", "y")))
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # all rows equally wide
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_float_formatting(self):
+        assert format_cell(2.34567) == "2.346"
+        assert format_cell(7) == "7"
+        assert format_cell("x") == "x"
+        assert format_cell(True) == "True"
+        assert format_cell(None) == "None"
+
+    def test_title(self):
+        text = format_table(("a",), ((1,),), title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            format_table(("a", "b"), ((1,),))
+
+    def test_empty_headers(self):
+        with pytest.raises(ConfigurationError):
+            format_table((), ())
+
+    def test_empty_rows_ok(self):
+        text = format_table(("a",), ())
+        assert "a" in text
+
+
+class TestDatasets:
+    def test_presets_exist(self):
+        from repro.experiments.datasets import dataset
+
+        for name in ("language", "cooking", "beer", "film", "synthetic", "synthetic_dense"):
+            ds = dataset(name, "small")
+            assert ds.log.num_actions > 0
+
+    def test_caching(self):
+        from repro.experiments.datasets import dataset
+
+        assert dataset("cooking", "small") is dataset("cooking", "small")
+
+    def test_unknown_dataset(self):
+        from repro.experiments.datasets import dataset
+
+        with pytest.raises(ConfigurationError):
+            dataset("chess", "small")
+
+    def test_dense_is_retagged_and_smaller(self):
+        from repro.experiments.datasets import dataset
+
+        sparse = dataset("synthetic", "small")
+        dense = dataset("synthetic_dense", "small")
+        assert dense.name == "synthetic_dense"
+        assert len(dense.catalog) * 5 == len(sparse.catalog)
+
+
+class TestResultRendering:
+    def test_checks_rendered(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="T",
+            headers=("a",),
+            rows=((1,),),
+            checks={"good": True, "bad": False},
+        )
+        text = result.to_text()
+        assert "good=PASS" in text
+        assert "bad=FAIL" in text
+        assert not result.all_checks_pass

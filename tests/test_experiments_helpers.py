@@ -1,0 +1,93 @@
+"""Tests for the experiment-layer helper machinery.
+
+The experiments themselves are exercised by the benchmark suite; these
+tests pin the *helpers* they share — the model-ladder builder, rare-item
+RMSE, the prediction-results cache — at unit scale so a regression there
+fails fast instead of surfacing as a mysteriously wrong table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import accuracy
+from repro.experiments.datasets import NUM_LEVELS, dataset, fitted_model
+
+
+class TestDatasetsHelpers:
+    def test_num_levels_covers_all_domains(self):
+        for name in ("language", "cooking", "beer", "film", "synthetic", "synthetic_dense"):
+            assert NUM_LEVELS[name] >= 3
+
+    def test_fitted_model_cache_key_includes_kwargs(self):
+        a = fitted_model("language", "small", init_min_actions=15, max_iterations=5)
+        b = fitted_model("language", "small", init_min_actions=15, max_iterations=5)
+        c = fitted_model("language", "small", init_min_actions=15, max_iterations=6)
+        assert a is b
+        assert a is not c
+
+
+class TestAccuracyHelpers:
+    @pytest.fixture(scope="class")
+    def suite_and_ds(self):
+        ds = dataset("synthetic", "small")
+        suite = accuracy.skill_model_suite("synthetic", "small")
+        return ds, suite
+
+    def test_suite_contains_full_ladder(self, suite_and_ds):
+        _, suite = suite_and_ds
+        assert set(suite) == set(accuracy.SKILL_MODELS)
+
+    def test_skill_accuracy_ladder_order(self, suite_and_ds):
+        ds, suite = suite_and_ds
+        uniform = accuracy.skill_accuracy(ds, suite["Uniform"]).pearson
+        multi = accuracy.skill_accuracy(ds, suite["Multi-faceted"]).pearson
+        assert multi > uniform
+
+    def test_difficulty_accuracy_methods(self, suite_and_ds):
+        ds, suite = suite_and_ds
+        for method in ("Assignment", "Uniform", "Empirical"):
+            scores, estimates = accuracy.difficulty_accuracy(
+                ds, suite["Multi-faceted"], method
+            )
+            assert -1.0 <= scores.pearson <= 1.0
+            assert estimates
+
+    def test_difficulty_accuracy_unknown_method(self, suite_and_ds):
+        ds, suite = suite_and_ds
+        with pytest.raises(ValueError):
+            accuracy.difficulty_accuracy(ds, suite["Multi-faceted"], "Psychic")
+
+    def test_rare_item_rmse_counts_only_rare(self, suite_and_ds):
+        ds, suite = suite_and_ds
+        _, estimates = accuracy.difficulty_accuracy(ds, suite["Multi-faceted"], "Empirical")
+        rmse, count = accuracy.rare_item_rmse(ds, estimates, max_occurrences=2)
+        counts = ds.log.item_counts()
+        expected = sum(1 for c in counts.values() if c <= 2)
+        assert count == expected
+        assert np.isfinite(rmse)
+
+    def test_rare_item_rmse_no_rare_items(self, suite_and_ds):
+        ds, suite = suite_and_ds
+        _, estimates = accuracy.difficulty_accuracy(ds, suite["Multi-faceted"], "Empirical")
+        rmse, count = accuracy.rare_item_rmse(ds, estimates, max_occurrences=0)
+        assert count == 0
+        assert np.isnan(rmse)
+
+
+class TestPredictionHelpers:
+    def test_results_cached_and_complete(self):
+        from repro.experiments import prediction
+
+        first = prediction.item_prediction_results("cooking", "small", "last")
+        second = prediction.item_prediction_results("cooking", "small", "last")
+        assert first is second
+        assert set(first) == set(prediction.MODELS)
+
+    def test_invalid_domain_and_holdout(self):
+        from repro.experiments import prediction
+
+        with pytest.raises(ConfigurationError):
+            prediction.item_prediction_results("chess", "small", "last")
+        with pytest.raises(ConfigurationError):
+            prediction.item_prediction_results("cooking", "small", "middle")

@@ -1,0 +1,151 @@
+"""Golden-path integration tests: every domain through the full pipeline.
+
+One test per simulated domain runs the complete life of a dataset —
+validate → fit → interpret → difficulty → calibrate → (predict / rate
+where the domain supports it) — at tiny scale.  These are the tests that
+catch cross-module seams no unit test owns.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    difficulty_calibration,
+    feature_trend,
+    summarize_trajectories,
+    top_dominated,
+)
+from repro.core import fit_skill_model, generation_difficulty
+from repro.data import validate_inputs
+from repro.data.splits import holdout_last_position
+from repro.recsys import predict_items, random_guess_expectation
+
+
+def _pipeline(ds, num_levels, *, with_items_prediction=True, trainer_kwargs=None):
+    """Run the shared portion of the pipeline; return the fitted model."""
+    kwargs = {"init_min_actions": 10, "max_iterations": 15, **(trainer_kwargs or {})}
+    report = validate_inputs(ds.log, ds.catalog, ds.feature_set)
+    assert report.ok, report.to_text()
+
+    model = fit_skill_model(ds.log, ds.catalog, ds.feature_set, num_levels, **kwargs)
+    assert np.isfinite(model.log_likelihood)
+
+    summary = summarize_trajectories(model)
+    assert summary.num_users == ds.log.num_users
+    assert 1.0 <= summary.mean_final_level <= num_levels
+
+    difficulty = generation_difficulty(model, prior="empirical")
+    assert len(difficulty) == len(ds.catalog)
+    assert all(1.0 <= d <= num_levels for d in difficulty.values())
+
+    curve = difficulty_calibration(model, ds.log, difficulty, num_bins=3)
+    assert sum(b.num_actions for b in curve.bins) == ds.log.num_actions
+
+    if with_items_prediction:
+        train, held = holdout_last_position(ds.log)
+        holdout_model = fit_skill_model(
+            train, ds.catalog, ds.feature_set, num_levels, **kwargs
+        )
+        result = predict_items(holdout_model, held)
+        rand_acc, _ = random_guess_expectation(len(ds.catalog))
+        assert result.acc_at_10 >= rand_acc * 0.5  # never catastrophically bad
+    return model
+
+
+class TestSyntheticPipeline:
+    def test_full_path(self):
+        from repro.synth import SyntheticConfig, generate_synthetic
+
+        ds = generate_synthetic(SyntheticConfig(num_users=60, num_items=400, seed=21))
+        model = _pipeline(ds, 5, trainer_kwargs={"init_min_actions": 30})
+        truth = ds.true_skill_array()
+        estimate = model.all_assigned_levels()
+        assert np.corrcoef(truth, estimate)[0, 1] > 0.4
+
+
+class TestLanguagePipeline:
+    def test_full_path(self):
+        from repro.synth import LanguageConfig, generate_language
+
+        ds = generate_language(LanguageConfig(num_users=120, seed=21))
+        # Language items are selected exactly once; ID ranking is undefined.
+        model = _pipeline(ds, 3, with_items_prediction=False)
+        corrections = feature_trend(model, "corrections")
+        assert corrections.means[-1] < corrections.means[0]
+        unskilled, skilled = top_dominated(model, "rule", k=10)
+        assert unskilled and skilled
+
+
+class TestCookingPipeline:
+    def test_full_path(self):
+        from repro.synth import CookingConfig, generate_cooking
+
+        ds = generate_cooking(CookingConfig(num_users=100, num_items=400, seed=21))
+        model = _pipeline(ds, 5)
+        steps = feature_trend(model, "num_steps")
+        assert steps.means[-1] > steps.means[1]  # complexity grows (above L1)
+
+
+class TestBeerPipeline:
+    def test_full_path_including_ratings(self):
+        from repro.recsys import run_rating_task
+        from repro.recsys.ffm import FFMConfig
+        from repro.synth import BeerConfig, generate_beer
+
+        ds = generate_beer(
+            BeerConfig(num_users=50, num_items=200, mean_sequence_length=40, seed=21)
+        )
+        model = _pipeline(ds, 5)
+        abv = feature_trend(model, "abv")
+        assert abv.means[-1] > abv.means[0]
+
+        rating = run_rating_task(
+            ds.log, ds.catalog, ds.feature_set, 5,
+            holdout="last", seed=0,
+            ffm_config=FFMConfig(epochs=3, num_factors=4),
+            init_min_actions=10, max_iterations=10,
+        )
+        assert all(0 <= v <= 5 for v in rating.rmse.values())
+
+
+class TestFilmPipeline:
+    def test_full_path_including_preprocessing(self):
+        from repro.analysis import remove_lastness
+        from repro.synth import FilmConfig, generate_film
+
+        ds = generate_film(
+            FilmConfig(num_users=60, num_items=250, mean_sequence_length=25, seed=21)
+        )
+        _pipeline(ds, 5)
+        clean_log, clean_catalog, stats = remove_lastness(ds.log, ds.catalog)
+        assert stats.items_after < stats.items_before
+        # the preprocessed data still trains
+        model = fit_skill_model(
+            clean_log, clean_catalog, ds.feature_set, 5,
+            init_min_actions=10, max_iterations=10,
+        )
+        assert np.isfinite(model.log_likelihood)
+
+
+class TestForgettingPipeline:
+    def test_full_path_with_decay_trainer(self):
+        from repro.core import ForgettingConfig, fit_forgetting_model
+        from repro.synth import ForgettingDataConfig, generate_forgetting
+        from repro.synth.generator import SyntheticConfig
+
+        ds = generate_forgetting(
+            ForgettingDataConfig(
+                base=SyntheticConfig(num_users=50, num_items=300, seed=21, level_up_prob=0.15)
+            )
+        )
+        report = validate_inputs(ds.log, ds.catalog, ds.feature_set)
+        assert report.ok
+        model = fit_forgetting_model(
+            ds.log, ds.catalog, ds.feature_set,
+            ForgettingConfig(num_levels=5, half_life=20.0, init_min_actions=20, max_iterations=10),
+        )
+        difficulty = generation_difficulty(model, prior="empirical")
+        assert all(1.0 <= d <= 5.0 for d in difficulty.values())
+        # trajectory analytics tolerate the non-monotone trainer
+        summary = summarize_trajectories(model)
+        assert summary.num_users == ds.log.num_users

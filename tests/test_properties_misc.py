@@ -1,0 +1,117 @@
+"""Cross-cutting property tests on library invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.soft_em import forward_backward
+from repro.data.actions import Action, ActionLog
+from repro.data.io import load_log, save_log
+from repro.data.stats import popularity_gini
+
+
+# ---------------------------------------------------------------- io
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    records=st.lists(
+        st.tuples(
+            st.integers(0, 5),  # user
+            st.integers(0, 10),  # item
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),  # time
+            st.one_of(st.none(), st.floats(min_value=0, max_value=5, allow_nan=False)),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_log_round_trip_property(tmp_path_factory, records):
+    """Property: save → load preserves every action (grouped per user)."""
+    log = ActionLog.from_actions(
+        Action(time=t, user=f"u{u}", item=f"i{i}", rating=r) for u, i, t, r in records
+    )
+    path = tmp_path_factory.mktemp("io") / "log.jsonl"
+    save_log(log, path)
+    loaded = load_log(path)
+    assert loaded.num_actions == log.num_actions
+    for seq in log:
+        reloaded = loaded.sequence(seq.user)
+        assert reloaded.items == seq.items
+        assert [a.rating for a in reloaded] == [a.rating for a in seq]
+
+
+# ----------------------------------------------------------- soft EM
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(1, 12),
+    s=st.integers(1, 5),
+    q=st.floats(min_value=0.01, max_value=0.99),
+    data=st.data(),
+)
+def test_forward_backward_invariants(n, s, q, data):
+    """Properties: responsibilities normalize; LL bounded by best/worst path."""
+    flat = data.draw(
+        st.lists(
+            st.floats(min_value=-20, max_value=2, allow_nan=False),
+            min_size=n * s,
+            max_size=n * s,
+        )
+    )
+    emissions = np.asarray(flat).reshape(n, s)
+    gamma, ll = forward_backward(emissions, q)
+    np.testing.assert_allclose(gamma.sum(axis=1), 1.0, rtol=1e-9)
+    assert np.all(gamma >= -1e-12)
+    # The total log-likelihood is a log-sum over paths; it can exceed any
+    # single path's weighted score but never the unconstrained per-action
+    # maxima, and never fall below the per-action minima plus the worst
+    # possible transition weights.
+    upper = emissions.max(axis=1).sum()  # transition/init weights are <= 0
+    assert ll <= upper + 1e-9
+
+
+# ------------------------------------------------------------- gini
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    counts=st.lists(
+        st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=200
+    )
+)
+def test_gini_bounds_property(counts):
+    """Property: Gini of non-negative counts lies in [0, 1)."""
+    value = popularity_gini(np.asarray(counts))
+    assert -1e-9 <= value < 1.0
+
+
+# -------------------------------------------------- markov normalization
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    transitions=st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 7)), min_size=2, max_size=60
+    )
+)
+def test_markov_rows_always_normalized(transitions):
+    """Property: every conditional next-item distribution sums to one."""
+    from repro.data.items import Item, ItemCatalog
+    from repro.recsys.markov import MarkovItemModel
+
+    catalog = ItemCatalog([Item(id=f"i{k}", features={"x": 0}) for k in range(8)])
+    clock: dict = {}
+    actions = []
+    for user, item in transitions:
+        t = clock.get(user, 0)
+        clock[user] = t + 1
+        actions.append(Action(time=float(t), user=f"u{user}", item=f"i{item}"))
+    model = MarkovItemModel(catalog).fit(ActionLog.from_actions(actions))
+    for k in range(8):
+        probs = model.next_item_probabilities(f"i{k}")
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(probs > 0)
+    assert model.next_item_probabilities(None).sum() == pytest.approx(1.0)

@@ -1,0 +1,81 @@
+"""Tests for repro.recsys.encoding (FFM feature encoding)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.recsys.encoding import RatingEncoder, RatingInstance
+
+
+def _instances():
+    return [
+        RatingInstance(user="a", item="x", rating=3.0, skill=1, difficulty=1.5),
+        RatingInstance(user="b", item="y", rating=4.0, skill=2, difficulty=2.5),
+        RatingInstance(user="a", item="y", rating=2.0, skill=1, difficulty=2.5),
+    ]
+
+
+class TestRatingEncoder:
+    def test_baseline_two_fields(self):
+        encoder = RatingEncoder().fit(_instances())
+        samples = encoder.encode(_instances())
+        assert encoder.num_fields == 2
+        assert all(len(s.indices) == 2 for s in samples)
+        # user and item indices never collide (disjoint index ranges)
+        assert samples[0].indices[0] != samples[0].indices[1]
+
+    def test_skill_field(self):
+        encoder = RatingEncoder(include_skill=True).fit(_instances())
+        samples = encoder.encode(_instances())
+        assert encoder.num_fields == 3
+        assert all(len(s.indices) == 3 for s in samples)
+        assert all(s.values[2] == 1.0 for s in samples)  # one-hot
+
+    def test_difficulty_field_carries_value(self):
+        encoder = RatingEncoder(include_difficulty=True).fit(_instances())
+        samples = encoder.encode(_instances())
+        assert samples[0].values[-1] == pytest.approx(1.5)
+        assert samples[1].values[-1] == pytest.approx(2.5)
+
+    def test_full_variant(self):
+        encoder = RatingEncoder(include_skill=True, include_difficulty=True).fit(
+            _instances()
+        )
+        assert encoder.num_fields == 4
+        assert len(encoder.encode(_instances())[0].indices) == 4
+
+    def test_unseen_user_maps_to_oov(self):
+        encoder = RatingEncoder().fit(_instances())
+        known = encoder.encode(_instances())[0]
+        unseen = encoder.encode(
+            [RatingInstance(user="stranger", item="x", rating=1.0)]
+        )[0]
+        assert unseen.indices[0] != known.indices[0]
+        # OOV index is within the feature space
+        assert unseen.indices[0] < encoder.num_features
+
+    def test_missing_skill_rejected(self):
+        encoder = RatingEncoder(include_skill=True)
+        with pytest.raises(ConfigurationError):
+            encoder.fit([RatingInstance(user="a", item="x", rating=1.0)])
+
+    def test_missing_difficulty_rejected(self):
+        encoder = RatingEncoder(include_difficulty=True).fit(_instances())
+        with pytest.raises(ConfigurationError):
+            encoder.encode([RatingInstance(user="a", item="x", rating=1.0, skill=1)])
+
+    def test_double_fit_rejected(self):
+        encoder = RatingEncoder().fit(_instances())
+        with pytest.raises(ConfigurationError):
+            encoder.fit(_instances())
+
+    def test_use_before_fit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RatingEncoder().encode(_instances())
+
+    def test_index_space_is_compact(self):
+        encoder = RatingEncoder(include_skill=True, include_difficulty=True).fit(
+            _instances()
+        )
+        samples = encoder.encode(_instances())
+        top = max(int(s.indices.max()) for s in samples)
+        assert top < encoder.num_features

@@ -1,0 +1,145 @@
+"""Tests for repro.recsys.ffm: prediction math, learning, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.recsys.encoding import FFMSample, RatingEncoder, RatingInstance
+from repro.recsys.ffm import FFMConfig, FFMModel
+
+
+def _sample(fields, indices, values, target):
+    return FFMSample(
+        fields=np.asarray(fields, dtype=np.int64),
+        indices=np.asarray(indices, dtype=np.int64),
+        values=np.asarray(values, dtype=np.float64),
+        target=float(target),
+    )
+
+
+def _toy_dataset(num_users=20, num_items=15, n=300, seed=0):
+    """Ratings from a planted bilinear model, encoded as FFM samples."""
+    rng = np.random.default_rng(seed)
+    user_bias = rng.normal(0, 0.5, num_users)
+    item_bias = rng.normal(0, 0.5, num_items)
+    u_vec = rng.normal(0, 0.5, (num_users, 3))
+    i_vec = rng.normal(0, 0.5, (num_items, 3))
+    samples = []
+    for _ in range(n):
+        u = int(rng.integers(num_users))
+        i = int(rng.integers(num_items))
+        rating = 3.0 + user_bias[u] + item_bias[i] + u_vec[u] @ i_vec[i]
+        rating += rng.normal(0, 0.1)
+        samples.append(
+            _sample([0, 1], [u, num_users + i], [1.0, 1.0], np.clip(rating, 0, 5))
+        )
+    return samples, num_users + num_items
+
+
+class TestFFMConfig:
+    def test_validation(self):
+        for kwargs in (
+            {"num_factors": 0},
+            {"epochs": 0},
+            {"learning_rate": 0.0},
+            {"regularization": -1.0},
+            {"batch_size": 0},
+        ):
+            with pytest.raises(ConfigurationError):
+                FFMConfig(**kwargs)
+
+
+class TestFFMModel:
+    def test_predict_before_fit(self):
+        model = FFMModel(num_features=4, num_fields=2)
+        with pytest.raises(NotFittedError):
+            model.predict([_sample([0, 1], [0, 2], [1, 1], 3.0)])
+
+    def test_fit_empty_rejected(self):
+        model = FFMModel(num_features=4, num_fields=2)
+        with pytest.raises(ConfigurationError):
+            model.fit([])
+
+    def test_learns_global_mean(self):
+        samples = [_sample([0, 1], [0, 1], [1, 1], 4.0)] * 10
+        model = FFMModel(2, 2, FFMConfig(epochs=2)).fit(samples)
+        assert model.predict_one(samples[0]) == pytest.approx(4.0, abs=0.2)
+
+    def test_reduces_rmse_vs_mean_predictor(self):
+        samples, num_features = _toy_dataset()
+        model = FFMModel(num_features, 2, FFMConfig(epochs=20, seed=0)).fit(samples)
+        targets = np.asarray([s.target for s in samples])
+        baseline = float(np.sqrt(np.mean((targets - targets.mean()) ** 2)))
+        assert model.rmse(samples) < 0.6 * baseline
+
+    def test_generalizes_to_held_out(self):
+        samples, num_features = _toy_dataset(n=800)
+        train, test = samples[:600], samples[600:]
+        model = FFMModel(num_features, 2, FFMConfig(epochs=20, seed=1)).fit(train)
+        targets = np.asarray([s.target for s in test])
+        baseline = float(np.sqrt(np.mean((targets - targets.mean()) ** 2)))
+        assert model.rmse(test) < baseline
+
+    def test_clipping(self):
+        samples = [_sample([0, 1], [0, 1], [1, 1], 5.0)] * 5
+        model = FFMModel(2, 2, FFMConfig(epochs=1, clip_range=(0.0, 5.0))).fit(samples)
+        assert 0.0 <= model.predict_one(samples[0]) <= 5.0
+
+    def test_no_clipping_option(self):
+        samples = [_sample([0, 1], [0, 1], [1, 1], 3.0)] * 5
+        model = FFMModel(2, 2, FFMConfig(epochs=1, clip_range=None)).fit(samples)
+        assert np.isfinite(model.predict_one(samples[0]))
+
+    def test_deterministic_given_seed(self):
+        samples, num_features = _toy_dataset(n=100)
+        m1 = FFMModel(num_features, 2, FFMConfig(epochs=3, seed=7)).fit(samples)
+        m2 = FFMModel(num_features, 2, FFMConfig(epochs=3, seed=7)).fit(samples)
+        np.testing.assert_array_equal(m1.predict(samples), m2.predict(samples))
+
+    def test_mixed_field_patterns_rejected(self):
+        a = _sample([0, 1], [0, 1], [1, 1], 3.0)
+        b = _sample([0, 1, 2], [0, 1, 2], [1, 1, 1], 3.0)
+        model = FFMModel(4, 3)
+        with pytest.raises(ConfigurationError):
+            model.fit([a, b])
+
+    def test_numeric_field_influences_prediction(self):
+        """The difficulty-style numeric field must shift predictions."""
+        rng = np.random.default_rng(0)
+        samples = []
+        for _ in range(400):
+            u = int(rng.integers(10))
+            i = int(rng.integers(10))
+            d = float(rng.uniform(1, 5))
+            rating = np.clip(1.0 + 0.8 * d + rng.normal(0, 0.05), 0, 5)
+            samples.append(_sample([0, 1, 2], [u, 10 + i, 20], [1.0, 1.0, d], rating))
+        model = FFMModel(21, 3, FFMConfig(epochs=30, seed=0)).fit(samples)
+        lo = _sample([0, 1, 2], [0, 10, 20], [1.0, 1.0, 1.0], 0.0)
+        hi = _sample([0, 1, 2], [0, 10, 20], [1.0, 1.0, 5.0], 0.0)
+        assert model.predict_one(hi) > model.predict_one(lo) + 1.0
+
+    def test_gradient_direction_numerically(self):
+        """One batch step must reduce squared loss on that batch."""
+        samples, num_features = _toy_dataset(n=32)
+        model = FFMModel(num_features, 2, FFMConfig(epochs=1, learning_rate=0.05))
+        from repro.recsys.ffm import _stack
+
+        fields, indices, values, targets = _stack(samples)
+        model._bias = float(targets.mean())
+        before = np.mean((model._raw_scores(fields, indices, values) - targets) ** 2)
+        model._batch_step(fields, indices, values, targets)
+        after = np.mean((model._raw_scores(fields, indices, values) - targets) ** 2)
+        assert after < before
+
+
+class TestEndToEndWithEncoder:
+    def test_encoder_samples_trainable(self):
+        instances = [
+            RatingInstance(user=f"u{k % 7}", item=f"i{k % 5}", rating=float(k % 5), skill=1 + k % 3, difficulty=1.0 + (k % 4))
+            for k in range(60)
+        ]
+        encoder = RatingEncoder(include_skill=True, include_difficulty=True).fit(instances)
+        samples = encoder.encode(instances)
+        model = FFMModel(encoder.num_features, encoder.num_fields, FFMConfig(epochs=5))
+        model.fit(samples)
+        assert np.isfinite(model.rmse(samples))

@@ -1,0 +1,95 @@
+"""Tests for repro.recsys.markov (sequential baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.data.actions import Action, ActionLog
+from repro.data.items import Item, ItemCatalog
+from repro.data.splits import holdout_last_position
+from repro.exceptions import ConfigurationError, DataError
+from repro.recsys.markov import MarkovItemModel
+
+
+def _catalog(n=4):
+    return ItemCatalog([Item(id=f"i{k}", features={"x": 0}) for k in range(n)])
+
+
+def _cycle_log(num_users=5, length=12):
+    """Users deterministically cycle i0 → i1 → i2 → i3 → i0 ..."""
+    actions = []
+    for u in range(num_users):
+        for t in range(length):
+            actions.append(Action(time=float(t), user=f"u{u}", item=f"i{t % 4}"))
+    return ActionLog.from_actions(actions)
+
+
+class TestMarkovItemModel:
+    def test_learns_deterministic_transitions(self):
+        model = MarkovItemModel(_catalog()).fit(_cycle_log())
+        probs = model.next_item_probabilities("i1")
+        assert np.argmax(probs) == 2  # i1 → i2
+        assert probs[2] > 0.9
+
+    def test_start_falls_back_to_popularity(self):
+        model = MarkovItemModel(_catalog()).fit(_cycle_log())
+        probs = model.next_item_probabilities(None)
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(probs > 0)
+
+    def test_unseen_successor_falls_back(self):
+        actions = [
+            Action(time=0.0, user="u", item="i0"),
+            Action(time=1.0, user="u", item="i1"),
+        ]
+        model = MarkovItemModel(_catalog()).fit(ActionLog.from_actions(actions))
+        # i1 has no successor in training: popularity fallback, normalized
+        probs = model.next_item_probabilities("i1")
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_rows_normalized(self):
+        model = MarkovItemModel(_catalog()).fit(_cycle_log())
+        for item in ("i0", "i1", "i2", "i3"):
+            assert model.next_item_probabilities(item).sum() == pytest.approx(1.0)
+
+    def test_unknown_item_rejected(self):
+        model = MarkovItemModel(_catalog()).fit(_cycle_log())
+        with pytest.raises(DataError):
+            model.next_item_probabilities("ghost")
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(DataError):
+            MarkovItemModel(_catalog()).next_item_probabilities("i0")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MarkovItemModel(_catalog(), smoothing=0.0)
+        with pytest.raises(ConfigurationError):
+            MarkovItemModel(ItemCatalog([]))
+
+    def test_predicts_cycle_perfectly(self):
+        log = _cycle_log()
+        train, held = holdout_last_position(log)
+        model = MarkovItemModel(_catalog()).fit(train)
+        result = model.predict_items(train, held)
+        # the deterministic cycle makes every held-out item rank first
+        assert result.mean_reciprocal_rank == pytest.approx(1.0)
+        assert result.acc_at_10 == 1.0
+
+    def test_empty_held_rejected(self):
+        log = _cycle_log()
+        model = MarkovItemModel(_catalog()).fit(log)
+        with pytest.raises(DataError):
+            model.predict_items(log, [])
+
+    def test_beats_random_on_simulated_domain(self):
+        from repro.recsys.ranking import random_guess_expectation
+        from repro.synth import BeerConfig, generate_beer
+
+        ds = generate_beer(
+            BeerConfig(num_users=40, num_items=200, mean_sequence_length=40, seed=3)
+        )
+        train, held = holdout_last_position(ds.log)
+        model = MarkovItemModel(ds.catalog).fit(train)
+        result = model.predict_items(train, held)
+        _, rand_rr = random_guess_expectation(len(ds.catalog))
+        assert result.mean_reciprocal_rank > 2 * rand_rr

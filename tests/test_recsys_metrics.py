@@ -1,0 +1,103 @@
+"""Tests for repro.recsys.metrics and the model-card report."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.recsys.metrics import mean_rank, ndcg_at_k, ranking_summary, recall_at_k
+from repro.recsys.ranking import ItemPredictionResult
+
+
+class TestNdcg:
+    def test_rank_one_is_perfect(self):
+        assert ndcg_at_k(np.array([1.0, 1.0]), k=10) == pytest.approx(1.0)
+
+    def test_known_value_rank_three(self):
+        assert ndcg_at_k(np.array([3.0]), k=10) == pytest.approx(1.0 / np.log2(4.0))
+
+    def test_outside_cutoff_scores_zero(self):
+        assert ndcg_at_k(np.array([11.0]), k=10) == 0.0
+
+    def test_monotone_in_k(self):
+        ranks = np.array([2.0, 7.0, 15.0, 40.0])
+        values = [ndcg_at_k(ranks, k) for k in (1, 5, 10, 50)]
+        assert values == sorted(values)
+
+    def test_fractional_midrank_interpolates(self):
+        low = ndcg_at_k(np.array([2.0]), k=10)
+        mid = ndcg_at_k(np.array([2.5]), k=10)
+        high = ndcg_at_k(np.array([3.0]), k=10)
+        assert high < mid < low
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ndcg_at_k(np.array([1.0]), k=0)
+        with pytest.raises(ConfigurationError):
+            ndcg_at_k(np.array([0.5]))
+        with pytest.raises(ConfigurationError):
+            ndcg_at_k(np.array([]))
+
+
+class TestRecallAndMeanRank:
+    def test_recall_known(self):
+        ranks = np.array([1.0, 5.0, 11.0, 30.0])
+        assert recall_at_k(ranks, k=10) == pytest.approx(0.5)
+        assert recall_at_k(ranks, k=1) == pytest.approx(0.25)
+
+    def test_recall_matches_accuracy_at(self):
+        ranks = np.array([1.0, 4.0, 9.0, 20.0])
+        result = ItemPredictionResult(ranks=ranks, num_items=50)
+        assert recall_at_k(ranks, 10) == result.accuracy_at(10)
+
+    def test_mean_rank(self):
+        assert mean_rank(np.array([1.0, 3.0])) == 2.0
+
+
+class TestRankingSummary:
+    def test_keys_and_consistency(self):
+        ranks = np.array([1.0, 2.0, 12.0, 7.0])
+        result = ItemPredictionResult(ranks=ranks, num_items=20)
+        summary = ranking_summary(result, ks=(1, 10))
+        assert set(summary) == {"rr", "mean_rank", "recall@1", "ndcg@1", "recall@10", "ndcg@10"}
+        assert summary["rr"] == pytest.approx(result.mean_reciprocal_rank)
+        assert summary["recall@10"] == pytest.approx(np.mean(ranks <= 10))
+        assert summary["ndcg@1"] <= summary["ndcg@10"]
+
+
+class TestModelCard:
+    def test_contains_all_sections(self, fitted_tiny_model, tiny_log):
+        from repro.analysis import model_card
+
+        card = model_card(fitted_tiny_model, tiny_log)
+        for heading in (
+            "# Skill model card",
+            "## Training",
+            "## Trajectories",
+            "## Feature trends",
+            "## Item difficulty",
+            "## Calibration",
+            "## Most typical items per level",
+        ):
+            assert heading in card, heading
+
+    def test_without_log_skips_calibration(self, fitted_tiny_model):
+        from repro.analysis import model_card
+
+        card = model_card(fitted_tiny_model)
+        assert "## Calibration" not in card
+        assert "## Item difficulty" in card
+
+    def test_custom_difficulties_used(self, fitted_tiny_model):
+        from repro.analysis import model_card
+
+        difficulties = {item: 2.0 for item in fitted_tiny_model.encoded.item_ids}
+        card = model_card(fitted_tiny_model, difficulties=difficulties)
+        assert "mean 2.00" in card
+
+    def test_cli_inspect(self, fitted_tiny_model, tmp_path, capsys):
+        from repro.cli import main
+        from repro.core.serialize import save_model
+
+        save_model(fitted_tiny_model, tmp_path / "m")
+        assert main(["inspect", str(tmp_path / "m")]) == 0
+        assert "# Skill model card" in capsys.readouterr().out

@@ -1,0 +1,106 @@
+"""Tests for repro.recsys.ranking (item-prediction protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.core.training import fit_skill_model
+from repro.data.splits import holdout_last_position, holdout_random_position
+from repro.exceptions import DataError
+from repro.recsys.ranking import ItemPredictionResult, predict_items, random_guess_expectation
+
+
+@pytest.fixture
+def split_and_model(tiny_log, tiny_catalog, tiny_feature_set):
+    train, held = holdout_last_position(tiny_log)
+    model = fit_skill_model(
+        train,
+        tiny_catalog,
+        tiny_feature_set.with_id_feature(),
+        3,
+        init_min_actions=5,
+        max_iterations=15,
+    )
+    return model, held
+
+
+class TestPredictItems:
+    def test_result_shape(self, split_and_model):
+        model, held = split_and_model
+        result = predict_items(model, held)
+        assert len(result.ranks) == len(held)
+        assert result.num_items == 12
+
+    def test_rank_bounds(self, split_and_model):
+        model, held = split_and_model
+        result = predict_items(model, held)
+        assert np.all(result.ranks >= 1)
+        assert np.all(result.ranks <= result.num_items)
+
+    def test_measures_consistent_with_ranks(self, split_and_model):
+        model, held = split_and_model
+        result = predict_items(model, held)
+        assert result.acc_at_10 == pytest.approx(np.mean(result.ranks <= 10))
+        assert result.mean_reciprocal_rank == pytest.approx(
+            np.mean(1.0 / result.ranks)
+        )
+        np.testing.assert_allclose(result.reciprocal_ranks, 1.0 / result.ranks)
+
+    def test_accuracy_at_k_monotone_in_k(self, split_and_model):
+        model, held = split_and_model
+        result = predict_items(model, held)
+        accs = [result.accuracy_at(k) for k in (1, 3, 5, 10, 12)]
+        assert accs == sorted(accs)
+        assert result.accuracy_at(12) == 1.0  # everything ranks within |I|
+
+    def test_empty_held_rejected(self, split_and_model):
+        model, _ = split_and_model
+        with pytest.raises(DataError):
+            predict_items(model, [])
+
+    def test_mid_rank_tie_handling(self):
+        """With identical probabilities the mid-rank must be (|I|+1)/2."""
+        ranks = np.array([(12 + 1) / 2])
+        result = ItemPredictionResult(ranks=ranks, num_items=12)
+        assert result.mean_reciprocal_rank == pytest.approx(2 / 13)
+
+    def test_random_split_protocol(self, tiny_log, tiny_catalog, tiny_feature_set):
+        train, held = holdout_random_position(tiny_log, np.random.default_rng(0))
+        model = fit_skill_model(
+            train,
+            tiny_catalog,
+            tiny_feature_set.with_id_feature(),
+            2,
+            init_min_actions=5,
+            max_iterations=10,
+        )
+        result = predict_items(model, held)
+        assert len(result.ranks) == len(held)
+
+
+class TestRandomGuess:
+    def test_formulas(self):
+        acc, rr = random_guess_expectation(100, k=10)
+        assert acc == pytest.approx(0.1)
+        assert rr == pytest.approx(np.sum(1.0 / np.arange(1, 101)) / 100)
+
+    def test_small_catalog(self):
+        acc, _ = random_guess_expectation(5, k=10)
+        assert acc == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(DataError):
+            random_guess_expectation(0)
+
+    def test_model_beats_random_on_skewed_data(self):
+        """A popularity-skewed domain must be predictable above chance."""
+        from repro.synth import CookingConfig, generate_cooking
+
+        ds = generate_cooking(CookingConfig(num_users=120, num_items=300, seed=3))
+        train, held = holdout_random_position(ds.log, np.random.default_rng(1))
+        model = fit_skill_model(
+            train, ds.catalog, ds.feature_set, 5, init_min_actions=10, max_iterations=15
+        )
+        result = predict_items(model, held)
+        random_acc, random_rr = random_guess_expectation(len(ds.catalog))
+        assert result.acc_at_10 > 2 * random_acc
+        assert result.mean_reciprocal_rank > 2 * random_rr

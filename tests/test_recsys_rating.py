@@ -1,0 +1,93 @@
+"""Tests for repro.recsys.rating (Table XII harness)."""
+
+import numpy as np
+import pytest
+
+from repro.core.difficulty import generation_difficulty
+from repro.core.training import fit_skill_model
+from repro.data.actions import Action, ActionLog
+from repro.exceptions import ConfigurationError, DataError
+from repro.recsys.ffm import FFMConfig
+from repro.recsys.rating import VARIANTS, build_instances, run_rating_task
+from repro.synth import BeerConfig, generate_beer
+
+
+@pytest.fixture(scope="module")
+def beer_ds():
+    return generate_beer(
+        BeerConfig(num_users=40, num_items=150, mean_sequence_length=30, seed=2)
+    )
+
+
+class TestBuildInstances:
+    def test_instances_carry_side_information(self, beer_ds):
+        model = fit_skill_model(
+            beer_ds.log, beer_ds.catalog, beer_ds.feature_set, 5,
+            init_min_actions=10, max_iterations=10,
+        )
+        difficulties = generation_difficulty(model)
+        actions = list(beer_ds.log.actions())[:20]
+        instances = build_instances(actions, model, difficulties)
+        assert len(instances) == 20
+        for inst in instances:
+            assert 1 <= inst.skill <= 5
+            assert 1.0 <= inst.difficulty <= 5.0
+
+    def test_unrated_action_rejected(self, beer_ds):
+        model = fit_skill_model(
+            beer_ds.log, beer_ds.catalog, beer_ds.feature_set, 5,
+            init_min_actions=10, max_iterations=5,
+        )
+        difficulties = generation_difficulty(model)
+        unrated = Action(time=0.0, user=beer_ds.log.users[0], item=list(beer_ds.catalog.ids)[0])
+        with pytest.raises(DataError):
+            build_instances([unrated], model, difficulties)
+
+
+class TestRunRatingTask:
+    def test_all_variants_reported(self, beer_ds):
+        result = run_rating_task(
+            beer_ds.log, beer_ds.catalog, beer_ds.feature_set, 5,
+            holdout="random", seed=0,
+            ffm_config=FFMConfig(epochs=4, num_factors=4),
+            init_min_actions=10, max_iterations=10,
+        )
+        assert set(result.rmse) == set(VARIANTS)
+        for value in result.rmse.values():
+            assert 0.0 <= value <= 5.0
+        for errors in result.squared_errors.values():
+            assert np.all(errors >= 0)
+
+    def test_variant_subset(self, beer_ds):
+        result = run_rating_task(
+            beer_ds.log, beer_ds.catalog, beer_ds.feature_set, 5,
+            holdout="last", variants=("U+I",), seed=0,
+            ffm_config=FFMConfig(epochs=3, num_factors=4),
+            init_min_actions=10, max_iterations=5,
+        )
+        assert set(result.rmse) == {"U+I"}
+        assert result.holdout == "last"
+
+    def test_unknown_variant(self, beer_ds):
+        with pytest.raises(ConfigurationError):
+            run_rating_task(
+                beer_ds.log, beer_ds.catalog, beer_ds.feature_set, 5,
+                variants=("U+I+X",),
+            )
+
+    def test_unknown_holdout(self, beer_ds):
+        with pytest.raises(ConfigurationError):
+            run_rating_task(
+                beer_ds.log, beer_ds.catalog, beer_ds.feature_set, 5, holdout="middle"
+            )
+
+    def test_unrated_log_rejected(self, tiny_log, tiny_catalog, tiny_feature_set):
+        with pytest.raises(DataError):
+            run_rating_task(
+                tiny_log,
+                tiny_catalog,
+                tiny_feature_set.with_id_feature(),
+                2,
+                init_min_actions=5,
+                max_iterations=3,
+            )

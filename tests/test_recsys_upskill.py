@@ -1,0 +1,105 @@
+"""Tests for repro.recsys.upskill (the assembled recommender)."""
+
+import numpy as np
+import pytest
+
+from repro.core.difficulty import generation_difficulty
+from repro.exceptions import ConfigurationError, DataError
+from repro.recsys.upskill import Recommendation, UpskillConfig, UpskillRecommender
+
+
+@pytest.fixture
+def recommender(fitted_tiny_model):
+    difficulties = generation_difficulty(fitted_tiny_model, prior="empirical")
+    return UpskillRecommender(fitted_tiny_model, difficulties)
+
+
+class TestUpskillConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UpskillConfig(window_low=1.0, window_high=0.0)
+        with pytest.raises(ConfigurationError):
+            UpskillConfig(interest_weight=1.5)
+        with pytest.raises(ConfigurationError):
+            UpskillConfig(decay=0.0)
+
+
+class TestChallengeFit:
+    def test_inside_window_full_credit(self, fitted_tiny_model):
+        difficulties = {item: 2.0 for item in fitted_tiny_model.encoded.vocabulary("__item_id__")}
+        rec = UpskillRecommender(
+            fitted_tiny_model, difficulties, UpskillConfig(window_low=-0.5, window_high=0.5)
+        )
+        np.testing.assert_allclose(rec.challenge_fit(2), 1.0)
+
+    def test_decays_outside_window(self, fitted_tiny_model):
+        vocab = fitted_tiny_model.encoded.vocabulary("__item_id__")
+        difficulties = {item: 3.0 for item in vocab}
+        rec = UpskillRecommender(
+            fitted_tiny_model,
+            difficulties,
+            UpskillConfig(window_low=-0.25, window_high=0.25, decay=2.0),
+        )
+        fit_at_own_level = rec.challenge_fit(3)[0]
+        fit_far_below = rec.challenge_fit(1)[0]  # items 2 levels above a level-1 user
+        assert fit_at_own_level == pytest.approx(1.0)
+        assert fit_far_below < 0.05
+
+
+class TestRecommend:
+    def test_returns_k_unseen_items(self, recommender, fitted_tiny_model, tiny_log):
+        recs = recommender.recommend("u0", k=4, log=tiny_log)
+        assert len(recs) <= 4
+        seen = tiny_log.sequence("u0").unique_items
+        assert all(r.item not in seen for r in recs)
+        assert all(isinstance(r, Recommendation) for r in recs)
+
+    def test_scores_sorted(self, recommender, tiny_log):
+        recs = recommender.recommend("u1", k=5, log=tiny_log)
+        scores = [r.score for r in recs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_time_parameter(self, recommender, tiny_log):
+        early = recommender.recommend("u0", time=-100.0, k=3, log=tiny_log)
+        assert len(early) >= 1
+
+    def test_exclude_seen_needs_log(self, recommender):
+        with pytest.raises(ConfigurationError):
+            recommender.recommend("u0", k=3)
+
+    def test_include_seen_mode(self, fitted_tiny_model):
+        difficulties = generation_difficulty(fitted_tiny_model)
+        rec = UpskillRecommender(
+            fitted_tiny_model, difficulties, UpskillConfig(exclude_seen=False)
+        )
+        recs = rec.recommend("u0", k=3)
+        assert len(recs) == 3
+
+    def test_k_validation(self, recommender, tiny_log):
+        with pytest.raises(ConfigurationError):
+            recommender.recommend("u0", k=0, log=tiny_log)
+
+    def test_unknown_user(self, recommender, tiny_log):
+        with pytest.raises(DataError):
+            recommender.recommend("ghost", k=3, log=tiny_log)
+
+    def test_missing_difficulties_rejected(self, fitted_tiny_model):
+        with pytest.raises(DataError):
+            UpskillRecommender(fitted_tiny_model, {"i0": 1.0})
+
+    def test_challenge_window_steers_recommendations(self, fitted_tiny_model, tiny_log):
+        """A challenge-only recommender must pick items nearer the user's
+        level than an interest-only one, measured on estimated difficulty."""
+        difficulties = generation_difficulty(fitted_tiny_model, prior="empirical")
+        challenge_only = UpskillRecommender(
+            fitted_tiny_model, difficulties, UpskillConfig(interest_weight=0.0)
+        )
+        interest_only = UpskillRecommender(
+            fitted_tiny_model, difficulties, UpskillConfig(interest_weight=1.0)
+        )
+        user = "u0"
+        level = int(fitted_tiny_model.skill_trajectory(user)[-1])
+        gap = lambda recs: np.mean([abs(r.difficulty - level) for r in recs])  # noqa: E731
+        challenge_gap = gap(challenge_only.recommend(user, k=3, log=tiny_log))
+        interest_gap = gap(interest_only.recommend(user, k=3, log=tiny_log))
+        assert challenge_gap <= interest_gap + 1e-9

@@ -1,0 +1,180 @@
+"""Failure-injection and pathological-input tests across the pipeline.
+
+Production data is never clean; these tests feed the library the shapes of
+input that break naive implementations — degenerate sequences, constant
+features, extreme class imbalance, duplicated timestamps — and require
+either a correct result or a *typed* error, never a crash or silent
+nonsense.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.difficulty import assignment_difficulty, generation_difficulty
+from repro.core.features import FeatureKind, FeatureSet, FeatureSpec
+from repro.core.training import fit_skill_model
+from repro.data.actions import Action, ActionLog
+from repro.data.items import Item, ItemCatalog
+from repro.exceptions import ReproError
+
+
+def _catalog(num_items=6):
+    return ItemCatalog(
+        [
+            Item(id=f"i{k}", features={"c": k % 2, "n": k, "v": 1.0 + k})
+            for k in range(num_items)
+        ]
+    )
+
+
+def _features():
+    return FeatureSet(
+        [
+            FeatureSpec("c", FeatureKind.CATEGORICAL),
+            FeatureSpec("n", FeatureKind.COUNT),
+            FeatureSpec("v", FeatureKind.POSITIVE),
+        ]
+    )
+
+
+class TestDegenerateSequences:
+    def test_all_users_single_action(self):
+        log = ActionLog.from_actions(
+            [Action(time=0.0, user=f"u{k}", item=f"i{k % 6}") for k in range(10)]
+        )
+        model = fit_skill_model(
+            log, _catalog(), _features(), 3, init_min_actions=5, max_iterations=10
+        )
+        # every single-action trajectory is a valid level
+        for user in log.users:
+            assert 1 <= model.skill_trajectory(user)[0] <= 3
+
+    def test_single_user(self):
+        log = ActionLog.from_actions(
+            [Action(time=float(t), user="only", item=f"i{t % 6}") for t in range(20)]
+        )
+        model = fit_skill_model(
+            log, _catalog(), _features(), 3, init_min_actions=5, max_iterations=10
+        )
+        assert len(model.skill_trajectory("only")) == 20
+
+    def test_all_actions_same_item(self):
+        log = ActionLog.from_actions(
+            [Action(time=float(t), user=f"u{u}", item="i0") for u in range(3) for t in range(8)]
+        )
+        model = fit_skill_model(
+            log, _catalog(), _features(), 3, init_min_actions=5, max_iterations=10
+        )
+        assert np.isfinite(model.log_likelihood)
+        # difficulty of the only item is defined and in range
+        estimates = assignment_difficulty(model, log)
+        assert 1.0 <= estimates["i0"] <= 3.0
+
+    def test_duplicate_timestamps(self):
+        log = ActionLog.from_actions(
+            [Action(time=1.0, user="u", item=f"i{k}") for k in range(6)]
+        )
+        model = fit_skill_model(
+            log, _catalog(), _features(), 2, init_min_actions=3, max_iterations=5
+        )
+        # skill_at with an ambiguous time still answers deterministically
+        assert model.skill_at("u", 1.0) in (1, 2)
+
+    def test_more_levels_than_actions(self):
+        log = ActionLog.from_actions(
+            [Action(time=float(t), user="u", item=f"i{t}") for t in range(3)]
+        )
+        model = fit_skill_model(
+            log, _catalog(), _features(), 10, init_min_actions=2, max_iterations=5
+        )
+        assert model.skill_trajectory("u").max() <= 10
+
+
+class TestDegenerateFeatures:
+    def test_constant_features_learn_nothing_but_run(self):
+        items = [Item(id=f"i{k}", features={"c": 0, "n": 5, "v": 2.0}) for k in range(4)]
+        log = ActionLog.from_actions(
+            [Action(time=float(t), user=f"u{u}", item=f"i{t % 4}") for u in range(3) for t in range(10)]
+        )
+        model = fit_skill_model(
+            log, ItemCatalog(items), _features(), 3, init_min_actions=5, max_iterations=10
+        )
+        # indistinguishable levels: generation difficulty collapses to the
+        # prior mean, still inside [1, S]
+        estimates = generation_difficulty(model)
+        for value in estimates.values():
+            assert 1.0 <= value <= 3.0
+
+    def test_extreme_category_imbalance(self):
+        items = [
+            Item(id=f"i{k}", features={"c": 0 if k else 1, "n": k, "v": 1.0 + k})
+            for k in range(6)
+        ]
+        log = ActionLog.from_actions(
+            [Action(time=float(t), user="u", item=f"i{t % 6}") for t in range(18)]
+        )
+        model = fit_skill_model(
+            log, ItemCatalog(items), _features(), 2, init_min_actions=5, max_iterations=10
+        )
+        assert np.isfinite(model.item_score_table()).all()
+
+
+class TestTypedErrorsOnly:
+    """Anything that must fail, fails with a ReproError subclass."""
+
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: fit_skill_model(
+                ActionLog([]), _catalog(), _features(), 2
+            ),
+            lambda: fit_skill_model(
+                ActionLog.from_actions([Action(time=0.0, user="u", item="ghost")]),
+                _catalog(),
+                _features(),
+                2,
+            ),
+            lambda: _features().encode(
+                ItemCatalog([Item(id="x", features={"c": 0, "n": -3, "v": 1.0})])
+            ),
+        ],
+    )
+    def test_raises_typed(self, builder):
+        with pytest.raises(ReproError):
+            builder()
+
+
+class TestEndToEndAfterRoundTrips:
+    def test_save_load_then_extend_then_recommend(self, tmp_path):
+        """Chain persistence, fold-in, and recommendation on one model."""
+        from repro.core.incremental import extend_model
+        from repro.core.serialize import load_model, save_model
+        from repro.recsys.upskill import UpskillConfig, UpskillRecommender
+
+        catalog, features = _catalog(8), FeatureSet(
+            [
+                FeatureSpec("c", FeatureKind.CATEGORICAL),
+                FeatureSpec("n", FeatureKind.COUNT),
+                FeatureSpec("v", FeatureKind.POSITIVE),
+            ]
+        ).with_id_feature()
+        rng = np.random.default_rng(5)
+        log = ActionLog.from_actions(
+            [
+                Action(time=float(t), user=f"u{u}", item=f"i{int(rng.integers(8))}")
+                for u in range(4)
+                for t in range(12)
+            ]
+        )
+        model = fit_skill_model(log, catalog, features, 3, init_min_actions=5, max_iterations=10)
+        save_model(model, tmp_path / "m")
+        loaded = load_model(tmp_path / "m")
+        extended, merged = extend_model(
+            loaded, log, [Action(time=99.0, user="u0", item="i7")]
+        )
+        difficulties = generation_difficulty(extended, prior="empirical")
+        recommender = UpskillRecommender(
+            extended, difficulties, UpskillConfig(exclude_seen=True)
+        )
+        recs = recommender.recommend("u0", k=3, log=merged)
+        assert all(1.0 <= r.difficulty <= 3.0 for r in recs)

@@ -1,0 +1,234 @@
+"""Tests for the four domain simulators (language, cooking, beer, film)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.synth import (
+    BeerConfig,
+    CookingConfig,
+    FilmConfig,
+    LanguageConfig,
+    generate_beer,
+    generate_cooking,
+    generate_film,
+    generate_language,
+    monotone_skill_path,
+    rng_for,
+    sample_sequence_length,
+)
+
+
+class TestSeeds:
+    def test_same_purpose_same_stream(self):
+        a = rng_for(5, "items").random(3)
+        b = rng_for(5, "items").random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_purposes_differ(self):
+        a = rng_for(5, "items").random(3)
+        b = rng_for(5, "sequences").random(3)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(rng_for(1, "x").random(3), rng_for(2, "x").random(3))
+
+
+class TestBaseHelpers:
+    def test_sequence_length_floor(self):
+        rng = np.random.default_rng(0)
+        assert sample_sequence_length(rng, 0.001, minimum=2) >= 2
+
+    def test_sequence_length_validation(self):
+        with pytest.raises(ConfigurationError):
+            sample_sequence_length(np.random.default_rng(0), 0)
+
+    def test_monotone_skill_path_properties(self):
+        rng = np.random.default_rng(1)
+        path = monotone_skill_path(rng, 50, 4, level_up_prob=0.3)
+        assert len(path) == 50
+        assert path.min() >= 1 and path.max() <= 4
+        steps = np.diff(path)
+        assert np.all((steps == 0) | (steps == 1))
+
+    def test_monotone_skill_path_start_level(self):
+        rng = np.random.default_rng(2)
+        path = monotone_skill_path(rng, 10, 5, start_level=3, level_up_prob=0.0)
+        assert np.all(path == 3)
+
+    def test_monotone_skill_path_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            monotone_skill_path(rng, 5, 3, start_level=9)
+        with pytest.raises(ConfigurationError):
+            monotone_skill_path(rng, 5, 0)
+        with pytest.raises(ConfigurationError):
+            monotone_skill_path(rng, 5, 3, level_up_prob=2.0)
+
+
+class TestLanguage:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return generate_language(LanguageConfig(num_users=80, seed=1))
+
+    def test_one_item_per_action(self, ds):
+        assert len(ds.catalog) == ds.log.num_actions
+
+    def test_each_article_selected_once(self, ds):
+        assert all(count == 1 for count in ds.log.item_counts().values())
+
+    def test_true_skills_monotone(self, ds):
+        for seq in ds.log:
+            assert np.all(np.diff(ds.true_skills[seq.user]) >= 0)
+
+    def test_planted_correction_trend(self, ds):
+        """Articles written at level 3 carry fewer corrections on average."""
+        by_level = {1: [], 3: []}
+        for item in ds.catalog:
+            level = item.metadata["true_level"]
+            if level in by_level:
+                by_level[level].append(item.features["corrections"])
+        assert np.mean(by_level[3]) < np.mean(by_level[1])
+
+    def test_encodes_under_schema(self, ds):
+        assert ds.feature_set.encode(ds.catalog).num_items == len(ds.catalog)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            LanguageConfig(correction_means=(1.0, 2.0))  # wrong arity for S=3
+        with pytest.raises(ConfigurationError):
+            LanguageConfig(correction_means=(1.0, 2.0, -1.0))
+
+
+class TestCooking:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return generate_cooking(CookingConfig(num_users=80, num_items=300, seed=1))
+
+    def test_counts(self, ds):
+        assert ds.log.num_users == 80
+        assert len(ds.catalog) == 300
+
+    def test_difficulty_in_range(self, ds):
+        values = np.asarray(list(ds.true_difficulty.values()))
+        assert values.min() >= 1.0 and values.max() <= 5.0
+
+    def test_complexity_features_track_difficulty(self, ds):
+        easy = [i for i in ds.catalog if i.metadata["difficulty"] < 1.5]
+        hard = [i for i in ds.catalog if i.metadata["difficulty"] > 4.5]
+        assert np.mean([i.features["num_steps"] for i in hard]) > np.mean(
+            [i.features["num_steps"] for i in easy]
+        )
+
+    def test_novice_overreach_plants_violation(self):
+        """With overreach on, level-1 users select above their level."""
+        ds = generate_cooking(
+            CookingConfig(num_users=60, num_items=300, seed=2, novice_overreach=0.6)
+        )
+        overreached = 0
+        for seq in ds.log:
+            levels = ds.true_skills[seq.user]
+            for action, level in zip(seq, levels):
+                if level == 1 and ds.true_difficulty[action.item] > 2.0:
+                    overreached += 1
+        assert overreached > 0
+
+    def test_no_overreach_respects_capacity(self):
+        ds = generate_cooking(
+            CookingConfig(num_users=40, num_items=300, seed=3, novice_overreach=0.0)
+        )
+        for seq in ds.log:
+            levels = ds.true_skills[seq.user]
+            for action, level in zip(seq, levels):
+                # recipe complexity is noisy around its pool level (±0.4 σ,
+                # clipped), so allow the pool-assignment slack
+                assert ds.true_difficulty[action.item] <= level + 1.5
+
+
+class TestBeer:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return generate_beer(
+            BeerConfig(num_users=30, num_items=200, mean_sequence_length=40, seed=1)
+        )
+
+    def test_ratings_present_and_bounded(self, ds):
+        ratings = [a.rating for a in ds.log.actions()]
+        assert all(r is not None for r in ratings)
+        assert min(ratings) >= 0.0 and max(ratings) <= 5.0
+
+    def test_style_difficulty_planted(self, ds):
+        lagers = [i for i in ds.catalog if i.features["style"] == "Pale Lager"]
+        ipas = [i for i in ds.catalog if "Imperial" in i.features["style"]]
+        if lagers and ipas:
+            assert np.mean([i.metadata["difficulty"] for i in ipas]) > np.mean(
+                [i.metadata["difficulty"] for i in lagers]
+            )
+
+    def test_abv_positive(self, ds):
+        assert all(i.features["abv"] > 0 for i in ds.catalog)
+
+    def test_skilled_users_drink_stronger(self, ds):
+        """Actions at true level 5 average higher-difficulty beers than
+        actions at true level 1 — the drift Figure 6 rests on."""
+        by_level = {1: [], 5: []}
+        for seq in ds.log:
+            for action, level in zip(seq, ds.true_skills[seq.user]):
+                if level in by_level:
+                    by_level[level].append(ds.true_difficulty[action.item])
+        if by_level[1] and by_level[5]:
+            assert np.mean(by_level[5]) > np.mean(by_level[1])
+
+
+class TestFilm:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return generate_film(
+            FilmConfig(num_users=40, num_items=200, mean_sequence_length=25, seed=1)
+        )
+
+    def test_no_action_precedes_release(self, ds):
+        for seq in ds.log:
+            for action in seq:
+                year = ds.catalog[action.item].metadata["year"]
+                assert year <= action.time + 1e-9
+
+    def test_classics_are_older_and_harder(self, ds):
+        classics = [i for i in ds.catalog if i.metadata["classic"]]
+        light = [i for i in ds.catalog if not i.metadata["classic"]]
+        assert np.mean([i.metadata["year"] for i in classics]) < np.mean(
+            [i.metadata["year"] for i in light]
+        )
+        assert np.mean([i.metadata["difficulty"] for i in classics]) > np.mean(
+            [i.metadata["difficulty"] for i in light]
+        )
+
+    def test_lastness_prefers_recent(self, ds):
+        """Selected movies skew much more recent than the catalog."""
+        catalog_years = [i.metadata["year"] for i in ds.catalog]
+        watched_years = [
+            ds.catalog[a.item].metadata["year"] for a in ds.log.actions()
+        ]
+        assert np.mean(watched_years) > np.mean(catalog_years)
+
+    def test_lastness_disabled(self):
+        ds = generate_film(
+            FilmConfig(
+                num_users=30,
+                num_items=200,
+                mean_sequence_length=20,
+                seed=2,
+                lastness_tau=float("inf"),
+            )
+        )
+        assert ds.log.num_actions > 0
+
+    def test_ratings_bounded(self, ds):
+        ratings = [a.rating for a in ds.log.actions()]
+        assert min(ratings) >= 0.0 and max(ratings) <= 5.0
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            FilmConfig(lastness_tau=0.0)
+        with pytest.raises(ConfigurationError):
+            FilmConfig(first_release_year=2000, last_release_year=1990)

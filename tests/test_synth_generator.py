@@ -1,0 +1,100 @@
+"""Tests for repro.synth.generator (the paper's synthetic recipe)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.synth.generator import SyntheticConfig, generate_synthetic, synthetic_feature_set
+
+
+@pytest.fixture(scope="module")
+def small_synth():
+    return generate_synthetic(SyntheticConfig(num_users=60, num_items=500, seed=0))
+
+
+class TestSyntheticConfig:
+    def test_items_must_divide_levels(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticConfig(num_items=501)
+
+    def test_dense_divides_items_by_five(self):
+        config = SyntheticConfig(num_users=10, num_items=500, seed=3)
+        dense = config.dense()
+        assert dense.num_items == 100
+        assert dense.seed == config.seed
+        assert dense.num_users == config.num_users
+
+    def test_paper_scale(self):
+        config = SyntheticConfig.paper_scale()
+        assert config.num_users == 10_000
+        assert config.num_items == 50_000
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticConfig(num_levels=1, num_items=10)
+        with pytest.raises(ConfigurationError):
+            SyntheticConfig(at_level_prob=1.5)
+        with pytest.raises(ConfigurationError):
+            SyntheticConfig(categorical_size=3, num_levels=5)
+
+
+class TestGeneration:
+    def test_counts(self, small_synth):
+        assert small_synth.log.num_users == 60
+        assert len(small_synth.catalog) == 500
+
+    def test_equal_item_pools_per_level(self, small_synth):
+        from collections import Counter
+
+        counter = Counter(small_synth.true_difficulty.values())
+        assert set(counter) == {1.0, 2.0, 3.0, 4.0, 5.0}
+        assert len(set(counter.values())) == 1  # equal pool sizes
+
+    def test_true_skills_monotone_step_by_one(self, small_synth):
+        for seq in small_synth.log:
+            levels = small_synth.true_skills[seq.user]
+            steps = np.diff(levels)
+            assert np.all((steps == 0) | (steps == 1))
+
+    def test_within_capacity_selection(self, small_synth):
+        """Paper step 3c: selected items are never above the user's level."""
+        for seq in small_synth.log:
+            levels = small_synth.true_skills[seq.user]
+            for action, level in zip(seq, levels):
+                assert small_synth.true_difficulty[action.item] <= level
+
+    def test_deterministic(self):
+        config = SyntheticConfig(num_users=10, num_items=50, seed=9)
+        a = generate_synthetic(config)
+        b = generate_synthetic(config)
+        assert [s.items for s in a.log] == [s.items for s in b.log]
+
+    def test_different_seeds_differ(self):
+        a = generate_synthetic(SyntheticConfig(num_users=10, num_items=50, seed=1))
+        b = generate_synthetic(SyntheticConfig(num_users=10, num_items=50, seed=2))
+        assert [s.items for s in a.log] != [s.items for s in b.log]
+
+    def test_feature_signal_separates_levels(self, small_synth):
+        """Items of level 5 must have larger mean count/intensity features
+        than items of level 1 — that is the planted signal."""
+        lows = [i for i in small_synth.catalog if i.metadata["difficulty"] == 1.0]
+        highs = [i for i in small_synth.catalog if i.metadata["difficulty"] == 5.0]
+        assert np.mean([i.features["steps"] for i in highs]) > np.mean(
+            [i.features["steps"] for i in lows]
+        )
+        assert np.mean([i.features["intensity"] for i in highs]) > np.mean(
+            [i.features["intensity"] for i in lows]
+        )
+
+    def test_encodes_under_schema(self, small_synth):
+        encoded = small_synth.feature_set.encode(small_synth.catalog)
+        assert encoded.num_items == 500
+
+    def test_feature_set_without_id(self):
+        fs = synthetic_feature_set(include_id=False)
+        assert "__item_id__" not in fs.names
+        assert len(fs) == 3
+
+    def test_true_skill_array_aligned(self, small_synth):
+        arr = small_synth.true_skill_array()
+        assert len(arr) == small_synth.log.num_actions
