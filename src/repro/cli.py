@@ -82,6 +82,21 @@ def build_parser() -> argparse.ArgumentParser:
     fit_parser.add_argument("--model", required=True, help="model output path prefix")
     fit_parser.add_argument("--max-iterations", type=int, default=50)
     fit_parser.add_argument("--init-min-actions", type=int, default=50)
+    fit_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="write a training checkpoint to <model>.ckpt.json every N "
+        "iterations (0 disables checkpointing)",
+    )
+    fit_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue training from <model>.ckpt.json; the trainer "
+        "configuration is taken from the checkpoint, so --levels and "
+        "--max-iterations are ignored",
+    )
 
     score_parser = sub.add_parser(
         "score", help="estimate item difficulties with a saved model"
@@ -225,13 +240,22 @@ def _cmd_simulate(domain: str, out: str, users: int | None, items: int | None, s
     return 0
 
 
-def _cmd_fit(data: str, levels: int, model_out: str, max_iterations: int, init_min_actions: int) -> int:
+def _cmd_fit(
+    data: str,
+    levels: int,
+    model_out: str,
+    max_iterations: int,
+    init_min_actions: int,
+    checkpoint_every: int = 0,
+    resume: bool = False,
+) -> int:
     import json
     from pathlib import Path
 
+    from repro.core.checkpoint import CheckpointConfig, read_checkpoint
     from repro.core.features import FeatureSet
     from repro.core.serialize import save_model
-    from repro.core.training import fit_skill_model
+    from repro.core.training import fit_skill_model, resume_fit
     from repro.data.io import load_catalog, load_log
 
     prefix = Path(data)
@@ -240,16 +264,35 @@ def _cmd_fit(data: str, levels: int, model_out: str, max_iterations: int, init_m
     feature_set = FeatureSet.from_json(
         json.loads(Path(str(prefix) + ".schema.json").read_text(encoding="utf-8"))
     )
-    model = fit_skill_model(
-        log,
-        catalog,
-        feature_set,
-        levels,
-        max_iterations=max_iterations,
-        init_min_actions=init_min_actions,
-    )
     out = Path(model_out)
+    # the directory must exist before training so checkpoints can land in it
     out.parent.mkdir(parents=True, exist_ok=True)
+    ckpt_path = Path(str(out) + ".ckpt.json")
+    checkpoint = (
+        CheckpointConfig(path=ckpt_path, every=checkpoint_every)
+        if checkpoint_every
+        else None
+    )
+    if resume:
+        if not ckpt_path.exists():
+            print(
+                f"error: --resume requested but no checkpoint at {ckpt_path}",
+                file=sys.stderr,
+            )
+            return 2
+        state = read_checkpoint(ckpt_path)
+        print(f"resuming from {ckpt_path} (iteration {state.iteration})")
+        model = resume_fit(ckpt_path, log, catalog, feature_set, checkpoint=checkpoint)
+    else:
+        model = fit_skill_model(
+            log,
+            catalog,
+            feature_set,
+            levels,
+            max_iterations=max_iterations,
+            init_min_actions=init_min_actions,
+            checkpoint=checkpoint,
+        )
     json_path, npz_path = save_model(model, out)
     print(
         f"fitted in {model.trace.num_iterations} iterations "
@@ -311,7 +354,13 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_simulate(args.domain, args.out, args.users, args.items, args.seed)
         if args.command == "fit":
             return _cmd_fit(
-                args.data, args.levels, args.model, args.max_iterations, args.init_min_actions
+                args.data,
+                args.levels,
+                args.model,
+                args.max_iterations,
+                args.init_min_actions,
+                checkpoint_every=args.checkpoint_every,
+                resume=args.resume,
             )
         if args.command == "score":
             return _cmd_score(args.model, args.prior, args.top, args.output)

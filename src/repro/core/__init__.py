@@ -14,8 +14,26 @@ from repro.core.features import (
 from repro.core.distributions import Categorical, Gamma, LogNormal, Poisson
 from repro.core.dp import PathResult, best_monotone_path, path_log_likelihood
 from repro.core.model import SkillModel, SkillParameters, TrainingTrace
-from repro.core.parallel import ParallelConfig, assign_paths, make_cell_fitter
-from repro.core.training import Trainer, TrainerConfig, fit_skill_model, uniform_segment_levels
+from repro.core.parallel import (
+    ParallelConfig,
+    PoolAssigner,
+    WorkerPoolWarning,
+    assign_paths,
+    make_cell_fitter,
+)
+from repro.core.checkpoint import (
+    CheckpointConfig,
+    TrainingCheckpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.core.training import (
+    Trainer,
+    TrainerConfig,
+    fit_skill_model,
+    resume_fit,
+    uniform_segment_levels,
+)
 from repro.core.baselines import fit_id_baseline, fit_uniform_baseline, id_feature_set
 from repro.core.difficulty import (
     PRIOR_EMPIRICAL,
@@ -52,11 +70,18 @@ __all__ = [
     "SkillParameters",
     "TrainingTrace",
     "ParallelConfig",
+    "PoolAssigner",
+    "WorkerPoolWarning",
     "assign_paths",
     "make_cell_fitter",
+    "CheckpointConfig",
+    "TrainingCheckpoint",
+    "read_checkpoint",
+    "write_checkpoint",
     "Trainer",
     "TrainerConfig",
     "fit_skill_model",
+    "resume_fit",
     "uniform_segment_levels",
     "fit_id_baseline",
     "fit_uniform_baseline",

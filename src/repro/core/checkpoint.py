@@ -1,0 +1,202 @@
+"""Crash-safe training checkpoints (fault-tolerant training).
+
+A checkpoint captures the exact state of the hard-assignment training loop
+at an iteration boundary: the fitted parameter grid, the log-likelihood
+history, the trainer configuration, and a fingerprint of the training data.
+Resuming from it (:func:`repro.core.training.resume_fit`) provably
+continues to the same final model as an uninterrupted run, because the
+loop's only carried state *is* (parameters, log-likelihood history) and
+every number round-trips exactly: parameters are stored as JSON floats,
+which Python serializes with shortest-round-trip ``repr``.
+
+The file is a single JSON document written atomically (``.tmp`` sibling +
+``fsync`` + ``os.replace``) so a crash mid-write can never leave a torn
+checkpoint, and the payload carries a SHA-256 checksum so torn *copies*
+are detected at read time as :class:`~repro.exceptions.CheckpointError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.features import FeatureKind, FeatureSet, FeatureSpec
+from repro.core.model import SkillParameters
+from repro.core.serialize import _cell_payload, _cell_restore
+from repro.exceptions import CheckpointError, ConfigurationError
+
+__all__ = [
+    "CheckpointConfig",
+    "TrainingCheckpoint",
+    "data_fingerprint",
+    "write_checkpoint",
+    "read_checkpoint",
+]
+
+_FORMAT_VERSION = 1
+_KIND = "repro-training-checkpoint"
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Where and how often :meth:`Trainer.fit` writes checkpoints.
+
+    ``every`` counts completed training iterations; ``every=1`` checkpoints
+    after each one.  The file at ``path`` is overwritten atomically each
+    time, so it always holds the latest complete iteration.
+    """
+
+    path: str | Path
+    every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise ConfigurationError("checkpoint every must be >= 1")
+
+
+@dataclass(frozen=True)
+class TrainingCheckpoint:
+    """A parsed, checksum-verified checkpoint."""
+
+    iteration: int
+    log_likelihoods: tuple[float, ...]
+    trainer_config: dict[str, Any]
+    fingerprint: dict[str, Any]
+    parameters: SkillParameters
+    every: int
+
+
+def data_fingerprint(log, feature_set: FeatureSet, num_items: int) -> dict[str, Any]:
+    """A cheap identity check binding a checkpoint to its training data.
+
+    Resume refuses to continue when the data this is computed from does not
+    match the data the checkpoint was written for — continuing on different
+    data would silently produce a model belonging to neither run.
+    """
+    return {
+        "num_users": log.num_users,
+        "num_actions": log.num_actions,
+        "num_items": int(num_items),
+        "features": list(feature_set.names),
+    }
+
+
+def write_checkpoint(
+    path: str | Path,
+    *,
+    parameters: SkillParameters,
+    log_likelihoods: list[float],
+    trainer_config: dict[str, Any],
+    fingerprint: dict[str, Any],
+    every: int = 1,
+) -> Path:
+    """Atomically persist the training state after a completed iteration."""
+    path = Path(path)
+    feature_set = parameters.feature_set
+    cells: list[list[str]] = []
+    cell_params: dict[str, list[float]] = {}
+    for s in range(parameters.num_levels):
+        row = []
+        for f in range(len(feature_set)):
+            tag, values = _cell_payload(parameters.cells[s][f])
+            row.append(tag)
+            cell_params[f"cell_{s}_{f}"] = np.asarray(values, dtype=np.float64).tolist()
+        cells.append(row)
+    payload = {
+        "kind": _KIND,
+        "format_version": _FORMAT_VERSION,
+        "iteration": len(log_likelihoods),
+        "log_likelihoods": [float(v) for v in log_likelihoods],
+        "trainer_config": trainer_config,
+        "fingerprint": fingerprint,
+        "every": int(every),
+        "features": [
+            {"name": spec.name, "kind": spec.kind.value} for spec in feature_set.specs
+        ],
+        "num_levels": parameters.num_levels,
+        "cells": cells,
+        "cell_params": cell_params,
+    }
+    document = {"checksum": _payload_checksum(payload), "payload": payload}
+    data = json.dumps(document, ensure_ascii=False).encode("utf-8")
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path
+
+
+def read_checkpoint(path: str | Path) -> TrainingCheckpoint:
+    """Load and verify a checkpoint written by :func:`write_checkpoint`."""
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"no checkpoint file at {path}")
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CheckpointError(
+            f"{path}: malformed checkpoint — truncated or corrupted ({exc})"
+        ) from exc
+    if not isinstance(document, dict) or "payload" not in document:
+        raise CheckpointError(f"{path}: not a training checkpoint file")
+    payload = document["payload"]
+    if payload.get("kind") != _KIND:
+        raise CheckpointError(f"{path}: not a training checkpoint file")
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise CheckpointError(
+            f"{path}: unsupported checkpoint format version "
+            f"{payload.get('format_version')!r} (expected {_FORMAT_VERSION})"
+        )
+    if document.get("checksum") != _payload_checksum(payload):
+        raise CheckpointError(
+            f"{path}: checksum mismatch — checkpoint is corrupted or was edited"
+        )
+
+    feature_set = FeatureSet(
+        FeatureSpec(entry["name"], FeatureKind(entry["kind"]))
+        for entry in payload["features"]
+    )
+    num_levels = int(payload["num_levels"])
+    try:
+        cells = tuple(
+            tuple(
+                _cell_restore(
+                    payload["cells"][s][f],
+                    np.asarray(payload["cell_params"][f"cell_{s}_{f}"], dtype=np.float64),
+                )
+                for f in range(len(feature_set))
+            )
+            for s in range(num_levels)
+        )
+    except KeyError as exc:
+        raise CheckpointError(
+            f"{path}: checkpoint is missing parameter cell {exc.args[0]!r}"
+        ) from None
+    parameters = SkillParameters(
+        feature_set=feature_set, num_levels=num_levels, cells=cells
+    )
+    return TrainingCheckpoint(
+        iteration=int(payload["iteration"]),
+        log_likelihoods=tuple(float(v) for v in payload["log_likelihoods"]),
+        trainer_config=dict(payload["trainer_config"]),
+        fingerprint=dict(payload["fingerprint"]),
+        parameters=parameters,
+        every=int(payload.get("every", 1)),
+    )
+
+
+def _payload_checksum(payload: dict[str, Any]) -> str:
+    canonical = json.dumps(payload, sort_keys=True, ensure_ascii=False)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

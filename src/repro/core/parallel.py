@@ -19,16 +19,34 @@ a *thread* pool (its work is NumPy reductions that release the GIL).
 from __future__ import annotations
 
 import multiprocessing
+import time
+import warnings
 from collections.abc import Callable, Sequence
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeoutError
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.dp import PathResult, best_monotone_path
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, WorkerPoolError
 
-__all__ = ["ParallelConfig", "PoolAssigner", "assign_paths", "make_cell_fitter"]
+__all__ = [
+    "ParallelConfig",
+    "PoolAssigner",
+    "WorkerPoolWarning",
+    "assign_paths",
+    "make_cell_fitter",
+]
+
+
+class WorkerPoolWarning(RuntimeWarning):
+    """Emitted when the assignment pool fails and the trainer recovers.
+
+    Carried through the standard :mod:`warnings` machinery so callers can
+    observe, log, or escalate recovery events without the training run
+    being interrupted.
+    """
 
 
 @dataclass(frozen=True)
@@ -42,10 +60,26 @@ class ParallelConfig:
     skills: bool = False
     features: bool = False
     workers: int = 1
+    #: How many times a broken assignment pool is rebuilt before giving up.
+    max_pool_restarts: int = 2
+    #: Base delay before the first rebuild; doubles on every further retry.
+    restart_backoff: float = 0.05
+    #: Optional wall-clock budget (seconds) to wait for each chunk result;
+    #: an overrun counts as a pool failure and triggers the recovery ladder.
+    chunk_timeout: float | None = None
+    #: After the retry budget, fall back to serial assignment (True) or
+    #: raise :class:`~repro.exceptions.WorkerPoolError` (False).
+    fallback_serial: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ConfigurationError("workers must be >= 1")
+        if self.max_pool_restarts < 0:
+            raise ConfigurationError("max_pool_restarts must be >= 0")
+        if self.restart_backoff < 0:
+            raise ConfigurationError("restart_backoff must be >= 0")
+        if self.chunk_timeout is not None and self.chunk_timeout <= 0:
+            raise ConfigurationError("chunk_timeout must be positive when set")
 
     @classmethod
     def all_axes(cls, workers: int | None = None) -> "ParallelConfig":
@@ -94,7 +128,7 @@ def _assign_chunk(
 
 
 class PoolAssigner:
-    """A reusable process pool for the assignment step.
+    """A reusable, self-healing process pool for the assignment step.
 
     Creating a process pool costs tens of milliseconds; the trainer runs
     the assignment step every iteration, so the pool is created lazily on
@@ -103,6 +137,16 @@ class PoolAssigner:
         with PoolAssigner(config) as assigner:
             for _ in range(iterations):
                 paths = assigner.assign(table, user_rows)
+
+    Worker death (OOM kill, preemption, segfault) and chunk timeouts are
+    absorbed rather than surfaced as raw executor exceptions: the pool is
+    rebuilt up to ``config.max_pool_restarts`` times with exponential
+    backoff, and past that budget the assigner degrades permanently to
+    serial assignment (or raises
+    :class:`~repro.exceptions.WorkerPoolError` when
+    ``config.fallback_serial`` is off).  Every recovery step emits a
+    :class:`WorkerPoolWarning`.  Chunks are pure functions of their
+    inputs, so re-running a partially completed step is always safe.
     """
 
     def __init__(
@@ -120,6 +164,7 @@ class PoolAssigner:
             else np.asarray(step_log_penalties, dtype=np.float64)
         )
         self._pool: ProcessPoolExecutor | None = None
+        self._serial_fallback = False
 
     def __enter__(self) -> "PoolAssigner":
         return self
@@ -132,6 +177,12 @@ class PoolAssigner:
             self._pool.shutdown()
             self._pool = None
 
+    def _discard_pool(self) -> None:
+        """Drop a broken/hung pool without waiting on its workers."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
     @property
     def parallel_enabled(self) -> bool:
         config = self.config
@@ -141,28 +192,57 @@ class PoolAssigner:
         self, score_table: np.ndarray, user_rows: Sequence[np.ndarray]
     ) -> list[PathResult]:
         """Best monotone path per user; order matches ``user_rows``."""
-        if not self.parallel_enabled or len(user_rows) <= 1:
-            return [
-                best_monotone_path(
-                    score_table[:, rows].T,
-                    max_step=self.max_step,
-                    step_log_penalties=self.step_log_penalties,
-                )
-                for rows in user_rows
-            ]
-        assert self.config is not None
-        workers = min(self.config.workers, len(user_rows))
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=workers)
-        index_buckets, row_buckets = _balanced_buckets(user_rows, num_buckets=workers * 2)
+        if not self.parallel_enabled or len(user_rows) <= 1 or self._serial_fallback:
+            return self._assign_serial(score_table, user_rows)
+        config = self.config
+        assert config is not None
+        # The pool is sized from the configured worker count, not from the
+        # first call's user count: a later call may carry far more users,
+        # and per-call load shaping belongs to the chunking below.
+        index_buckets, row_buckets = _balanced_buckets(
+            user_rows, num_buckets=config.workers * 2
+        )
         tasks = [
             (score_table, chunk, self.max_step, self.step_log_penalties)
             for chunk in row_buckets
         ]
+        attempts = 0
+        while True:
+            try:
+                chunk_results = self._run_chunks(tasks)
+                break
+            except (BrokenExecutor, _FuturesTimeoutError, TimeoutError, OSError) as exc:
+                self._discard_pool()
+                if attempts >= config.max_pool_restarts:
+                    if config.fallback_serial:
+                        self._serial_fallback = True
+                        warnings.warn(
+                            WorkerPoolWarning(
+                                f"assignment pool failed {attempts + 1} time(s), "
+                                f"last error {exc!r}; degrading to serial assignment "
+                                f"for the rest of this run"
+                            ),
+                            stacklevel=2,
+                        )
+                        return self._assign_serial(score_table, user_rows)
+                    raise WorkerPoolError(
+                        f"assignment pool failed after {attempts + 1} attempt(s) "
+                        f"and serial fallback is disabled: {exc!r}"
+                    ) from exc
+                attempts += 1
+                delay = config.restart_backoff * (2 ** (attempts - 1))
+                warnings.warn(
+                    WorkerPoolWarning(
+                        f"assignment pool failure ({exc!r}); rebuilding pool "
+                        f"(attempt {attempts}/{config.max_pool_restarts}, "
+                        f"backoff {delay:.2f}s)"
+                    ),
+                    stacklevel=2,
+                )
+                if delay > 0:
+                    time.sleep(delay)
         results: list[PathResult | None] = [None] * len(user_rows)
-        for indices, (levels, lengths, lls) in zip(
-            index_buckets, self._pool.map(_assign_chunk, tasks)
-        ):
+        for indices, (levels, lengths, lls) in zip(index_buckets, chunk_results):
             offsets = np.concatenate([[0], np.cumsum(lengths)])
             for pos, idx in enumerate(indices):
                 results[idx] = PathResult(
@@ -171,6 +251,30 @@ class PoolAssigner:
                 )
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]
+
+    def _assign_serial(
+        self, score_table: np.ndarray, user_rows: Sequence[np.ndarray]
+    ) -> list[PathResult]:
+        return [
+            best_monotone_path(
+                score_table[:, rows].T,
+                max_step=self.max_step,
+                step_log_penalties=self.step_log_penalties,
+            )
+            for rows in user_rows
+        ]
+
+    def _run_chunks(self, tasks: list[tuple]) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Submit every chunk and collect results, honoring the timeout.
+
+        ``_assign_chunk`` is resolved through the module namespace at call
+        time so fault-injection harnesses can swap the worker body in.
+        """
+        assert self.config is not None
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.config.workers)
+        futures = [self._pool.submit(_assign_chunk, task) for task in tasks]
+        return [future.result(timeout=self.config.chunk_timeout) for future in futures]
 
 
 def assign_paths(

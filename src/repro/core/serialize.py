@@ -12,11 +12,22 @@ needs to survive a process boundary.  :func:`save_model` writes two files:
 No pickling: everything is JSON or plain ``numpy`` arrays, so models load
 safely across library versions and from untrusted storage.  Identifiers
 must be JSON-representable (the same rule as :mod:`repro.data.io`).
+
+Crash safety: both files are staged to ``*.tmp`` siblings, fsynced, and
+then moved into place with ``os.replace`` — a crash before the first
+replace leaves any previous model untouched.  The JSON carries a SHA-256
+checksum of the NPZ payload, verified on load, so a crash *between* the
+two replaces (or a torn copy) is detected as a typed
+:class:`~repro.exceptions.DataError` rather than silently loading a
+mismatched pair.
 """
 
 from __future__ import annotations
 
+import hashlib
+import io
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -56,6 +67,43 @@ def _cell_restore(tag: str, params: np.ndarray):
     if tag == "lognormal":
         return LogNormal(mu=float(params[0]), sigma=float(params[1]))
     raise DataError(f"unknown distribution tag {tag!r} in model file")
+
+
+def _sha256_hex(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` and force it to stable storage."""
+    with open(path, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _replace(src: Path, dst: Path) -> None:
+    os.replace(src, dst)
+
+
+def _atomic_commit(writes: list[tuple[Path, bytes]]) -> None:
+    """Stage every payload to a ``.tmp`` sibling, then move all into place.
+
+    A failure at any point removes the staged temporaries, so the previous
+    artifacts (if any) survive intact unless at least one replace already
+    happened — and a partial replace is caught by the load-time checksum.
+    """
+    staged: list[tuple[Path, Path]] = []
+    try:
+        for final, data in writes:
+            tmp = final.with_name(final.name + ".tmp")
+            _write_bytes(tmp, data)
+            staged.append((tmp, final))
+        for tmp, final in staged:
+            _replace(tmp, final)
+    except BaseException:
+        for tmp, _final in staged:
+            tmp.unlink(missing_ok=True)
+        raise
 
 
 def save_model(model: SkillModel, path_prefix: str | Path) -> tuple[Path, Path]:
@@ -99,12 +147,16 @@ def save_model(model: SkillModel, path_prefix: str | Path) -> tuple[Path, Path]:
 
     json_path = prefix.with_suffix(".json")
     npz_path = prefix.with_suffix(".npz")
+    npz_buffer = io.BytesIO()
+    np.savez_compressed(npz_buffer, **arrays)
+    npz_bytes = npz_buffer.getvalue()
+    structure["checksums"] = {"algorithm": "sha256", "npz": _sha256_hex(npz_bytes)}
     try:
-        json_path.write_text(json.dumps(structure, ensure_ascii=False), encoding="utf-8")
+        json_bytes = json.dumps(structure, ensure_ascii=False).encode("utf-8")
     except TypeError as exc:
         raise DataError(f"model contains non-JSON identifiers: {exc}") from exc
-    with npz_path.open("wb") as handle:
-        np.savez_compressed(handle, **arrays)
+    # NPZ first, JSON (which names the NPZ checksum) as the commit point.
+    _atomic_commit([(npz_path, npz_bytes), (json_path, json_bytes)])
     return json_path, npz_path
 
 
@@ -121,26 +173,48 @@ def load_model(path_prefix: str | Path) -> SkillModel:
         raise DataError(f"{json_path}: malformed model file ({exc})") from exc
     if structure.get("format_version") != _FORMAT_VERSION:
         raise DataError(
-            f"unsupported model format version {structure.get('format_version')!r}"
+            f"{json_path}: unsupported model format version "
+            f"{structure.get('format_version')!r} (expected {_FORMAT_VERSION})"
         )
-    arrays = np.load(npz_path)
+    npz_bytes = npz_path.read_bytes()
+    checksums = structure.get("checksums")
+    if checksums and "npz" in checksums:
+        actual = _sha256_hex(npz_bytes)
+        if actual != checksums["npz"]:
+            raise DataError(
+                f"{npz_path}: checksum mismatch (expected {checksums['npz'][:12]}…, "
+                f"got {actual[:12]}…) — the model pair is torn or corrupted; "
+                f"re-save the model or restore both files from the same write"
+            )
+    try:
+        npz = np.load(io.BytesIO(npz_bytes))
+    except Exception as exc:  # zipfile.BadZipFile, ValueError, OSError
+        raise DataError(
+            f"{npz_path}: truncated or corrupted model archive ({exc})"
+        ) from exc
 
     feature_set = FeatureSet(
         FeatureSpec(entry["name"], FeatureKind(entry["kind"]))
         for entry in structure["features"]
     )
     num_levels = int(structure["num_levels"])
-    try:
-        cells = tuple(
-            tuple(
-                _cell_restore(structure["cells"][s][f], arrays[f"cell_{s}_{f}"])
-                for f in range(len(feature_set))
+    with npz as arrays:
+        try:
+            cells = tuple(
+                tuple(
+                    _cell_restore(structure["cells"][s][f], arrays[f"cell_{s}_{f}"])
+                    for f in range(len(feature_set))
+                )
+                for s in range(num_levels)
             )
-            for s in range(num_levels)
-        )
-        columns = tuple(arrays[f"column_{f}"] for f in range(len(feature_set)))
-    except KeyError as exc:
-        raise DataError(f"model file is missing array {exc.args[0]!r}") from None
+            columns = tuple(arrays[f"column_{f}"] for f in range(len(feature_set)))
+            users = structure["users"]
+            assignments = {user: arrays[f"assign_{k}"] for k, user in enumerate(users)}
+            times = {user: arrays[f"times_{k}"] for k, user in enumerate(users)}
+        except KeyError as exc:
+            raise DataError(
+                f"{npz_path}: model archive is missing required array ({exc.args[0]})"
+            ) from None
     parameters = SkillParameters(
         feature_set=feature_set, num_levels=num_levels, cells=cells
     )
@@ -159,10 +233,6 @@ def load_model(path_prefix: str | Path) -> SkillModel:
         columns=columns,
         vocabularies=vocabularies,
     )
-
-    users = structure["users"]
-    assignments = {user: arrays[f"assign_{k}"] for k, user in enumerate(users)}
-    times = {user: arrays[f"times_{k}"] for k, user in enumerate(users)}
     trace = TrainingTrace(
         log_likelihoods=tuple(structure["trace"]["log_likelihoods"]),
         converged=bool(structure["trace"]["converged"]),

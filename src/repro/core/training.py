@@ -22,17 +22,31 @@ in ``benchmarks/test_ablation_hard_vs_soft.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
+from repro.core import checkpoint as checkpointing
+from repro.core.checkpoint import CheckpointConfig
 from repro.core.features import FeatureSet
 from repro.core.model import SkillModel, SkillParameters, TrainingTrace
 from repro.core.parallel import ParallelConfig, PoolAssigner, make_cell_fitter
 from repro.data.actions import ActionLog
 from repro.data.items import ItemCatalog
-from repro.exceptions import ConfigurationError, ConvergenceError, DataError
+from repro.exceptions import (
+    CheckpointError,
+    ConfigurationError,
+    ConvergenceError,
+    DataError,
+)
 
-__all__ = ["TrainerConfig", "Trainer", "uniform_segment_levels", "fit_skill_model"]
+__all__ = [
+    "TrainerConfig",
+    "Trainer",
+    "uniform_segment_levels",
+    "fit_skill_model",
+    "resume_fit",
+]
 
 
 def uniform_segment_levels(num_actions: int, num_levels: int) -> np.ndarray:
@@ -115,24 +129,54 @@ class Trainer:
         log: ActionLog,
         catalog: ItemCatalog,
         feature_set: FeatureSet,
+        *,
+        checkpoint: CheckpointConfig | None = None,
     ) -> SkillModel:
         """Run initialization + alternation to convergence.
+
+        ``checkpoint`` enables periodic crash-safe snapshots of the loop
+        state; an interrupted fit can then be continued with
+        :func:`resume_fit` and reaches the same final model.
 
         Raises :class:`~repro.exceptions.DataError` on an empty log or on
         actions referencing items missing from ``catalog``.
         """
         if log.num_actions == 0:
             raise DataError("cannot train on an empty action log")
-        cfg = self.config
         encoded = feature_set.encode(catalog)
         users = list(log.users)
         user_rows = [encoded.rows_for(log.sequence(u).items) for u in users]
         user_times = [np.asarray(log.sequence(u).times, dtype=np.float64) for u in users]
-
         parameters = self._initialize(encoded, users, user_rows, log)
-        cell_fitter = make_cell_fitter(cfg.parallel)
+        fingerprint = (
+            checkpointing.data_fingerprint(log, feature_set, encoded.num_items)
+            if checkpoint is not None
+            else None
+        )
+        return self._alternate(
+            encoded, users, user_rows, user_times, parameters, [], checkpoint, fingerprint
+        )
 
-        log_likelihoods: list[float] = []
+    def _alternate(
+        self,
+        encoded,
+        users: list,
+        user_rows: list[np.ndarray],
+        user_times: list[np.ndarray],
+        parameters: SkillParameters,
+        log_likelihoods: list[float],
+        checkpoint: CheckpointConfig | None,
+        fingerprint: dict | None,
+    ) -> SkillModel:
+        """The assignment/update alternation, resumable at any iteration.
+
+        ``log_likelihoods`` carries the history of already-completed
+        iterations (empty for a fresh fit); ``parameters`` must be the
+        parameter grid produced after the last of them.
+        """
+        cfg = self.config
+        cell_fitter = make_cell_fitter(cfg.parallel)
+        log_likelihoods = list(log_likelihoods)
         converged = False
         level_arrays: list[np.ndarray] = []
         with PoolAssigner(
@@ -140,7 +184,7 @@ class Trainer:
             max_step=cfg.max_step,
             step_log_penalties=cfg.step_log_penalties,
         ) as assigner:
-            for _ in range(cfg.max_iterations):
+            for iteration in range(len(log_likelihoods), cfg.max_iterations):
                 table = parameters.item_score_table(encoded)
                 paths = assigner.assign(table, user_rows)
                 total_ll = float(sum(p.log_likelihood for p in paths))
@@ -151,7 +195,9 @@ class Trainer:
                     improvement = total_ll - previous
                     if cfg.strict and improvement < -1e-3 * max(1.0, abs(previous)):
                         raise ConvergenceError(
-                            f"objective decreased from {previous:.6f} to {total_ll:.6f}"
+                            f"objective decreased from {previous:.6f} "
+                            f"(iteration {iteration}) to {total_ll:.6f} "
+                            f"(iteration {iteration + 1})"
                         )
                     log_likelihoods.append(total_ll)
                     if abs(improvement) <= cfg.tol * max(1.0, abs(previous)):
@@ -172,6 +218,21 @@ class Trainer:
                     smoothing=cfg.smoothing,
                     cell_fitter=cell_fitter,
                 )
+                if checkpoint is not None and len(log_likelihoods) % checkpoint.every == 0:
+                    checkpointing.write_checkpoint(
+                        checkpoint.path,
+                        parameters=parameters,
+                        log_likelihoods=log_likelihoods,
+                        trainer_config=_config_payload(cfg),
+                        fingerprint=fingerprint or {},
+                        every=checkpoint.every,
+                    )
+            if not level_arrays and user_rows:
+                # Resumed with no iterations left to run (the checkpoint was
+                # written at max_iterations): materialize assignments from
+                # the checkpointed parameters without extending the trace.
+                table = parameters.item_score_table(encoded)
+                level_arrays = [p.levels for p in assigner.assign(table, user_rows)]
 
         assignments = {
             user: (levels + 1).astype(np.int64)  # expose 1-based levels
@@ -222,11 +283,35 @@ class Trainer:
         )
 
 
+def _config_payload(config: TrainerConfig) -> dict:
+    """The JSON-serializable TrainerConfig state stored in checkpoints.
+
+    ``parallel`` is deliberately excluded: it is a runtime concern (how
+    many workers this host has) and must not pin a resume to the crashed
+    host's topology.
+    """
+    return {
+        "num_levels": config.num_levels,
+        "smoothing": config.smoothing,
+        "init_min_actions": config.init_min_actions,
+        "max_iterations": config.max_iterations,
+        "tol": config.tol,
+        "strict": config.strict,
+        "max_step": config.max_step,
+        "step_log_penalties": (
+            list(config.step_log_penalties)
+            if config.step_log_penalties is not None
+            else None
+        ),
+    }
+
+
 def fit_skill_model(
     log: ActionLog,
     catalog: ItemCatalog,
     feature_set: FeatureSet,
     num_levels: int,
+    checkpoint: CheckpointConfig | None = None,
     **config_kwargs,
 ) -> SkillModel:
     """One-call convenience wrapper around :class:`Trainer`.
@@ -234,4 +319,67 @@ def fit_skill_model(
     ``config_kwargs`` are forwarded to :class:`TrainerConfig`.
     """
     config = TrainerConfig(num_levels=num_levels, **config_kwargs)
-    return Trainer(config).fit(log, catalog, feature_set)
+    return Trainer(config).fit(log, catalog, feature_set, checkpoint=checkpoint)
+
+
+def resume_fit(
+    path: str | Path,
+    log: ActionLog,
+    catalog: ItemCatalog,
+    feature_set: FeatureSet,
+    *,
+    parallel: ParallelConfig | None = None,
+    checkpoint: CheckpointConfig | None = None,
+) -> SkillModel:
+    """Continue an interrupted :meth:`Trainer.fit` from a checkpoint.
+
+    The trainer configuration is restored from the checkpoint, so the
+    resumed run provably converges to the same final model as the original
+    would have — provided ``log``/``catalog``/``feature_set`` are the same
+    data (enforced via the stored fingerprint).  ``parallel`` may differ:
+    parallelism changes wall-clock, never results.
+
+    By default the resumed run keeps checkpointing to the same ``path`` at
+    the stored cadence; pass ``checkpoint`` to override.
+
+    Raises :class:`~repro.exceptions.CheckpointError` for a missing,
+    corrupted, or mismatched checkpoint.
+    """
+    state = checkpointing.read_checkpoint(path)
+    config_kwargs = dict(state.trainer_config)
+    if parallel is not None:
+        config_kwargs["parallel"] = parallel
+    try:
+        config = TrainerConfig(**config_kwargs)
+    except TypeError as exc:
+        raise CheckpointError(
+            f"{path}: checkpoint trainer configuration is not understood ({exc})"
+        ) from exc
+
+    if log.num_actions == 0:
+        raise DataError("cannot resume training on an empty action log")
+    encoded = feature_set.encode(catalog)
+    fingerprint = checkpointing.data_fingerprint(log, feature_set, encoded.num_items)
+    if fingerprint != state.fingerprint:
+        raise CheckpointError(
+            f"{path}: checkpoint does not match the training data "
+            f"(checkpoint fingerprint {state.fingerprint}, data {fingerprint}); "
+            f"resume requires the exact log/catalog/features the fit started with"
+        )
+    if checkpoint is None:
+        checkpoint = CheckpointConfig(path=path, every=state.every)
+
+    trainer = Trainer(config)
+    users = list(log.users)
+    user_rows = [encoded.rows_for(log.sequence(u).items) for u in users]
+    user_times = [np.asarray(log.sequence(u).times, dtype=np.float64) for u in users]
+    return trainer._alternate(
+        encoded,
+        users,
+        user_rows,
+        user_times,
+        state.parameters,
+        list(state.log_likelihoods),
+        checkpoint,
+        fingerprint,
+    )

@@ -22,6 +22,8 @@ __all__ = [
     "NotFittedError",
     "ConvergenceError",
     "ConfigurationError",
+    "CheckpointError",
+    "WorkerPoolError",
 ]
 
 
@@ -65,4 +67,22 @@ class ConfigurationError(ReproError):
 
     Examples: a non-positive number of skill levels, a smoothing constant
     below zero, a parallelism axis that does not exist.
+    """
+
+
+class CheckpointError(ReproError):
+    """Raised when a training checkpoint cannot be read or applied.
+
+    Examples: a truncated or checksum-mismatched checkpoint file, or a
+    resume attempt against data that does not match the fingerprint the
+    checkpoint was written for.
+    """
+
+
+class WorkerPoolError(ReproError):
+    """Raised when the parallel worker pool is irrecoverably broken.
+
+    Only reachable when serial fallback is disabled
+    (``ParallelConfig.fallback_serial=False``): with fallback enabled, pool
+    failures degrade to serial assignment and emit a warning instead.
     """

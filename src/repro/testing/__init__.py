@@ -1,0 +1,23 @@
+"""Test-support utilities shipped with the library.
+
+:mod:`repro.testing.faults` is a deterministic fault-injection harness
+used by the robustness suite (and usable by downstream integrators) to
+prove that training survives worker death, torn writes, and mid-run
+interruption.  Nothing in here is imported by the production modules.
+"""
+
+from repro.testing.faults import (
+    SimulatedCrash,
+    fail_after_call,
+    fail_on_call,
+    kill_worker_once,
+    slow_workers,
+)
+
+__all__ = [
+    "SimulatedCrash",
+    "fail_after_call",
+    "fail_on_call",
+    "kill_worker_once",
+    "slow_workers",
+]

@@ -1,0 +1,157 @@
+"""Deterministic fault injection for robustness tests.
+
+Every helper here is counter- or token-based — never random — so a test
+that kills a worker, tears a write, or interrupts training does so at a
+reproducible point.  The worker-facing functions are plain top-level
+functions (picklable by qualified name) and communicate through
+environment variables, so they behave identically under ``fork`` and
+``spawn`` start methods.
+
+Injection points are ordinary monkeypatch targets in the production
+modules:
+
+- ``repro.core.parallel._assign_chunk`` — the process-pool worker body,
+  resolved through the module namespace at submit time;
+- ``repro.core.serialize._write_bytes`` / ``_replace`` — the staging and
+  commit halves of the atomic model save;
+- ``repro.core.checkpoint.write_checkpoint`` — called by the trainer
+  after each checkpointed iteration.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.core import parallel as _parallel
+
+__all__ = [
+    "SimulatedCrash",
+    "fail_on_call",
+    "fail_after_call",
+    "kill_worker_once",
+    "lethal_assign_chunk",
+    "slow_workers",
+    "slow_assign_chunk",
+]
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by injected faults.
+
+    Deliberately *not* a :class:`~repro.exceptions.ReproError`: library
+    code that catches its own typed errors must never swallow an injected
+    crash, or the test would silently pass for the wrong reason.
+    """
+
+
+def fail_on_call(fn, *, calls: int, exc=SimulatedCrash, message: str = "injected fault"):
+    """Wrap ``fn`` to raise *instead of* running on the ``calls``-th call.
+
+    Calls are counted from 1; every other call passes through unchanged.
+    """
+    state = {"count": 0}
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        state["count"] += 1
+        if state["count"] == calls:
+            raise exc(f"{message} (call #{state['count']})")
+        return fn(*args, **kwargs)
+
+    wrapper.fault_state = state
+    return wrapper
+
+
+def fail_after_call(fn, *, calls: int, exc=SimulatedCrash, message: str = "injected fault"):
+    """Wrap ``fn`` to raise *after* the ``calls``-th call completes.
+
+    The side effects of that call (e.g. a checkpoint landing on disk)
+    survive — exactly what a crash immediately after the call looks like.
+    """
+    state = {"count": 0}
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        state["count"] += 1
+        result = fn(*args, **kwargs)
+        if state["count"] == calls:
+            raise exc(f"{message} (after call #{state['count']})")
+        return result
+
+    wrapper.fault_state = state
+    return wrapper
+
+
+# --------------------------------------------------------------------------
+# Process-pool faults.  The original worker body is captured at import time
+# (i.e. before any patching) so the wrappers below can delegate to it from
+# inside worker processes without recursing into themselves.
+# --------------------------------------------------------------------------
+
+_ORIGINAL_ASSIGN_CHUNK = _parallel._assign_chunk
+
+_KILL_TOKEN_ENV = "REPRO_FAULTS_KILL_TOKEN"
+_SLOW_SECONDS_ENV = "REPRO_FAULTS_SLOW_SECONDS"
+
+
+def lethal_assign_chunk(task):
+    """Worker body that kills its own process once, then behaves normally.
+
+    The kill token is a file; claiming it via ``os.rename`` is atomic, so
+    exactly one worker dies no matter how many race for it.  The claimed
+    marker is left behind for the test to assert a death really happened.
+    """
+    token = os.environ.get(_KILL_TOKEN_ENV, "")
+    if token and os.path.exists(token):
+        try:
+            os.rename(token, token + ".claimed")
+        except OSError:
+            pass  # another worker claimed it first
+        else:
+            os._exit(43)
+    return _ORIGINAL_ASSIGN_CHUNK(task)
+
+
+@contextmanager
+def kill_worker_once(tmp_path):
+    """Arrange for exactly one pool worker to die mid-assignment.
+
+    Yields the path of the claim marker (``<token>.claimed``) that exists
+    once a worker has actually died.
+    """
+    token = Path(tmp_path) / "repro-kill-token"
+    claimed = Path(str(token) + ".claimed")
+    token.write_text("kill")
+    os.environ[_KILL_TOKEN_ENV] = str(token)
+    original = _parallel._assign_chunk
+    _parallel._assign_chunk = lethal_assign_chunk
+    try:
+        yield claimed
+    finally:
+        _parallel._assign_chunk = original
+        os.environ.pop(_KILL_TOKEN_ENV, None)
+        token.unlink(missing_ok=True)
+        claimed.unlink(missing_ok=True)
+
+
+def slow_assign_chunk(task):
+    """Worker body that sleeps before delegating — drives chunk timeouts."""
+    time.sleep(float(os.environ.get(_SLOW_SECONDS_ENV, "1.0")))
+    return _ORIGINAL_ASSIGN_CHUNK(task)
+
+
+@contextmanager
+def slow_workers(seconds: float):
+    """Make every pool chunk take at least ``seconds`` of wall clock."""
+    os.environ[_SLOW_SECONDS_ENV] = str(seconds)
+    original = _parallel._assign_chunk
+    _parallel._assign_chunk = slow_assign_chunk
+    try:
+        yield
+    finally:
+        _parallel._assign_chunk = original
+        os.environ.pop(_SLOW_SECONDS_ENV, None)

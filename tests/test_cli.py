@@ -19,6 +19,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "table6", "--scale", "huge"])
 
+    def test_fit_checkpoint_flags(self):
+        args = build_parser().parse_args(
+            ["fit", "data", "--levels", "4", "--model", "m", "--checkpoint-every", "5"]
+        )
+        assert args.checkpoint_every == 5
+        assert args.resume is False
+        args = build_parser().parse_args(
+            ["fit", "data", "--levels", "4", "--model", "m", "--resume"]
+        )
+        assert args.resume is True
+        assert args.checkpoint_every == 0
+
 
 class TestCommands:
     def test_list(self, capsys):

@@ -80,3 +80,46 @@ class TestCliPipeline:
     def test_score_missing_model(self, tmp_path, capsys):
         assert main(["score", str(tmp_path / "nope")]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestCliCheckpointing:
+    def _simulate(self, tmp_path):
+        data = str(tmp_path / "cook")
+        assert main(
+            ["simulate", "cooking", "--out", data, "--users", "40", "--items", "120", "--seed", "3"]
+        ) == 0
+        return data
+
+    def test_fit_writes_checkpoint_and_resume_continues(self, tmp_path, capsys):
+        data = self._simulate(tmp_path)
+        model = str(tmp_path / "model")
+        assert main(
+            [
+                "fit", data,
+                "--levels", "4",
+                "--model", model,
+                "--init-min-actions", "10",
+                "--max-iterations", "2",
+                "--checkpoint-every", "1",
+            ]
+        ) == 0
+        ckpt = tmp_path / "model.ckpt.json"
+        assert ckpt.exists()
+        assert (tmp_path / "model.json").exists()
+
+        # resume from the checkpoint; config (including the iteration cap)
+        # comes from the checkpoint, so this re-materializes and re-saves
+        assert main(
+            ["fit", data, "--levels", "4", "--model", model, "--resume"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "resuming from" in out
+        assert "fitted in" in out
+
+    def test_resume_without_checkpoint_fails_cleanly(self, tmp_path, capsys):
+        data = self._simulate(tmp_path)
+        model = str(tmp_path / "model")
+        assert main(
+            ["fit", data, "--levels", "4", "--model", model, "--resume"]
+        ) == 2
+        assert "no checkpoint" in capsys.readouterr().err

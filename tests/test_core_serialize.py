@@ -1,5 +1,6 @@
 """Tests for repro.core.serialize (model persistence)."""
 
+import hashlib
 import json
 
 import numpy as np
@@ -7,6 +8,17 @@ import pytest
 
 from repro.core.serialize import load_model, save_model
 from repro.exceptions import DataError
+
+
+def _restamp_checksum(json_path, npz_path):
+    """Recompute the stored NPZ checksum after a test tampers with the NPZ.
+
+    Lets a test target the failure mode *behind* the checksum gate (missing
+    array, bad zip structure) instead of tripping the gate itself.
+    """
+    structure = json.loads(json_path.read_text())
+    structure["checksums"]["npz"] = hashlib.sha256(npz_path.read_bytes()).hexdigest()
+    json_path.write_text(json.dumps(structure))
 
 
 class TestRoundTrip:
@@ -69,15 +81,60 @@ class TestFailureModes:
         structure = json.loads(json_path.read_text())
         structure["format_version"] = 999
         json_path.write_text(json.dumps(structure))
-        with pytest.raises(DataError):
+        with pytest.raises(DataError, match=str(json_path)):
             load_model(tmp_path / "model")
 
     def test_missing_array(self, fitted_tiny_model, tmp_path):
         json_path, npz_path = save_model(fitted_tiny_model, tmp_path / "model")
         # rewrite the npz without one required cell
-        arrays = dict(np.load(npz_path))
+        with np.load(npz_path) as npz:
+            arrays = dict(npz)
         arrays.pop("cell_0_0")
         with npz_path.open("wb") as handle:
             np.savez(handle, **arrays)
-        with pytest.raises(DataError):
+        _restamp_checksum(json_path, npz_path)  # target the missing-array path
+        with pytest.raises(DataError, match="missing required array"):
             load_model(tmp_path / "model")
+
+    def test_truncated_npz(self, fitted_tiny_model, tmp_path):
+        json_path, npz_path = save_model(fitted_tiny_model, tmp_path / "model")
+        data = npz_path.read_bytes()
+        npz_path.write_bytes(data[: len(data) // 2])
+        _restamp_checksum(json_path, npz_path)  # target the truncation path
+        with pytest.raises(DataError, match="truncated or corrupted"):
+            load_model(tmp_path / "model")
+
+    def test_checksum_mismatch_names_both_hashes(self, fitted_tiny_model, tmp_path):
+        json_path, npz_path = save_model(fitted_tiny_model, tmp_path / "model")
+        data = bytearray(npz_path.read_bytes())
+        data[-1] ^= 0xFF  # flip one byte, keep the length
+        npz_path.write_bytes(bytes(data))
+        with pytest.raises(DataError, match="checksum mismatch") as excinfo:
+            load_model(tmp_path / "model")
+        assert str(npz_path) in str(excinfo.value)
+
+    def test_legacy_model_without_checksums_still_loads(
+        self, fitted_tiny_model, tmp_path
+    ):
+        json_path, _ = save_model(fitted_tiny_model, tmp_path / "model")
+        structure = json.loads(json_path.read_text())
+        del structure["checksums"]  # pre-checksum writers did not record one
+        json_path.write_text(json.dumps(structure))
+        loaded = load_model(tmp_path / "model")
+        assert loaded.num_levels == fitted_tiny_model.num_levels
+
+
+class TestCrashSafety:
+    def test_no_tmp_litter_after_save(self, fitted_tiny_model, tmp_path):
+        save_model(fitted_tiny_model, tmp_path / "model")
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_resave_over_loaded_model(self, fitted_tiny_model, tmp_path):
+        """The NPZ is read fully into memory on load, so the file handle is
+        closed and the pair can be overwritten immediately (regression for
+        a leaked NpzFile handle)."""
+        save_model(fitted_tiny_model, tmp_path / "model")
+        loaded = load_model(tmp_path / "model")
+        save_model(loaded, tmp_path / "model")
+        again = load_model(tmp_path / "model")
+        assert again.log_likelihood == pytest.approx(fitted_tiny_model.log_likelihood)
