@@ -13,9 +13,10 @@ Public entry points:
   its four real domains (language, cooking, beer, film).
 - :mod:`repro.recsys` — item-prediction and FFM rating-prediction tasks.
 - :mod:`repro.experiments` — one runner per paper table/figure.
+- :mod:`repro.obs` — structured logging, metrics, and training telemetry.
 """
 
-from repro import core, data
+from repro import core, data, obs
 from repro.core import (
     FeatureKind,
     FeatureSet,
@@ -38,6 +39,7 @@ __version__ = "1.0.0"
 __all__ = [
     "core",
     "data",
+    "obs",
     "FeatureKind",
     "FeatureSet",
     "FeatureSpec",

@@ -66,6 +66,11 @@ def model_card(
         + ", ".join(f"L{k + 1} {p:.0%}" for k, p in enumerate(prior))
     )
 
+    # --- telemetry --------------------------------------------------------
+    if model.telemetry is not None:
+        lines += _section("Telemetry")
+        lines.extend(model.telemetry.summary_lines())
+
     # --- trajectories -----------------------------------------------------
     summary = summarize_trajectories(model)
     lines += _section("Trajectories")

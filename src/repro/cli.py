@@ -14,6 +14,11 @@ End-to-end tool usage on files (JSONL logs/catalogs, JSON+NPZ models)::
     python -m repro fit data/cooking --levels 5 --model models/cooking
     python -m repro score models/cooking --top 10
 
+Observability (``fit`` and ``run``): ``--log-level INFO`` / ``--log-json``
+select structured logging, ``--metrics-out metrics.json`` dumps the run's
+counters, stage timings, and training telemetry (schema checked by
+``tools/check_obs_output.py``).
+
 Everything the CLI does is a thin veneer over the library; the same flows
 are available programmatically (see README).
 """
@@ -44,6 +49,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list the registered experiments")
 
+    def add_obs_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--log-level",
+            default=None,
+            metavar="LEVEL",
+            help="logging level for repro.* loggers (DEBUG/INFO/WARNING/...; "
+            "default: $REPRO_LOG_LEVEL or WARNING)",
+        )
+        p.add_argument(
+            "--log-json",
+            action="store_true",
+            help="emit logs as JSON lines instead of human-readable text",
+        )
+        p.add_argument(
+            "--metrics-out",
+            default=None,
+            metavar="PATH",
+            help="write a JSON metrics snapshot (counters, stage timings, "
+            "telemetry) to PATH when done",
+        )
+
     run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
     run_parser.add_argument("experiment", help="experiment id (e.g. table6, fig3) or 'all'")
     run_parser.add_argument(
@@ -52,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="small",
         help="dataset scale preset (default: small)",
     )
+    add_obs_flags(run_parser)
 
     sub.add_parser("datasets", help="show the simulated dataset statistics")
 
@@ -97,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
         "configuration is taken from the checkpoint, so --levels and "
         "--max-iterations are ignored",
     )
+    add_obs_flags(fit_parser)
 
     score_parser = sub.add_parser(
         "score", help="estimate item difficulties with a saved model"
@@ -120,13 +148,44 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _configure_obs(log_level: str | None, log_json: bool) -> None:
+    """One-shot observability setup for commands that train or measure."""
+    from repro.obs.logging import configure_logging
+
+    configure_logging(level=log_level, json_lines=True if log_json else None)
+
+
+def _write_metrics(path: str, telemetry=None) -> None:
+    """Dump the run's metrics snapshot (plus optional fit telemetry)."""
+    import json
+    from pathlib import Path
+
+    from repro.obs.logging import current_run_id
+    from repro.obs.metrics import get_registry
+
+    payload = {
+        "schema": "repro-metrics/1",
+        "run": current_run_id(),
+        **get_registry().snapshot(),
+        "telemetry": telemetry.to_json() if telemetry is not None else None,
+    }
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, ensure_ascii=False, indent=2), encoding="utf-8")
+    print(f"wrote metrics to {out}")
+
+
 def _cmd_list() -> int:
     for exp in all_experiments():
         print(f"{exp.experiment_id:10s} {exp.title}  [{exp.paper_reference}]")
     return 0
 
 
-def _cmd_run(experiment: str, scale: str) -> int:
+def _cmd_run(
+    experiment: str,
+    scale: str,
+    metrics_out: str | None = None,
+) -> int:
     experiments = (
         all_experiments() if experiment == "all" else [get_experiment(experiment)]
     )
@@ -140,6 +199,11 @@ def _cmd_run(experiment: str, scale: str) -> int:
         print()
         if not result.all_checks_pass:
             any_failed = True
+    if metrics_out:
+        # Everything the experiments trained/assigned during this process
+        # recorded stage timings into the registry (train.*, pool.*, exp13.*);
+        # the snapshot turns e.g. `repro run table13` into measured numbers.
+        _write_metrics(metrics_out)
     return 1 if any_failed else 0
 
 
@@ -248,6 +312,7 @@ def _cmd_fit(
     init_min_actions: int,
     checkpoint_every: int = 0,
     resume: bool = False,
+    metrics_out: str | None = None,
 ) -> int:
     import json
     from pathlib import Path
@@ -299,6 +364,8 @@ def _cmd_fit(
         f"(converged={model.trace.converged}, logL={model.log_likelihood:.1f}); "
         f"saved {json_path} + {npz_path}"
     )
+    if metrics_out:
+        _write_metrics(metrics_out, telemetry=model.telemetry)
     return 0
 
 
@@ -345,7 +412,8 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "list":
             return _cmd_list()
         if args.command == "run":
-            return _cmd_run(args.experiment, args.scale)
+            _configure_obs(args.log_level, args.log_json)
+            return _cmd_run(args.experiment, args.scale, metrics_out=args.metrics_out)
         if args.command == "datasets":
             return _cmd_datasets()
         if args.command == "report":
@@ -353,6 +421,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "simulate":
             return _cmd_simulate(args.domain, args.out, args.users, args.items, args.seed)
         if args.command == "fit":
+            _configure_obs(args.log_level, args.log_json)
             return _cmd_fit(
                 args.data,
                 args.levels,
@@ -361,6 +430,7 @@ def main(argv: list[str] | None = None) -> int:
                 args.init_min_actions,
                 checkpoint_every=args.checkpoint_every,
                 resume=args.resume,
+                metrics_out=args.metrics_out,
             )
         if args.command == "score":
             return _cmd_score(args.model, args.prior, args.top, args.output)

@@ -30,6 +30,10 @@ from repro.core.features import FeatureKind, FeatureSet, FeatureSpec
 from repro.core.model import SkillParameters
 from repro.core.serialize import _cell_payload, _cell_restore
 from repro.exceptions import CheckpointError, ConfigurationError
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_registry
+
+_log = get_logger("core.checkpoint")
 
 __all__ = [
     "CheckpointConfig",
@@ -96,7 +100,14 @@ def write_checkpoint(
     fingerprint: dict[str, Any],
     every: int = 1,
 ) -> Path:
-    """Atomically persist the training state after a completed iteration."""
+    """Atomically persist the training state after a completed iteration.
+
+    Every write is logged at INFO (iteration, path, bytes, duration) and
+    counted in the ``checkpoint.writes`` / ``checkpoint.bytes_written``
+    metrics, so snapshot cadence is observable without strace.
+    """
+    registry = get_registry()
+    start = registry.clock()
     path = Path(path)
     feature_set = parameters.feature_set
     cells: list[list[str]] = []
@@ -135,11 +146,28 @@ def write_checkpoint(
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise
+    elapsed = registry.clock() - start
+    registry.counter("checkpoint.writes").inc()
+    registry.counter("checkpoint.bytes_written").inc(len(data))
+    registry.histogram("checkpoint.write_seconds").observe(elapsed)
+    _log.info(
+        "checkpoint written",
+        extra={
+            "obs": {
+                "iteration": len(log_likelihoods),
+                "path": str(path),
+                "bytes": len(data),
+                "seconds": round(elapsed, 6),
+            }
+        },
+    )
     return path
 
 
 def read_checkpoint(path: str | Path) -> TrainingCheckpoint:
     """Load and verify a checkpoint written by :func:`write_checkpoint`."""
+    registry = get_registry()
+    start = registry.clock()
     path = Path(path)
     if not path.exists():
         raise CheckpointError(f"no checkpoint file at {path}")
@@ -187,7 +215,7 @@ def read_checkpoint(path: str | Path) -> TrainingCheckpoint:
     parameters = SkillParameters(
         feature_set=feature_set, num_levels=num_levels, cells=cells
     )
-    return TrainingCheckpoint(
+    checkpoint = TrainingCheckpoint(
         iteration=int(payload["iteration"]),
         log_likelihoods=tuple(float(v) for v in payload["log_likelihoods"]),
         trainer_config=dict(payload["trainer_config"]),
@@ -195,6 +223,20 @@ def read_checkpoint(path: str | Path) -> TrainingCheckpoint:
         parameters=parameters,
         every=int(payload.get("every", 1)),
     )
+    elapsed = registry.clock() - start
+    registry.counter("checkpoint.reads").inc()
+    registry.histogram("checkpoint.read_seconds").observe(elapsed)
+    _log.info(
+        "checkpoint read",
+        extra={
+            "obs": {
+                "iteration": checkpoint.iteration,
+                "path": str(path),
+                "seconds": round(elapsed, 6),
+            }
+        },
+    )
+    return checkpoint
 
 
 def _payload_checksum(payload: dict[str, Any]) -> str:

@@ -26,6 +26,7 @@ from repro.core.distributions import Categorical, distribution_for_kind
 from repro.core.features import EncodedItems, FeatureKind, FeatureSet, ID_FEATURE
 from repro.data.actions import ActionLog
 from repro.exceptions import ConfigurationError, DataError, NotFittedError
+from repro.obs.telemetry import TrainingTelemetry
 
 __all__ = ["SkillParameters", "SkillModel", "TrainingTrace"]
 
@@ -201,6 +202,9 @@ class SkillModel:
     assignments: Mapping[Hashable, np.ndarray]  # user -> 1-based levels per action
     trace: TrainingTrace
     _assignment_times: Mapping[Hashable, np.ndarray] = field(repr=False, default=None)
+    #: Observability record of the fit (stage timings, pool events,
+    #: checkpoints); ``None`` for models built outside the trainers.
+    telemetry: TrainingTelemetry | None = field(repr=False, compare=False, default=None)
 
     @property
     def num_levels(self) -> int:

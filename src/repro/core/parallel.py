@@ -30,6 +30,10 @@ import numpy as np
 
 from repro.core.dp import PathResult, best_monotone_path
 from repro.exceptions import ConfigurationError, WorkerPoolError
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_registry
+
+_log = get_logger("core.parallel")
 
 __all__ = [
     "ParallelConfig",
@@ -165,6 +169,13 @@ class PoolAssigner:
         )
         self._pool: ProcessPoolExecutor | None = None
         self._serial_fallback = False
+        #: Recovery-event counts for this assigner's lifetime; the trainer
+        #: folds them into :class:`~repro.obs.telemetry.TrainingTelemetry`.
+        self.event_counts: dict[str, int] = {
+            "rebuilds": 0,
+            "degraded": 0,
+            "chunk_timeouts": 0,
+        }
 
     def __enter__(self) -> "PoolAssigner":
         return self
@@ -191,7 +202,24 @@ class PoolAssigner:
     def assign(
         self, score_table: np.ndarray, user_rows: Sequence[np.ndarray]
     ) -> list[PathResult]:
-        """Best monotone path per user; order matches ``user_rows``."""
+        """Best monotone path per user; order matches ``user_rows``.
+
+        Wall-time per call (serial or pooled) lands in the
+        ``pool.assign_seconds`` histogram of the active metrics registry.
+        """
+        registry = get_registry()
+        start = registry.clock()
+        try:
+            return self._assign_impl(score_table, user_rows, registry)
+        finally:
+            registry.histogram("pool.assign_seconds").observe(registry.clock() - start)
+
+    def _assign_impl(
+        self,
+        score_table: np.ndarray,
+        user_rows: Sequence[np.ndarray],
+        registry,
+    ) -> list[PathResult]:
         if not self.parallel_enabled or len(user_rows) <= 1 or self._serial_fallback:
             return self._assign_serial(score_table, user_rows)
         config = self.config
@@ -213,16 +241,30 @@ class PoolAssigner:
                 break
             except (BrokenExecutor, _FuturesTimeoutError, TimeoutError, OSError) as exc:
                 self._discard_pool()
+                if isinstance(exc, (_FuturesTimeoutError, TimeoutError)):
+                    self.event_counts["chunk_timeouts"] += 1
+                    registry.counter("pool.chunk_timeouts").inc()
                 if attempts >= config.max_pool_restarts:
                     if config.fallback_serial:
                         self._serial_fallback = True
+                        self.event_counts["degraded"] += 1
+                        registry.counter("pool.degraded").inc()
+                        _log.error(
+                            "assignment pool degraded to serial",
+                            extra={
+                                "obs": {
+                                    "failures": attempts + 1,
+                                    "last_error": repr(exc),
+                                }
+                            },
+                        )
                         warnings.warn(
                             WorkerPoolWarning(
                                 f"assignment pool failed {attempts + 1} time(s), "
                                 f"last error {exc!r}; degrading to serial assignment "
                                 f"for the rest of this run"
                             ),
-                            stacklevel=2,
+                            stacklevel=3,
                         )
                         return self._assign_serial(score_table, user_rows)
                     raise WorkerPoolError(
@@ -231,13 +273,26 @@ class PoolAssigner:
                     ) from exc
                 attempts += 1
                 delay = config.restart_backoff * (2 ** (attempts - 1))
+                self.event_counts["rebuilds"] += 1
+                registry.counter("pool.rebuilds").inc()
+                _log.warning(
+                    "assignment pool rebuild",
+                    extra={
+                        "obs": {
+                            "attempt": attempts,
+                            "max_restarts": config.max_pool_restarts,
+                            "backoff_s": round(delay, 3),
+                            "error": repr(exc),
+                        }
+                    },
+                )
                 warnings.warn(
                     WorkerPoolWarning(
                         f"assignment pool failure ({exc!r}); rebuilding pool "
                         f"(attempt {attempts}/{config.max_pool_restarts}, "
                         f"backoff {delay:.2f}s)"
                     ),
-                    stacklevel=2,
+                    stacklevel=3,
                 )
                 if delay > 0:
                     time.sleep(delay)

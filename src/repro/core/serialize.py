@@ -36,8 +36,13 @@ from repro.core.distributions import Categorical, Gamma, LogNormal, Poisson
 from repro.core.features import EncodedItems, FeatureKind, FeatureSet, FeatureSpec
 from repro.core.model import SkillModel, SkillParameters, TrainingTrace
 from repro.exceptions import DataError
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_registry
+from repro.obs.telemetry import TrainingTelemetry
 
 __all__ = ["save_model", "load_model"]
+
+_log = get_logger("core.serialize")
 
 _FORMAT_VERSION = 1
 
@@ -107,7 +112,16 @@ def _atomic_commit(writes: list[tuple[Path, bytes]]) -> None:
 
 
 def save_model(model: SkillModel, path_prefix: str | Path) -> tuple[Path, Path]:
-    """Write ``<prefix>.json`` and ``<prefix>.npz``; returns both paths."""
+    """Write ``<prefix>.json`` and ``<prefix>.npz``; returns both paths.
+
+    The model's :class:`~repro.obs.telemetry.TrainingTelemetry` (when
+    present) rides along in the JSON, so ``repro inspect`` can report run
+    diagnostics for models loaded from disk.  Save duration and artifact
+    sizes land in the ``model.save_seconds`` / ``model.artifact_bytes``
+    metrics and an INFO log record.
+    """
+    registry = get_registry()
+    start = registry.clock()
     prefix = Path(path_prefix)
     feature_set = model.feature_set
     users = list(model.assignments)
@@ -133,6 +147,7 @@ def save_model(model: SkillModel, path_prefix: str | Path) -> tuple[Path, Path]:
             "converged": model.trace.converged,
             "num_iterations": model.trace.num_iterations,
         },
+        "telemetry": model.telemetry.to_json() if model.telemetry is not None else None,
     }
     arrays: dict[str, np.ndarray] = {}
     for s in range(model.num_levels):
@@ -157,11 +172,28 @@ def save_model(model: SkillModel, path_prefix: str | Path) -> tuple[Path, Path]:
         raise DataError(f"model contains non-JSON identifiers: {exc}") from exc
     # NPZ first, JSON (which names the NPZ checksum) as the commit point.
     _atomic_commit([(npz_path, npz_bytes), (json_path, json_bytes)])
+    elapsed = registry.clock() - start
+    total_bytes = len(npz_bytes) + len(json_bytes)
+    registry.histogram("model.save_seconds").observe(elapsed)
+    registry.gauge("model.artifact_bytes").set(total_bytes)
+    _log.info(
+        "model saved",
+        extra={
+            "obs": {
+                "prefix": str(prefix),
+                "bytes": total_bytes,
+                "users": len(users),
+                "seconds": round(elapsed, 6),
+            }
+        },
+    )
     return json_path, npz_path
 
 
 def load_model(path_prefix: str | Path) -> SkillModel:
     """Reconstruct a model written by :func:`save_model`."""
+    registry = get_registry()
+    start = registry.clock()
     prefix = Path(path_prefix)
     json_path = prefix.with_suffix(".json")
     npz_path = prefix.with_suffix(".npz")
@@ -238,10 +270,32 @@ def load_model(path_prefix: str | Path) -> SkillModel:
         converged=bool(structure["trace"]["converged"]),
         num_iterations=int(structure["trace"]["num_iterations"]),
     )
-    return SkillModel(
+    telemetry_payload = structure.get("telemetry")
+    try:
+        telemetry = (
+            TrainingTelemetry.from_json(telemetry_payload) if telemetry_payload else None
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataError(f"{json_path}: malformed telemetry record ({exc})") from exc
+    model = SkillModel(
         parameters=parameters,
         encoded=encoded,
         assignments=assignments,
         trace=trace,
         _assignment_times=times,
+        telemetry=telemetry,
     )
+    elapsed = registry.clock() - start
+    registry.histogram("model.load_seconds").observe(elapsed)
+    _log.info(
+        "model loaded",
+        extra={
+            "obs": {
+                "prefix": str(prefix),
+                "bytes": len(npz_bytes),
+                "users": len(users),
+                "seconds": round(elapsed, 6),
+            }
+        },
+    )
+    return model

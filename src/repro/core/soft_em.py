@@ -32,6 +32,11 @@ from repro.core.training import uniform_segment_levels
 from repro.data.actions import ActionLog
 from repro.data.items import ItemCatalog
 from repro.exceptions import ConfigurationError, DataError
+from repro.obs.logging import current_run_id, get_logger
+from repro.obs.metrics import get_registry
+from repro.obs.telemetry import IterationRecord, TelemetryBuilder
+
+_log = get_logger("core.soft_em")
 
 __all__ = ["SoftEMConfig", "fit_soft_em", "forward_backward"]
 
@@ -138,29 +143,66 @@ def fit_soft_em(
         smoothing=config.smoothing,
     )
 
+    registry = get_registry()
+    builder = TelemetryBuilder(run_id=current_run_id(), stages=("e_step", "m_step"))
+    fit_start = registry.clock()
     log_likelihoods: list[float] = []
     converged = False
     responsibilities = np.zeros((len(all_rows), config.num_levels))
     for _ in range(config.max_iterations):
-        table = parameters.item_score_table(encoded)
-        total_ll = 0.0
-        offset = 0
-        for rows in user_rows:
-            gamma, ll = forward_backward(table[:, rows].T, config.step_up_prob)
-            responsibilities[offset : offset + len(rows)] = gamma
-            offset += len(rows)
-            total_ll += ll
-        if log_likelihoods:
-            previous = log_likelihoods[-1]
-            log_likelihoods.append(total_ll)
-            if abs(total_ll - previous) <= config.tol * max(1.0, abs(previous)):
-                converged = True
-                break
-        else:
-            log_likelihoods.append(total_ll)
-        parameters = SkillParameters.fit_from_responsibilities(
-            encoded, all_rows, responsibilities, smoothing=config.smoothing
+        improvement = None
+        with registry.span("soft_em.iteration") as iteration_span:
+            with registry.span("e_step") as e_span:
+                table = parameters.item_score_table(encoded)
+                total_ll = 0.0
+                offset = 0
+                for rows in user_rows:
+                    gamma, ll = forward_backward(table[:, rows].T, config.step_up_prob)
+                    responsibilities[offset : offset + len(rows)] = gamma
+                    offset += len(rows)
+                    total_ll += ll
+            m_elapsed = 0.0
+            if log_likelihoods:
+                previous = log_likelihoods[-1]
+                improvement = total_ll - previous
+                log_likelihoods.append(total_ll)
+                if abs(improvement) <= config.tol * max(1.0, abs(previous)):
+                    converged = True
+            else:
+                log_likelihoods.append(total_ll)
+            if not converged:
+                with registry.span("m_step") as m_span:
+                    parameters = SkillParameters.fit_from_responsibilities(
+                        encoded, all_rows, responsibilities, smoothing=config.smoothing
+                    )
+                m_elapsed = m_span.elapsed
+        registry.gauge("soft_em.log_likelihood").set(total_ll)
+        builder.record_iteration(
+            IterationRecord(
+                iteration=len(log_likelihoods),
+                log_likelihood=total_ll,
+                improvement=improvement,
+                stage_seconds={
+                    "e_step": e_span.elapsed,
+                    "m_step": m_elapsed,
+                    "iteration": iteration_span.elapsed,
+                },
+                unchanged_users=None,
+                level_histogram=(),
+                level_drift=None,
+            )
         )
+        _log.info(
+            "em iteration",
+            extra={
+                "obs": {
+                    "iteration": len(log_likelihoods),
+                    "log_likelihood": round(total_ll, 3),
+                }
+            },
+        )
+        if converged:
+            break
 
     assignments = {}
     times = {}
@@ -175,10 +217,17 @@ def fit_soft_em(
         converged=converged,
         num_iterations=len(log_likelihoods),
     )
+    telemetry = builder.build(
+        log_likelihoods=tuple(log_likelihoods),
+        pool_events={},
+        converged=converged,
+        total_seconds=registry.clock() - fit_start,
+    )
     return SkillModel(
         parameters=parameters,
         encoded=encoded,
         assignments=assignments,
         trace=trace,
         _assignment_times=times,
+        telemetry=telemetry,
     )

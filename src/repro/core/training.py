@@ -21,6 +21,7 @@ in ``benchmarks/test_ablation_hard_vs_soft.py``.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -39,6 +40,16 @@ from repro.exceptions import (
     ConvergenceError,
     DataError,
 )
+from repro.obs.logging import current_run_id, get_logger
+from repro.obs.metrics import get_registry
+from repro.obs.telemetry import (
+    TRAINER_STAGES,
+    CheckpointEvent,
+    IterationRecord,
+    TelemetryBuilder,
+)
+
+_log = get_logger("core.training")
 
 __all__ = [
     "TrainerConfig",
@@ -81,6 +92,13 @@ class TrainerConfig:
     objective ever *decreases* materially — with additive smoothing and the
     numerical gamma fit, hair-width decreases are legal, so the check uses
     a generous margin.
+
+    ``on_iteration`` is the progress hook: called after every completed
+    iteration with that iteration's
+    :class:`~repro.obs.telemetry.IterationRecord` (log-likelihood,
+    improvement, per-stage seconds, assignment churn), so long fits can
+    report progress without monkey-patching the trainer.  It is a runtime
+    concern like ``parallel`` and is never checkpointed.
     """
 
     num_levels: int
@@ -95,6 +113,10 @@ class TrainerConfig:
     #: Optional log-weights per step size 0..max_step (skip-level
     #: progressions à la Shin et al.); ``None`` = unweighted.
     step_log_penalties: tuple[float, ...] | None = None
+    #: Per-iteration progress callback (see class docstring).
+    on_iteration: Callable[[IterationRecord], None] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.num_levels < 1:
@@ -173,23 +195,47 @@ class Trainer:
         ``log_likelihoods`` carries the history of already-completed
         iterations (empty for a fresh fit); ``parameters`` must be the
         parameter grid produced after the last of them.
+
+        Every iteration is instrumented: per-stage wall-time (score-table
+        build, assignment, cell fits, checkpoint write) goes to the active
+        metrics registry under ``train.<stage>_seconds`` histograms,
+        convergence health to the ``train.*`` gauges, and the whole run is
+        condensed into the returned model's
+        :class:`~repro.obs.telemetry.TrainingTelemetry`.
         """
         cfg = self.config
+        registry = get_registry()
+        clock = registry.clock
+        builder = TelemetryBuilder(run_id=current_run_id(), stages=TRAINER_STAGES)
+        fit_start = clock()
         cell_fitter = make_cell_fitter(cfg.parallel)
         log_likelihoods = list(log_likelihoods)
         converged = False
         level_arrays: list[np.ndarray] = []
+        previous_levels: list[np.ndarray] | None = None
+        previous_hist: np.ndarray | None = None
         with PoolAssigner(
             cfg.parallel,
             max_step=cfg.max_step,
             step_log_penalties=cfg.step_log_penalties,
         ) as assigner:
             for iteration in range(len(log_likelihoods), cfg.max_iterations):
+                iteration_start = clock()
+                stage_seconds = dict.fromkeys(TRAINER_STAGES, 0.0)
+                stage_start = clock()
                 table = parameters.item_score_table(encoded)
+                stage_seconds["table_build"] = clock() - stage_start
+                stage_start = clock()
                 paths = assigner.assign(table, user_rows)
+                stage_seconds["assign"] = clock() - stage_start
                 total_ll = float(sum(p.log_likelihood for p in paths))
                 level_arrays = [p.levels for p in paths]
+                action_levels = (
+                    np.concatenate(level_arrays) if level_arrays else np.empty(0, np.int64)
+                )
+                level_hist = np.bincount(action_levels, minlength=cfg.num_levels)
 
+                improvement = None
                 if log_likelihoods:
                     previous = log_likelihoods[-1]
                     improvement = total_ll - previous
@@ -202,38 +248,93 @@ class Trainer:
                     log_likelihoods.append(total_ll)
                     if abs(improvement) <= cfg.tol * max(1.0, abs(previous)):
                         converged = True
-                        break
                 else:
                     log_likelihoods.append(total_ll)
 
-                action_rows = np.concatenate(user_rows) if user_rows else np.empty(0, np.int64)
-                action_levels = (
-                    np.concatenate(level_arrays) if level_arrays else np.empty(0, np.int64)
-                )
-                parameters = SkillParameters.fit_from_assignments(
-                    encoded,
-                    action_rows,
-                    action_levels,
-                    num_levels=cfg.num_levels,
-                    smoothing=cfg.smoothing,
-                    cell_fitter=cell_fitter,
-                )
-                if checkpoint is not None and len(log_likelihoods) % checkpoint.every == 0:
-                    checkpointing.write_checkpoint(
-                        checkpoint.path,
-                        parameters=parameters,
-                        log_likelihoods=log_likelihoods,
-                        trainer_config=_config_payload(cfg),
-                        fingerprint=fingerprint or {},
-                        every=checkpoint.every,
+                if not converged:
+                    action_rows = (
+                        np.concatenate(user_rows) if user_rows else np.empty(0, np.int64)
                     )
+                    stage_start = clock()
+                    parameters = SkillParameters.fit_from_assignments(
+                        encoded,
+                        action_rows,
+                        action_levels,
+                        num_levels=cfg.num_levels,
+                        smoothing=cfg.smoothing,
+                        cell_fitter=cell_fitter,
+                    )
+                    stage_seconds["cell_fit"] = clock() - stage_start
+                    if (
+                        checkpoint is not None
+                        and len(log_likelihoods) % checkpoint.every == 0
+                    ):
+                        stage_start = clock()
+                        written = checkpointing.write_checkpoint(
+                            checkpoint.path,
+                            parameters=parameters,
+                            log_likelihoods=log_likelihoods,
+                            trainer_config=_config_payload(cfg),
+                            fingerprint=fingerprint or {},
+                            every=checkpoint.every,
+                        )
+                        checkpoint_seconds = clock() - stage_start
+                        stage_seconds["checkpoint"] = checkpoint_seconds
+                        builder.record_checkpoint(
+                            CheckpointEvent(
+                                iteration=len(log_likelihoods),
+                                path=str(written),
+                                num_bytes=written.stat().st_size,
+                                seconds=checkpoint_seconds,
+                            )
+                        )
+
+                stage_seconds["iteration"] = clock() - iteration_start
+                record = self._observe_iteration(
+                    registry,
+                    stage_seconds,
+                    total_ll=total_ll,
+                    improvement=improvement,
+                    iteration_number=len(log_likelihoods),
+                    level_arrays=level_arrays,
+                    previous_levels=previous_levels,
+                    level_hist=level_hist,
+                    previous_hist=previous_hist,
+                )
+                builder.record_iteration(record)
+                if cfg.on_iteration is not None:
+                    cfg.on_iteration(record)
+                previous_levels = level_arrays
+                previous_hist = level_hist
+                if converged:
+                    break
             if not level_arrays and user_rows:
                 # Resumed with no iterations left to run (the checkpoint was
                 # written at max_iterations): materialize assignments from
                 # the checkpointed parameters without extending the trace.
                 table = parameters.item_score_table(encoded)
                 level_arrays = [p.levels for p in assigner.assign(table, user_rows)]
+            pool_events = dict(assigner.event_counts)
 
+        telemetry = builder.build(
+            log_likelihoods=tuple(log_likelihoods),
+            pool_events=pool_events,
+            converged=converged,
+            total_seconds=clock() - fit_start,
+        )
+        _log.info(
+            "fit complete",
+            extra={
+                "obs": {
+                    "iterations": len(log_likelihoods),
+                    "converged": converged,
+                    "log_likelihood": (
+                        round(log_likelihoods[-1], 3) if log_likelihoods else None
+                    ),
+                    "seconds": round(telemetry.total_seconds, 6),
+                }
+            },
+        )
         assignments = {
             user: (levels + 1).astype(np.int64)  # expose 1-based levels
             for user, levels in zip(users, level_arrays)
@@ -250,7 +351,76 @@ class Trainer:
             assignments=assignments,
             trace=trace,
             _assignment_times=times,
+            telemetry=telemetry,
         )
+
+    @staticmethod
+    def _observe_iteration(
+        registry,
+        stage_seconds: dict[str, float],
+        *,
+        total_ll: float,
+        improvement: float | None,
+        iteration_number: int,
+        level_arrays: list[np.ndarray],
+        previous_levels: list[np.ndarray] | None,
+        level_hist: np.ndarray,
+        previous_hist: np.ndarray | None,
+    ) -> IterationRecord:
+        """Publish one iteration's diagnostics to metrics + logs.
+
+        Assignment churn is summarized two ways: ``unchanged_users`` (how
+        many users' whole paths were identical to the previous iteration —
+        the converged-users count) and ``level_drift`` (normalized L1
+        distance between consecutive level histograms).
+        """
+        for stage, seconds in stage_seconds.items():
+            registry.histogram(f"train.{stage}_seconds").observe(seconds)
+        unchanged = (
+            sum(
+                1
+                for now, before in zip(level_arrays, previous_levels)
+                if np.array_equal(now, before)
+            )
+            if previous_levels is not None
+            else None
+        )
+        drift = (
+            float(np.abs(level_hist - previous_hist).sum() / max(1, int(level_hist.sum())))
+            if previous_hist is not None
+            else None
+        )
+        registry.counter("train.iterations").inc()
+        registry.gauge("train.log_likelihood").set(total_ll)
+        if improvement is not None:
+            registry.gauge("train.improvement").set(improvement)
+        if unchanged is not None:
+            registry.gauge("train.unchanged_users").set(unchanged)
+        if drift is not None:
+            registry.gauge("train.level_drift").set(drift)
+        record = IterationRecord(
+            iteration=iteration_number,
+            log_likelihood=total_ll,
+            improvement=improvement,
+            stage_seconds=stage_seconds,
+            unchanged_users=unchanged,
+            level_histogram=tuple(int(v) for v in level_hist),
+            level_drift=drift,
+        )
+        _log.info(
+            "iteration",
+            extra={
+                "obs": {
+                    "iteration": iteration_number,
+                    "log_likelihood": round(total_ll, 3),
+                    "improvement": (
+                        None if improvement is None else round(improvement, 6)
+                    ),
+                    "ms": round(stage_seconds["iteration"] * 1000.0, 3),
+                }
+            },
+        )
+        return record
 
     def _initialize(
         self,
@@ -286,9 +456,9 @@ class Trainer:
 def _config_payload(config: TrainerConfig) -> dict:
     """The JSON-serializable TrainerConfig state stored in checkpoints.
 
-    ``parallel`` is deliberately excluded: it is a runtime concern (how
-    many workers this host has) and must not pin a resume to the crashed
-    host's topology.
+    ``parallel`` and ``on_iteration`` are deliberately excluded: both are
+    runtime concerns (host topology, progress reporting) and must not pin
+    a resume to the crashed process's environment.
     """
     return {
         "num_levels": config.num_levels,
@@ -330,6 +500,7 @@ def resume_fit(
     *,
     parallel: ParallelConfig | None = None,
     checkpoint: CheckpointConfig | None = None,
+    on_iteration: Callable[[IterationRecord], None] | None = None,
 ) -> SkillModel:
     """Continue an interrupted :meth:`Trainer.fit` from a checkpoint.
 
@@ -349,6 +520,8 @@ def resume_fit(
     config_kwargs = dict(state.trainer_config)
     if parallel is not None:
         config_kwargs["parallel"] = parallel
+    if on_iteration is not None:
+        config_kwargs["on_iteration"] = on_iteration
     try:
         config = TrainerConfig(**config_kwargs)
     except TypeError as exc:

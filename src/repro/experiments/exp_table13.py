@@ -69,6 +69,7 @@ def _fit_time(ds, feature_set, config: ParallelConfig, *, cycles: int = 5) -> fl
     from repro.core.model import SkillParameters
     from repro.core.parallel import PoolAssigner, make_cell_fitter
     from repro.core.training import uniform_segment_levels
+    from repro.obs.metrics import get_registry
 
     num_levels = datasets.NUM_LEVELS["film"]
     encoded = feature_set.encode(ds.catalog)
@@ -83,17 +84,24 @@ def _fit_time(ds, feature_set, config: ParallelConfig, *, cycles: int = 5) -> fl
     )
     cell_fitter = make_cell_fitter(config)
 
+    # Stage timings land in the metrics registry (exp13.* histograms and
+    # PoolAssigner's pool.assign_seconds), so `repro run table13
+    # --metrics-out` reports measured per-stage numbers, not just totals.
+    registry = get_registry()
+
     def one_iteration(params):
-        table = params.item_score_table(encoded)
+        with registry.timer("exp13.table_build_seconds"):
+            table = params.item_score_table(encoded)
         paths = assigner.assign(table, user_rows)
         levels = np.concatenate([p.levels for p in paths])
-        return SkillParameters.fit_from_assignments(
-            encoded,
-            all_rows,
-            levels,
-            num_levels=num_levels,
-            cell_fitter=cell_fitter,
-        )
+        with registry.timer("exp13.cell_fit_seconds"):
+            return SkillParameters.fit_from_assignments(
+                encoded,
+                all_rows,
+                levels,
+                num_levels=num_levels,
+                cell_fitter=cell_fitter,
+            )
 
     with PoolAssigner(config) as assigner:
         parameters = one_iteration(parameters)  # warm-up (pool creation etc.)

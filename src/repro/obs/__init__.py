@@ -1,0 +1,64 @@
+"""Observability layer: structured logging, metrics, training telemetry.
+
+This package is deliberately a *leaf*: it imports nothing from the rest of
+the library, so every layer — ``repro.core`` hot paths included — can
+instrument itself without creating cycles.  Three pieces:
+
+- :mod:`repro.obs.logging` — a ``get_logger()`` factory whose records
+  carry a per-process run id and component name, rendered either
+  human-readable or as JSON lines (``configure_logging``).
+- :mod:`repro.obs.metrics` — a process-local :class:`MetricsRegistry` of
+  counters, gauges, and lightweight histograms, plus ``timer()``/``span()``
+  context managers that attribute wall-time to named stages.
+- :mod:`repro.obs.telemetry` — the :class:`TrainingTelemetry` record a
+  fitted :class:`~repro.core.model.SkillModel` carries: per-iteration
+  log-likelihoods, per-stage timings, pool events, checkpoint events.
+
+Everything is opt-in and cheap when idle: the default logger sits at
+WARNING with no sink configured, and metric updates are dictionary
+lookups plus a lock — nothing here touches the per-action inner loops.
+"""
+
+from repro.obs.logging import (
+    HumanFormatter,
+    JsonLinesFormatter,
+    configure_logging,
+    current_run_id,
+    get_logger,
+    reset_logging,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.telemetry import (
+    CheckpointEvent,
+    IterationRecord,
+    TelemetryBuilder,
+    TrainingTelemetry,
+)
+
+__all__ = [
+    "HumanFormatter",
+    "JsonLinesFormatter",
+    "configure_logging",
+    "current_run_id",
+    "get_logger",
+    "reset_logging",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "CheckpointEvent",
+    "IterationRecord",
+    "TelemetryBuilder",
+    "TrainingTelemetry",
+]

@@ -1,0 +1,197 @@
+"""Structured logging for the library (observability layer).
+
+Call sites obtain a component logger once::
+
+    from repro.obs.logging import get_logger
+    _log = get_logger("core.training")
+    _log.info("iteration", extra={"obs": {"iteration": 3, "ll": -123.4}})
+
+and never worry about formatting or destinations.  The ``obs`` extra is
+the structured payload: the human formatter renders it as ``key=value``
+pairs, the JSONL formatter emits it under ``"fields"``.
+
+``configure_logging`` is the single switch (CLI flags or environment
+variables) selecting level and output format.  Unconfigured, the base
+``repro`` logger sits at WARNING and records propagate to the root
+logger — quiet by default, and the instrumented code pays only a
+disabled-logger check per call.
+
+JSONL record schema (one object per line; ``tools/check_obs_output.py``
+validates it):
+
+========== ======================================================
+key        meaning
+========== ======================================================
+ts         ISO-8601 UTC timestamp of the record
+level      logging level name (``INFO`` …)
+run        per-process run id (shared with the metrics snapshot)
+component  dotted component under ``repro`` (e.g. ``core.training``)
+event      the log message
+elapsed_ms milliseconds since logging started in this process
+fields     optional structured payload (the ``obs`` extra)
+========== ======================================================
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import uuid
+from datetime import datetime, timezone
+from typing import IO
+
+__all__ = [
+    "LOG_RECORD_KEYS",
+    "HumanFormatter",
+    "JsonLinesFormatter",
+    "configure_logging",
+    "current_run_id",
+    "get_logger",
+    "reset_logging",
+]
+
+#: Keys every JSONL record is guaranteed to carry.
+LOG_RECORD_KEYS = ("ts", "level", "run", "component", "event", "elapsed_ms")
+
+_BASE_LOGGER = "repro"
+_ENV_LEVEL = "REPRO_LOG_LEVEL"
+_ENV_JSON = "REPRO_LOG_JSON"
+
+_run_id: str = uuid.uuid4().hex[:12]
+_installed_handler: logging.Handler | None = None
+
+# The base logger exists from import time so unconfigured processes are
+# quiet-but-functional: WARNING+ records propagate to the root logger.
+logging.getLogger(_BASE_LOGGER).addHandler(logging.NullHandler())
+
+
+def current_run_id() -> str:
+    """The id stamped on every log record and metrics snapshot.
+
+    Generated once per process; ``configure_logging(run_id=...)`` can pin
+    it (e.g. to correlate distributed runs).
+    """
+    return _run_id
+
+
+def get_logger(component: str) -> logging.Logger:
+    """The logger for a dotted component name (e.g. ``"core.parallel"``).
+
+    Loggers nest under the ``repro`` namespace so one ``configure_logging``
+    call governs them all.
+    """
+    if component == _BASE_LOGGER or component.startswith(_BASE_LOGGER + "."):
+        return logging.getLogger(component)
+    return logging.getLogger(f"{_BASE_LOGGER}.{component}")
+
+
+def _component_of(record: logging.LogRecord) -> str:
+    name = record.name
+    if name.startswith(_BASE_LOGGER + "."):
+        return name[len(_BASE_LOGGER) + 1 :]
+    return name
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per record (see the module docstring for the schema)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": datetime.fromtimestamp(record.created, tz=timezone.utc).isoformat(
+                timespec="milliseconds"
+            ),
+            "level": record.levelname,
+            "run": _run_id,
+            "component": _component_of(record),
+            "event": record.getMessage(),
+            "elapsed_ms": round(record.relativeCreated, 3),
+        }
+        fields = getattr(record, "obs", None)
+        if fields:
+            payload["fields"] = fields
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, ensure_ascii=False, default=str)
+
+
+class HumanFormatter(logging.Formatter):
+    """Terminal-friendly rendering of the same records."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        ts = datetime.fromtimestamp(record.created).strftime("%H:%M:%S.%f")[:-3]
+        line = (
+            f"{ts} {record.levelname:<7} [{_component_of(record)}] "
+            f"{record.getMessage()}"
+        )
+        fields = getattr(record, "obs", None)
+        if fields:
+            line += " " + " ".join(f"{k}={v}" for k, v in fields.items())
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+def _resolve_level(level: str | int | None) -> int:
+    if level is None:
+        level = os.environ.get(_ENV_LEVEL, "WARNING")
+    if isinstance(level, int):
+        return level
+    resolved = logging.getLevelNamesMapping().get(str(level).upper())
+    if resolved is None:
+        # Imported lazily: repro.exceptions must stay importable without obs
+        # and vice versa, so neither imports the other at module load.
+        from repro.exceptions import ConfigurationError
+
+        raise ConfigurationError(f"unknown log level {level!r}")
+    return resolved
+
+
+def configure_logging(
+    level: str | int | None = None,
+    *,
+    json_lines: bool | None = None,
+    stream: IO[str] | None = None,
+    run_id: str | None = None,
+) -> str:
+    """Install the single handler governing all ``repro.*`` loggers.
+
+    ``level`` and ``json_lines`` fall back to the ``REPRO_LOG_LEVEL`` and
+    ``REPRO_LOG_JSON`` environment variables, then to ``WARNING`` and
+    human-readable.  Records go to ``stream`` (default ``sys.stderr``) and
+    stop propagating to the root logger.  Calling again reconfigures
+    (replaces the previous handler) rather than stacking handlers.
+
+    Returns the run id in effect, for correlation with metrics output.
+    """
+    global _run_id, _installed_handler
+    if run_id is not None:
+        _run_id = run_id
+    if json_lines is None:
+        json_lines = os.environ.get(_ENV_JSON, "").strip().lower() in ("1", "true", "yes")
+    resolved = _resolve_level(level)
+
+    base = logging.getLogger(_BASE_LOGGER)
+    if _installed_handler is not None:
+        base.removeHandler(_installed_handler)
+        _installed_handler.close()
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLinesFormatter() if json_lines else HumanFormatter())
+    base.addHandler(handler)
+    base.setLevel(resolved)
+    base.propagate = False
+    _installed_handler = handler
+    return _run_id
+
+
+def reset_logging() -> None:
+    """Undo :func:`configure_logging` (used by tests for isolation)."""
+    global _installed_handler
+    base = logging.getLogger(_BASE_LOGGER)
+    if _installed_handler is not None:
+        base.removeHandler(_installed_handler)
+        _installed_handler.close()
+        _installed_handler = None
+    base.setLevel(logging.NOTSET)
+    base.propagate = True

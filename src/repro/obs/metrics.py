@@ -1,0 +1,270 @@
+"""Process-local metrics: counters, gauges, lightweight histograms.
+
+A :class:`MetricsRegistry` is a named bag of instruments the instrumented
+code updates as it runs and a snapshot consumer (``repro fit
+--metrics-out``, tests, the CI schema check) reads at the end:
+
+- :class:`Counter` — monotone event counts (``pool.rebuilds``);
+- :class:`Gauge` — last-value-wins observations (``train.log_likelihood``);
+- :class:`Histogram` — bounded-reservoir timing distributions reporting
+  count/total/mean/p50/p95/max (``train.assign_seconds``).
+
+``timer()`` and ``span()`` are context managers feeding histograms;
+spans nest, composing their dotted name from the enclosing spans on the
+same thread, so wall-time lands attributed to the stage that spent it.
+
+Everything is thread-safe (per-instrument locks) and *process-local*:
+worker processes spawned by :class:`~repro.core.parallel.PoolAssigner`
+never touch the registry — all pool bookkeeping happens in the parent,
+which is what makes the counters trustworthy under worker crashes.
+
+The wall clock is injectable (``MetricsRegistry(clock=...)``), so timing
+behaviour is testable with a fake clock instead of ``time.sleep``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+]
+
+#: Reservoir size per histogram: enough for thousands of iterations of
+#: quantile-faithful data while bounding memory for long-running services.
+_DEFAULT_WINDOW = 4096
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A last-value-wins observation."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value: float = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """A bounded reservoir of observations with cheap quantiles.
+
+    Count, total, and max cover the full lifetime; quantiles are computed
+    over the most recent ``window`` observations (a ring buffer), which is
+    exact until the window overflows and recency-weighted after.
+    """
+
+    __slots__ = ("_lock", "_window", "count", "total", "max")
+
+    def __init__(self, window: int = _DEFAULT_WINDOW) -> None:
+        self._lock = threading.Lock()
+        self._window: deque[float] = deque(maxlen=window)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._window.append(value)
+            self.count += 1
+            self.total += value
+            if value > self.max:
+                self.max = value
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the retained window (0 when empty)."""
+        with self._lock:
+            if not self._window:
+                return 0.0
+            ordered = sorted(self._window)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def summary(self) -> dict[str, float]:
+        """The JSON-safe digest exported in metrics snapshots."""
+        with self._lock:
+            count, total, maximum = self.count, self.total, self.max
+        return {
+            "count": count,
+            "total": total,
+            "mean": total / count if count else 0.0,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "max": maximum,
+        }
+
+
+class Span:
+    """Handle yielded by :meth:`MetricsRegistry.span`; ``elapsed`` is set
+    (in seconds) when the context exits."""
+
+    __slots__ = ("name", "qualified", "elapsed")
+
+    def __init__(self, name: str, qualified: str) -> None:
+        self.name = name
+        self.qualified = qualified
+        self.elapsed: float = 0.0
+
+
+class MetricsRegistry:
+    """A named, thread-safe collection of counters, gauges, and histograms.
+
+    ``clock`` powers :meth:`timer` and :meth:`span`; inject a fake for
+    deterministic timing tests.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._local = threading.local()
+
+    # ------------------------------------------------------------ lookups
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            try:
+                return self._counters[name]
+            except KeyError:
+                instrument = self._counters[name] = Counter()
+                return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            try:
+                return self._gauges[name]
+            except KeyError:
+                instrument = self._gauges[name] = Gauge()
+                return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            try:
+                return self._histograms[name]
+            except KeyError:
+                instrument = self._histograms[name] = Histogram()
+                return instrument
+
+    # ------------------------------------------------------------- timing
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Time the body and observe the seconds into histogram ``name``."""
+        start = self.clock()
+        try:
+            yield
+        finally:
+            self.histogram(name).observe(self.clock() - start)
+
+    def _span_stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Span]:
+        """Like :meth:`timer`, but nested spans compose dotted names.
+
+        ``span("fit")`` containing ``span("assign")`` observes histograms
+        ``fit`` and ``fit.assign`` — wall-time attributed to the stage
+        that spent it.  Nesting is tracked per thread.
+        """
+        stack = self._span_stack()
+        stack.append(name)
+        handle = Span(name, ".".join(stack))
+        start = self.clock()
+        try:
+            yield handle
+        finally:
+            handle.elapsed = self.clock() - start
+            stack.pop()
+            self.histogram(handle.qualified).observe(handle.elapsed)
+
+    # ------------------------------------------------------------- export
+
+    def snapshot(self) -> dict:
+        """A JSON-safe view of every instrument (the metrics-file body)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "gauges": {name: g.value for name, g in sorted(gauges.items())},
+            "histograms": {name: h.summary() for name, h in sorted(histograms.items())},
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+_default_registry = MetricsRegistry()
+_registry_lock = threading.Lock()
+_current_registry = _default_registry
+
+
+def get_registry() -> MetricsRegistry:
+    """The registry instrumented code records into (process-global)."""
+    return _current_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the global registry; returns the previous one."""
+    global _current_registry
+    with _registry_lock:
+        previous = _current_registry
+        _current_registry = registry
+        return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scope the global registry to a block (tests, isolated runs)."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

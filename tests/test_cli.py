@@ -31,6 +31,28 @@ class TestParser:
         assert args.resume is True
         assert args.checkpoint_every == 0
 
+    def test_obs_flags_on_fit_and_run(self):
+        args = build_parser().parse_args(
+            [
+                "fit", "data", "--levels", "4", "--model", "m",
+                "--log-level", "INFO", "--log-json", "--metrics-out", "metrics.json",
+            ]
+        )
+        assert args.log_level == "INFO"
+        assert args.log_json is True
+        assert args.metrics_out == "metrics.json"
+        args = build_parser().parse_args(
+            ["run", "table13", "--log-json", "--metrics-out", "m.json"]
+        )
+        assert args.log_json is True
+        assert args.metrics_out == "m.json"
+
+    def test_obs_flags_default_off(self):
+        args = build_parser().parse_args(["run", "table6"])
+        assert args.log_level is None
+        assert args.log_json is False
+        assert args.metrics_out is None
+
 
 class TestCommands:
     def test_list(self, capsys):

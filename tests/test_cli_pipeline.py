@@ -82,6 +82,120 @@ class TestCliPipeline:
         assert "error" in capsys.readouterr().err
 
 
+class TestCliObservability:
+    @pytest.fixture(autouse=True)
+    def _clean_logging(self):
+        from repro.obs.logging import reset_logging
+
+        yield
+        reset_logging()
+
+    def _simulate(self, tmp_path):
+        data = str(tmp_path / "cook")
+        assert main(
+            ["simulate", "cooking", "--out", data, "--users", "40", "--items", "120", "--seed", "3"]
+        ) == 0
+        return data
+
+    def test_fit_emits_jsonl_logs_and_metrics(self, tmp_path, capsys):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+
+        data = self._simulate(tmp_path)
+        model = str(tmp_path / "model")
+        metrics_path = tmp_path / "metrics.json"
+        # A scoped registry keeps the snapshot free of instruments other
+        # tests in this process already touched.
+        with use_registry(MetricsRegistry()):
+            assert main(
+                [
+                    "fit", data,
+                    "--levels", "3",
+                    "--model", model,
+                    "--init-min-actions", "10",
+                    "--max-iterations", "5",
+                    "--checkpoint-every", "1",
+                    "--log-level", "INFO",
+                    "--log-json",
+                    "--metrics-out", str(metrics_path),
+                ]
+            ) == 0
+        captured = capsys.readouterr()
+        assert "wrote metrics to" in captured.out
+
+        # Every log line is a JSON record with the documented schema, and
+        # the iteration events carry the structured payload.
+        log_lines = [l for l in captured.err.splitlines() if l.strip()]
+        assert log_lines
+        events = []
+        for line in log_lines:
+            record = json.loads(line)
+            for key in ("ts", "level", "run", "component", "event", "elapsed_ms"):
+                assert key in record
+            events.append(record["event"])
+        assert "iteration" in events
+        assert "checkpoint written" in events
+        assert "fit complete" in events
+        assert "model saved" in events
+
+        # The metrics file satisfies the acceptance criteria: per-iteration
+        # LLs, per-stage wall time, pool events, checkpoint accounting.
+        payload = json.loads(metrics_path.read_text())
+        assert payload["schema"] == "repro-metrics/1"
+        telemetry = payload["telemetry"]
+        iterations = len(telemetry["log_likelihoods"])
+        assert iterations >= 1
+        assert len(telemetry["iterations"]) == iterations
+        for stage in ("table_build", "assign", "cell_fit", "checkpoint", "iteration"):
+            assert stage in telemetry["stage_seconds"]
+            assert payload["histograms"][f"train.{stage}_seconds"]["count"] == iterations
+        assert set(telemetry["pool_events"]) == {"rebuilds", "degraded", "chunk_timeouts"}
+        assert telemetry["checkpoints"], "checkpoint-every 1 must record events"
+        assert payload["counters"]["checkpoint.writes"] == len(telemetry["checkpoints"])
+        assert payload["counters"]["train.iterations"] == iterations
+        assert payload["run"] == telemetry["run_id"]
+
+        # The stdlib checker accepts both artifacts end to end.
+        import subprocess
+        import sys as _sys
+        from pathlib import Path as _Path
+
+        log_file = tmp_path / "fit.log.jsonl"
+        log_file.write_text("\n".join(log_lines) + "\n")
+        checker = _Path(__file__).resolve().parents[1] / "tools" / "check_obs_output.py"
+        proc = subprocess.run(
+            [_sys.executable, str(checker), "--log", str(log_file), "--metrics", str(metrics_path)],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_inspect_prints_telemetry_section(self, tmp_path, capsys):
+        data = self._simulate(tmp_path)
+        model = str(tmp_path / "model")
+        assert main(
+            [
+                "fit", data,
+                "--levels", "3",
+                "--model", model,
+                "--init-min-actions", "10",
+                "--max-iterations", "5",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["inspect", model]) == 0
+        out = capsys.readouterr().out
+        assert "## Telemetry" in out
+        assert "stage wall-time" in out
+
+    def test_run_metrics_out_without_fit_telemetry(self, tmp_path, capsys):
+        metrics_path = tmp_path / "run-metrics.json"
+        assert main(["run", "table1", "--metrics-out", str(metrics_path)]) == 0
+        payload = json.loads(metrics_path.read_text())
+        assert payload["schema"] == "repro-metrics/1"
+        assert payload["telemetry"] is None
+        capsys.readouterr()
+
+
 class TestCliCheckpointing:
     def _simulate(self, tmp_path):
         data = str(tmp_path / "cook")

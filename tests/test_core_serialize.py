@@ -65,6 +65,50 @@ class TestRoundTrip:
         assert [i for i, _ in top_original] == [i for i, _ in top_loaded]
 
 
+class TestTelemetryPersistence:
+    def test_telemetry_round_trips(self, fitted_tiny_model, tmp_path):
+        assert fitted_tiny_model.telemetry is not None
+        save_model(fitted_tiny_model, tmp_path / "model")
+        loaded = load_model(tmp_path / "model")
+        assert loaded.telemetry == fitted_tiny_model.telemetry
+
+    def test_null_telemetry_loads(self, fitted_tiny_model, tmp_path):
+        json_path, _ = save_model(fitted_tiny_model, tmp_path / "model")
+        structure = json.loads(json_path.read_text())
+        structure["telemetry"] = None
+        json_path.write_text(json.dumps(structure))
+        loaded = load_model(tmp_path / "model")
+        assert loaded.telemetry is None
+
+    def test_legacy_model_without_telemetry_key(self, fitted_tiny_model, tmp_path):
+        json_path, _ = save_model(fitted_tiny_model, tmp_path / "model")
+        structure = json.loads(json_path.read_text())
+        del structure["telemetry"]  # pre-telemetry writers did not record one
+        json_path.write_text(json.dumps(structure))
+        loaded = load_model(tmp_path / "model")
+        assert loaded.telemetry is None
+
+    def test_malformed_telemetry_rejected(self, fitted_tiny_model, tmp_path):
+        json_path, _ = save_model(fitted_tiny_model, tmp_path / "model")
+        structure = json.loads(json_path.read_text())
+        structure["telemetry"] = {"run_id": "x"}  # missing required keys
+        json_path.write_text(json.dumps(structure))
+        with pytest.raises(DataError, match="malformed telemetry"):
+            load_model(tmp_path / "model")
+
+    def test_save_and_load_record_metrics(self, fitted_tiny_model, tmp_path):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            save_model(fitted_tiny_model, tmp_path / "model")
+            load_model(tmp_path / "model")
+        snapshot = registry.snapshot()
+        assert snapshot["histograms"]["model.save_seconds"]["count"] == 1
+        assert snapshot["histograms"]["model.load_seconds"]["count"] == 1
+        assert snapshot["gauges"]["model.artifact_bytes"] > 0
+
+
 class TestFailureModes:
     def test_missing_files(self, tmp_path):
         with pytest.raises(DataError):

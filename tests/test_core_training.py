@@ -8,6 +8,8 @@ from hypothesis import strategies as st
 from repro.core.training import Trainer, TrainerConfig, fit_skill_model, uniform_segment_levels
 from repro.data.actions import Action, ActionLog
 from repro.exceptions import ConfigurationError, DataError
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.telemetry import TRAINER_STAGES, IterationRecord
 
 
 class TestUniformSegmentLevels:
@@ -145,3 +147,114 @@ class TestTrainer:
             max_iterations=5,
         )
         assert np.isfinite(model.log_likelihood)
+
+
+class _FakeClock:
+    """Advances a fixed step on every read: deterministic positive timings."""
+
+    def __init__(self, step: float = 0.001) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+class TestTelemetry:
+    def test_telemetry_matches_trace(self, tiny_log, tiny_catalog, tiny_feature_set):
+        model = fit_skill_model(
+            tiny_log, tiny_catalog, tiny_feature_set, 3, init_min_actions=5, max_iterations=30
+        )
+        telemetry = model.telemetry
+        assert telemetry is not None
+        assert len(telemetry.log_likelihoods) == model.trace.num_iterations
+        assert telemetry.log_likelihoods == model.trace.log_likelihoods
+        assert telemetry.converged == model.trace.converged
+        assert len(telemetry.iterations) == model.trace.num_iterations
+        # One record per iteration, numbered and valued consistently.
+        for k, record in enumerate(telemetry.iterations, start=1):
+            assert record.iteration == k
+            assert record.log_likelihood == model.trace.log_likelihoods[k - 1]
+        assert telemetry.iterations[0].improvement is None
+        assert set(telemetry.pool_events) == {"rebuilds", "degraded", "chunk_timeouts"}
+        assert all(v == 0 for v in telemetry.pool_events.values())
+
+    def test_telemetry_lls_monotone_under_strict(
+        self, tiny_log, tiny_catalog, tiny_feature_set
+    ):
+        model = fit_skill_model(
+            tiny_log,
+            tiny_catalog,
+            tiny_feature_set,
+            3,
+            init_min_actions=5,
+            max_iterations=30,
+            strict=True,
+        )
+        lls = np.asarray(model.telemetry.log_likelihoods)
+        assert np.all(np.diff(lls) >= -1e-6 * np.abs(lls[:-1]))
+
+    def test_on_iteration_callback(self, tiny_log, tiny_catalog, tiny_feature_set):
+        seen: list[IterationRecord] = []
+        model = fit_skill_model(
+            tiny_log,
+            tiny_catalog,
+            tiny_feature_set,
+            3,
+            init_min_actions=5,
+            max_iterations=30,
+            on_iteration=seen.append,
+        )
+        assert len(seen) == model.trace.num_iterations
+        assert seen[-1].log_likelihood == model.log_likelihood
+        assert all(isinstance(record, IterationRecord) for record in seen)
+        # The histogram in each record covers every action exactly once.
+        assert sum(seen[-1].level_histogram) == tiny_log.num_actions
+
+    def test_stage_seconds_deterministic_with_fake_clock(
+        self, tiny_log, tiny_catalog, tiny_feature_set
+    ):
+        registry = MetricsRegistry(clock=_FakeClock())
+        with use_registry(registry):
+            model = fit_skill_model(
+                tiny_log, tiny_catalog, tiny_feature_set, 3, init_min_actions=5, max_iterations=10
+            )
+        telemetry = model.telemetry
+        # Every trainer stage is reported, and the timed ones are positive
+        # (the fake clock advances on every read — no time.sleep involved).
+        assert set(telemetry.stage_seconds) == set(TRAINER_STAGES)
+        for stage in ("table_build", "assign", "iteration"):
+            assert telemetry.stage_seconds[stage] > 0
+        assert telemetry.stage_seconds["checkpoint"] == 0.0  # checkpointing off
+        assert telemetry.total_seconds > 0
+        # The same wall-time landed in the registry histograms.
+        snapshot = registry.snapshot()
+        for stage in TRAINER_STAGES:
+            hist = snapshot["histograms"][f"train.{stage}_seconds"]
+            assert hist["count"] == model.trace.num_iterations
+        assert snapshot["counters"]["train.iterations"] == model.trace.num_iterations
+        assert snapshot["gauges"]["train.log_likelihood"] == model.log_likelihood
+
+    def test_telemetry_records_checkpoints(
+        self, tiny_log, tiny_catalog, tiny_feature_set, tmp_path
+    ):
+        from repro.core.checkpoint import CheckpointConfig
+
+        path = tmp_path / "ck.json"
+        model = fit_skill_model(
+            tiny_log,
+            tiny_catalog,
+            tiny_feature_set,
+            3,
+            checkpoint=CheckpointConfig(path=path, every=1),
+            init_min_actions=5,
+            max_iterations=30,
+        )
+        events = model.telemetry.checkpoints
+        assert events, "checkpointing every iteration must record events"
+        for event in events:
+            assert event.path == str(path)
+            assert event.num_bytes > 0
+            assert event.seconds >= 0
+        assert model.telemetry.stage_seconds["checkpoint"] >= 0

@@ -1,0 +1,499 @@
+"""Tests for the observability layer: metrics, logging, telemetry, checker.
+
+Timing-sensitive behaviour is exercised with an injected fake clock —
+nothing here sleeps.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import io
+import json
+import warnings
+from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeoutError
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import ParallelConfig, PoolAssigner, WorkerPoolWarning
+from repro.exceptions import ConfigurationError
+from repro.obs.logging import (
+    LOG_RECORD_KEYS,
+    configure_logging,
+    current_run_id,
+    get_logger,
+    reset_logging,
+)
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.telemetry import (
+    CheckpointEvent,
+    IterationRecord,
+    TelemetryBuilder,
+    TrainingTelemetry,
+)
+
+
+class FakeClock:
+    """A manually advanced wall clock for deterministic timing tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+# ---------------------------------------------------------------------------
+# MetricsRegistry instruments
+# ---------------------------------------------------------------------------
+
+
+class TestInstruments:
+    def test_counter_math(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        # Get-or-create: same name, same instrument.
+        assert registry.counter("events") is counter
+
+    def test_gauge_last_value_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("ll")
+        gauge.set(-10.0)
+        gauge.set(-3.5)
+        assert gauge.value == -3.5
+
+    def test_histogram_summary(self):
+        hist = Histogram()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(v)
+        summary = hist.summary()
+        assert summary["count"] == 4
+        assert summary["total"] == pytest.approx(10.0)
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["max"] == pytest.approx(4.0)
+
+    def test_histogram_quantiles_over_1_to_100(self):
+        hist = Histogram()
+        for v in range(1, 101):
+            hist.observe(float(v))
+        assert hist.quantile(0.50) == pytest.approx(50.0, abs=1.0)
+        assert hist.quantile(0.95) == pytest.approx(95.0, abs=1.0)
+        assert hist.quantile(0.0) == 1.0
+        assert hist.quantile(1.0) == 100.0
+
+    def test_histogram_empty_quantile_is_zero(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_histogram_window_bounds_memory_but_not_lifetime_stats(self):
+        hist = Histogram(window=10)
+        for v in range(100):
+            hist.observe(float(v))
+        assert hist.count == 100  # lifetime
+        assert hist.max == 99.0
+        assert hist.quantile(0.0) >= 90.0  # window keeps only the tail
+
+    def test_counter_thread_safety(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hammered")
+
+        def hammer(_):
+            for _ in range(1000):
+                counter.inc()
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(hammer, range(8)))
+        assert counter.value == 8000
+
+
+class TestTimingContextManagers:
+    def test_timer_observes_elapsed_with_fake_clock(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        with registry.timer("stage_seconds"):
+            clock.advance(0.25)
+        summary = registry.histogram("stage_seconds").summary()
+        assert summary["count"] == 1
+        assert summary["total"] == pytest.approx(0.25)
+
+    def test_span_nesting_composes_dotted_names(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        with registry.span("fit") as outer:
+            clock.advance(1.0)
+            with registry.span("assign") as inner:
+                clock.advance(0.25)
+        assert outer.qualified == "fit"
+        assert inner.qualified == "fit.assign"
+        assert outer.elapsed == pytest.approx(1.25)
+        assert inner.elapsed == pytest.approx(0.25)
+        snapshot = registry.snapshot()
+        assert set(snapshot["histograms"]) == {"fit", "fit.assign"}
+
+    def test_span_stack_unwinds_after_exception(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with registry.span("outer"):
+                raise RuntimeError("boom")
+        with registry.span("fresh") as span:
+            pass
+        assert span.qualified == "fresh"  # no stale "outer." prefix
+
+    def test_span_nesting_is_per_thread(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        names = []
+
+        def in_thread():
+            with registry.span("worker") as span:
+                names.append(span.qualified)
+
+        with registry.span("main"):
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                pool.submit(in_thread).result()
+        assert names == ["worker"]  # not "main.worker"
+
+
+class TestRegistryScoping:
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.1)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 2}
+        assert snapshot["gauges"] == {"g": 1.5}
+        assert set(snapshot["histograms"]["h"]) == {
+            "count", "total", "mean", "p50", "p95", "max",
+        }
+
+    def test_reset_clears_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+
+    def test_use_registry_scopes_and_restores(self):
+        outer = get_registry()
+        scoped = MetricsRegistry()
+        with use_registry(scoped) as active:
+            assert active is scoped
+            assert get_registry() is scoped
+        assert get_registry() is outer
+
+    def test_set_registry_returns_previous(self):
+        original = get_registry()
+        replacement = MetricsRegistry()
+        previous = set_registry(replacement)
+        try:
+            assert previous is original
+            assert get_registry() is replacement
+        finally:
+            set_registry(original)
+
+
+# ---------------------------------------------------------------------------
+# PoolAssigner recovery counters (parent-side, no real pool needed)
+# ---------------------------------------------------------------------------
+
+
+def _tiny_assignment_problem():
+    rng = np.random.default_rng(7)
+    table = np.log(rng.dirichlet(np.ones(6), size=3))  # (levels, items)
+    user_rows = [rng.integers(0, 6, size=10) for _ in range(4)]
+    return table, user_rows
+
+
+class TestPoolAssignerCounters:
+    def test_rebuilds_then_degrades_and_counts(self, monkeypatch):
+        def always_broken(self, tasks):
+            raise BrokenExecutor("injected worker death")
+
+        monkeypatch.setattr(PoolAssigner, "_run_chunks", always_broken)
+        table, user_rows = _tiny_assignment_problem()
+        config = ParallelConfig(
+            users=True, workers=2, max_pool_restarts=2, restart_backoff=0.0
+        )
+        registry = MetricsRegistry()
+        with use_registry(registry), warnings.catch_warnings():
+            warnings.simplefilter("always")
+            with PoolAssigner(config) as assigner:
+                with pytest.warns(WorkerPoolWarning):
+                    pooled = assigner.assign(table, user_rows)
+                serial = PoolAssigner(None).assign(table, user_rows)
+
+        assert assigner.event_counts == {
+            "rebuilds": 2, "degraded": 1, "chunk_timeouts": 0,
+        }
+        counters = registry.snapshot()["counters"]
+        assert counters["pool.rebuilds"] == 2
+        assert counters["pool.degraded"] == 1
+        # The degraded assigner still produced correct (serial) results.
+        for a, b in zip(pooled, serial):
+            np.testing.assert_array_equal(a.levels, b.levels)
+            assert a.log_likelihood == pytest.approx(b.log_likelihood)
+
+    def test_chunk_timeout_counted(self, monkeypatch):
+        def too_slow(self, tasks):
+            raise _FuturesTimeoutError()
+
+        monkeypatch.setattr(PoolAssigner, "_run_chunks", too_slow)
+        table, user_rows = _tiny_assignment_problem()
+        config = ParallelConfig(
+            users=True,
+            workers=2,
+            max_pool_restarts=0,
+            restart_backoff=0.0,
+            chunk_timeout=0.001,
+        )
+        registry = MetricsRegistry()
+        with use_registry(registry), warnings.catch_warnings():
+            warnings.simplefilter("always")
+            with PoolAssigner(config) as assigner, pytest.warns(WorkerPoolWarning):
+                assigner.assign(table, user_rows)
+        assert assigner.event_counts["chunk_timeouts"] == 1
+        assert assigner.event_counts["degraded"] == 1
+        assert registry.snapshot()["counters"]["pool.chunk_timeouts"] == 1
+
+    def test_assign_seconds_recorded_even_for_serial(self):
+        table, user_rows = _tiny_assignment_problem()
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            PoolAssigner(None).assign(table, user_rows)
+        assert registry.histogram("pool.assign_seconds").count == 1
+
+
+# ---------------------------------------------------------------------------
+# Structured logging
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def clean_logging():
+    yield
+    reset_logging()
+
+
+class TestLogging:
+    def test_jsonl_records_carry_full_schema(self, clean_logging):
+        stream = io.StringIO()
+        run = configure_logging("INFO", json_lines=True, stream=stream)
+        log = get_logger("test.component")
+        log.info("hello", extra={"obs": {"iteration": 3, "ll": -1.5}})
+        record = json.loads(stream.getvalue().strip())
+        for key in LOG_RECORD_KEYS:
+            assert key in record
+        assert record["level"] == "INFO"
+        assert record["component"] == "test.component"
+        assert record["event"] == "hello"
+        assert record["fields"] == {"iteration": 3, "ll": -1.5}
+        assert record["run"] == run == current_run_id()
+
+    def test_human_format_renders_fields(self, clean_logging):
+        stream = io.StringIO()
+        configure_logging("INFO", json_lines=False, stream=stream)
+        get_logger("test.component").info("step done", extra={"obs": {"k": 1}})
+        line = stream.getvalue()
+        assert "[test.component]" in line
+        assert "step done" in line
+        assert "k=1" in line
+
+    def test_level_filtering(self, clean_logging):
+        stream = io.StringIO()
+        configure_logging("WARNING", json_lines=True, stream=stream)
+        log = get_logger("test.component")
+        log.info("quiet")
+        log.warning("loud")
+        lines = [l for l in stream.getvalue().splitlines() if l.strip()]
+        assert len(lines) == 1
+        assert json.loads(lines[0])["event"] == "loud"
+
+    def test_reconfigure_replaces_handler(self, clean_logging):
+        first, second = io.StringIO(), io.StringIO()
+        configure_logging("INFO", json_lines=True, stream=first)
+        configure_logging("INFO", json_lines=True, stream=second)
+        get_logger("test.component").info("once")
+        assert first.getvalue() == ""
+        assert len(second.getvalue().splitlines()) == 1
+
+    def test_env_fallbacks(self, clean_logging, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "DEBUG")
+        monkeypatch.setenv("REPRO_LOG_JSON", "1")
+        stream = io.StringIO()
+        configure_logging(stream=stream)
+        get_logger("test.component").debug("fine-grained")
+        record = json.loads(stream.getvalue().strip())
+        assert record["level"] == "DEBUG"
+
+    def test_unknown_level_rejected(self, clean_logging):
+        with pytest.raises(ConfigurationError):
+            configure_logging("CHATTY")
+
+    def test_run_id_pinnable(self, clean_logging):
+        assert configure_logging("INFO", run_id="runabc") == "runabc"
+        assert current_run_id() == "runabc"
+
+
+# ---------------------------------------------------------------------------
+# Telemetry data model
+# ---------------------------------------------------------------------------
+
+
+def _sample_telemetry() -> TrainingTelemetry:
+    builder = TelemetryBuilder(run_id="runabc", stages=("table_build", "assign"))
+    builder.record_iteration(
+        IterationRecord(
+            iteration=1,
+            log_likelihood=-20.0,
+            improvement=None,
+            stage_seconds={"table_build": 0.1, "assign": 0.4},
+            unchanged_users=None,
+            level_histogram=(5, 3),
+            level_drift=None,
+        )
+    )
+    builder.record_iteration(
+        IterationRecord(
+            iteration=2,
+            log_likelihood=-15.0,
+            improvement=5.0,
+            stage_seconds={"table_build": 0.1, "assign": 0.2},
+            unchanged_users=1,
+            level_histogram=(4, 4),
+            level_drift=0.25,
+        )
+    )
+    builder.record_checkpoint(
+        CheckpointEvent(iteration=2, path="/tmp/ck.json", num_bytes=128, seconds=0.01)
+    )
+    return builder.build(
+        log_likelihoods=(-20.0, -15.0),
+        pool_events={"rebuilds": 1, "degraded": 0, "chunk_timeouts": 0},
+        converged=True,
+        total_seconds=0.9,
+    )
+
+
+class TestTelemetry:
+    def test_builder_sums_stage_seconds(self):
+        telemetry = _sample_telemetry()
+        assert telemetry.stage_seconds["table_build"] == pytest.approx(0.2)
+        assert telemetry.stage_seconds["assign"] == pytest.approx(0.6)
+
+    def test_builder_reports_stages_that_never_ran(self):
+        builder = TelemetryBuilder(run_id="r", stages=("checkpoint",))
+        telemetry = builder.build(
+            log_likelihoods=(), pool_events={}, converged=False, total_seconds=0.0
+        )
+        assert telemetry.stage_seconds == {"checkpoint": 0.0}
+
+    def test_json_round_trip_exact(self):
+        telemetry = _sample_telemetry()
+        restored = TrainingTelemetry.from_json(
+            json.loads(json.dumps(telemetry.to_json()))
+        )
+        assert restored == telemetry
+
+    def test_summary_mentions_key_facts(self):
+        text = _sample_telemetry().summary()
+        assert "runabc" in text
+        assert "rebuilds=1" in text
+        assert "checkpoints: 1 written" in text
+        assert "-20.0" in text and "-15.0" in text
+
+
+# ---------------------------------------------------------------------------
+# The CI artifact checker (tools/check_obs_output.py)
+# ---------------------------------------------------------------------------
+
+_CHECKER_PATH = Path(__file__).resolve().parents[1] / "tools" / "check_obs_output.py"
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location("check_obs_output", _CHECKER_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _valid_metrics_payload() -> dict:
+    registry = MetricsRegistry(clock=FakeClock())
+    registry.counter("train.iterations").inc(3)
+    registry.gauge("train.log_likelihood").set(-12.5)
+    registry.histogram("train.assign_seconds").observe(0.2)
+    return {
+        "schema": "repro-metrics/1",
+        "run": "runabc",
+        **registry.snapshot(),
+        "telemetry": _sample_telemetry().to_json(),
+    }
+
+
+class TestChecker:
+    def test_accepts_real_log_output(self, checker, clean_logging):
+        stream = io.StringIO()
+        configure_logging("INFO", json_lines=True, stream=stream)
+        log = get_logger("test.component")
+        log.info("one", extra={"obs": {"k": 1}})
+        log.warning("two")
+        assert checker.check_log_lines(stream.getvalue().splitlines()) == []
+
+    def test_rejects_bad_log_lines(self, checker):
+        problems = checker.check_log_lines(["not json", '{"ts": "only"}'])
+        assert any("not valid JSON" in p for p in problems)
+        assert any("missing key" in p for p in problems)
+        assert checker.check_log_lines([]) == ["log stream contains no records"]
+
+    def test_accepts_valid_metrics(self, checker):
+        assert checker.check_metrics(_valid_metrics_payload()) == []
+
+    def test_accepts_null_telemetry(self, checker):
+        payload = _valid_metrics_payload()
+        payload["telemetry"] = None
+        assert checker.check_metrics(payload) == []
+
+    def test_rejects_schema_and_shape_violations(self, checker):
+        payload = _valid_metrics_payload()
+        payload["schema"] = "repro-metrics/99"
+        payload["counters"]["bad"] = "NaN-ish"
+        del payload["histograms"]["train.assign_seconds"]["p95"]
+        problems = checker.check_metrics(payload)
+        assert any("schema" in p for p in problems)
+        assert any("counters['bad']" in p for p in problems)
+        assert any("'p95'" in p for p in problems)
+
+    def test_main_exit_codes(self, checker, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        metrics_path.write_text(json.dumps(_valid_metrics_payload()))
+        log_path = tmp_path / "fit.log.jsonl"
+        log_path.write_text(
+            json.dumps(
+                {
+                    "ts": "2026-01-01T00:00:00+00:00",
+                    "level": "INFO",
+                    "run": "runabc",
+                    "component": "core.training",
+                    "event": "iteration",
+                    "elapsed_ms": 1.0,
+                }
+            )
+            + "\n"
+        )
+        assert checker.main(["--log", str(log_path), "--metrics", str(metrics_path)]) == 0
+        capsys.readouterr()
+        metrics_path.write_text("{broken")
+        assert checker.main(["--metrics", str(metrics_path)]) == 1
+        assert "cannot read" in capsys.readouterr().out

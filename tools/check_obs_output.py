@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Validate the observability artifacts a run emits (CI schema check).
+
+Checks two outputs against the documented contracts, using only the
+standard library so CI can run it without installing the package:
+
+- a JSONL log file produced with ``--log-json`` — every line must be a
+  JSON object carrying the keys in the schema table of
+  ``repro/obs/logging.py`` (ts, level, run, component, event, elapsed_ms);
+- a metrics file produced with ``--metrics-out`` — must declare schema
+  ``repro-metrics/1`` and carry numeric counters/gauges, histogram digests
+  with count/total/mean/p50/p95/max, and a telemetry object (or null).
+
+Usage::
+
+    python tools/check_obs_output.py --log fit.log.jsonl --metrics metrics.json
+
+Exit status 0 when every given artifact validates, 1 otherwise; problems
+are printed one per line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Iterable
+
+#: Keys every JSONL log record must carry (mirrors LOG_RECORD_KEYS in
+#: repro.obs.logging — duplicated here so this tool stays stdlib-only).
+LOG_RECORD_KEYS = ("ts", "level", "run", "component", "event", "elapsed_ms")
+
+#: Summary statistics every histogram digest must report.
+HISTOGRAM_KEYS = ("count", "total", "mean", "p50", "p95", "max")
+
+METRICS_SCHEMA = "repro-metrics/1"
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def check_log_lines(lines: Iterable[str]) -> list[str]:
+    """Problems found in a JSONL log stream (empty list = valid).
+
+    Blank lines are permitted (trailing newline); anything else must be a
+    JSON object with the full record schema.
+    """
+    problems: list[str] = []
+    count = 0
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        count += 1
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {lineno}: not valid JSON ({exc})")
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"line {lineno}: record is not a JSON object")
+            continue
+        for key in LOG_RECORD_KEYS:
+            if key not in record:
+                problems.append(f"line {lineno}: missing key {key!r}")
+        if "elapsed_ms" in record and not _is_number(record["elapsed_ms"]):
+            problems.append(f"line {lineno}: elapsed_ms is not a number")
+        fields = record.get("fields")
+        if fields is not None and not isinstance(fields, dict):
+            problems.append(f"line {lineno}: fields is not an object")
+    if count == 0:
+        problems.append("log stream contains no records")
+    return problems
+
+
+def check_metrics(payload) -> list[str]:
+    """Problems found in a metrics snapshot (empty list = valid)."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["metrics payload is not a JSON object"]
+    if payload.get("schema") != METRICS_SCHEMA:
+        problems.append(
+            f"schema is {payload.get('schema')!r}, expected {METRICS_SCHEMA!r}"
+        )
+    if not isinstance(payload.get("run"), str) or not payload.get("run"):
+        problems.append("run id missing or not a non-empty string")
+
+    for section in ("counters", "gauges"):
+        table = payload.get(section)
+        if not isinstance(table, dict):
+            problems.append(f"{section} missing or not an object")
+            continue
+        for name, value in table.items():
+            if not _is_number(value):
+                problems.append(f"{section}[{name!r}] is not a number")
+
+    histograms = payload.get("histograms")
+    if not isinstance(histograms, dict):
+        problems.append("histograms missing or not an object")
+    else:
+        for name, digest in histograms.items():
+            if not isinstance(digest, dict):
+                problems.append(f"histograms[{name!r}] is not an object")
+                continue
+            for key in HISTOGRAM_KEYS:
+                if key not in digest:
+                    problems.append(f"histograms[{name!r}] missing {key!r}")
+                elif not _is_number(digest[key]):
+                    problems.append(f"histograms[{name!r}][{key!r}] is not a number")
+
+    if "telemetry" not in payload:
+        problems.append("telemetry key missing (must be an object or null)")
+    else:
+        telemetry = payload["telemetry"]
+        if telemetry is not None:
+            if not isinstance(telemetry, dict):
+                problems.append("telemetry is neither null nor an object")
+            else:
+                lls = telemetry.get("log_likelihoods")
+                if not isinstance(lls, list) or not all(_is_number(v) for v in lls):
+                    problems.append("telemetry.log_likelihoods missing or non-numeric")
+                if not isinstance(telemetry.get("stage_seconds"), dict):
+                    problems.append("telemetry.stage_seconds missing or not an object")
+                if not isinstance(telemetry.get("pool_events"), dict):
+                    problems.append("telemetry.pool_events missing or not an object")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--log", help="JSONL log file to validate")
+    parser.add_argument("--metrics", help="metrics JSON file to validate")
+    args = parser.parse_args(argv)
+    if not args.log and not args.metrics:
+        parser.error("nothing to check: pass --log and/or --metrics")
+
+    problems: list[str] = []
+    if args.log:
+        try:
+            with open(args.log, encoding="utf-8") as handle:
+                problems += [f"{args.log}: {p}" for p in check_log_lines(handle)]
+        except OSError as exc:
+            problems.append(f"{args.log}: cannot read ({exc})")
+    if args.metrics:
+        try:
+            with open(args.metrics, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            problems.append(f"{args.metrics}: cannot read ({exc})")
+        else:
+            problems += [f"{args.metrics}: {p}" for p in check_metrics(payload)]
+
+    for problem in problems:
+        print(problem)
+    if not problems:
+        checked = ", ".join(p for p in (args.log, args.metrics) if p)
+        print(f"ok: {checked}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
