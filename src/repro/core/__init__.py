@@ -13,7 +13,9 @@ from repro.core.features import (
 )
 from repro.core.distributions import Categorical, Gamma, LogNormal, Poisson
 from repro.core.dp import PathResult, best_monotone_path, path_log_likelihood
-from repro.core.model import SkillModel, SkillParameters, TrainingTrace
+from repro.core.dp_batch import batch_assign, batch_viterbi
+from repro.core.model import ScoreTableCache, SkillModel, SkillParameters, TrainingTrace
+from repro.core.engine import ASSIGNMENT_STRATEGIES, AssignmentEngine
 from repro.core.parallel import (
     ParallelConfig,
     PoolAssigner,
@@ -66,6 +68,11 @@ __all__ = [
     "PathResult",
     "best_monotone_path",
     "path_log_likelihood",
+    "batch_assign",
+    "batch_viterbi",
+    "ASSIGNMENT_STRATEGIES",
+    "AssignmentEngine",
+    "ScoreTableCache",
     "SkillModel",
     "SkillParameters",
     "TrainingTrace",

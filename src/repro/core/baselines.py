@@ -54,20 +54,19 @@ def fit_uniform_baseline(
     user_rows = [encoded.rows_for(log.sequence(u).items) for u in users]
     user_levels = [uniform_segment_levels(len(rows), num_levels) for rows in user_rows]
 
+    all_rows = np.concatenate(user_rows)
+    all_levels = np.concatenate(user_levels)
     parameters = SkillParameters.fit_from_assignments(
         encoded,
-        np.concatenate(user_rows),
-        np.concatenate(user_levels),
+        all_rows,
+        all_levels,
         num_levels=num_levels,
         smoothing=smoothing,
     )
     table = parameters.item_score_table(encoded)
-    total_ll = float(
-        sum(
-            table[levels, rows].sum()
-            for rows, levels in zip(user_rows, user_levels)
-        )
-    )
+    # One fancy-index over all actions at once; per-user partial sums are
+    # never needed, only the grand total.
+    total_ll = float(table[all_levels, all_rows].sum())
     assignments = {
         user: (levels + 1).astype(np.int64) for user, levels in zip(users, user_levels)
     }

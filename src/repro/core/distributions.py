@@ -60,6 +60,13 @@ class Categorical:
         if np.any(probs < 0) or not np.isclose(probs.sum(), 1.0, atol=1e-8):
             raise ConfigurationError("categorical probs must be non-negative and sum to 1")
         object.__setattr__(self, "probs", probs)
+        # log_prob is called once per (level, feature) cell per training
+        # iteration over the whole catalog; taking the log of the full
+        # probability vector each time was measurable, so it is computed
+        # once here.  Stored outside the dataclass fields: equality,
+        # replace(), and serialization still see only ``probs``.
+        with np.errstate(divide="ignore"):
+            object.__setattr__(self, "_log_probs", np.log(probs))
 
     @property
     def num_categories(self) -> int:
@@ -99,9 +106,25 @@ class Categorical:
         values = np.asarray(values, dtype=np.int64)
         if len(values) and (values.min() < 0 or values.max() >= self.num_categories):
             raise SchemaError("category code outside [0, num_categories)")
-        with np.errstate(divide="ignore"):
-            log_probs = np.log(self.probs)
-        return log_probs[values]
+        return self._log_probs[values]
+
+    @staticmethod
+    def column_stats(values: np.ndarray) -> np.ndarray:
+        """Validated codes, reusable across every level's ``log_prob``.
+
+        Part of the shared column-stats protocol (see
+        :class:`repro.core.model.ScoreTableCache`):
+        ``log_prob_from_stats(column_stats(v))`` is bit-identical to
+        ``log_prob(v)`` while hoisting the level-independent work out of
+        the per-cell call.
+        """
+        return np.asarray(values, dtype=np.int64)
+
+    def log_prob_from_stats(self, stats: np.ndarray) -> np.ndarray:
+        values = stats
+        if len(values) and (values.min() < 0 or values.max() >= self.num_categories):
+            raise SchemaError("category code outside [0, num_categories)")
+        return self._log_probs[values]
 
     def mean(self) -> float:
         """Expected category code (mostly useful for synthetic sanity checks)."""
@@ -135,6 +158,24 @@ class Poisson:
         if np.any(k < 0):
             raise SchemaError("Poisson values must be >= 0")
         return k * np.log(self.rate) - self.rate - gammaln(k + 1.0)
+
+    @staticmethod
+    def column_stats(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(k, gammaln(k + 1))`` — the rate-independent terms.
+
+        ``gammaln`` dominates ``log_prob``'s cost and is identical for
+        every skill level scoring the same feature column; computing it
+        once per column makes the score-table build ~S× cheaper for
+        count features.
+        """
+        k = np.asarray(values, dtype=np.float64)
+        if np.any(k < 0):
+            raise SchemaError("Poisson values must be >= 0")
+        return k, gammaln(k + 1.0)
+
+    def log_prob_from_stats(self, stats: tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+        k, log_factorial = stats
+        return k * np.log(self.rate) - self.rate - log_factorial
 
     def mean(self) -> float:
         return self.rate
@@ -202,6 +243,19 @@ class Gamma:
         k, theta = self.shape, self.scale
         return (k - 1.0) * np.log(x) - x / theta - gammaln(k) - k * np.log(theta)
 
+    @staticmethod
+    def column_stats(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(x, log x)`` — the parameter-independent terms."""
+        x = np.asarray(values, dtype=np.float64)
+        if np.any(x <= 0):
+            raise SchemaError("gamma values must be strictly positive")
+        return x, np.log(x)
+
+    def log_prob_from_stats(self, stats: tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+        x, log_x = stats
+        k, theta = self.shape, self.scale
+        return (k - 1.0) * log_x - x / theta - gammaln(k) - k * np.log(theta)
+
     def mean(self) -> float:
         return self.shape * self.scale
 
@@ -240,6 +294,23 @@ class LogNormal:
         if np.any(x <= 0):
             raise SchemaError("log-normal values must be strictly positive")
         log_x = np.log(x)
+        return (
+            -log_x
+            - np.log(self.sigma)
+            - 0.5 * np.log(2.0 * np.pi)
+            - 0.5 * ((log_x - self.mu) / self.sigma) ** 2
+        )
+
+    @staticmethod
+    def column_stats(values: np.ndarray) -> np.ndarray:
+        """``log x`` — the parameter-independent term."""
+        x = np.asarray(values, dtype=np.float64)
+        if np.any(x <= 0):
+            raise SchemaError("log-normal values must be strictly positive")
+        return np.log(x)
+
+    def log_prob_from_stats(self, stats: np.ndarray) -> np.ndarray:
+        log_x = stats
         return (
             -log_x
             - np.log(self.sigma)

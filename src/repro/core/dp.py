@@ -117,7 +117,9 @@ def best_monotone_path(
         for delta in range(max_step + 1):
             candidates[delta, :delta] = -np.inf  # level < δ unreachable by δ-step
             candidates[delta, delta:] = (
-                best[: n_levels - delta] + penalties[delta]
+                # max(0, ·) so a max_step >= n_levels (every jump allowed)
+                # yields an empty source instead of a wrapped negative slice.
+                best[: max(0, n_levels - delta)] + penalties[delta]
                 if delta
                 else best + penalties[0]
             )

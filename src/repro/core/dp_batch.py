@@ -1,0 +1,293 @@
+"""Batched monotone-path dynamic program (vectorized multi-user Viterbi).
+
+:func:`~repro.core.dp.best_monotone_path` runs one sequence at a time; its
+scalar inner loop is the training bottleneck once a fit has thousands of
+users.  This module runs the *same* recursion for a whole batch of
+sequences at once: all users' gathered score rows are stacked into one
+padded time-major ``(T_max, U, S)`` array and the recursion advances with
+a handful of NumPy ops per time step, vectorized over users and levels.
+
+Semantics are bit-identical to the scalar kernel — including every
+tie-breaking rule:
+
+- between equal-scoring predecessors, the **largest** step wins (the path
+  that sat at the lower level earlier and climbed later), and
+- final-level ties resolve to the **lower** level.
+
+The parity is pinned by randomized ragged-batch property tests against
+:func:`best_monotone_path` (``tests/test_core_dp_batch.py``), covering
+tie-dense integer scores, ``max_step > 1``, and ``step_log_penalties``.
+
+Padding never contaminates results: each user's final scores are captured
+at *their own* last action, and backtracking starts there.  Ragged
+batches are length-sorted and split into a few equal-count buckets, which
+bounds padding waste while keeping each time step's arrays large enough
+to amortize NumPy dispatch — the sweet spot measured on heavy-tailed
+synthetic workloads.  Oversized buckets are further split into slabs so
+peak memory stays flat.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dp import PathResult, _check_penalties
+from repro.exceptions import ConfigurationError
+
+__all__ = ["batch_assign", "batch_assign_item_major", "batch_viterbi"]
+
+#: Upper bound on the number of float64 cells in one stacked slab
+#: (T_max × users × levels); 64 MiB of scores per slab keeps peak memory
+#: flat on huge batches without measurably hurting throughput.
+_MAX_SLAB_CELLS = 8_388_608
+
+#: Equal-count length buckets: aim for at least this many users per
+#: bucket (NumPy dispatch amortization) and at most ``_MAX_BUCKETS``
+#: (padding-waste control).
+_MIN_BUCKET_USERS = 128
+_MAX_BUCKETS = 8
+
+
+def _viterbi_time_major(
+    scores: np.ndarray,
+    lengths: np.ndarray,
+    max_step: int,
+    penalties: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Core recursion over a time-major ``(T_max, U, S)`` padded batch.
+
+    Returns ``(levels, log_likelihoods)`` with ``levels`` of shape
+    ``(U, T_max)`` (entries past a user's length are zero-padding).
+    Inputs are trusted; validation lives in the public wrappers.
+    """
+    max_len, num_users, num_levels = scores.shape
+    base_model = max_step == 1 and not penalties.any()
+
+    # finish_at[t]: users whose last action is at time t — where their
+    # final scores are captured and their backtrack starts.
+    finish_at: dict[int, np.ndarray] = {
+        int(length) - 1: np.flatnonzero(lengths == length)
+        for length in np.unique(lengths)
+    }
+
+    # best[u, s]: best total score of a valid path for user u ending at
+    # level s after the current action.  step_taken[t, u, s] is the δ of
+    # that path's transition into action t (int8: max_step is tiny).
+    best = scores[0].copy()
+    final_best = best.copy()  # correct for length-1 users; overwritten below
+    step_taken = np.zeros((max_len, num_users, num_levels), dtype=np.int8)
+    shifted = np.empty_like(best)
+    # Level 0 is unreachable by a step; the -inf column is invariant in the
+    # base-model loop (only shifted[:, 1:] is rewritten), so it also pins
+    # came[:, 0] to False without a per-step fixup.
+    shifted[:, 0] = -np.inf
+    came = np.empty((num_users, num_levels), dtype=bool)
+    if not base_model:
+        running = np.empty_like(best)
+        steps = np.empty((num_users, num_levels), dtype=np.int8)
+    for t in range(1, max_len):
+        if base_model:
+            # Stay or step up by one, unweighted (Equation 4).  A tie
+            # between stepping and staying resolves to the step; maximum()
+            # keeps the value path identical to the scalar kernel's
+            # branch (the chosen predecessor, then + score).
+            shifted[:, 1:] = best[:, :-1]
+            np.greater_equal(shifted, best, out=came)
+            step_taken[t] = came
+            np.maximum(shifted, best, out=best)
+            best += scores[t]
+        else:
+            # Generic weighted recursion; the largest δ wins ties, exactly
+            # like the scalar kernel's reversed argmax.
+            np.add(best, penalties[0], out=running)
+            steps.fill(0)
+            for delta in range(1, max_step + 1):
+                shifted[:, :delta] = -np.inf  # level < δ unreachable by δ-step
+                if delta < num_levels:
+                    np.add(best[:, :-delta], penalties[delta], out=shifted[:, delta:])
+                np.greater_equal(shifted, running, out=came)
+                np.copyto(running, shifted, where=came)
+                steps[came] = delta
+            step_taken[t] = steps
+            np.add(running, scores[t], out=best)
+        group = finish_at.get(t)
+        if group is not None:
+            final_best[group] = best[group]
+
+    # np.argmax returns the first (lowest) index among ties — the same
+    # conservative final-level rule as the scalar kernels.
+    final_levels = np.argmax(final_best, axis=1)
+    log_likelihoods = final_best[np.arange(num_users), final_levels]
+
+    levels = np.zeros((num_users, max_len), dtype=np.int64)
+    current = final_levels.astype(np.int64)
+    active = np.zeros(num_users, dtype=bool)
+    user_index = np.arange(num_users)
+    # Feasible paths stay in [0, num_levels) by construction; only
+    # infeasible problems (every path -inf, e.g. staying forbidden on a
+    # sequence longer than the level count) can walk out of bounds, where
+    # the backtrack is meaningless anyway — clamp only then, keeping the
+    # per-step gather in-bounds instead of crashing.
+    clamp = bool(np.isneginf(log_likelihoods).any())
+    for t in range(max_len - 1, -1, -1):
+        group = finish_at.get(t)
+        if group is not None:
+            active[group] = True
+        levels[active, t] = current[active]
+        if t:
+            delta = step_taken[t][user_index, current].astype(np.int64)
+            np.subtract(current, delta, out=current, where=active)
+            if clamp:
+                np.maximum(current, 0, out=current)
+                np.minimum(current, num_levels - 1, out=current)
+    return levels, log_likelihoods
+
+
+def batch_viterbi(
+    scores: np.ndarray,
+    lengths: np.ndarray,
+    *,
+    max_step: int = 1,
+    step_log_penalties: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run the monotone-path recursion over a padded batch.
+
+    Parameters
+    ----------
+    scores:
+        ``(U, T_max, S)`` array; ``scores[u, t, s]`` is the log-likelihood
+        of user ``u``'s ``t``-th action at level ``s``.  Entries at
+        ``t >= lengths[u]`` are padding and never influence results.
+    lengths:
+        ``(U,)`` true sequence lengths, each in ``[1, T_max]``.
+
+    Returns
+    -------
+    (levels, log_likelihoods)
+        ``levels`` is ``(U, T_max)`` int64 (entries past a user's length
+        are zero-padding); ``log_likelihoods`` is ``(U,)``.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 3:
+        raise ConfigurationError(f"scores must be 3-D, got shape {scores.shape}")
+    num_users, max_len, num_levels = scores.shape
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.shape != (num_users,):
+        raise ConfigurationError("lengths must have one entry per batch row")
+    penalties = _check_penalties(step_log_penalties, max_step)
+    if num_users == 0:
+        return np.empty((0, max_len), dtype=np.int64), np.empty(0, dtype=np.float64)
+    if num_levels == 0:
+        raise ConfigurationError("need at least one skill level")
+    if max_len == 0 or lengths.min() < 1 or lengths.max() > max_len:
+        raise ConfigurationError("lengths must lie in [1, T_max]")
+    time_major = np.ascontiguousarray(scores.transpose(1, 0, 2))
+    return _viterbi_time_major(time_major, lengths, max_step, penalties)
+
+
+def batch_assign_item_major(
+    item_scores: np.ndarray,
+    user_rows: list[np.ndarray],
+    *,
+    max_step: int = 1,
+    step_log_penalties: np.ndarray | None = None,
+) -> list[PathResult]:
+    """Batched assignment over an item-major ``(num_items, S)`` table.
+
+    This is the layout the shared-memory pooled workers read directly:
+    gathering a user's rows is one fancy-index (which always copies, so a
+    worker never keeps a live view into the shared segment).
+    """
+    item_scores = np.asarray(item_scores, dtype=np.float64)
+    if item_scores.ndim != 2:
+        raise ConfigurationError(
+            f"item_scores must be 2-D, got shape {item_scores.shape}"
+        )
+    penalties = _check_penalties(step_log_penalties, max_step)
+    num_levels = item_scores.shape[1]
+    if num_levels == 0:
+        raise ConfigurationError("need at least one skill level")
+
+    results: list[PathResult | None] = [None] * len(user_rows)
+    occupied: list[int] = []
+    for idx, rows in enumerate(user_rows):
+        if len(rows) == 0:
+            results[idx] = PathResult(
+                levels=np.empty(0, dtype=np.int64), log_likelihood=0.0
+            )
+        else:
+            occupied.append(idx)
+
+    for slab in _length_buckets(user_rows, occupied, num_levels):
+        lengths = np.fromiter(
+            (len(user_rows[i]) for i in slab), dtype=np.int64, count=len(slab)
+        )
+        max_len = int(lengths.max())
+        padded_rows = np.zeros((len(slab), max_len), dtype=np.int64)
+        # Prefix masks make the pad one boolean scatter of the slab's
+        # concatenated rows instead of one small copy per user.
+        prefix = np.arange(max_len) < lengths[:, None]
+        padded_rows[prefix] = np.concatenate([user_rows[i] for i in slab])
+        # Indexing with the transposed pad yields the time-major stack
+        # directly (one gather, no transpose copy).
+        scores = item_scores[padded_rows.T]  # (T_max, U_slab, S)
+        levels, lls = _viterbi_time_major(scores, lengths, max_step, penalties)
+        for pos, idx in enumerate(slab):
+            results[idx] = PathResult(
+                levels=levels[pos, : lengths[pos]].copy(),
+                log_likelihood=float(lls[pos]),
+            )
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]
+
+
+def _length_buckets(
+    user_rows: list[np.ndarray], occupied: list[int], num_levels: int
+) -> list[list[int]]:
+    """Split non-empty users into length-sorted, memory-bounded slabs."""
+    if not occupied:
+        return []
+    index = np.asarray(occupied, dtype=np.int64)
+    lengths = np.fromiter(
+        (len(user_rows[i]) for i in occupied), dtype=np.int64, count=len(occupied)
+    )
+    ordered = index[np.argsort(lengths, kind="stable")]
+    num_buckets = min(_MAX_BUCKETS, max(1, len(ordered) // _MIN_BUCKET_USERS))
+    slabs: list[list[int]] = []
+    for bucket in np.array_split(ordered, num_buckets):
+        if not len(bucket):
+            continue
+        # Sorted order puts the bucket's longest user last.
+        cap = len(user_rows[bucket[-1]])
+        slab_users = max(1, _MAX_SLAB_CELLS // (cap * num_levels))
+        for start in range(0, len(bucket), slab_users):
+            slabs.append([int(i) for i in bucket[start : start + slab_users]])
+    return slabs
+
+
+def batch_assign(
+    score_table: np.ndarray,
+    user_rows: list[np.ndarray],
+    *,
+    max_step: int = 1,
+    step_log_penalties: np.ndarray | None = None,
+) -> list[PathResult]:
+    """Best monotone path for every user against a ``(S, num_items)`` score
+    table — the batched equivalent of running
+    :func:`~repro.core.dp.best_monotone_path` per user on
+    ``score_table[:, rows].T``.
+
+    Results are returned in ``user_rows`` order and are bit-identical to
+    the per-user kernel (levels and log-likelihoods, all tie cases).
+    """
+    score_table = np.asarray(score_table, dtype=np.float64)
+    if score_table.ndim != 2:
+        raise ConfigurationError(
+            f"score_table must be 2-D, got shape {score_table.shape}"
+        )
+    return batch_assign_item_major(
+        np.ascontiguousarray(score_table.T),
+        user_rows,
+        max_step=max_step,
+        step_log_penalties=step_log_penalties,
+    )

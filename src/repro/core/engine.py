@@ -1,0 +1,156 @@
+"""Assignment engine: one front door for the assignment step.
+
+Three implementations of "best monotone path for every user" coexist:
+
+- **serial** — :func:`~repro.core.dp.best_monotone_path` per user; lowest
+  constant factor, wins on small batches;
+- **batched** — :func:`~repro.core.dp_batch.batch_assign`, the vectorized
+  multi-user kernel; wins once there are enough users to amortize padding
+  and NumPy dispatch (~1.4× at 50 users, ~4× at 500, ~7× at 5000);
+- **pooled** — :class:`~repro.core.parallel.PoolAssigner`, process-pool
+  workers running the batched kernel over a shared-memory score table;
+  wins when :class:`~repro.core.parallel.ParallelConfig` enables user
+  parallelism and the workload is large enough to pay for pickling.
+
+:class:`AssignmentEngine` picks between them per call (``"auto"``) or as
+forced by configuration, owns the :class:`~repro.core.model.ScoreTableCache`
+that makes score-table rebuilds incremental across training iterations,
+and surfaces the pool's recovery events so trainer telemetry keeps
+working unchanged.  All three strategies produce bit-identical results —
+the choice only moves wall-clock.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.dp import PathResult, best_monotone_path
+from repro.core.dp_batch import batch_assign
+from repro.core.model import ScoreTableCache, SkillParameters
+from repro.core.parallel import ParallelConfig, PoolAssigner
+from repro.exceptions import ConfigurationError
+from repro.obs.metrics import get_registry
+
+__all__ = ["ASSIGNMENT_STRATEGIES", "AssignmentEngine"]
+
+#: Valid values for ``strategy`` / ``TrainerConfig.assignment_strategy``.
+ASSIGNMENT_STRATEGIES = ("auto", "serial", "batched", "pooled")
+
+#: Below this many users the batched kernel's padding/stacking overhead
+#: outweighs its vectorization win (measured ~0.3× at 3 users, break-even
+#: in the low tens); ``"auto"`` stays serial under it.
+_BATCH_MIN_USERS = 16
+
+
+class AssignmentEngine:
+    """Strategy-selecting assignment step with an incremental table cache.
+
+    Use as a context manager, like the pool it wraps::
+
+        with AssignmentEngine(parallel_config) as engine:
+            for _ in range(iterations):
+                table = engine.score_table(parameters, encoded)
+                paths = engine.assign(table, user_rows)
+
+    ``strategy`` is one of :data:`ASSIGNMENT_STRATEGIES`.  ``"auto"``
+    (default) picks per call: pooled when the parallel configuration
+    enables user parallelism, batched for large single-process batches,
+    serial for small ones.  Forcing ``"pooled"`` without an enabling
+    parallel configuration degrades to the pool's own serial path.
+    """
+
+    def __init__(
+        self,
+        parallel: ParallelConfig | None = None,
+        *,
+        strategy: str = "auto",
+        max_step: int = 1,
+        step_log_penalties: np.ndarray | None = None,
+    ):
+        if strategy not in ASSIGNMENT_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown assignment strategy {strategy!r}; "
+                f"expected one of {ASSIGNMENT_STRATEGIES}"
+            )
+        self.strategy = strategy
+        self.max_step = max_step
+        self.step_log_penalties = (
+            None
+            if step_log_penalties is None
+            else np.asarray(step_log_penalties, dtype=np.float64)
+        )
+        self.cache = ScoreTableCache()
+        self._pool = PoolAssigner(
+            parallel, max_step=max_step, step_log_penalties=step_log_penalties
+        )
+
+    def __enter__(self) -> "AssignmentEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self._pool.close()
+
+    @property
+    def event_counts(self) -> dict[str, int]:
+        """The wrapped pool's recovery-event counts (telemetry passthrough)."""
+        return self._pool.event_counts
+
+    def score_table(self, parameters: SkillParameters, encoded) -> np.ndarray:
+        """``log P(i | s)`` via the engine's incremental row cache.
+
+        Across training iterations only the rows whose fitted cell changed
+        are recomputed; a warm iteration rebuilds zero rows (observable as
+        ``score_cache.hits`` / ``score_cache.misses`` in the registry).
+        """
+        return parameters.item_score_table(encoded, cache=self.cache)
+
+    def resolve_strategy(self, num_users: int) -> str:
+        """The concrete strategy ``assign`` will use for this many users."""
+        if self.strategy != "auto":
+            return self.strategy
+        if self._pool.parallel_enabled and num_users > 1:
+            return "pooled"
+        if num_users >= _BATCH_MIN_USERS:
+            return "batched"
+        return "serial"
+
+    def assign(
+        self, score_table: np.ndarray, user_rows: Sequence[np.ndarray]
+    ) -> list[PathResult]:
+        """Best monotone path per user; order matches ``user_rows``.
+
+        Identical results under every strategy; the chosen one is counted
+        in ``engine.strategy.<name>`` and wall-time lands in the
+        ``engine.assign_seconds`` histogram.
+        """
+        registry = get_registry()
+        chosen = self.resolve_strategy(len(user_rows))
+        registry.counter(f"engine.strategy.{chosen}").inc()
+        start = registry.clock()
+        try:
+            if chosen == "pooled":
+                return self._pool.assign(score_table, user_rows)
+            if chosen == "batched":
+                return batch_assign(
+                    score_table,
+                    list(user_rows),
+                    max_step=self.max_step,
+                    step_log_penalties=self.step_log_penalties,
+                )
+            return [
+                best_monotone_path(
+                    score_table[:, rows].T,
+                    max_step=self.max_step,
+                    step_log_penalties=self.step_log_penalties,
+                )
+                for rows in user_rows
+            ]
+        finally:
+            registry.histogram("engine.assign_seconds").observe(
+                registry.clock() - start
+            )

@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.core.dp import PathResult
 from repro.core.features import FeatureSet
-from repro.core.model import SkillModel, SkillParameters, TrainingTrace
+from repro.core.model import ScoreTableCache, SkillModel, SkillParameters, TrainingTrace
 from repro.core.training import uniform_segment_levels
 from repro.data.actions import ActionLog
 from repro.data.items import ItemCatalog
@@ -171,8 +171,12 @@ def fit_forgetting_model(
     log_likelihoods: list[float] = []
     converged = False
     level_arrays: list[np.ndarray] = []
+    # The decay lattice has its own kernel (best_decay_path), but the
+    # score-table build is the same — make it incremental across
+    # iterations like the base trainer's.
+    table_cache = ScoreTableCache()
     for _ in range(config.max_iterations):
-        table = parameters.item_score_table(encoded)
+        table = parameters.item_score_table(encoded, cache=table_cache)
         total_ll = 0.0
         level_arrays = []
         for rows, gaps in zip(user_rows, user_gaps):

@@ -22,8 +22,8 @@ from collections.abc import Iterable
 
 import numpy as np
 
-from repro.core.dp import best_monotone_path
-from repro.core.model import SkillModel, SkillParameters, TrainingTrace
+from repro.core.dp_batch import batch_assign
+from repro.core.model import ScoreTableCache, SkillModel, SkillParameters, TrainingTrace
 from repro.data.actions import Action, ActionLog, ActionSequence
 from repro.exceptions import ConfigurationError, DataError
 
@@ -90,14 +90,18 @@ def extend_model(
         merged_sequences.append(ActionSequence(user, actions))
     merged_log = ActionLog(merged_sequences)
 
-    # Re-assign only the touched users under the frozen parameters.
-    table = model.parameters.item_score_table(model.encoded)
+    # Re-assign only the touched users under the frozen parameters — one
+    # batched DP over exactly the affected sequences.
+    table_cache = ScoreTableCache()
+    table = model.parameters.item_score_table(model.encoded, cache=table_cache)
     assignments = dict(model.assignments)
     times = dict(model._assignment_times)
-    for user in touched:
-        seq = merged_log.sequence(user)
-        rows = model.encoded.rows_for(seq.items)
-        result = best_monotone_path(table[:, rows].T)
+    touched_order = list(touched)
+    touched_seqs = [merged_log.sequence(user) for user in touched_order]
+    touched_rows = [model.encoded.rows_for(seq.items) for seq in touched_seqs]
+    for user, seq, result in zip(
+        touched_order, touched_seqs, batch_assign(table, touched_rows)
+    ):
         assignments[user] = (result.levels + 1).astype(np.int64)
         times[user] = np.asarray(seq.times, dtype=np.float64)
 
@@ -108,13 +112,10 @@ def extend_model(
         user_rows = [model.encoded.rows_for(merged_log.sequence(u).items) for u in users]
         all_rows = np.concatenate(user_rows)
         for _ in range(refit_iterations):
-            table = parameters.item_score_table(model.encoded)
-            level_arrays = []
-            total_ll = 0.0
-            for rows in user_rows:
-                result = best_monotone_path(table[:, rows].T)
-                level_arrays.append(result.levels)
-                total_ll += result.log_likelihood
+            table = parameters.item_score_table(model.encoded, cache=table_cache)
+            results = batch_assign(table, user_rows)
+            level_arrays = [r.levels for r in results]
+            total_ll = float(sum(r.log_likelihood for r in results))
             trace_lls.append(total_ll)
             parameters = SkillParameters.fit_from_assignments(
                 model.encoded,

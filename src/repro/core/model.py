@@ -17,6 +17,8 @@ to score and how to re-estimate parameters from a fixed assignment.
 
 from __future__ import annotations
 
+import dataclasses
+import weakref
 from collections.abc import Hashable, Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 
@@ -26,9 +28,100 @@ from repro.core.distributions import Categorical, distribution_for_kind
 from repro.core.features import EncodedItems, FeatureKind, FeatureSet, ID_FEATURE
 from repro.data.actions import ActionLog
 from repro.exceptions import ConfigurationError, DataError, NotFittedError
+from repro.obs.metrics import get_registry
 from repro.obs.telemetry import TrainingTelemetry
 
-__all__ = ["SkillParameters", "SkillModel", "TrainingTrace"]
+__all__ = ["ScoreTableCache", "SkillParameters", "SkillModel", "TrainingTrace"]
+
+
+def _cell_cache_key(dist: object) -> tuple | None:
+    """A value key identifying a cell's fitted parameters.
+
+    Distribution cells are frozen dataclasses of floats (plus the
+    categorical probability vector), so two cells with equal keys produce
+    identical ``log_prob`` rows.  Unknown cell types return ``None`` and
+    are simply never cached.
+    """
+    if not dataclasses.is_dataclass(dist):
+        return None
+    parts: list[object] = [type(dist).__name__]
+    for spec in dataclasses.fields(dist):
+        value = getattr(dist, spec.name)
+        parts.append(value.tobytes() if isinstance(value, np.ndarray) else value)
+    return tuple(parts)
+
+
+class ScoreTableCache:
+    """Incremental row cache for :meth:`SkillParameters.item_score_table`.
+
+    The score table is rebuilt from scratch every training iteration, but
+    late iterations change few assignments, so most ``θ_f(s)`` cells are
+    refit to *identical* parameters — and their ``log P_f(column | θ)``
+    rows are identical too.  This cache keys each (level, feature) row on
+    the cell's fitted parameters and recomputes only rows whose cell
+    actually changed; a warm iteration with unchanged assignments rebuilds
+    zero rows.
+
+    One cache serves one encoded catalog at a time (tracked by identity
+    via a weak reference; a different catalog resets it).  Hits and
+    misses accumulate on the instance and stream into the active metrics
+    registry as ``score_cache.hits`` / ``score_cache.misses``.
+
+    Even rows that *miss* are cheaper through the cache: per-feature
+    column statistics (``log x``, ``gammaln(k + 1)`` — the
+    level-independent transcendental terms, see ``column_stats`` on the
+    distributions) are computed once per catalog and shared by all
+    ``num_levels`` cells of the feature, so mid-training rebuilds where
+    every cell changed still skip the dominant cost.
+
+    Not thread-safe: a cache belongs to one training loop, mirroring how
+    the trainer owns its worker pool.
+    """
+
+    def __init__(self) -> None:
+        self._rows: dict[tuple[int, int], tuple[tuple, np.ndarray]] = {}
+        self._stats: dict[int, object] = {}
+        self._encoded_ref: weakref.ref | None = None
+        self.hits = 0
+        self.misses = 0
+
+    def _rows_for(self, encoded: EncodedItems) -> dict:
+        current = self._encoded_ref() if self._encoded_ref is not None else None
+        if current is not encoded:
+            self._rows.clear()
+            self._stats.clear()
+            self._encoded_ref = weakref.ref(encoded)
+        return self._rows
+
+    def row(
+        self, level: int, feature: int, cell: object, encoded: EncodedItems
+    ) -> np.ndarray:
+        """The ``log P`` row of ``cell`` over feature ``feature``'s column,
+        reusing the previous iteration's row when the cell is unchanged."""
+        rows = self._rows_for(encoded)
+        key = _cell_cache_key(cell)
+        registry = get_registry()
+        if key is not None:
+            entry = rows.get((level, feature))
+            if entry is not None and entry[0] == key:
+                self.hits += 1
+                registry.counter("score_cache.hits").inc()
+                return entry[1]
+        if feature not in self._stats:
+            compute = getattr(type(cell), "column_stats", None)
+            self._stats[feature] = (
+                None if compute is None else compute(encoded.columns[feature])
+            )
+        stats = self._stats[feature]
+        if stats is not None:
+            values = cell.log_prob_from_stats(stats)
+        else:
+            values = cell.log_prob(encoded.columns[feature])
+        self.misses += 1
+        registry.counter("score_cache.misses").inc()
+        if key is not None:
+            rows[(level, feature)] = (key, values)
+        return values
 
 
 @dataclass(frozen=True)
@@ -58,12 +151,18 @@ class SkillParameters:
         _check_level(level, self.num_levels)
         return self.cells[level - 1][self.feature_set.index_of_feature(feature_name)]
 
-    def item_score_table(self, encoded: EncodedItems) -> np.ndarray:
+    def item_score_table(
+        self, encoded: EncodedItems, *, cache: ScoreTableCache | None = None
+    ) -> np.ndarray:
         """``log P(i | s)`` for every item at every level.
 
         Returns an array of shape ``(num_levels, num_items)``.  This is the
         workhorse of the assignment step: each training iteration computes
         it once, then every user's DP just gathers rows from it.
+
+        ``cache`` makes the build incremental across iterations: only the
+        (level, feature) rows whose fitted cell changed since the previous
+        call are recomputed (see :class:`ScoreTableCache`).
         """
         if encoded.feature_set is not self.feature_set and (
             encoded.feature_set.names != self.feature_set.names
@@ -73,7 +172,11 @@ class SkillParameters:
         for f, _spec in enumerate(self.feature_set):
             column = encoded.columns[f]
             for s in range(self.num_levels):
-                table[s] += self.cells[s][f].log_prob(column)
+                cell = self.cells[s][f]
+                if cache is not None:
+                    table[s] += cache.row(s, f, cell, encoded)
+                else:
+                    table[s] += cell.log_prob(column)
         return table
 
     @classmethod

@@ -10,25 +10,31 @@ The paper exploits three independence structures:
    features are also independent, adding a second update-step axis.
 
 :class:`ParallelConfig` switches each axis on or off, mirroring the rows of
-Table XIII.  The assignment step uses a *process* pool (the DP inner loop
-is Python-level and GIL-bound); score tables are shipped to workers once
-per step via the pool initializer, not once per user.  The update step uses
-a *thread* pool (its work is NumPy reductions that release the GIL).
+Table XIII.  The assignment step uses a *process* pool; the per-iteration
+score table is published to workers once per step through
+``multiprocessing.shared_memory`` (chunk tasks then carry only row
+indices), and each worker runs the batched kernel from
+:mod:`repro.core.dp_batch` over its chunk.  The update step uses a
+*thread* pool (its work is NumPy reductions that release the GIL).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import secrets
 import time
 import warnings
 from collections.abc import Callable, Sequence
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeoutError
 from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
 from repro.core.dp import PathResult, best_monotone_path
+from repro.core.dp_batch import batch_assign_item_major
 from repro.exceptions import ConfigurationError, WorkerPoolError
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_registry
@@ -42,6 +48,10 @@ __all__ = [
     "assign_paths",
     "make_cell_fitter",
 ]
+
+#: Prefix of every shared-memory segment this module creates; the
+#: fault-injection tests scan for it to prove nothing leaks.
+SHM_PREFIX = "repro_scores_"
 
 
 class WorkerPoolWarning(RuntimeWarning):
@@ -68,12 +78,18 @@ class ParallelConfig:
     max_pool_restarts: int = 2
     #: Base delay before the first rebuild; doubles on every further retry.
     restart_backoff: float = 0.05
-    #: Optional wall-clock budget (seconds) to wait for each chunk result;
-    #: an overrun counts as a pool failure and triggers the recovery ladder.
+    #: Optional wall-clock budget (seconds) for one whole assignment step:
+    #: a single deadline shared by every chunk of the batch, so a wedged
+    #: pool can never stall for ``num_chunks × budget``.  An overrun counts
+    #: as a pool failure and triggers the recovery ladder.
     chunk_timeout: float | None = None
     #: After the retry budget, fall back to serial assignment (True) or
     #: raise :class:`~repro.exceptions.WorkerPoolError` (False).
     fallback_serial: bool = True
+    #: Publish the per-iteration score table to workers through
+    #: ``multiprocessing.shared_memory`` (chunks then pickle only row
+    #: indices) instead of copying it into every chunk task.
+    shared_memory: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -98,36 +114,88 @@ class ParallelConfig:
 
 
 # --------------------------------------------------------------------------
-# Assignment step: per-user DP over a shared (S, |I|) score table.
+# Assignment step: batched DP over a shared (S, |I|) score table.
 #
 # The training loop calls the assigner once per iteration with a fresh
-# score table, so the pool is created once per fit (PoolAssigner) and each
-# task ships (table, chunk-of-row-arrays) — the table changes between
-# iterations and must travel with the task.
+# score table, so the pool is created once per fit (PoolAssigner).  The
+# table changes between iterations; by default it is published once per
+# iteration to a shared-memory segment that every chunk task references
+# by name, so tasks pickle only row indices (zero-copy).  With
+# ``shared_memory=False`` the table travels inside each task instead.
 # --------------------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class _SharedScoreTable:
+    """Descriptor of a score table published via shared memory.
+
+    The segment holds the table in item-major ``(num_items, S)`` layout so
+    a worker's per-user gather is a single fancy-index (which copies, so
+    no view into the segment survives the chunk).
+    """
+
+    name: str
+    shape: tuple[int, int]
+    dtype: str
+
+
+def _open_shared_table(ref: _SharedScoreTable):
+    """Attach to a published table; returns ``(array_view, segment)``."""
+    segment = shared_memory.SharedMemory(name=ref.name)
+    # Attaching registers the segment with the resource tracker, which
+    # would try to unlink it at interpreter exit even though the parent
+    # owns unlinking.  Under ``spawn`` each worker has its *own* tracker,
+    # so the attach-only registration must be removed here.  Under
+    # ``fork`` the worker shares the parent's tracker process and its
+    # cache is a set — the attach re-add is a no-op and unregistering
+    # here would erase the parent's own registration instead (making the
+    # parent's later unlink crash the tracker), so leave it alone.
+    if multiprocessing.get_start_method() != "fork":
+        try:  # pragma: no cover - tracker internals vary across versions
+            resource_tracker.unregister(segment._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:
+            pass
+    view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=segment.buf)
+    return view, segment
+
+
 def _assign_chunk(
-    task: tuple[np.ndarray, list[np.ndarray], int, np.ndarray | None],
+    task: tuple[np.ndarray | _SharedScoreTable, list[np.ndarray], int, np.ndarray | None],
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Worker body: DP every sequence in the chunk.
+    """Worker body: batched DP over every sequence in the chunk.
 
     Results are marshalled as three flat arrays (concatenated levels,
     per-user lengths, per-user log-likelihoods) — pickling two small
     arrays per chunk is far cheaper than one object pair per user.
     """
-    table, chunk, max_step, penalties = task
-    level_parts = []
-    lengths = np.empty(len(chunk), dtype=np.int64)
-    lls = np.empty(len(chunk), dtype=np.float64)
-    for pos, rows in enumerate(chunk):
-        result = best_monotone_path(
-            table[:, rows].T, max_step=max_step, step_log_penalties=penalties
+    table_ref, chunk, max_step, penalties = task
+    if isinstance(table_ref, _SharedScoreTable):
+        view, segment = _open_shared_table(table_ref)
+        try:
+            results = batch_assign_item_major(
+                view, chunk, max_step=max_step, step_log_penalties=penalties
+            )
+        finally:
+            del view  # the buffer must have no exported views before close
+            segment.close()
+    else:
+        results = batch_assign_item_major(
+            np.ascontiguousarray(np.asarray(table_ref, dtype=np.float64).T),
+            chunk,
+            max_step=max_step,
+            step_log_penalties=penalties,
         )
-        level_parts.append(result.levels)
-        lengths[pos] = len(result.levels)
-        lls[pos] = result.log_likelihood
-    levels = np.concatenate(level_parts) if level_parts else np.empty(0, dtype=np.int64)
+    lengths = np.fromiter(
+        (len(r.levels) for r in results), dtype=np.int64, count=len(results)
+    )
+    lls = np.fromiter(
+        (r.log_likelihood for r in results), dtype=np.float64, count=len(results)
+    )
+    levels = (
+        np.concatenate([r.levels for r in results])
+        if results
+        else np.empty(0, dtype=np.int64)
+    )
     return levels, lengths, lls
 
 
@@ -168,6 +236,7 @@ class PoolAssigner:
             else np.asarray(step_log_penalties, dtype=np.float64)
         )
         self._pool: ProcessPoolExecutor | None = None
+        self._shm: shared_memory.SharedMemory | None = None
         self._serial_fallback = False
         #: Recovery-event counts for this assigner's lifetime; the trainer
         #: folds them into :class:`~repro.obs.telemetry.TrainingTelemetry`.
@@ -187,12 +256,53 @@ class PoolAssigner:
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        self._release_table()  # defensive: normally released per assign call
 
     def _discard_pool(self) -> None:
         """Drop a broken/hung pool without waiting on its workers."""
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+
+    def _publish_table(self, score_table: np.ndarray) -> _SharedScoreTable | None:
+        """Copy the table, item-major, into a fresh shared-memory segment.
+
+        Returns ``None`` (caller falls back to shipping the table inside
+        each task) for empty tables or when the platform refuses shared
+        memory.
+        """
+        item_major = np.ascontiguousarray(np.asarray(score_table, dtype=np.float64).T)
+        if item_major.nbytes == 0:
+            return None
+        name = f"{SHM_PREFIX}{os.getpid()}_{secrets.token_hex(4)}"
+        try:
+            shm = shared_memory.SharedMemory(name=name, create=True, size=item_major.nbytes)
+        except OSError as exc:  # pragma: no cover - platform-dependent
+            _log.warning(
+                "shared-memory publish failed; shipping table per task",
+                extra={"obs": {"error": repr(exc)}},
+            )
+            return None
+        view = np.ndarray(item_major.shape, dtype=item_major.dtype, buffer=shm.buf)
+        view[:] = item_major
+        del view  # no exported buffer views may outlive close()
+        self._shm = shm
+        return _SharedScoreTable(
+            name=name,
+            shape=(int(item_major.shape[0]), int(item_major.shape[1])),
+            dtype=item_major.dtype.str,
+        )
+
+    def _release_table(self) -> None:
+        """Close and unlink the published segment (idempotent)."""
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        for finalize in (shm.close, shm.unlink):
+            try:
+                finalize()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
 
     @property
     def parallel_enabled(self) -> bool:
@@ -230,72 +340,83 @@ class PoolAssigner:
         index_buckets, row_buckets = _balanced_buckets(
             user_rows, num_buckets=config.workers * 2
         )
-        tasks = [
-            (score_table, chunk, self.max_step, self.step_log_penalties)
-            for chunk in row_buckets
-        ]
-        attempts = 0
-        while True:
-            try:
-                chunk_results = self._run_chunks(tasks)
-                break
-            except (BrokenExecutor, _FuturesTimeoutError, TimeoutError, OSError) as exc:
-                self._discard_pool()
-                if isinstance(exc, (_FuturesTimeoutError, TimeoutError)):
-                    self.event_counts["chunk_timeouts"] += 1
-                    registry.counter("pool.chunk_timeouts").inc()
-                if attempts >= config.max_pool_restarts:
-                    if config.fallback_serial:
-                        self._serial_fallback = True
-                        self.event_counts["degraded"] += 1
-                        registry.counter("pool.degraded").inc()
-                        _log.error(
-                            "assignment pool degraded to serial",
-                            extra={
-                                "obs": {
-                                    "failures": attempts + 1,
-                                    "last_error": repr(exc),
-                                }
-                            },
-                        )
-                        warnings.warn(
-                            WorkerPoolWarning(
-                                f"assignment pool failed {attempts + 1} time(s), "
-                                f"last error {exc!r}; degrading to serial assignment "
-                                f"for the rest of this run"
-                            ),
-                            stacklevel=3,
-                        )
-                        return self._assign_serial(score_table, user_rows)
-                    raise WorkerPoolError(
-                        f"assignment pool failed after {attempts + 1} attempt(s) "
-                        f"and serial fallback is disabled: {exc!r}"
-                    ) from exc
-                attempts += 1
-                delay = config.restart_backoff * (2 ** (attempts - 1))
-                self.event_counts["rebuilds"] += 1
-                registry.counter("pool.rebuilds").inc()
-                _log.warning(
-                    "assignment pool rebuild",
-                    extra={
-                        "obs": {
-                            "attempt": attempts,
-                            "max_restarts": config.max_pool_restarts,
-                            "backoff_s": round(delay, 3),
-                            "error": repr(exc),
-                        }
-                    },
-                )
-                warnings.warn(
-                    WorkerPoolWarning(
-                        f"assignment pool failure ({exc!r}); rebuilding pool "
-                        f"(attempt {attempts}/{config.max_pool_restarts}, "
-                        f"backoff {delay:.2f}s)"
-                    ),
-                    stacklevel=3,
-                )
-                if delay > 0:
-                    time.sleep(delay)
+        # One segment per assign call, reused verbatim across pool-rebuild
+        # retries; the finally below releases it on every exit path —
+        # normal completion, timeout, degrade-to-serial, and raise alike.
+        table_ref: np.ndarray | _SharedScoreTable | None = None
+        if config.shared_memory:
+            table_ref = self._publish_table(score_table)
+        if table_ref is None:
+            table_ref = score_table
+        try:
+            tasks = [
+                (table_ref, chunk, self.max_step, self.step_log_penalties)
+                for chunk in row_buckets
+            ]
+            attempts = 0
+            while True:
+                try:
+                    chunk_results = self._run_chunks(tasks)
+                    break
+                except (BrokenExecutor, _FuturesTimeoutError, TimeoutError, OSError) as exc:
+                    self._discard_pool()
+                    if isinstance(exc, (_FuturesTimeoutError, TimeoutError)):
+                        self.event_counts["chunk_timeouts"] += 1
+                        registry.counter("pool.chunk_timeouts").inc()
+                    if attempts >= config.max_pool_restarts:
+                        if config.fallback_serial:
+                            self._serial_fallback = True
+                            self.event_counts["degraded"] += 1
+                            registry.counter("pool.degraded").inc()
+                            _log.error(
+                                "assignment pool degraded to serial",
+                                extra={
+                                    "obs": {
+                                        "failures": attempts + 1,
+                                        "last_error": repr(exc),
+                                    }
+                                },
+                            )
+                            warnings.warn(
+                                WorkerPoolWarning(
+                                    f"assignment pool failed {attempts + 1} time(s), "
+                                    f"last error {exc!r}; degrading to serial assignment "
+                                    f"for the rest of this run"
+                                ),
+                                stacklevel=3,
+                            )
+                            return self._assign_serial(score_table, user_rows)
+                        raise WorkerPoolError(
+                            f"assignment pool failed after {attempts + 1} attempt(s) "
+                            f"and serial fallback is disabled: {exc!r}"
+                        ) from exc
+                    attempts += 1
+                    delay = config.restart_backoff * (2 ** (attempts - 1))
+                    self.event_counts["rebuilds"] += 1
+                    registry.counter("pool.rebuilds").inc()
+                    _log.warning(
+                        "assignment pool rebuild",
+                        extra={
+                            "obs": {
+                                "attempt": attempts,
+                                "max_restarts": config.max_pool_restarts,
+                                "backoff_s": round(delay, 3),
+                                "error": repr(exc),
+                            }
+                        },
+                    )
+                    warnings.warn(
+                        WorkerPoolWarning(
+                            f"assignment pool failure ({exc!r}); rebuilding pool "
+                            f"(attempt {attempts}/{config.max_pool_restarts}, "
+                            f"backoff {delay:.2f}s)"
+                        ),
+                        stacklevel=3,
+                    )
+                    if delay > 0:
+                        time.sleep(delay)
+        finally:
+            self._release_table()
         results: list[PathResult | None] = [None] * len(user_rows)
         for indices, (levels, lengths, lls) in zip(index_buckets, chunk_results):
             offsets = np.concatenate([[0], np.cumsum(lengths)])
@@ -320,7 +441,11 @@ class PoolAssigner:
         ]
 
     def _run_chunks(self, tasks: list[tuple]) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
-        """Submit every chunk and collect results, honoring the timeout.
+        """Submit every chunk and collect results under a single deadline.
+
+        ``config.chunk_timeout`` budgets the *whole batch*: each future
+        gets only what remains of the shared deadline, so a wedged pool
+        stalls for at most one budget rather than ``num_chunks ×`` it.
 
         ``_assign_chunk`` is resolved through the module namespace at call
         time so fault-injection harnesses can swap the worker body in.
@@ -329,7 +454,15 @@ class PoolAssigner:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.config.workers)
         futures = [self._pool.submit(_assign_chunk, task) for task in tasks]
-        return [future.result(timeout=self.config.chunk_timeout) for future in futures]
+        timeout = self.config.chunk_timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        results = []
+        for future in futures:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            results.append(future.result(timeout=remaining))
+        return results
 
 
 def assign_paths(

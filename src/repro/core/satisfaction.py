@@ -25,9 +25,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.engine import AssignmentEngine
 from repro.core.features import FeatureSet
 from repro.core.model import SkillModel, SkillParameters, TrainingTrace
-from repro.core.parallel import ParallelConfig, PoolAssigner
+from repro.core.parallel import ParallelConfig
 from repro.core.training import uniform_segment_levels
 from repro.data.actions import Action, ActionLog
 from repro.data.items import ItemCatalog
@@ -137,9 +138,9 @@ def fit_satisfaction_model(
     log_likelihoods: list[float] = []
     converged = False
     level_arrays: list[np.ndarray] = []
-    with PoolAssigner(config.parallel) as assigner:
+    with AssignmentEngine(config.parallel) as assigner:
         for _ in range(config.max_iterations):
-            table = parameters.item_score_table(encoded)
+            table = assigner.score_table(parameters, encoded)
             paths = assigner.assign(table, user_rows)
             total_ll = float(sum(p.log_likelihood for p in paths))
             level_arrays = [p.levels for p in paths]

@@ -30,8 +30,9 @@ import numpy as np
 from repro.core import checkpoint as checkpointing
 from repro.core.checkpoint import CheckpointConfig
 from repro.core.features import FeatureSet
+from repro.core.engine import ASSIGNMENT_STRATEGIES, AssignmentEngine
 from repro.core.model import SkillModel, SkillParameters, TrainingTrace
-from repro.core.parallel import ParallelConfig, PoolAssigner, make_cell_fitter
+from repro.core.parallel import ParallelConfig, make_cell_fitter
 from repro.data.actions import ActionLog
 from repro.data.items import ItemCatalog
 from repro.exceptions import (
@@ -113,6 +114,12 @@ class TrainerConfig:
     #: Optional log-weights per step size 0..max_step (skip-level
     #: progressions à la Shin et al.); ``None`` = unweighted.
     step_log_penalties: tuple[float, ...] | None = None
+    #: How the assignment step runs: one of
+    #: :data:`~repro.core.engine.ASSIGNMENT_STRATEGIES`.  ``"auto"``
+    #: (default) picks serial/batched/pooled per call from the workload.
+    #: A runtime concern like ``parallel`` — never checkpointed, never
+    #: changes results.
+    assignment_strategy: str = "auto"
     #: Per-iteration progress callback (see class docstring).
     on_iteration: Callable[[IterationRecord], None] | None = field(
         default=None, repr=False, compare=False
@@ -131,6 +138,11 @@ class TrainerConfig:
             raise ConfigurationError("tol must be >= 0")
         if self.max_step < 1:
             raise ConfigurationError("max_step must be >= 1")
+        if self.assignment_strategy not in ASSIGNMENT_STRATEGIES:
+            raise ConfigurationError(
+                f"assignment_strategy must be one of {ASSIGNMENT_STRATEGIES}, "
+                f"got {self.assignment_strategy!r}"
+            )
         if self.step_log_penalties is not None:
             penalties = tuple(float(p) for p in self.step_log_penalties)
             if len(penalties) != self.max_step + 1:
@@ -214,8 +226,9 @@ class Trainer:
         level_arrays: list[np.ndarray] = []
         previous_levels: list[np.ndarray] | None = None
         previous_hist: np.ndarray | None = None
-        with PoolAssigner(
+        with AssignmentEngine(
             cfg.parallel,
+            strategy=cfg.assignment_strategy,
             max_step=cfg.max_step,
             step_log_penalties=cfg.step_log_penalties,
         ) as assigner:
@@ -223,7 +236,7 @@ class Trainer:
                 iteration_start = clock()
                 stage_seconds = dict.fromkeys(TRAINER_STAGES, 0.0)
                 stage_start = clock()
-                table = parameters.item_score_table(encoded)
+                table = assigner.score_table(parameters, encoded)
                 stage_seconds["table_build"] = clock() - stage_start
                 stage_start = clock()
                 paths = assigner.assign(table, user_rows)
@@ -312,7 +325,7 @@ class Trainer:
                 # Resumed with no iterations left to run (the checkpoint was
                 # written at max_iterations): materialize assignments from
                 # the checkpointed parameters without extending the trace.
-                table = parameters.item_score_table(encoded)
+                table = assigner.score_table(parameters, encoded)
                 level_arrays = [p.levels for p in assigner.assign(table, user_rows)]
             pool_events = dict(assigner.event_counts)
 
@@ -376,15 +389,25 @@ class Trainer:
         """
         for stage, seconds in stage_seconds.items():
             registry.histogram(f"train.{stage}_seconds").observe(seconds)
-        unchanged = (
-            sum(
-                1
-                for now, before in zip(level_arrays, previous_levels)
-                if np.array_equal(now, before)
+        if previous_levels is None:
+            unchanged = None
+        else:
+            lengths = np.fromiter(
+                (len(a) for a in level_arrays),
+                dtype=np.int64,
+                count=len(level_arrays),
             )
-            if previous_levels is not None
-            else None
-        )
+            changed = (
+                np.concatenate(level_arrays) != np.concatenate(previous_levels)
+                if lengths.sum()
+                else np.empty(0, dtype=bool)
+            )
+            # Per-user "any level changed" via prefix sums — one pass over
+            # the concatenated paths instead of one array compare per user.
+            changed_cum = np.concatenate(([0], np.cumsum(changed)))
+            bounds = np.cumsum(lengths)
+            per_user = changed_cum[bounds] - changed_cum[bounds - lengths]
+            unchanged = int(np.count_nonzero(per_user == 0))
         drift = (
             float(np.abs(level_hist - previous_hist).sum() / max(1, int(level_hist.sum())))
             if previous_hist is not None
@@ -456,9 +479,11 @@ class Trainer:
 def _config_payload(config: TrainerConfig) -> dict:
     """The JSON-serializable TrainerConfig state stored in checkpoints.
 
-    ``parallel`` and ``on_iteration`` are deliberately excluded: both are
-    runtime concerns (host topology, progress reporting) and must not pin
-    a resume to the crashed process's environment.
+    ``parallel``, ``assignment_strategy``, and ``on_iteration`` are
+    deliberately excluded: all are runtime concerns (host topology,
+    kernel choice, progress reporting) that change wall-clock but never
+    results, and must not pin a resume to the crashed process's
+    environment.
     """
     return {
         "num_levels": config.num_levels,

@@ -207,3 +207,46 @@ def test_gamma_fit_always_valid(values):
     assert np.isfinite(dist.shape) and dist.shape > 0
     assert np.isfinite(dist.scale) and dist.scale > 0
     assert np.all(np.isfinite(dist.log_prob(np.asarray(values))))
+
+
+class TestColumnStats:
+    """log_prob_from_stats(column_stats(v)) must be bit-identical to
+    log_prob(v) — the score-table cache relies on it (see ScoreTableCache)."""
+
+    CASES = [
+        (Categorical(probs=np.array([0.2, 0.5, 0.3])), np.array([0, 2, 1, 1, 0])),
+        (Poisson(rate=3.7), np.array([0.0, 1.0, 4.0, 12.0])),
+        (Gamma(shape=2.5, scale=1.3), np.array([0.1, 1.0, 7.5, 42.0])),
+        (LogNormal(mu=0.4, sigma=1.1), np.array([0.1, 1.0, 7.5, 42.0])),
+    ]
+
+    @pytest.mark.parametrize(
+        "dist,values", CASES, ids=[type(d).__name__ for d, _ in CASES]
+    )
+    def test_bit_identical_to_log_prob(self, dist, values):
+        stats_ = type(dist).column_stats(values)
+        np.testing.assert_array_equal(
+            dist.log_prob_from_stats(stats_), dist.log_prob(values)
+        )
+
+    def test_stats_shared_across_levels(self):
+        """One column's stats serve every level's cell of that feature."""
+        values = np.array([1.0, 2.0, 9.0])
+        stats_ = Poisson.column_stats(values)
+        for rate in (0.5, 2.0, 8.0):
+            cell = Poisson(rate=rate)
+            np.testing.assert_array_equal(
+                cell.log_prob_from_stats(stats_), cell.log_prob(values)
+            )
+
+    @pytest.mark.parametrize(
+        "cls,bad",
+        [
+            (Poisson, np.array([1.0, -1.0])),
+            (Gamma, np.array([1.0, 0.0])),
+            (LogNormal, np.array([1.0, -2.0])),
+        ],
+    )
+    def test_validation_happens_in_column_stats(self, cls, bad):
+        with pytest.raises(SchemaError):
+            cls.column_stats(bad)

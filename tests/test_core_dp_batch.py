@@ -1,0 +1,179 @@
+"""Parity tests: the batched Viterbi must be bit-identical to the scalar DP.
+
+The batched kernel exists purely for speed — every result (levels AND
+log-likelihoods, including every tie case) must match
+:func:`repro.core.dp.best_monotone_path` exactly.  The randomized suites
+draw scores from a tiny integer set so ties are dense, which is where
+ordering bugs hide.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dp import best_monotone_path, path_log_likelihood
+from repro.core.dp_batch import batch_assign, batch_assign_item_major, batch_viterbi
+from repro.exceptions import ConfigurationError
+
+
+def _random_ragged_batch(rng, *, num_users, num_items, max_len, tie_dense):
+    """A score table plus ragged per-user row indices."""
+    if tie_dense:
+        # Integer scores from a 3-value set make equal path sums common.
+        table = rng.integers(-2, 1, size=(5, num_items)).astype(np.float64)
+    else:
+        table = rng.normal(size=(5, num_items))
+    user_rows = [
+        rng.integers(0, num_items, size=int(rng.integers(1, max_len + 1)))
+        for _ in range(num_users)
+    ]
+    return table, user_rows
+
+
+def _assert_parity(table, user_rows, **kwargs):
+    batched = batch_assign(table, user_rows, **kwargs)
+    for rows, got in zip(user_rows, batched):
+        expected = best_monotone_path(table[:, rows].T, **kwargs)
+        np.testing.assert_array_equal(got.levels, expected.levels)
+        assert got.log_likelihood == expected.log_likelihood  # bit-identical
+        assert got.levels.dtype == np.int64
+
+
+class TestRaggedBatchParity:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("tie_dense", [True, False])
+    def test_base_model_parity(self, seed, tie_dense):
+        rng = np.random.default_rng(seed)
+        table, user_rows = _random_ragged_batch(
+            rng, num_users=23, num_items=40, max_len=33, tie_dense=tie_dense
+        )
+        _assert_parity(table, user_rows)
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("max_step", [2, 3, 7])
+    def test_skip_level_parity(self, seed, max_step):
+        """max_step > 1 without penalties: largest-δ tie-break must match."""
+        rng = np.random.default_rng(100 + seed)
+        table, user_rows = _random_ragged_batch(
+            rng, num_users=17, num_items=30, max_len=21, tie_dense=True
+        )
+        _assert_parity(table, user_rows, max_step=max_step)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_penalized_parity(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        table, user_rows = _random_ragged_batch(
+            rng, num_users=17, num_items=30, max_len=21, tie_dense=True
+        )
+        penalties = np.array([0.0, np.log(0.6), np.log(0.4)])
+        _assert_parity(table, user_rows, max_step=2, step_log_penalties=penalties)
+
+    def test_forbidden_stay_penalty_parity(self):
+        """-inf penalties (a transition made impossible) must agree too.
+
+        Lengths stay within the level count: with staying forbidden a
+        longer sequence has no feasible path at all, and the scalar
+        kernel's answer for an infeasible problem is unspecified.
+        """
+        rng = np.random.default_rng(300)
+        table, user_rows = _random_ragged_batch(
+            rng, num_users=11, num_items=25, max_len=5, tie_dense=True
+        )
+        penalties = np.array([-np.inf, 0.0])
+        _assert_parity(table, user_rows, max_step=1, step_log_penalties=penalties)
+
+    def test_levels_are_valid_paths(self):
+        rng = np.random.default_rng(7)
+        table, user_rows = _random_ragged_batch(
+            rng, num_users=15, num_items=30, max_len=25, tie_dense=False
+        )
+        for rows, result in zip(user_rows, batch_assign(table, user_rows)):
+            recomputed = path_log_likelihood(table[:, rows].T, result.levels)
+            assert recomputed == pytest.approx(result.log_likelihood)
+
+
+class TestEdgeCases:
+    def test_empty_batch(self):
+        table = np.zeros((3, 4))
+        assert batch_assign(table, []) == []
+
+    def test_empty_sequence(self):
+        table = np.arange(12.0).reshape(3, 4)
+        results = batch_assign(table, [np.empty(0, dtype=np.int64)])
+        assert len(results) == 1
+        assert len(results[0].levels) == 0
+        assert results[0].log_likelihood == 0.0
+
+    def test_empty_sequences_mixed_with_real_ones(self):
+        rng = np.random.default_rng(1)
+        table = rng.normal(size=(4, 10))
+        user_rows = [
+            np.empty(0, dtype=np.int64),
+            np.array([3, 1, 4]),
+            np.empty(0, dtype=np.int64),
+            np.array([9]),
+        ]
+        results = batch_assign(table, user_rows)
+        assert len(results[0].levels) == 0 and len(results[2].levels) == 0
+        expected = best_monotone_path(table[:, user_rows[1]].T)
+        np.testing.assert_array_equal(results[1].levels, expected.levels)
+        single = best_monotone_path(table[:, user_rows[3]].T)
+        np.testing.assert_array_equal(results[3].levels, single.levels)
+
+    def test_single_action_tie_takes_lower_level(self):
+        table = np.array([[1.0], [1.0], [0.5]])
+        (result,) = batch_assign(table, [np.array([0])])
+        assert result.levels.tolist() == [0]
+        assert result.log_likelihood == 1.0
+
+    def test_single_level(self):
+        table = np.array([[0.5, -1.0, 2.0]])
+        (result,) = batch_assign(table, [np.array([2, 0, 1])])
+        assert result.levels.tolist() == [0, 0, 0]
+        assert result.log_likelihood == pytest.approx(1.5)
+
+    def test_all_equal_scores_prefer_late_climb(self):
+        """All-zero scores: every path ties; parity on the canonical tie."""
+        table = np.zeros((4, 6))
+        user_rows = [np.array([0, 1, 2, 3, 4, 5]), np.array([2, 2])]
+        _assert_parity(table, user_rows)
+
+    def test_minus_inf_scores(self):
+        """Log-zero scores (unsmoothed fits) must not poison neighbours."""
+        rng = np.random.default_rng(5)
+        table = rng.normal(size=(4, 12))
+        table[1, :] = -np.inf
+        user_rows = [rng.integers(0, 12, size=9) for _ in range(7)]
+        _assert_parity(table, user_rows)
+
+    def test_bucket_boundaries(self):
+        """Lengths straddling the power-of-two bucket edges stay exact."""
+        rng = np.random.default_rng(11)
+        table = rng.integers(-2, 1, size=(5, 20)).astype(np.float64)
+        user_rows = [
+            rng.integers(0, 20, size=n)
+            for n in (1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 64)
+        ]
+        _assert_parity(table, user_rows)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ConfigurationError):
+            batch_assign(np.zeros(3), [np.array([0])])
+        with pytest.raises(ConfigurationError):
+            batch_assign_item_major(np.zeros((3, 4, 2)), [np.array([0])])
+        with pytest.raises(ConfigurationError):
+            batch_viterbi(np.zeros((2, 3)), np.array([3, 3]))
+        with pytest.raises(ConfigurationError):
+            batch_viterbi(np.zeros((2, 3, 4)), np.array([4, 1]))  # length > T
+        with pytest.raises(ConfigurationError):
+            batch_viterbi(np.zeros((2, 3, 4)), np.array([0, 1]))  # length < 1
+
+    def test_batch_viterbi_direct(self):
+        """The padded low-level API agrees with the scalar DP row by row."""
+        rng = np.random.default_rng(21)
+        lengths = np.array([4, 1, 3])
+        scores = rng.integers(-2, 1, size=(3, 4, 5)).astype(np.float64)
+        levels, lls = batch_viterbi(scores, lengths)
+        for u, n in enumerate(lengths):
+            expected = best_monotone_path(scores[u, :n, :])
+            np.testing.assert_array_equal(levels[u, :n], expected.levels)
+            assert lls[u] == expected.log_likelihood

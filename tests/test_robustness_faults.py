@@ -8,15 +8,18 @@ undisturbed run.
 """
 
 import dataclasses
+import os
 
 import numpy as np
 import pytest
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.core import checkpoint as checkpointing
+from repro.core import parallel as parallel_mod
 from repro.core import serialize
 from repro.core.checkpoint import CheckpointConfig, read_checkpoint
 from repro.core.dp import PathResult
+from repro.core.engine import AssignmentEngine
 from repro.core.parallel import ParallelConfig, PoolAssigner, WorkerPoolWarning
 from repro.core.serialize import load_model, save_model
 from repro.core.training import (
@@ -195,6 +198,110 @@ class TestPoolFailureRecovery:
             ParallelConfig(restart_backoff=-0.5)
         with pytest.raises(ConfigurationError):
             ParallelConfig(chunk_timeout=0.0)
+
+    def test_chunk_timeout_is_a_batch_deadline(self, score_table, user_rows):
+        """The timeout budgets the whole batch, not each chunk.
+
+        Two workers, four chunks of ~0.4 s each finish in two waves at
+        ~0.4 s and ~0.8 s; a 0.6 s budget admits every chunk under the old
+        per-future accounting but must expire mid-batch under the shared
+        deadline.
+        """
+        config = ParallelConfig(
+            users=True,
+            workers=2,
+            max_pool_restarts=0,
+            restart_backoff=0.0,
+            chunk_timeout=0.6,
+        )
+        expected = PoolAssigner().assign(score_table, user_rows)
+        with faults.slow_workers(0.4):
+            with PoolAssigner(config) as assigner:
+                with pytest.warns(WorkerPoolWarning, match="degrading to serial"):
+                    results = assigner.assign(score_table, user_rows)
+        assert assigner.event_counts["chunk_timeouts"] >= 1
+        for a, b in zip(expected, results):
+            np.testing.assert_array_equal(a.levels, b.levels)
+
+
+def _our_segments():
+    """Shared-memory segments created by this process and still alive."""
+    prefix = f"{parallel_mod.SHM_PREFIX}{os.getpid()}_"
+    return [name for name in os.listdir("/dev/shm") if name.startswith(prefix)]
+
+
+@pytest.mark.skipif(not os.path.isdir("/dev/shm"), reason="needs /dev/shm")
+class TestSharedMemoryLifecycle:
+    """The per-iteration score-table segment must never outlive its call."""
+
+    def test_publish_and_release(self, score_table):
+        assigner = PoolAssigner(ParallelConfig(users=True, workers=2))
+        ref = assigner._publish_table(score_table)
+        assert ref is not None and ref.name in _our_segments()
+        assert ref.shape == (score_table.shape[1], score_table.shape[0])
+        assigner._release_table()
+        assert ref.name not in _our_segments()
+        assigner._release_table()  # idempotent
+        assigner.close()
+
+    def test_released_after_normal_assign(self, score_table, user_rows):
+        with PoolAssigner(ParallelConfig(users=True, workers=2)) as assigner:
+            assigner.assign(score_table, user_rows)
+            assert not _our_segments()
+            assigner.assign(score_table * 0.5, user_rows)
+            assert not _our_segments()
+        assert not _our_segments()
+
+    def test_released_after_worker_death_rebuild(
+        self, tmp_path, score_table, user_rows
+    ):
+        config = ParallelConfig(users=True, workers=2, restart_backoff=0.0)
+        with faults.kill_worker_once(tmp_path) as claimed:
+            with PoolAssigner(config) as assigner:
+                with pytest.warns(WorkerPoolWarning):
+                    assigner.assign(score_table, user_rows)
+            assert claimed.exists()
+        assert not _our_segments()
+
+    def test_released_after_timeout_degrade(self, score_table, user_rows):
+        config = ParallelConfig(
+            users=True,
+            workers=2,
+            max_pool_restarts=0,
+            restart_backoff=0.0,
+            chunk_timeout=0.05,
+        )
+        with faults.slow_workers(1.0):
+            with PoolAssigner(config) as assigner:
+                with pytest.warns(WorkerPoolWarning, match="degrading to serial"):
+                    assigner.assign(score_table, user_rows)
+        assert not _our_segments()
+
+    def test_released_when_pool_error_raises(
+        self, monkeypatch, score_table, user_rows
+    ):
+        config = ParallelConfig(
+            users=True,
+            workers=2,
+            max_pool_restarts=0,
+            restart_backoff=0.0,
+            fallback_serial=False,
+        )
+
+        def always_broken(self, tasks):
+            raise BrokenProcessPool("injected: pool is gone")
+
+        monkeypatch.setattr(PoolAssigner, "_run_chunks", always_broken)
+        with PoolAssigner(config) as assigner:
+            with pytest.raises(WorkerPoolError):
+                assigner.assign(score_table, user_rows)
+            assert not _our_segments()
+
+    def test_end_to_end_pooled_fit_leaves_no_segments(self):
+        log, catalog, features = _medium_dataset()
+        config = ParallelConfig(users=True, workers=2)
+        fit_skill_model(log, catalog, features, 5, parallel=config, **FIT_KWARGS)
+        assert not _our_segments()
 
 
 class TestCheckpointResume:
@@ -429,7 +536,7 @@ class TestStrictConvergence:
                 for rows in user_rows
             ]
 
-        monkeypatch.setattr(PoolAssigner, "assign", fake_assign)
+        monkeypatch.setattr(AssignmentEngine, "assign", fake_assign)
         ckpt = tmp_path / "strict.ckpt.json"
         trainer = Trainer(
             TrainerConfig(

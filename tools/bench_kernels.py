@@ -1,0 +1,236 @@
+#!/usr/bin/env python
+"""Benchmark the assignment kernels and write ``BENCH_kernels.json``.
+
+Three measurements, mirroring the layers of the assignment engine:
+
+1. **dp** — scalar :func:`best_monotone_path` loop vs the batched
+   :func:`batch_assign` kernel over ragged user batches of several sizes.
+2. **score_table** — cold :meth:`item_score_table` build vs a warm rebuild
+   through :class:`ScoreTableCache` after refitting identical assignments
+   (the steady state of late training iterations).
+3. **fit** — end-to-end training on the synthetic language dataset at
+   ``S = 5``: the pre-engine serial path (uncached table + per-user scalar
+   DP + update, exactly the old trainer loop) vs today's
+   ``fit_skill_model`` with the auto-strategy engine.  Both converge to
+   identical log-likelihoods; only wall-clock differs.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/bench_kernels.py
+
+Numbers are environment-dependent; the committed ``BENCH_kernels.json``
+records the machine it was measured on.  CI runs this script in smoke
+mode (``--repeats 1``) and asserts only sanity floors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.dp import best_monotone_path
+from repro.core.dp_batch import batch_assign
+from repro.core.model import ScoreTableCache, SkillParameters
+from repro.core.training import fit_skill_model, uniform_segment_levels
+from repro.synth import LanguageConfig, generate_language
+
+NUM_LEVELS = 5
+
+#: S = 5 language simulation: per-level feature means extended from the
+#: paper's 3-level values with the same monotone shape.
+LANGUAGE_S5 = LanguageConfig(
+    num_users=2000,
+    num_levels=NUM_LEVELS,
+    mean_sequence_length=40.0,
+    correction_means=(5.06, 4.85, 3.70, 2.64, 1.90),
+    corrected_ratio_means=(0.80, 0.62, 0.50, 0.38, 0.25),
+    seed=0,
+)
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Best wall-clock of ``repeats`` runs (rejects scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _ragged_batch(rng, num_users: int, num_items: int, max_len: int):
+    table = rng.normal(size=(NUM_LEVELS, num_items))
+    rows = [
+        rng.integers(0, num_items, size=int(rng.integers(1, max_len + 1)))
+        for _ in range(num_users)
+    ]
+    return table, rows
+
+
+def bench_dp(repeats: int) -> list[dict]:
+    """Scalar-vs-batched assignment over growing ragged batches."""
+    results = []
+    rng = np.random.default_rng(0)
+    for num_users in (50, 500, 2000):
+        table, rows = _ragged_batch(rng, num_users, num_items=400, max_len=60)
+        serial_s = _best_of(
+            lambda: [best_monotone_path(table[:, r].T) for r in rows], repeats
+        )
+        batched_s = _best_of(lambda: batch_assign(table, rows), repeats)
+        # Parity guard: a fast-but-wrong kernel must not publish numbers.
+        for r, got in zip(rows, batch_assign(table, rows)):
+            expected = best_monotone_path(table[:, r].T)
+            assert got.log_likelihood == expected.log_likelihood
+        results.append(
+            {
+                "num_users": num_users,
+                "serial_seconds": serial_s,
+                "batched_seconds": batched_s,
+                "speedup": serial_s / batched_s,
+            }
+        )
+    return results
+
+
+def bench_score_table(repeats: int) -> dict:
+    """Cold build vs warm cached rebuild with unchanged cells."""
+    dataset = generate_language(LANGUAGE_S5)
+    encoded = dataset.feature_set.encode(dataset.catalog)
+    rows = np.arange(encoded.num_items)
+    levels = rows % NUM_LEVELS
+
+    def fit():
+        return SkillParameters.fit_from_assignments(
+            encoded, rows, levels, num_levels=NUM_LEVELS
+        )
+
+    params = fit()
+    cold_s = _best_of(lambda: params.item_score_table(encoded), repeats)
+
+    cache = ScoreTableCache()
+    params.item_score_table(encoded, cache=cache)
+    refit = fit()  # equal cells, brand-new objects — the warm-iteration case
+    misses_before = cache.misses
+    warm_s = _best_of(
+        lambda: refit.item_score_table(encoded, cache=cache), repeats
+    )
+    return {
+        "num_items": encoded.num_items,
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "speedup": cold_s / warm_s,
+        "rows_recomputed_warm": cache.misses - misses_before,
+    }
+
+
+def _legacy_serial_fit(dataset, max_iterations: int, tol: float) -> tuple[float, int]:
+    """The pre-engine training loop: uncached table, per-user scalar DP.
+
+    Replicates the old trainer's per-iteration work exactly (init from
+    uniform segments of the long sequences, assignment, convergence test,
+    update) so the end-to-end comparison is apples-to-apples.
+    """
+    encoded = dataset.feature_set.encode(dataset.catalog)
+    users = list(dataset.log.users)
+    user_rows = [encoded.rows_for(dataset.log.sequence(u).items) for u in users]
+    init_rows = [r for r in user_rows if len(r) >= 5]
+    parameters = SkillParameters.fit_from_assignments(
+        encoded,
+        np.concatenate(init_rows),
+        np.concatenate(
+            [uniform_segment_levels(len(r), NUM_LEVELS) for r in init_rows]
+        ),
+        num_levels=NUM_LEVELS,
+    )
+    log_likelihoods: list[float] = []
+    for _ in range(max_iterations):
+        table = parameters.item_score_table(encoded)
+        paths = [best_monotone_path(table[:, r].T) for r in user_rows]
+        total_ll = float(sum(p.log_likelihood for p in paths))
+        if log_likelihoods:
+            previous = log_likelihoods[-1]
+            log_likelihoods.append(total_ll)
+            if abs(total_ll - previous) <= tol * max(1.0, abs(previous)):
+                break
+        else:
+            log_likelihoods.append(total_ll)
+        parameters = SkillParameters.fit_from_assignments(
+            encoded,
+            np.concatenate(user_rows),
+            np.concatenate([p.levels for p in paths]),
+            num_levels=NUM_LEVELS,
+        )
+    return log_likelihoods[-1], len(log_likelihoods)
+
+
+def bench_fit(repeats: int) -> dict:
+    """End-to-end language fit at S = 5: legacy serial loop vs the engine."""
+    dataset = generate_language(LANGUAGE_S5)
+    max_iterations, tol = 30, 1e-6
+
+    legacy_ll, legacy_iters = _legacy_serial_fit(dataset, max_iterations, tol)
+    legacy_s = _best_of(
+        lambda: _legacy_serial_fit(dataset, max_iterations, tol), repeats
+    )
+
+    def engine_fit():
+        return fit_skill_model(
+            dataset.log,
+            dataset.catalog,
+            dataset.feature_set,
+            NUM_LEVELS,
+            init_min_actions=5,
+            max_iterations=max_iterations,
+            tol=tol,
+        )
+
+    model = engine_fit()
+    engine_s = _best_of(engine_fit, repeats)
+    assert model.trace.log_likelihoods[-1] == legacy_ll, (
+        "engine fit diverged from the legacy loop — benchmark is not "
+        "comparing equivalent work"
+    )
+    assert model.trace.num_iterations == legacy_iters
+    return {
+        "dataset": "synthetic language",
+        "num_levels": NUM_LEVELS,
+        "num_users": LANGUAGE_S5.num_users,
+        "num_actions": dataset.log.num_actions,
+        "iterations": legacy_iters,
+        "legacy_serial_seconds": legacy_s,
+        "engine_auto_seconds": engine_s,
+        "speedup": legacy_s / engine_s,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_kernels.json",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args()
+
+    report = {
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "dp": bench_dp(args.repeats),
+        "score_table": bench_score_table(args.repeats),
+        "fit": bench_fit(args.repeats),
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+
+
+if __name__ == "__main__":
+    main()
