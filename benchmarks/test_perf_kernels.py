@@ -2,12 +2,14 @@
 
 Unlike the paper-artifact benchmarks (one pedantic round each), these are
 conventional pytest-benchmark measurements with many rounds, guarding the
-performance of the three inner loops everything else is built on:
+performance of the inner loops everything else is built on:
 
 - the assignment DP (Equation 4) — dominates training time,
 - the batched multi-user DP kernel behind the assignment engine,
 - the (levels × items) score-table build — once per training iteration,
   cold and warm-cached (the ``ScoreTableCache`` steady state),
+- the incremental M-step: patching ``SkillStats`` for the actions that
+  moved and refitting only the dirty levels' cells,
 - one FFM training epoch — dominates the Table XII task.
 
 They assert only generous sanity floors (so a 10× regression fails loudly)
@@ -93,6 +95,44 @@ def test_perf_score_table_warm_cache(benchmark, encoded_catalog):
     table = benchmark(params.item_score_table, encoded_catalog, cache=cache)
     np.testing.assert_array_equal(table, cold)
     assert cache.misses == misses_after_cold  # every warm rebuild was all hits
+
+
+def test_perf_incremental_cell_fit(benchmark, encoded_catalog):
+    """Dirty-cell refit from patched statistics — the M-step steady state."""
+    from repro.core.model import _cell_cache_key
+    from repro.core.stats import SkillStats
+
+    rng = np.random.default_rng(3)
+    num_items = encoded_catalog.num_items
+    rows = np.arange(num_items)
+    levels = rows % NUM_LEVELS
+    stats = SkillStats.from_assignments(
+        encoded_catalog, rows, levels, num_levels=NUM_LEVELS
+    )
+    base = SkillParameters.fit_from_stats(stats)
+    moved = rng.choice(np.flatnonzero(levels == 1), size=num_items // 100, replace=False)
+    new_levels = levels.copy()
+    new_levels[moved] = 2
+    state = {"forward": True}
+
+    def incremental_refit():
+        old, new = (levels, new_levels) if state["forward"] else (new_levels, levels)
+        state["forward"] = not state["forward"]
+        dirty = stats.update(rows[moved], old[moved], new[moved])
+        return SkillParameters.fit_from_stats(stats, previous=base, dirty_levels=dirty)
+
+    patched = benchmark(incremental_refit)
+    # Exact parity: dirty levels' cells equal a from-scratch fit of the
+    # same assignment; clean levels reuse the previous objects.
+    current = levels if state["forward"] else new_levels
+    rebuilt = SkillParameters.fit_from_assignments(
+        encoded_catalog, rows, current, num_levels=NUM_LEVELS
+    )
+    for patched_row, rebuilt_row in zip(patched.cells, rebuilt.cells):
+        for a, b in zip(patched_row, rebuilt_row):
+            assert _cell_cache_key(a) == _cell_cache_key(b)
+    # Generous floor: a partial refit must stay under 100ms outright.
+    assert benchmark.stats["mean"] < 0.1
 
 
 def test_perf_ffm_epoch(benchmark):

@@ -51,7 +51,7 @@ def fit_uniform_baseline(
     encoded = feature_set.encode(catalog)
 
     users = list(log.users)
-    user_rows = [encoded.rows_for(log.sequence(u).items) for u in users]
+    user_rows = [encoded.rows_for_sequence(log.sequence(u)) for u in users]
     user_levels = [uniform_segment_levels(len(rows), num_levels) for rows in user_rows]
 
     all_rows = np.concatenate(user_rows)

@@ -50,8 +50,9 @@ def assignment_difficulty(
     the log the model was fitted on (or a subset of its users): each user's
     assigned-level array must align with their sequence.
     """
-    sums: dict[Hashable, float] = {}
-    counts: dict[Hashable, int] = {}
+    encoded = model.encoded
+    row_parts: list[np.ndarray] = []
+    level_parts: list[np.ndarray] = []
     for seq in log:
         levels = model.skill_trajectory(seq.user)
         if len(levels) != len(seq):
@@ -59,10 +60,23 @@ def assignment_difficulty(
                 f"user {seq.user!r}: {len(seq)} actions but {len(levels)} assigned levels; "
                 "pass the log the model was trained on"
             )
-        for action, level in zip(seq, levels):
-            sums[action.item] = sums.get(action.item, 0.0) + float(level)
-            counts[action.item] = counts.get(action.item, 0) + 1
-    return {item: sums[item] / counts[item] for item in sums}
+        row_parts.append(encoded.rows_for_sequence(seq))
+        level_parts.append(np.asarray(levels, dtype=np.float64))
+    rows = (
+        np.concatenate(row_parts) if row_parts else np.empty(0, dtype=np.int64)
+    )
+    levels = (
+        np.concatenate(level_parts) if level_parts else np.empty(0, dtype=np.float64)
+    )
+    # bincount accumulates weights sequentially in array order, so each
+    # item's sum adds its occurrences in log order — the same partial sums
+    # (to the last bit) as a per-action accumulation loop.
+    sums = np.bincount(rows, weights=levels, minlength=encoded.num_items)
+    counts = np.bincount(rows, minlength=encoded.num_items)
+    item_ids = encoded.item_ids
+    return {
+        item_ids[i]: float(sums[i] / counts[i]) for i in np.flatnonzero(counts)
+    }
 
 
 def generation_difficulty(
@@ -113,9 +127,18 @@ def difficulty_array(
     silently imputing would mask exactly the weakness the paper discusses.
     """
     item_ids = list(item_ids)
-    values = np.empty(len(item_ids), dtype=np.float64)
-    for pos, item_id in enumerate(item_ids):
-        if item_id not in estimates:
-            raise DataError(f"no difficulty estimate for item {item_id!r}")
-        values[pos] = estimates[item_id]
-    return values
+    pos_of = {item_id: pos for pos, item_id in enumerate(estimates)}
+    indices = np.fromiter(
+        (pos_of.get(item_id, -1) for item_id in item_ids),
+        dtype=np.int64,
+        count=len(item_ids),
+    )
+    missing = np.flatnonzero(indices < 0)
+    if len(missing):
+        raise DataError(
+            f"no difficulty estimate for item {item_ids[int(missing[0])]!r}"
+        )
+    values = np.fromiter(
+        estimates.values(), dtype=np.float64, count=len(estimates)
+    )
+    return values[indices]

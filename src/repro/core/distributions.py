@@ -15,6 +15,23 @@ All distributions are immutable; ``fit`` is a classmethod so a trainer can
 re-estimate a cell without mutating the old model.  Every ``fit`` accepts
 optional non-negative ``weights`` so the soft-EM ablation can reuse the
 same estimators with fractional responsibilities.
+
+Every family also splits its estimator into the pair
+
+- ``sufficient_stats(values, weights)`` — the (weighted) sufficient
+  statistics of a sample: category counts for :class:`Categorical`,
+  ``(n, total)`` for :class:`Poisson`, ``(n, mean, mean_log)`` for
+  :class:`Gamma` (all the Choi–Wette + Newton refinement needs), and
+  ``(n, mean_log, mean_sq_log)`` for :class:`LogNormal`;
+- ``fit_from_stats(...)`` — the closed-form (or Newton) solve from those
+  statistics alone.
+
+``fit`` *delegates* to the pair, so
+``fit_from_stats(sufficient_stats(values)) == fit(values)`` holds
+bit-identically by construction (pinned in ``tests/test_core_stats.py``).
+This is what lets :class:`repro.core.stats.SkillStats` maintain per-cell
+statistics incrementally and refit cells without ever touching the raw
+values again.
 """
 
 from __future__ import annotations
@@ -93,13 +110,41 @@ class Categorical:
             raise ConfigurationError("smoothing must be non-negative")
         if smoothing == 0 and len(values) == 0:
             raise ConfigurationError("unsmoothed fit needs at least one observation")
+        counts = cls.sufficient_stats(values, num_categories=num_categories, weights=weights)
+        return cls.fit_from_stats(counts, smoothing=smoothing)
+
+    @staticmethod
+    def sufficient_stats(
+        values: np.ndarray,
+        *,
+        num_categories: int,
+        weights: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Per-category (weighted) counts — the categorical sufficient
+        statistic.  Counts from disjoint sub-samples add exactly, so they
+        can be accumulated (and subtracted) incrementally."""
+        if num_categories <= 0:
+            raise ConfigurationError("num_categories must be positive")
         values = np.asarray(values, dtype=np.int64)
         if len(values) and (values.min() < 0 or values.max() >= num_categories):
             raise SchemaError("category code outside [0, num_categories)")
         weights = _check_weights(values, weights)
-        counts = np.bincount(values, weights=weights, minlength=num_categories)
+        return np.bincount(values, weights=weights, minlength=num_categories)
+
+    @classmethod
+    def fit_from_stats(cls, counts: np.ndarray, *, smoothing: float = 0.01) -> "Categorical":
+        """Smoothed MLE from per-category counts (Equation 6)."""
+        counts = np.asarray(counts, dtype=np.float64)
+        if counts.ndim != 1 or len(counts) == 0:
+            raise ConfigurationError("counts must be a non-empty 1-D array")
+        if np.any(counts < 0):
+            raise ConfigurationError("counts must be non-negative")
+        if smoothing < 0:
+            raise ConfigurationError("smoothing must be non-negative")
         total = counts.sum()
-        probs = (smoothing + counts) / (smoothing * num_categories + total)
+        if smoothing == 0 and total == 0:
+            raise ConfigurationError("unsmoothed fit needs at least one observation")
+        probs = (smoothing + counts) / (smoothing * len(counts) + total)
         return cls(probs)
 
     def log_prob(self, values: np.ndarray) -> np.ndarray:
@@ -145,12 +190,24 @@ class Poisson:
     def fit(cls, values: np.ndarray, *, weights: np.ndarray | None = None) -> "Poisson":
         """MLE (Equation 7): the (weighted) sample mean, floored at a tiny
         positive value so all-zero samples stay valid."""
+        return cls.fit_from_stats(*cls.sufficient_stats(values, weights=weights))
+
+    @staticmethod
+    def sufficient_stats(
+        values: np.ndarray, weights: np.ndarray | None = None
+    ) -> tuple[float, float]:
+        """``(n, total)`` — (weighted) count and sum, additive across
+        sub-samples."""
         values = np.asarray(values, dtype=np.float64)
         weights = _check_weights(values, weights)
-        total_weight = weights.sum()
-        if total_weight <= 0:
+        return float(weights.sum()), float(np.dot(weights, values))
+
+    @classmethod
+    def fit_from_stats(cls, n: float, total: float) -> "Poisson":
+        """MLE from ``(n, total)``: the mean ``total / n``, floored."""
+        if n <= 0:
             return cls(rate=1.0)
-        mean = float(np.dot(weights, values) / total_weight)
+        mean = float(total) / n
         return cls(rate=max(mean, _EPS))
 
     def log_prob(self, values: np.ndarray) -> np.ndarray:
@@ -209,15 +266,36 @@ class Gamma:
         so the density stays finite.  An empty sample returns a vague
         ``Gamma(1, 1)`` (exponential) placeholder.
         """
+        return cls.fit_from_stats(
+            *cls.sufficient_stats(values, weights=weights), newton_steps=newton_steps
+        )
+
+    @staticmethod
+    def sufficient_stats(
+        values: np.ndarray, weights: np.ndarray | None = None
+    ) -> tuple[float, float, float]:
+        """``(n, mean, mean_log)`` — everything the Choi–Wette + Newton
+        refinement needs.  ``(n, n*mean, n*mean_log)`` are additive, so a
+        caller accumulating across sub-samples keeps sums and divides at
+        fit time (see :class:`repro.core.stats.SkillStats`)."""
         values = np.asarray(values, dtype=np.float64)
         if np.any(values <= 0):
             raise SchemaError("gamma values must be strictly positive")
         weights = _check_weights(values, weights)
         total_weight = weights.sum()
         if total_weight <= 0:
-            return cls(shape=1.0, scale=1.0)
+            return 0.0, 0.0, 0.0
         mean = float(np.dot(weights, values) / total_weight)
         mean_log = float(np.dot(weights, np.log(values)) / total_weight)
+        return float(total_weight), mean, mean_log
+
+    @classmethod
+    def fit_from_stats(
+        cls, n: float, mean: float, mean_log: float, *, newton_steps: int = 25
+    ) -> "Gamma":
+        """Choi–Wette + Newton solve from ``(n, mean, mean_log)`` alone."""
+        if n <= 0:
+            return cls(shape=1.0, scale=1.0)
         s = np.log(mean) - mean_log  # >= 0 by Jensen; == 0 iff constant sample
         if s < 1e-10:
             shape = _MAX_GAMMA_SHAPE
@@ -277,16 +355,35 @@ class LogNormal:
     def fit(cls, values: np.ndarray, *, weights: np.ndarray | None = None) -> "LogNormal":
         """Closed-form MLE on log-values, with a small variance floor so a
         constant (or empty) sample stays a proper density."""
+        return cls.fit_from_stats(*cls.sufficient_stats(values, weights=weights))
+
+    @staticmethod
+    def sufficient_stats(
+        values: np.ndarray, weights: np.ndarray | None = None
+    ) -> tuple[float, float, float]:
+        """``(n, mean_log, mean_sq_log)`` — the log-domain first and second
+        moments (uncentered, so they stay additive across sub-samples)."""
         values = np.asarray(values, dtype=np.float64)
         if np.any(values <= 0):
             raise SchemaError("log-normal values must be strictly positive")
         weights = _check_weights(values, weights)
         total_weight = weights.sum()
         if total_weight <= 0:
-            return cls(mu=0.0, sigma=1.0)
+            return 0.0, 0.0, 0.0
         logs = np.log(values)
-        mu = float(np.dot(weights, logs) / total_weight)
-        var = float(np.dot(weights, (logs - mu) ** 2) / total_weight)
+        mean_log = float(np.dot(weights, logs) / total_weight)
+        mean_sq_log = float(np.dot(weights, logs * logs) / total_weight)
+        return float(total_weight), mean_log, mean_sq_log
+
+    @classmethod
+    def fit_from_stats(cls, n: float, mean_log: float, mean_sq_log: float) -> "LogNormal":
+        """Closed-form MLE from the log-domain moments.  Variance uses the
+        uncentered form ``E[y²] − E[y]²`` (clamped at zero) so the same
+        statistics work both for one-shot and incremental fitting."""
+        if n <= 0:
+            return cls(mu=0.0, sigma=1.0)
+        mu = float(mean_log)
+        var = max(float(mean_sq_log) - mu * mu, 0.0)
         return cls(mu=mu, sigma=max(np.sqrt(var), 1e-6))
 
     def log_prob(self, values: np.ndarray) -> np.ndarray:

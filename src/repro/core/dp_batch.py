@@ -29,12 +29,21 @@ peak memory stays flat.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core.dp import PathResult, _check_penalties
 from repro.exceptions import ConfigurationError
 
-__all__ = ["batch_assign", "batch_assign_item_major", "batch_viterbi"]
+__all__ = [
+    "BatchPlan",
+    "batch_assign",
+    "batch_assign_flat",
+    "batch_assign_item_major",
+    "batch_viterbi",
+    "prepare_batch",
+]
 
 #: Upper bound on the number of float64 cells in one stacked slab
 #: (T_max × users × levels); 64 MiB of scores per slab keeps peak memory
@@ -48,34 +57,44 @@ _MIN_BUCKET_USERS = 128
 _MAX_BUCKETS = 8
 
 
+def _finish_groups(lengths: np.ndarray) -> dict[int, np.ndarray]:
+    """``finish_at[t]``: users whose last action is at time t — where their
+    final scores are captured and their backtrack starts."""
+    return {
+        int(length) - 1: np.flatnonzero(lengths == length)
+        for length in np.unique(lengths)
+    }
+
+
 def _viterbi_time_major(
     scores: np.ndarray,
     lengths: np.ndarray,
     max_step: int,
     penalties: np.ndarray,
+    finish_at: dict[int, np.ndarray] | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Core recursion over a time-major ``(T_max, U, S)`` padded batch.
 
     Returns ``(levels, log_likelihoods)`` with ``levels`` of shape
     ``(U, T_max)`` (entries past a user's length are zero-padding).
     Inputs are trusted; validation lives in the public wrappers.
+    ``finish_at`` may be passed precomputed (see :func:`_finish_groups`)
+    when the caller replays fixed lengths every iteration.
     """
     max_len, num_users, num_levels = scores.shape
     base_model = max_step == 1 and not penalties.any()
 
-    # finish_at[t]: users whose last action is at time t — where their
-    # final scores are captured and their backtrack starts.
-    finish_at: dict[int, np.ndarray] = {
-        int(length) - 1: np.flatnonzero(lengths == length)
-        for length in np.unique(lengths)
-    }
+    if finish_at is None:
+        finish_at = _finish_groups(lengths)
 
     # best[u, s]: best total score of a valid path for user u ending at
     # level s after the current action.  step_taken[t, u, s] is the δ of
     # that path's transition into action t (int8: max_step is tiny).
     best = scores[0].copy()
     final_best = best.copy()  # correct for length-1 users; overwritten below
-    step_taken = np.zeros((max_len, num_users, num_levels), dtype=np.int8)
+    # Slice 0 is never written (the loop starts at t=1) nor read (the
+    # backtrack gathers only for t >= 1), so empty beats zeros.
+    step_taken = np.empty((max_len, num_users, num_levels), dtype=np.int8)
     shifted = np.empty_like(best)
     # Level 0 is unreachable by a step; the -inf column is invariant in the
     # base-model loop (only shifted[:, 1:] is rewritten), so it also pins
@@ -185,6 +204,149 @@ def batch_viterbi(
     return _viterbi_time_major(time_major, lengths, max_step, penalties)
 
 
+@dataclass(frozen=True)
+class _SlabPlan:
+    """Precomputed pad/gather structure for one length bucket."""
+
+    indices: np.ndarray  # (U_slab,) positions into the original user list
+    lengths: np.ndarray  # (U_slab,) true sequence lengths
+    rows_time_major: np.ndarray  # (T_max, U_slab) padded catalog rows
+    prefix: np.ndarray  # (U_slab, T_max) bool validity mask
+    dest: np.ndarray  # flat positions of the slab's actions in user order
+
+    def finish_groups(self) -> dict[int, np.ndarray]:
+        """Cached finish-time groups: the slab's lengths never change."""
+        groups = self.__dict__.get("_finish_groups")
+        if groups is None:
+            groups = _finish_groups(self.lengths)
+            object.__setattr__(self, "_finish_groups", groups)
+        return groups
+
+    def score_buffer(self, num_levels: int) -> np.ndarray:
+        """Reusable ``(T_max, U_slab, S)`` gather destination.
+
+        A training loop replays the same plan dozens of times; writing
+        each iteration's gathered scores into one cached buffer avoids a
+        multi-megabyte allocation per slab per iteration.  Callers must
+        consume the buffer before the next ``batch_assign_flat`` call on
+        the same plan (the engine's batched path does)."""
+        shape = (*self.rows_time_major.shape, num_levels)
+        buffer = self.__dict__.get("_score_buffer")
+        if buffer is None or buffer.shape != shape:
+            buffer = np.empty(shape, dtype=np.float64)
+            object.__setattr__(self, "_score_buffer", buffer)
+        return buffer
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """Reusable batching structure for a fixed set of user sequences.
+
+    The expensive parts of a batched assign call — length bucketing,
+    padding, and the scatter indices that put per-slab results back into
+    one flat user-ordered array — depend only on ``user_rows``, not on the
+    score table.  A training loop assigns the *same* users every
+    iteration, so :class:`~repro.core.engine.AssignmentEngine` builds this
+    plan once and replays it against each iteration's fresh scores.
+    """
+
+    user_rows: list[np.ndarray]
+    num_levels: int
+    offsets: np.ndarray  # (U+1,) action-count prefix sums in user order
+    slabs: tuple[_SlabPlan, ...]
+
+    @property
+    def num_users(self) -> int:
+        return len(self.user_rows)
+
+    @property
+    def total_actions(self) -> int:
+        return int(self.offsets[-1])
+
+
+def prepare_batch(user_rows: list[np.ndarray], num_levels: int) -> BatchPlan:
+    """Build the reusable pad/bucket/scatter structure for ``user_rows``."""
+    if num_levels <= 0:
+        raise ConfigurationError("need at least one skill level")
+    num_users = len(user_rows)
+    lengths_all = np.fromiter(
+        (len(rows) for rows in user_rows), dtype=np.int64, count=num_users
+    )
+    offsets = np.zeros(num_users + 1, dtype=np.int64)
+    np.cumsum(lengths_all, out=offsets[1:])
+    occupied = [int(i) for i in np.flatnonzero(lengths_all)]
+    slabs = []
+    for slab in _length_buckets(user_rows, occupied, num_levels):
+        indices = np.asarray(slab, dtype=np.int64)
+        lengths = lengths_all[indices]
+        max_len = int(lengths.max())
+        padded_rows = np.zeros((len(slab), max_len), dtype=np.int64)
+        # Prefix masks make the pad one boolean scatter of the slab's
+        # concatenated rows instead of one small copy per user.
+        prefix = np.arange(max_len) < lengths[:, None]
+        padded_rows[prefix] = np.concatenate([user_rows[i] for i in slab])
+        # Each user's actions land at offsets[u] .. offsets[u] + len - 1 of
+        # the flat array; masking the padded position grid with the same
+        # prefix yields those destinations in slab-result order.
+        dest = (offsets[indices][:, None] + np.arange(max_len))[prefix]
+        slabs.append(
+            _SlabPlan(
+                indices=indices,
+                lengths=lengths,
+                rows_time_major=np.ascontiguousarray(padded_rows.T),
+                prefix=prefix,
+                dest=dest,
+            )
+        )
+    return BatchPlan(
+        user_rows=user_rows,
+        num_levels=num_levels,
+        offsets=offsets,
+        slabs=tuple(slabs),
+    )
+
+
+def batch_assign_flat(
+    item_scores: np.ndarray,
+    plan: BatchPlan,
+    *,
+    max_step: int = 1,
+    step_log_penalties: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Assign every planned user against a fresh item-major score table.
+
+    Returns ``(flat_levels, log_likelihoods)``: all users' levels
+    concatenated in user order (``plan.offsets`` delimits users) and one
+    log-likelihood per user (0.0 for empty sequences).  Levels are
+    bit-identical to :func:`batch_assign_item_major` on the same inputs.
+    """
+    item_scores = np.asarray(item_scores, dtype=np.float64)
+    if item_scores.ndim != 2:
+        raise ConfigurationError(
+            f"item_scores must be 2-D, got shape {item_scores.shape}"
+        )
+    if item_scores.shape[1] != plan.num_levels:
+        raise ConfigurationError(
+            f"score table has {item_scores.shape[1]} levels, plan expects {plan.num_levels}"
+        )
+    penalties = _check_penalties(step_log_penalties, max_step)
+    flat = np.zeros(plan.total_actions, dtype=np.int64)
+    lls = np.zeros(plan.num_users, dtype=np.float64)
+    for slab in plan.slabs:
+        # Gathering with the time-major pad yields the stacked scores
+        # directly (no transpose copy); mode="clip" lets take() write the
+        # cached buffer without an intermediate copy.  Rows come from
+        # catalog encoding, so they are in-range and clipping never fires.
+        scores = slab.score_buffer(plan.num_levels)  # (T_max, U_slab, S)
+        np.take(item_scores, slab.rows_time_major, axis=0, out=scores, mode="clip")
+        levels, slab_lls = _viterbi_time_major(
+            scores, slab.lengths, max_step, penalties, slab.finish_groups()
+        )
+        flat[slab.dest] = levels[slab.prefix]
+        lls[slab.indices] = slab_lls
+    return flat, lls
+
+
 def batch_assign_item_major(
     item_scores: np.ndarray,
     user_rows: list[np.ndarray],
@@ -203,42 +365,18 @@ def batch_assign_item_major(
         raise ConfigurationError(
             f"item_scores must be 2-D, got shape {item_scores.shape}"
         )
-    penalties = _check_penalties(step_log_penalties, max_step)
     num_levels = item_scores.shape[1]
-    if num_levels == 0:
-        raise ConfigurationError("need at least one skill level")
-
-    results: list[PathResult | None] = [None] * len(user_rows)
-    occupied: list[int] = []
-    for idx, rows in enumerate(user_rows):
-        if len(rows) == 0:
-            results[idx] = PathResult(
-                levels=np.empty(0, dtype=np.int64), log_likelihood=0.0
-            )
-        else:
-            occupied.append(idx)
-
-    for slab in _length_buckets(user_rows, occupied, num_levels):
-        lengths = np.fromiter(
-            (len(user_rows[i]) for i in slab), dtype=np.int64, count=len(slab)
+    plan = prepare_batch(user_rows, num_levels)
+    flat, lls = batch_assign_flat(
+        item_scores, plan, max_step=max_step, step_log_penalties=step_log_penalties
+    )
+    return [
+        PathResult(
+            levels=flat[plan.offsets[i] : plan.offsets[i + 1]].copy(),
+            log_likelihood=float(lls[i]),
         )
-        max_len = int(lengths.max())
-        padded_rows = np.zeros((len(slab), max_len), dtype=np.int64)
-        # Prefix masks make the pad one boolean scatter of the slab's
-        # concatenated rows instead of one small copy per user.
-        prefix = np.arange(max_len) < lengths[:, None]
-        padded_rows[prefix] = np.concatenate([user_rows[i] for i in slab])
-        # Indexing with the transposed pad yields the time-major stack
-        # directly (one gather, no transpose copy).
-        scores = item_scores[padded_rows.T]  # (T_max, U_slab, S)
-        levels, lls = _viterbi_time_major(scores, lengths, max_step, penalties)
-        for pos, idx in enumerate(slab):
-            results[idx] = PathResult(
-                levels=levels[pos, : lengths[pos]].copy(),
-                log_likelihood=float(lls[pos]),
-            )
-    assert all(r is not None for r in results)
-    return results  # type: ignore[return-value]
+        for i in range(plan.num_users)
+    ]
 
 
 def _length_buckets(

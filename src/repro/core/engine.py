@@ -27,7 +27,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.core.dp import PathResult, best_monotone_path
-from repro.core.dp_batch import batch_assign
+from repro.core.dp_batch import BatchPlan, batch_assign, batch_assign_flat, prepare_batch
 from repro.core.model import ScoreTableCache, SkillParameters
 from repro.core.parallel import ParallelConfig, PoolAssigner
 from repro.exceptions import ConfigurationError
@@ -85,6 +85,7 @@ class AssignmentEngine:
         self._pool = PoolAssigner(
             parallel, max_step=max_step, step_log_penalties=step_log_penalties
         )
+        self._plan: BatchPlan | None = None
 
     def __enter__(self) -> "AssignmentEngine":
         return self
@@ -154,3 +155,58 @@ class AssignmentEngine:
             registry.histogram("engine.assign_seconds").observe(
                 registry.clock() - start
             )
+
+    def _plan_for(self, user_rows: list[np.ndarray], num_levels: int) -> BatchPlan:
+        """The batching plan for ``user_rows``, rebuilt only when the user
+        list changes (identity check: the trainer passes the same list
+        every iteration)."""
+        plan = self._plan
+        if plan is None or plan.user_rows is not user_rows or plan.num_levels != num_levels:
+            plan = prepare_batch(user_rows, num_levels)
+            self._plan = plan
+        return plan
+
+    def assign_flat(
+        self, score_table: np.ndarray, user_rows: list[np.ndarray]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Like :meth:`assign`, returning flat arrays instead of
+        :class:`~repro.core.dp.PathResult` objects.
+
+        Returns ``(flat_levels, log_likelihoods)``: all users' 0-based
+        levels concatenated in ``user_rows`` order, and one log-likelihood
+        per user.  The training loop consumes this form directly — per-user
+        churn masks, level histograms, and the sufficient-statistics deltas
+        all operate on the flat array — and the batched strategy reuses a
+        cached :class:`~repro.core.dp_batch.BatchPlan`, skipping the
+        per-iteration pad/bucket/marshalling work entirely.
+        """
+        if self.resolve_strategy(len(user_rows)) == "batched":
+            registry = get_registry()
+            registry.counter("engine.strategy.batched").inc()
+            start = registry.clock()
+            try:
+                score_table = np.asarray(score_table, dtype=np.float64)
+                if score_table.ndim != 2:
+                    raise ConfigurationError(
+                        f"score_table must be 2-D, got shape {score_table.shape}"
+                    )
+                plan = self._plan_for(user_rows, score_table.shape[0])
+                return batch_assign_flat(
+                    np.ascontiguousarray(score_table.T),
+                    plan,
+                    max_step=self.max_step,
+                    step_log_penalties=self.step_log_penalties,
+                )
+            finally:
+                registry.histogram("engine.assign_seconds").observe(
+                    registry.clock() - start
+                )
+        # Serial/pooled strategies count and time themselves via assign().
+        paths = self.assign(score_table, user_rows)
+        lls = np.fromiter(
+            (p.log_likelihood for p in paths), dtype=np.float64, count=len(paths)
+        )
+        if not paths:
+            return np.empty(0, dtype=np.int64), lls
+        flat = np.concatenate([p.levels for p in paths])
+        return flat.astype(np.int64, copy=False), lls

@@ -20,6 +20,7 @@ the model as an ordinary categorical feature via :meth:`FeatureSpec.id_spec`
 from __future__ import annotations
 
 import enum
+import weakref
 from collections.abc import Hashable, Iterable, Mapping
 from dataclasses import dataclass, field
 
@@ -125,6 +126,36 @@ class EncodedItems:
         except KeyError as exc:
             raise SchemaError(f"item id {exc.args[0]!r} not in encoded catalog") from None
 
+    def rows_for_sequence(self, sequence) -> np.ndarray:
+        """Row indices for an action sequence's items, cached by identity.
+
+        Sequences are immutable, so re-encoding the same
+        :class:`~repro.data.actions.ActionSequence` always yields the same
+        rows; training loops, ``resume_fit``, and ``extend_model``'s
+        refit path all hit this cache instead of walking the id → row dict
+        again.  Entries are keyed on the sequence's identity and dropped
+        when it is garbage collected; the cache lives outside the dataclass
+        fields (like ``Categorical._log_probs``) so equality and
+        serialization are unaffected.  Callers must not mutate the
+        returned array.
+        """
+        cache = self.__dict__.get("_sequence_rows")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_sequence_rows", cache)
+        key = id(sequence)
+        entry = cache.get(key)
+        if entry is not None and entry[0]() is sequence:
+            return entry[1]
+        rows = self.rows_for(action.item for action in sequence)
+
+        def _evict(ref: "weakref.ref", *, _cache=cache, _key=key) -> None:
+            if _cache.get(_key, (None,))[0] is ref:
+                del _cache[_key]
+
+        cache[key] = (weakref.ref(sequence, _evict), rows)
+        return rows
+
 
 class FeatureSet:
     """An ordered collection of :class:`FeatureSpec` for one domain."""
@@ -137,6 +168,8 @@ class FeatureSet:
         if len(set(names)) != len(names):
             raise ConfigurationError(f"duplicate feature names in {names}")
         self._index = {spec.name: pos for pos, spec in enumerate(self.specs)}
+        # id(catalog) -> (weakref to catalog, EncodedItems); see encode().
+        self._encode_cache: dict[int, tuple] = {}
 
     def __len__(self) -> int:
         return len(self.specs)
@@ -200,7 +233,28 @@ class FeatureSet:
         Raises :class:`~repro.exceptions.SchemaError` when a value is
         incompatible with its declared family (negative count, non-positive
         gamma value, out-of-vocabulary category).
+
+        Catalogs are treated as immutable, so encoding is memoized by
+        catalog identity: repeated fits against the same catalog (a
+        hyper-parameter sweep, the benchmark harness, ``resume_fit``)
+        reuse one :class:`EncodedItems` — and with it the per-sequence
+        row cache it accumulates — instead of re-walking every item.
+        Entries are dropped when the catalog is garbage collected.
         """
+        key = id(catalog)
+        entry = self._encode_cache.get(key)
+        if entry is not None and entry[0]() is catalog:
+            return entry[1]
+        encoded = self._encode(catalog)
+
+        def _evict(ref: "weakref.ref", *, _cache=self._encode_cache, _key=key) -> None:
+            if _cache.get(_key, (None,))[0] is ref:
+                del _cache[_key]
+
+        self._encode_cache[key] = (weakref.ref(catalog, _evict), encoded)
+        return encoded
+
+    def _encode(self, catalog: ItemCatalog) -> EncodedItems:
         item_ids = catalog.ids
         index_of = {item_id: pos for pos, item_id in enumerate(item_ids)}
         columns: list[np.ndarray] = []

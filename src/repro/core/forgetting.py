@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.dp import PathResult
 from repro.core.features import FeatureSet
 from repro.core.model import ScoreTableCache, SkillModel, SkillParameters, TrainingTrace
+from repro.core.stats import SkillStats
 from repro.core.training import uniform_segment_levels
 from repro.data.actions import ActionLog
 from repro.data.items import ItemCatalog
@@ -145,7 +146,7 @@ def fit_forgetting_model(
         raise DataError("cannot train on an empty action log")
     encoded = feature_set.encode(catalog)
     users = list(log.users)
-    user_rows = [encoded.rows_for(log.sequence(u).items) for u in users]
+    user_rows = [encoded.rows_for_sequence(log.sequence(u)) for u in users]
     user_gaps = [
         np.diff(np.asarray(log.sequence(u).times, dtype=np.float64)) for u in users
     ]
@@ -173,8 +174,11 @@ def fit_forgetting_model(
     level_arrays: list[np.ndarray] = []
     # The decay lattice has its own kernel (best_decay_path), but the
     # score-table build is the same — make it incremental across
-    # iterations like the base trainer's.
+    # iterations like the base trainer's, and keep the update step's
+    # sufficient statistics across iterations the same way.
     table_cache = ScoreTableCache()
+    stats: SkillStats | None = None
+    prev_flat: np.ndarray | None = None
     for _ in range(config.max_iterations):
         table = parameters.item_score_table(encoded, cache=table_cache)
         total_ll = 0.0
@@ -196,13 +200,27 @@ def fit_forgetting_model(
                 break
         else:
             log_likelihoods.append(total_ll)
-        parameters = SkillParameters.fit_from_assignments(
-            encoded,
-            all_rows,
-            np.concatenate(level_arrays),
-            num_levels=config.num_levels,
-            smoothing=config.smoothing,
-        )
+        flat_levels = np.concatenate(level_arrays)
+        if stats is None:
+            stats = SkillStats.from_assignments(
+                encoded, all_rows, flat_levels, num_levels=config.num_levels
+            )
+            parameters = SkillParameters.fit_from_stats(
+                stats, smoothing=config.smoothing
+            )
+        else:
+            moved = np.flatnonzero(flat_levels != prev_flat)
+            if len(moved):
+                dirty = stats.update(
+                    all_rows[moved], prev_flat[moved], flat_levels[moved]
+                )
+                parameters = SkillParameters.fit_from_stats(
+                    stats,
+                    smoothing=config.smoothing,
+                    previous=parameters,
+                    dirty_levels=dirty,
+                )
+        prev_flat = flat_levels
 
     assignments = {
         user: (levels + 1).astype(np.int64)

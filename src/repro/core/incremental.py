@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.dp_batch import batch_assign
 from repro.core.model import ScoreTableCache, SkillModel, SkillParameters, TrainingTrace
+from repro.core.stats import SkillStats
 from repro.data.actions import Action, ActionLog, ActionSequence
 from repro.exceptions import ConfigurationError, DataError
 
@@ -98,7 +99,7 @@ def extend_model(
     times = dict(model._assignment_times)
     touched_order = list(touched)
     touched_seqs = [merged_log.sequence(user) for user in touched_order]
-    touched_rows = [model.encoded.rows_for(seq.items) for seq in touched_seqs]
+    touched_rows = [model.encoded.rows_for_sequence(seq) for seq in touched_seqs]
     for user, seq, result in zip(
         touched_order, touched_seqs, batch_assign(table, touched_rows)
     ):
@@ -109,21 +110,42 @@ def extend_model(
     trace_lls = list(model.trace.log_likelihoods)
     if refit_iterations:
         users = list(merged_log.users)
-        user_rows = [model.encoded.rows_for(merged_log.sequence(u).items) for u in users]
+        # Untouched users keep their original ActionSequence objects in the
+        # merged log, so their rows come straight from the encoded
+        # catalog's sequence cache instead of being re-encoded.
+        user_rows = [
+            model.encoded.rows_for_sequence(merged_log.sequence(u)) for u in users
+        ]
         all_rows = np.concatenate(user_rows)
+        stats: SkillStats | None = None
+        prev_flat: np.ndarray | None = None
         for _ in range(refit_iterations):
             table = parameters.item_score_table(model.encoded, cache=table_cache)
             results = batch_assign(table, user_rows)
             level_arrays = [r.levels for r in results]
             total_ll = float(sum(r.log_likelihood for r in results))
             trace_lls.append(total_ll)
-            parameters = SkillParameters.fit_from_assignments(
-                model.encoded,
-                all_rows,
-                np.concatenate(level_arrays),
-                num_levels=model.num_levels,
-                smoothing=smoothing,
-            )
+            flat_levels = np.concatenate(level_arrays)
+            if stats is None:
+                stats = SkillStats.from_assignments(
+                    model.encoded, all_rows, flat_levels, num_levels=model.num_levels
+                )
+                parameters = SkillParameters.fit_from_stats(
+                    stats, smoothing=smoothing
+                )
+            else:
+                moved = np.flatnonzero(flat_levels != prev_flat)
+                if len(moved):
+                    dirty = stats.update(
+                        all_rows[moved], prev_flat[moved], flat_levels[moved]
+                    )
+                    parameters = SkillParameters.fit_from_stats(
+                        stats,
+                        smoothing=smoothing,
+                        previous=parameters,
+                        dirty_levels=dirty,
+                    )
+            prev_flat = flat_levels
         assignments = {
             user: (levels + 1).astype(np.int64)
             for user, levels in zip(users, level_arrays)

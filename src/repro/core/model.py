@@ -198,38 +198,64 @@ class SkillParameters:
         ``cell_fitter``, when given, is a callable
         ``(jobs, fit_one) -> list`` used to parallelize the independent
         per-cell fits (see :mod:`repro.core.parallel`).
+
+        Statistics are accumulated in one pass by
+        :class:`~repro.core.stats.SkillStats`; callers that track an
+        assignment across iterations should keep the stats object and use
+        :meth:`fit_from_stats` with ``dirty_levels`` instead.
         """
-        action_rows = np.asarray(action_rows, dtype=np.int64)
-        action_levels = np.asarray(action_levels, dtype=np.int64)
-        if action_rows.shape != action_levels.shape:
-            raise ConfigurationError("action_rows and action_levels must align")
-        if len(action_levels) and (
-            action_levels.min() < 0 or action_levels.max() >= num_levels
-        ):
-            raise ConfigurationError("assigned level outside [0, num_levels)")
-        feature_set = encoded.feature_set
-        # Group action rows by level once; every (feature, level) fit reuses it.
-        rows_by_level = [action_rows[action_levels == s] for s in range(num_levels)]
+        from repro.core.stats import SkillStats
+
+        stats = SkillStats.from_assignments(
+            encoded, action_rows, action_levels, num_levels=num_levels
+        )
+        return cls.fit_from_stats(stats, smoothing=smoothing, cell_fitter=cell_fitter)
+
+    @classmethod
+    def fit_from_stats(
+        cls,
+        stats,
+        *,
+        smoothing: float = 0.01,
+        cell_fitter=None,
+        previous: "SkillParameters | None" = None,
+        dirty_levels=None,
+    ) -> "SkillParameters":
+        """Update step from accumulated sufficient statistics.
+
+        With ``dirty_levels`` (an iterable of 0-based level indices),
+        only those levels' cells are refit; every other level row is
+        reused from ``previous`` — valid because a cell's statistics are
+        untouched when no action entered or left its level.  This is what
+        makes the incremental M-step's cost scale with churn.
+        """
+        feature_set = stats.feature_set
+        num_levels = stats.num_levels
+        num_features = len(feature_set)
+        if dirty_levels is None:
+            dirty = list(range(num_levels))
+        else:
+            if previous is None:
+                raise ConfigurationError("dirty_levels requires previous parameters")
+            dirty = sorted({int(s) for s in dirty_levels})
+            if dirty and not (0 <= dirty[0] and dirty[-1] < num_levels):
+                raise ConfigurationError("dirty level outside [0, num_levels)")
 
         def fit_one(job: tuple[int, int]):
             s, f = job
-            spec = feature_set.specs[f]
-            values = encoded.columns[f][rows_by_level[s]]
-            dist_cls = distribution_for_kind(spec.kind)
-            if spec.kind is FeatureKind.CATEGORICAL:
-                vocab = encoded.vocabularies[f]
-                assert vocab is not None
-                return dist_cls.fit(values, num_categories=len(vocab), smoothing=smoothing)
-            return dist_cls.fit(values)
+            return stats.fit_cell(s, f, smoothing=smoothing)
 
-        jobs = [(s, f) for s in range(num_levels) for f in range(len(feature_set))]
+        jobs = [(s, f) for s in dirty for f in range(num_features)]
         if cell_fitter is None:
             fitted = [fit_one(job) for job in jobs]
         else:
             fitted = cell_fitter(jobs, fit_one)
+        refit = {
+            s: tuple(fitted[i * num_features : (i + 1) * num_features])
+            for i, s in enumerate(dirty)
+        }
         cells = tuple(
-            tuple(fitted[s * len(feature_set) + f] for f in range(len(feature_set)))
-            for s in range(num_levels)
+            refit[s] if s in refit else previous.cells[s] for s in range(num_levels)
         )
         return cls(feature_set=feature_set, num_levels=num_levels, cells=cells)
 
@@ -253,28 +279,31 @@ class SkillParameters:
             raise ConfigurationError("responsibilities must be (n_actions, num_levels)")
         num_levels = responsibilities.shape[1]
         feature_set = encoded.feature_set
-        cells = []
-        for s in range(num_levels):
-            weights = responsibilities[:, s]
-            row = []
-            for f, spec in enumerate(feature_set):
-                values = encoded.columns[f][action_rows]
-                dist_cls = distribution_for_kind(spec.kind)
+        # Features-outer so each column is gathered once, not once per
+        # level.  Each fit still goes through the distribution's
+        # sufficient-statistics path (``fit`` delegates to
+        # ``fit_from_stats``), and the level's responsibility column is
+        # passed as the strided view itself — so results stay bit-identical
+        # to ``dist.fit(values, weights=responsibilities[:, s])``.
+        grid: list[list[object]] = [[None] * len(feature_set) for _ in range(num_levels)]
+        for f, spec in enumerate(feature_set):
+            values = encoded.columns[f][action_rows]
+            dist_cls = distribution_for_kind(spec.kind)
+            for s in range(num_levels):
+                weights = responsibilities[:, s]
                 if spec.kind is FeatureKind.CATEGORICAL:
                     vocab = encoded.vocabularies[f]
                     assert vocab is not None
-                    row.append(
-                        dist_cls.fit(
-                            values,
-                            num_categories=len(vocab),
-                            smoothing=smoothing,
-                            weights=weights,
-                        )
+                    grid[s][f] = dist_cls.fit(
+                        values,
+                        num_categories=len(vocab),
+                        smoothing=smoothing,
+                        weights=weights,
                     )
                 else:
-                    row.append(dist_cls.fit(values, weights=weights))
-            cells.append(tuple(row))
-        return cls(feature_set=feature_set, num_levels=num_levels, cells=tuple(cells))
+                    grid[s][f] = dist_cls.fit(values, weights=weights)
+        cells = tuple(tuple(row) for row in grid)
+        return cls(feature_set=feature_set, num_levels=num_levels, cells=cells)
 
 
 @dataclass(frozen=True)

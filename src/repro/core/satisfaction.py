@@ -106,7 +106,7 @@ def fit_satisfaction_model(
 
     encoded = feature_set.encode(catalog)
     users = list(log.users)
-    user_rows = [encoded.rows_for(log.sequence(u).items) for u in users]
+    user_rows = [encoded.rows_for_sequence(log.sequence(u)) for u in users]
     all_rows = np.concatenate(user_rows)
     all_weights = np.concatenate([per_user_weights[u] for u in users])
 

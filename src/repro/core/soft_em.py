@@ -122,7 +122,7 @@ def fit_soft_em(
         raise DataError("cannot train on an empty action log")
     encoded = feature_set.encode(catalog)
     users = list(log.users)
-    user_rows = [encoded.rows_for(log.sequence(u).items) for u in users]
+    user_rows = [encoded.rows_for_sequence(log.sequence(u)) for u in users]
     all_rows = np.concatenate(user_rows)
 
     # Same initialization as the hard trainer: uniform segments of U_{>=N}.

@@ -1,0 +1,291 @@
+"""Sufficient-statistics engine for the update step (Equations 5-7).
+
+The M-step refits every (level, feature) cell from the actions assigned to
+that level.  Doing that from raw values rescans all actions ``S`` times per
+iteration — even late in training, when ``train.unchanged_users`` telemetry
+shows most paths stopped moving.  :class:`SkillStats` replaces the rescan
+with *sufficient statistics* accumulated in one pass:
+
+- one ``(S, num_items)`` integer matrix of per-level item counts (shared
+  by every numeric feature — a level's weighted sums are dot products of
+  its count row against cached per-feature value transforms), and
+- one ``(S, C)`` integer matrix of per-level category counts for each
+  categorical feature (``np.bincount`` on ``level * C + code``).
+
+Because the matrices hold only **integers**, :meth:`add` / :meth:`subtract`
+deltas are exact and order-independent: statistics updated incrementally
+for the actions that changed level are bit-identical to statistics rebuilt
+cold from the full assignment.  The trainer exploits this to refit only
+*dirty* cells — the levels some action entered or left — so late-iteration
+``cell_fit`` cost scales with churn, not corpus size.
+
+:meth:`fit_cell` turns a cell's statistics into a fitted distribution via
+the ``fit_from_stats`` classmethods (see :mod:`repro.core.distributions`),
+and :meth:`repro.core.model.SkillParameters.fit_from_stats` assembles whole
+parameter grids from here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distributions import distribution_for_kind
+from repro.core.features import EncodedItems, FeatureKind
+from repro.exceptions import ConfigurationError
+
+__all__ = ["SkillStats"]
+
+
+class SkillStats:
+    """Per-(level, feature) sufficient statistics of an assignment.
+
+    Build one cold with :meth:`from_assignments`, then keep it in sync
+    with :meth:`update` as actions move between levels.  Not thread-safe
+    for mutation; concurrent :meth:`fit_cell` reads (the parallel cell
+    fitter's threads) are fine.
+    """
+
+    def __init__(self, encoded: EncodedItems, num_levels: int):
+        if num_levels <= 0:
+            raise ConfigurationError("num_levels must be positive")
+        self._encoded = encoded
+        self._num_levels = int(num_levels)
+        self._num_items = encoded.num_items
+        feature_set = encoded.feature_set
+        self._categorical = [
+            spec.kind is FeatureKind.CATEGORICAL for spec in feature_set
+        ]
+        # Category counts per categorical feature; the item-count matrix is
+        # only materialized when a numeric feature needs it (the ID-only
+        # baseline is purely categorical and skips the S × |I| block).
+        self._cat_counts: dict[int, np.ndarray] = {
+            f: np.zeros((num_levels, len(encoded.vocabularies[f])), dtype=np.int64)
+            for f, is_cat in enumerate(self._categorical)
+            if is_cat
+        }
+        self._item_counts: np.ndarray | None = (
+            None
+            if all(self._categorical)
+            else np.zeros((num_levels, self._num_items), dtype=np.int64)
+        )
+        self._level_counts = np.zeros(num_levels, dtype=np.int64)
+        # Per-feature value transforms, shared by all levels: a level's
+        # weighted sum over any transform is one dot product against its
+        # float view of the item-count row.  Computed lazily per feature.
+        self._transforms: dict[int, tuple[np.ndarray, ...]] = {}
+        self._weights: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def encoded(self) -> EncodedItems:
+        return self._encoded
+
+    @property
+    def feature_set(self):
+        return self._encoded.feature_set
+
+    @property
+    def num_levels(self) -> int:
+        return self._num_levels
+
+    @property
+    def level_counts(self) -> np.ndarray:
+        """Actions currently assigned to each level (read-only view)."""
+        return self._level_counts
+
+    @property
+    def item_counts(self) -> np.ndarray | None:
+        """``(S, num_items)`` per-level item counts (``None`` when every
+        feature is categorical)."""
+        return self._item_counts
+
+    def category_counts(self, feature: int) -> np.ndarray:
+        """``(S, C)`` per-level category counts of a categorical feature."""
+        try:
+            return self._cat_counts[feature]
+        except KeyError:
+            raise ConfigurationError(
+                f"feature index {feature} is not categorical"
+            ) from None
+
+    # ------------------------------------------------------------ cold build
+
+    @classmethod
+    def from_assignments(
+        cls,
+        encoded: EncodedItems,
+        action_rows: np.ndarray,
+        action_levels: np.ndarray,
+        *,
+        num_levels: int,
+    ) -> "SkillStats":
+        """Accumulate statistics for a full assignment in one pass."""
+        action_rows, action_levels = _check_alignment(
+            encoded, action_rows, action_levels, num_levels
+        )
+        stats = cls(encoded, num_levels)
+        if len(action_rows):
+            stats._level_counts += np.bincount(action_levels, minlength=num_levels)
+            if stats._item_counts is not None:
+                flat = np.bincount(
+                    action_levels * stats._num_items + action_rows,
+                    minlength=num_levels * stats._num_items,
+                )
+                stats._item_counts += flat.reshape(num_levels, stats._num_items)
+            for f, counts in stats._cat_counts.items():
+                codes = encoded.columns[f][action_rows]
+                width = counts.shape[1]
+                flat = np.bincount(
+                    action_levels * width + codes, minlength=num_levels * width
+                )
+                counts += flat.reshape(num_levels, width)
+        return stats
+
+    # ------------------------------------------------------------ increments
+
+    def add(self, action_rows: np.ndarray, action_levels: np.ndarray) -> np.ndarray:
+        """Add actions to their levels; returns the touched level indices."""
+        return self._apply(action_rows, action_levels, sign=1)
+
+    def subtract(self, action_rows: np.ndarray, action_levels: np.ndarray) -> np.ndarray:
+        """Remove actions from their levels; returns the touched level
+        indices.  Subtracting actions that were never added raises."""
+        return self._apply(action_rows, action_levels, sign=-1)
+
+    def update(
+        self,
+        action_rows: np.ndarray,
+        old_levels: np.ndarray,
+        new_levels: np.ndarray,
+    ) -> np.ndarray:
+        """Move actions from ``old_levels`` to ``new_levels``; returns the
+        union of touched (dirty) level indices, sorted."""
+        removed = self.subtract(action_rows, old_levels)
+        added = self.add(action_rows, new_levels)
+        return np.union1d(removed, added)
+
+    def _apply(
+        self, action_rows: np.ndarray, action_levels: np.ndarray, *, sign: int
+    ) -> np.ndarray:
+        action_rows, action_levels = _check_alignment(
+            self._encoded, action_rows, action_levels, self._num_levels
+        )
+        if not len(action_rows):
+            return np.empty(0, dtype=np.int64)
+        delta = np.bincount(action_levels, minlength=self._num_levels)
+        updates: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        item_index: np.ndarray | None = None
+        if self._item_counts is not None:
+            item_index, repeats = np.unique(
+                action_levels * self._num_items + action_rows, return_counts=True
+            )
+            updates.append((self._item_counts.reshape(-1), item_index, repeats))
+        for f, counts in self._cat_counts.items():
+            codes = self._encoded.columns[f][action_rows]
+            index, repeats = np.unique(
+                action_levels * counts.shape[1] + codes, return_counts=True
+            )
+            updates.append((counts.reshape(-1), index, repeats))
+        if sign < 0:
+            # Validate everything before mutating anything so a bad delta
+            # leaves the statistics untouched.
+            if (self._level_counts - delta).min() < 0 or any(
+                (flat[index] < repeats).any() for flat, index, repeats in updates
+            ):
+                raise ConfigurationError("cannot subtract actions that were never added")
+            self._level_counts -= delta
+            for flat, index, repeats in updates:
+                flat[index] -= repeats
+        else:
+            self._level_counts += delta
+            for flat, index, repeats in updates:
+                flat[index] += repeats
+        touched = np.unique(action_levels)
+        if item_index is not None and self._weights:
+            # Patch the cached float views of touched levels in place:
+            # assigning the updated integer counts is exact, unlike a float
+            # accumulation would be, and skips a full-row astype per level.
+            levels_of = item_index // self._num_items
+            rows_of = item_index - levels_of * self._num_items
+            for level in touched:
+                weights = self._weights.get(int(level))
+                if weights is None:
+                    continue
+                rows_sel = rows_of[levels_of == level]
+                weights[rows_sel] = self._item_counts[level, rows_sel]
+        return touched
+
+    # ------------------------------------------------------------- cell fits
+
+    def fit_cell(self, level: int, feature: int, *, smoothing: float = 0.01):
+        """Fit the (level, feature) cell from its current statistics."""
+        if not 0 <= level < self._num_levels:
+            raise ConfigurationError(f"level {level} outside [0, {self._num_levels})")
+        spec = self.feature_set.specs[feature]
+        dist_cls = distribution_for_kind(spec.kind)
+        if spec.kind is FeatureKind.CATEGORICAL:
+            counts = self._cat_counts[feature][level].astype(np.float64)
+            return dist_cls.fit_from_stats(counts, smoothing=smoothing)
+        n = int(self._level_counts[level])
+        if n == 0:
+            # Matches the value-based estimators' empty-sample fallbacks.
+            if spec.kind is FeatureKind.COUNT:
+                return dist_cls.fit_from_stats(0.0, 0.0)
+            return dist_cls.fit_from_stats(0.0, 0.0, 0.0)
+        weights = self._level_weights(level)
+        transforms = self._feature_transforms(feature, spec.kind)
+        if spec.kind is FeatureKind.COUNT:
+            return dist_cls.fit_from_stats(float(n), float(np.dot(weights, transforms[0])))
+        if spec.kind is FeatureKind.POSITIVE:
+            mean = float(np.dot(weights, transforms[0])) / n
+            mean_log = float(np.dot(weights, transforms[1])) / n
+            return dist_cls.fit_from_stats(float(n), mean, mean_log)
+        mean_log = float(np.dot(weights, transforms[0])) / n
+        mean_sq_log = float(np.dot(weights, transforms[1])) / n
+        return dist_cls.fit_from_stats(float(n), mean_log, mean_sq_log)
+
+    def _level_weights(self, level: int) -> np.ndarray:
+        # Benign race under the threaded cell fitter: two threads may both
+        # compute the (identical) float view; last write wins.
+        weights = self._weights.get(level)
+        if weights is None:
+            assert self._item_counts is not None
+            weights = self._item_counts[level].astype(np.float64)
+            self._weights[level] = weights
+        return weights
+
+    def _feature_transforms(self, feature: int, kind: FeatureKind) -> tuple[np.ndarray, ...]:
+        transforms = self._transforms.get(feature)
+        if transforms is None:
+            column = self._encoded.columns[feature].astype(np.float64)
+            if kind is FeatureKind.COUNT:
+                transforms = (column,)
+            elif kind is FeatureKind.POSITIVE:
+                transforms = (column, np.log(column))
+            else:  # LOG_POSITIVE
+                log_column = np.log(column)
+                transforms = (log_column, log_column * log_column)
+            self._transforms[feature] = transforms
+        return transforms
+
+
+def _check_alignment(
+    encoded: EncodedItems,
+    action_rows: np.ndarray,
+    action_levels: np.ndarray,
+    num_levels: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    action_rows = np.asarray(action_rows, dtype=np.int64)
+    action_levels = np.asarray(action_levels, dtype=np.int64)
+    if action_rows.shape != action_levels.shape:
+        raise ConfigurationError("action_rows and action_levels must align")
+    if len(action_levels) and (
+        action_levels.min() < 0 or action_levels.max() >= num_levels
+    ):
+        raise ConfigurationError("assigned level outside [0, num_levels)")
+    if len(action_rows) and (
+        action_rows.min() < 0 or action_rows.max() >= encoded.num_items
+    ):
+        raise ConfigurationError("action row outside [0, num_items)")
+    return action_rows, action_levels

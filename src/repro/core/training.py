@@ -33,6 +33,7 @@ from repro.core.features import FeatureSet
 from repro.core.engine import ASSIGNMENT_STRATEGIES, AssignmentEngine
 from repro.core.model import SkillModel, SkillParameters, TrainingTrace
 from repro.core.parallel import ParallelConfig, make_cell_fitter
+from repro.core.stats import SkillStats
 from repro.data.actions import ActionLog
 from repro.data.items import ItemCatalog
 from repro.exceptions import (
@@ -73,12 +74,12 @@ def uniform_segment_levels(num_actions: int, num_levels: int) -> np.ndarray:
         raise ConfigurationError("num_levels must be positive")
     if num_actions < 0:
         raise ConfigurationError("num_actions must be non-negative")
-    levels = np.empty(num_actions, dtype=np.int64)
-    offset = 0
-    for s, group in enumerate(np.array_split(np.arange(num_actions), num_levels)):
-        levels[offset : offset + len(group)] = s
-        offset += len(group)
-    return levels
+    # Same group sizes as ``np.array_split(np.arange(num_actions), S)``:
+    # the first ``num_actions % S`` groups get one extra position.
+    base, remainder = divmod(num_actions, num_levels)
+    sizes = np.full(num_levels, base, dtype=np.int64)
+    sizes[:remainder] += 1
+    return np.repeat(np.arange(num_levels, dtype=np.int64), sizes)
 
 
 @dataclass(frozen=True)
@@ -120,6 +121,13 @@ class TrainerConfig:
     #: A runtime concern like ``parallel`` — never checkpointed, never
     #: changes results.
     assignment_strategy: str = "auto"
+    #: Maintain sufficient statistics across iterations and refit only the
+    #: levels whose assignments changed (see
+    #: :class:`~repro.core.stats.SkillStats`).  Integer statistics make the
+    #: incremental path bit-identical to refitting everything; disabling it
+    #: only trades speed for simpler debugging.  A runtime concern like
+    #: ``assignment_strategy`` — never checkpointed, never changes results.
+    incremental_mstep: bool = True
     #: Per-iteration progress callback (see class docstring).
     on_iteration: Callable[[IterationRecord], None] | None = field(
         default=None, repr=False, compare=False
@@ -179,7 +187,7 @@ class Trainer:
             raise DataError("cannot train on an empty action log")
         encoded = feature_set.encode(catalog)
         users = list(log.users)
-        user_rows = [encoded.rows_for(log.sequence(u).items) for u in users]
+        user_rows = [encoded.rows_for_sequence(log.sequence(u)) for u in users]
         user_times = [np.asarray(log.sequence(u).times, dtype=np.float64) for u in users]
         parameters = self._initialize(encoded, users, user_rows, log)
         fingerprint = (
@@ -223,9 +231,19 @@ class Trainer:
         cell_fitter = make_cell_fitter(cfg.parallel)
         log_likelihoods = list(log_likelihoods)
         converged = False
-        level_arrays: list[np.ndarray] = []
-        previous_levels: list[np.ndarray] | None = None
+        num_cells = cfg.num_levels * len(encoded.feature_set)
+        # Per-user structure is fixed across iterations; hoist it.
+        lengths = np.fromiter(
+            (len(rows) for rows in user_rows), dtype=np.int64, count=len(user_rows)
+        )
+        bounds = np.cumsum(lengths)
+        action_rows = (
+            np.concatenate(user_rows) if user_rows else np.empty(0, np.int64)
+        )
+        flat_levels: np.ndarray | None = None
+        prev_flat: np.ndarray | None = None
         previous_hist: np.ndarray | None = None
+        stats: SkillStats | None = None
         with AssignmentEngine(
             cfg.parallel,
             strategy=cfg.assignment_strategy,
@@ -239,14 +257,13 @@ class Trainer:
                 table = assigner.score_table(parameters, encoded)
                 stage_seconds["table_build"] = clock() - stage_start
                 stage_start = clock()
-                paths = assigner.assign(table, user_rows)
+                flat_levels, user_lls = assigner.assign_flat(table, user_rows)
                 stage_seconds["assign"] = clock() - stage_start
-                total_ll = float(sum(p.log_likelihood for p in paths))
-                level_arrays = [p.levels for p in paths]
-                action_levels = (
-                    np.concatenate(level_arrays) if level_arrays else np.empty(0, np.int64)
-                )
-                level_hist = np.bincount(action_levels, minlength=cfg.num_levels)
+                # Sequential Python sum in user order, matching what a
+                # per-path accumulation produces to the last bit.
+                total_ll = float(sum(user_lls.tolist()))
+                level_hist = np.bincount(flat_levels, minlength=cfg.num_levels)
+                changed = flat_levels != prev_flat if prev_flat is not None else None
 
                 improvement = None
                 if log_likelihoods:
@@ -265,18 +282,53 @@ class Trainer:
                     log_likelihoods.append(total_ll)
 
                 if not converged:
-                    action_rows = (
-                        np.concatenate(user_rows) if user_rows else np.empty(0, np.int64)
-                    )
                     stage_start = clock()
-                    parameters = SkillParameters.fit_from_assignments(
-                        encoded,
-                        action_rows,
-                        action_levels,
-                        num_levels=cfg.num_levels,
-                        smoothing=cfg.smoothing,
-                        cell_fitter=cell_fitter,
-                    )
+                    if not cfg.incremental_mstep:
+                        parameters = SkillParameters.fit_from_assignments(
+                            encoded,
+                            action_rows,
+                            flat_levels,
+                            num_levels=cfg.num_levels,
+                            smoothing=cfg.smoothing,
+                            cell_fitter=cell_fitter,
+                        )
+                        cells_refit = num_cells
+                    elif stats is None or changed is None:
+                        # First update of this run: build the statistics
+                        # cold; later iterations patch them with deltas.
+                        stats = SkillStats.from_assignments(
+                            encoded,
+                            action_rows,
+                            flat_levels,
+                            num_levels=cfg.num_levels,
+                        )
+                        parameters = SkillParameters.fit_from_stats(
+                            stats,
+                            smoothing=cfg.smoothing,
+                            cell_fitter=cell_fitter,
+                        )
+                        cells_refit = num_cells
+                    else:
+                        moved = np.flatnonzero(changed)
+                        if len(moved):
+                            dirty = stats.update(
+                                action_rows[moved],
+                                prev_flat[moved],
+                                flat_levels[moved],
+                            )
+                            parameters = SkillParameters.fit_from_stats(
+                                stats,
+                                smoothing=cfg.smoothing,
+                                cell_fitter=cell_fitter,
+                                previous=parameters,
+                                dirty_levels=dirty,
+                            )
+                            cells_refit = len(dirty) * len(encoded.feature_set)
+                        else:
+                            # No action moved: the statistics — and hence
+                            # every refit cell — are unchanged.
+                            cells_refit = 0
+                    registry.gauge("train.cells_refit").set(cells_refit)
                     stage_seconds["cell_fit"] = clock() - stage_start
                     if (
                         checkpoint is not None
@@ -309,24 +361,25 @@ class Trainer:
                     total_ll=total_ll,
                     improvement=improvement,
                     iteration_number=len(log_likelihoods),
-                    level_arrays=level_arrays,
-                    previous_levels=previous_levels,
+                    changed=changed,
+                    lengths=lengths,
+                    bounds=bounds,
                     level_hist=level_hist,
                     previous_hist=previous_hist,
                 )
                 builder.record_iteration(record)
                 if cfg.on_iteration is not None:
                     cfg.on_iteration(record)
-                previous_levels = level_arrays
+                prev_flat = flat_levels
                 previous_hist = level_hist
                 if converged:
                     break
-            if not level_arrays and user_rows:
+            if flat_levels is None and user_rows:
                 # Resumed with no iterations left to run (the checkpoint was
                 # written at max_iterations): materialize assignments from
                 # the checkpointed parameters without extending the trace.
                 table = assigner.score_table(parameters, encoded)
-                level_arrays = [p.levels for p in assigner.assign(table, user_rows)]
+                flat_levels, _ = assigner.assign_flat(table, user_rows)
             pool_events = dict(assigner.event_counts)
 
         telemetry = builder.build(
@@ -347,6 +400,11 @@ class Trainer:
                     "seconds": round(telemetry.total_seconds, 6),
                 }
             },
+        )
+        level_arrays = (
+            np.split(flat_levels, bounds[:-1])
+            if flat_levels is not None and users
+            else []
         )
         assignments = {
             user: (levels + 1).astype(np.int64)  # expose 1-based levels
@@ -375,8 +433,9 @@ class Trainer:
         total_ll: float,
         improvement: float | None,
         iteration_number: int,
-        level_arrays: list[np.ndarray],
-        previous_levels: list[np.ndarray] | None,
+        changed: np.ndarray | None,
+        lengths: np.ndarray,
+        bounds: np.ndarray,
         level_hist: np.ndarray,
         previous_hist: np.ndarray | None,
     ) -> IterationRecord:
@@ -384,28 +443,18 @@ class Trainer:
 
         Assignment churn is summarized two ways: ``unchanged_users`` (how
         many users' whole paths were identical to the previous iteration —
-        the converged-users count) and ``level_drift`` (normalized L1
-        distance between consecutive level histograms).
+        the converged-users count, from the per-action ``changed`` mask)
+        and ``level_drift`` (normalized L1 distance between consecutive
+        level histograms).
         """
         for stage, seconds in stage_seconds.items():
             registry.histogram(f"train.{stage}_seconds").observe(seconds)
-        if previous_levels is None:
+        if changed is None:
             unchanged = None
         else:
-            lengths = np.fromiter(
-                (len(a) for a in level_arrays),
-                dtype=np.int64,
-                count=len(level_arrays),
-            )
-            changed = (
-                np.concatenate(level_arrays) != np.concatenate(previous_levels)
-                if lengths.sum()
-                else np.empty(0, dtype=bool)
-            )
             # Per-user "any level changed" via prefix sums — one pass over
             # the concatenated paths instead of one array compare per user.
             changed_cum = np.concatenate(([0], np.cumsum(changed)))
-            bounds = np.cumsum(lengths)
             per_user = changed_cum[bounds] - changed_cum[bounds - lengths]
             unchanged = int(np.count_nonzero(per_user == 0))
         drift = (
@@ -569,7 +618,7 @@ def resume_fit(
 
     trainer = Trainer(config)
     users = list(log.users)
-    user_rows = [encoded.rows_for(log.sequence(u).items) for u in users]
+    user_rows = [encoded.rows_for_sequence(log.sequence(u)) for u in users]
     user_times = [np.asarray(log.sequence(u).times, dtype=np.float64) for u in users]
     return trainer._alternate(
         encoded,

@@ -95,7 +95,14 @@ class ActionSequence:
 
     @property
     def times(self) -> tuple[float, ...]:
-        return tuple(a.time for a in self.actions)
+        # Sequences are immutable, and trainers read every sequence's times
+        # once per fit — cache the tuple outside the dataclass fields so
+        # equality and serialization are unaffected.
+        cached = self.__dict__.get("_times")
+        if cached is None:
+            cached = tuple(a.time for a in self.actions)
+            object.__setattr__(self, "_times", cached)
+        return cached
 
     def without_index(self, index: int) -> "ActionSequence":
         """A copy of the sequence with the action at ``index`` removed.

@@ -71,23 +71,31 @@ def predict_items(
     vocab = model.encoded.vocabulary("__item_id__")
     code_of = {item_id: code for code, item_id in enumerate(vocab)}
 
-    # One probability vector + tie-aware rank machinery per level, shared
-    # by all held-out actions at that level.
-    per_level: dict[int, np.ndarray] = {}
-    ranks = np.empty(len(held), dtype=np.float64)
+    levels = np.empty(len(held), dtype=np.int64)
+    codes = np.empty(len(held), dtype=np.int64)
     for pos, held_action in enumerate(held):
         action = held_action.action
-        level = model.skill_at(action.user, action.time)
-        if level not in per_level:
-            per_level[level] = model.item_probabilities(level)
-        probs = per_level[level]
+        levels[pos] = model.skill_at(action.user, action.time)
         code = code_of.get(action.item)
         if code is None:
             raise DataError(f"held-out item {action.item!r} missing from the catalog")
-        p = probs[code]
-        greater = int(np.count_nonzero(probs > p))
-        equal = int(np.count_nonzero(probs == p))  # includes the item itself
-        ranks[pos] = greater + (equal + 1) / 2.0
+        codes[pos] = code
+
+    # All actions at a level share its probability vector; one sort of it
+    # plus two binary searches rank every true item at once.  For a true
+    # item with probability p, ``n − searchsorted(right)`` items rank
+    # strictly higher and ``searchsorted(right) − searchsorted(left)`` tie
+    # with it (including itself), giving the same mid-rank arithmetic as
+    # counting per action.
+    ranks = np.empty(len(held), dtype=np.float64)
+    for level in np.unique(levels):
+        selected = levels == level
+        probs = model.item_probabilities(int(level))
+        sorted_probs = np.sort(probs)
+        p = probs[codes[selected]]
+        right = np.searchsorted(sorted_probs, p, side="right")
+        left = np.searchsorted(sorted_probs, p, side="left")
+        ranks[selected] = (len(probs) - right) + (right - left + 1) / 2.0
     return ItemPredictionResult(ranks=ranks, num_items=len(vocab))
 
 

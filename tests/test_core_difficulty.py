@@ -32,6 +32,23 @@ class TestAssignmentDifficulty:
                     count += 1
         assert estimates[item] == pytest.approx(total / count)
 
+    def test_vectorized_matches_dict_loop_exactly(self, fitted_tiny_model, tiny_log):
+        """The bincount implementation accumulates each item's levels in
+        log order, so every estimate must equal the naive dict-of-sums
+        loop to the last bit — not just approximately."""
+        estimates = assignment_difficulty(fitted_tiny_model, tiny_log)
+        sums: dict = {}
+        counts: dict = {}
+        for seq in tiny_log:
+            levels = fitted_tiny_model.skill_trajectory(seq.user)
+            for action, level in zip(seq, levels):
+                sums[action.item] = sums.get(action.item, 0.0) + float(level)
+                counts[action.item] = counts.get(action.item, 0) + 1
+        expected = {item: sums[item] / counts[item] for item in sums}
+        assert set(estimates) == set(expected)
+        for item in expected:
+            assert estimates[item] == expected[item]
+
     def test_only_selected_items_estimated(self, fitted_tiny_model, tiny_log):
         estimates = assignment_difficulty(fitted_tiny_model, tiny_log)
         assert set(estimates) == set(tiny_log.selected_items)

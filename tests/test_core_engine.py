@@ -141,9 +141,17 @@ class TestScoreTableCache:
         cached = params.item_score_table(encoded, cache=ScoreTableCache())
         np.testing.assert_array_equal(cached, params.item_score_table(encoded))
 
+    def test_repeated_encode_is_memoized(self, tiny_catalog, tiny_feature_set):
+        """Same feature set + same catalog → the very same EncodedItems."""
+        assert tiny_feature_set.encode(tiny_catalog) is tiny_feature_set.encode(
+            tiny_catalog
+        )
+
     def test_different_catalog_resets_cache(self, tiny_catalog, tiny_feature_set):
         encoded = tiny_feature_set.encode(tiny_catalog)
-        other = tiny_feature_set.encode(tiny_catalog)  # equal content, new identity
+        # Equal content, new identity — bypass the encode memoizer, which
+        # would otherwise hand back the same object.
+        other = tiny_feature_set._encode(tiny_catalog)
         params = _fit_params(encoded, lambda rows: rows % 3)
         cache = ScoreTableCache()
         params.item_score_table(encoded, cache=cache)

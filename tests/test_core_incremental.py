@@ -101,6 +101,31 @@ class TestExtendModel:
             full.log_likelihood
         )
 
+    def test_fold_in_reuses_cached_sequence_rows(
+        self, fitted_tiny_model, tiny_log, monkeypatch
+    ):
+        """Training populated the encoded catalog's per-sequence row cache,
+        so a fold-in — even with refit iterations over every user — only
+        re-encodes the sequences that actually changed."""
+        from repro.core.features import EncodedItems
+
+        calls = []
+        original = EncodedItems.rows_for
+
+        def counting(self, item_ids):
+            calls.append(1)
+            return original(self, item_ids)
+
+        monkeypatch.setattr(EncodedItems, "rows_for", counting)
+        new = _new_actions("u0", 100.0, ["i8", "i9"])
+        updated, _ = extend_model(
+            fitted_tiny_model, tiny_log, new, refit_iterations=2
+        )
+        # Only u0's merged sequence is new; u1/u2 keep their original
+        # ActionSequence objects and hit the cache in every refit pass.
+        assert len(calls) == 1
+        assert len(updated.skill_trajectory("u0")) == len(tiny_log.sequence("u0")) + 2
+
     def test_chained_extensions(self, fitted_tiny_model, tiny_log):
         model, log = fitted_tiny_model, tiny_log
         for round_number in range(3):

@@ -1,0 +1,320 @@
+"""Tests for the sufficient-statistics update engine.
+
+Pins the PR's two exactness guarantees:
+
+- ``fit_from_stats(sufficient_stats(values)) == fit(values)`` bit-identically
+  for all four distributions (hard and soft/weighted paths), and
+- :class:`~repro.core.stats.SkillStats` updated incrementally via
+  ``subtract``/``add`` deltas equals a cold rebuild exactly, so refitting
+  only dirty cells gives the same parameters as refitting everything.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import Categorical, Gamma, LogNormal, Poisson
+from repro.core.features import FeatureKind, FeatureSet, FeatureSpec
+from repro.core.model import SkillParameters, _cell_cache_key
+from repro.core.stats import SkillStats
+from repro.data.items import Item, ItemCatalog
+from repro.exceptions import ConfigurationError
+
+
+def _cells_equal(a, b) -> bool:
+    """Exact (bit-level) equality of two fitted distribution cells."""
+    key_a, key_b = _cell_cache_key(a), _cell_cache_key(b)
+    assert key_a is not None and key_b is not None
+    return key_a == key_b
+
+
+@pytest.fixture
+def full_kind_encoded():
+    """An encoded catalog exercising all four feature kinds."""
+    rng = np.random.default_rng(7)
+    items = [
+        Item(
+            id=f"i{k}",
+            features={
+                "color": ["red", "green", "blue"][k % 3],
+                "steps": int(rng.integers(0, 6)),
+                "abv": float(rng.gamma(3.0, 1.5) + 0.1),
+                "latency": float(rng.lognormal(0.5, 0.8) + 0.01),
+            },
+        )
+        for k in range(20)
+    ]
+    feature_set = FeatureSet(
+        [
+            FeatureSpec("color", FeatureKind.CATEGORICAL),
+            FeatureSpec("steps", FeatureKind.COUNT),
+            FeatureSpec("abv", FeatureKind.POSITIVE),
+            FeatureSpec("latency", FeatureKind.LOG_POSITIVE),
+        ]
+    ).with_id_feature()
+    return feature_set.encode(ItemCatalog(items))
+
+
+def _random_assignment(encoded, num_levels, size, seed):
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, encoded.num_items, size=size)
+    levels = rng.integers(0, num_levels, size=size)
+    return rows.astype(np.int64), levels.astype(np.int64)
+
+
+# ---------------------------------------------------------------------------
+# Distribution-level property tests: stats path == value path, bit-identical.
+# ---------------------------------------------------------------------------
+
+
+class TestStatsFitIdentity:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_poisson(self, seed, weighted):
+        rng = np.random.default_rng(seed)
+        values = rng.poisson(3.0, size=int(rng.integers(1, 200)))
+        weights = rng.random(len(values)) if weighted else None
+        expected = Poisson.fit(values, weights=weights)
+        stats = Poisson.sufficient_stats(values, weights=weights)
+        assert Poisson.fit_from_stats(*stats).rate == expected.rate
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_gamma(self, seed, weighted):
+        rng = np.random.default_rng(seed)
+        values = rng.gamma(2.0, 1.5, size=int(rng.integers(1, 200))) + 1e-6
+        weights = rng.random(len(values)) if weighted else None
+        expected = Gamma.fit(values, weights=weights)
+        fitted = Gamma.fit_from_stats(*Gamma.sufficient_stats(values, weights=weights))
+        assert (fitted.shape, fitted.scale) == (expected.shape, expected.scale)
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_lognormal(self, seed, weighted):
+        rng = np.random.default_rng(seed)
+        values = rng.lognormal(0.3, 0.9, size=int(rng.integers(1, 200)))
+        weights = rng.random(len(values)) if weighted else None
+        expected = LogNormal.fit(values, weights=weights)
+        fitted = LogNormal.fit_from_stats(
+            *LogNormal.sufficient_stats(values, weights=weights)
+        )
+        assert (fitted.mu, fitted.sigma) == (expected.mu, expected.sigma)
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("weighted", [False, True])
+    @pytest.mark.parametrize("smoothing", [0.01, 1.0])
+    def test_categorical(self, seed, weighted, smoothing):
+        rng = np.random.default_rng(seed)
+        num_categories = int(rng.integers(2, 8))
+        values = rng.integers(0, num_categories, size=int(rng.integers(1, 200)))
+        weights = rng.random(len(values)) if weighted else None
+        expected = Categorical.fit(
+            values, num_categories=num_categories, smoothing=smoothing, weights=weights
+        )
+        counts = Categorical.sufficient_stats(
+            values, num_categories=num_categories, weights=weights
+        )
+        fitted = Categorical.fit_from_stats(counts, smoothing=smoothing)
+        assert np.array_equal(fitted.probs, expected.probs)
+
+    def test_empty_samples(self):
+        assert Poisson.fit_from_stats(*Poisson.sufficient_stats([])).rate == Poisson.fit([]).rate
+        gamma = Gamma.fit_from_stats(*Gamma.sufficient_stats([]))
+        assert (gamma.shape, gamma.scale) == (1.0, 1.0)
+        lognormal = LogNormal.fit_from_stats(*LogNormal.sufficient_stats([]))
+        assert (lognormal.mu, lognormal.sigma) == (0.0, 1.0)
+        cat = Categorical.fit_from_stats(
+            Categorical.sufficient_stats([], num_categories=4), smoothing=0.5
+        )
+        assert np.array_equal(cat.probs, Categorical.fit([], num_categories=4, smoothing=0.5).probs)
+
+    def test_constant_samples(self):
+        values = np.full(40, 3.5)
+        gamma = Gamma.fit_from_stats(*Gamma.sufficient_stats(values))
+        expected = Gamma.fit(values)
+        assert (gamma.shape, gamma.scale) == (expected.shape, expected.scale)
+        lognormal = LogNormal.fit_from_stats(*LogNormal.sufficient_stats(values))
+        assert lognormal.sigma == LogNormal.fit(values).sigma == 1e-6
+
+    def test_unsmoothed_categorical_edge(self):
+        counts = Categorical.sufficient_stats([0, 1, 1], num_categories=3)
+        fitted = Categorical.fit_from_stats(counts, smoothing=0.0)
+        assert np.array_equal(
+            fitted.probs, Categorical.fit([0, 1, 1], num_categories=3, smoothing=0.0).probs
+        )
+        with pytest.raises(ConfigurationError):
+            Categorical.fit_from_stats(np.zeros(3), smoothing=0.0)
+        with pytest.raises(ConfigurationError):
+            Categorical.fit_from_stats(np.array([1.0, -1.0]))
+
+
+# ---------------------------------------------------------------------------
+# SkillStats: incremental deltas vs cold rebuilds.
+# ---------------------------------------------------------------------------
+
+
+class TestSkillStats:
+    def test_cold_build_counts(self, full_kind_encoded):
+        rows, levels = _random_assignment(full_kind_encoded, 4, 300, seed=0)
+        stats = SkillStats.from_assignments(
+            full_kind_encoded, rows, levels, num_levels=4
+        )
+        assert np.array_equal(
+            stats.level_counts, np.bincount(levels, minlength=4)
+        )
+        assert stats.item_counts.sum() == 300
+        for f, vocab in enumerate(full_kind_encoded.vocabularies):
+            if vocab is None:
+                continue
+            assert stats.category_counts(f).sum() == 300
+
+    def test_subtract_add_round_trip_exact(self, full_kind_encoded):
+        rows, levels = _random_assignment(full_kind_encoded, 4, 300, seed=1)
+        stats = SkillStats.from_assignments(
+            full_kind_encoded, rows, levels, num_levels=4
+        )
+        before_levels = stats.level_counts.copy()
+        before_items = stats.item_counts.copy()
+        before_cats = {
+            f: stats.category_counts(f).copy()
+            for f, vocab in enumerate(full_kind_encoded.vocabularies)
+            if vocab is not None
+        }
+        rng = np.random.default_rng(2)
+        moved = rng.choice(300, size=80, replace=False)
+        new_levels = (levels[moved] + 1) % 4
+        stats.update(rows[moved], levels[moved], new_levels)
+        stats.update(rows[moved], new_levels, levels[moved])  # undo
+        assert np.array_equal(stats.level_counts, before_levels)
+        assert np.array_equal(stats.item_counts, before_items)
+        for f, before in before_cats.items():
+            assert np.array_equal(stats.category_counts(f), before)
+
+    def test_incremental_equals_cold(self, full_kind_encoded):
+        rows, levels = _random_assignment(full_kind_encoded, 4, 300, seed=3)
+        stats = SkillStats.from_assignments(
+            full_kind_encoded, rows, levels, num_levels=4
+        )
+        rng = np.random.default_rng(4)
+        new_levels = levels.copy()
+        moved = rng.choice(300, size=120, replace=False)
+        new_levels[moved] = rng.integers(0, 4, size=len(moved))
+        really_moved = np.flatnonzero(new_levels != levels)
+        stats.update(rows[really_moved], levels[really_moved], new_levels[really_moved])
+        cold = SkillStats.from_assignments(
+            full_kind_encoded, rows, new_levels, num_levels=4
+        )
+        assert np.array_equal(stats.level_counts, cold.level_counts)
+        assert np.array_equal(stats.item_counts, cold.item_counts)
+        for f, vocab in enumerate(full_kind_encoded.vocabularies):
+            if vocab is not None:
+                assert np.array_equal(
+                    stats.category_counts(f), cold.category_counts(f)
+                )
+        # ... and every refit cell is bit-identical too.
+        for s in range(4):
+            for f in range(len(full_kind_encoded.feature_set)):
+                assert _cells_equal(stats.fit_cell(s, f), cold.fit_cell(s, f))
+
+    def test_subtract_never_added_raises(self, full_kind_encoded):
+        rows, levels = _random_assignment(full_kind_encoded, 3, 50, seed=5)
+        stats = SkillStats.from_assignments(
+            full_kind_encoded, rows, levels, num_levels=3
+        )
+        before = stats.level_counts.copy()
+        with pytest.raises(ConfigurationError):
+            stats.subtract(
+                np.array([rows[0]]), np.array([(levels[0] + 1) % 3])
+            )
+        assert np.array_equal(stats.level_counts, before)  # untouched
+
+    def test_validation_messages(self, full_kind_encoded):
+        with pytest.raises(ConfigurationError, match="must align"):
+            SkillStats.from_assignments(
+                full_kind_encoded, np.arange(3), np.arange(4), num_levels=2
+            )
+        with pytest.raises(ConfigurationError, match="assigned level"):
+            SkillStats.from_assignments(
+                full_kind_encoded, np.array([0]), np.array([9]), num_levels=2
+            )
+        with pytest.raises(ConfigurationError, match="action row"):
+            SkillStats.from_assignments(
+                full_kind_encoded, np.array([-1]), np.array([0]), num_levels=2
+            )
+
+
+# ---------------------------------------------------------------------------
+# Parameter-grid level: dirty-cell refits and the soft path.
+# ---------------------------------------------------------------------------
+
+
+class TestFitFromStats:
+    def test_dirty_refit_equals_full_refit(self, full_kind_encoded):
+        rows, levels = _random_assignment(full_kind_encoded, 4, 300, seed=6)
+        stats = SkillStats.from_assignments(
+            full_kind_encoded, rows, levels, num_levels=4
+        )
+        previous = SkillParameters.fit_from_stats(stats)
+        # Move a slice of level-0 actions to level 1: only those two
+        # levels' cells are dirty.
+        moved = np.flatnonzero(levels == 0)[:20]
+        dirty = stats.update(rows[moved], levels[moved], np.ones(len(moved), np.int64))
+        assert set(int(s) for s in dirty) == {0, 1}
+        partial = SkillParameters.fit_from_stats(
+            stats, previous=previous, dirty_levels=dirty
+        )
+        full = SkillParameters.fit_from_stats(stats)
+        for s in range(4):
+            for f in range(len(full_kind_encoded.feature_set)):
+                assert _cells_equal(partial.cells[s][f], full.cells[s][f])
+        # Clean levels reuse the previous objects outright.
+        assert partial.cells[2] is previous.cells[2]
+        assert partial.cells[3] is previous.cells[3]
+
+    def test_dirty_levels_require_previous(self, full_kind_encoded):
+        rows, levels = _random_assignment(full_kind_encoded, 3, 60, seed=7)
+        stats = SkillStats.from_assignments(
+            full_kind_encoded, rows, levels, num_levels=3
+        )
+        with pytest.raises(ConfigurationError, match="previous"):
+            SkillParameters.fit_from_stats(stats, dirty_levels=[0])
+
+    def test_fit_from_assignments_unchanged_route(self, full_kind_encoded):
+        """The rerouted classmethod produces the same grid as fitting each
+        cell directly from the raw per-level values."""
+        rows, levels = _random_assignment(full_kind_encoded, 3, 200, seed=8)
+        fitted = SkillParameters.fit_from_assignments(
+            full_kind_encoded, rows, levels, num_levels=3
+        )
+        stats = SkillStats.from_assignments(
+            full_kind_encoded, rows, levels, num_levels=3
+        )
+        for s in range(3):
+            for f in range(len(full_kind_encoded.feature_set)):
+                assert _cells_equal(fitted.cells[s][f], stats.fit_cell(s, f))
+
+    def test_soft_path_matches_per_cell_weighted_fits(self, full_kind_encoded):
+        """fit_from_responsibilities == dist.fit(values, weights=resp[:, s])
+        bit-identically, for every cell."""
+        from repro.core.distributions import distribution_for_kind
+
+        rng = np.random.default_rng(9)
+        rows = rng.integers(0, full_kind_encoded.num_items, size=150).astype(np.int64)
+        resp = rng.random((150, 3))
+        resp /= resp.sum(axis=1, keepdims=True)
+        fitted = SkillParameters.fit_from_responsibilities(
+            full_kind_encoded, rows, resp
+        )
+        feature_set = full_kind_encoded.feature_set
+        for f, spec in enumerate(feature_set):
+            values = full_kind_encoded.columns[f][rows]
+            dist_cls = distribution_for_kind(spec.kind)
+            for s in range(3):
+                if spec.kind is FeatureKind.CATEGORICAL:
+                    expected = dist_cls.fit(
+                        values,
+                        num_categories=len(full_kind_encoded.vocabularies[f]),
+                        weights=resp[:, s],
+                    )
+                else:
+                    expected = dist_cls.fit(values, weights=resp[:, s])
+                assert _cells_equal(fitted.cells[s][f], expected)

@@ -149,6 +149,54 @@ class TestTrainer:
         assert np.isfinite(model.log_likelihood)
 
 
+class TestIncrementalMStep:
+    def test_disabled_matches_enabled_exactly(
+        self, tiny_log, tiny_catalog, tiny_feature_set
+    ):
+        """The incremental M-step is an exact optimization: disabling it
+        must reproduce the same trace, assignments, and parameters."""
+        from repro.core.model import _cell_cache_key
+
+        kwargs = dict(init_min_actions=5, max_iterations=20)
+        fast = fit_skill_model(tiny_log, tiny_catalog, tiny_feature_set, 3, **kwargs)
+        slow = fit_skill_model(
+            tiny_log, tiny_catalog, tiny_feature_set, 3, incremental_mstep=False, **kwargs
+        )
+        assert fast.trace.log_likelihoods == slow.trace.log_likelihoods
+        assert fast.trace.converged == slow.trace.converged
+        for user in tiny_log.users:
+            np.testing.assert_array_equal(
+                fast.skill_trajectory(user), slow.skill_trajectory(user)
+            )
+        for fast_row, slow_row in zip(fast.parameters.cells, slow.parameters.cells):
+            for fast_cell, slow_cell in zip(fast_row, slow_row):
+                assert _cell_cache_key(fast_cell) == _cell_cache_key(slow_cell)
+
+    def test_cells_refit_gauge_tracks_churn(self):
+        """The gauge starts at the full grid (cold build), shrinks to a
+        partial refit as assignments settle, and reaches zero before the
+        convergence check fires."""
+        from repro.synth import SyntheticConfig, generate_synthetic
+
+        ds = generate_synthetic(SyntheticConfig(num_users=80, num_items=400, seed=5))
+        registry = MetricsRegistry()
+        observed: list[float] = []
+        with use_registry(registry):
+            model = fit_skill_model(
+                ds.log, ds.catalog, ds.feature_set, 5,
+                init_min_actions=30, max_iterations=30,
+                on_iteration=lambda record: observed.append(
+                    registry.gauge("train.cells_refit").value
+                ),
+            )
+        assert model.trace.converged
+        num_cells = 5 * len(ds.feature_set)
+        assert observed[0] == num_cells  # first update is a cold full refit
+        assert observed[-1] == 0.0  # nothing moved by the end
+        # Some mid-training iteration refit a strict, non-empty subset.
+        assert any(0 < value < num_cells for value in observed)
+
+
 class _FakeClock:
     """Advances a fixed step on every read: deterministic positive timings."""
 

@@ -63,6 +63,28 @@ class TestPredictItems:
         result = ItemPredictionResult(ranks=ranks, num_items=12)
         assert result.mean_reciprocal_rank == pytest.approx(2 / 13)
 
+    def test_vectorized_ranks_match_counting_reference(self, split_and_model):
+        """The sort + searchsorted ranking must reproduce, bit for bit, the
+        per-action counting definition of the mid-rank — including on the
+        tied probabilities that dominate smoothed categoricals."""
+        model, held = split_and_model
+        result = predict_items(model, held)
+        vocab = model.encoded.vocabulary("__item_id__")
+        code_of = {item_id: code for code, item_id in enumerate(vocab)}
+        saw_tie = False
+        for pos, held_action in enumerate(held):
+            action = held_action.action
+            probs = model.item_probabilities(
+                int(model.skill_at(action.user, action.time))
+            )
+            p = probs[code_of[action.item]]
+            greater = int(np.sum(probs > p))
+            equal = int(np.sum(probs == p))
+            saw_tie = saw_tie or equal > 1
+            assert result.ranks[pos] == greater + (equal + 1) / 2.0
+        # The fixture must actually exercise the tie path.
+        assert saw_tie
+
     def test_random_split_protocol(self, tiny_log, tiny_catalog, tiny_feature_set):
         train, held = holdout_random_position(tiny_log, np.random.default_rng(0))
         model = fit_skill_model(

@@ -1,14 +1,18 @@
 #!/usr/bin/env python
 """Benchmark the assignment kernels and write ``BENCH_kernels.json``.
 
-Three measurements, mirroring the layers of the assignment engine:
+Four measurements, mirroring the layers of the training loop:
 
 1. **dp** — scalar :func:`best_monotone_path` loop vs the batched
    :func:`batch_assign` kernel over ragged user batches of several sizes.
 2. **score_table** — cold :meth:`item_score_table` build vs a warm rebuild
    through :class:`ScoreTableCache` after refitting identical assignments
    (the steady state of late training iterations).
-3. **fit** — end-to-end training on the synthetic language dataset at
+3. **cell_fit** — cold sufficient-statistics build + full-grid refit vs an
+   incremental delta update refitting only the dirty levels' cells
+   (:class:`~repro.core.stats.SkillStats`), with a cell-for-cell parity
+   guard against a cold rebuild.
+4. **fit** — end-to-end training on the synthetic language dataset at
    ``S = 5``: the pre-engine serial path (uncached table + per-user scalar
    DP + update, exactly the old trainer loop) vs today's
    ``fit_skill_model`` with the auto-strategy engine.  Both converge to
@@ -35,7 +39,8 @@ import numpy as np
 
 from repro.core.dp import best_monotone_path
 from repro.core.dp_batch import batch_assign
-from repro.core.model import ScoreTableCache, SkillParameters
+from repro.core.model import ScoreTableCache, SkillParameters, _cell_cache_key
+from repro.core.stats import SkillStats
 from repro.core.training import fit_skill_model, uniform_segment_levels
 from repro.synth import LanguageConfig, generate_language
 
@@ -128,6 +133,83 @@ def bench_score_table(repeats: int) -> dict:
     }
 
 
+def bench_cell_fit(repeats: int) -> dict:
+    """Cold statistics build + full-grid refit vs an incremental update.
+
+    The incremental case is the trainer's steady state: a small batch of
+    actions moved between two levels, so the statistics are patched with
+    deltas and only the two dirty levels' cells are refit.  A parity guard
+    asserts the patched statistics produce the same grid, cell for cell,
+    as a cold rebuild of the new assignment.
+    """
+    dataset = generate_language(LANGUAGE_S5)
+    encoded = dataset.feature_set.encode(dataset.catalog)
+    user_rows = [
+        encoded.rows_for_sequence(dataset.log.sequence(u))
+        for u in dataset.log.users
+    ]
+    rows = np.concatenate(user_rows)
+    levels = np.concatenate(
+        [uniform_segment_levels(len(r), NUM_LEVELS) for r in user_rows]
+    )
+
+    def cold_fit():
+        built = SkillStats.from_assignments(
+            encoded, rows, levels, num_levels=NUM_LEVELS
+        )
+        return SkillParameters.fit_from_stats(built)
+
+    cold_s = _best_of(cold_fit, repeats)
+
+    # Move ~1% of the level-1 actions up to level 2: two dirty levels.
+    rng = np.random.default_rng(0)
+    candidates = np.flatnonzero(levels == 1)
+    moved = rng.choice(candidates, size=max(1, len(rows) // 100), replace=False)
+    new_levels = levels.copy()
+    new_levels[moved] = 2
+
+    stats = SkillStats.from_assignments(encoded, rows, levels, num_levels=NUM_LEVELS)
+    base = SkillParameters.fit_from_stats(stats)
+    state = {"forward": True}
+
+    def incremental_fit():
+        # Alternate the move's direction so each timed run patches the same
+        # number of actions and refits the same two dirty levels.
+        old, new = (levels, new_levels) if state["forward"] else (new_levels, levels)
+        state["forward"] = not state["forward"]
+        dirty = stats.update(rows[moved], old[moved], new[moved])
+        return SkillParameters.fit_from_stats(
+            stats, previous=base, dirty_levels=dirty
+        ), dirty
+
+    incremental_s = _best_of(incremental_fit, repeats)
+
+    # Parity guard: leave the stats at the *new* assignment and compare
+    # against a cold rebuild, cell for cell.
+    if state["forward"]:  # an even number of timed runs: still at the original
+        stats.update(rows[moved], levels[moved], new_levels[moved])
+    patched = SkillParameters.fit_from_stats(stats)
+    rebuilt = SkillParameters.fit_from_stats(
+        SkillStats.from_assignments(encoded, rows, new_levels, num_levels=NUM_LEVELS)
+    )
+    matches = all(
+        _cell_cache_key(a) == _cell_cache_key(b)
+        for row_a, row_b in zip(patched.cells, rebuilt.cells)
+        for a, b in zip(row_a, row_b)
+    )
+    assert matches, "incremental statistics diverged from a cold rebuild"
+    return {
+        "num_actions": len(rows),
+        "changed_actions": len(moved),
+        "dirty_levels": 2,
+        "num_levels": NUM_LEVELS,
+        "cold_seconds": cold_s,
+        "incremental_seconds": incremental_s,
+        "speedup": cold_s / incremental_s,
+        "incremental_matches_cold": matches,
+    }
+
+
 def _legacy_serial_fit(dataset, max_iterations: int, tol: float) -> tuple[float, int]:
     """The pre-engine training loop: uncached table, per-user scalar DP.
 
@@ -196,6 +278,10 @@ def bench_fit(repeats: int) -> dict:
         "comparing equivalent work"
     )
     assert model.trace.num_iterations == legacy_iters
+    # The engine time recorded by PR 3's run of this benchmark on the same
+    # machine and dataset — the baseline the batched-plan + incremental
+    # M-step work is measured against.
+    pr3_engine_s = 0.9127408790000118
     return {
         "dataset": "synthetic language",
         "num_levels": NUM_LEVELS,
@@ -205,6 +291,8 @@ def bench_fit(repeats: int) -> dict:
         "legacy_serial_seconds": legacy_s,
         "engine_auto_seconds": engine_s,
         "speedup": legacy_s / engine_s,
+        "pr3_engine_auto_seconds": pr3_engine_s,
+        "speedup_vs_pr3": pr3_engine_s / engine_s,
     }
 
 
@@ -226,6 +314,7 @@ def main() -> None:
         },
         "dp": bench_dp(args.repeats),
         "score_table": bench_score_table(args.repeats),
+        "cell_fit": bench_cell_fit(args.repeats),
         "fit": bench_fit(args.repeats),
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
