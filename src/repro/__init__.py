@@ -14,6 +14,8 @@ Public entry points:
 - :mod:`repro.recsys` — item-prediction and FFM rating-prediction tasks.
 - :mod:`repro.experiments` — one runner per paper table/figure.
 - :mod:`repro.obs` — structured logging, metrics, and training telemetry.
+- :mod:`repro.serve` — online HTTP serving of saved models with
+  micro-batching and hot-reload (imported on demand, not eagerly).
 """
 
 from repro import core, data, obs

@@ -13,6 +13,7 @@ End-to-end tool usage on files (JSONL logs/catalogs, JSON+NPZ models)::
     python -m repro simulate cooking --out data/cooking --users 500
     python -m repro fit data/cooking --levels 5 --model models/cooking
     python -m repro score models/cooking --top 10
+    python -m repro serve models/cooking --port 8080
 
 Observability (``fit`` and ``run``): ``--log-level INFO`` / ``--log-json``
 select structured logging, ``--metrics-out metrics.json`` dumps the run's
@@ -145,6 +146,46 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="optional data path prefix (enables the calibration section)",
     )
+
+    serve_parser = sub.add_parser(
+        "serve", help="serve a saved model over HTTP (see docs/serving.md)"
+    )
+    serve_parser.add_argument("model", help="model path prefix written by `fit`")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8080)
+    serve_parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="largest coalesced batch per kernel call (1 = sequential dispatch)",
+    )
+    serve_parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="batching window: flush at most this long after the first "
+        "queued request (0 = flush immediately)",
+    )
+    serve_parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help="bound on concurrently admitted requests; overflow gets HTTP 429",
+    )
+    serve_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="per-request deadline; expired requests get HTTP 503",
+    )
+    serve_parser.add_argument(
+        "--poll-seconds",
+        type=float,
+        default=1.0,
+        help="how often to check the artifact pair for a hot-reload",
+    )
+    add_obs_flags(serve_parser)
     return parser
 
 
@@ -396,12 +437,62 @@ def _cmd_inspect(model_path: str, data: str | None) -> int:
     from pathlib import Path
 
     from repro.analysis.report import model_card
-    from repro.core.serialize import load_model
+    from repro.core.serialize import artifact_metadata, load_model
     from repro.data.io import load_log
 
+    meta = artifact_metadata(model_path)
+    checksum = meta["npz_checksum"] or "-"
+    verified = "verified" if meta["checksum_verified"] else "NOT VERIFIED"
+    npz_bytes = meta["npz_bytes"] if meta["npz_bytes"] is not None else "missing"
+    print("## Artifacts")
+    print()
+    print(f"- structure: {meta['json_path']} ({meta['json_bytes']} bytes)")
+    print(f"- arrays:    {meta['npz_path']} ({npz_bytes} bytes)")
+    print(f"- format version: {meta['format_version']}")
+    print(f"- sha256: {checksum[:12]}… ({verified})")
+    print(f"- telemetry run: {meta['telemetry_run_id'] or '-'}")
+    print()
     model = load_model(model_path)
     log = load_log(Path(str(Path(data)) + ".log.jsonl")) if data else None
     print(model_card(model, log))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import ServeConfig, SkillServer
+    from repro.serve.state import ModelState
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_queue=args.max_queue,
+        timeout_seconds=args.timeout,
+        poll_seconds=args.poll_seconds,
+    )
+    state = ModelState(args.model, poll_seconds=args.poll_seconds)
+
+    async def _run() -> None:
+        server = SkillServer(state, config)
+        host, port = await server.start()
+        meta = state.current.metadata
+        print(
+            f"serving {args.model} on http://{host}:{port} "
+            f"(users={meta['num_users']}, items={meta['num_items']}, "
+            f"sha256={str(meta['npz_checksum'])[:12]}…); Ctrl-C to stop"
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("shutting down")
     return 0
 
 
@@ -436,6 +527,9 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_score(args.model, args.prior, args.top, args.output)
         if args.command == "inspect":
             return _cmd_inspect(args.model, args.data)
+        if args.command == "serve":
+            _configure_obs(args.log_level, args.log_json)
+            return _cmd_serve(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

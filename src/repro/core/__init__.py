@@ -52,7 +52,7 @@ from repro.core.satisfaction import (
     fit_satisfaction_model,
     rating_satisfaction,
 )
-from repro.core.serialize import load_model, save_model
+from repro.core.serialize import artifact_metadata, load_model, save_model
 from repro.core.incremental import extend_model
 
 __all__ = [
@@ -110,6 +110,7 @@ __all__ = [
     "SatisfactionConfig",
     "fit_satisfaction_model",
     "rating_satisfaction",
+    "artifact_metadata",
     "load_model",
     "save_model",
     "extend_model",

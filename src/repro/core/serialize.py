@@ -40,7 +40,7 @@ from repro.obs.logging import get_logger
 from repro.obs.metrics import get_registry
 from repro.obs.telemetry import TrainingTelemetry
 
-__all__ = ["save_model", "load_model"]
+__all__ = ["artifact_metadata", "load_model", "save_model"]
 
 _log = get_logger("core.serialize")
 
@@ -188,6 +188,62 @@ def save_model(model: SkillModel, path_prefix: str | Path) -> tuple[Path, Path]:
         },
     )
     return json_path, npz_path
+
+
+def artifact_metadata(path_prefix: str | Path) -> dict:
+    """Describe a saved model pair without reconstructing the model.
+
+    Reads only the structure JSON plus a streaming checksum of the NPZ, so
+    it is cheap enough for ``repro inspect`` and the serving ``/healthz``
+    endpoint to call on every artifact.  Raises
+    :class:`~repro.exceptions.DataError` when the JSON half is missing or
+    malformed; a missing or mismatched NPZ is *reported* instead
+    (``checksum_verified`` false, ``npz_bytes`` ``None``) so operators can
+    inspect a torn pair rather than being told nothing about it.
+    """
+    prefix = Path(path_prefix)
+    json_path = prefix.with_suffix(".json")
+    npz_path = prefix.with_suffix(".npz")
+    if not json_path.exists():
+        raise DataError(f"missing model structure file {json_path}")
+    json_bytes = json_path.read_bytes()
+    try:
+        structure = json.loads(json_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise DataError(f"{json_path}: malformed model file ({exc})") from exc
+    if not isinstance(structure, dict):
+        raise DataError(f"{json_path}: model structure must be a JSON object")
+
+    checksums = structure.get("checksums") or {}
+    expected = checksums.get("npz")
+    npz_size: int | None = None
+    actual: str | None = None
+    if npz_path.exists():
+        npz_payload = npz_path.read_bytes()
+        npz_size = len(npz_payload)
+        actual = _sha256_hex(npz_payload)
+    verified = expected is not None and actual == expected
+
+    trace = structure.get("trace") or {}
+    telemetry = structure.get("telemetry") or {}
+    features = [entry.get("name") for entry in structure.get("features", [])]
+    return {
+        "json_path": str(json_path),
+        "npz_path": str(npz_path),
+        "format_version": structure.get("format_version"),
+        "json_bytes": len(json_bytes),
+        "npz_bytes": npz_size,
+        "checksum_algorithm": checksums.get("algorithm"),
+        "npz_checksum": expected,
+        "checksum_verified": verified,
+        "num_users": len(structure.get("users", [])),
+        "num_items": len(structure.get("item_ids", [])),
+        "num_levels": structure.get("num_levels"),
+        "features": features,
+        "telemetry_run_id": telemetry.get("run_id") if isinstance(telemetry, dict) else None,
+        "converged": trace.get("converged"),
+        "num_iterations": trace.get("num_iterations"),
+    }
 
 
 def load_model(path_prefix: str | Path) -> SkillModel:

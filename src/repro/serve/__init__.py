@@ -1,0 +1,40 @@
+"""Online serving subsystem: micro-batched prediction over saved models.
+
+The paper's downstream tasks — skill-conditioned item ranking and
+difficulty-aware queries (Section VI) — are exactly what an upskilling
+recommender answers *online*.  This package turns a saved model artifact
+(:mod:`repro.core.serialize`) into an HTTP service, using only the
+standard library:
+
+- :class:`~repro.serve.server.SkillServer` — asyncio HTTP endpoints
+  (``/predict``, ``/difficulty``, ``/skill``, ``/healthz``, ``/metrics``);
+- :class:`~repro.serve.batcher.MicroBatcher` — request coalescing into
+  the vectorized PR 3/4 kernels, bit-identical to per-request dispatch;
+- :class:`~repro.serve.state.ModelState` — atomic model hot-reload from
+  the checksummed artifact pair, old model served until the new one
+  validates;
+- :class:`~repro.serve.admission.AdmissionController` — bounded queueing
+  with per-endpoint deadlines (429/503 shedding).
+
+Entry points: ``python -m repro serve <model-prefix>`` (CLI),
+:class:`~repro.serve.server.ServerThread` (in-process embedding), and
+``tools/bench_serve.py`` (the closed-loop load generator behind
+``BENCH_serve.json``).  Operational guide: ``docs/serving.md``.
+"""
+
+from repro.serve.admission import AdmissionConfig, AdmissionController, Ticket
+from repro.serve.batcher import MicroBatcher
+from repro.serve.server import ServeConfig, ServerThread, SkillServer
+from repro.serve.state import ModelState, ServingModel
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "MicroBatcher",
+    "ModelState",
+    "ServeConfig",
+    "ServerThread",
+    "ServingModel",
+    "SkillServer",
+    "Ticket",
+]

@@ -1,0 +1,129 @@
+"""Admission control: bounded queueing and deadline-based shedding.
+
+A single-process server under heavy traffic has exactly two honest
+options when work arrives faster than it drains: bound the queue and
+refuse the overflow (HTTP 429), or let a request wait but refuse to spend
+kernel time on it once its deadline has passed (HTTP 503).  Everything
+else — unbounded queues, silent slow answers — just moves the failure
+somewhere harder to see.
+
+:class:`AdmissionController` implements both policies:
+
+- ``admit(endpoint)`` hands out a :class:`Ticket` while fewer than
+  ``max_queue`` requests are in flight, else ``None`` (the caller sheds
+  with 429).  The in-flight count covers queued *and* executing requests,
+  so the bound is the server's total concurrent exposure.
+- each ticket carries a deadline, ``now + timeout`` for its endpoint
+  (``endpoint_timeouts`` overrides ``default_timeout_seconds`` per
+  endpoint); the server stops waiting on the batcher at the deadline and
+  sheds with 503.
+
+The clock is injectable (mirroring :class:`~repro.obs.metrics
+.MetricsRegistry`), so expiry is tested with a fake clock, never sleeps.
+
+Counters: ``serve.shed`` totals every shed request, with the reason split
+into ``serve.shed.queue_full`` and ``serve.shed.deadline``; the
+``serve.queue_depth`` gauge tracks the in-flight count.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+from repro.obs.metrics import get_registry
+
+__all__ = ["AdmissionConfig", "AdmissionController", "Ticket"]
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Queue bound and per-endpoint deadlines."""
+
+    max_queue: int = 256
+    default_timeout_seconds: float = 5.0
+    endpoint_timeouts: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ConfigurationError("max_queue must be >= 1")
+        if self.default_timeout_seconds <= 0:
+            raise ConfigurationError("default_timeout_seconds must be positive")
+        for endpoint, timeout in self.endpoint_timeouts.items():
+            if timeout <= 0:
+                raise ConfigurationError(
+                    f"timeout for endpoint {endpoint!r} must be positive"
+                )
+
+    def timeout_for(self, endpoint: str) -> float:
+        return float(self.endpoint_timeouts.get(endpoint, self.default_timeout_seconds))
+
+
+class Ticket:
+    """One admitted request: its endpoint, deadline, and release state."""
+
+    __slots__ = ("endpoint", "admitted_at", "deadline", "_released")
+
+    def __init__(self, endpoint: str, admitted_at: float, deadline: float) -> None:
+        self.endpoint = endpoint
+        self.admitted_at = admitted_at
+        self.deadline = deadline
+        self._released = False
+
+
+class AdmissionController:
+    """Bounded in-flight accounting with per-endpoint deadlines.
+
+    All methods are cheap and non-blocking; the server calls ``admit``
+    when a request is parsed and ``release`` when its response is
+    written (every path, including sheds and errors).
+    """
+
+    def __init__(
+        self,
+        config: AdmissionConfig | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config if config is not None else AdmissionConfig()
+        self.clock = clock
+        self._inflight = 0
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def admit(self, endpoint: str) -> Ticket | None:
+        """A ticket when capacity allows, ``None`` when the queue is full."""
+        registry = get_registry()
+        if self._inflight >= self.config.max_queue:
+            registry.counter("serve.shed").inc()
+            registry.counter("serve.shed.queue_full").inc()
+            return None
+        self._inflight += 1
+        registry.gauge("serve.queue_depth").set(self._inflight)
+        now = self.clock()
+        return Ticket(endpoint, now, now + self.config.timeout_for(endpoint))
+
+    def release(self, ticket: Ticket) -> None:
+        """Return the ticket's slot; idempotent per ticket."""
+        if ticket._released:
+            return
+        ticket._released = True
+        self._inflight -= 1
+        get_registry().gauge("serve.queue_depth").set(self._inflight)
+
+    def remaining(self, ticket: Ticket) -> float:
+        """Seconds until the ticket's deadline (negative when expired)."""
+        return ticket.deadline - self.clock()
+
+    def expired(self, ticket: Ticket) -> bool:
+        return self.clock() > ticket.deadline
+
+    def shed_deadline(self) -> None:
+        """Record a deadline-based shed (the 503 path)."""
+        registry = get_registry()
+        registry.counter("serve.shed").inc()
+        registry.counter("serve.shed.deadline").inc()

@@ -1,0 +1,169 @@
+"""Request coalescing: micro-batching for the serving hot paths.
+
+The PR 3/4 kernels (`predict_items`, `difficulty_array`) are vectorized —
+their cost is dominated by per-call work that is shared across requests
+(one sort of the level's probability vector ranks *every* item in the
+batch).  A server answering each request with its own kernel call throws
+that sharing away.  :class:`MicroBatcher` buys it back: requests queue on
+an asyncio future, and a flusher drains the queue into one batched call
+whenever ``max_batch`` requests have accumulated or ``max_wait_ms`` has
+elapsed since the first queued request — whichever comes first.
+
+Batching is a pure throughput/latency concern, never a semantic one: the
+batch function receives the payloads in arrival order and must return one
+result per payload computed exactly as a singleton call would (the serve
+endpoints guarantee this — `tools/bench_serve.py` asserts byte-identical
+responses between coalesced and sequential dispatch).
+
+``max_batch=1`` degenerates to sequential per-request dispatch through
+the identical code path, which is what the benchmark's baseline mode and
+the ``--max-batch 1`` CLI knob use.
+
+Observability: every flush observes its size into the ``serve.batch_size``
+histogram and its duration into ``serve.batch_flush_seconds``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_registry
+
+__all__ = ["MicroBatcher"]
+
+_log = get_logger("serve.batcher")
+
+
+class MicroBatcher:
+    """Coalesce awaited ``submit`` calls into batched function calls.
+
+    ``batch_fn(payloads)`` runs on the event-loop thread and must return a
+    sequence with one result per payload, in order.  A raising ``batch_fn``
+    fails every request of that flush with the same exception.
+
+    The batcher must be started (``await start()``) on the loop that will
+    submit to it; ``stop()`` flushes whatever is still queued.
+    """
+
+    def __init__(
+        self,
+        batch_fn: Callable[[list[Any]], Sequence[Any]],
+        *,
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+        name: str = "batch",
+    ) -> None:
+        if max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1")
+        if max_wait_ms < 0:
+            raise ConfigurationError("max_wait_ms must be >= 0")
+        self._batch_fn = batch_fn
+        self.max_batch = int(max_batch)
+        self.max_wait_seconds = float(max_wait_ms) / 1000.0
+        self.name = name
+        self.flushes = 0
+        self._pending: list[tuple[Any, asyncio.Future]] = []
+        self._wake: asyncio.Event | None = None
+        self._full: asyncio.Event | None = None
+        self._task: asyncio.Task | None = None
+        self._closed = False
+
+    async def start(self) -> None:
+        """Create the flusher task on the running loop."""
+        if self._task is not None:
+            raise ConfigurationError(f"batcher {self.name!r} already started")
+        self._wake = asyncio.Event()
+        self._full = asyncio.Event()
+        self._task = asyncio.create_task(self._run(), name=f"batcher-{self.name}")
+
+    async def stop(self) -> None:
+        """Flush the remaining queue and retire the flusher task."""
+        if self._task is None:
+            return
+        self._closed = True
+        assert self._wake is not None
+        self._wake.set()
+        await self._task
+        self._task = None
+
+    async def submit(self, payload: Any) -> Any:
+        """Queue ``payload`` and await its result from the next flush."""
+        if self._closed or self._task is None:
+            raise ConfigurationError(f"batcher {self.name!r} is not running")
+        assert self._wake is not None and self._full is not None
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending.append((payload, future))
+        self._wake.set()
+        if len(self._pending) >= self.max_batch:
+            self._full.set()
+        return await future
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._pending)
+
+    async def _run(self) -> None:
+        assert self._wake is not None and self._full is not None
+        while True:
+            await self._wake.wait()
+            if not self._pending:
+                if self._closed:
+                    return
+                self._wake.clear()
+                continue
+            # Linger for the rest of the coalescing window unless the
+            # batch is already full (or we are draining at shutdown).
+            if (
+                len(self._pending) < self.max_batch
+                and self.max_wait_seconds > 0
+                and not self._closed
+            ):
+                try:
+                    await asyncio.wait_for(self._full.wait(), self.max_wait_seconds)
+                except (TimeoutError, asyncio.TimeoutError):
+                    pass
+            self._full.clear()
+            batch = self._pending[: self.max_batch]
+            del self._pending[: len(batch)]
+            if len(self._pending) >= self.max_batch:
+                self._full.set()
+            if not self._pending and not self._closed:
+                self._wake.clear()
+            self._flush(batch)
+
+    def _flush(self, batch: list[tuple[Any, asyncio.Future]]) -> None:
+        registry = get_registry()
+        registry.histogram("serve.batch_size").observe(len(batch))
+        self.flushes += 1
+        payloads = [payload for payload, _future in batch]
+        try:
+            with registry.timer("serve.batch_flush_seconds"):
+                results = self._batch_fn(payloads)
+        except Exception as exc:  # fail the whole flush, not the server
+            registry.counter("serve.batch_errors").inc()
+            _log.warning(
+                "batch flush failed",
+                extra={"obs": {"batcher": self.name, "size": len(batch), "error": str(exc)}},
+            )
+            for _payload, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        if len(results) != len(batch):
+            mismatch = ConfigurationError(
+                f"batch function for {self.name!r} returned {len(results)} "
+                f"results for {len(batch)} payloads"
+            )
+            for _payload, future in batch:
+                if not future.done():
+                    future.set_exception(mismatch)
+            return
+        for (_payload, future), result in zip(batch, results):
+            # A future may already be cancelled by a deadline timeout;
+            # its requester has been answered with 503 and moved on.
+            if not future.done():
+                future.set_result(result)

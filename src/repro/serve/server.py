@@ -1,0 +1,673 @@
+"""The online prediction service: HTTP endpoints over a fitted model.
+
+This is the top of the serving stack.  :class:`SkillServer` binds an
+``asyncio.start_server`` socket and answers the queries the paper's
+envisioned upskilling recommender needs online (Section VI's downstream
+tasks), plus the operational endpoints a running service requires:
+
+==========================  =================================================
+``POST /predict``           skill-conditioned item ranking: infer the user's
+                            level at a time, return the top-k items and —
+                            when a candidate ``item`` is given — its
+                            mid-rank and reciprocal rank (Tables X/XI math)
+``POST /difficulty``        difficulty estimates for a list of items under a
+                            uniform or empirical prior (Section V)
+``GET /skill``              a user's inferred level at ``?user=&time=``
+``GET /healthz``            liveness plus the loaded artifact's metadata
+                            (checksum, format version, telemetry run id)
+``GET /metrics``            the process metrics snapshot in the
+                            ``repro-metrics/1`` schema that
+                            ``tools/check_obs_output.py`` validates
+==========================  =================================================
+
+Request flow: parse → admission (429 when the bounded queue is full) →
+micro-batcher (``/predict`` and ``/difficulty`` coalesce into one
+``predict_items`` / ``difficulty_array`` call per flush; see
+:mod:`repro.serve.batcher`) → deadline check (503 past the per-endpoint
+timeout) → JSON response.  Model hot-reload runs as a background watch
+task over :class:`~repro.serve.state.ModelState`; each batch flush reads
+one immutable bundle, so a swap mid-traffic never mixes models within a
+response.
+
+Everything is standard library: the HTTP layer is a deliberately small
+HTTP/1.1 subset (keep-alive, ``Content-Length`` bodies) — enough for load
+balancers, ``curl``, and ``http.client``, with no framework dependency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import queue
+import threading
+import urllib.parse
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.features import ID_FEATURE
+from repro.data.splits import HeldOutAction
+from repro.data.actions import Action
+from repro.exceptions import ConfigurationError, ReproError
+from repro.obs.logging import current_run_id, get_logger
+from repro.obs.metrics import get_registry
+from repro.recsys.ranking import predict_items
+from repro.core.difficulty import PRIOR_EMPIRICAL, PRIOR_UNIFORM, difficulty_array
+from repro.serve.admission import AdmissionConfig, AdmissionController
+from repro.serve.batcher import MicroBatcher
+from repro.serve.state import ModelState, ServingModel
+
+__all__ = ["ServeConfig", "SkillServer", "ServerThread"]
+
+_log = get_logger("serve.server")
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+_PRIORS = (PRIOR_UNIFORM, PRIOR_EMPIRICAL)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything the serving subsystem can be tuned with."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080  # 0 binds an ephemeral port (tests, benchmarks)
+    max_batch: int = 64
+    max_wait_ms: float = 2.0
+    max_queue: int = 256
+    timeout_seconds: float = 5.0
+    endpoint_timeouts: Mapping[str, float] = field(default_factory=dict)
+    poll_seconds: float = 1.0
+    default_top_k: int = 10
+
+    def __post_init__(self) -> None:
+        if self.default_top_k < 0:
+            raise ConfigurationError("default_top_k must be >= 0")
+        if self.poll_seconds <= 0:
+            raise ConfigurationError("poll_seconds must be positive")
+
+
+class _HttpError(Exception):
+    """A request-level failure with its HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class _RequestError(Exception):
+    """A per-payload failure inside a batch flush (carries the status)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass(frozen=True)
+class _Request:
+    method: str
+    path: str
+    params: Mapping[str, list[str]]
+    headers: Mapping[str, str]
+    body: bytes
+    keep_alive: bool
+
+
+class SkillServer:
+    """Micro-batched asyncio HTTP server over a hot-reloadable model."""
+
+    def __init__(self, state: ModelState, config: ServeConfig | None = None) -> None:
+        self.state = state
+        self.config = config if config is not None else ServeConfig()
+        self.admission = AdmissionController(
+            AdmissionConfig(
+                max_queue=self.config.max_queue,
+                default_timeout_seconds=self.config.timeout_seconds,
+                endpoint_timeouts=dict(self.config.endpoint_timeouts),
+            )
+        )
+        self._predict_batcher = MicroBatcher(
+            self._predict_batch,
+            max_batch=self.config.max_batch,
+            max_wait_ms=self.config.max_wait_ms,
+            name="predict",
+        )
+        self._difficulty_batcher = MicroBatcher(
+            self._difficulty_batch,
+            max_batch=self.config.max_batch,
+            max_wait_ms=self.config.max_wait_ms,
+            name="difficulty",
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._watch_task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self) -> tuple[str, int]:
+        """Load the model (unless preloaded), bind, and return the address."""
+        if self._server is not None:
+            raise ConfigurationError("server already started")
+        if not self.state.loaded:
+            self.state.load()
+        await self._predict_batcher.start()
+        await self._difficulty_batcher.start()
+        self._watch_task = asyncio.create_task(self._watch(), name="serve-watch")
+        self._server = await asyncio.start_server(
+            self._handle_client, host=self.config.host, port=self.config.port
+        )
+        host, port = self._server.sockets[0].getsockname()[:2]
+        _log.info(
+            "serving",
+            extra={
+                "obs": {
+                    "host": host,
+                    "port": port,
+                    "model": str(self.state.prefix),
+                    "max_batch": self.config.max_batch,
+                    "max_wait_ms": self.config.max_wait_ms,
+                }
+            },
+        )
+        return host, port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._watch_task is not None:
+            self._watch_task.cancel()
+            try:
+                await self._watch_task
+            except asyncio.CancelledError:
+                pass
+            self._watch_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self._predict_batcher.stop()
+        await self._difficulty_batcher.stop()
+
+    async def _watch(self) -> None:
+        """Poll the artifact pair and hot-swap the model when it changes."""
+        while True:
+            await asyncio.sleep(self.state.poll_seconds)
+            try:
+                self.state.maybe_reload()
+            except Exception:  # the watcher must outlive any reload bug
+                _log.exception("model watch iteration failed")
+
+    # ------------------------------------------------------------ transport
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                status, payload = await self._dispatch(request)
+                body = json.dumps(payload).encode("utf-8")
+                head = (
+                    f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    f"Connection: {'keep-alive' if request.keep_alive else 'close'}\r\n"
+                    "\r\n"
+                ).encode("latin-1")
+                writer.write(head + body)
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ValueError,  # oversized/garbled request line
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader) -> _Request | None:
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise ValueError(f"malformed request line: {line!r}")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        body = await reader.readexactly(length) if length else b""
+        path, _, query = target.partition("?")
+        keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+        return _Request(
+            method=method.upper(),
+            path=path,
+            params=urllib.parse.parse_qs(query),
+            headers=headers,
+            body=body,
+            keep_alive=keep_alive,
+        )
+
+    # ------------------------------------------------------------- routing
+
+    async def _dispatch(self, request: _Request) -> tuple[int, Any]:
+        registry = get_registry()
+        route = {
+            ("GET", "/healthz"): ("healthz", self._handle_healthz),
+            ("GET", "/metrics"): ("metrics", self._handle_metrics),
+            ("GET", "/skill"): ("skill", self._handle_skill),
+            ("POST", "/predict"): ("predict", self._handle_predict),
+            ("POST", "/difficulty"): ("difficulty", self._handle_difficulty),
+        }.get((request.method, request.path))
+        if route is None:
+            known_paths = {"/healthz", "/metrics", "/skill", "/predict", "/difficulty"}
+            status = 405 if request.path in known_paths else 404
+            registry.counter("serve.requests").inc()
+            registry.counter("serve.errors").inc()
+            return status, {"error": _REASONS[status].lower()}
+        endpoint, handler = route
+        registry.counter("serve.requests").inc()
+        registry.counter(f"serve.requests.{endpoint}").inc()
+        start = registry.clock()
+        try:
+            status, payload = await handler(request)
+        except _HttpError as exc:
+            status, payload = exc.status, {"error": str(exc)}
+        except ReproError as exc:
+            status, payload = 400, {"error": str(exc)}
+        except Exception as exc:  # never leak a traceback to the socket
+            _log.exception("unhandled error serving %s", endpoint)
+            status, payload = 500, {"error": f"internal error: {type(exc).__name__}"}
+        elapsed = registry.clock() - start
+        registry.histogram("serve.request_seconds").observe(elapsed)
+        if status >= 400:
+            registry.counter("serve.errors").inc()
+        _log.info(
+            "request",
+            extra={
+                "obs": {
+                    "endpoint": endpoint,
+                    "status": status,
+                    "ms": round(elapsed * 1000.0, 3),
+                }
+            },
+        )
+        return status, payload
+
+    async def _admit_and_submit(
+        self, endpoint: str, batcher: MicroBatcher, payload: Any
+    ) -> Any:
+        """Admission + deadline around one batched request."""
+        ticket = self.admission.admit(endpoint)
+        if ticket is None:
+            raise _HttpError(429, "queue full; retry with backoff")
+        try:
+            remaining = self.admission.remaining(ticket)
+            if remaining <= 0:
+                self.admission.shed_deadline()
+                raise _HttpError(503, f"deadline exceeded for {endpoint}")
+            try:
+                result = await asyncio.wait_for(batcher.submit(payload), remaining)
+            except (TimeoutError, asyncio.TimeoutError):
+                self.admission.shed_deadline()
+                raise _HttpError(503, f"deadline exceeded for {endpoint}") from None
+        finally:
+            self.admission.release(ticket)
+        if isinstance(result, _RequestError):
+            raise _HttpError(result.status, str(result))
+        return result
+
+    # ------------------------------------------------------------ endpoints
+
+    async def _handle_healthz(self, request: _Request) -> tuple[int, Any]:
+        bundle = self.state.current
+        return 200, {
+            "status": "ok",
+            "model": bundle.metadata,
+            "model_version": bundle.version,
+            "reloads": self.state.reloads,
+            "reload_failures": self.state.reload_failures,
+            "inflight": self.admission.inflight,
+        }
+
+    async def _handle_metrics(self, request: _Request) -> tuple[int, Any]:
+        bundle = self.state.current
+        telemetry = bundle.model.telemetry
+        return 200, {
+            "schema": "repro-metrics/1",
+            "run": current_run_id(),
+            **get_registry().snapshot(),
+            "telemetry": telemetry.to_json() if telemetry is not None else None,
+        }
+
+    async def _handle_skill(self, request: _Request) -> tuple[int, Any]:
+        ticket = self.admission.admit("skill")
+        if ticket is None:
+            raise _HttpError(429, "queue full; retry with backoff")
+        try:
+            if self.admission.expired(ticket):
+                self.admission.shed_deadline()
+                raise _HttpError(503, "deadline exceeded for skill")
+            bundle = self.state.current
+            user = self._resolve_user(bundle, _single_param(request, "user"))
+            time = _as_number(_single_param(request, "time"), "time")
+            level = bundle.model.skill_at(user, time)
+            return 200, {
+                "user": user,
+                "time": time,
+                "level": level,
+                "model_version": bundle.version,
+            }
+        finally:
+            self.admission.release(ticket)
+
+    async def _handle_predict(self, request: _Request) -> tuple[int, Any]:
+        payload = self._validate_predict(_json_body(request))
+        result = await self._admit_and_submit("predict", self._predict_batcher, payload)
+        return 200, result
+
+    async def _handle_difficulty(self, request: _Request) -> tuple[int, Any]:
+        payload = self._validate_difficulty(_json_body(request))
+        result = await self._admit_and_submit(
+            "difficulty", self._difficulty_batcher, payload
+        )
+        return 200, result
+
+    # ----------------------------------------------------------- validation
+
+    def _resolve_user(self, bundle: ServingModel, user: Any) -> Any:
+        """Map a request's user id onto a trained user (404 when unknown).
+
+        Query-string ids arrive as strings; integer training ids are
+        recovered by one int-coercion attempt, mirroring the JSONL id rule.
+        """
+        assignments = bundle.model.assignments
+        if user in assignments:
+            return user
+        if isinstance(user, str):
+            try:
+                coerced = int(user)
+            except ValueError:
+                coerced = None
+            if coerced is not None and coerced in assignments:
+                return coerced
+        raise _HttpError(404, f"user {user!r} was not in the training data")
+
+    def _validate_predict(self, data: Any) -> dict[str, Any]:
+        if not isinstance(data, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        if "user" not in data:
+            raise _HttpError(400, "missing required field 'user'")
+        bundle = self.state.current
+        user = self._resolve_user(bundle, data["user"])
+        time = _as_number(data.get("time"), "time")
+        k = data.get("k", self.config.default_top_k)
+        if not isinstance(k, int) or isinstance(k, bool) or k < 0:
+            raise _HttpError(400, "'k' must be a non-negative integer")
+        item = data.get("item")
+        if item is not None:
+            if ID_FEATURE not in bundle.model.feature_set.names:
+                raise _HttpError(
+                    400, "model was trained without the item-id feature; "
+                    "omit 'item' or serve an id-featured model"
+                )
+            if item not in bundle.model.encoded.index_of:
+                raise _HttpError(404, f"item {item!r} not in the model's catalog")
+        return {"user": user, "time": time, "item": item, "k": k}
+
+    def _validate_difficulty(self, data: Any) -> dict[str, Any]:
+        if not isinstance(data, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        items = data.get("items")
+        if not isinstance(items, list) or not items:
+            raise _HttpError(400, "'items' must be a non-empty list of item ids")
+        prior = data.get("prior", PRIOR_EMPIRICAL)
+        if prior not in _PRIORS:
+            raise _HttpError(
+                400, f"'prior' must be one of {list(_PRIORS)}, got {prior!r}"
+            )
+        return {"items": items, "prior": prior}
+
+    # -------------------------------------------------------- batched kernels
+
+    def _predict_batch(self, payloads: list[dict[str, Any]]) -> list[Any]:
+        """One flush of /predict requests against one model snapshot.
+
+        The per-request answers are bit-identical to singleton dispatch:
+        ``predict_items`` ranks each action from its own level's sorted
+        probability vector, independent of which other actions share the
+        batch, and the top-k list per (level, k) is the same
+        ``top_items`` call either way (cached per flush, not recomputed
+        per request).
+        """
+        bundle = self.state.current
+        model = bundle.model
+        results: list[Any] = [None] * len(payloads)
+        held: list[HeldOutAction] = []
+        held_slots: list[int] = []
+        top_cache: dict[tuple[int, int], list[dict[str, Any]]] = {}
+        for slot, payload in enumerate(payloads):
+            try:
+                level = model.skill_at(payload["user"], payload["time"])
+            except ReproError as exc:
+                results[slot] = _RequestError(404, str(exc))
+                continue
+            body: dict[str, Any] = {
+                "user": payload["user"],
+                "time": payload["time"],
+                "level": level,
+                "model_version": bundle.version,
+            }
+            k = payload["k"]
+            if k:
+                key = (level, k)
+                if key not in top_cache:
+                    top_cache[key] = [
+                        {"item": item, "probability": probability}
+                        for item, probability in model.top_items(level, k)
+                    ]
+                body["top"] = top_cache[key]
+            results[slot] = body
+            if payload["item"] is not None:
+                held.append(
+                    HeldOutAction(
+                        action=Action(
+                            time=payload["time"],
+                            user=payload["user"],
+                            item=payload["item"],
+                        ),
+                        position=0,
+                        sequence_length=1,
+                    )
+                )
+                held_slots.append(slot)
+        if held:
+            try:
+                ranks = predict_items(model, held).ranks
+            except ReproError:
+                # A request invalidated by a model swap between validation
+                # and flush must not poison its batch-mates: rank each
+                # held-out action alone (identical arithmetic) and fail
+                # only the offending slots.
+                for slot, one in zip(held_slots, held):
+                    try:
+                        self._attach_rank(
+                            results[slot], one.action.item,
+                            float(predict_items(model, [one]).ranks[0]),
+                        )
+                    except ReproError as exc:
+                        results[slot] = _RequestError(404, str(exc))
+            else:
+                for slot, one, rank in zip(held_slots, held, ranks):
+                    self._attach_rank(results[slot], one.action.item, float(rank))
+        return results
+
+    @staticmethod
+    def _attach_rank(body: dict[str, Any], item: Any, rank: float) -> None:
+        body["item"] = item
+        body["rank"] = rank
+        body["reciprocal_rank"] = 1.0 / rank
+
+    def _difficulty_batch(self, payloads: list[dict[str, Any]]) -> list[Any]:
+        """One flush of /difficulty requests: a single gather per prior.
+
+        ``difficulty_array`` over the concatenation of the flush's item
+        lists returns exactly the per-request gathers, so splitting the
+        result by request offsets is bit-identical to singleton dispatch.
+        """
+        bundle = self.state.current
+        results: list[Any] = [None] * len(payloads)
+        by_prior: dict[str, list[int]] = {}
+        for slot, payload in enumerate(payloads):
+            by_prior.setdefault(payload["prior"], []).append(slot)
+        for prior, slots in by_prior.items():
+            estimates = bundle.difficulties[prior]
+            flat_ids = [
+                item for slot in slots for item in payloads[slot]["items"]
+            ]
+            try:
+                values = difficulty_array(estimates, flat_ids)
+            except ReproError:
+                # Unknown item somewhere in the flush: gather per request
+                # so only the offending requests fail.
+                for slot in slots:
+                    try:
+                        per_request = difficulty_array(
+                            estimates, payloads[slot]["items"]
+                        )
+                    except ReproError as exc:
+                        results[slot] = _RequestError(404, str(exc))
+                    else:
+                        results[slot] = self._difficulty_body(
+                            bundle, prior, payloads[slot]["items"], per_request
+                        )
+                continue
+            offset = 0
+            for slot in slots:
+                items = payloads[slot]["items"]
+                results[slot] = self._difficulty_body(
+                    bundle, prior, items, values[offset : offset + len(items)]
+                )
+                offset += len(items)
+        return results
+
+    @staticmethod
+    def _difficulty_body(
+        bundle: ServingModel, prior: str, items: list[Any], values
+    ) -> dict[str, Any]:
+        return {
+            "prior": prior,
+            "items": items,
+            "difficulties": [float(value) for value in values],
+            "model_version": bundle.version,
+        }
+
+
+# ---------------------------------------------------------------- threading
+
+
+class ServerThread:
+    """Run a :class:`SkillServer` on a private event loop in a daemon thread.
+
+    For in-process embedding: tests and ``tools/bench_serve.py`` start a
+    real socket server without blocking the caller.  ``start()`` returns
+    the bound ``(host, port)``; ``stop()`` shuts the loop down cleanly.
+    """
+
+    def __init__(self, server: SkillServer) -> None:
+        self.server = server
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._started: queue.Queue = queue.Queue(maxsize=1)
+
+    def start(self) -> tuple[str, int]:
+        if self._thread is not None:
+            raise ConfigurationError("server thread already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        outcome = self._started.get()
+        if isinstance(outcome, BaseException):
+            self._thread.join()
+            self._thread = None
+            raise outcome
+        return outcome
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        try:
+            address = loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # surfaced to start() in the caller
+            loop.close()
+            self._started.put(exc)
+            return
+        self._loop = loop
+        self._started.put(address)
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self.server.stop())
+            loop.close()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._thread = None
+        self._loop = None
+
+
+# ---------------------------------------------------------------- helpers
+
+
+def _json_body(request: _Request) -> Any:
+    if not request.body:
+        raise _HttpError(400, "request body is required")
+    try:
+        return json.loads(request.body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise _HttpError(400, f"malformed JSON body ({exc})") from None
+
+
+def _single_param(request: _Request, name: str) -> str:
+    values = request.params.get(name)
+    if not values:
+        raise _HttpError(400, f"missing required query parameter {name!r}")
+    return values[0]
+
+
+def _as_number(value: Any, name: str) -> float:
+    if isinstance(value, bool) or value is None:
+        raise _HttpError(400, f"'{name}' must be a number")
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise _HttpError(400, f"'{name}' must be a number") from None

@@ -1,0 +1,194 @@
+"""Serving model state: atomic hot-reload of saved model artifacts.
+
+A serving process must outlive any one model: training re-saves the
+``<prefix>.json`` / ``<prefix>.npz`` pair periodically, and the server
+picks the new pair up without dropping requests.  :class:`ModelState`
+holds one immutable :class:`ServingModel` bundle at a time and swaps it
+behind a single attribute assignment — readers that grabbed the previous
+bundle keep a fully consistent (model, difficulty tables, metadata)
+snapshot until they finish.
+
+The watch/validate/swap cycle leans entirely on PR 1's staged-commit
+writer and checksumming reader (:mod:`repro.core.serialize`):
+
+1. *watch* — each poll stats both files; a changed ``(mtime_ns, size)``
+   signature marks a candidate reload.
+2. *validate* — :func:`~repro.core.serialize.load_model` verifies the
+   JSON-carried SHA-256 of the NPZ payload, so a pair caught mid-commit
+   (the window between the two ``os.replace`` calls) or torn by a crash
+   is a typed :class:`~repro.exceptions.DataError`, never a bad model.
+3. *swap or keep* — on success the new bundle replaces the old in one
+   assignment (``serve.reloads``); on failure the old model keeps
+   serving (``serve.reload_failures``) and the retry waits for the
+   signature to change again — which the completing writer's final
+   ``os.replace`` guarantees it will.
+
+Each bundle precomputes what the endpoints gather from: the difficulty
+estimates for both priors (so ``/difficulty`` is a pure
+:func:`~repro.core.difficulty.difficulty_array` gather) and the artifact
+metadata (checksum, format version, telemetry run id) that ``/healthz``
+and ``repro inspect`` report, so operators can verify *which* artifact a
+running server actually loaded.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.core.difficulty import PRIOR_EMPIRICAL, PRIOR_UNIFORM, generation_difficulty
+from repro.core.model import SkillModel
+from repro.core.serialize import artifact_metadata, load_model
+from repro.exceptions import DataError, ReproError
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_registry
+
+__all__ = ["ModelState", "ServingModel"]
+
+_log = get_logger("serve.state")
+
+#: stat fields that change whenever `os.replace` lands a new artifact.
+_Signature = tuple[tuple[int, int], tuple[int, int]]
+
+
+class ServingModel:
+    """One immutable, fully validated model bundle the server reads from."""
+
+    __slots__ = ("model", "metadata", "difficulties", "version")
+
+    def __init__(
+        self,
+        model: SkillModel,
+        metadata: Mapping[str, Any],
+        difficulties: Mapping[str, Mapping[Any, float]],
+        version: int,
+    ) -> None:
+        self.model = model
+        self.metadata = dict(metadata)
+        self.difficulties = difficulties
+        self.version = version
+
+
+def _build_bundle(prefix: Path, version: int) -> ServingModel:
+    model = load_model(prefix)
+    metadata = artifact_metadata(prefix)
+    difficulties = {
+        PRIOR_UNIFORM: generation_difficulty(model, prior=PRIOR_UNIFORM),
+        PRIOR_EMPIRICAL: generation_difficulty(model, prior=PRIOR_EMPIRICAL),
+    }
+    return ServingModel(model, metadata, difficulties, version)
+
+
+class ModelState:
+    """The current model plus the machinery to refresh it from disk.
+
+    ``load()`` must succeed once before serving; ``maybe_reload()`` is
+    then called by the server's watch task every ``poll_seconds`` and is
+    also safe to call directly (tests, manual reload endpoints).
+    """
+
+    def __init__(self, path_prefix: str | Path, *, poll_seconds: float = 1.0) -> None:
+        self.prefix = Path(path_prefix)
+        self.poll_seconds = float(poll_seconds)
+        self.reloads = 0
+        self.reload_failures = 0
+        self._current: ServingModel | None = None
+        self._signature: _Signature | None = None
+        self._failed_signature: _Signature | None = None
+
+    # ------------------------------------------------------------- access
+
+    @property
+    def loaded(self) -> bool:
+        return self._current is not None
+
+    @property
+    def current(self) -> ServingModel:
+        if self._current is None:
+            raise DataError(f"no model loaded from {self.prefix}")
+        return self._current
+
+    # ------------------------------------------------------------ loading
+
+    def _stat_signature(self) -> _Signature | None:
+        try:
+            json_stat = os.stat(self.prefix.with_suffix(".json"))
+            npz_stat = os.stat(self.prefix.with_suffix(".npz"))
+        except OSError:
+            return None
+        return (
+            (json_stat.st_mtime_ns, json_stat.st_size),
+            (npz_stat.st_mtime_ns, npz_stat.st_size),
+        )
+
+    def load(self) -> ServingModel:
+        """Initial load; raises :class:`~repro.exceptions.DataError` when
+        the artifact pair is missing or invalid."""
+        # Signature first: if the pair is replaced mid-read the signatures
+        # diverge and the next poll re-reads — never a silent stale serve.
+        self._signature = self._stat_signature()
+        bundle = _build_bundle(self.prefix, version=1)
+        self._current = bundle
+        _log.info(
+            "model loaded for serving",
+            extra={
+                "obs": {
+                    "prefix": str(self.prefix),
+                    "checksum": bundle.metadata.get("npz_checksum", "")[:12],
+                    "users": bundle.metadata.get("num_users"),
+                    "items": bundle.metadata.get("num_items"),
+                }
+            },
+        )
+        return bundle
+
+    def maybe_reload(self) -> bool:
+        """Swap in a newly written artifact pair; returns True on a swap.
+
+        The previous model keeps serving through every failure mode: a
+        half-committed pair (checksum mismatch), a vanished file, or a
+        malformed artifact only increments ``serve.reload_failures``.
+        """
+        if self._current is None:
+            raise DataError("maybe_reload() before load()")
+        signature = self._stat_signature()
+        if signature is None or signature == self._signature:
+            return False
+        if signature == self._failed_signature:
+            # This exact broken pair already failed validation; wait for
+            # the writer's final os.replace to move the signature again.
+            return False
+        try:
+            bundle = _build_bundle(self.prefix, version=self._current.version + 1)
+        except (ReproError, OSError) as exc:
+            self.reload_failures += 1
+            self._failed_signature = signature
+            get_registry().counter("serve.reload_failures").inc()
+            _log.warning(
+                "model reload failed; keeping previous model",
+                extra={
+                    "obs": {
+                        "prefix": str(self.prefix),
+                        "serving_version": self._current.version,
+                        "error": str(exc),
+                    }
+                },
+            )
+            return False
+        self._signature = signature
+        self._failed_signature = None
+        self._current = bundle  # the atomic swap: one attribute assignment
+        self.reloads += 1
+        get_registry().counter("serve.reloads").inc()
+        _log.info(
+            "model hot-reloaded",
+            extra={
+                "obs": {
+                    "prefix": str(self.prefix),
+                    "version": bundle.version,
+                    "checksum": bundle.metadata.get("npz_checksum", "")[:12],
+                }
+            },
+        )
+        return True

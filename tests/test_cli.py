@@ -53,6 +53,33 @@ class TestParser:
         assert args.log_json is False
         assert args.metrics_out is None
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "models/cooking"])
+        assert args.model == "models/cooking"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.max_batch == 64
+        assert args.max_wait_ms == 2.0
+        assert args.max_queue == 256
+        assert args.timeout == 5.0
+        assert args.poll_seconds == 1.0
+        assert args.log_level is None  # obs flags ride along
+
+    def test_serve_knobs(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "m", "--port", "0", "--max-batch", "1",
+                "--max-wait-ms", "0", "--max-queue", "16",
+                "--timeout", "1.5", "--poll-seconds", "0.1",
+            ]
+        )
+        assert args.port == 0
+        assert args.max_batch == 1
+        assert args.max_wait_ms == 0.0
+        assert args.max_queue == 16
+        assert args.timeout == 1.5
+        assert args.poll_seconds == 0.1
+
 
 class TestCommands:
     def test_list(self, capsys):

@@ -187,6 +187,31 @@ class TestCliObservability:
         assert "## Telemetry" in out
         assert "stage wall-time" in out
 
+    def test_inspect_prints_artifact_section(self, tmp_path, capsys):
+        data = self._simulate(tmp_path)
+        model = str(tmp_path / "model")
+        assert main(
+            [
+                "fit", data,
+                "--levels", "3",
+                "--model", model,
+                "--init-min-actions", "10",
+                "--max-iterations", "5",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["inspect", model]) == 0
+        out = capsys.readouterr().out
+        assert "## Artifacts" in out
+        assert "format version: 1" in out
+        assert "(verified)" in out
+        assert "telemetry run: " in out
+        # the run id printed in Artifacts is the saved telemetry's run id
+        import json as _json
+
+        run_id = _json.loads((tmp_path / "model.json").read_text())["telemetry"]["run_id"]
+        assert run_id in out
+
     def test_run_metrics_out_without_fit_telemetry(self, tmp_path, capsys):
         metrics_path = tmp_path / "run-metrics.json"
         assert main(["run", "table1", "--metrics-out", str(metrics_path)]) == 0

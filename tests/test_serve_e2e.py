@@ -1,0 +1,290 @@
+"""End-to-end tests: a real socket server, concurrent clients, hot reload.
+
+These boot :class:`~repro.serve.server.ServerThread` on an ephemeral port
+and talk to it over ``http.client`` — the same transport CI's smoke job
+and ``tools/bench_serve.py`` use.  The two load-bearing claims:
+
+- batched dispatch is *byte-identical* to sequential dispatch and matches
+  direct library calls (batching is invisible to callers);
+- a model hot-swap mid-traffic never fails a request: the old model
+  answers until the new pair validates, then new answers appear.
+"""
+
+import importlib.util
+import json
+import http.client
+import os
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.difficulty import difficulty_array
+from repro.core.serialize import save_model
+from repro.core.training import fit_skill_model
+from repro.data.actions import Action
+from repro.data.splits import HeldOutAction
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.recsys.ranking import predict_items
+from repro.serve import ModelState, ServeConfig, ServerThread, SkillServer
+
+
+def _request(host, port, method, path, body=None):
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn.request(method, path, payload, headers)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+@pytest.fixture
+def served(fitted_tiny_model, tmp_path):
+    """A running server (batched config) over the tiny fitted model."""
+    prefix = tmp_path / "model"
+    save_model(fitted_tiny_model, prefix)
+    with use_registry(MetricsRegistry()) as registry:
+        server = SkillServer(
+            ModelState(prefix, poll_seconds=0.05),
+            ServeConfig(port=0, max_batch=8, max_wait_ms=2.0),
+        )
+        thread = ServerThread(server)
+        host, port = thread.start()
+        try:
+            yield host, port, prefix, registry
+        finally:
+            thread.stop()
+
+
+class TestEndpoints:
+    def test_healthz_reports_the_artifact(self, served):
+        host, port, prefix, _ = served
+        status, raw = _request(host, port, "GET", "/healthz")
+        body = json.loads(raw)
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["model_version"] == 1
+        assert body["model"]["checksum_verified"] is True
+        assert body["model"]["json_path"] == str(prefix.with_suffix(".json"))
+
+    def test_skill_matches_direct_call(self, served, fitted_tiny_model):
+        host, port, _, _ = served
+        status, raw = _request(host, port, "GET", "/skill?user=u1&time=7.0")
+        assert status == 200
+        assert json.loads(raw)["level"] == fitted_tiny_model.skill_at("u1", 7.0)
+
+    def test_predict_matches_direct_calls(self, served, fitted_tiny_model):
+        host, port, _, _ = served
+        model = fitted_tiny_model
+        status, raw = _request(
+            host, port, "POST", "/predict",
+            {"user": "u0", "time": 4.0, "k": 3, "item": "i5"},
+        )
+        assert status == 200
+        body = json.loads(raw)
+        level = model.skill_at("u0", 4.0)
+        assert body["level"] == level
+        assert [entry["item"] for entry in body["top"]] == [
+            item for item, _ in model.top_items(level, 3)
+        ]
+        held = HeldOutAction(
+            action=Action(time=4.0, user="u0", item="i5"),
+            position=0, sequence_length=1,
+        )
+        expected_rank = float(predict_items(model, [held]).ranks[0])
+        assert body["rank"] == expected_rank
+        assert body["reciprocal_rank"] == 1.0 / expected_rank
+
+    def test_difficulty_matches_direct_gather(self, served, fitted_tiny_model):
+        host, port, _, served_registry = served
+        items = ["i0", "i7", "i11"]
+        status, raw = _request(
+            host, port, "POST", "/difficulty", {"items": items, "prior": "empirical"}
+        )
+        assert status == 200
+        body = json.loads(raw)
+        from repro.core.difficulty import generation_difficulty
+
+        expected = difficulty_array(
+            generation_difficulty(fitted_tiny_model, prior="empirical"), items
+        )
+        assert body["difficulties"] == [float(v) for v in expected]
+
+    def test_error_statuses(self, served):
+        host, port, _, _ = served
+        assert _request(host, port, "GET", "/skill?user=ghost&time=1")[0] == 404
+        assert _request(host, port, "GET", "/skill?user=u0")[0] == 400
+        assert _request(host, port, "POST", "/predict", {"time": 1.0})[0] == 400
+        assert _request(
+            host, port, "POST", "/predict", {"user": "u0", "time": 1.0, "item": "nope"}
+        )[0] == 404
+        assert _request(host, port, "POST", "/difficulty", {"items": []})[0] == 400
+        assert _request(
+            host, port, "POST", "/difficulty", {"items": ["i0"], "prior": "bogus"}
+        )[0] == 400
+        assert _request(host, port, "GET", "/nope")[0] == 404
+        assert _request(host, port, "POST", "/healthz")[0] == 405
+
+    def test_metrics_passes_the_obs_checker(self, served):
+        host, port, _, _ = served
+        _request(host, port, "GET", "/skill?user=u0&time=1.0")
+        status, raw = _request(host, port, "GET", "/metrics")
+        assert status == 200
+        payload = json.loads(raw)
+        checker_path = (
+            Path(__file__).resolve().parent.parent / "tools" / "check_obs_output.py"
+        )
+        spec = importlib.util.spec_from_file_location("check_obs_output", checker_path)
+        checker = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(checker)
+        assert checker.check_metrics(payload) == []
+        assert payload["counters"]["serve.requests.skill"] >= 1
+
+
+class TestBatchedParity:
+    def test_batched_bytes_equal_sequential_bytes(self, fitted_tiny_model, tmp_path):
+        """The same workload through max_batch=8 and max_batch=1 servers."""
+        prefix = tmp_path / "model"
+        save_model(fitted_tiny_model, prefix)
+        workload = []
+        for r in range(24):
+            if r % 3 == 2:
+                workload.append(
+                    ("/difficulty",
+                     {"items": [f"i{(r + j) % 12}" for j in range(4)],
+                      "prior": ["uniform", "empirical"][r % 2]})
+                )
+            else:
+                workload.append(
+                    ("/predict",
+                     {"user": f"u{r % 3}", "time": float(r % 9), "k": 5,
+                      "item": f"i{(r * 5) % 12}"})
+                )
+
+        def collect(max_batch):
+            with use_registry(MetricsRegistry()) as registry:
+                thread = ServerThread(
+                    SkillServer(
+                        ModelState(prefix),
+                        ServeConfig(port=0, max_batch=max_batch, max_wait_ms=2.0),
+                    )
+                )
+                host, port = thread.start()
+                try:
+                    statuses = [0] * len(workload)
+                    bodies = [None] * len(workload)
+
+                    def worker(offset):
+                        for index in range(offset, len(workload), 4):
+                            path, body = workload[index]
+                            statuses[index], bodies[index] = _request(
+                                host, port, "POST", path, body
+                            )
+
+                    threads = [
+                        threading.Thread(target=worker, args=(offset,))
+                        for offset in range(4)
+                    ]
+                    for t in threads:
+                        t.start()
+                    for t in threads:
+                        t.join()
+                finally:
+                    thread.stop()
+                assert statuses == [200] * len(workload)
+                coalesced = registry.snapshot()["histograms"]["serve.batch_size"]
+                return bodies, coalesced["max"]
+
+        batched, batched_max = collect(8)
+        sequential, sequential_max = collect(1)
+        assert batched == sequential  # byte-for-byte, hence bit-for-bit
+        assert sequential_max == 1
+
+
+class TestHotReload:
+    def test_swap_mid_traffic_without_errors(
+        self, fitted_tiny_model, tiny_log, tiny_catalog, tiny_feature_set, tmp_path
+    ):
+        model_b = fit_skill_model(
+            tiny_log,
+            tiny_catalog,
+            tiny_feature_set.with_id_feature(),
+            num_levels=2,
+            init_min_actions=5,
+            max_iterations=20,
+        )
+        probe = {"items": ["i3"], "prior": "uniform"}
+        from repro.core.difficulty import generation_difficulty
+
+        answer_a = float(difficulty_array(
+            generation_difficulty(fitted_tiny_model, prior="uniform"), ["i3"]
+        )[0])
+        answer_b = float(difficulty_array(
+            generation_difficulty(model_b, prior="uniform"), ["i3"]
+        )[0])
+        assert answer_a != answer_b  # the swap must be observable
+
+        prefix = tmp_path / "model"
+        save_model(fitted_tiny_model, prefix)
+        with use_registry(MetricsRegistry()) as registry:
+            thread = ServerThread(
+                SkillServer(
+                    ModelState(prefix, poll_seconds=0.05),
+                    ServeConfig(port=0, max_batch=8, max_wait_ms=1.0),
+                )
+            )
+            host, port = thread.start()
+            failures = []
+            answers = []
+            stop = threading.Event()
+
+            def traffic():
+                while not stop.is_set():
+                    status, raw = _request(host, port, "POST", "/difficulty", probe)
+                    if status != 200:
+                        failures.append((status, raw))
+                    else:
+                        answers.append(json.loads(raw)["difficulties"][0])
+                    status, _raw = _request(
+                        host, port, "POST", "/predict",
+                        {"user": "u0", "time": 3.0, "k": 2},
+                    )
+                    if status != 200:
+                        failures.append((status, _raw))
+
+            workers = [threading.Thread(target=traffic) for _ in range(3)]
+            try:
+                for worker in workers:
+                    worker.start()
+                time.sleep(0.2)  # traffic against model A first
+                save_model(model_b, prefix)
+                for suffix in (".json", ".npz"):
+                    path = prefix.with_suffix(suffix)
+                    stat = path.stat()
+                    os.utime(
+                        path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000)
+                    )
+                deadline = time.monotonic() + 5.0
+                swapped = False
+                while time.monotonic() < deadline and not swapped:
+                    status, raw = _request(host, port, "GET", "/healthz")
+                    swapped = status == 200 and json.loads(raw)["model_version"] == 2
+                    time.sleep(0.05)
+                time.sleep(0.2)  # traffic against model B after the swap
+            finally:
+                stop.set()
+                for worker in workers:
+                    worker.join()
+                thread.stop()
+
+            assert failures == []  # zero errors across the swap
+            assert swapped, "server never picked up the rewritten artifacts"
+            assert answer_a in answers and answer_b in answers
+            # old and new never interleave: A answers strictly precede B's
+            assert answers.index(answer_b) > answers.index(answer_a)
+            assert set(answers) <= {answer_a, answer_b}
+            assert registry.snapshot()["counters"]["serve.reloads"] >= 1

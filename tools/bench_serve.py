@@ -1,0 +1,270 @@
+#!/usr/bin/env python
+"""Benchmark the serving subsystem and write ``BENCH_serve.json``.
+
+One measurement, the one the serving layer exists for: a closed-loop load
+generator (``--concurrency`` client threads, each with a persistent
+``http.client`` connection, each issuing its share of a fixed workload of
+``/predict`` and ``/difficulty`` requests) against the same in-process
+:class:`~repro.serve.server.SkillServer` in two modes:
+
+- **sequential** — ``max_batch=1``: every request takes its own
+  ``predict_items`` / ``difficulty_array`` kernel call, through the same
+  batcher code path (the coalescing window degenerates to size-1 flushes);
+- **batched** — ``max_batch=64``, ``max_wait_ms=2``: concurrent requests
+  coalesce into shared kernel calls.
+
+Both modes answer the *identical* workload; the script asserts every
+response body is **byte-identical** across modes before reporting numbers
+(batching is a throughput/latency lever, never a semantic one — JSON float
+repr is shortest-round-trip, so byte equality means bit equality).
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/bench_serve.py
+
+Numbers are environment-dependent; the committed ``BENCH_serve.json``
+records the machine it was measured on.  CI runs ``--quick`` and asserts
+only parity plus sanity floors, not speedups.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import platform
+import statistics
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.serialize import save_model
+from repro.core.training import fit_skill_model
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.serve import ModelState, ServeConfig, ServerThread, SkillServer
+from repro.synth import CookingConfig, generate_cooking
+
+PRIORS = ("uniform", "empirical")
+
+
+def _build_model(prefix: Path, *, users: int, quick: bool) -> dict:
+    """Fit a model big enough that per-request kernel cost is non-trivial."""
+    dataset = generate_cooking(CookingConfig(num_users=users, seed=7))
+    model = fit_skill_model(
+        dataset.log,
+        dataset.catalog,
+        dataset.feature_set,
+        num_levels=4,
+        max_iterations=2 if quick else 6,
+        init_min_actions=10,
+    )
+    save_model(model, prefix)
+    structure = json.loads(prefix.with_suffix(".json").read_text(encoding="utf-8"))
+    return {
+        "users": structure["users"],
+        "items": structure["item_ids"],
+        "num_actions": dataset.log.num_actions,
+    }
+
+
+def _workload(info: dict, num_requests: int) -> list[tuple[str, bytes]]:
+    """A deterministic request list: (path, body) pairs, predict-heavy."""
+    users = info["users"]
+    items = info["items"]
+    requests: list[tuple[str, bytes]] = []
+    for r in range(num_requests):
+        if r % 3 == 2:
+            batch = [items[(r * 13 + j * 7) % len(items)] for j in range(8)]
+            body = {"items": batch, "prior": PRIORS[r % 2]}
+            requests.append(("/difficulty", json.dumps(body).encode("utf-8")))
+        else:
+            body = {
+                "user": users[r % len(users)],
+                "time": float(5 + r % 40),
+                "k": 10,
+                "item": items[(r * 11) % len(items)],
+            }
+            requests.append(("/predict", json.dumps(body).encode("utf-8")))
+    return requests
+
+
+def _run_mode(
+    prefix: Path,
+    workload: list[tuple[str, bytes]],
+    *,
+    max_batch: int,
+    concurrency: int,
+) -> dict:
+    """Serve the whole workload once; returns stats + response bodies."""
+    registry = MetricsRegistry()
+    set_registry(registry)
+    state = ModelState(prefix)
+    server = SkillServer(
+        state,
+        ServeConfig(port=0, max_batch=max_batch, max_wait_ms=2.0, max_queue=4096,
+                    timeout_seconds=60.0),
+    )
+    thread = ServerThread(server)
+    host, port = thread.start()
+
+    bodies: list[bytes | None] = [None] * len(workload)
+    latencies: list[float] = [0.0] * len(workload)
+    errors = [0]
+    lock = threading.Lock()
+    barrier = threading.Barrier(concurrency + 1)
+
+    def client(worker: int) -> None:
+        conn = http.client.HTTPConnection(host, port, timeout=120)
+        barrier.wait()
+        for index in range(worker, len(workload), concurrency):
+            path, payload = workload[index]
+            start = time.perf_counter()
+            conn.request("POST", path, payload, {"Content-Type": "application/json"})
+            response = conn.getresponse()
+            body = response.read()
+            latencies[index] = time.perf_counter() - start
+            if response.status != 200:
+                with lock:
+                    errors[0] += 1
+            bodies[index] = body
+        conn.close()
+
+    threads = [
+        threading.Thread(target=client, args=(worker,), daemon=True)
+        for worker in range(concurrency)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    wall_start = time.perf_counter()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - wall_start
+    thread.stop()
+
+    batch_hist = registry.snapshot()["histograms"].get("serve.batch_size", {})
+    ordered = sorted(latencies)
+    return {
+        "max_batch": max_batch,
+        "wall_seconds": wall,
+        "throughput_rps": len(workload) / wall,
+        "p50_ms": 1000.0 * statistics.median(ordered),
+        "p95_ms": 1000.0 * ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))],
+        "mean_ms": 1000.0 * statistics.fmean(ordered),
+        "mean_batch_size": batch_hist.get("mean"),
+        "flushes": batch_hist.get("count"),
+        "errors": errors[0],
+        "bodies": bodies,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=400)
+    parser.add_argument("--requests", type=int, default=2048)
+    parser.add_argument("--concurrency", type=int, default=32)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default="BENCH_serve.json")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: small model/workload, parity + sanity asserts only",
+    )
+    args = parser.parse_args()
+    if args.quick:
+        args.users = min(args.users, 80)
+        args.requests = min(args.requests, 256)
+        args.repeats = 1
+    if args.concurrency < 32:
+        parser.error("--concurrency must be >= 32 (the scenario being served)")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        prefix = Path(tmp) / "bench_model"
+        print(f"fitting bench model ({args.users} users)...")
+        info = _build_model(prefix, users=args.users, quick=args.quick)
+        workload = _workload(info, args.requests)
+        print(
+            f"workload: {len(workload)} requests "
+            f"({sum(1 for p, _ in workload if p == '/predict')} predict / "
+            f"{sum(1 for p, _ in workload if p == '/difficulty')} difficulty) "
+            f"at concurrency {args.concurrency}"
+        )
+
+        modes = {"sequential": 1, "batched": 64}
+        results: dict[str, dict] = {}
+        for name, max_batch in modes.items():
+            best: dict | None = None
+            for _ in range(args.repeats):
+                run = _run_mode(
+                    prefix, workload,
+                    max_batch=max_batch, concurrency=args.concurrency,
+                )
+                if best is None or run["wall_seconds"] < best["wall_seconds"]:
+                    best = run
+            assert best is not None
+            results[name] = best
+            print(
+                f"{name:10s} p50={best['p50_ms']:7.2f}ms p95={best['p95_ms']:7.2f}ms "
+                f"throughput={best['throughput_rps']:7.1f} req/s "
+                f"mean_batch={best['mean_batch_size'] or 1:.1f}"
+            )
+
+    # Parity: coalesced batching must be semantically invisible.
+    mismatches = sum(
+        1 for a, b in zip(results["sequential"]["bodies"], results["batched"]["bodies"])
+        if a != b
+    )
+    assert mismatches == 0, f"{mismatches} responses differ between modes"
+    assert results["sequential"]["errors"] == 0, "sequential mode had HTTP errors"
+    assert results["batched"]["errors"] == 0, "batched mode had HTTP errors"
+    assert results["batched"]["mean_batch_size"] > 1.0, (
+        "batched mode never coalesced — raise concurrency or workload size"
+    )
+    print(f"parity: all {len(workload)} response bodies byte-identical across modes")
+
+    for mode in results.values():
+        mode.pop("bodies")
+    payload = {
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "workload": {
+            "model_users": args.users,
+            "model_items": len(info["items"]),
+            "model_actions": info["num_actions"],
+            "requests": args.requests,
+            "concurrency": args.concurrency,
+            "repeats": args.repeats,
+            "quick": args.quick,
+        },
+        "sequential": results["sequential"],
+        "batched": results["batched"],
+        "speedup": {
+            "p50": results["sequential"]["p50_ms"] / results["batched"]["p50_ms"],
+            "p95": results["sequential"]["p95_ms"] / results["batched"]["p95_ms"],
+            "throughput": (
+                results["batched"]["throughput_rps"]
+                / results["sequential"]["throughput_rps"]
+            ),
+        },
+        "parity": {"responses_compared": len(workload), "mismatches": 0},
+    }
+    Path(args.out).write_text(
+        json.dumps(payload, indent=1) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.out}")
+    if not args.quick:
+        speedup = payload["speedup"]
+        print(
+            f"speedups vs sequential: p50 {speedup['p50']:.2f}x, "
+            f"p95 {speedup['p95']:.2f}x, throughput {speedup['throughput']:.2f}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Check intra-repo markdown links (and heading anchors) for rot.
+
+Docs that point at files which moved, or at headings that were renamed,
+fail silently for months — a reader hits the dead link long after the PR
+that broke it merged.  This checker walks ``README.md`` plus everything
+under ``docs/``, extracts every inline markdown link, and fails (exit 1)
+when:
+
+- a relative link's target file does not exist in the repo, or
+- a ``#anchor`` fragment names no heading in the target file (GitHub
+  slug rules: lowercase, punctuation dropped, spaces to hyphens,
+  duplicate slugs suffixed ``-1``, ``-2``, ...).
+
+External links (``http://``, ``https://``, ``mailto:``) are out of
+scope — they need a network and their own rot policy.  Links inside
+fenced code blocks and inline code spans are ignored; those are syntax
+examples, not navigation.  Standard library only; CI runs it in the
+``docs`` job::
+
+    python tools/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+#: ``[text](target)`` — non-greedy text, no nested parens in target.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCE = re.compile(r"^(```|~~~)")
+_CODE_SPAN = re.compile(r"`[^`]*`")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's anchor algorithm, close enough for ASCII docs."""
+    text = _CODE_SPAN.sub(lambda m: m.group(0).strip("`"), heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _strip_fences(lines: list[str]) -> list[str]:
+    """Blank out fenced code blocks, keeping line numbers stable."""
+    out: list[str] = []
+    fence: str | None = None
+    for line in lines:
+        match = _FENCE.match(line.lstrip())
+        if match:
+            if fence is None:
+                fence = match.group(1)
+            elif match.group(1) == fence:
+                fence = None
+            out.append("")
+            continue
+        out.append("" if fence is not None else line)
+    return out
+
+
+def _anchors(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    for line in _strip_fences(path.read_text(encoding="utf-8").splitlines()):
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = _slugify(match.group(2))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        slugs.add(slug if seen == 0 else f"{slug}-{seen}")
+    return slugs
+
+
+def check_file(path: Path, repo_root: Path) -> list[str]:
+    problems: list[str] = []
+    lines = _strip_fences(path.read_text(encoding="utf-8").splitlines())
+    for lineno, line in enumerate(lines, start=1):
+        line = _CODE_SPAN.sub("", line)
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL):
+                continue
+            raw_path, _, fragment = target.partition("#")
+            if raw_path:
+                resolved = (path.parent / raw_path).resolve()
+                try:
+                    resolved.relative_to(repo_root)
+                except ValueError:
+                    problems.append(
+                        f"{path}:{lineno}: link escapes the repo: {target}"
+                    )
+                    continue
+                if not resolved.exists():
+                    problems.append(f"{path}:{lineno}: dead link: {target}")
+                    continue
+            else:
+                resolved = path  # bare #fragment: self-link
+            if fragment and resolved.suffix == ".md":
+                if fragment not in _anchors(resolved):
+                    problems.append(
+                        f"{path}:{lineno}: dead anchor: {target} "
+                        f"(no heading slugs to '#{fragment}' in {resolved.name})"
+                    )
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files", nargs="*",
+        help="markdown files to check (default: README.md + docs/**/*.md)",
+    )
+    args = parser.parse_args()
+    repo_root = Path(__file__).resolve().parent.parent
+    if args.files:
+        targets = [Path(f).resolve() for f in args.files]
+    else:
+        targets = [repo_root / "README.md"]
+        targets += sorted((repo_root / "docs").glob("**/*.md"))
+    problems: list[str] = []
+    for target in targets:
+        if not target.exists():
+            problems.append(f"{target}: file not found")
+            continue
+        problems.extend(check_file(target.resolve(), repo_root))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    def shown(target: Path) -> str:
+        try:
+            return str(target.relative_to(repo_root))
+        except ValueError:
+            return str(target)
+
+    checked = ", ".join(shown(t) for t in targets)
+    if problems:
+        print(f"FAIL: {len(problems)} dead link(s) across {checked}", file=sys.stderr)
+        return 1
+    print(f"ok: no dead links in {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
