@@ -14,6 +14,8 @@ End-to-end tool usage on files (JSONL logs/catalogs, JSON+NPZ models)::
     python -m repro fit data/cooking --levels 5 --model models/cooking
     python -m repro score models/cooking --top 10
     python -m repro serve models/cooking --port 8080
+    python -m repro serve models/cooking --ingest-wal wal/ --data data/cooking
+    python -m repro wal inspect wal/
 
 Observability (``fit`` and ``run``): ``--log-level INFO`` / ``--log-json``
 select structured logging, ``--metrics-out metrics.json`` dumps the run's
@@ -185,7 +187,58 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="how often to check the artifact pair for a hot-reload",
     )
+    serve_parser.add_argument(
+        "--ingest-wal",
+        default=None,
+        metavar="DIR",
+        help="enable POST /ingest, journaling events to a write-ahead log "
+        "in DIR and folding them into the model in the background "
+        "(requires --data for the base action log)",
+    )
+    serve_parser.add_argument(
+        "--data",
+        default=None,
+        metavar="PREFIX",
+        help="data path prefix the model was fitted on (written by "
+        "`simulate`); required with --ingest-wal so fold-in extends the "
+        "real training sequences",
+    )
+    serve_parser.add_argument(
+        "--foldin-every",
+        type=float,
+        default=5.0,
+        metavar="N",
+        help="seconds between fold-in drains of the ingest WAL",
+    )
+    serve_parser.add_argument(
+        "--decay-half-life",
+        type=float,
+        default=None,
+        help="enable forgetting-curve decay for idle users during fold-in "
+        "(Ebbinghaus half-life in event-time units; needs --decay-stale-after)",
+    )
+    serve_parser.add_argument(
+        "--decay-stale-after",
+        type=float,
+        default=None,
+        help="re-solve users idle longer than this many event-time units "
+        "under the decay lattice (needs --decay-half-life)",
+    )
     add_obs_flags(serve_parser)
+
+    wal_parser = sub.add_parser(
+        "wal", help="operate on a serving ingest write-ahead log"
+    )
+    wal_sub = wal_parser.add_subparsers(dest="wal_command", required=True)
+    wal_inspect = wal_sub.add_parser(
+        "inspect",
+        help="print segment/offset/checksum status of a WAL directory "
+        "(read-only; safe against a live server)",
+    )
+    wal_inspect.add_argument("directory", help="WAL directory (--ingest-wal DIR)")
+    wal_inspect.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
     return parser
 
 
@@ -460,8 +513,15 @@ def _cmd_inspect(model_path: str, data: str | None) -> int:
 
 def _cmd_serve(args) -> int:
     import asyncio
+    from pathlib import Path
 
-    from repro.serve import ServeConfig, SkillServer
+    from repro.serve import (
+        FoldinConfig,
+        FoldinWorker,
+        ServeConfig,
+        SkillServer,
+        WriteAheadLog,
+    )
     from repro.serve.state import ModelState
 
     config = ServeConfig(
@@ -475,8 +535,34 @@ def _cmd_serve(args) -> int:
     )
     state = ModelState(args.model, poll_seconds=args.poll_seconds)
 
+    wal = None
+    foldin = None
+    if args.ingest_wal:
+        if not args.data:
+            print(
+                "error: --ingest-wal requires --data PREFIX (the log the "
+                "model was fitted on, for fold-in)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.data.io import load_log
+
+        base_log = load_log(Path(str(Path(args.data)) + ".log.jsonl"))
+        wal = WriteAheadLog(args.ingest_wal)
+        foldin = FoldinWorker(
+            wal,
+            args.model,
+            base_log,
+            config=FoldinConfig(
+                interval_seconds=args.foldin_every,
+                decay_half_life=args.decay_half_life,
+                decay_stale_after=args.decay_stale_after,
+            ),
+        )
+        foldin.bootstrap()
+
     async def _run() -> None:
-        server = SkillServer(state, config)
+        server = SkillServer(state, config, wal=wal, foldin=foldin)
         host, port = await server.start()
         meta = state.current.metadata
         print(
@@ -484,6 +570,11 @@ def _cmd_serve(args) -> int:
             f"(users={meta['num_users']}, items={meta['num_items']}, "
             f"sha256={str(meta['npz_checksum'])[:12]}…); Ctrl-C to stop"
         )
+        if wal is not None:
+            print(
+                f"ingest WAL at {args.ingest_wal} "
+                f"(last_seq={wal.last_seq}, fold-in every {args.foldin_every}s)"
+            )
         try:
             await server.serve_forever()
         finally:
@@ -493,7 +584,50 @@ def _cmd_serve(args) -> int:
         asyncio.run(_run())
     except KeyboardInterrupt:
         print("shutting down")
+    finally:
+        if wal is not None:
+            wal.close()
     return 0
+
+
+def _cmd_wal_inspect(directory: str, as_json: bool) -> int:
+    import json
+
+    from repro.serve import inspect_wal
+
+    report = inspect_wal(directory)
+    if as_json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(f"WAL {report['directory']}: last_seq={report['last_seq']} "
+              f"records={report['total_records']} segments={len(report['segments'])}")
+        for segment in report["segments"]:
+            if segment["status"] == "corrupt" and "error" in segment:
+                print(f"  {segment['file']:20s} CORRUPT  {segment['error']}")
+                continue
+            seqs = (
+                f"seq {segment['first_seq']}..{segment['last_seq']}"
+                if segment["first_seq"] is not None
+                else "no records"
+            )
+            torn = ""
+            if segment["valid_bytes"] != segment["bytes"]:
+                torn = (
+                    f"  ({segment['bytes'] - segment['valid_bytes']} trailing "
+                    "bytes fail checksum)"
+                )
+            print(
+                f"  {segment['file']:20s} {segment['status']:9s} "
+                f"{segment['records']:6d} records  {seqs}  "
+                f"{segment['valid_bytes']}/{segment['bytes']} bytes{torn}"
+            )
+        watermark = report.get("watermark")
+        if watermark is not None:
+            print(f"  watermark (advisory): {watermark}")
+    # Non-zero exit on real corruption so scripts can alert; a torn tail
+    # is expected crash damage and exits 0.
+    corrupt = any(s["status"] == "corrupt" for s in report["segments"])
+    return 1 if corrupt else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -530,6 +664,8 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "serve":
             _configure_obs(args.log_level, args.log_json)
             return _cmd_serve(args)
+        if args.command == "wal":
+            return _cmd_wal_inspect(args.directory, args.json)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -36,7 +36,12 @@ from repro.data.actions import ActionLog
 from repro.data.items import ItemCatalog
 from repro.exceptions import ConfigurationError, DataError
 
-__all__ = ["ForgettingConfig", "best_decay_path", "fit_forgetting_model"]
+__all__ = [
+    "ForgettingConfig",
+    "best_decay_path",
+    "decay_reassign",
+    "fit_forgetting_model",
+]
 
 
 @dataclass(frozen=True)
@@ -133,6 +138,62 @@ def best_decay_path(
     for n in range(n_actions - 1, 0, -1):
         levels[n - 1] = levels[n] - move[n, levels[n]]
     return PathResult(levels=levels, log_likelihood=float(best[levels[-1]]))
+
+
+def decay_reassign(
+    model: SkillModel,
+    log: ActionLog,
+    users: set | frozenset,
+    *,
+    half_life: float,
+    down_floor: float = 1e-6,
+    table_cache: ScoreTableCache | None = None,
+) -> SkillModel:
+    """Re-assign the given users under the decay lattice with ``Θ`` frozen.
+
+    The serving fold-in worker's scheduled decay pass: users who have been
+    idle get their skill paths re-solved with :func:`best_decay_path`, so a
+    long gap can pull the estimate *down* where the monotone DP could not.
+    A pure function of ``(log, Θ, users, half_life, down_floor)`` — the
+    result never depends on when or how often the pass ran before, which is
+    what lets a crash-replayed fold-in loop converge bit-identically to an
+    uninterrupted one.
+
+    Users are processed in ``log`` order for the same determinism reason,
+    and users absent from the log are ignored.  Returns a new
+    :class:`~repro.core.model.SkillModel` sharing parameters, trace, and
+    telemetry with ``model`` (or ``model`` itself when no user matched).
+    """
+    if half_life <= 0:
+        raise ConfigurationError("half_life must be positive")
+    ordered = [user for user in log.users if user in users]
+    if not ordered:
+        return model
+    if table_cache is None:
+        table_cache = ScoreTableCache()
+    table = model.parameters.item_score_table(model.encoded, cache=table_cache)
+    assignments = dict(model.assignments)
+    times = dict(model._assignment_times)
+    for user in ordered:
+        seq = log.sequence(user)
+        seq_times = np.asarray(seq.times, dtype=np.float64)
+        rows = model.encoded.rows_for_sequence(seq)
+        result = best_decay_path(
+            table[:, rows].T,
+            np.diff(seq_times),
+            half_life=half_life,
+            down_floor=down_floor,
+        )
+        assignments[user] = (result.levels + 1).astype(np.int64)
+        times[user] = seq_times
+    return SkillModel(
+        parameters=model.parameters,
+        encoded=model.encoded,
+        assignments=assignments,
+        trace=model.trace,
+        _assignment_times=times,
+        telemetry=model.telemetry,
+    )
 
 
 def fit_forgetting_model(

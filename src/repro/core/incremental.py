@@ -28,7 +28,33 @@ from repro.core.stats import SkillStats
 from repro.data.actions import Action, ActionLog, ActionSequence
 from repro.exceptions import ConfigurationError, DataError
 
-__all__ = ["extend_model"]
+__all__ = ["extend_model", "merge_actions"]
+
+
+def merge_actions(log: ActionLog, new_actions: Iterable[Action]) -> ActionLog:
+    """Merge arriving actions into a log without touching any model.
+
+    The same merge :func:`extend_model` performs internally, exposed so a
+    replay path (e.g. the serving fold-in worker bootstrapping from its
+    write-ahead log) can reconstruct the merged log that corresponds to an
+    already-published model.  Existing users get their new actions appended
+    (and re-sorted by time); unknown users become new sequences appended in
+    first-appearance order.
+    """
+    arrivals: dict = {}
+    for action in new_actions:
+        arrivals.setdefault(action.user, []).append(action)
+    merged_sequences = []
+    for seq in log:
+        if seq.user in arrivals:
+            merged_sequences.append(
+                ActionSequence(seq.user, list(seq.actions) + arrivals.pop(seq.user))
+            )
+        else:
+            merged_sequences.append(seq)
+    for user, actions in arrivals.items():  # brand-new users
+        merged_sequences.append(ActionSequence(user, actions))
+    return ActionLog(merged_sequences)
 
 
 def extend_model(
@@ -38,6 +64,7 @@ def extend_model(
     *,
     refit_iterations: int = 0,
     smoothing: float = 0.01,
+    table_cache: ScoreTableCache | None = None,
 ) -> tuple[SkillModel, ActionLog]:
     """Fold new actions into a fitted model.
 
@@ -55,16 +82,24 @@ def extend_model(
         0 (default) keeps ``Θ`` frozen and only re-assigns affected users
         — the cheap steady-state path.  A positive value additionally runs
         that many full assignment/update iterations afterwards.
+    table_cache:
+        Optional :class:`~repro.core.model.ScoreTableCache` to reuse across
+        repeated fold-ins against the same parameters (the serving fold-in
+        worker's steady state); a fresh private cache is used when omitted.
 
     Returns
     -------
     (updated model, updated log)
         The updated log contains the merged sequences and is what the next
         ``extend_model`` call should receive.
+
+    An empty ``new_actions`` iterable is a **no-op**: the call returns
+    ``(model, log)`` — the *same* objects, unmodified — so periodic callers
+    (a drain loop waking up to nothing) need no emptiness guard.
     """
     new_actions = list(new_actions)
     if not new_actions:
-        raise DataError("no new actions to absorb")
+        return model, log
     if refit_iterations < 0:
         raise ConfigurationError("refit_iterations must be >= 0")
     for action in new_actions:
@@ -75,29 +110,20 @@ def extend_model(
             )
 
     # Merge the new actions into the affected users' sequences.
-    arrivals: dict = {}
-    for action in new_actions:
-        arrivals.setdefault(action.user, []).append(action)
-    merged_sequences = []
-    touched = set(arrivals)
-    for seq in log:
-        if seq.user in arrivals:
-            merged_sequences.append(
-                ActionSequence(seq.user, list(seq.actions) + arrivals.pop(seq.user))
-            )
-        else:
-            merged_sequences.append(seq)
-    for user, actions in arrivals.items():  # brand-new users
-        merged_sequences.append(ActionSequence(user, actions))
-    merged_log = ActionLog(merged_sequences)
+    touched = {action.user for action in new_actions}
+    merged_log = merge_actions(log, new_actions)
 
     # Re-assign only the touched users under the frozen parameters — one
-    # batched DP over exactly the affected sequences.
-    table_cache = ScoreTableCache()
+    # batched DP over exactly the affected sequences.  Touched users are
+    # processed in merged-log order, not set order, so the resulting
+    # assignment-dict insertion order (and hence the serialized user order)
+    # depends only on the merged log — never on how arrivals were batched.
+    if table_cache is None:
+        table_cache = ScoreTableCache()
     table = model.parameters.item_score_table(model.encoded, cache=table_cache)
     assignments = dict(model.assignments)
     times = dict(model._assignment_times)
-    touched_order = list(touched)
+    touched_order = [user for user in merged_log.users if user in touched]
     touched_seqs = [merged_log.sequence(user) for user in touched_order]
     touched_rows = [model.encoded.rows_for_sequence(seq) for seq in touched_seqs]
     for user, seq, result in zip(
@@ -166,5 +192,6 @@ def extend_model(
         assignments=assignments,
         trace=trace,
         _assignment_times=times,
+        telemetry=model.telemetry,
     )
     return updated, merged_log

@@ -111,7 +111,9 @@ def _atomic_commit(writes: list[tuple[Path, bytes]]) -> None:
         raise
 
 
-def save_model(model: SkillModel, path_prefix: str | Path) -> tuple[Path, Path]:
+def save_model(
+    model: SkillModel, path_prefix: str | Path, *, extra: dict | None = None
+) -> tuple[Path, Path]:
     """Write ``<prefix>.json`` and ``<prefix>.npz``; returns both paths.
 
     The model's :class:`~repro.obs.telemetry.TrainingTelemetry` (when
@@ -119,6 +121,13 @@ def save_model(model: SkillModel, path_prefix: str | Path) -> tuple[Path, Path]:
     diagnostics for models loaded from disk.  Save duration and artifact
     sizes land in the ``model.save_seconds`` / ``model.artifact_bytes``
     metrics and an INFO log record.
+
+    ``extra`` is an optional JSON-representable object stored verbatim in
+    the structure file and surfaced by :func:`artifact_metadata`; it never
+    affects :func:`load_model`.  Because the JSON replace *is* the commit
+    point of the two-file save, anything in ``extra`` (the serving fold-in
+    watermark, for example) becomes durable atomically with the model it
+    describes.
     """
     registry = get_registry()
     start = registry.clock()
@@ -148,6 +157,7 @@ def save_model(model: SkillModel, path_prefix: str | Path) -> tuple[Path, Path]:
             "num_iterations": model.trace.num_iterations,
         },
         "telemetry": model.telemetry.to_json() if model.telemetry is not None else None,
+        "extra": extra,
     }
     arrays: dict[str, np.ndarray] = {}
     for s in range(model.num_levels):
@@ -243,6 +253,7 @@ def artifact_metadata(path_prefix: str | Path) -> dict:
         "telemetry_run_id": telemetry.get("run_id") if isinstance(telemetry, dict) else None,
         "converged": trace.get("converged"),
         "num_iterations": trace.get("num_iterations"),
+        "extra": structure.get("extra"),
     }
 
 

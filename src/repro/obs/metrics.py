@@ -7,7 +7,9 @@ code updates as it runs and a snapshot consumer (``repro fit
 - :class:`Counter` — monotone event counts (``pool.rebuilds``);
 - :class:`Gauge` — last-value-wins observations (``train.log_likelihood``);
 - :class:`Histogram` — bounded-reservoir timing distributions reporting
-  count/total/mean/p50/p95/max (``train.assign_seconds``).
+  count/total/mean/p50/p95/max (``train.assign_seconds``);
+- :class:`Info` — last-value-wins short *strings* for states a number
+  cannot carry (``foldin.status``, ``foldin.last_error``).
 
 ``timer()`` and ``span()`` are context managers feeding histograms;
 spans nest, composing their dotted name from the enclosing spans on the
@@ -34,6 +36,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Info",
     "MetricsRegistry",
     "Span",
     "get_registry",
@@ -79,6 +82,32 @@ class Gauge:
 
     @property
     def value(self) -> float:
+        return self._value
+
+
+class Info:
+    """A last-value-wins short string (state labels, last-error text).
+
+    Values are capped at ``max_chars`` so a pathological error message
+    cannot bloat every metrics snapshot; ``None`` clears the value (the
+    snapshot then reports ``null``).
+    """
+
+    __slots__ = ("_lock", "_value", "max_chars")
+
+    def __init__(self, max_chars: int = 500) -> None:
+        self._lock = threading.Lock()
+        self._value: str | None = None
+        self.max_chars = max_chars
+
+    def set(self, value: str | None) -> None:
+        if value is not None:
+            value = str(value)[: self.max_chars]
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> str | None:
         return self._value
 
 
@@ -156,6 +185,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._infos: dict[str, Info] = {}
         self._local = threading.local()
 
     # ------------------------------------------------------------ lookups
@@ -182,6 +212,14 @@ class MetricsRegistry:
                 return self._histograms[name]
             except KeyError:
                 instrument = self._histograms[name] = Histogram()
+                return instrument
+
+    def info(self, name: str) -> Info:
+        with self._lock:
+            try:
+                return self._infos[name]
+            except KeyError:
+                instrument = self._infos[name] = Info()
                 return instrument
 
     # ------------------------------------------------------------- timing
@@ -228,17 +266,24 @@ class MetricsRegistry:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
             histograms = dict(self._histograms)
-        return {
+            infos = dict(self._infos)
+        snapshot = {
             "counters": {name: c.value for name, c in sorted(counters.items())},
             "gauges": {name: g.value for name, g in sorted(gauges.items())},
             "histograms": {name: h.summary() for name, h in sorted(histograms.items())},
         }
+        if infos:
+            # Only present when used, so snapshots from info-free runs stay
+            # byte-compatible with the pre-info repro-metrics/1 shape.
+            snapshot["info"] = {name: i.value for name, i in sorted(infos.items())}
+        return snapshot
 
     def reset(self) -> None:
         with self._lock:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+            self._infos.clear()
 
 
 _default_registry = MetricsRegistry()

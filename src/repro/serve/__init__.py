@@ -7,29 +7,42 @@ recommender answers *online*.  This package turns a saved model artifact
 standard library:
 
 - :class:`~repro.serve.server.SkillServer` — asyncio HTTP endpoints
-  (``/predict``, ``/difficulty``, ``/skill``, ``/healthz``, ``/metrics``);
+  (``/predict``, ``/difficulty``, ``/skill``, ``/ingest``, ``/healthz``,
+  ``/metrics``);
 - :class:`~repro.serve.batcher.MicroBatcher` — request coalescing into
   the vectorized PR 3/4 kernels, bit-identical to per-request dispatch;
 - :class:`~repro.serve.state.ModelState` — atomic model hot-reload from
   the checksummed artifact pair, old model served until the new one
-  validates;
+  validates, with capped-backoff retry against flapping writers;
 - :class:`~repro.serve.admission.AdmissionController` — bounded queueing
-  with per-endpoint deadlines (429/503 shedding).
+  with per-endpoint deadlines (429/503 shedding);
+- :class:`~repro.serve.ingest.WriteAheadLog` — the durable, checksummed,
+  crash-recovering journal behind ``POST /ingest``;
+- :class:`~repro.serve.foldin.FoldinWorker` — the background thread that
+  drains the WAL through :func:`~repro.core.incremental.extend_model`
+  and republishes the artifact, closing the ingest → fold-in → hot-swap
+  loop with an exactly-once watermark.
 
-Entry points: ``python -m repro serve <model-prefix>`` (CLI),
-:class:`~repro.serve.server.ServerThread` (in-process embedding), and
-``tools/bench_serve.py`` (the closed-loop load generator behind
-``BENCH_serve.json``).  Operational guide: ``docs/serving.md``.
+Entry points: ``python -m repro serve <model-prefix>`` (CLI, with
+``--ingest-wal`` for the streaming loop), ``python -m repro wal inspect``
+(WAL operator tool), :class:`~repro.serve.server.ServerThread`
+(in-process embedding), and ``tools/bench_serve.py`` (the closed-loop
+load generator behind ``BENCH_serve.json``).  Operational guide:
+``docs/serving.md``.
 """
 
 from repro.serve.admission import AdmissionConfig, AdmissionController, Ticket
 from repro.serve.batcher import MicroBatcher
+from repro.serve.foldin import FoldinConfig, FoldinWorker
+from repro.serve.ingest import WalConfig, WalRecord, WriteAheadLog, inspect_wal
 from repro.serve.server import ServeConfig, ServerThread, SkillServer
 from repro.serve.state import ModelState, ServingModel
 
 __all__ = [
     "AdmissionConfig",
     "AdmissionController",
+    "FoldinConfig",
+    "FoldinWorker",
     "MicroBatcher",
     "ModelState",
     "ServeConfig",
@@ -37,4 +50,8 @@ __all__ = [
     "ServingModel",
     "SkillServer",
     "Ticket",
+    "WalConfig",
+    "WalRecord",
+    "WriteAheadLog",
+    "inspect_wal",
 ]

@@ -1,0 +1,555 @@
+"""Background fold-in: drain the ingest WAL into the serving model.
+
+The other half of the streaming loop started by :mod:`repro.serve.ingest`:
+a :class:`FoldinWorker` thread periodically takes the durable events past
+its *watermark*, folds them into the model with
+:func:`~repro.core.incremental.extend_model` (frozen ``Θ`` — one DP per
+touched user), optionally re-solves idle users under the forgetting
+lattice (:func:`~repro.core.forgetting.decay_reassign`), and republishes
+the artifact pair through the staged
+:func:`~repro.core.serialize.save_model` — which the server's
+:class:`~repro.serve.state.ModelState` watch task then hot-swaps in
+mid-traffic, exactly like any retrained model.
+
+Exactly-once without a transaction log
+--------------------------------------
+
+The consumed-offset watermark rides *inside* the artifact JSON
+(``save_model(..., extra={"foldin": {...}})``).  The JSON replace is
+already the commit point of the two-file model save, so the model and the
+watermark describing it become durable in the same atomic rename — there
+is no window where one exists without the other.  A crash anywhere
+re-runs fold-in from the last published watermark; because
+``extend_model`` under frozen ``Θ`` re-assigns each touched user from
+their *full* merged sequence, replaying the same events is idempotent and
+the final model is a pure function of the final merged log, independent
+of how the stream was cut into batches.  That is the bit-identical
+restart guarantee ``tests/test_serve_faults.py`` asserts.
+
+A side file (``foldin.watermark.json`` next to the WAL) is written after
+each publish for operators and segment pruning; it is advisory only — on
+restart the artifact's embedded watermark wins.
+
+Degraded mode
+-------------
+
+Transient publish/fold failures are retried with capped exponential
+backoff; after ``max_retries`` consecutive failures the worker enters a
+degraded *serve-stale, keep-journaling* state: the last good model keeps
+serving, ``POST /ingest`` keeps journaling durably, ``/healthz`` reports
+``"degraded"``, and the worker keeps retrying at the capped interval — so
+recovery (disk back, permissions fixed) needs no operator action.
+
+Drift gauges
+------------
+
+Each fold scores the recently folded events under the *current* frozen
+parameters and publishes the mean log-likelihood per action next to the
+training-time baseline (``foldin.ll_per_action_recent`` /
+``foldin.ll_per_action_training`` / ``foldin.ll_drift``).  A widening gap
+means fold-in's frozen-``Θ`` assumption is going stale and a full retrain
+should be scheduled — the signal the paper's offline formulation cannot
+provide by itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.forgetting import decay_reassign
+from repro.core.incremental import extend_model, merge_actions
+from repro.core.model import ScoreTableCache, SkillModel
+from repro.core.serialize import artifact_metadata, load_model, save_model
+from repro.data.actions import Action, ActionLog
+from repro.exceptions import ConfigurationError, DataError, ReproError
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_registry
+from repro.serve.ingest import WriteAheadLog
+
+__all__ = ["FoldinConfig", "FoldinWorker", "WATERMARK_FILENAME"]
+
+_log = get_logger("serve.foldin")
+
+WATERMARK_FILENAME = "foldin.watermark.json"
+
+
+@dataclass(frozen=True)
+class FoldinConfig:
+    """Tuning for the fold-in worker.
+
+    Decay is off by default; setting both ``decay_half_life`` and
+    ``decay_stale_after`` re-solves users idle for more than
+    ``decay_stale_after`` time units (relative to the newest action in the
+    log) under the forgetting lattice on every fold.
+    """
+
+    interval_seconds: float = 5.0
+    max_events_per_fold: int = 1024
+    retry_base_seconds: float = 0.5
+    retry_cap_seconds: float = 30.0
+    max_retries: int = 5
+    drift_window: int = 256
+    prune_segments: bool = True
+    decay_half_life: float | None = None
+    decay_stale_after: float | None = None
+    decay_down_floor: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.interval_seconds <= 0:
+            raise ConfigurationError("interval_seconds must be positive")
+        if self.max_events_per_fold < 1:
+            raise ConfigurationError("max_events_per_fold must be >= 1")
+        if self.retry_base_seconds <= 0 or self.retry_cap_seconds <= 0:
+            raise ConfigurationError("retry backoff seconds must be positive")
+        if self.max_retries < 1:
+            raise ConfigurationError("max_retries must be >= 1")
+        if self.drift_window < 1:
+            raise ConfigurationError("drift_window must be >= 1")
+        if (self.decay_half_life is None) != (self.decay_stale_after is None):
+            raise ConfigurationError(
+                "decay_half_life and decay_stale_after must be set together"
+            )
+
+
+def _write_watermark(path: Path, payload: dict[str, Any]) -> None:
+    """Write the advisory side-file watermark (tmp + atomic rename).
+
+    A module function so fault injection can crash the process *between*
+    the artifact publish (the real commit) and this write — the gap the
+    chaos tests prove is benign.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    data = json.dumps(payload, sort_keys=True).encode("utf-8")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def _event_to_action(event: Any) -> Action:
+    """Decode one WAL event payload into an :class:`Action` (or raise
+    :class:`~repro.exceptions.DataError` for a malformed one)."""
+    if not isinstance(event, dict):
+        raise DataError("ingest event must be a JSON object")
+    for key in ("user", "item", "time"):
+        if key not in event:
+            raise DataError(f"ingest event missing required field {key!r}")
+    time_value = event["time"]
+    if isinstance(time_value, bool) or not isinstance(time_value, (int, float)):
+        raise DataError("ingest event 'time' must be a number")
+    rating = event.get("rating")
+    if rating is not None and (
+        isinstance(rating, bool) or not isinstance(rating, (int, float))
+    ):
+        raise DataError("ingest event 'rating' must be a number or null")
+    return Action(
+        time=float(time_value),
+        user=event["user"],
+        item=event["item"],
+        rating=float(rating) if rating is not None else None,
+    )
+
+
+def read_watermark(prefix: str | Path, wal_directory: str | Path) -> int:
+    """The sequence number up to which events are already in the artifact.
+
+    Authority order: the artifact's embedded ``extra["foldin"]`` record
+    (atomic with the model it describes) wins; the advisory side file is
+    the fallback for artifacts that predate it; an absent watermark means
+    nothing has been folded (0).
+    """
+    try:
+        extra = artifact_metadata(prefix).get("extra")
+    except ReproError:
+        extra = None
+    if isinstance(extra, dict):
+        foldin = extra.get("foldin")
+        if isinstance(foldin, dict) and isinstance(foldin.get("watermark_seq"), int):
+            return foldin["watermark_seq"]
+    side = Path(wal_directory) / WATERMARK_FILENAME
+    if side.exists():
+        try:
+            payload = json.loads(side.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return 0
+        if isinstance(payload, dict) and isinstance(payload.get("watermark_seq"), int):
+            return payload["watermark_seq"]
+    return 0
+
+
+class FoldinWorker:
+    """Drains durable WAL events into the published model artifact.
+
+    ``bootstrap()`` (called lazily by the first :meth:`run_once`, or
+    explicitly) loads the artifact, reads the watermark, and replays every
+    already-folded WAL event into the in-memory log so model and log agree.
+    :meth:`run_once` performs one drain → fold → decay → publish cycle and
+    *raises* on failure — the chaos tests drive it directly so injected
+    crashes surface.  :meth:`attempt` wraps it with the retry/degraded
+    accounting, and the background thread (:meth:`start`) calls
+    :meth:`attempt` on the configured interval.
+    """
+
+    def __init__(
+        self,
+        wal: WriteAheadLog,
+        prefix: str | Path,
+        base_log: ActionLog,
+        *,
+        config: FoldinConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.wal = wal
+        self.prefix = Path(prefix)
+        self.base_log = base_log
+        self.config = config if config is not None else FoldinConfig()
+        self.clock = clock
+        self._model: SkillModel | None = None
+        self._log: ActionLog | None = None
+        self._table_cache = ScoreTableCache()
+        self._watermark = 0
+        self._folds = 0
+        self._events_applied = 0
+        self._events_dropped = 0
+        self._failures = 0
+        self._retry_at = 0.0
+        self._degraded = False
+        self._last_error: str | None = None
+        self._training_ll_per_action: float | None = None
+        self._recent_lls: deque[float] = deque(maxlen=self.config.drift_window)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------ bootstrap
+
+    @property
+    def watermark(self) -> int:
+        return self._watermark
+
+    def bootstrap(self) -> None:
+        """Load the artifact and replay already-folded events into the log.
+
+        Events with ``seq <= watermark`` are part of the published model's
+        assignments; merging them into the base log reconstructs the
+        merged log that model corresponds to, so the next fold extends
+        from a consistent (model, log) pair.
+        """
+        model = load_model(self.prefix)
+        watermark = read_watermark(self.prefix, self.wal.directory)
+        folded = [
+            _event_to_action(record.event)
+            for record in self.wal.read(after_seq=0, upto_seq=watermark)
+        ]
+        log = merge_actions(self.base_log, folded) if folded else self.base_log
+        trace_lls = model.trace.log_likelihoods
+        if trace_lls and self.base_log.num_actions:
+            # Baseline drift anchor: training LL per action at convergence.
+            self._training_ll_per_action = trace_lls[-1] / self.base_log.num_actions
+            get_registry().gauge("foldin.ll_per_action_training").set(
+                self._training_ll_per_action
+            )
+        self._model = model
+        self._log = log
+        self._watermark = watermark
+        get_registry().gauge("foldin.watermark_seq").set(watermark)
+        _log.info(
+            "fold-in worker bootstrapped",
+            extra={
+                "obs": {
+                    "prefix": str(self.prefix),
+                    "watermark_seq": watermark,
+                    "replayed_events": len(folded),
+                    "wal_last_seq": self.wal.last_seq,
+                }
+            },
+        )
+
+    # ----------------------------------------------------------- one cycle
+
+    def pending(self) -> int:
+        """Durable events not yet folded into the published artifact."""
+        return max(0, self.wal.durable_seq - self._watermark)
+
+    def _drain(self) -> tuple[list[Action], int]:
+        """Decode the next batch of durable events past the watermark.
+
+        Malformed events and events for items outside the model's catalog
+        are *dropped* (counted, logged) rather than retried forever — a
+        poison event must not wedge the whole stream into degraded mode.
+        """
+        assert self._model is not None
+        upto = min(
+            self.wal.durable_seq, self._watermark + self.config.max_events_per_fold
+        )
+        if upto <= self._watermark:
+            return [], self._watermark
+        actions: list[Action] = []
+        registry = get_registry()
+        for record in self.wal.read(after_seq=self._watermark, upto_seq=upto):
+            try:
+                action = _event_to_action(record.event)
+                if action.item not in self._model.encoded.index_of:
+                    raise DataError(
+                        f"item {action.item!r} is not in the model's catalog"
+                    )
+            except DataError as exc:
+                self._events_dropped += 1
+                registry.counter("foldin.events_dropped").inc()
+                _log.warning(
+                    "dropping unfoldable ingest event",
+                    extra={"obs": {"seq": record.seq, "error": str(exc)}},
+                )
+                continue
+            actions.append(action)
+        return actions, upto
+
+    def _stale_users(self, log: ActionLog) -> set:
+        """Users idle longer than ``decay_stale_after`` — measured against
+        the newest action in the log, so the set is a pure function of the
+        log (replay-deterministic), not of wall clock."""
+        assert self.config.decay_stale_after is not None
+        latest = -np.inf
+        last_times: dict = {}
+        for seq in log:
+            last = float(seq.times[-1]) if len(seq.actions) else -np.inf
+            last_times[seq.user] = last
+            latest = max(latest, last)
+        return {
+            user
+            for user, last in last_times.items()
+            if latest - last > self.config.decay_stale_after
+        }
+
+    def _observe_drift(self, model: SkillModel, actions: list[Action]) -> None:
+        """Score the folded actions under the current frozen parameters."""
+        if not actions:
+            return
+        table = model.parameters.item_score_table(model.encoded, cache=self._table_cache)
+        for action in actions:
+            level = model.skill_at(action.user, action.time)
+            row = model.encoded.index_of[action.item]
+            self._recent_lls.append(float(table[level - 1, row]))
+        registry = get_registry()
+        recent = float(np.mean(self._recent_lls))
+        registry.gauge("foldin.ll_per_action_recent").set(recent)
+        if self._training_ll_per_action is not None:
+            registry.gauge("foldin.ll_drift").set(
+                recent - self._training_ll_per_action
+            )
+
+    def run_once(self) -> int:
+        """One drain → fold → decay → publish cycle; returns events applied.
+
+        Raises on any failure (the caller decides between retry accounting
+        — :meth:`attempt` — and test-visible propagation).  No pending
+        durable events is a cheap no-op.
+        """
+        if self._model is None:
+            self.bootstrap()
+        assert self._model is not None and self._log is not None
+        registry = get_registry()
+        actions, upto = self._drain()
+        if upto <= self._watermark:
+            return 0
+        start = registry.clock()
+        model, log = extend_model(
+            self._model, self._log, actions, table_cache=self._table_cache
+        )
+        if self.config.decay_half_life is not None:
+            stale = self._stale_users(log)
+            decayed = decay_reassign(
+                model,
+                log,
+                stale,
+                half_life=self.config.decay_half_life,
+                down_floor=self.config.decay_down_floor,
+                table_cache=self._table_cache,
+            )
+            registry.gauge("foldin.decay_users").set(len(stale))
+            model = decayed
+        self._observe_drift(model, actions)
+        save_model(
+            model,
+            self.prefix,
+            extra={
+                "foldin": {
+                    "watermark_seq": upto,
+                    "folds": self._folds + 1,
+                    "events_applied": self._events_applied + len(actions),
+                }
+            },
+        )
+        # The artifact replace above was the commit point; everything from
+        # here on is advisory and safe to lose in a crash.
+        self._model = model
+        self._log = log
+        self._watermark = upto
+        self._folds += 1
+        self._events_applied += len(actions)
+        elapsed = registry.clock() - start
+        registry.counter("foldin.folds").inc()
+        registry.counter("foldin.events_applied").inc(len(actions))
+        registry.histogram("foldin.fold_seconds").observe(elapsed)
+        registry.gauge("foldin.watermark_seq").set(upto)
+        _write_watermark(
+            Path(self.wal.directory) / WATERMARK_FILENAME,
+            {"watermark_seq": upto, "prefix": str(self.prefix)},
+        )
+        if self.config.prune_segments:
+            self.wal.prune(upto)
+        _log.info(
+            "fold-in published",
+            extra={
+                "obs": {
+                    "events": len(actions),
+                    "watermark_seq": upto,
+                    "seconds": round(elapsed, 6),
+                }
+            },
+        )
+        return len(actions)
+
+    # ------------------------------------------------------ retry/degraded
+
+    def attempt(self) -> int | None:
+        """:meth:`run_once` with capped-exponential-backoff accounting.
+
+        Returns the events applied, or ``None`` when the cycle failed or
+        is still inside its backoff window.  After ``max_retries``
+        consecutive failures the worker turns ``degraded`` (visible in
+        ``/healthz``) but *keeps retrying* at the capped interval — the
+        WAL keeps journaling either way, so recovery is automatic.
+        """
+        now = self.clock()
+        with self._lock:
+            if now < self._retry_at:
+                return None
+        try:
+            applied = self.run_once()
+        except Exception as exc:  # noqa: BLE001 — the worker must survive anything
+            registry = get_registry()
+            with self._lock:
+                self._failures += 1
+                self._last_error = f"{type(exc).__name__}: {exc}"
+                backoff = min(
+                    self.config.retry_cap_seconds,
+                    self.config.retry_base_seconds * (2 ** (self._failures - 1)),
+                )
+                self._retry_at = self.clock() + backoff
+                if self._failures >= self.config.max_retries and not self._degraded:
+                    self._degraded = True
+                    registry.gauge("foldin.degraded").set(1)
+                    _log.error(
+                        "fold-in degraded: serving stale model, still journaling",
+                        extra={
+                            "obs": {
+                                "failures": self._failures,
+                                "error": self._last_error,
+                            }
+                        },
+                    )
+            registry.counter("foldin.retries").inc()
+            registry.info("foldin.status").set(
+                "degraded" if self._degraded else "retrying"
+            )
+            registry.info("foldin.last_error").set(self._last_error)
+            _log.warning(
+                "fold-in cycle failed; backing off",
+                extra={
+                    "obs": {
+                        "failures": self._failures,
+                        "backoff_seconds": backoff,
+                        "error": self._last_error,
+                    }
+                },
+            )
+            return None
+        registry = get_registry()
+        with self._lock:
+            if self._degraded:
+                registry.gauge("foldin.degraded").set(0)
+                _log.info("fold-in recovered from degraded mode")
+            self._failures = 0
+            self._retry_at = 0.0
+            self._degraded = False
+            self._last_error = None
+        registry.info("foldin.status").set("ok")
+        registry.info("foldin.last_error").set(None)
+        return applied
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise ConfigurationError("fold-in worker already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-foldin", daemon=True
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self.attempt()
+            self._wake.wait(self.config.interval_seconds)
+            self._wake.clear()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._wake.set()
+        self._thread.join()
+        self._thread = None
+
+    def kick(self) -> None:
+        """Wake the background loop before its interval elapses."""
+        self._wake.set()
+
+    def drain_now(self, timeout: float = 30.0) -> None:
+        """Block until every currently durable event is folded (tests).
+
+        With the background thread running, each poll kicks it awake; the
+        fold itself still happens on that thread, exactly as in
+        production.  Without a thread, cycles run inline on the caller.
+        """
+        deadline = time.monotonic() + timeout
+        while self.pending() > 0:
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"fold-in did not drain {self.pending()} events in {timeout}s"
+                )
+            if self._thread is None:
+                self.attempt()
+            else:
+                self.kick()
+                time.sleep(0.01)
+
+    # -------------------------------------------------------------- health
+
+    def health(self) -> dict[str, Any]:
+        """The ``/healthz`` fold-in section."""
+        with self._lock:
+            status = "degraded" if self._degraded else "ok"
+            return {
+                "status": status,
+                "watermark_seq": self._watermark,
+                "pending_events": self.pending(),
+                "folds": self._folds,
+                "events_applied": self._events_applied,
+                "events_dropped": self._events_dropped,
+                "consecutive_failures": self._failures,
+                "last_error": self._last_error,
+            }

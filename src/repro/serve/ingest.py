@@ -1,0 +1,537 @@
+"""Durable streaming ingest: a crash-safe write-ahead log for action events.
+
+The serving subsystem's fold-in loop (``POST /ingest`` →
+:class:`~repro.serve.foldin.FoldinWorker` → hot-reload) starts here: every
+arriving action event is journaled to an append-only **write-ahead log**
+before it is acknowledged, so a crash at any point loses nothing that was
+acked and re-applies nothing that was already folded.
+
+Layout and record format
+------------------------
+
+A WAL is a directory of numbered segment files (``wal-00000001.seg``, …).
+Each segment is a run of length-prefixed, checksummed records:
+
+====================  =====================================================
+``seq``   (u64 LE)    monotonic event sequence number, +1 per event across
+                      the whole WAL — the idempotence token the fold-in
+                      watermark is expressed in
+``length`` (u32 LE)   payload byte count (0 marks a batch-commit record)
+``crc32``  (u32 LE)   CRC-32 of ``seq || length || payload`` — a torn
+                      header *or* torn payload both fail the check
+``payload``           compact JSON ``{"item":…,"time":…,"user":…}``
+====================  =====================================================
+
+Durability and atomicity contract
+---------------------------------
+
+``append`` journals a whole batch as **one** buffered write — the batch's
+event records followed by a zero-length *commit record* sealing them —
+then issues one ``flush + fsync`` (fsync-on-batch): the HTTP 200 an ingest
+client sees means its whole batch is on stable storage.  ``durable_seq``
+is advanced only after the fsync, and readers (the fold-in worker) never
+read past it.
+
+The commit record is what makes batches atomic across crashes: recovery
+truncates every byte after the last commit record, so a batch is either
+wholly in the log (it was acked) or wholly gone (it never was) — even when
+a torn tail happens to contain complete, checksum-valid event records from
+the unacknowledged batch.  A client that retries every un-acked batch
+therefore gets exactly-once journaling with no idempotence bookkeeping.
+
+Crash recovery
+--------------
+
+Opening a WAL replays every segment, verifying checksums, sequence
+continuity, and commit records.  Torn or uncommitted bytes at the tail of
+the **last** segment are expected crash damage — they are truncated away
+(the lost events were never acked, so the client retries them).  Invalid
+bytes anywhere *else* mean real corruption and raise a typed
+:class:`~repro.exceptions.DataError` instead of silently dropping data.
+
+``inspect_wal`` is the read-only flavour of the same scan, powering
+``repro wal inspect`` for operators.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, BinaryIO, Iterator, Mapping
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_registry
+
+__all__ = ["WalConfig", "WalRecord", "WriteAheadLog", "inspect_wal"]
+
+_log = get_logger("serve.ingest")
+
+_HEADER = struct.Struct("<QII")  # seq, payload length, crc32
+_CRC_PREFIX = struct.Struct("<QI")  # the header fields covered by the crc
+_SEGMENT_GLOB = "wal-*.seg"
+#: Upper bound on a single record's payload; anything larger in a header is
+#: treated as garbage (torn tail / corruption), not an allocation request.
+_MAX_PAYLOAD_BYTES = 16 * 1024 * 1024
+
+
+def _segment_name(index: int) -> str:
+    return f"wal-{index:08d}.seg"
+
+
+def _segment_index(path: Path) -> int:
+    try:
+        return int(path.stem.split("-", 1)[1])
+    except (IndexError, ValueError):
+        raise DataError(f"{path}: not a WAL segment file name") from None
+
+
+def _encode_record(seq: int, payload: bytes) -> bytes:
+    crc = zlib.crc32(payload, zlib.crc32(_CRC_PREFIX.pack(seq, len(payload))))
+    return _HEADER.pack(seq, len(payload), crc) + payload
+
+
+def _encode_event(event: Mapping[str, Any]) -> bytes:
+    try:
+        return json.dumps(
+            dict(event), sort_keys=True, separators=(",", ":"), ensure_ascii=False
+        ).encode("utf-8")
+    except TypeError as exc:
+        raise DataError(f"ingest event is not JSON-representable: {exc}") from exc
+
+
+def _segment_write(handle: BinaryIO, data: bytes) -> None:
+    """The byte-level batch append — a module function so fault injection
+    can tear it (write a prefix, then crash) exactly like a dying process."""
+    handle.write(data)
+
+
+def _segment_fsync(handle: BinaryIO) -> None:
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One replayed event: its sequence number and decoded payload."""
+
+    seq: int
+    event: dict[str, Any]
+
+
+@dataclass(frozen=True)
+class WalConfig:
+    """Tuning for the write-ahead log."""
+
+    segment_bytes: int = 4 * 1024 * 1024  # rotate segments past this size
+    fsync: bool = True  # tests may trade durability for speed
+
+    def __post_init__(self) -> None:
+        if self.segment_bytes < 1:
+            raise ConfigurationError("segment_bytes must be >= 1")
+
+
+@dataclass(frozen=True)
+class _SegmentScan:
+    """Result of validating one segment file."""
+
+    path: Path
+    records: int  # committed event records
+    first_seq: int | None
+    last_seq: int | None  # last *committed* event seq
+    committed_bytes: int  # offset just past the last commit record
+    total_bytes: int
+    torn: bool  # trailing bytes that do not parse into a valid record
+    uncommitted: int  # trailing records that parse but lack a commit
+
+
+def _scan_segment(path: Path, expect_seq: int | None) -> _SegmentScan:
+    """Walk one segment's records, tracking the last batch-commit point.
+
+    Stops at the first invalid byte (``torn``); valid event records after
+    the last commit record count as ``uncommitted``.  ``expect_seq``
+    checks cross-segment continuity; a valid record with the *wrong*
+    sequence number is corruption, not a torn tail.
+    """
+    data = path.read_bytes()
+    offset = 0
+    records = 0
+    first_seq: int | None = None
+    last_seq: int | None = None
+    pending = 0  # parsed event records since the last commit record
+    pending_first: int | None = None
+    pending_last: int | None = None
+    committed_bytes = 0
+    torn = False
+    while offset < len(data):
+        if offset + _HEADER.size > len(data):
+            torn = True
+            break
+        seq, length, crc = _HEADER.unpack_from(data, offset)
+        if length > _MAX_PAYLOAD_BYTES or offset + _HEADER.size + length > len(data):
+            torn = True
+            break
+        payload = data[offset + _HEADER.size : offset + _HEADER.size + length]
+        actual = zlib.crc32(payload, zlib.crc32(_CRC_PREFIX.pack(seq, length)))
+        if actual != crc:
+            torn = True
+            break
+        offset += _HEADER.size + length
+        if length == 0:
+            # Batch-commit record: seals every event record since the last
+            # commit.  Its seq must equal the batch's final event seq.
+            if pending == 0 or seq != pending_last:
+                raise DataError(
+                    f"{path}: commit record at offset {offset - _HEADER.size} "
+                    f"seals seq {seq} but the open batch ends at "
+                    f"{pending_last} — the WAL is corrupt"
+                )
+            records += pending
+            if first_seq is None:
+                first_seq = pending_first
+            last_seq = seq
+            pending = 0
+            pending_first = None
+            pending_last = None
+            committed_bytes = offset
+            continue
+        if expect_seq is not None and seq != expect_seq:
+            raise DataError(
+                f"{path}: sequence discontinuity at offset "
+                f"{offset - _HEADER.size - length} (expected seq {expect_seq}, "
+                f"found {seq}) — the WAL is corrupt"
+            )
+        if pending_first is None:
+            pending_first = seq
+        pending_last = seq
+        pending += 1
+        expect_seq = seq + 1
+    return _SegmentScan(
+        path=path,
+        records=records,
+        first_seq=first_seq,
+        last_seq=last_seq,
+        committed_bytes=committed_bytes,
+        total_bytes=len(data),
+        torn=torn,
+        uncommitted=pending,
+    )
+
+
+def _decode_records(path: Path, after_seq: int, upto_seq: int | None) -> Iterator[WalRecord]:
+    """Yield committed, decoded event records from one segment.
+
+    Event records are buffered per batch and only released once the
+    batch's commit record is seen, so readers never observe an
+    unacknowledged batch; torn or uncommitted trailing bytes simply end
+    the scan (a concurrent writer's un-fsynced tail is not an error).
+    """
+    data = path.read_bytes()
+    offset = 0
+    batch: list[WalRecord] = []
+    while offset + _HEADER.size <= len(data):
+        seq, length, crc = _HEADER.unpack_from(data, offset)
+        if length > _MAX_PAYLOAD_BYTES or offset + _HEADER.size + length > len(data):
+            return
+        payload = data[offset + _HEADER.size : offset + _HEADER.size + length]
+        if zlib.crc32(payload, zlib.crc32(_CRC_PREFIX.pack(seq, length))) != crc:
+            return
+        offset += _HEADER.size + length
+        if length == 0:
+            for record in batch:
+                if upto_seq is not None and record.seq > upto_seq:
+                    return
+                if record.seq > after_seq:
+                    yield record
+            batch = []
+            continue
+        try:
+            event = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise DataError(
+                f"{path}: record seq {seq} passed its checksum but is not "
+                f"valid JSON ({exc}) — the WAL writer is broken"
+            ) from exc
+        batch.append(WalRecord(seq=seq, event=event))
+
+
+def _segment_paths(directory: Path) -> list[Path]:
+    return sorted(directory.glob(_SEGMENT_GLOB), key=_segment_index)
+
+
+class WriteAheadLog:
+    """An append-only, checksummed, crash-recovering event journal.
+
+    Opening replays (and, for an uncommitted last-segment tail, truncates)
+    the directory; ``append`` is safe to call from one writer thread while
+    any number of readers call ``read``/``last_seq``/``durable_seq``.
+    """
+
+    def __init__(self, directory: str | Path, config: WalConfig | None = None) -> None:
+        self.directory = Path(directory)
+        self.config = config if config is not None else WalConfig()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._handle: BinaryIO | None = None
+        self._recover()
+
+    # ----------------------------------------------------------- recovery
+
+    def _recover(self) -> None:
+        """Replay every segment; truncate past the last commit on the tail."""
+        registry = get_registry()
+        paths = _segment_paths(self.directory)
+        expect: int | None = None
+        last_seq = 0
+        for position, path in enumerate(paths):
+            scan = _scan_segment(path, expect)
+            is_last = position == len(paths) - 1
+            damaged = scan.torn or scan.uncommitted or scan.committed_bytes < scan.total_bytes
+            if damaged and not is_last:
+                raise DataError(
+                    f"{path}: invalid or uncommitted bytes at offset "
+                    f"{scan.committed_bytes} in a non-final WAL segment — the "
+                    "log is corrupt beyond a torn tail; restore it or discard "
+                    "the directory"
+                )
+            if damaged:
+                dropped = scan.total_bytes - scan.committed_bytes
+                os.truncate(path, scan.committed_bytes)
+                registry.counter("ingest.torn_tail_truncations").inc()
+                _log.warning(
+                    "truncated un-acked WAL tail",
+                    extra={
+                        "obs": {
+                            "segment": str(path),
+                            "dropped_bytes": dropped,
+                            "dropped_records": scan.uncommitted,
+                            "kept_records": scan.records,
+                        }
+                    },
+                )
+            if scan.last_seq is not None:
+                last_seq = scan.last_seq
+                expect = scan.last_seq + 1
+        self._segments = paths
+        self._next_index = (_segment_index(paths[-1]) + 1) if paths else 1
+        self._last_seq = last_seq
+        self._durable_seq = last_seq  # replayed records came off stable storage
+        registry.gauge("ingest.last_seq").set(last_seq)
+        registry.gauge("ingest.segments").set(len(paths))
+
+    # ------------------------------------------------------------- status
+
+    @property
+    def last_seq(self) -> int:
+        """Highest committed sequence number (0 for an empty WAL)."""
+        with self._lock:
+            return self._last_seq
+
+    @property
+    def durable_seq(self) -> int:
+        """Highest sequence number known to be fsynced; readers must not
+        fold past this."""
+        with self._lock:
+            return self._durable_seq
+
+    @property
+    def segment_count(self) -> int:
+        with self._lock:
+            return len(self._segments)
+
+    # ------------------------------------------------------------- writing
+
+    def _batch_handle(self, batch_bytes: int) -> BinaryIO:
+        """The append handle for this batch, rotating segments as needed.
+
+        A batch never spans segments (its commit record must share the
+        crash-atomicity of its event records), so rotation happens
+        *before* a batch that would overflow — and a batch larger than
+        ``segment_bytes`` gets an oversized segment to itself rather than
+        being split.
+        """
+        if self._handle is not None:
+            position = self._handle.tell()
+            if position == 0 or position + batch_bytes <= self.config.segment_bytes:
+                return self._handle
+            self._handle.close()
+            self._handle = None
+        if self._segments:
+            size = self._segments[-1].stat().st_size
+            if size == 0 or size + batch_bytes <= self.config.segment_bytes:
+                self._handle = open(self._segments[-1], "ab")
+                return self._handle
+        path = self.directory / _segment_name(self._next_index)
+        self._next_index += 1
+        self._segments.append(path)
+        get_registry().gauge("ingest.segments").set(len(self._segments))
+        self._handle = open(path, "ab")
+        return self._handle
+
+    def append(self, events: list[Mapping[str, Any]]) -> tuple[int, int]:
+        """Journal a batch of events: one buffered write, one fsync.
+
+        Returns ``(first_seq, last_seq)`` of the assigned sequence
+        numbers.  On any failure nothing is acknowledged: the sequence
+        counter rolls back and whatever bytes landed carry no commit
+        record, so recovery truncates them — exactly the state a crashed
+        process leaves behind, which is why a client may blindly retry the
+        whole batch without double-applying anything.
+        """
+        if not events:
+            raise DataError("cannot append an empty event batch")
+        registry = get_registry()
+        with self._lock:
+            first_seq = self._last_seq + 1
+            parts: list[bytes] = []
+            seq = first_seq
+            for event in events:
+                parts.append(_encode_record(seq, _encode_event(event)))
+                seq += 1
+            last_seq = seq - 1
+            parts.append(_encode_record(last_seq, b""))  # the batch commit
+            batch = b"".join(parts)
+            start = registry.clock()
+            try:
+                handle = self._batch_handle(len(batch))
+                _segment_write(handle, batch)
+                if self.config.fsync:
+                    _segment_fsync(handle)
+                else:
+                    handle.flush()
+            except BaseException:
+                # The un-acked tail stays on disk; recovery truncates it.
+                if self._handle is not None:
+                    try:
+                        self._handle.close()
+                    except OSError:
+                        pass
+                    self._handle = None
+                raise
+            self._last_seq = last_seq
+            self._durable_seq = last_seq
+        elapsed = registry.clock() - start
+        registry.counter("ingest.events").inc(len(events))
+        registry.counter("ingest.batches").inc()
+        registry.counter("ingest.bytes_written").inc(len(batch))
+        registry.histogram("ingest.append_seconds").observe(elapsed)
+        registry.gauge("ingest.last_seq").set(last_seq)
+        return first_seq, last_seq
+
+    # ------------------------------------------------------------- reading
+
+    def read(self, after_seq: int = 0, upto_seq: int | None = None) -> Iterator[WalRecord]:
+        """Replay committed events with ``after_seq < seq <= upto_seq``.
+
+        Safe concurrently with an appender: uncommitted or unparseable
+        tail bytes end the scan, and callers should additionally bound
+        ``upto_seq`` by :attr:`durable_seq`.
+        """
+        with self._lock:
+            segments = list(self._segments)
+        for path in segments:
+            try:
+                yield from _decode_records(path, after_seq, upto_seq)
+            except FileNotFoundError:
+                continue  # pruned between the snapshot and the read
+
+    def prune(self, upto_seq: int) -> int:
+        """Delete segments wholly covered by the consumed watermark.
+
+        The active (last) segment is never deleted, so appends keep their
+        handle.  Returns the number of segments removed.
+        """
+        removed = 0
+        with self._lock:
+            keep: list[Path] = []
+            for position, path in enumerate(self._segments):
+                if position == len(self._segments) - 1:
+                    keep.append(path)
+                    continue
+                scan = _scan_segment(path, expect_seq=None)
+                if scan.last_seq is not None and scan.last_seq <= upto_seq:
+                    path.unlink(missing_ok=True)
+                    removed += 1
+                else:
+                    keep.append(path)
+            self._segments = keep
+        if removed:
+            registry = get_registry()
+            registry.counter("ingest.segments_pruned").inc(removed)
+            registry.gauge("ingest.segments").set(self.segment_count)
+        return removed
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+def inspect_wal(directory: str | Path) -> dict[str, Any]:
+    """Read-only report of a WAL directory for ``repro wal inspect``.
+
+    Never mutates anything (no truncation), so it is safe against a live
+    server.  Segment ``status`` is one of ``ok``, ``empty``, ``torn-tail``
+    (uncommitted or invalid trailing bytes on the final segment — recovery
+    will truncate them), or ``corrupt`` (the same damage before the final
+    segment, or an internal inconsistency).
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise DataError(f"{directory} is not a WAL directory")
+    paths = _segment_paths(directory)
+    segments: list[dict[str, Any]] = []
+    expect: int | None = None
+    last_seq = 0
+    total_records = 0
+    for position, path in enumerate(paths):
+        try:
+            scan = _scan_segment(path, expect)
+        except DataError as exc:
+            segments.append(
+                {"file": path.name, "status": "corrupt", "error": str(exc)}
+            )
+            expect = None
+            continue
+        is_last = position == len(paths) - 1
+        damaged = scan.torn or scan.uncommitted or scan.committed_bytes < scan.total_bytes
+        if damaged:
+            status = "torn-tail" if is_last else "corrupt"
+        elif scan.records == 0:
+            status = "empty"
+        else:
+            status = "ok"
+        segments.append(
+            {
+                "file": path.name,
+                "status": status,
+                "records": scan.records,
+                "first_seq": scan.first_seq,
+                "last_seq": scan.last_seq,
+                "bytes": scan.total_bytes,
+                "valid_bytes": scan.committed_bytes,
+            }
+        )
+        if scan.last_seq is not None:
+            last_seq = scan.last_seq
+            expect = scan.last_seq + 1
+        total_records += scan.records
+    report: dict[str, Any] = {
+        "directory": str(directory),
+        "segments": segments,
+        "last_seq": last_seq,
+        "total_records": total_records,
+    }
+    watermark_path = directory / "foldin.watermark.json"
+    if watermark_path.exists():
+        try:
+            report["watermark"] = json.loads(watermark_path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            report["watermark"] = {"error": f"unreadable watermark file ({exc})"}
+    return report

@@ -54,6 +54,8 @@ from repro.recsys.ranking import predict_items
 from repro.core.difficulty import PRIOR_EMPIRICAL, PRIOR_UNIFORM, difficulty_array
 from repro.serve.admission import AdmissionConfig, AdmissionController
 from repro.serve.batcher import MicroBatcher
+from repro.serve.foldin import FoldinWorker
+from repro.serve.ingest import WriteAheadLog
 from repro.serve.state import ModelState, ServingModel
 
 __all__ = ["ServeConfig", "SkillServer", "ServerThread"]
@@ -123,9 +125,18 @@ class _Request:
 class SkillServer:
     """Micro-batched asyncio HTTP server over a hot-reloadable model."""
 
-    def __init__(self, state: ModelState, config: ServeConfig | None = None) -> None:
+    def __init__(
+        self,
+        state: ModelState,
+        config: ServeConfig | None = None,
+        *,
+        wal: WriteAheadLog | None = None,
+        foldin: FoldinWorker | None = None,
+    ) -> None:
         self.state = state
         self.config = config if config is not None else ServeConfig()
+        self.wal = wal
+        self.foldin = foldin
         self.admission = AdmissionController(
             AdmissionConfig(
                 max_queue=self.config.max_queue,
@@ -145,6 +156,15 @@ class SkillServer:
             max_wait_ms=self.config.max_wait_ms,
             name="difficulty",
         )
+        # One fsync per flush: every /ingest request coalesced into a flush
+        # shares a single WAL append + fsync, which is the durability/IOPS
+        # trade the WAL's fsync-on-batch contract is about.
+        self._ingest_batcher = MicroBatcher(
+            self._ingest_batch,
+            max_batch=self.config.max_batch,
+            max_wait_ms=self.config.max_wait_ms,
+            name="ingest",
+        )
         self._server: asyncio.AbstractServer | None = None
         self._watch_task: asyncio.Task | None = None
 
@@ -158,6 +178,10 @@ class SkillServer:
             self.state.load()
         await self._predict_batcher.start()
         await self._difficulty_batcher.start()
+        if self.wal is not None:
+            await self._ingest_batcher.start()
+        if self.foldin is not None:
+            self.foldin.start()
         self._watch_task = asyncio.create_task(self._watch(), name="serve-watch")
         self._server = await asyncio.start_server(
             self._handle_client, host=self.config.host, port=self.config.port
@@ -197,6 +221,10 @@ class SkillServer:
             self._server = None
         await self._predict_batcher.stop()
         await self._difficulty_batcher.stop()
+        if self.wal is not None:
+            await self._ingest_batcher.stop()
+        if self.foldin is not None:
+            self.foldin.stop()
 
     async def _watch(self) -> None:
         """Poll the artifact pair and hot-swap the model when it changes."""
@@ -282,9 +310,12 @@ class SkillServer:
             ("GET", "/skill"): ("skill", self._handle_skill),
             ("POST", "/predict"): ("predict", self._handle_predict),
             ("POST", "/difficulty"): ("difficulty", self._handle_difficulty),
+            ("POST", "/ingest"): ("ingest", self._handle_ingest),
         }.get((request.method, request.path))
         if route is None:
-            known_paths = {"/healthz", "/metrics", "/skill", "/predict", "/difficulty"}
+            known_paths = {
+                "/healthz", "/metrics", "/skill", "/predict", "/difficulty", "/ingest",
+            }
             status = 405 if request.path in known_paths else 404
             registry.counter("serve.requests").inc()
             registry.counter("serve.errors").inc()
@@ -345,7 +376,7 @@ class SkillServer:
 
     async def _handle_healthz(self, request: _Request) -> tuple[int, Any]:
         bundle = self.state.current
-        return 200, {
+        payload = {
             "status": "ok",
             "model": bundle.metadata,
             "model_version": bundle.version,
@@ -353,6 +384,21 @@ class SkillServer:
             "reload_failures": self.state.reload_failures,
             "inflight": self.admission.inflight,
         }
+        if self.wal is not None:
+            payload["ingest"] = {
+                "last_seq": self.wal.last_seq,
+                "durable_seq": self.wal.durable_seq,
+                "segments": self.wal.segment_count,
+            }
+        if self.foldin is not None:
+            foldin = self.foldin.health()
+            payload["foldin"] = foldin
+            if foldin["status"] != "ok":
+                # Liveness stays 200: the last good model still serves —
+                # but the top-level status names the degradation so probes
+                # and operators see it without digging.
+                payload["status"] = "degraded"
+        return 200, payload
 
     async def _handle_metrics(self, request: _Request) -> tuple[int, Any]:
         bundle = self.state.current
@@ -396,6 +442,21 @@ class SkillServer:
             "difficulty", self._difficulty_batcher, payload
         )
         return 200, result
+
+    async def _handle_ingest(self, request: _Request) -> tuple[int, Any]:
+        if self.wal is None:
+            raise _HttpError(
+                503, "ingest is not configured; start the server with --ingest-wal"
+            )
+        events = self._validate_ingest(_json_body(request))
+        result = await self._admit_and_submit("ingest", self._ingest_batcher, events)
+        first_seq, last_seq = result
+        return 200, {
+            "accepted": len(events),
+            "first_seq": first_seq,
+            "last_seq": last_seq,
+            "durable": True,  # the 200 is only written after the batch fsync
+        }
 
     # ----------------------------------------------------------- validation
 
@@ -451,6 +512,53 @@ class SkillServer:
                 400, f"'prior' must be one of {list(_PRIORS)}, got {prior!r}"
             )
         return {"items": items, "prior": prior}
+
+    def _validate_ingest(self, data: Any) -> list[dict[str, Any]]:
+        """Validate an ingest request body into journal-ready event dicts.
+
+        Users may be new (fold-in supports them); items must exist in the
+        *current* model's catalog — a new item needs a full retrain, so
+        rejecting it here keeps poison events out of the WAL entirely.
+        """
+        if not isinstance(data, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        events = data.get("events")
+        if not isinstance(events, list) or not events:
+            raise _HttpError(400, "'events' must be a non-empty list of event objects")
+        bundle = self.state.current
+        known_items = bundle.model.encoded.index_of
+        validated: list[dict[str, Any]] = []
+        for position, event in enumerate(events):
+            if not isinstance(event, dict):
+                raise _HttpError(400, f"events[{position}] is not a JSON object")
+            for key in ("user", "item", "time"):
+                if key not in event:
+                    raise _HttpError(
+                        400, f"events[{position}] missing required field {key!r}"
+                    )
+            time_value = event["time"]
+            if isinstance(time_value, bool) or not isinstance(time_value, (int, float)):
+                raise _HttpError(400, f"events[{position}]['time'] must be a number")
+            if event["item"] not in known_items:
+                raise _HttpError(
+                    404,
+                    f"events[{position}]: item {event['item']!r} not in the "
+                    "model's catalog; new items require a full retrain",
+                )
+            record: dict[str, Any] = {
+                "user": event["user"],
+                "item": event["item"],
+                "time": float(time_value),
+            }
+            rating = event.get("rating")
+            if rating is not None:
+                if isinstance(rating, bool) or not isinstance(rating, (int, float)):
+                    raise _HttpError(
+                        400, f"events[{position}]['rating'] must be a number or null"
+                    )
+                record["rating"] = float(rating)
+            validated.append(record)
+        return validated
 
     # -------------------------------------------------------- batched kernels
 
@@ -573,6 +681,28 @@ class SkillServer:
                     bundle, prior, items, values[offset : offset + len(items)]
                 )
                 offset += len(items)
+        return results
+
+    def _ingest_batch(self, payloads: list[list[dict[str, Any]]]) -> list[Any]:
+        """One flush of /ingest requests: one WAL append, one fsync.
+
+        Every request in the flush is journaled by a single
+        :meth:`~repro.serve.ingest.WriteAheadLog.append` call, so the
+        durability cost is per *flush*, not per request.  A failed append
+        fails every request in the flush — none of their events were
+        acknowledged, which is exactly what the WAL's crash-recovery
+        truncation assumes.
+        """
+        assert self.wal is not None
+        flat: list[dict[str, Any]] = [
+            event for events in payloads for event in events
+        ]
+        first_seq, _last_seq = self.wal.append(flat)
+        results: list[Any] = []
+        offset = first_seq
+        for events in payloads:
+            results.append((offset, offset + len(events) - 1))
+            offset += len(events)
         return results
 
     @staticmethod

@@ -34,8 +34,9 @@ running server actually loaded.
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 from repro.core.difficulty import PRIOR_EMPIRICAL, PRIOR_UNIFORM, generation_difficulty
 from repro.core.model import SkillModel
@@ -86,16 +87,36 @@ class ModelState:
     ``load()`` must succeed once before serving; ``maybe_reload()`` is
     then called by the server's watch task every ``poll_seconds`` and is
     also safe to call directly (tests, manual reload endpoints).
+
+    Reload failures back off with capped exponential delay: a writer that
+    keeps landing broken pairs (each with a *fresh* stat signature, so the
+    failed-signature memo alone cannot help) would otherwise cost a full
+    load-and-checksum every poll.  While inside the backoff window, polls
+    are suppressed and counted in ``serve.reload_retry``; any successful
+    swap resets the backoff.  ``clock`` is injectable for tests.
     """
 
-    def __init__(self, path_prefix: str | Path, *, poll_seconds: float = 1.0) -> None:
+    def __init__(
+        self,
+        path_prefix: str | Path,
+        *,
+        poll_seconds: float = 1.0,
+        retry_base_seconds: float = 1.0,
+        retry_cap_seconds: float = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         self.prefix = Path(path_prefix)
         self.poll_seconds = float(poll_seconds)
+        self.retry_base_seconds = float(retry_base_seconds)
+        self.retry_cap_seconds = float(retry_cap_seconds)
+        self.clock = clock
         self.reloads = 0
         self.reload_failures = 0
         self._current: ServingModel | None = None
         self._signature: _Signature | None = None
         self._failed_signature: _Signature | None = None
+        self._failures = 0
+        self._retry_at = 0.0
 
     # ------------------------------------------------------------- access
 
@@ -159,11 +180,22 @@ class ModelState:
             # This exact broken pair already failed validation; wait for
             # the writer's final os.replace to move the signature again.
             return False
+        if self.clock() < self._retry_at:
+            # Inside the failure backoff window: don't pay a fresh
+            # load-and-checksum for every poll against a flapping writer.
+            get_registry().counter("serve.reload_retry").inc()
+            return False
         try:
             bundle = _build_bundle(self.prefix, version=self._current.version + 1)
         except (ReproError, OSError) as exc:
             self.reload_failures += 1
             self._failed_signature = signature
+            self._failures += 1
+            backoff = min(
+                self.retry_cap_seconds,
+                self.retry_base_seconds * (2 ** (self._failures - 1)),
+            )
+            self._retry_at = self.clock() + backoff
             get_registry().counter("serve.reload_failures").inc()
             _log.warning(
                 "model reload failed; keeping previous model",
@@ -178,6 +210,8 @@ class ModelState:
             return False
         self._signature = signature
         self._failed_signature = None
+        self._failures = 0
+        self._retry_at = 0.0
         self._current = bundle  # the atomic swap: one attribute assignment
         self.reloads += 1
         get_registry().counter("serve.reloads").inc()

@@ -15,7 +15,20 @@ modules:
 - ``repro.core.serialize._write_bytes`` / ``_replace`` — the staging and
   commit halves of the atomic model save;
 - ``repro.core.checkpoint.write_checkpoint`` — called by the trainer
-  after each checkpointed iteration.
+  after each checkpointed iteration;
+- ``repro.serve.ingest._segment_write`` — the WAL's byte-level append
+  (:func:`torn_wal_append` tears it mid-record);
+- ``repro.serve.foldin._write_watermark`` — the advisory side-file write
+  *after* the artifact publish (:func:`crash_after_publish` crashes in
+  the publish/watermark gap the chaos tests prove is benign);
+- ``repro.serve.foldin.FoldinWorker.run_once`` / ``save_model`` inside a
+  fold (:func:`failing_foldin_extend`, :func:`failing_reload`) — worker
+  exception and reload-failure paths.
+
+The serve-layer helpers are context managers that patch and restore the
+production seams; serve modules are imported lazily inside them so this
+module stays importable in environments exercising only the training
+faults.
 """
 
 from __future__ import annotations
@@ -32,10 +45,15 @@ __all__ = [
     "SimulatedCrash",
     "fail_on_call",
     "fail_after_call",
+    "fail_from_call",
     "kill_worker_once",
     "lethal_assign_chunk",
     "slow_workers",
     "slow_assign_chunk",
+    "torn_wal_append",
+    "crash_after_publish",
+    "failing_foldin_extend",
+    "failing_reload",
 ]
 
 
@@ -84,6 +102,134 @@ def fail_after_call(fn, *, calls: int, exc=SimulatedCrash, message: str = "injec
 
     wrapper.fault_state = state
     return wrapper
+
+
+def fail_from_call(fn, *, calls: int, exc=SimulatedCrash, message: str = "injected fault"):
+    """Wrap ``fn`` to raise on the ``calls``-th call *and every call after*.
+
+    The persistent-failure flavour of :func:`fail_on_call` — what a dead
+    disk or a permanently corrupt artifact looks like to retry logic.
+    """
+    state = {"count": 0}
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        state["count"] += 1
+        if state["count"] >= calls:
+            raise exc(f"{message} (call #{state['count']})")
+        return fn(*args, **kwargs)
+
+    wrapper.fault_state = state
+    return wrapper
+
+
+# --------------------------------------------------------------------------
+# Serve-layer faults.  Each context manager patches a production seam in the
+# serving subsystem and restores it on exit; the serve modules are imported
+# lazily so training-only test runs never pay for them.
+# --------------------------------------------------------------------------
+
+
+@contextmanager
+def torn_wal_append(*, calls: int = 1, keep_bytes: int | None = None):
+    """Tear the ``calls``-th WAL byte write: a prefix lands, then a crash.
+
+    Exactly what a process dying mid-``write`` leaves on disk.  Yields the
+    fault state; ``state["torn"]`` is True once the tear happened, and
+    ``state["dropped_bytes"]`` records how much of the record was lost.
+    ``keep_bytes`` pins the prefix length (default: half the write).
+    """
+    from repro.serve import ingest as _ingest
+
+    original = _ingest._segment_write
+    state = {"count": 0, "torn": False, "dropped_bytes": 0}
+
+    def wrapper(handle, data):
+        state["count"] += 1
+        if state["count"] == calls:
+            cut = keep_bytes if keep_bytes is not None else max(1, len(data) // 2)
+            cut = min(cut, len(data))
+            original(handle, data[:cut])
+            handle.flush()  # the torn prefix reaches the file, like a real crash
+            state["torn"] = True
+            state["dropped_bytes"] = len(data) - cut
+            raise SimulatedCrash(
+                f"torn WAL append: kept {cut}/{len(data)} bytes (call #{state['count']})"
+            )
+        return original(handle, data)
+
+    _ingest._segment_write = wrapper
+    try:
+        yield state
+    finally:
+        _ingest._segment_write = original
+
+
+@contextmanager
+def crash_after_publish(*, calls: int = 1):
+    """Crash between the artifact publish and the watermark side-file write.
+
+    The artifact (with its *embedded* watermark) is already committed when
+    this fires; only the advisory ``foldin.watermark.json`` write is lost —
+    the gap the chaos tests prove replays to a bit-identical model.
+    """
+    from repro.serve import foldin as _foldin
+
+    original = _foldin._write_watermark
+    wrapper = fail_on_call(
+        original,
+        calls=calls,
+        message="crash between artifact publish and watermark side-file",
+    )
+    _foldin._write_watermark = wrapper
+    try:
+        yield wrapper.fault_state
+    finally:
+        _foldin._write_watermark = original
+
+
+@contextmanager
+def failing_foldin_extend(*, calls: int = 1, repeat: bool = False, exc=SimulatedCrash):
+    """Make the fold-in worker's ``extend_model`` call raise.
+
+    ``repeat=False`` fails only the ``calls``-th fold (a transient error
+    the retry path must absorb); ``repeat=True`` fails from that call on
+    (the persistent failure that must drive degraded mode).  The crash
+    fires *before* any publish, so the watermark never moves.
+    """
+    from repro.serve import foldin as _foldin
+
+    original = _foldin.extend_model
+    wrap = fail_from_call if repeat else fail_on_call
+    wrapper = wrap(original, calls=calls, exc=exc, message="injected fold-in failure")
+    _foldin.extend_model = wrapper
+    try:
+        yield wrapper.fault_state
+    finally:
+        _foldin.extend_model = original
+
+
+@contextmanager
+def failing_reload(*, calls: int = 1, repeat: bool = True, exc=OSError):
+    """Make :class:`~repro.serve.state.ModelState` bundle builds fail.
+
+    Patches ``repro.serve.state._build_bundle`` — the validate step of the
+    watch/validate/swap cycle — driving the reload-failure path (and, with
+    ``repeat=True``, the capped backoff) without corrupting any real
+    artifact.  Defaults to ``OSError`` because ``maybe_reload`` deliberately
+    catches only ``(ReproError, OSError)``: an unexpected exception type
+    should escape to the watch loop, not be absorbed as a routine failure.
+    """
+    from repro.serve import state as _state
+
+    original = _state._build_bundle
+    wrap = fail_from_call if repeat else fail_on_call
+    wrapper = wrap(original, calls=calls, exc=exc, message="injected reload failure")
+    _state._build_bundle = wrapper
+    try:
+        yield wrapper.fault_state
+    finally:
+        _state._build_bundle = original
 
 
 # --------------------------------------------------------------------------

@@ -36,15 +36,40 @@ class TestExtendModel:
         assert np.all(np.diff(trajectory) >= 0)
         assert "newcomer" in merged
 
-    def test_new_item_rejected(self, fitted_tiny_model, tiny_log):
-        with pytest.raises(DataError):
+    def test_new_item_rejected_and_model_untouched(self, fitted_tiny_model, tiny_log):
+        before = {
+            user: fitted_tiny_model.assignments[user].copy()
+            for user in fitted_tiny_model.assignments
+        }
+        with pytest.raises(DataError, match="ghost"):
             extend_model(
                 fitted_tiny_model, tiny_log, [Action(time=0.0, user="u0", item="ghost")]
             )
+        # The rejection happened before any mutation: same users, same arrays.
+        assert list(fitted_tiny_model.assignments) == list(before)
+        for user, levels in before.items():
+            np.testing.assert_array_equal(
+                fitted_tiny_model.assignments[user], levels
+            )
 
-    def test_empty_actions_rejected(self, fitted_tiny_model, tiny_log):
-        with pytest.raises(DataError):
-            extend_model(fitted_tiny_model, tiny_log, [])
+    def test_empty_actions_is_a_noop(self, fitted_tiny_model, tiny_log):
+        """An empty fold is the steady state of a streaming caller polling
+        an idle WAL — it must be a cheap no-op, not an error."""
+        model, log = extend_model(fitted_tiny_model, tiny_log, [])
+        assert model is fitted_tiny_model
+        assert log is tiny_log
+
+    def test_new_user_folds_in_twice(self, fitted_tiny_model, tiny_log):
+        first, log1 = extend_model(
+            fitted_tiny_model, tiny_log, _new_actions("newcomer", 0.0, ["i0", "i1"])
+        )
+        second, log2 = extend_model(
+            first, log1, _new_actions("newcomer", 10.0, ["i4", "i5"])
+        )
+        trajectory = second.skill_trajectory("newcomer")
+        assert len(trajectory) == 4
+        assert np.all(np.diff(trajectory) >= 0)  # monotone within the merged history
+        assert len(log2.sequence("newcomer")) == 4
 
     def test_negative_refit_rejected(self, fitted_tiny_model, tiny_log):
         with pytest.raises(ConfigurationError):

@@ -106,6 +106,24 @@ class TestInstruments:
         assert hist.max == 99.0
         assert hist.quantile(0.0) >= 90.0  # window keeps only the tail
 
+    def test_info_last_value_wins_and_clears(self):
+        registry = MetricsRegistry()
+        info = registry.info("foldin.status")
+        assert info.value is None
+        info.set("retrying")
+        info.set("degraded")
+        assert info.value == "degraded"
+        assert registry.info("foldin.status") is info
+        info.set(None)
+        assert info.value is None
+
+    def test_info_truncates_pathological_values(self):
+        info = MetricsRegistry().info("last_error")
+        info.set("x" * 10_000)
+        assert len(info.value) == 500
+        info.set(42)  # non-strings are stringified
+        assert info.value == "42"
+
     def test_counter_thread_safety(self):
         registry = MetricsRegistry()
         counter = registry.counter("hammered")
@@ -178,6 +196,15 @@ class TestRegistryScoping:
         assert set(snapshot["histograms"]["h"]) == {
             "count", "total", "mean", "p50", "p95", "max",
         }
+        # Info-free runs keep the legacy repro-metrics/1 shape exactly.
+        assert "info" not in snapshot
+
+    def test_snapshot_gains_info_section_only_when_used(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        registry.info("foldin.status").set("ok")
+        registry.info("foldin.last_error").set(None)
+        snapshot = registry.snapshot()
+        assert snapshot["info"] == {"foldin.last_error": None, "foldin.status": "ok"}
 
     def test_reset_clears_instruments(self):
         registry = MetricsRegistry()
@@ -475,6 +502,24 @@ class TestChecker:
         assert any("counters['bad']" in p for p in problems)
         assert any("'p95'" in p for p in problems)
 
+    def test_info_section_validated_when_present(self, checker):
+        payload = _valid_metrics_payload()
+        payload["info"] = {"foldin.status": "ok", "foldin.last_error": None}
+        assert checker.check_metrics(payload) == []
+        payload["info"]["foldin.status"] = 17
+        problems = checker.check_metrics(payload)
+        assert any("info['foldin.status']" in p for p in problems)
+
+    def test_require_metric(self, checker):
+        payload = _valid_metrics_payload()
+        payload["info"] = {"foldin.status": "ok"}
+        assert checker.check_required_metrics(
+            payload,
+            ["train.iterations", "train.log_likelihood", "foldin.status"],
+        ) == []
+        problems = checker.check_required_metrics(payload, ["ingest.events"])
+        assert problems and "ingest.events" in problems[0]
+
     def test_main_exit_codes(self, checker, tmp_path, capsys):
         metrics_path = tmp_path / "metrics.json"
         metrics_path.write_text(json.dumps(_valid_metrics_payload()))
@@ -497,3 +542,10 @@ class TestChecker:
         metrics_path.write_text("{broken")
         assert checker.main(["--metrics", str(metrics_path)]) == 1
         assert "cannot read" in capsys.readouterr().out
+        metrics_path.write_text(json.dumps(_valid_metrics_payload()))
+        good = ["--metrics", str(metrics_path), "--require-metric", "train.iterations"]
+        assert checker.main(good) == 0
+        capsys.readouterr()
+        bad = ["--metrics", str(metrics_path), "--require-metric", "ingest.events"]
+        assert checker.main(bad) == 1
+        assert "ingest.events" in capsys.readouterr().out

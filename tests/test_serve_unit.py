@@ -294,7 +294,10 @@ class TestModelState:
             assert state.reload_failures == 1
 
     def test_recovers_after_a_failed_reload(self, model_prefix, fitted_tiny_model):
-        state = ModelState(model_prefix)
+        # A fake clock steps past the failure-backoff window so the good
+        # artifact is revalidated on the very next poll.
+        now = [1000.0]
+        state = ModelState(model_prefix, clock=lambda: now[0])
         state.load()
         json_path = model_prefix.with_suffix(".json")
         structure = json.loads(json_path.read_text(encoding="utf-8"))
@@ -304,5 +307,6 @@ class TestModelState:
         assert state.maybe_reload() is False
         save_model(fitted_tiny_model, model_prefix)
         _bump_mtime(model_prefix)
+        now[0] += state.retry_base_seconds + 0.1
         assert state.maybe_reload() is True
         assert state.current.version == 2

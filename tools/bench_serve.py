@@ -44,13 +44,55 @@ import numpy as np
 from repro.core.serialize import save_model
 from repro.core.training import fit_skill_model
 from repro.obs.metrics import MetricsRegistry, set_registry
-from repro.serve import ModelState, ServeConfig, ServerThread, SkillServer
+from repro.serve import (
+    FoldinConfig,
+    FoldinWorker,
+    ModelState,
+    ServeConfig,
+    ServerThread,
+    SkillServer,
+    WriteAheadLog,
+)
 from repro.synth import CookingConfig, generate_cooking
 
 PRIORS = ("uniform", "empirical")
 
+HEALTHZ_TIMEOUT_SECONDS = 30.0
 
-def _build_model(prefix: Path, *, users: int, quick: bool) -> dict:
+
+def _wait_for_healthz(host: str, port: int, timeout: float = HEALTHZ_TIMEOUT_SECONDS):
+    """Poll ``/healthz`` until the server answers 200, with a hard deadline.
+
+    ``ServerThread.start`` returning only means the socket is bound; this
+    proves the model actually loaded and the request path works before any
+    timed measurement begins.  Raises ``RuntimeError`` naming the address
+    and the last failure instead of letting the first measured request eat
+    an unbounded connect/500 stall.
+    """
+    deadline = time.perf_counter() + timeout
+    last_error: str = "no response"
+    while time.perf_counter() < deadline:
+        try:
+            conn = http.client.HTTPConnection(host, port, timeout=5)
+            try:
+                conn.request("GET", "/healthz")
+                response = conn.getresponse()
+                response.read()
+                if response.status == 200:
+                    return
+                last_error = f"HTTP {response.status}"
+            finally:
+                conn.close()
+        except OSError as exc:
+            last_error = str(exc)
+        time.sleep(0.05)
+    raise RuntimeError(
+        f"server at {host}:{port} not healthy within {timeout:.0f}s "
+        f"(last error: {last_error}); the bench cannot start"
+    )
+
+
+def _build_model(prefix: Path, *, users: int, quick: bool) -> tuple[dict, object]:
     """Fit a model big enough that per-request kernel cost is non-trivial."""
     dataset = generate_cooking(CookingConfig(num_users=users, seed=7))
     model = fit_skill_model(
@@ -63,11 +105,12 @@ def _build_model(prefix: Path, *, users: int, quick: bool) -> dict:
     )
     save_model(model, prefix)
     structure = json.loads(prefix.with_suffix(".json").read_text(encoding="utf-8"))
-    return {
+    info = {
         "users": structure["users"],
         "items": structure["item_ids"],
         "num_actions": dataset.log.num_actions,
     }
+    return info, dataset.log
 
 
 def _workload(info: dict, num_requests: int) -> list[tuple[str, bytes]]:
@@ -109,6 +152,7 @@ def _run_mode(
     )
     thread = ServerThread(server)
     host, port = thread.start()
+    _wait_for_healthz(host, port)
 
     bodies: list[bytes | None] = [None] * len(workload)
     latencies: list[float] = [0.0] * len(workload)
@@ -161,6 +205,121 @@ def _run_mode(
     }
 
 
+def _bench_ingest(
+    prefix: Path,
+    info: dict,
+    base_log,
+    wal_dir: Path,
+    *,
+    concurrency: int,
+    events: int,
+    batch_events: int = 16,
+) -> dict:
+    """Sustained ``POST /ingest`` journaling rate, then fold-in latency.
+
+    Clients push the whole event stream through the live server (durable
+    WAL appends, fsync per flush); the fold-in worker then drains it to a
+    published artifact.  Both halves read their timings off the metrics
+    registry the server ran under.
+    """
+    registry = MetricsRegistry()
+    set_registry(registry)
+    wal = WriteAheadLog(wal_dir)
+    worker = FoldinWorker(
+        wal, prefix, base_log, config=FoldinConfig(interval_seconds=3600.0)
+    )
+    worker.bootstrap()
+    server = SkillServer(
+        ModelState(prefix),
+        ServeConfig(port=0, max_batch=64, max_wait_ms=2.0, max_queue=4096,
+                    timeout_seconds=60.0),
+        wal=wal,
+        foldin=worker,
+    )
+    thread = ServerThread(server)
+    host, port = thread.start()
+    _wait_for_healthz(host, port)
+
+    users = info["users"]
+    items = info["items"]
+    batches = [
+        json.dumps(
+            {
+                "events": [
+                    {
+                        "user": users[(start + j) % len(users)],
+                        "item": items[(start * 7 + j * 3) % len(items)],
+                        "time": 1_000.0 + start + j,
+                    }
+                    for j in range(min(batch_events, events - start))
+                ]
+            }
+        ).encode("utf-8")
+        for start in range(0, events, batch_events)
+    ]
+    errors = [0]
+    lock = threading.Lock()
+    barrier = threading.Barrier(concurrency + 1)
+
+    def client(worker_index: int) -> None:
+        conn = http.client.HTTPConnection(host, port, timeout=120)
+        barrier.wait()
+        for index in range(worker_index, len(batches), concurrency):
+            conn.request(
+                "POST", "/ingest", batches[index],
+                {"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            response.read()
+            if response.status != 200:
+                with lock:
+                    errors[0] += 1
+        conn.close()
+
+    threads = [
+        threading.Thread(target=client, args=(index,), daemon=True)
+        for index in range(concurrency)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    wall_start = time.perf_counter()
+    for t in threads:
+        t.join()
+    ingest_wall = time.perf_counter() - wall_start
+    assert errors[0] == 0, f"{errors[0]} ingest requests failed"
+    assert wal.durable_seq == events, "not every event was journaled"
+
+    fold_start = time.perf_counter()
+    worker.drain_now(timeout=600.0)
+    fold_wall = time.perf_counter() - fold_start
+    thread.stop()
+    worker.stop()
+    wal.close()
+
+    snapshot = registry.snapshot()
+    append_hist = snapshot["histograms"].get("ingest.append_seconds", {})
+    fold_hist = snapshot["histograms"].get("foldin.fold_seconds", {})
+    return {
+        "events": events,
+        "batch_events": batch_events,
+        "concurrency": concurrency,
+        "wall_seconds": ingest_wall,
+        "events_per_sec": events / ingest_wall,
+        "append_p50_ms": 1000.0 * append_hist.get("p50", 0.0),
+        "append_p95_ms": 1000.0 * append_hist.get("p95", 0.0),
+        "foldin": {
+            "wall_seconds": fold_wall,
+            "folds": int(snapshot["counters"].get("foldin.folds", 0)),
+            "events_applied": int(
+                snapshot["counters"].get("foldin.events_applied", 0)
+            ),
+            "fold_seconds_mean": fold_hist.get("mean", 0.0),
+            "fold_seconds_p95": fold_hist.get("p95", 0.0),
+        },
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--users", type=int, default=400)
@@ -183,7 +342,7 @@ def main() -> int:
     with tempfile.TemporaryDirectory() as tmp:
         prefix = Path(tmp) / "bench_model"
         print(f"fitting bench model ({args.users} users)...")
-        info = _build_model(prefix, users=args.users, quick=args.quick)
+        info, base_log = _build_model(prefix, users=args.users, quick=args.quick)
         workload = _workload(info, args.requests)
         print(
             f"workload: {len(workload)} requests "
@@ -210,6 +369,21 @@ def main() -> int:
                 f"throughput={best['throughput_rps']:7.1f} req/s "
                 f"mean_batch={best['mean_batch_size'] or 1:.1f}"
             )
+
+        # Streaming loop: durable journaling rate, then fold-in latency.
+        # Runs after the parity modes — fold-in republishes the artifact.
+        ingest_events = 512 if args.quick else 4096
+        print(f"ingest: journaling {ingest_events} events...")
+        ingest = _bench_ingest(
+            prefix, info, base_log, Path(tmp) / "wal",
+            concurrency=args.concurrency, events=ingest_events,
+        )
+        print(
+            f"ingest     {ingest['events_per_sec']:7.1f} events/s "
+            f"(append p95={ingest['append_p95_ms']:.2f}ms), "
+            f"fold-in {ingest['foldin']['folds']} folds "
+            f"mean={ingest['foldin']['fold_seconds_mean']:.3f}s"
+        )
 
     # Parity: coalesced batching must be semantically invisible.
     mismatches = sum(
@@ -252,6 +426,7 @@ def main() -> int:
             ),
         },
         "parity": {"responses_compared": len(workload), "mismatches": 0},
+        "ingest": ingest,
     }
     Path(args.out).write_text(
         json.dumps(payload, indent=1) + "\n", encoding="utf-8"

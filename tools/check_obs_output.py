@@ -9,11 +9,19 @@ standard library so CI can run it without installing the package:
   ``repro/obs/logging.py`` (ts, level, run, component, event, elapsed_ms);
 - a metrics file produced with ``--metrics-out`` — must declare schema
   ``repro-metrics/1`` and carry numeric counters/gauges, histogram digests
-  with count/total/mean/p50/p95/max, and a telemetry object (or null).
+  with count/total/mean/p50/p95/max, a telemetry object (or null), and —
+  when present — an ``info`` section of string-or-null values.
+
+``--require-metric NAME`` (repeatable) additionally asserts that a named
+instrument exists somewhere in the snapshot, so CI can prove a subsystem
+(e.g. the streaming ingest loop's ``ingest.*``/``foldin.*`` instruments)
+actually ran, not just that the file parses.
 
 Usage::
 
     python tools/check_obs_output.py --log fit.log.jsonl --metrics metrics.json
+    python tools/check_obs_output.py --metrics m.json \
+        --require-metric ingest.events --require-metric foldin.folds
 
 Exit status 0 when every given artifact validates, 1 otherwise; problems
 are printed one per line.
@@ -109,6 +117,15 @@ def check_metrics(payload) -> list[str]:
                 elif not _is_number(digest[key]):
                     problems.append(f"histograms[{name!r}][{key!r}] is not a number")
 
+    info = payload.get("info")
+    if info is not None:  # optional: only emitted once an Info instrument is set
+        if not isinstance(info, dict):
+            problems.append("info is not an object")
+        else:
+            for name, value in info.items():
+                if value is not None and not isinstance(value, str):
+                    problems.append(f"info[{name!r}] is neither a string nor null")
+
     if "telemetry" not in payload:
         problems.append("telemetry key missing (must be an object or null)")
     else:
@@ -127,13 +144,39 @@ def check_metrics(payload) -> list[str]:
     return problems
 
 
+def check_required_metrics(payload, required: Iterable[str]) -> list[str]:
+    """Names in ``required`` that appear in no instrument section."""
+    sections = ("counters", "gauges", "histograms", "info")
+    present: set[str] = set()
+    if isinstance(payload, dict):
+        for section in sections:
+            table = payload.get(section)
+            if isinstance(table, dict):
+                present.update(table)
+    return [
+        f"required metric {name!r} not found in any of {'/'.join(sections)}"
+        for name in required
+        if name not in present
+    ]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--log", help="JSONL log file to validate")
     parser.add_argument("--metrics", help="metrics JSON file to validate")
+    parser.add_argument(
+        "--require-metric",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless this instrument exists in the metrics snapshot "
+        "(repeatable; implies --metrics)",
+    )
     args = parser.parse_args(argv)
     if not args.log and not args.metrics:
         parser.error("nothing to check: pass --log and/or --metrics")
+    if args.require_metric and not args.metrics:
+        parser.error("--require-metric needs --metrics")
 
     problems: list[str] = []
     if args.log:
@@ -150,6 +193,10 @@ def main(argv: list[str] | None = None) -> int:
             problems.append(f"{args.metrics}: cannot read ({exc})")
         else:
             problems += [f"{args.metrics}: {p}" for p in check_metrics(payload)]
+            problems += [
+                f"{args.metrics}: {p}"
+                for p in check_required_metrics(payload, args.require_metric)
+            ]
 
     for problem in problems:
         print(problem)
