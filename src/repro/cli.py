@@ -624,6 +624,9 @@ def _cmd_wal_inspect(directory: str, as_json: bool) -> int:
         watermark = report.get("watermark")
         if watermark is not None:
             print(f"  watermark (advisory): {watermark}")
+        snapshot = report.get("snapshot")
+        if snapshot is not None:
+            print(f"  applied-events snapshot: {snapshot}")
     # Non-zero exit on real corruption so scripts can alert; a torn tail
     # is expected crash damage and exits 0.
     corrupt = any(s["status"] == "corrupt" for s in report["segments"])

@@ -26,6 +26,7 @@ histogram and its duration into ``serve.batch_flush_seconds``.
 from __future__ import annotations
 
 import asyncio
+import inspect
 from collections.abc import Callable, Sequence
 from typing import Any
 
@@ -44,6 +45,14 @@ class MicroBatcher:
     ``batch_fn(payloads)`` runs on the event-loop thread and must return a
     sequence with one result per payload, in order.  A raising ``batch_fn``
     fails every request of that flush with the same exception.
+
+    ``batch_fn`` may also be a coroutine function: its flush is awaited,
+    which lets a batch that does blocking I/O (the ingest WAL's
+    append+fsync) offload it with ``asyncio.to_thread`` instead of
+    stalling every other endpoint on the loop.  Flushes are serialized
+    either way — the flusher task awaits one flush before draining the
+    next batch — so an async ``batch_fn`` keeps strict batch ordering,
+    which the WAL's sequence numbering relies on.
 
     The batcher must be started (``await start()``) on the loop that will
     submit to it; ``stop()`` flushes whatever is still queued.
@@ -133,9 +142,9 @@ class MicroBatcher:
                 self._full.set()
             if not self._pending and not self._closed:
                 self._wake.clear()
-            self._flush(batch)
+            await self._flush(batch)
 
-    def _flush(self, batch: list[tuple[Any, asyncio.Future]]) -> None:
+    async def _flush(self, batch: list[tuple[Any, asyncio.Future]]) -> None:
         registry = get_registry()
         registry.histogram("serve.batch_size").observe(len(batch))
         self.flushes += 1
@@ -143,6 +152,8 @@ class MicroBatcher:
         try:
             with registry.timer("serve.batch_flush_seconds"):
                 results = self._batch_fn(payloads)
+                if inspect.isawaitable(results):
+                    results = await results
         except Exception as exc:  # fail the whole flush, not the server
             registry.counter("serve.batch_errors").inc()
             _log.warning(

@@ -26,9 +26,22 @@ the final model is a pure function of the final merged log, independent
 of how the stream was cut into batches.  That is the bit-identical
 restart guarantee ``tests/test_serve_faults.py`` asserts.
 
+Restart needs the folded events themselves, not just the watermark:
+``bootstrap()`` reconstructs the merged log the published model
+corresponds to.  Pruned WAL segments cannot be its only source, so after
+every publish the worker writes a **snapshot** of all *applied* events
+(``foldin.snapshot.json`` next to the WAL, atomic tmp+rename), and only
+then prunes segments the snapshot covers.  Bootstrap replays snapshot
+events first and tops up from the WAL between the snapshot's sequence
+and the artifact's watermark — covering the crash window between the
+artifact publish and the snapshot write, during which pruning has not
+yet advanced.  Segment pruning under the default config is therefore
+safe: everything a future bootstrap can need is always readable from
+snapshot ∪ WAL.
+
 A side file (``foldin.watermark.json`` next to the WAL) is written after
-each publish for operators and segment pruning; it is advisory only — on
-restart the artifact's embedded watermark wins.
+the snapshot for operators (``repro wal inspect``); it is advisory only —
+on restart the artifact's embedded watermark wins.
 
 Degraded mode
 -------------
@@ -75,11 +88,12 @@ from repro.obs.logging import get_logger
 from repro.obs.metrics import get_registry
 from repro.serve.ingest import WriteAheadLog
 
-__all__ = ["FoldinConfig", "FoldinWorker", "WATERMARK_FILENAME"]
+__all__ = ["FoldinConfig", "FoldinWorker", "SNAPSHOT_FILENAME", "WATERMARK_FILENAME"]
 
 _log = get_logger("serve.foldin")
 
 WATERMARK_FILENAME = "foldin.watermark.json"
+SNAPSHOT_FILENAME = "foldin.snapshot.json"
 
 
 @dataclass(frozen=True)
@@ -120,13 +134,7 @@ class FoldinConfig:
             )
 
 
-def _write_watermark(path: Path, payload: dict[str, Any]) -> None:
-    """Write the advisory side-file watermark (tmp + atomic rename).
-
-    A module function so fault injection can crash the process *between*
-    the artifact publish (the real commit) and this write — the gap the
-    chaos tests prove is benign.
-    """
+def _atomic_json_write(path: Path, payload: dict[str, Any]) -> None:
     tmp = path.with_name(path.name + ".tmp")
     data = json.dumps(payload, sort_keys=True).encode("utf-8")
     with open(tmp, "wb") as handle:
@@ -134,6 +142,60 @@ def _write_watermark(path: Path, payload: dict[str, Any]) -> None:
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
+
+
+def _write_watermark(path: Path, payload: dict[str, Any]) -> None:
+    """Write the advisory side-file watermark (tmp + atomic rename).
+
+    A module function so fault injection can crash the process *between*
+    the artifact publish (the real commit) and this write — the gap the
+    chaos tests prove is benign.
+    """
+    _atomic_json_write(path, payload)
+
+
+def _write_snapshot(path: Path, payload: dict[str, Any]) -> None:
+    """Write the applied-events snapshot (tmp + atomic rename).
+
+    A module function so fault injection can crash the process between
+    the artifact publish and this write; the WAL still holds everything
+    past the *previous* snapshot (pruning never outruns the snapshot), so
+    bootstrap replays the gap from the WAL and the crash is benign.
+    """
+    _atomic_json_write(path, payload)
+
+
+def _read_snapshot(wal_directory: str | Path) -> tuple[int, list[dict[str, Any]]]:
+    """Load ``(snapshot_seq, applied entries)``; absent snapshot is (0, []).
+
+    Entries are ``{"seq": int, "event": {...}}`` in sequence order.  A
+    snapshot that exists but does not parse is real corruption (the write
+    is atomic, so a crash cannot tear it): raise a typed error rather
+    than silently rebuilding a wrong merged log from a pruned WAL.
+    """
+    path = Path(wal_directory) / SNAPSHOT_FILENAME
+    if not path.exists():
+        return 0, []
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise DataError(f"{path}: unreadable fold-in snapshot ({exc})") from exc
+    if (
+        not isinstance(payload, dict)
+        or not isinstance(payload.get("watermark_seq"), int)
+        or not isinstance(payload.get("events"), list)
+    ):
+        raise DataError(f"{path}: malformed fold-in snapshot")
+    entries: list[dict[str, Any]] = []
+    for entry in payload["events"]:
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("seq"), int)
+            or not isinstance(entry.get("event"), dict)
+        ):
+            raise DataError(f"{path}: malformed fold-in snapshot entry")
+        entries.append(entry)
+    return payload["watermark_seq"], entries
 
 
 def _event_to_action(event: Any) -> Action:
@@ -218,6 +280,9 @@ class FoldinWorker:
         self._log: ActionLog | None = None
         self._table_cache = ScoreTableCache()
         self._watermark = 0
+        #: Every event actually folded (``{"seq", "event"}`` in order) —
+        #: the snapshot body that keeps pruned WAL segments replayable.
+        self._applied: list[dict[str, Any]] = []
         self._folds = 0
         self._events_applied = 0
         self._events_dropped = 0
@@ -236,7 +301,32 @@ class FoldinWorker:
 
     @property
     def watermark(self) -> int:
-        return self._watermark
+        with self._lock:
+            return self._watermark
+
+    def _decode_foldable(self, model: SkillModel, seq: int, event: Any) -> Action | None:
+        """Decode one journaled event, dropping what cannot be folded.
+
+        Malformed events and events for items outside the model's catalog
+        are *dropped* (counted, logged) rather than retried forever — a
+        poison event must not wedge the whole stream into degraded mode.
+        The same rule runs during bootstrap replay, so the reconstructed
+        log matches what the live worker actually applied.
+        """
+        try:
+            action = _event_to_action(event)
+            if action.item not in model.encoded.index_of:
+                raise DataError(f"item {action.item!r} is not in the model's catalog")
+        except DataError as exc:
+            with self._lock:
+                self._events_dropped += 1
+            get_registry().counter("foldin.events_dropped").inc()
+            _log.warning(
+                "dropping unfoldable ingest event",
+                extra={"obs": {"seq": seq, "error": str(exc)}},
+            )
+            return None
+        return action
 
     def bootstrap(self) -> None:
         """Load the artifact and replay already-folded events into the log.
@@ -244,26 +334,39 @@ class FoldinWorker:
         Events with ``seq <= watermark`` are part of the published model's
         assignments; merging them into the base log reconstructs the
         merged log that model corresponds to, so the next fold extends
-        from a consistent (model, log) pair.
+        from a consistent (model, log) pair.  The snapshot is the primary
+        source (it survives segment pruning and holds exactly the events
+        that were *applied*); the WAL covers the tail between the
+        snapshot's sequence and the artifact's watermark — the window a
+        crash between publish and snapshot write leaves open.
         """
         model = load_model(self.prefix)
         watermark = read_watermark(self.prefix, self.wal.directory)
-        folded = [
-            _event_to_action(record.event)
-            for record in self.wal.read(after_seq=0, upto_seq=watermark)
-        ]
+        _snapshot_seq, entries = _read_snapshot(self.wal.directory)
+        applied = [entry for entry in entries if entry["seq"] <= watermark]
+        replay_after = applied[-1]["seq"] if applied else 0
+        for record in self.wal.read(after_seq=replay_after, upto_seq=watermark):
+            if self._decode_foldable(model, record.seq, record.event) is not None:
+                applied.append({"seq": record.seq, "event": record.event})
+        folded = [_event_to_action(entry["event"]) for entry in applied]
         log = merge_actions(self.base_log, folded) if folded else self.base_log
         trace_lls = model.trace.log_likelihoods
-        if trace_lls and self.base_log.num_actions:
-            # Baseline drift anchor: training LL per action at convergence.
-            self._training_ll_per_action = trace_lls[-1] / self.base_log.num_actions
-            get_registry().gauge("foldin.ll_per_action_training").set(
+        registry = get_registry()
+        with self._lock:
+            if trace_lls and self.base_log.num_actions:
+                # Baseline drift anchor: training LL per action at convergence.
+                self._training_ll_per_action = (
+                    trace_lls[-1] / self.base_log.num_actions
+                )
+            self._model = model
+            self._log = log
+            self._watermark = watermark
+            self._applied = applied
+        if self._training_ll_per_action is not None:
+            registry.gauge("foldin.ll_per_action_training").set(
                 self._training_ll_per_action
             )
-        self._model = model
-        self._log = log
-        self._watermark = watermark
-        get_registry().gauge("foldin.watermark_seq").set(watermark)
+        registry.gauge("foldin.watermark_seq").set(watermark)
         _log.info(
             "fold-in worker bootstrapped",
             extra={
@@ -271,6 +374,7 @@ class FoldinWorker:
                     "prefix": str(self.prefix),
                     "watermark_seq": watermark,
                     "replayed_events": len(folded),
+                    "snapshot_events": len(entries),
                     "wal_last_seq": self.wal.last_seq,
                 }
             },
@@ -280,40 +384,32 @@ class FoldinWorker:
 
     def pending(self) -> int:
         """Durable events not yet folded into the published artifact."""
-        return max(0, self.wal.durable_seq - self._watermark)
+        with self._lock:
+            watermark = self._watermark
+        return max(0, self.wal.durable_seq - watermark)
 
-    def _drain(self) -> tuple[list[Action], int]:
+    def _drain(self) -> tuple[list[Action], list[dict[str, Any]], int]:
         """Decode the next batch of durable events past the watermark.
 
-        Malformed events and events for items outside the model's catalog
-        are *dropped* (counted, logged) rather than retried forever — a
-        poison event must not wedge the whole stream into degraded mode.
+        Returns the decoded actions, their ``{"seq", "event"}`` snapshot
+        entries, and the new watermark.  Unfoldable events are dropped by
+        :meth:`_decode_foldable`, never retried forever.
         """
         assert self._model is not None
         upto = min(
             self.wal.durable_seq, self._watermark + self.config.max_events_per_fold
         )
         if upto <= self._watermark:
-            return [], self._watermark
+            return [], [], self._watermark
         actions: list[Action] = []
-        registry = get_registry()
+        entries: list[dict[str, Any]] = []
         for record in self.wal.read(after_seq=self._watermark, upto_seq=upto):
-            try:
-                action = _event_to_action(record.event)
-                if action.item not in self._model.encoded.index_of:
-                    raise DataError(
-                        f"item {action.item!r} is not in the model's catalog"
-                    )
-            except DataError as exc:
-                self._events_dropped += 1
-                registry.counter("foldin.events_dropped").inc()
-                _log.warning(
-                    "dropping unfoldable ingest event",
-                    extra={"obs": {"seq": record.seq, "error": str(exc)}},
-                )
+            action = self._decode_foldable(self._model, record.seq, record.event)
+            if action is None:
                 continue
             actions.append(action)
-        return actions, upto
+            entries.append({"seq": record.seq, "event": record.event})
+        return actions, entries, upto
 
     def _stale_users(self, log: ActionLog) -> set:
         """Users idle longer than ``decay_stale_after`` — measured against
@@ -360,7 +456,7 @@ class FoldinWorker:
             self.bootstrap()
         assert self._model is not None and self._log is not None
         registry = get_registry()
-        actions, upto = self._drain()
+        actions, entries, upto = self._drain()
         if upto <= self._watermark:
             return 0
         start = registry.clock()
@@ -392,17 +488,32 @@ class FoldinWorker:
             },
         )
         # The artifact replace above was the commit point; everything from
-        # here on is advisory and safe to lose in a crash.
-        self._model = model
-        self._log = log
-        self._watermark = upto
-        self._folds += 1
-        self._events_applied += len(actions)
+        # here on is advisory and safe to lose in a crash.  The lock keeps
+        # /healthz reads consistent with the worker's updates.
+        with self._lock:
+            self._model = model
+            self._log = log
+            self._watermark = upto
+            self._folds += 1
+            self._events_applied += len(actions)
+            self._applied.extend(entries)
+            applied_entries = list(self._applied)
         elapsed = registry.clock() - start
         registry.counter("foldin.folds").inc()
         registry.counter("foldin.events_applied").inc(len(actions))
         registry.histogram("foldin.fold_seconds").observe(elapsed)
         registry.gauge("foldin.watermark_seq").set(upto)
+        # Snapshot before prune: segments may only be deleted once every
+        # applied event they held is replayable from the snapshot, or a
+        # restart could not reconstruct the merged log.
+        _write_snapshot(
+            Path(self.wal.directory) / SNAPSHOT_FILENAME,
+            {
+                "watermark_seq": upto,
+                "prefix": str(self.prefix),
+                "events": applied_entries,
+            },
+        )
         _write_watermark(
             Path(self.wal.directory) / WATERMARK_FILENAME,
             {"watermark_seq": upto, "prefix": str(self.prefix)},
@@ -543,13 +654,17 @@ class FoldinWorker:
         """The ``/healthz`` fold-in section."""
         with self._lock:
             status = "degraded" if self._degraded else "ok"
-            return {
+            watermark = self._watermark
+            body = {
                 "status": status,
-                "watermark_seq": self._watermark,
-                "pending_events": self.pending(),
+                "watermark_seq": watermark,
                 "folds": self._folds,
                 "events_applied": self._events_applied,
                 "events_dropped": self._events_dropped,
                 "consecutive_failures": self._failures,
                 "last_error": self._last_error,
             }
+        # Computed outside the (non-reentrant) lock: durable_seq takes the
+        # WAL's own lock, and the watermark snapshot above is consistent.
+        body["pending_events"] = max(0, self.wal.durable_seq - watermark)
+        return body

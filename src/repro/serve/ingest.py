@@ -32,6 +32,18 @@ client sees means its whole batch is on stable storage.  ``durable_seq``
 is advanced only after the fsync, and readers (the fold-in worker) never
 read past it.
 
+A *failed* append (``ENOSPC``, ``EIO``, a torn write) may leave a prefix
+of the un-acked batch in the live segment.  Those bytes must not stay in
+front of later appends: readers stop at the first invalid byte, so a
+batch journaled after garbage would be invisible to the fold-in worker
+while still acked to the client — silent loss without even a crash.  The
+failure path therefore truncates the live segment back to its pre-batch
+length before re-raising (``ingest.append_rollbacks``); if even the
+truncate fails (the same dying disk), the WAL refuses every subsequent
+append with a typed :class:`~repro.exceptions.DataError` until the
+rollback succeeds, and a crash in that state is healed by ordinary
+recovery, which truncates the uncommitted tail.
+
 The commit record is what makes batches atomic across crashes: recovery
 truncates every byte after the last commit record, so a batch is either
 wholly in the log (it was acked) or wholly gone (it never was) — even when
@@ -114,6 +126,12 @@ def _segment_write(handle: BinaryIO, data: bytes) -> None:
 def _segment_fsync(handle: BinaryIO) -> None:
     handle.flush()
     os.fsync(handle.fileno())
+
+
+def _segment_truncate(path: Path, size: int) -> None:
+    """Roll a segment back to ``size`` bytes — a module function so fault
+    injection can fail it (a disk too dead even to truncate)."""
+    os.truncate(path, size)
 
 
 @dataclass(frozen=True)
@@ -278,6 +296,9 @@ class WriteAheadLog:
         self.directory.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
         self._handle: BinaryIO | None = None
+        #: Set when a failed append left bytes we could not truncate away;
+        #: appends refuse to journal after garbage until this is cleared.
+        self._pending_rollback: tuple[Path, int] | None = None
         self._recover()
 
     # ----------------------------------------------------------- recovery
@@ -362,7 +383,10 @@ class WriteAheadLog:
             self._handle.close()
             self._handle = None
         if self._segments:
-            size = self._segments[-1].stat().st_size
+            try:
+                size = self._segments[-1].stat().st_size
+            except FileNotFoundError:
+                size = 0  # a rotation's open() failed before creating it
             if size == 0 or size + batch_bytes <= self.config.segment_bytes:
                 self._handle = open(self._segments[-1], "ab")
                 return self._handle
@@ -373,20 +397,74 @@ class WriteAheadLog:
         self._handle = open(path, "ab")
         return self._handle
 
+    def _discard_failed_tail(self, *, reraise: bool = True) -> None:
+        """Truncate the bytes a failed append left in the live segment.
+
+        Runs immediately in ``append``'s failure path and again before the
+        next append if the truncate itself failed; until it succeeds every
+        append raises, because a batch committed after garbage would be
+        unreadable past the garbage — acked yet invisible to the fold-in
+        worker, and truncated away (or worse, a sequence-discontinuity
+        error) on restart.  Callers hold ``self._lock``.
+        """
+        assert self._pending_rollback is not None
+        segment, size = self._pending_rollback
+        try:
+            current = segment.stat().st_size
+        except FileNotFoundError:
+            current = size  # the segment never materialized; nothing landed
+        if current > size:
+            try:
+                _segment_truncate(segment, size)
+            except OSError as exc:
+                if reraise:
+                    raise DataError(
+                        f"{segment}: cannot truncate the {current - size} "
+                        f"garbage bytes left by a failed append ({exc}); "
+                        "refusing to journal after them"
+                    ) from exc
+                _log.error(
+                    "failed-append rollback could not truncate; WAL will "
+                    "refuse appends until it succeeds",
+                    extra={
+                        "obs": {
+                            "segment": str(segment),
+                            "garbage_bytes": current - size,
+                            "error": str(exc),
+                        }
+                    },
+                )
+                return
+            get_registry().counter("ingest.append_rollbacks").inc()
+            _log.warning(
+                "rolled back failed WAL append",
+                extra={
+                    "obs": {
+                        "segment": str(segment),
+                        "discarded_bytes": current - size,
+                    }
+                },
+            )
+        self._pending_rollback = None
+
     def append(self, events: list[Mapping[str, Any]]) -> tuple[int, int]:
         """Journal a batch of events: one buffered write, one fsync.
 
         Returns ``(first_seq, last_seq)`` of the assigned sequence
         numbers.  On any failure nothing is acknowledged: the sequence
-        counter rolls back and whatever bytes landed carry no commit
-        record, so recovery truncates them — exactly the state a crashed
-        process leaves behind, which is why a client may blindly retry the
-        whole batch without double-applying anything.
+        counter rolls back and the live segment is truncated back to its
+        pre-batch length, so this same WAL object keeps journaling — later
+        acked batches never sit behind garbage bytes that would hide them
+        from readers.  A client may therefore blindly retry the whole
+        batch without double-applying anything, whether the process died
+        or merely saw the append fail.
         """
         if not events:
             raise DataError("cannot append an empty event batch")
         registry = get_registry()
         with self._lock:
+            if self._pending_rollback is not None:
+                self._discard_failed_tail()  # raises if still stuck
             first_seq = self._last_seq + 1
             parts: list[bytes] = []
             seq = first_seq
@@ -397,21 +475,29 @@ class WriteAheadLog:
             parts.append(_encode_record(last_seq, b""))  # the batch commit
             batch = b"".join(parts)
             start = registry.clock()
+            segment: Path | None = None
+            pre_size = 0
             try:
                 handle = self._batch_handle(len(batch))
+                pre_size = handle.tell()  # buffer is empty between batches
+                segment = self._segments[-1]
                 _segment_write(handle, batch)
                 if self.config.fsync:
                     _segment_fsync(handle)
                 else:
                     handle.flush()
             except BaseException:
-                # The un-acked tail stays on disk; recovery truncates it.
                 if self._handle is not None:
                     try:
                         self._handle.close()
                     except OSError:
                         pass
                     self._handle = None
+                if segment is not None:
+                    # Whatever landed is un-acked garbage in front of any
+                    # future append: remove it now, not at the next restart.
+                    self._pending_rollback = (segment, pre_size)
+                    self._discard_failed_tail(reraise=False)
                 raise
             self._last_seq = last_seq
             self._durable_seq = last_seq
@@ -534,4 +620,14 @@ def inspect_wal(directory: str | Path) -> dict[str, Any]:
             report["watermark"] = json.loads(watermark_path.read_text(encoding="utf-8"))
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             report["watermark"] = {"error": f"unreadable watermark file ({exc})"}
+    snapshot_path = directory / "foldin.snapshot.json"
+    if snapshot_path.exists():
+        try:
+            payload = json.loads(snapshot_path.read_text(encoding="utf-8"))
+            report["snapshot"] = {
+                "watermark_seq": payload.get("watermark_seq"),
+                "events": len(payload.get("events", [])),
+            }
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            report["snapshot"] = {"error": f"unreadable snapshot file ({exc})"}
     return report

@@ -683,21 +683,26 @@ class SkillServer:
                 offset += len(items)
         return results
 
-    def _ingest_batch(self, payloads: list[list[dict[str, Any]]]) -> list[Any]:
+    async def _ingest_batch(self, payloads: list[list[dict[str, Any]]]) -> list[Any]:
         """One flush of /ingest requests: one WAL append, one fsync.
 
         Every request in the flush is journaled by a single
         :meth:`~repro.serve.ingest.WriteAheadLog.append` call, so the
-        durability cost is per *flush*, not per request.  A failed append
-        fails every request in the flush — none of their events were
-        acknowledged, which is exactly what the WAL's crash-recovery
-        truncation assumes.
+        durability cost is per *flush*, not per request.  The append runs
+        in a worker thread (``asyncio.to_thread``): its fsync can take
+        tens of milliseconds on a busy disk, and blocking the event loop
+        for that long would stall /predict, /healthz, and the reload
+        watcher — exactly the latency the micro-batching SLOs exist to
+        protect.  The batcher serializes flushes, so WAL batch ordering
+        is unchanged.  A failed append fails every request in the flush —
+        none of their events were acknowledged, which is exactly what the
+        WAL's failed-append rollback assumes.
         """
         assert self.wal is not None
         flat: list[dict[str, Any]] = [
             event for events in payloads for event in events
         ]
-        first_seq, _last_seq = self.wal.append(flat)
+        first_seq, _last_seq = await asyncio.to_thread(self.wal.append, flat)
         results: list[Any] = []
         offset = first_seq
         for events in payloads:

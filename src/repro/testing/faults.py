@@ -18,9 +18,17 @@ modules:
   after each checkpointed iteration;
 - ``repro.serve.ingest._segment_write`` — the WAL's byte-level append
   (:func:`torn_wal_append` tears it mid-record);
+- ``repro.serve.ingest._segment_truncate`` — the failed-append rollback
+  (:func:`failing_wal_truncate` fails it, modelling a disk too dead even
+  to truncate — the state a real crash leaves when the failure path never
+  got to run);
 - ``repro.serve.foldin._write_watermark`` — the advisory side-file write
   *after* the artifact publish (:func:`crash_after_publish` crashes in
   the publish/watermark gap the chaos tests prove is benign);
+- ``repro.serve.foldin._write_snapshot`` — the applied-events snapshot
+  write between the artifact publish and segment pruning
+  (:func:`crash_before_snapshot` crashes in the publish/snapshot gap;
+  the WAL still covers it, so restart replays to the same model);
 - ``repro.serve.foldin.FoldinWorker.run_once`` / ``save_model`` inside a
   fold (:func:`failing_foldin_extend`, :func:`failing_reload`) — worker
   exception and reload-failure paths.
@@ -51,7 +59,9 @@ __all__ = [
     "slow_workers",
     "slow_assign_chunk",
     "torn_wal_append",
+    "failing_wal_truncate",
     "crash_after_publish",
+    "crash_before_snapshot",
     "failing_foldin_extend",
     "failing_reload",
 ]
@@ -166,6 +176,29 @@ def torn_wal_append(*, calls: int = 1, keep_bytes: int | None = None):
 
 
 @contextmanager
+def failing_wal_truncate(*, calls: int = 1, repeat: bool = True, exc=OSError):
+    """Make the WAL's failed-append rollback truncate fail.
+
+    Composed with :func:`torn_wal_append`, this models a disk dead enough
+    that neither the write nor the cleanup succeeds — which is also how a
+    test simulates a *process death* mid-append: the torn bytes stay on
+    disk exactly as a crash would leave them, so recovery-time truncation
+    can be exercised.  While the garbage remains, ``append`` must refuse
+    to journal (a batch behind garbage would be invisible to readers).
+    """
+    from repro.serve import ingest as _ingest
+
+    original = _ingest._segment_truncate
+    wrap = fail_from_call if repeat else fail_on_call
+    wrapper = wrap(original, calls=calls, exc=exc, message="injected truncate failure")
+    _ingest._segment_truncate = wrapper
+    try:
+        yield wrapper.fault_state
+    finally:
+        _ingest._segment_truncate = original
+
+
+@contextmanager
 def crash_after_publish(*, calls: int = 1):
     """Crash between the artifact publish and the watermark side-file write.
 
@@ -186,6 +219,31 @@ def crash_after_publish(*, calls: int = 1):
         yield wrapper.fault_state
     finally:
         _foldin._write_watermark = original
+
+
+@contextmanager
+def crash_before_snapshot(*, calls: int = 1):
+    """Crash between the artifact publish and the applied-events snapshot.
+
+    The artifact (with its embedded watermark) is committed; the snapshot
+    still describes the *previous* fold.  Pruning never outran that older
+    snapshot, so the WAL retains the gap and a restarted worker replays
+    it — the invariant :func:`repro.serve.foldin.FoldinWorker.bootstrap`
+    relies on and the chaos tests prove.
+    """
+    from repro.serve import foldin as _foldin
+
+    original = _foldin._write_snapshot
+    wrapper = fail_on_call(
+        original,
+        calls=calls,
+        message="crash between artifact publish and applied-events snapshot",
+    )
+    _foldin._write_snapshot = wrapper
+    try:
+        yield wrapper.fault_state
+    finally:
+        _foldin._write_snapshot = original
 
 
 @contextmanager

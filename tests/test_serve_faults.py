@@ -42,12 +42,14 @@ from repro.serve import (
     WriteAheadLog,
     inspect_wal,
 )
-from repro.serve.foldin import WATERMARK_FILENAME, read_watermark
+from repro.serve.foldin import SNAPSHOT_FILENAME, WATERMARK_FILENAME, read_watermark
 from repro.testing.faults import (
     SimulatedCrash,
     crash_after_publish,
+    crash_before_snapshot,
     failing_foldin_extend,
     failing_reload,
+    failing_wal_truncate,
     torn_wal_append,
 )
 
@@ -205,12 +207,39 @@ class TestWalBasics:
 
 
 class TestTornTail:
-    def test_torn_append_is_truncated_on_reopen(self, tmp_path, registry):
+    def test_torn_append_rolls_back_the_live_segment(self, tmp_path, registry):
+        """A failed append must not leave garbage in front of later appends:
+        the same live WAL object keeps journaling, and everything acked
+        after the failure stays readable (no restart required)."""
         wal = WriteAheadLog(tmp_path / "wal")
         wal.append(_events(3))
         with torn_wal_append(keep_bytes=10) as state:
             with pytest.raises(SimulatedCrash):
                 wal.append(_events(2, start_time=50.0))
+        assert state["torn"] and state["dropped_bytes"] > 0
+        assert registry.counter("ingest.append_rollbacks").value == 1
+        assert wal.last_seq == 3  # nothing of the torn batch was acked
+        # The un-acked batch can be blindly retried on the SAME object,
+        # and later batches land behind it — all of them readable.
+        assert wal.append(_events(2, start_time=50.0)) == (4, 5)
+        assert wal.append(_events(3, start_time=60.0)) == (6, 8)
+        assert [r.seq for r in wal.read()] == list(range(1, 9))
+        # Restart sees the identical committed history.
+        wal.close()
+        reopened = WriteAheadLog(tmp_path / "wal")
+        assert reopened.last_seq == 8
+        assert [r.seq for r in reopened.read()] == list(range(1, 9))
+
+    def test_torn_append_is_truncated_on_reopen(self, tmp_path, registry):
+        """Process-death flavour: the rollback never runs (the disk cannot
+        even truncate), the torn bytes stay on disk, and recovery at the
+        next open truncates them — the original crash contract."""
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append(_events(3))
+        with failing_wal_truncate():
+            with torn_wal_append(keep_bytes=10) as state:
+                with pytest.raises(SimulatedCrash):
+                    wal.append(_events(2, start_time=50.0))
         assert state["torn"] and state["dropped_bytes"] > 0
         reopened = WriteAheadLog(tmp_path / "wal")
         assert reopened.last_seq == 3  # nothing of the torn batch survives
@@ -219,6 +248,26 @@ class TestTornTail:
         assert reopened.append(_events(2, start_time=50.0)) == (4, 5)
         assert [r.seq for r in reopened.read()] == [1, 2, 3, 4, 5]
 
+    def test_unremovable_garbage_blocks_appends_until_truncate_succeeds(
+        self, tmp_path, registry
+    ):
+        """While the failed-append garbage cannot be truncated away, the
+        WAL must refuse to journal — an append behind garbage would be
+        acked yet invisible to readers."""
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append(_events(3))
+        with failing_wal_truncate():
+            with torn_wal_append(keep_bytes=10):
+                with pytest.raises(SimulatedCrash):
+                    wal.append(_events(2, start_time=50.0))
+            with pytest.raises(DataError, match="garbage"):
+                wal.append(_events(2, start_time=50.0))
+        # Disk back: the pre-append rollback retry clears the tail and the
+        # same object resumes journaling with no loss and no duplicates.
+        assert wal.append(_events(2, start_time=50.0)) == (4, 5)
+        assert registry.counter("ingest.append_rollbacks").value == 1
+        assert [r.seq for r in wal.read()] == [1, 2, 3, 4, 5]
+
     def test_mid_batch_tear_discards_the_whole_batch(self, tmp_path):
         """A tear can leave complete, checksum-valid records of the un-acked
         batch on disk; the missing commit record must void them all, or a
@@ -226,10 +275,12 @@ class TestTornTail:
         wal = WriteAheadLog(tmp_path / "wal")
         wal.append(_events(3))
         batch = _events(4, start_time=50.0)
-        # Keep enough bytes that at least one full record of the batch lands.
-        with torn_wal_append(keep_bytes=120):
-            with pytest.raises(SimulatedCrash):
-                wal.append(batch)
+        # Keep enough bytes that at least one full record of the batch
+        # lands; the dead disk keeps the rollback from cleaning it up.
+        with failing_wal_truncate():
+            with torn_wal_append(keep_bytes=120):
+                with pytest.raises(SimulatedCrash):
+                    wal.append(batch)
         report = inspect_wal(tmp_path / "wal")
         assert report["segments"][-1]["status"] == "torn-tail"
         reopened = WriteAheadLog(tmp_path / "wal")
@@ -241,9 +292,10 @@ class TestTornTail:
     def test_inspect_is_read_only(self, tmp_path):
         wal = WriteAheadLog(tmp_path / "wal")
         wal.append(_events(2))
-        with torn_wal_append(keep_bytes=9):
-            with pytest.raises(SimulatedCrash):
-                wal.append(_events(1, start_time=50.0))
+        with failing_wal_truncate():
+            with torn_wal_append(keep_bytes=9):
+                with pytest.raises(SimulatedCrash):
+                    wal.append(_events(1, start_time=50.0))
         segment = sorted((tmp_path / "wal").glob("wal-*.seg"))[-1]
         size_before = segment.stat().st_size
         report = inspect_wal(tmp_path / "wal")
@@ -469,14 +521,97 @@ class TestChaosParity:
         prefix, wal_dir = _fresh_site(fitted_tiny_model, tmp_path, "torn")
         wal = WriteAheadLog(wal_dir)
         wal.append(self.BATCHES[0])
-        with torn_wal_append(keep_bytes=150):  # dies mid-write of batch 2
-            with pytest.raises(SimulatedCrash):
-                wal.append(self.BATCHES[1])
+        with failing_wal_truncate():  # process death: no rollback runs
+            with torn_wal_append(keep_bytes=150):  # dies mid-write of batch 2
+                with pytest.raises(SimulatedCrash):
+                    wal.append(self.BATCHES[1])
         # Restart: recovery voids the un-acked batch; the client retries it.
         wal = WriteAheadLog(wal_dir)
         wal.append(self.BATCHES[1])
         wal.append(self.BATCHES[2])
         self._verify(prefix, wal_dir, tiny_log, baseline)
+
+    def test_foldin_sees_batches_acked_after_a_torn_append_without_restart(
+        self, fitted_tiny_model, tiny_log, tmp_path
+    ):
+        """The live-process flavour of the torn append: the SAME WAL object
+        keeps journaling after a failed append, and the fold-in worker must
+        see every later acked batch (a rollback-less WAL would hide them
+        behind the garbage while the watermark advanced past them)."""
+        baseline = self._baseline(fitted_tiny_model, tiny_log, tmp_path)
+        prefix, wal_dir = _fresh_site(fitted_tiny_model, tmp_path, "torn-live")
+        wal = WriteAheadLog(wal_dir)
+        wal.append(self.BATCHES[0])
+        with torn_wal_append(keep_bytes=150):
+            with pytest.raises(SimulatedCrash):
+                wal.append(self.BATCHES[1])
+        # No restart: the client retries on the same live WAL, then keeps
+        # sending, and fold-in drains everything.
+        wal.append(self.BATCHES[1])
+        wal.append(self.BATCHES[2])
+        worker = FoldinWorker(wal, prefix, tiny_log)
+        _drain_fully(worker)
+        assert worker.watermark == self.TOTAL
+        assert worker.health()["events_dropped"] == 0
+        _assert_models_identical(load_model(prefix), baseline)
+
+    def test_restart_after_prune_replays_from_snapshot(
+        self, fitted_tiny_model, tiny_log, tmp_path
+    ):
+        """Pruned segments are gone from the WAL; the applied-events
+        snapshot must carry their events or a restarted worker rebuilds an
+        incomplete merged log (the documented pure-function-of-the-log
+        guarantee would silently break under the default config)."""
+        baseline = self._baseline(fitted_tiny_model, tiny_log, tmp_path)
+        prefix, wal_dir = _fresh_site(fitted_tiny_model, tmp_path, "pruned")
+        wal = WriteAheadLog(wal_dir, WalConfig(segment_bytes=200))
+        wal.append(self.BATCHES[0])
+        wal.append(self.BATCHES[1])
+        worker = FoldinWorker(wal, prefix, tiny_log)  # prune on by default
+        worker.bootstrap()
+        while worker.pending() > 0:
+            worker.run_once()
+        # Rotation + pruning really dropped folded history from the WAL.
+        assert (wal_dir / SNAPSHOT_FILENAME).exists()
+        remaining = [r.seq for r in wal.read(after_seq=0)]
+        assert remaining[0] > 1, "test needs pruning to have removed segments"
+        wal.close()
+        # Restart: fresh WAL + worker; the tail batch arrives after reboot.
+        wal = WriteAheadLog(wal_dir, WalConfig(segment_bytes=200))
+        wal.append(self.BATCHES[2])
+        worker = FoldinWorker(wal, prefix, tiny_log)
+        _drain_fully(worker)
+        assert worker.watermark == self.TOTAL
+        _assert_models_identical(load_model(prefix), baseline)
+
+    def test_restart_after_crash_between_publish_and_snapshot(
+        self, fitted_tiny_model, tiny_log, tmp_path
+    ):
+        """Crash in the publish → snapshot gap: the artifact watermark is
+        ahead of the snapshot, and the WAL (whose pruning never outruns
+        the snapshot) must still cover the difference."""
+        baseline = self._baseline(fitted_tiny_model, tiny_log, tmp_path)
+        prefix, wal_dir = _fresh_site(fitted_tiny_model, tmp_path, "snapshot-gap")
+        wal = WriteAheadLog(wal_dir, WalConfig(segment_bytes=200))
+        wal.append(self.BATCHES[0])
+        worker = FoldinWorker(wal, prefix, tiny_log)
+        worker.bootstrap()
+        worker.run_once()  # fold 1 publishes artifact + snapshot, prunes
+        wal.append(self.BATCHES[1])
+        with crash_before_snapshot():
+            with pytest.raises(SimulatedCrash):
+                worker.run_once()  # artifact committed; snapshot write dies
+        embedded = artifact_metadata(prefix)["extra"]["foldin"]["watermark_seq"]
+        assert embedded == 12
+        snapshot = json.loads((wal_dir / SNAPSHOT_FILENAME).read_text())
+        assert snapshot["watermark_seq"] == 5  # still the previous fold's
+        wal.close()
+        wal = WriteAheadLog(wal_dir, WalConfig(segment_bytes=200))
+        wal.append(self.BATCHES[2])
+        worker = FoldinWorker(wal, prefix, tiny_log)
+        _drain_fully(worker)
+        assert worker.watermark == self.TOTAL
+        _assert_models_identical(load_model(prefix), baseline)
 
     def test_restart_after_crash_between_publish_and_watermark(
         self, fitted_tiny_model, tiny_log, tmp_path
