@@ -17,10 +17,11 @@ End-to-end tool usage on files (JSONL logs/catalogs, JSON+NPZ models)::
     python -m repro serve models/cooking --ingest-wal wal/ --data data/cooking
     python -m repro wal inspect wal/
 
-Observability (``fit`` and ``run``): ``--log-level INFO`` / ``--log-json``
-select structured logging, ``--metrics-out metrics.json`` dumps the run's
-counters, stage timings, and training telemetry (schema checked by
-``tools/check_obs_output.py``).
+Observability (``fit``, ``run``, and ``serve``): ``--log-level INFO`` /
+``--log-json`` select structured logging, ``--metrics-out metrics.json``
+dumps the run's counters, stage timings, and training telemetry, and
+``--trace-out spans.jsonl`` enables span tracing (both schemas checked by
+``tools/check_obs_output.py``; summarize spans with ``repro trace``).
 
 Everything the CLI does is a thin veneer over the library; the same flows
 are available programmatically (see README).
@@ -71,6 +72,14 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="PATH",
             help="write a JSON metrics snapshot (counters, stage timings, "
             "telemetry) to PATH when done",
+        )
+        p.add_argument(
+            "--trace-out",
+            default=None,
+            metavar="PATH",
+            help="enable span tracing and append repro-trace/1 JSONL spans "
+            "to PATH (tracing is off without this flag; inspect with "
+            "`repro trace PATH`)",
         )
 
     run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
@@ -224,6 +233,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-solve users idle longer than this many event-time units "
         "under the decay lattice (needs --decay-half-life)",
     )
+    serve_parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.1,
+        metavar="RATE",
+        help="with --trace-out: fraction of requests recorded with full "
+        "span detail (every request still gets an X-Trace-Id header and "
+        "journaled trace id; default 0.1 keeps tracing inside the <5%% "
+        "serve-overhead budget — set 1.0 to trace every request)",
+    )
     add_obs_flags(serve_parser)
 
     wal_parser = sub.add_parser(
@@ -239,14 +258,58 @@ def build_parser() -> argparse.ArgumentParser:
     wal_inspect.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
     )
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="summarize a repro-trace/1 JSONL span file "
+        "(per-stage breakdown, critical path, p95 outliers)",
+    )
+    trace_parser.add_argument("file", help="span file written via --trace-out")
+    trace_parser.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    trace_parser.add_argument(
+        "--outliers",
+        type=int,
+        default=5,
+        metavar="N",
+        help="how many slow root spans to list (default: 5)",
+    )
     return parser
 
 
-def _configure_obs(log_level: str | None, log_json: bool) -> None:
-    """One-shot observability setup for commands that train or measure."""
+def _configure_obs(
+    log_level: str | None,
+    log_json: bool,
+    trace_out: str | None = None,
+    trace_sample: float = 1.0,
+) -> None:
+    """One-shot observability setup for commands that train or measure.
+
+    ``trace_sample`` only matters for the serve loop (per-request span
+    detail); batch commands trace every unit of work regardless.
+    """
     from repro.obs.logging import configure_logging
 
     configure_logging(level=log_level, json_lines=True if log_json else None)
+    if trace_out:
+        from pathlib import Path
+
+        from repro.obs.trace import configure_tracing
+
+        Path(trace_out).parent.mkdir(parents=True, exist_ok=True)
+        configure_tracing(enabled=True, out=trace_out, sample=trace_sample)
+
+
+def _finish_tracing(trace_out: str | None) -> None:
+    """Flush and close the span sink opened by ``--trace-out``."""
+    if not trace_out:
+        return
+    from repro.obs.trace import get_tracer
+
+    tracer = get_tracer()
+    tracer.close()
+    print(f"wrote trace spans to {trace_out}")
 
 
 def _write_metrics(path: str, telemetry=None) -> None:
@@ -513,6 +576,7 @@ def _cmd_inspect(model_path: str, data: str | None) -> int:
 
 def _cmd_serve(args) -> int:
     import asyncio
+    import gc
     from pathlib import Path
 
     from repro.serve import (
@@ -575,11 +639,44 @@ def _cmd_serve(args) -> int:
                 f"ingest WAL at {args.ingest_wal} "
                 f"(last_seq={wal.last_seq}, fold-in every {args.foldin_every}s)"
             )
+        # Supervisors (systemd, k8s, CI scripts) stop services with SIGTERM,
+        # and a `&`-backgrounded process in a non-interactive shell starts
+        # with SIGINT *ignored* — so Ctrl-C semantics alone leave no clean
+        # stop signal in exactly the environments that script this server.
+        # Treat SIGTERM like Ctrl-C: drain, close the WAL, flush the span
+        # sink, exit 0.
+        import signal
+
+        stopping = asyncio.Event()
+        loop = asyncio.get_running_loop()
         try:
-            await server.serve_forever()
+            loop.add_signal_handler(signal.SIGTERM, stopping.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-POSIX event loop: SIGTERM keeps its default fate
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        stop_task = asyncio.ensure_future(stopping.wait())
+        try:
+            done, pending = await asyncio.wait(
+                {serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in pending:
+                task.cancel()
+            if stop_task in done:
+                print("shutting down (SIGTERM)")
+            elif serve_task in done:
+                serve_task.result()  # surface a crashed accept loop
         finally:
+            serve_task.cancel()
             await server.stop()
 
+    # The serving loop allocates tens of short-lived objects per request
+    # (parsed payloads, response dicts, trace tuples); at the default
+    # gen-0 threshold of 700 that is a cyclic-GC pass every ~20 requests,
+    # each scanning the long-lived server/model graph's young survivors.
+    # Raising the thresholds trades a little collection latency for a lot
+    # of per-request overhead — the standard tuning for long-lived
+    # asyncio services.
+    gc.set_threshold(20_000, 50, 50)
     try:
         asyncio.run(_run())
     except KeyboardInterrupt:
@@ -633,6 +730,53 @@ def _cmd_wal_inspect(directory: str, as_json: bool) -> int:
     return 1 if corrupt else 0
 
 
+def _cmd_trace(file: str, as_json: bool, outliers: int) -> int:
+    import json
+
+    from repro.obs.trace import load_trace_file, summarize_spans
+
+    try:
+        spans = load_trace_file(file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not spans:
+        print(f"no spans in {file}")
+        return 0
+    summary = summarize_spans(spans, outliers=outliers)
+    if as_json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    traces = summary["traces"]
+    print(
+        f"{summary['spans']} spans across {traces['count']} trace(s) "
+        f"({traces['roots']} roots) in {file}"
+    )
+    print()
+    print(f"{'stage':28s} {'count':>6s} {'total ms':>9s} {'mean ms':>8s} "
+          f"{'p50 ms':>8s} {'p95 ms':>8s} {'max ms':>8s}")
+    for name, digest in summary["stages"].items():
+        print(
+            f"{name:28s} {digest['count']:6d} {digest['total_ms']:9.1f} "
+            f"{digest['mean_ms']:8.2f} {digest['p50_ms']:8.2f} "
+            f"{digest['p95_ms']:8.2f} {digest['max_ms']:8.2f}"
+        )
+    if summary["critical_path"]:
+        print()
+        print("critical path (slowest root, most expensive child at each level):")
+        for depth, node in enumerate(summary["critical_path"]):
+            print(
+                f"  {'  ' * depth}{node['name']}  {node['ms']:.2f}ms "
+                f"(self {node['self_ms']:.2f}ms)  trace={node['trace']}"
+            )
+    if summary["outliers"]:
+        print()
+        print("p95 outliers (slowest roots):")
+        for row in summary["outliers"]:
+            print(f"  {row['ms']:8.2f}ms  {row['name']:24s} trace={row['trace']}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -640,8 +784,13 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "list":
             return _cmd_list()
         if args.command == "run":
-            _configure_obs(args.log_level, args.log_json)
-            return _cmd_run(args.experiment, args.scale, metrics_out=args.metrics_out)
+            _configure_obs(args.log_level, args.log_json, args.trace_out)
+            try:
+                return _cmd_run(
+                    args.experiment, args.scale, metrics_out=args.metrics_out
+                )
+            finally:
+                _finish_tracing(args.trace_out)
         if args.command == "datasets":
             return _cmd_datasets()
         if args.command == "report":
@@ -649,26 +798,36 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "simulate":
             return _cmd_simulate(args.domain, args.out, args.users, args.items, args.seed)
         if args.command == "fit":
-            _configure_obs(args.log_level, args.log_json)
-            return _cmd_fit(
-                args.data,
-                args.levels,
-                args.model,
-                args.max_iterations,
-                args.init_min_actions,
-                checkpoint_every=args.checkpoint_every,
-                resume=args.resume,
-                metrics_out=args.metrics_out,
-            )
+            _configure_obs(args.log_level, args.log_json, args.trace_out)
+            try:
+                return _cmd_fit(
+                    args.data,
+                    args.levels,
+                    args.model,
+                    args.max_iterations,
+                    args.init_min_actions,
+                    checkpoint_every=args.checkpoint_every,
+                    resume=args.resume,
+                    metrics_out=args.metrics_out,
+                )
+            finally:
+                _finish_tracing(args.trace_out)
         if args.command == "score":
             return _cmd_score(args.model, args.prior, args.top, args.output)
         if args.command == "inspect":
             return _cmd_inspect(args.model, args.data)
         if args.command == "serve":
-            _configure_obs(args.log_level, args.log_json)
-            return _cmd_serve(args)
+            _configure_obs(
+                args.log_level, args.log_json, args.trace_out, args.trace_sample
+            )
+            try:
+                return _cmd_serve(args)
+            finally:
+                _finish_tracing(args.trace_out)
         if args.command == "wal":
             return _cmd_wal_inspect(args.directory, args.json)
+        if args.command == "trace":
+            return _cmd_trace(args.file, args.json, args.outliers)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

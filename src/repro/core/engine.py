@@ -32,6 +32,7 @@ from repro.core.model import ScoreTableCache, SkillParameters
 from repro.core.parallel import ParallelConfig, PoolAssigner
 from repro.exceptions import ConfigurationError
 from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 
 __all__ = ["ASSIGNMENT_STRATEGIES", "AssignmentEngine"]
 
@@ -108,7 +109,8 @@ class AssignmentEngine:
         are recomputed; a warm iteration rebuilds zero rows (observable as
         ``score_cache.hits`` / ``score_cache.misses`` in the registry).
         """
-        return parameters.item_score_table(encoded, cache=self.cache)
+        with get_tracer().span("engine.score_table"):
+            return parameters.item_score_table(encoded, cache=self.cache)
 
     def resolve_strategy(self, num_users: int) -> str:
         """The concrete strategy ``assign`` will use for this many users."""
@@ -134,23 +136,26 @@ class AssignmentEngine:
         registry.counter(f"engine.strategy.{chosen}").inc()
         start = registry.clock()
         try:
-            if chosen == "pooled":
-                return self._pool.assign(score_table, user_rows)
-            if chosen == "batched":
-                return batch_assign(
-                    score_table,
-                    list(user_rows),
-                    max_step=self.max_step,
-                    step_log_penalties=self.step_log_penalties,
-                )
-            return [
-                best_monotone_path(
-                    score_table[:, rows].T,
-                    max_step=self.max_step,
-                    step_log_penalties=self.step_log_penalties,
-                )
-                for rows in user_rows
-            ]
+            with get_tracer().span(
+                "engine.assign", strategy=chosen, users=len(user_rows)
+            ):
+                if chosen == "pooled":
+                    return self._pool.assign(score_table, user_rows)
+                if chosen == "batched":
+                    return batch_assign(
+                        score_table,
+                        list(user_rows),
+                        max_step=self.max_step,
+                        step_log_penalties=self.step_log_penalties,
+                    )
+                return [
+                    best_monotone_path(
+                        score_table[:, rows].T,
+                        max_step=self.max_step,
+                        step_log_penalties=self.step_log_penalties,
+                    )
+                    for rows in user_rows
+                ]
         finally:
             registry.histogram("engine.assign_seconds").observe(
                 registry.clock() - start
@@ -185,18 +190,21 @@ class AssignmentEngine:
             registry.counter("engine.strategy.batched").inc()
             start = registry.clock()
             try:
-                score_table = np.asarray(score_table, dtype=np.float64)
-                if score_table.ndim != 2:
-                    raise ConfigurationError(
-                        f"score_table must be 2-D, got shape {score_table.shape}"
+                with get_tracer().span(
+                    "engine.assign", strategy="batched", users=len(user_rows)
+                ):
+                    score_table = np.asarray(score_table, dtype=np.float64)
+                    if score_table.ndim != 2:
+                        raise ConfigurationError(
+                            f"score_table must be 2-D, got shape {score_table.shape}"
+                        )
+                    plan = self._plan_for(user_rows, score_table.shape[0])
+                    return batch_assign_flat(
+                        np.ascontiguousarray(score_table.T),
+                        plan,
+                        max_step=self.max_step,
+                        step_log_penalties=self.step_log_penalties,
                     )
-                plan = self._plan_for(user_rows, score_table.shape[0])
-                return batch_assign_flat(
-                    np.ascontiguousarray(score_table.T),
-                    plan,
-                    max_step=self.max_step,
-                    step_log_penalties=self.step_log_penalties,
-                )
             finally:
                 registry.histogram("engine.assign_seconds").observe(
                     registry.clock() - start

@@ -44,12 +44,14 @@ from repro.exceptions import (
 )
 from repro.obs.logging import current_run_id, get_logger
 from repro.obs.metrics import get_registry
+from repro.obs.resource import ResourceSampler
 from repro.obs.telemetry import (
     TRAINER_STAGES,
     CheckpointEvent,
     IterationRecord,
     TelemetryBuilder,
 )
+from repro.obs.trace import get_tracer, new_span_id
 
 _log = get_logger("core.training")
 
@@ -210,6 +212,51 @@ class Trainer:
         checkpoint: CheckpointConfig | None,
         fingerprint: dict | None,
     ) -> SkillModel:
+        """Traced wrapper around :meth:`_alternate_impl`.
+
+        Opens the ``train.fit`` root span so every span recorded during
+        the fit — per-iteration and per-stage records here, engine spans
+        below — lands in one trace, and brackets the fit with the GC-pause
+        hooks (released on every exit path) whose stats join the
+        telemetry.  A disabled tracer makes the span a pass-through.
+        """
+        sampler = ResourceSampler(get_registry())
+        sampler.install_gc_hooks()
+        try:
+            with get_tracer().span(
+                "train.fit", users=len(users), resumed=bool(log_likelihoods)
+            ) as fit_span:
+                model = self._alternate_impl(
+                    encoded,
+                    users,
+                    user_rows,
+                    user_times,
+                    parameters,
+                    log_likelihoods,
+                    checkpoint,
+                    fingerprint,
+                    sampler,
+                )
+                fit_span.set(
+                    iterations=model.trace.num_iterations,
+                    converged=model.trace.converged,
+                )
+                return model
+        finally:
+            sampler.uninstall_gc_hooks()
+
+    def _alternate_impl(
+        self,
+        encoded,
+        users: list,
+        user_rows: list[np.ndarray],
+        user_times: list[np.ndarray],
+        parameters: SkillParameters,
+        log_likelihoods: list[float],
+        checkpoint: CheckpointConfig | None,
+        fingerprint: dict | None,
+        sampler: ResourceSampler,
+    ) -> SkillModel:
         """The assignment/update alternation, resumable at any iteration.
 
         ``log_likelihoods`` carries the history of already-completed
@@ -225,6 +272,7 @@ class Trainer:
         """
         cfg = self.config
         registry = get_registry()
+        tracer = get_tracer()
         clock = registry.clock
         builder = TelemetryBuilder(run_id=current_run_id(), stages=TRAINER_STAGES)
         fit_start = clock()
@@ -251,6 +299,7 @@ class Trainer:
             step_log_penalties=cfg.step_log_penalties,
         ) as assigner:
             for iteration in range(len(log_likelihoods), cfg.max_iterations):
+                iteration_ts = tracer.wall() if tracer.enabled else 0.0
                 iteration_start = clock()
                 stage_seconds = dict.fromkeys(TRAINER_STAGES, 0.0)
                 stage_start = clock()
@@ -368,6 +417,31 @@ class Trainer:
                     previous_hist=previous_hist,
                 )
                 builder.record_iteration(record)
+                if tracer.enabled:
+                    # Reconstructed from the stage clocks already taken —
+                    # the hot loop pays no extra timing calls.  Stage start
+                    # times are cumulative approximations; durations are
+                    # the measured values.
+                    iter_span_id = new_span_id()
+                    tracer.record(
+                        "train.iteration",
+                        span=iter_span_id,
+                        ts=iteration_ts,
+                        duration=stage_seconds["iteration"],
+                        iteration=len(log_likelihoods),
+                        log_likelihood=total_ll,
+                    )
+                    offset = iteration_ts
+                    for stage in ("table_build", "assign", "cell_fit", "checkpoint"):
+                        seconds = stage_seconds[stage]
+                        if seconds:
+                            tracer.record(
+                                f"train.{stage}",
+                                parent=iter_span_id,
+                                ts=offset,
+                                duration=seconds,
+                            )
+                            offset += seconds
                 if cfg.on_iteration is not None:
                     cfg.on_iteration(record)
                 prev_flat = flat_levels
@@ -387,6 +461,7 @@ class Trainer:
             pool_events=pool_events,
             converged=converged,
             total_seconds=clock() - fit_start,
+            resources=sampler.sample(),
         )
         _log.info(
             "fit complete",

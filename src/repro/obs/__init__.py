@@ -13,6 +13,11 @@ instrument itself without creating cycles.  Three pieces:
 - :mod:`repro.obs.telemetry` — the :class:`TrainingTelemetry` record a
   fitted :class:`~repro.core.model.SkillModel` carries: per-iteration
   log-likelihoods, per-stage timings, pool events, checkpoint events.
+- :mod:`repro.obs.trace` — a context-propagated :class:`Tracer` whose
+  spans carry trace/span ids and attributes across the serve and
+  training pipelines, exported as ``repro-trace/1`` JSONL.
+- :mod:`repro.obs.resource` — a :class:`ResourceSampler` publishing
+  peak-RSS, GC-pause, and open-fd stats as ``proc.*`` instruments.
 
 Everything is opt-in and cheap when idle: the default logger sits at
 WARNING with no sink configured, and metric updates are dictionary
@@ -36,11 +41,20 @@ from repro.obs.metrics import (
     set_registry,
     use_registry,
 )
+from repro.obs.resource import ResourceSampler, sample_resources
 from repro.obs.telemetry import (
     CheckpointEvent,
     IterationRecord,
     TelemetryBuilder,
     TrainingTelemetry,
+)
+from repro.obs.trace import (
+    Tracer,
+    configure_tracing,
+    current_trace_id,
+    get_tracer,
+    set_tracer,
+    use_tracer,
 )
 
 __all__ = [
@@ -61,4 +75,12 @@ __all__ = [
     "IterationRecord",
     "TelemetryBuilder",
     "TrainingTelemetry",
+    "Tracer",
+    "configure_tracing",
+    "current_trace_id",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "ResourceSampler",
+    "sample_resources",
 ]

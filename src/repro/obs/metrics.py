@@ -15,10 +15,20 @@ code updates as it runs and a snapshot consumer (``repro fit
 spans nest, composing their dotted name from the enclosing spans on the
 same thread, so wall-time lands attributed to the stage that spent it.
 
-Everything is thread-safe (per-instrument locks) and *process-local*:
-worker processes spawned by :class:`~repro.core.parallel.PoolAssigner`
-never touch the registry — all pool bookkeeping happens in the parent,
-which is what makes the counters trustworthy under worker crashes.
+Everything is thread-safe and *process-local*: worker processes spawned
+by :class:`~repro.core.parallel.PoolAssigner` never touch the registry —
+all pool bookkeeping happens in the parent, which is what makes the
+counters trustworthy under worker crashes.  Instruments created through
+a registry share that registry's re-entrant lock, so ``snapshot()`` is a
+point-in-time freeze: a counter and the histogram fed on the same code
+path can never export values from different moments.  Instruments
+constructed standalone get a private lock.
+
+Histograms can carry *exemplars* — the trace ids of the slowest recent
+samples (see :mod:`repro.obs.trace`) — so a bad ``p95`` in ``/metrics``
+points straight at a trace worth reading.  ``observe()`` picks up the
+ambient trace id automatically; exemplars appear in summaries only when
+tracing was active, keeping trace-free snapshots byte-compatible.
 
 The wall clock is injectable (``MetricsRegistry(clock=...)``), so timing
 behaviour is testable with a fake clock instead of ``time.sleep``.
@@ -31,6 +41,8 @@ import time
 from collections import deque
 from collections.abc import Callable, Iterator
 from contextlib import contextmanager
+
+from repro.obs.trace import current_trace_id as _current_trace_id
 
 __all__ = [
     "Counter",
@@ -48,14 +60,25 @@ __all__ = [
 #: quantile-faithful data while bounding memory for long-running services.
 _DEFAULT_WINDOW = 4096
 
+#: Exemplar slots per histogram: how many slowest-sample trace ids a
+#: summary carries.  Small on purpose — exemplars are pointers, not data.
+_EXEMPLAR_SLOTS = 3
+
+
+def _instrument_lock(lock: threading.RLock | None) -> threading.RLock:
+    # Re-entrant because a registry shares ONE lock across all of its
+    # instruments and its own bookkeeping: summary() → quantile() and
+    # snapshot() → summary() re-acquire it on the same thread.
+    return lock if lock is not None else threading.RLock()
+
 
 class Counter:
     """A monotonically increasing event count."""
 
     __slots__ = ("_lock", "_value")
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
+    def __init__(self, *, lock: threading.RLock | None = None) -> None:
+        self._lock = _instrument_lock(lock)
         self._value = 0
 
     def inc(self, amount: int = 1) -> None:
@@ -72,8 +95,8 @@ class Gauge:
 
     __slots__ = ("_lock", "_value")
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
+    def __init__(self, *, lock: threading.RLock | None = None) -> None:
+        self._lock = _instrument_lock(lock)
         self._value: float = 0.0
 
     def set(self, value: float) -> None:
@@ -95,8 +118,10 @@ class Info:
 
     __slots__ = ("_lock", "_value", "max_chars")
 
-    def __init__(self, max_chars: int = 500) -> None:
-        self._lock = threading.Lock()
+    def __init__(
+        self, max_chars: int = 500, *, lock: threading.RLock | None = None
+    ) -> None:
+        self._lock = _instrument_lock(lock)
         self._value: str | None = None
         self.max_chars = max_chars
 
@@ -117,25 +142,54 @@ class Histogram:
     Count, total, and max cover the full lifetime; quantiles are computed
     over the most recent ``window`` observations (a ring buffer), which is
     exact until the window overflows and recency-weighted after.
+
+    When an observation happens inside an active trace (or ``trace=`` is
+    passed explicitly), the histogram keeps the slowest few samples'
+    trace ids as *exemplars*, surfaced by :meth:`summary`.
     """
 
-    __slots__ = ("_lock", "_window", "count", "total", "max")
+    __slots__ = (
+        "_lock", "_window", "_exemplars", "_exemplar_floor",
+        "count", "total", "max",
+    )
 
-    def __init__(self, window: int = _DEFAULT_WINDOW) -> None:
-        self._lock = threading.Lock()
+    def __init__(
+        self,
+        window: int = _DEFAULT_WINDOW,
+        *,
+        lock: threading.RLock | None = None,
+    ) -> None:
+        self._lock = _instrument_lock(lock)
         self._window: deque[float] = deque(maxlen=window)
+        self._exemplars: list[tuple[float, str]] = []
+        #: Smallest value currently held as an exemplar; -inf until the
+        #: slots fill, so the common traced observation pays exactly one
+        #: comparison instead of a min() scan.
+        self._exemplar_floor = float("-inf")
         self.count = 0
         self.total = 0.0
         self.max = 0.0
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, *, trace: str | None = None) -> None:
         value = float(value)
+        if trace is None:
+            trace = _current_trace_id()
         with self._lock:
             self._window.append(value)
             self.count += 1
             self.total += value
             if value > self.max:
                 self.max = value
+            if trace is not None and value > self._exemplar_floor:
+                exemplars = self._exemplars
+                if len(exemplars) < _EXEMPLAR_SLOTS:
+                    exemplars.append((value, trace))
+                    if len(exemplars) == _EXEMPLAR_SLOTS:
+                        self._exemplar_floor = min(v for v, _ in exemplars)
+                else:
+                    low = min(range(_EXEMPLAR_SLOTS), key=lambda i: exemplars[i][0])
+                    exemplars[low] = (value, trace)
+                    self._exemplar_floor = min(v for v, _ in exemplars)
 
     def quantile(self, q: float) -> float:
         """Nearest-rank quantile over the retained window (0 when empty)."""
@@ -146,18 +200,29 @@ class Histogram:
         rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
         return ordered[rank]
 
-    def summary(self) -> dict[str, float]:
-        """The JSON-safe digest exported in metrics snapshots."""
+    def summary(self) -> dict:
+        """The JSON-safe digest exported in metrics snapshots.
+
+        The ``exemplars`` key — slowest traced samples, slowest first —
+        is present only when tracing supplied trace ids, so trace-free
+        runs keep the original digest shape.
+        """
         with self._lock:
             count, total, maximum = self.count, self.total, self.max
-        return {
-            "count": count,
-            "total": total,
-            "mean": total / count if count else 0.0,
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
-            "max": maximum,
-        }
+            exemplars = sorted(self._exemplars, reverse=True)
+            digest: dict = {
+                "count": count,
+                "total": total,
+                "mean": total / count if count else 0.0,
+                "p50": self.quantile(0.50),
+                "p95": self.quantile(0.95),
+                "max": maximum,
+            }
+        if exemplars:
+            digest["exemplars"] = [
+                {"value": value, "trace": trace} for value, trace in exemplars
+            ]
+        return digest
 
 
 class Span:
@@ -181,7 +246,10 @@ class MetricsRegistry:
 
     def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
         self.clock = clock
-        self._lock = threading.Lock()
+        # One re-entrant lock shared with every instrument this registry
+        # creates: snapshot() holds it across the whole export, freezing
+        # all instruments at a single moment.
+        self._lock = threading.RLock()
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
@@ -195,7 +263,7 @@ class MetricsRegistry:
             try:
                 return self._counters[name]
             except KeyError:
-                instrument = self._counters[name] = Counter()
+                instrument = self._counters[name] = Counter(lock=self._lock)
                 return instrument
 
     def gauge(self, name: str) -> Gauge:
@@ -203,7 +271,7 @@ class MetricsRegistry:
             try:
                 return self._gauges[name]
             except KeyError:
-                instrument = self._gauges[name] = Gauge()
+                instrument = self._gauges[name] = Gauge(lock=self._lock)
                 return instrument
 
     def histogram(self, name: str) -> Histogram:
@@ -211,7 +279,7 @@ class MetricsRegistry:
             try:
                 return self._histograms[name]
             except KeyError:
-                instrument = self._histograms[name] = Histogram()
+                instrument = self._histograms[name] = Histogram(lock=self._lock)
                 return instrument
 
     def info(self, name: str) -> Info:
@@ -219,7 +287,7 @@ class MetricsRegistry:
             try:
                 return self._infos[name]
             except KeyError:
-                instrument = self._infos[name] = Info()
+                instrument = self._infos[name] = Info(lock=self._lock)
                 return instrument
 
     # ------------------------------------------------------------- timing
@@ -261,21 +329,30 @@ class MetricsRegistry:
     # ------------------------------------------------------------- export
 
     def snapshot(self) -> dict:
-        """A JSON-safe view of every instrument (the metrics-file body)."""
+        """A JSON-safe, point-in-time view of every instrument.
+
+        The registry lock is held across the whole export, and registry
+        instruments share that lock, so concurrent writers are excluded
+        for the duration: a counter and a histogram updated together on
+        some code path always export values from the same moment.
+        """
         with self._lock:
-            counters = dict(self._counters)
-            gauges = dict(self._gauges)
-            histograms = dict(self._histograms)
-            infos = dict(self._infos)
-        snapshot = {
-            "counters": {name: c.value for name, c in sorted(counters.items())},
-            "gauges": {name: g.value for name, g in sorted(gauges.items())},
-            "histograms": {name: h.summary() for name, h in sorted(histograms.items())},
-        }
-        if infos:
-            # Only present when used, so snapshots from info-free runs stay
-            # byte-compatible with the pre-info repro-metrics/1 shape.
-            snapshot["info"] = {name: i.value for name, i in sorted(infos.items())}
+            snapshot = {
+                "counters": {
+                    name: c.value for name, c in sorted(self._counters.items())
+                },
+                "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+                "histograms": {
+                    name: h.summary() for name, h in sorted(self._histograms.items())
+                },
+            }
+            if self._infos:
+                # Only present when used, so snapshots from info-free runs
+                # stay byte-compatible with the pre-info repro-metrics/1
+                # shape.
+                snapshot["info"] = {
+                    name: i.value for name, i in sorted(self._infos.items())
+                }
         return snapshot
 
     def reset(self) -> None:

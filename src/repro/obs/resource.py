@@ -1,0 +1,139 @@
+"""Process resource sampling: peak RSS, GC pauses, open file descriptors.
+
+The ROADMAP's million-user scaling work needs peak memory tracked by the
+same observability stack that already owns timings, and a long-lived
+server wants to know when GC pauses start eating its latency budget or a
+descriptor leak creeps toward the rlimit.  This module feeds all three
+into a :class:`~repro.obs.metrics.MetricsRegistry` as ``proc.*`` gauges,
+counters, and histograms:
+
+- ``proc.peak_rss_bytes``   (gauge)     lifetime peak resident set size;
+- ``proc.open_fds``         (gauge)     currently open descriptors;
+- ``proc.gc_collections``   (counter)   collections since hooks installed;
+- ``proc.gc_pause_seconds`` (histogram) stop-the-world pause durations.
+
+Everything is stdlib: peak RSS via ``resource.getrusage`` (normalised to
+bytes — Linux reports KiB, macOS bytes), descriptors via
+``/proc/self/fd`` with an ``os.listdir`` fallback chain, GC pauses via
+``gc.callbacks``.  :func:`sample_resources` is the one-shot used at the
+end of a fit (the numbers also land in fit telemetry);``ResourceSampler``
+adds the install/uninstall lifecycle a server needs.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import sys
+import time
+from collections.abc import Callable
+
+try:  # pragma: no cover - present on every POSIX we support
+    import resource as _resource
+except ImportError:  # pragma: no cover - windows
+    _resource = None  # type: ignore[assignment]
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = ["ResourceSampler", "peak_rss_bytes", "open_fd_count", "sample_resources"]
+
+
+def peak_rss_bytes() -> float:
+    """Lifetime peak resident set size in bytes (0.0 when unavailable)."""
+    if _resource is None:
+        return 0.0
+    peak = float(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    if sys.platform != "darwin":
+        peak *= 1024.0
+    return peak
+
+
+def open_fd_count() -> int:
+    """Open descriptors for this process (-1 when undeterminable)."""
+    for fd_dir in ("/proc/self/fd", "/dev/fd"):
+        try:
+            return len(os.listdir(fd_dir))
+        except OSError:
+            continue
+    return -1
+
+
+class ResourceSampler:
+    """Publishes process resource stats into a metrics registry.
+
+    ``sample()`` refreshes the gauges and returns them as a plain dict
+    (the shape embedded in fit telemetry).  ``install_gc_hooks()`` /
+    ``uninstall_gc_hooks()`` bracket the period during which GC pauses
+    are measured; the callback is registry-bound, so two samplers on two
+    registries do not interfere.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self._registry = registry
+        self._clock = clock
+        self._gc_start: float | None = None
+        self._gc_pauses = 0
+        self._gc_pause_total = 0.0
+        self._installed = False
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    # ---------------------------------------------------------- sampling
+
+    def sample(self) -> dict[str, float]:
+        """Refresh ``proc.*`` gauges; returns the sampled values."""
+        registry = self.registry
+        stats: dict[str, float] = {"peak_rss_bytes": peak_rss_bytes()}
+        registry.gauge("proc.peak_rss_bytes").set(stats["peak_rss_bytes"])
+        fds = open_fd_count()
+        if fds >= 0:
+            stats["open_fds"] = float(fds)
+            registry.gauge("proc.open_fds").set(float(fds))
+        stats["gc_collections"] = float(self._gc_pauses)
+        stats["gc_pause_seconds_total"] = self._gc_pause_total
+        return stats
+
+    # ---------------------------------------------------------- gc hooks
+
+    def _on_gc(self, phase: str, info: dict) -> None:
+        # CPython's collector is stop-the-world per interpreter, so a
+        # start/stop pair measured on one monotonic clock is a pause.
+        if phase == "start":
+            self._gc_start = self._clock()
+        elif phase == "stop" and self._gc_start is not None:
+            pause = self._clock() - self._gc_start
+            self._gc_start = None
+            self._gc_pauses += 1
+            self._gc_pause_total += pause
+            registry = self.registry
+            registry.counter("proc.gc_collections").inc()
+            registry.histogram("proc.gc_pause_seconds").observe(pause)
+
+    def install_gc_hooks(self) -> None:
+        if not self._installed:
+            gc.callbacks.append(self._on_gc)
+            self._installed = True
+            # Surface the counter immediately so /metrics shows the
+            # instrument (at zero) even before the first collection.
+            self.registry.counter("proc.gc_collections").inc(0)
+
+    def uninstall_gc_hooks(self) -> None:
+        if self._installed:
+            try:
+                gc.callbacks.remove(self._on_gc)
+            except ValueError:  # pragma: no cover - already removed
+                pass
+            self._installed = False
+
+
+def sample_resources(registry: MetricsRegistry | None = None) -> dict[str, float]:
+    """One-shot convenience: publish + return current resource stats."""
+    return ResourceSampler(registry).sample()

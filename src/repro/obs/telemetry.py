@@ -123,9 +123,13 @@ class TrainingTelemetry:
     checkpoints: tuple[CheckpointEvent, ...]
     converged: bool
     total_seconds: float
+    #: Process resource stats sampled at the end of the fit (peak RSS in
+    #: bytes, GC pause totals; see :mod:`repro.obs.resource`).  Empty for
+    #: artifacts that predate resource sampling.
+    resources: Mapping[str, float] = field(default_factory=dict)
 
     def to_json(self) -> dict[str, Any]:
-        return {
+        payload = {
             "run_id": self.run_id,
             "log_likelihoods": list(self.log_likelihoods),
             "iterations": [record.to_json() for record in self.iterations],
@@ -135,6 +139,11 @@ class TrainingTelemetry:
             "converged": self.converged,
             "total_seconds": self.total_seconds,
         }
+        if self.resources:
+            # Only when sampled, so pre-resource payloads round-trip
+            # byte-identically through load → save.
+            payload["resources"] = dict(self.resources)
+        return payload
 
     @classmethod
     def from_json(cls, payload: Mapping[str, Any]) -> "TrainingTelemetry":
@@ -153,6 +162,9 @@ class TrainingTelemetry:
             ),
             converged=bool(payload["converged"]),
             total_seconds=float(payload["total_seconds"]),
+            resources={
+                k: float(v) for k, v in payload.get("resources", {}).items()
+            },
         )
 
     # ------------------------------------------------------------- report
@@ -192,6 +204,15 @@ class TrainingTelemetry:
                 f"{self.log_likelihoods[-1]:.1f} over "
                 f"{len(self.log_likelihoods)} iteration(s)"
             )
+        if self.resources.get("peak_rss_bytes"):
+            rss_mib = self.resources["peak_rss_bytes"] / (1024.0 * 1024.0)
+            gc_note = ""
+            if self.resources.get("gc_collections"):
+                gc_note = (
+                    f", {int(self.resources['gc_collections'])} GC pause(s) "
+                    f"totalling {self.resources.get('gc_pause_seconds_total', 0.0):.3f}s"
+                )
+            lines.append(f"- resources: peak RSS {rss_mib:.1f} MiB{gc_note}")
         return lines
 
     def summary(self) -> str:
@@ -222,6 +243,7 @@ class TelemetryBuilder:
         pool_events: Mapping[str, int],
         converged: bool,
         total_seconds: float,
+        resources: Mapping[str, float] | None = None,
     ) -> TrainingTelemetry:
         stage_seconds: dict[str, float] = dict.fromkeys(self.stages, 0.0)
         for record in self.iterations:
@@ -236,4 +258,5 @@ class TelemetryBuilder:
             checkpoints=tuple(self.checkpoints),
             converged=converged,
             total_seconds=total_seconds,
+            resources=dict(resources) if resources else {},
         )

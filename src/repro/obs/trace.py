@@ -1,0 +1,875 @@
+"""Context-propagated tracing: follow one request or event across stages.
+
+The metrics layer (:mod:`repro.obs.metrics`) answers *how slow is this
+stage on average*; this module answers *where did this specific request
+spend its time*.  A :class:`Tracer` hands out spans — named, timed
+intervals carrying a trace id, a span id, a parent link, and attributes
+— and propagates the current trace through :mod:`contextvars`, so spans
+opened anywhere downstream of a request (including across ``await``
+boundaries inside one asyncio task) join that request's trace without
+explicit plumbing.
+
+Design constraints, in order:
+
+1. **Off by default, near-free when off.**  A disabled tracer's
+   ``span()`` returns a cached no-op context manager; the hot path pays
+   one attribute read and one ``if``.
+2. **Stdlib only.**  Ids are 64-bit random hex strings; storage is a
+   bounded ``deque`` ring plus an optional append-only JSONL sink.
+3. **Crossing executor/thread/process boundaries is explicit.**
+   ``contextvars`` do not follow work handed to another task or thread,
+   so producers call :meth:`Tracer.capture` and consumers either
+   :meth:`Tracer.attach` the captured context or pass explicit
+   ``trace=``/``parent=`` to :meth:`Tracer.record`.
+
+Exported span records follow the ``repro-trace/1`` schema — one JSON
+object per line::
+
+    {"schema": "repro-trace/1", "trace": "…", "span": "…",
+     "parent": "…"|null, "name": "serve.predict", "ts": 1712000000.5,
+     "ms": 3.2, "attrs": {…}}
+
+``ts`` is wall-clock epoch seconds at span start; ``ms`` is the span
+duration in milliseconds (measured on the monotonic clock).  The
+``repro trace`` CLI verb and ``tools/check_obs_output.py --trace``
+consume this format.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+from collections import deque
+from collections.abc import Callable, Iterator, Mapping, Sequence
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "SpanContext",
+    "SpanRecord",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "configure_tracing",
+    "current_trace_id",
+    "get_tracer",
+    "load_trace_file",
+    "new_span_id",
+    "set_tracer",
+    "summarize_spans",
+    "use_tracer",
+]
+
+TRACE_SCHEMA = "repro-trace/1"
+
+#: Ring capacity: enough to hold every span of a serve smoke run or a
+#: full small fit while bounding memory for long-lived services.
+_DEFAULT_RING = 8192
+
+#: Sink buffering: spans accumulate in memory and leave the recording
+#: thread when this many are pending, when the last hand-off is this many
+#: seconds old, or on flush/export/close — whichever comes first.  Short
+#: runs pay serialization once at close; long-lived servers hand modest
+#: chunks to the background writer every few seconds.
+_SINK_BUFFER_CAP = 8192
+_SINK_FLUSH_SECONDS = 5.0
+
+
+#: (trace_id, span_id) of the active span in this task/thread, or None.
+_context: ContextVar[tuple[str, str] | None] = ContextVar("repro_trace", default=None)
+
+
+#: Span/trace id source: a PRNG seeded from the OS, not ``uuid4`` — ids
+#: only need to be unique within a trace corpus, and uuid4 costs ~10x as
+#: much per id, which matters at several ids per served request.
+_id_rand = random.Random(int.from_bytes(os.urandom(8), "big"))
+
+
+def _new_id() -> str:
+    return f"{_id_rand.getrandbits(64):016x}"
+
+
+def new_span_id() -> str:
+    """A fresh span id, for callers that must name a span before
+    recording it (e.g. to parent several reconstructed child records to
+    one :meth:`Tracer.record` call via its ``span=`` argument)."""
+    return _new_id()
+
+
+@dataclass(slots=True)
+class SpanContext:
+    """An exportable snapshot of the current trace position.
+
+    Produced by :meth:`Tracer.capture` on the side that enqueues work and
+    consumed by :meth:`Tracer.attach` (or passed to :meth:`Tracer.record`)
+    on the side that executes it — the manual hand-off that replaces
+    contextvar propagation across task/thread boundaries.
+    """
+
+    trace: str
+    span: str
+    #: Wall/monotonic clocks at capture, so the consumer can report how
+    #: long the work sat in a queue before it ran.
+    wall: float = 0.0
+    mono: float = 0.0
+
+
+def _span_json(
+    trace: str,
+    span: str,
+    parent: str | None,
+    name: str,
+    ts: float,
+    ms: float,
+    attrs: Mapping[str, object] | None,
+) -> dict:
+    payload: dict = {
+        "schema": TRACE_SCHEMA,
+        "trace": trace,
+        "span": span,
+        "parent": parent,
+        "name": name,
+        "ts": ts,
+        "ms": ms,
+    }
+    if attrs:
+        payload["attrs"] = dict(attrs)
+    return payload
+
+
+def _format_attrs(attrs: Mapping[str, object]) -> str | None:
+    """Hand-format a simple attrs mapping as a JSON object, or ``None``.
+
+    Matches ``json.dumps(dict(attrs), sort_keys=True)`` byte-for-byte for
+    the common serve-path attrs (short ASCII strings, ints, finite
+    floats, bools); anything needing escaping or a container type returns
+    ``None`` and the caller falls back to ``json.dumps``.
+    """
+    parts = []
+    for key in sorted(attrs):
+        value = attrs[key]
+        kind = type(value)
+        if kind is str:
+            if (
+                '"' in value
+                or "\\" in value
+                or not value.isascii()
+                or not (value.isprintable() or not value)
+            ):
+                return None
+            parts.append(f'"{key}": "{value}"')
+        elif kind is bool:
+            parts.append(f'"{key}": {"true" if value else "false"}')
+        elif kind is int:
+            parts.append(f'"{key}": {value!r}')
+        elif kind is float:
+            if value != value or value in (float("inf"), float("-inf")):
+                return None
+            parts.append(f'"{key}": {value!r}')
+        else:
+            return None
+    return "{" + ", ".join(parts) + "}"
+
+
+def _format_line(
+    trace: str,
+    span: str,
+    parent: str | None,
+    name: str,
+    ts: float,
+    ms: float,
+    attrs: Mapping[str, object] | None,
+) -> str:
+    """One ``repro-trace/1`` JSONL sink line (no trailing newline).
+
+    Hand-assembled rather than ``json.dumps``: ids are hex strings and
+    span names are code-owned dotted identifiers, so the fixed keys need
+    no escaping — and serialization is the single biggest cost of a
+    sink-enabled tracer on a busy server.  Attrs go through
+    :func:`_format_attrs` when simple; anything else (and any name that
+    would need escaping) falls back to ``json.dumps``.
+    """
+    if '"' in name or "\\" in name:
+        return json.dumps(_span_json(trace, span, parent, name, ts, ms, attrs),
+                          sort_keys=True)
+    parent_lit = "null" if parent is None else f'"{parent}"'
+    head = (
+        f'{{"schema": "{TRACE_SCHEMA}", "trace": "{trace}", '
+        f'"span": "{span}", "parent": {parent_lit}, "name": "{name}", '
+        f'"ts": {ts!r}, "ms": {ms!r}'
+    )
+    if not attrs:
+        return head + "}"
+    formatted = _format_attrs(attrs)
+    if formatted is None:
+        formatted = json.dumps(dict(attrs), sort_keys=True)
+    return head + f', "attrs": {formatted}}}'
+
+
+@dataclass(slots=True)
+class SpanRecord:
+    """One finished span, as a typed view over the tuple storage.
+
+    Not built on the hot path, and no longer the storage format either:
+    finished spans live as raw 7-tuples in the buffer and the ring, with
+    deferred span ids assigned when a chunk is materialized.  The class
+    remains the stable typed surface for constructing/serializing spans
+    in tests and tooling.
+    """
+
+    trace: str
+    span: str
+    parent: str | None
+    name: str
+    ts: float
+    ms: float
+    attrs: Mapping[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return _span_json(
+            self.trace, self.span, self.parent, self.name,
+            self.ts, self.ms, self.attrs,
+        )
+
+    def to_line(self) -> str:
+        """The record as one JSONL sink line (no trailing newline)."""
+        return _format_line(
+            self.trace, self.span, self.parent, self.name,
+            self.ts, self.ms, self.attrs,
+        )
+
+
+class _NoopHandle:
+    """Shared do-nothing handle for the disabled-tracer fast path."""
+
+    __slots__ = ()
+    trace = None
+    span = None
+    name = ""
+
+    def set(self, **attrs: object) -> None:  # pragma: no cover - trivial
+        pass
+
+
+_NOOP_HANDLE = _NoopHandle()
+
+
+class _NoopScope:
+    """Shared do-nothing context manager for the disabled-tracer path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NoopHandle:
+        return _NOOP_HANDLE
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NOOP_SCOPE = _NoopScope()
+
+
+class _TraceOnlyScope:
+    """Scope for an *unsampled* request: carries a fresh trace id and
+    propagates it through the context (response headers, access logs, WAL
+    journaling all still see it), but records no spans — and anything
+    downstream that asks for the active span gets none.
+
+    ``span`` is the empty string on purpose: falsy, so span-gated call
+    sites skip their records, while the context tuple stays well-formed
+    for :func:`current_trace_id`.
+    """
+
+    __slots__ = ("trace", "_token")
+
+    span = ""
+    name = ""
+
+    def __init__(self, trace: str) -> None:
+        self.trace = trace
+
+    def set(self, **attrs: object) -> None:
+        pass
+
+    def __enter__(self) -> "_TraceOnlyScope":
+        self._token = _context.set((self.trace, ""))
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        _context.reset(self._token)
+        return False
+
+
+class _SpanScope:
+    """Hand-rolled context manager for one live span; doubles as the
+    yielded handle (``trace``/``span``/``name``/``attrs``/``set``).
+
+    A class (not ``@contextmanager``) because span entry/exit is the
+    tracing hot path: the generator machinery alone costs more than the
+    whole timed body of a short span, and a separate handle object would
+    be one more allocation per span.
+    """
+
+    __slots__ = (
+        "trace", "span", "name", "attrs",
+        "_tracer", "_parent", "_token", "_ts", "_start",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        trace: str,
+        span: str,
+        parent: str | None,
+        name: str,
+        attrs: dict,
+    ):
+        self.trace = trace
+        self.span = span
+        self.name = name
+        self.attrs = attrs
+        self._tracer = tracer
+        self._parent = parent
+
+    def set(self, **attrs: object) -> None:
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_SpanScope":
+        self._token = _context.set((self.trace, self.span))
+        tracer = self._tracer
+        self._ts = tracer.wall()
+        self._start = tracer.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        elapsed = tracer.clock() - self._start
+        _context.reset(self._token)
+        attrs = self.attrs
+        if exc_type is not None:
+            attrs.setdefault("error", exc_type.__name__)
+        tracer._append(
+            (
+                self.trace,
+                self.span,
+                self._parent,
+                self.name,
+                self._ts,
+                elapsed * 1000.0,
+                attrs or None,
+            )
+        )
+        return False  # exceptions propagate; the span records the error
+
+
+class Tracer:
+    """Span factory + bounded ring + optional JSONL sink.
+
+    ``enabled`` is the master switch; every public entry point bails out
+    immediately when it is False.  ``out`` (a path) appends each finished
+    span as one JSON line; serialization runs on a lazily started daemon
+    writer thread fed a chunk of spans every ``_SINK_BUFFER_CAP`` spans /
+    ``_SINK_FLUSH_SECONDS`` seconds — call :meth:`flush`/:meth:`close` to
+    force the file current (both wait for the writer to drain).  The
+    in-memory ring always keeps the most recent ``ring_size`` spans for
+    :meth:`export` / :meth:`dump`.
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = False,
+        ring_size: int = _DEFAULT_RING,
+        out: str | Path | None = None,
+        sample: float = 1.0,
+        clock: Callable[[], float] = time.perf_counter,
+        wall: Callable[[], float] = time.time,
+    ) -> None:
+        self.enabled = bool(enabled)
+        #: Head-sampling rate in [0, 1] consulted by :meth:`sampled` —
+        #: per-request span detail on high-QPS paths (the serve loop)
+        #: applies to this fraction of requests; trace ids themselves are
+        #: always minted.  Rarer producers (training iterations, fold-in
+        #: cycles) never consult it.
+        self.sample = min(1.0, max(0.0, float(sample)))
+        self.clock = clock
+        self.wall = wall
+        #: Finalized spans, oldest first, as the same 7-tuples the buffer
+        #: holds (but with every span id assigned).
+        self._ring: deque[tuple] = deque(maxlen=ring_size)
+        self._sink_lock = threading.Lock()
+        self._out_path = Path(out) if out is not None else None
+        self._out_file = None
+        #: Finished spans not yet materialized: raw 7-tuples of
+        #: (trace, span|None, parent, name, ts, ms, attrs|None).  A None
+        #: span id is assigned at materialization time (record() defers id
+        #: generation; scopes hand theirs out as parents, so theirs is
+        #: eager).
+        self._buffer: list[tuple] = []
+        self._last_flush = self.wall()
+        #: Buffers handed off but not yet materialized, the condition that
+        #: sequences producers/writer/flush around them, and the lazily
+        #: started daemon writer (sink-enabled tracers only).  The writer
+        #: thread only pays off when it can overlap with GIL-released
+        #: windows (numpy kernels, socket waits) on another core; on a
+        #: single-CPU host it is pure context-switch overhead, so chunks
+        #: are processed inline there instead.
+        self._chunks: deque[list[tuple]] = deque()
+        self._chunk_cv = threading.Condition()
+        self._unprocessed = 0
+        self._writer: threading.Thread | None = None
+        self._writer_stop = (os.cpu_count() or 1) <= 1
+        #: Deferred span ids are "<8-hex tracer prefix><8-hex counter>" —
+        #: as unique as the random kind, minted for the price of one
+        #: increment (they are assigned in bulk, thousands per chunk).
+        self._id_prefix = f"{_id_rand.getrandbits(32):08x}"
+        self._id_counter = 0
+
+    # ----------------------------------------------------------- context
+
+    def current_trace_id(self) -> str | None:
+        """The trace id active in this task/thread, if any."""
+        if not self.enabled:
+            return None
+        ctx = _context.get()
+        return ctx[0] if ctx else None
+
+    def capture(self) -> SpanContext | None:
+        """Snapshot the current position for a cross-task/thread hand-off."""
+        if not self.enabled:
+            return None
+        ctx = _context.get()
+        if ctx is None or not ctx[1]:
+            return None
+        return SpanContext(ctx[0], ctx[1], wall=self.wall(), mono=self.clock())
+
+    def snapshot(self) -> tuple[str, str, float, float] | None:
+        """Allocation-light :meth:`capture`: the same four fields as a
+        plain ``(trace, span, wall, mono)`` tuple.  For per-request
+        hand-offs on hot paths (the serve batcher), where a dataclass
+        construction per request is measurable.  ``None`` inside an
+        unsampled request (no active span), like :meth:`capture`."""
+        if not self.enabled:
+            return None
+        ctx = _context.get()
+        if ctx is None or not ctx[1]:
+            return None
+        return (ctx[0], ctx[1], self.wall(), self.clock())
+
+    def sampled(self) -> bool:
+        """Decide span detail for one new request (see ``sample``)."""
+        if not self.enabled:
+            return False
+        return self.sample >= 1.0 or _id_rand.random() < self.sample
+
+    def trace_only(self) -> "_TraceOnlyScope | _NoopScope":
+        """A context scope for an unsampled request: mints and propagates
+        a trace id (headers, logs, journaling) without recording spans."""
+        if not self.enabled:
+            return _NOOP_SCOPE
+        return _TraceOnlyScope(_new_id())
+
+    @contextmanager
+    def attach(self, trace: str, parent: str | None = None) -> Iterator[None]:
+        """Run the body as part of an existing trace.
+
+        Used on the consuming side of a hand-off: spans opened inside
+        join ``trace``, parented to ``parent`` (or to the trace root).
+        """
+        if not self.enabled or not trace:
+            yield
+            return
+        token = _context.set((trace, parent or ""))
+        try:
+            yield
+        finally:
+            _context.reset(token)
+
+    # ------------------------------------------------------------- spans
+
+    def span(self, name: str, **attrs: object) -> _SpanScope | _NoopScope:
+        """Open a span: times the body, links to the enclosing span.
+
+        Starts a fresh trace when no span is active in this context.
+        Exceptions propagate; the span is recorded with ``error`` attrs
+        before re-raising so failed requests still show up in traces.
+        """
+        if not self.enabled:
+            return _NOOP_SCOPE
+        ctx = _context.get()
+        if ctx is None:
+            # Fresh trace: mint both ids from one PRNG draw — root spans
+            # are per-request on the serve path, and two draws cost
+            # measurably more than one split in half.
+            both = f"{_id_rand.getrandbits(128):032x}"
+            trace_id, span_id, parent = both[:16], both[16:], None
+        else:
+            trace_id, span_id, parent = ctx[0], _new_id(), ctx[1] or None
+        # **attrs is already a fresh dict; the scope owns it from here.
+        return _SpanScope(self, trace_id, span_id, parent, name, attrs)
+
+    def record(
+        self,
+        name: str,
+        *,
+        trace: str | None = None,
+        span: str | None = None,
+        parent: str | None = None,
+        ts: float | None = None,
+        duration: float = 0.0,
+        **attrs: object,
+    ) -> None:
+        """Record a span with explicit ids/timing (no context manager).
+
+        The escape hatch for reconstructed timings — stages measured with
+        a raw clock, queue waits whose start happened on another task —
+        and for zero-duration point events.  ``duration`` is in seconds.
+        Falls back to the ambient context (or a fresh trace) when
+        ``trace`` is not given.  The span id is normally assigned lazily
+        at flush time; pass ``span`` (from :func:`new_span_id`) when
+        follow-up records must parent to this one.
+        """
+        if not self.enabled:
+            return
+        if trace is None:
+            ctx = _context.get()
+            if ctx is not None:
+                trace = ctx[0]
+                if parent is None:
+                    parent = ctx[1] or None
+            else:
+                trace = _new_id()
+        self._append(
+            (
+                trace,
+                span,
+                parent,
+                name,
+                self.wall() if ts is None else ts,
+                duration * 1000.0,
+                attrs or None,  # **attrs is already a fresh dict
+            )
+        )
+
+    def event(self, name: str, **attrs: object) -> None:
+        """A zero-duration point annotation on the current trace."""
+        self.record(name, **attrs)
+
+    # ------------------------------------------------------------- sinks
+
+    def _append(self, entry: tuple) -> None:
+        # The recording hot path appends one raw tuple and returns: no
+        # lock, no allocation beyond the tuple, no I/O (list.append is
+        # atomic under the GIL).  Materializing SpanRecords, assigning
+        # deferred span ids, serializing JSON, and filing into the ring
+        # all happen later — for sink-enabled tracers on a background
+        # writer thread, which does its GIL-bound work inside the windows
+        # where the serving loop holds no GIL (numpy kernels, socket
+        # waits) instead of stealing loop time with inline flushes;
+        # tools/bench_serve.py holds the net cost to a <5% budget.
+        buffer = self._buffer
+        buffer.append(entry)
+        if (
+            len(buffer) >= _SINK_BUFFER_CAP
+            or entry[4] - self._last_flush >= _SINK_FLUSH_SECONDS
+        ):
+            self._hand_off()
+
+    def _hand_off(self) -> None:
+        """Move the hot buffer out of the recording thread's way.
+
+        Sink-enabled tracers enqueue it for the background writer and
+        return immediately; ring-only tracers (rare flushes, no
+        serialization) just materialize inline.
+        """
+        if self._out_path is None:
+            self.flush()
+            return
+        inline: list[tuple] | None = None
+        with self._chunk_cv:
+            buffer, self._buffer = self._buffer, []
+            self._last_flush = self.wall()
+            if not buffer:
+                return
+            if self._writer_stop:  # closed tracer: no writer to drain this
+                inline = buffer
+            else:
+                if self._writer is None:
+                    self._writer = threading.Thread(
+                        target=self._writer_loop,
+                        name="repro-trace-writer",
+                        daemon=True,
+                    )
+                    self._writer.start()
+                self._chunks.append(buffer)
+                self._unprocessed += 1
+                self._chunk_cv.notify_all()
+        if inline is not None:
+            self._process(inline)
+
+    def _writer_loop(self) -> None:
+        while True:
+            with self._chunk_cv:
+                while not self._chunks and not self._writer_stop:
+                    self._chunk_cv.wait()
+                if not self._chunks:
+                    return
+                chunk = self._chunks.popleft()
+            try:
+                self._process(chunk)
+            finally:
+                with self._chunk_cv:
+                    self._unprocessed -= 1
+                    self._chunk_cv.notify_all()
+
+    def _process(self, buffer: list[tuple]) -> None:
+        """Finalize one chunk (assign deferred span ids) into the ring
+        and the JSONL sink.  Tuples in, tuples stored: SpanRecord objects
+        are never built here — at thousands of spans per chunk, even one
+        object construction per span is measurable."""
+        with self._sink_lock:
+            counter = self._id_counter
+            prefix = self._id_prefix
+            finalized = []
+            for entry in buffer:
+                if entry[1] is None:
+                    trace, _span, parent, name, ts, ms, attrs = entry
+                    entry = (
+                        trace, f"{prefix}{counter:08x}", parent, name, ts, ms, attrs
+                    )
+                    counter += 1
+                finalized.append(entry)
+            self._id_counter = counter
+            self._ring.extend(finalized)
+            if self._out_path is None:
+                return
+            lines = "".join(_format_line(*entry) + "\n" for entry in finalized)
+            if self._out_file is None:
+                self._out_path.parent.mkdir(parents=True, exist_ok=True)
+                self._out_file = self._out_path.open("a", encoding="utf-8")
+            self._out_file.write(lines)
+            self._out_file.flush()
+
+    def flush(self) -> None:
+        """Materialize every recorded span into the ring and the sink.
+
+        Synchronous: on return the ring holds all spans recorded so far
+        and the sink file (if any) is current — for sink-enabled tracers
+        this waits for the background writer to drain.
+        """
+        if self._out_path is not None:
+            self._hand_off()
+            with self._chunk_cv:
+                while self._unprocessed:
+                    self._chunk_cv.wait()
+            return
+        with self._chunk_cv:
+            buffer, self._buffer = self._buffer, []
+            self._last_flush = self.wall()
+        if buffer:
+            self._process(buffer)
+
+    def export(self) -> list[dict]:
+        """The ring contents as ``repro-trace/1`` JSON objects (oldest first).
+
+        Also flushes the sink, so the file is current whenever the ring
+        is read.
+        """
+        self.flush()
+        return [_span_json(*entry) for entry in list(self._ring)]
+
+    def dump(self, path: str | Path) -> int:
+        """Write the ring to ``path`` as JSONL; returns the span count."""
+        payloads = self.export()
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w", encoding="utf-8") as fh:
+            for payload in payloads:
+                fh.write(json.dumps(payload, sort_keys=True) + "\n")
+        return len(payloads)
+
+    def close(self) -> None:
+        """Flush buffered spans, retire the writer, close the sink file."""
+        self.flush()
+        with self._chunk_cv:
+            self._writer_stop = True
+            self._chunk_cv.notify_all()
+        writer = self._writer
+        if writer is not None:
+            writer.join(timeout=10.0)
+            self._writer = None
+        with self._sink_lock:
+            if self._out_file is not None:
+                self._out_file.close()
+                self._out_file = None
+
+
+# --------------------------------------------------------------- globals
+
+_default_tracer = Tracer()  # disabled: the zero-overhead ambient default
+_tracer_lock = threading.Lock()
+_current_tracer = _default_tracer
+
+
+def get_tracer() -> Tracer:
+    """The tracer instrumented code records into (process-global)."""
+    return _current_tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the global tracer; returns the previous one."""
+    global _current_tracer
+    with _tracer_lock:
+        previous = _current_tracer
+        _current_tracer = tracer
+        return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Scope the global tracer to a block (tests, benchmarks)."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def configure_tracing(
+    *,
+    enabled: bool = True,
+    out: str | Path | None = None,
+    ring_size: int = _DEFAULT_RING,
+    sample: float = 1.0,
+) -> Tracer:
+    """Install a fresh global tracer (the ``--trace-out`` entry point)."""
+    tracer = Tracer(enabled=enabled, ring_size=ring_size, out=out, sample=sample)
+    set_tracer(tracer)
+    return tracer
+
+
+def current_trace_id() -> str | None:
+    """Module-level shorthand for ``get_tracer().current_trace_id()``."""
+    return _current_tracer.current_trace_id()
+
+
+# ------------------------------------------------------------- analysis
+#
+# Pure functions over exported span dicts, shared by the ``repro trace``
+# CLI verb and the tests.  They accept the ``repro-trace/1`` payloads
+# produced by Tracer.export()/dump() or parsed back from a JSONL file.
+
+
+def _quantile(ordered: Sequence[float], q: float) -> float:
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def summarize_spans(spans: Sequence[Mapping], *, outliers: int = 5) -> dict:
+    """Aggregate a span list into the ``repro trace`` report payload.
+
+    Returns a dict with:
+
+    - ``stages``: per-name {count, total_ms, mean_ms, p50_ms, p95_ms,
+      max_ms}, sorted by total time descending;
+    - ``traces``: trace count and root-span count;
+    - ``outliers``: the slowest root spans at or above their name's p95
+      (trace id, name, ms) — the "which requests were bad" list;
+    - ``critical_path``: for the slowest root span, the chain from root
+      to leaf following the most expensive child at each level, each
+      entry {name, ms, self_ms, trace, span}.
+    """
+    by_name: dict[str, list[float]] = {}
+    by_span: dict[str, Mapping] = {}
+    children: dict[str, list[Mapping]] = {}
+    roots: list[Mapping] = []
+    trace_ids: set[str] = set()
+    for span in spans:
+        by_name.setdefault(str(span["name"]), []).append(float(span["ms"]))
+        by_span[str(span["span"])] = span
+        trace_ids.add(str(span["trace"]))
+        parent = span.get("parent")
+        if parent:
+            children.setdefault(str(parent), []).append(span)
+        else:
+            roots.append(span)
+
+    stages = {}
+    for name, values in by_name.items():
+        ordered = sorted(values)
+        stages[name] = {
+            "count": len(ordered),
+            "total_ms": sum(ordered),
+            "mean_ms": sum(ordered) / len(ordered),
+            "p50_ms": _quantile(ordered, 0.50),
+            "p95_ms": _quantile(ordered, 0.95),
+            "max_ms": ordered[-1],
+        }
+    stages = dict(
+        sorted(stages.items(), key=lambda item: item[1]["total_ms"], reverse=True)
+    )
+
+    p95_by_name = {name: digest["p95_ms"] for name, digest in stages.items()}
+    slow_roots = [
+        root
+        for root in roots
+        if float(root["ms"]) >= p95_by_name.get(str(root["name"]), 0.0)
+    ]
+    slow_roots.sort(key=lambda span: float(span["ms"]), reverse=True)
+    outlier_rows = [
+        {"trace": span["trace"], "name": span["name"], "ms": float(span["ms"])}
+        for span in slow_roots[:outliers]
+    ]
+
+    critical_path: list[dict] = []
+    if roots:
+        node = max(roots, key=lambda span: float(span["ms"]))
+        while node is not None:
+            kids = children.get(str(node["span"]), [])
+            child_ms = sum(float(k["ms"]) for k in kids)
+            critical_path.append(
+                {
+                    "name": node["name"],
+                    "ms": float(node["ms"]),
+                    "self_ms": max(0.0, float(node["ms"]) - child_ms),
+                    "trace": node["trace"],
+                    "span": node["span"],
+                }
+            )
+            node = max(kids, key=lambda span: float(span["ms"])) if kids else None
+
+    return {
+        "schema": "repro-trace-summary/1",
+        "spans": len(spans),
+        "traces": {"count": len(trace_ids), "roots": len(roots)},
+        "stages": stages,
+        "outliers": outlier_rows,
+        "critical_path": critical_path,
+    }
+
+
+def load_trace_file(path: str | Path) -> list[dict]:
+    """Parse a ``repro-trace/1`` JSONL file into span dicts."""
+    spans: list[dict] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}") from None
+            if not isinstance(payload, dict) or payload.get("schema") != TRACE_SCHEMA:
+                raise ValueError(
+                    f"{path}:{lineno}: expected schema {TRACE_SCHEMA!r}, "
+                    f"got {payload.get('schema') if isinstance(payload, dict) else payload!r}"
+                )
+            spans.append(payload)
+    return spans

@@ -23,7 +23,9 @@ The clock is injectable (mirroring :class:`~repro.obs.metrics
 
 Counters: ``serve.shed`` totals every shed request, with the reason split
 into ``serve.shed.queue_full`` and ``serve.shed.deadline``; the
-``serve.queue_depth`` gauge tracks the in-flight count.
+``serve.queue_depth`` gauge tracks the in-flight count.  With tracing
+enabled, every shed also drops a zero-duration ``serve.shed`` event onto
+the shed request's trace, so a 429/503 in a trace names its reason.
 """
 
 from __future__ import annotations
@@ -34,6 +36,7 @@ from dataclasses import dataclass, field
 
 from repro.exceptions import ConfigurationError
 from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 
 __all__ = ["AdmissionConfig", "AdmissionController", "Ticket"]
 
@@ -101,6 +104,9 @@ class AdmissionController:
         if self._inflight >= self.config.max_queue:
             registry.counter("serve.shed").inc()
             registry.counter("serve.shed.queue_full").inc()
+            get_tracer().event(
+                "serve.shed", reason="queue_full", endpoint=endpoint
+            )
             return None
         self._inflight += 1
         registry.gauge("serve.queue_depth").set(self._inflight)
@@ -127,3 +133,4 @@ class AdmissionController:
         registry = get_registry()
         registry.counter("serve.shed").inc()
         registry.counter("serve.shed.deadline").inc()
+        get_tracer().event("serve.shed", reason="deadline")

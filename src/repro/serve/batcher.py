@@ -20,7 +20,13 @@ the identical code path, which is what the benchmark's baseline mode and
 the ``--max-batch 1`` CLI knob use.
 
 Observability: every flush observes its size into the ``serve.batch_size``
-histogram and its duration into ``serve.batch_flush_seconds``.
+histogram and its duration into ``serve.batch_flush_seconds``.  With
+tracing enabled, each request's span context is captured at ``submit``
+time (contextvars do not follow work to the flusher task), and the flush
+emits one ``serve.batch.queue`` span per request — how long it sat
+coalescing — plus a ``serve.batch.flush`` span for the batched call
+itself, parented into the first queued request's trace and annotated
+with every coalesced trace id.
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ from typing import Any
 from repro.exceptions import ConfigurationError
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 
 __all__ = ["MicroBatcher"]
 
@@ -75,7 +82,9 @@ class MicroBatcher:
         self.max_wait_seconds = float(max_wait_ms) / 1000.0
         self.name = name
         self.flushes = 0
-        self._pending: list[tuple[Any, asyncio.Future]] = []
+        # The third slot is Tracer.snapshot()'s (trace, span, wall, mono)
+        # tuple (or None when tracing is off).
+        self._pending: list[tuple[Any, asyncio.Future, tuple | None]] = []
         self._wake: asyncio.Event | None = None
         self._full: asyncio.Event | None = None
         self._task: asyncio.Task | None = None
@@ -105,7 +114,7 @@ class MicroBatcher:
             raise ConfigurationError(f"batcher {self.name!r} is not running")
         assert self._wake is not None and self._full is not None
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._pending.append((payload, future))
+        self._pending.append((payload, future, get_tracer().snapshot()))
         self._wake.set()
         if len(self._pending) >= self.max_batch:
             self._full.set()
@@ -144,37 +153,109 @@ class MicroBatcher:
                 self._wake.clear()
             await self._flush(batch)
 
-    async def _flush(self, batch: list[tuple[Any, asyncio.Future]]) -> None:
+    async def _flush(self, batch: list[tuple[Any, asyncio.Future, Any]]) -> None:
         registry = get_registry()
+        tracer = get_tracer()
         registry.histogram("serve.batch_size").observe(len(batch))
         self.flushes += 1
-        payloads = [payload for payload, _future in batch]
+        payloads = [payload for payload, _future, _ctx in batch]
+        contexts = [ctx for _payload, _future, ctx in batch if ctx is not None]
+        if contexts:
+            # Per-request coalescing delay, reconstructed from the context
+            # captured at submit time and parented into each request's own
+            # trace.  Attr-free on purpose: the flush span names the
+            # batcher, and one attrs dict per queued request is measurable
+            # against the serve tracing budget.
+            now = tracer.clock()
+            for ctx in contexts:
+                tracer.record(
+                    "serve.batch.queue",
+                    trace=ctx[0],
+                    parent=ctx[1],
+                    ts=ctx[2],
+                    duration=max(0.0, now - ctx[3]),
+                )
+        first_ctx = contexts[0] if contexts else None
+        start = registry.clock()
+        flush_ts = tracer.wall() if first_ctx is not None else 0.0
         try:
-            with registry.timer("serve.batch_flush_seconds"):
-                results = self._batch_fn(payloads)
-                if inspect.isawaitable(results):
-                    results = await results
+            results = self._batch_fn(payloads)
+            if inspect.isawaitable(results):
+                results = await results
         except Exception as exc:  # fail the whole flush, not the server
+            elapsed = registry.clock() - start
+            registry.histogram("serve.batch_flush_seconds").observe(
+                elapsed, trace=first_ctx[0] if first_ctx else None
+            )
             registry.counter("serve.batch_errors").inc()
+            self._record_flush(
+                tracer,
+                first_ctx,
+                contexts,
+                flush_ts,
+                elapsed,
+                len(batch),
+                error=type(exc).__name__,
+            )
             _log.warning(
                 "batch flush failed",
                 extra={"obs": {"batcher": self.name, "size": len(batch), "error": str(exc)}},
             )
-            for _payload, future in batch:
+            for _payload, future, _ctx in batch:
                 if not future.done():
                     future.set_exception(exc)
             return
+        elapsed = registry.clock() - start
+        registry.histogram("serve.batch_flush_seconds").observe(
+            elapsed, trace=first_ctx[0] if first_ctx else None
+        )
+        self._record_flush(tracer, first_ctx, contexts, flush_ts, elapsed, len(batch))
         if len(results) != len(batch):
             mismatch = ConfigurationError(
                 f"batch function for {self.name!r} returned {len(results)} "
                 f"results for {len(batch)} payloads"
             )
-            for _payload, future in batch:
+            for _payload, future, _ctx in batch:
                 if not future.done():
                     future.set_exception(mismatch)
             return
-        for (_payload, future), result in zip(batch, results):
+        for (_payload, future, _ctx), result in zip(batch, results):
             # A future may already be cancelled by a deadline timeout;
             # its requester has been answered with 503 and moved on.
             if not future.done():
                 future.set_result(result)
+
+    def _record_flush(
+        self,
+        tracer,
+        first_ctx,
+        contexts,
+        ts: float,
+        elapsed: float,
+        size: int,
+        *,
+        error: str | None = None,
+    ) -> None:
+        """One flush span, parented into the first queued request's trace.
+
+        The batched call serves many traces at once; the span lives in the
+        first requester's trace (so at least one trace shows the full
+        critical path) and names every coalesced trace id in its attrs.
+        """
+        if first_ctx is None:
+            return
+        attrs: dict[str, Any] = {
+            "batcher": self.name,
+            "size": size,
+            "traces": sorted({ctx[0] for ctx in contexts}),
+        }
+        if error is not None:
+            attrs["error"] = error
+        tracer.record(
+            "serve.batch.flush",
+            trace=first_ctx[0],
+            parent=first_ctx[1],
+            ts=ts,
+            duration=elapsed,
+            **attrs,
+        )

@@ -86,6 +86,7 @@ from repro.data.actions import Action, ActionLog
 from repro.exceptions import ConfigurationError, DataError, ReproError
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.serve.ingest import WriteAheadLog
 
 __all__ = ["FoldinConfig", "FoldinWorker", "SNAPSHOT_FILENAME", "WATERMARK_FILENAME"]
@@ -94,6 +95,26 @@ _log = get_logger("serve.foldin")
 
 WATERMARK_FILENAME = "foldin.watermark.json"
 SNAPSHOT_FILENAME = "foldin.snapshot.json"
+
+#: Upper bound on originating-event trace ids carried per fold — in the
+#: cycle's span attrs and the published artifact's foldin metadata.  A
+#: pointer set, not a data store; large folds keep the earliest ids.
+_FOLD_TRACE_CAP = 256
+
+
+def _event_traces(entries: list[dict[str, Any]]) -> list[str]:
+    """Unique ``_trace`` ids journaled with the drained events, in seq order."""
+    traces: list[str] = []
+    seen: set[str] = set()
+    for entry in entries:
+        event = entry.get("event")
+        trace = event.get("_trace") if isinstance(event, dict) else None
+        if isinstance(trace, str) and trace and trace not in seen:
+            seen.add(trace)
+            traces.append(trace)
+            if len(traces) >= _FOLD_TRACE_CAP:
+                break
+    return traces
 
 
 @dataclass(frozen=True)
@@ -456,70 +477,85 @@ class FoldinWorker:
             self.bootstrap()
         assert self._model is not None and self._log is not None
         registry = get_registry()
+        tracer = get_tracer()
+        drain_ts = tracer.wall() if tracer.enabled else 0.0
+        drain_start = registry.clock()
         actions, entries, upto = self._drain()
+        drain_elapsed = registry.clock() - drain_start
         if upto <= self._watermark:
             return 0
-        start = registry.clock()
-        model, log = extend_model(
-            self._model, self._log, actions, table_cache=self._table_cache
-        )
-        if self.config.decay_half_life is not None:
-            stale = self._stale_users(log)
-            decayed = decay_reassign(
-                model,
-                log,
-                stale,
-                half_life=self.config.decay_half_life,
-                down_floor=self.config.decay_down_floor,
-                table_cache=self._table_cache,
-            )
-            registry.gauge("foldin.decay_users").set(len(stale))
-            model = decayed
-        self._observe_drift(model, actions)
-        save_model(
-            model,
-            self.prefix,
-            extra={
-                "foldin": {
-                    "watermark_seq": upto,
-                    "folds": self._folds + 1,
-                    "events_applied": self._events_applied + len(actions),
-                }
-            },
-        )
-        # The artifact replace above was the commit point; everything from
-        # here on is advisory and safe to lose in a crash.  The lock keeps
-        # /healthz reads consistent with the worker's updates.
-        with self._lock:
-            self._model = model
-            self._log = log
-            self._watermark = upto
-            self._folds += 1
-            self._events_applied += len(actions)
-            self._applied.extend(entries)
-            applied_entries = list(self._applied)
-        elapsed = registry.clock() - start
-        registry.counter("foldin.folds").inc()
-        registry.counter("foldin.events_applied").inc(len(actions))
-        registry.histogram("foldin.fold_seconds").observe(elapsed)
-        registry.gauge("foldin.watermark_seq").set(upto)
-        # Snapshot before prune: segments may only be deleted once every
-        # applied event they held is replayable from the snapshot, or a
-        # restart could not reconstruct the merged log.
-        _write_snapshot(
-            Path(self.wal.directory) / SNAPSHOT_FILENAME,
-            {
-                "watermark_seq": upto,
-                "prefix": str(self.prefix),
-                "events": applied_entries,
-            },
-        )
-        _write_watermark(
-            Path(self.wal.directory) / WATERMARK_FILENAME,
-            {"watermark_seq": upto, "prefix": str(self.prefix)},
-        )
-        if self.config.prune_segments:
-            self.wal.prune(upto)
+        # The trace ids the drained events journaled at /ingest time: the
+        # cycle's spans and the published artifact both carry them, linking
+        # this fold back to the requests whose events it applies.
+        traces = _event_traces(entries)
+        foldin_extra: dict[str, Any] = {
+            "watermark_seq": upto,
+            "folds": self._folds + 1,
+            "events_applied": self._events_applied + len(actions),
+        }
+        if traces:
+            foldin_extra["traces"] = traces
+        with tracer.span(
+            "foldin.cycle", events=len(actions), watermark_seq=upto, traces=traces
+        ):
+            tracer.record("foldin.drain", ts=drain_ts, duration=drain_elapsed)
+            start = registry.clock()
+            with tracer.span("foldin.extend", events=len(actions)):
+                model, log = extend_model(
+                    self._model, self._log, actions, table_cache=self._table_cache
+                )
+            if self.config.decay_half_life is not None:
+                with tracer.span("foldin.decay") as decay_span:
+                    stale = self._stale_users(log)
+                    decayed = decay_reassign(
+                        model,
+                        log,
+                        stale,
+                        half_life=self.config.decay_half_life,
+                        down_floor=self.config.decay_down_floor,
+                        table_cache=self._table_cache,
+                    )
+                    decay_span.set(stale_users=len(stale))
+                registry.gauge("foldin.decay_users").set(len(stale))
+                model = decayed
+            self._observe_drift(model, actions)
+            with tracer.span("foldin.publish", watermark_seq=upto):
+                save_model(model, self.prefix, extra={"foldin": foldin_extra})
+            # The artifact replace above was the commit point; everything
+            # from here on is advisory and safe to lose in a crash.  The
+            # lock keeps /healthz reads consistent with the worker's
+            # updates.
+            with self._lock:
+                self._model = model
+                self._log = log
+                self._watermark = upto
+                self._folds += 1
+                self._events_applied += len(actions)
+                self._applied.extend(entries)
+                applied_entries = list(self._applied)
+            elapsed = registry.clock() - start
+            registry.counter("foldin.folds").inc()
+            registry.counter("foldin.events_applied").inc(len(actions))
+            registry.histogram("foldin.fold_seconds").observe(elapsed)
+            registry.gauge("foldin.watermark_seq").set(upto)
+            # Snapshot before prune: segments may only be deleted once
+            # every applied event they held is replayable from the
+            # snapshot, or a restart could not reconstruct the merged log.
+            with tracer.span("foldin.snapshot"):
+                _write_snapshot(
+                    Path(self.wal.directory) / SNAPSHOT_FILENAME,
+                    {
+                        "watermark_seq": upto,
+                        "prefix": str(self.prefix),
+                        "events": applied_entries,
+                    },
+                )
+                _write_watermark(
+                    Path(self.wal.directory) / WATERMARK_FILENAME,
+                    {"watermark_seq": upto, "prefix": str(self.prefix)},
+                )
+            if self.config.prune_segments:
+                self.wal.prune(upto)
         _log.info(
             "fold-in published",
             extra={

@@ -79,6 +79,7 @@ from typing import Any, BinaryIO, Iterator, Mapping
 from repro.exceptions import ConfigurationError, DataError
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 
 __all__ = ["WalConfig", "WalRecord", "WriteAheadLog", "inspect_wal"]
 
@@ -502,10 +503,35 @@ class WriteAheadLog:
             self._last_seq = last_seq
             self._durable_seq = last_seq
         elapsed = registry.clock() - start
+        tracer = get_tracer()
+        traces: list[str] = []
+        if tracer.enabled:
+            # Events arrive stamped with their originating request's trace
+            # id (see /ingest); the append span joins the first such trace
+            # — the durability cost lands on the request that paid it —
+            # and names the rest, since one fsync covers the whole flush.
+            seen: set[str] = set()
+            for event in events:
+                trace = event.get("_trace")
+                if isinstance(trace, str) and trace and trace not in seen:
+                    seen.add(trace)
+                    traces.append(trace)
+            tracer.record(
+                "ingest.wal.append",
+                trace=traces[0] if traces else None,
+                duration=elapsed,
+                events=len(events),
+                bytes=len(batch),
+                first_seq=first_seq,
+                last_seq=last_seq,
+                traces=traces,
+            )
         registry.counter("ingest.events").inc(len(events))
         registry.counter("ingest.batches").inc()
         registry.counter("ingest.bytes_written").inc(len(batch))
-        registry.histogram("ingest.append_seconds").observe(elapsed)
+        registry.histogram("ingest.append_seconds").observe(
+            elapsed, trace=traces[0] if traces else None
+        )
         registry.gauge("ingest.last_seq").set(last_seq)
         return first_seq, last_seq
 

@@ -50,6 +50,8 @@ from repro.data.actions import Action
 from repro.exceptions import ConfigurationError, ReproError
 from repro.obs.logging import current_run_id, get_logger
 from repro.obs.metrics import get_registry
+from repro.obs.resource import ResourceSampler
+from repro.obs.trace import get_tracer
 from repro.recsys.ranking import predict_items
 from repro.core.difficulty import PRIOR_EMPIRICAL, PRIOR_UNIFORM, difficulty_array
 from repro.serve.admission import AdmissionConfig, AdmissionController
@@ -167,6 +169,7 @@ class SkillServer:
         )
         self._server: asyncio.AbstractServer | None = None
         self._watch_task: asyncio.Task | None = None
+        self._resources = ResourceSampler(get_registry())
 
     # ------------------------------------------------------------ lifecycle
 
@@ -182,6 +185,8 @@ class SkillServer:
             await self._ingest_batcher.start()
         if self.foldin is not None:
             self.foldin.start()
+        self._resources.install_gc_hooks()
+        self._resources.sample()
         self._watch_task = asyncio.create_task(self._watch(), name="serve-watch")
         self._server = await asyncio.start_server(
             self._handle_client, host=self.config.host, port=self.config.port
@@ -225,6 +230,7 @@ class SkillServer:
             await self._ingest_batcher.stop()
         if self.foldin is not None:
             self.foldin.stop()
+        self._resources.uninstall_gc_hooks()
 
     async def _watch(self) -> None:
         """Poll the artifact pair and hot-swap the model when it changes."""
@@ -245,12 +251,46 @@ class SkillServer:
                 request = await self._read_request(reader)
                 if request is None:
                     break
-                status, payload = await self._dispatch(request)
-                body = json.dumps(payload).encode("utf-8")
+                # One root span per request: dispatch AND response
+                # serialization happen inside it, so the trace id in the
+                # X-Trace-Id header covers everything the client waited
+                # on.  Head sampling decides span *detail* per request
+                # (full spans cost ~tens of µs on a busy single-core
+                # host); unsampled requests still mint and propagate a
+                # trace id for the header, access log, and WAL journal.
+                tracer = get_tracer()
+                scope = (
+                    # path+status only: the method is in the access log,
+                    # and every root-span attr is serialized per request.
+                    tracer.span("serve.request", path=request.path)
+                    if tracer.sampled()
+                    else tracer.trace_only()
+                )
+                with scope as root:
+                    status, payload = await self._dispatch(request)
+                    root.set(status=status)
+                    if root.span:
+                        ser_ts, ser_start = tracer.wall(), tracer.clock()
+                    body = json.dumps(payload).encode("utf-8")
+                    if root.span:
+                        # record(), not span(): serialization never opens
+                        # child spans, and record costs a fraction of the
+                        # context churn on this per-request path.
+                        tracer.record(
+                            "serve.serialize",
+                            trace=root.trace,
+                            parent=root.span,
+                            ts=ser_ts,
+                            duration=tracer.clock() - ser_start,
+                        )
+                trace_header = (
+                    f"X-Trace-Id: {root.trace}\r\n" if root.trace is not None else ""
+                )
                 head = (
                     f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
                     "Content-Type: application/json\r\n"
                     f"Content-Length: {len(body)}\r\n"
+                    f"{trace_header}"
                     f"Connection: {'keep-alive' if request.keep_alive else 'close'}\r\n"
                     "\r\n"
                 ).encode("latin-1")
@@ -321,6 +361,8 @@ class SkillServer:
             registry.counter("serve.errors").inc()
             return status, {"error": _REASONS[status].lower()}
         endpoint, handler = route
+        tracer = get_tracer()
+        trace_id = tracer.current_trace_id()
         registry.counter("serve.requests").inc()
         registry.counter(f"serve.requests.{endpoint}").inc()
         start = registry.clock()
@@ -334,26 +376,41 @@ class SkillServer:
             _log.exception("unhandled error serving %s", endpoint)
             status, payload = 500, {"error": f"internal error: {type(exc).__name__}"}
         elapsed = registry.clock() - start
+        # observe() picks up the ambient trace id, so the slowest samples
+        # surface as exemplars next to the histogram in /metrics.
         registry.histogram("serve.request_seconds").observe(elapsed)
         if status >= 400:
             registry.counter("serve.errors").inc()
-        _log.info(
-            "request",
-            extra={
-                "obs": {
-                    "endpoint": endpoint,
-                    "status": status,
-                    "ms": round(elapsed * 1000.0, 3),
-                }
-            },
-        )
+        fields = {
+            "endpoint": endpoint,
+            "status": status,
+            "ms": round(elapsed * 1000.0, 3),
+        }
+        if trace_id is not None:
+            fields["trace"] = trace_id
+        _log.info("request", extra={"obs": fields})
         return status, payload
 
     async def _admit_and_submit(
         self, endpoint: str, batcher: MicroBatcher, payload: Any
     ) -> Any:
         """Admission + deadline around one batched request."""
-        ticket = self.admission.admit(endpoint)
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Admission is non-blocking (admit() answers immediately), so
+            # the happy-path duration is sub-microsecond noise: record a
+            # serve.admission span only when admitting measurably stalled
+            # (ever >0.1ms, e.g. under lock contention) or was refused —
+            # rejections also raise 429 below and surface as serve.shed
+            # events.  Skipping the always-~0ms record keeps per-request
+            # tracing inside the bench's <5% overhead budget.
+            adm_ts, adm_start = tracer.wall(), tracer.clock()
+            ticket = self.admission.admit(endpoint)
+            adm_wait = tracer.clock() - adm_start
+            if adm_wait >= 1e-4 or ticket is None:
+                tracer.record("serve.admission", ts=adm_ts, duration=adm_wait)
+        else:
+            ticket = self.admission.admit(endpoint)
         if ticket is None:
             raise _HttpError(429, "queue full; retry with backoff")
         try:
@@ -362,6 +419,9 @@ class SkillServer:
                 self.admission.shed_deadline()
                 raise _HttpError(503, f"deadline exceeded for {endpoint}")
             try:
+                # The wait on the batcher is not separately recorded: the
+                # batcher reconstructs the same submit→flush interval as a
+                # serve.batch.queue span in each request's trace.
                 result = await asyncio.wait_for(batcher.submit(payload), remaining)
             except (TimeoutError, asyncio.TimeoutError):
                 self.admission.shed_deadline()
@@ -403,6 +463,9 @@ class SkillServer:
     async def _handle_metrics(self, request: _Request) -> tuple[int, Any]:
         bundle = self.state.current
         telemetry = bundle.model.telemetry
+        # Refresh proc.* gauges so every scrape sees current peak RSS and
+        # open-fd counts, not the values from server start.
+        self._resources.sample()
         return 200, {
             "schema": "repro-metrics/1",
             "run": current_run_id(),
@@ -449,14 +512,25 @@ class SkillServer:
                 503, "ingest is not configured; start the server with --ingest-wal"
             )
         events = self._validate_ingest(_json_body(request))
+        trace_id = get_tracer().current_trace_id()
+        if trace_id is not None:
+            # Journal the request's trace id with each event: the WAL
+            # payload is an open JSON object and fold-in ignores unknown
+            # keys, so the id rides along to the cycle that applies the
+            # event — the ingest→swap half of the end-to-end trace.
+            for event in events:
+                event["_trace"] = trace_id
         result = await self._admit_and_submit("ingest", self._ingest_batcher, events)
         first_seq, last_seq = result
-        return 200, {
+        payload: dict[str, Any] = {
             "accepted": len(events),
             "first_seq": first_seq,
             "last_seq": last_seq,
             "durable": True,  # the 200 is only written after the batch fsync
         }
+        if trace_id is not None:
+            payload["trace"] = trace_id
+        return 200, payload
 
     # ----------------------------------------------------------- validation
 

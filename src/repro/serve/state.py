@@ -44,6 +44,7 @@ from repro.core.serialize import artifact_metadata, load_model
 from repro.exceptions import DataError, ReproError
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 
 __all__ = ["ModelState", "ServingModel"]
 
@@ -215,6 +216,24 @@ class ModelState:
         self._current = bundle  # the atomic swap: one attribute assignment
         self.reloads += 1
         get_registry().counter("serve.reloads").inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            # The swap closes the ingest→fold→publish→swap loop: re-emit
+            # the folded events' trace ids (journaled into the artifact's
+            # foldin metadata by the worker) so a trace that started at
+            # POST /ingest ends at the version now serving.
+            extra = bundle.metadata.get("extra")
+            foldin = extra.get("foldin") if isinstance(extra, dict) else None
+            attrs: dict[str, Any] = {
+                "version": bundle.version,
+                "prefix": str(self.prefix),
+            }
+            if isinstance(foldin, dict):
+                if isinstance(foldin.get("watermark_seq"), int):
+                    attrs["watermark_seq"] = foldin["watermark_seq"]
+                if isinstance(foldin.get("traces"), list):
+                    attrs["traces"] = foldin["traces"]
+            tracer.event("serve.swap", **attrs)
         _log.info(
             "model hot-reloaded",
             extra={

@@ -9,6 +9,7 @@ from __future__ import annotations
 import importlib.util
 import io
 import json
+import threading
 import warnings
 from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeoutError
@@ -98,6 +99,47 @@ class TestInstruments:
     def test_histogram_empty_quantile_is_zero(self):
         assert Histogram().quantile(0.5) == 0.0
 
+    def test_histogram_single_observation_is_every_quantile(self):
+        hist = Histogram()
+        hist.observe(3.25)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert hist.quantile(q) == 3.25
+        summary = hist.summary()
+        assert summary["count"] == 1
+        assert summary["mean"] == summary["p50"] == summary["max"] == 3.25
+
+    def test_histogram_quantile_clamps_out_of_range_q(self):
+        hist = Histogram()
+        for v in (1.0, 2.0, 3.0):
+            hist.observe(v)
+        assert hist.quantile(-0.5) == 1.0
+        assert hist.quantile(2.0) == 3.0
+
+    def test_histogram_empty_summary_shape(self):
+        summary = Histogram().summary()
+        assert summary == {
+            "count": 0, "total": 0.0, "mean": 0.0,
+            "p50": 0.0, "p95": 0.0, "max": 0.0,
+        }
+
+    def test_histogram_negative_values_keep_default_max(self):
+        # max starts at 0.0 (timings are non-negative); all-negative
+        # observations keep it there but the window quantiles are exact.
+        hist = Histogram()
+        for v in (-3.0, -1.0, -2.0):
+            hist.observe(v)
+        assert hist.max == 0.0
+        assert hist.quantile(0.0) == -3.0
+        assert hist.quantile(1.0) == -1.0
+        assert hist.summary()["mean"] == pytest.approx(-2.0)
+
+    def test_histogram_window_of_one_tracks_last_value(self):
+        hist = Histogram(window=1)
+        for v in (5.0, 9.0, 2.0):
+            hist.observe(v)
+        assert hist.count == 3
+        assert hist.quantile(0.5) == 2.0  # only the last value retained
+
     def test_histogram_window_bounds_memory_but_not_lifetime_stats(self):
         hist = Histogram(window=10)
         for v in range(100):
@@ -135,6 +177,107 @@ class TestInstruments:
         with ThreadPoolExecutor(max_workers=8) as pool:
             list(pool.map(hammer, range(8)))
         assert counter.value == 8000
+
+
+class TestExemplars:
+    def test_no_trace_means_no_exemplars_key(self):
+        hist = Histogram()
+        hist.observe(1.0)
+        assert "exemplars" not in hist.summary()
+
+    def test_exemplars_keep_the_slowest_traced_samples(self):
+        hist = Histogram()
+        for ms, trace in ((1.0, "ta"), (9.0, "tb"), (4.0, "tc"), (7.0, "td")):
+            hist.observe(ms, trace=trace)
+        rows = hist.summary()["exemplars"]
+        # Three slots, slowest first; the fastest sample was evicted.
+        assert [(row["value"], row["trace"]) for row in rows] == [
+            (9.0, "tb"), (7.0, "td"), (4.0, "tc"),
+        ]
+
+    def test_exemplar_floor_rejects_fast_samples_cheaply(self):
+        hist = Histogram()
+        for value in (5.0, 6.0, 7.0):
+            hist.observe(value, trace="slow")
+        hist.observe(1.0, trace="fast")  # below the floor: not kept
+        traces = {row["trace"] for row in hist.summary()["exemplars"]}
+        assert traces == {"slow"}
+
+    def test_observe_picks_up_ambient_trace(self):
+        from repro.obs.trace import Tracer, use_tracer
+
+        hist = Histogram()
+        tracer = Tracer(enabled=True)
+        with use_tracer(tracer):
+            with tracer.span("slow.request") as handle:
+                hist.observe(2.5)
+        (row,) = hist.summary()["exemplars"]
+        assert row == {"value": 2.5, "trace": handle.trace}
+
+    def test_untraced_context_adds_nothing(self):
+        hist = Histogram()
+        hist.observe(2.5)  # default tracer is disabled: no ambient trace
+        assert "exemplars" not in hist.summary()
+
+
+class TestSnapshotConsistency:
+    def test_snapshot_freezes_paired_instruments(self):
+        """Regression: a counter and a histogram updated together must
+        never export values from different moments.
+
+        Writers bump ``c`` then observe into ``h`` under no lock of their
+        own; because registry-created instruments share the registry's
+        re-entrant lock and ``snapshot()`` holds it across the whole
+        export, every snapshot must satisfy ``counter >= histogram.count``
+        (the counter is always written first) with a gap of at most the
+        writer count (one in-flight pair per writer thread).
+        """
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        hist = registry.histogram("h")
+        writers = 4
+        per_writer = 2000
+        stop = threading.Event()
+        violations: list[tuple[int, int]] = []
+
+        def write(_):
+            for _ in range(per_writer):
+                counter.inc()
+                hist.observe(1.0)
+
+        def watch():
+            while not stop.is_set():
+                snap = registry.snapshot()
+                seen = (snap["counters"]["c"], snap["histograms"]["h"]["count"])
+                if not (0 <= seen[0] - seen[1] <= writers):
+                    violations.append(seen)
+
+        watcher = threading.Thread(target=watch)
+        watcher.start()
+        try:
+            with ThreadPoolExecutor(max_workers=writers) as pool:
+                list(pool.map(write, range(writers)))
+        finally:
+            stop.set()
+            watcher.join()
+        assert violations == []
+        final = registry.snapshot()
+        assert final["counters"]["c"] == writers * per_writer
+        assert final["histograms"]["h"]["count"] == writers * per_writer
+
+    def test_standalone_instruments_get_private_locks(self):
+        # Not registry-created: updates still thread-safe, just unfrozen
+        # relative to other instruments.
+        hist = Histogram()
+
+        def hammer(_):
+            for _ in range(1000):
+                hist.observe(1.0)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(hammer, range(4)))
+        assert hist.count == 4000
+        assert hist.total == pytest.approx(4000.0)
 
 
 class TestTimingContextManagers:

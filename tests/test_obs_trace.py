@@ -1,0 +1,453 @@
+"""Tests for the tracing layer: spans, context propagation, sinks, analysis.
+
+Timing-sensitive behaviour uses injected fake clocks — nothing here
+sleeps.  The serve-path integration (headers, WAL journaling, fold-in
+linkage) lives in ``test_serve_trace.py``; this file covers the
+:mod:`repro.obs.trace` machinery itself.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs.trace import (
+    TRACE_SCHEMA,
+    SpanRecord,
+    Tracer,
+    configure_tracing,
+    current_trace_id,
+    get_tracer,
+    load_trace_file,
+    new_span_id,
+    set_tracer,
+    summarize_spans,
+    use_tracer,
+)
+from repro.obs.trace import _format_attrs, _format_line
+
+
+class FakeClock:
+    """A manually advanced clock (works for both wall and monotonic)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _tracer(**kwargs) -> Tracer:
+    kwargs.setdefault("enabled", True)
+    return Tracer(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Span lifecycle and context propagation
+# ---------------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_span_times_the_body(self):
+        clock, wall = FakeClock(), FakeClock(1000.0)
+        tracer = _tracer(clock=clock, wall=wall)
+        with tracer.span("stage", size=3):
+            clock.advance(0.25)
+        (span,) = tracer.export()
+        assert span["schema"] == TRACE_SCHEMA
+        assert span["name"] == "stage"
+        assert span["ts"] == 1000.0
+        assert span["ms"] == pytest.approx(250.0)
+        assert span["attrs"] == {"size": 3}
+        assert span["parent"] is None
+
+    def test_nested_spans_share_trace_and_link_parents(self):
+        tracer = _tracer(clock=FakeClock(), wall=FakeClock())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.trace == outer.trace
+                assert inner.span != outer.span
+        inner_json, outer_json = tracer.export()  # inner closes first
+        assert inner_json["name"] == "inner"
+        assert inner_json["parent"] == outer_json["span"]
+        assert outer_json["parent"] is None
+        assert inner_json["trace"] == outer_json["trace"]
+
+    def test_sibling_roots_get_distinct_traces(self):
+        tracer = _tracer()
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            pass
+        assert a.trace != b.trace
+        assert len(a.trace) == 16 and len(a.span) == 16
+
+    def test_exception_records_error_attr_and_propagates(self):
+        tracer = _tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        (span,) = tracer.export()
+        assert span["attrs"]["error"] == "ValueError"
+
+    def test_set_updates_attrs_mid_span(self):
+        tracer = _tracer()
+        with tracer.span("request", path="/predict") as handle:
+            handle.set(status=200)
+        (span,) = tracer.export()
+        assert span["attrs"] == {"path": "/predict", "status": 200}
+
+    def test_context_restored_after_span(self):
+        tracer = _tracer()
+        with use_tracer(tracer):
+            assert current_trace_id() is None
+            with tracer.span("outer") as outer:
+                assert current_trace_id() == outer.trace
+            assert current_trace_id() is None
+
+    def test_disabled_tracer_is_inert(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("ignored") as handle:
+            handle.set(k=1)
+        assert handle.trace is None
+        assert tracer.export() == []
+        assert tracer.capture() is None
+        assert tracer.snapshot() is None
+        assert tracer.current_trace_id() is None
+        tracer.record("also-ignored")
+        assert tracer.export() == []
+
+
+class TestHandOff:
+    def test_capture_attach_joins_the_trace(self):
+        tracer = _tracer()
+        with tracer.span("producer") as producer:
+            captured = tracer.capture()
+        assert captured.trace == producer.trace
+        assert captured.span == producer.span
+        with tracer.attach(captured.trace, captured.span):
+            with tracer.span("consumer"):
+                pass
+        spans = tracer.export()
+        consumer = next(s for s in spans if s["name"] == "consumer")
+        assert consumer["trace"] == producer.trace
+        assert consumer["parent"] == producer.span
+
+    def test_snapshot_matches_capture_fields(self):
+        clock, wall = FakeClock(5.0), FakeClock(2000.0)
+        tracer = _tracer(clock=clock, wall=wall)
+        with tracer.span("work") as handle:
+            snap = tracer.snapshot()
+        assert snap == (handle.trace, handle.span, 2000.0, 5.0)
+
+    def test_record_with_explicit_ids_and_timing(self):
+        tracer = _tracer(wall=FakeClock(100.0))
+        span_id = new_span_id()
+        tracer.record(
+            "queue.wait", trace="t" * 16, span=span_id, parent="p" * 16,
+            ts=42.0, duration=0.5, depth=7,
+        )
+        (span,) = tracer.export()
+        assert span["span"] == span_id
+        assert span["trace"] == "t" * 16
+        assert span["parent"] == "p" * 16
+        assert span["ts"] == 42.0
+        assert span["ms"] == pytest.approx(500.0)
+        assert span["attrs"] == {"depth": 7}
+
+    def test_record_falls_back_to_ambient_context(self):
+        tracer = _tracer()
+        with tracer.span("root") as root:
+            tracer.record("point.event")
+        spans = tracer.export()
+        event = next(s for s in spans if s["name"] == "point.event")
+        assert event["trace"] == root.trace
+        assert event["parent"] == root.span
+        assert event["ms"] == 0.0
+        # Deferred ids are assigned at flush: present, unique, well-formed.
+        assert isinstance(event["span"], str) and len(event["span"]) == 16
+        assert event["span"] != root.span
+
+
+# ---------------------------------------------------------------------------
+# Head sampling
+# ---------------------------------------------------------------------------
+
+
+class TestSampling:
+    def test_sample_one_always_samples(self):
+        tracer = _tracer(sample=1.0)
+        assert all(tracer.sampled() for _ in range(50))
+
+    def test_sample_zero_never_samples_but_stays_enabled(self):
+        tracer = _tracer(sample=0.0)
+        assert not any(tracer.sampled() for _ in range(50))
+        assert tracer.enabled
+
+    def test_sample_clamped_to_unit_interval(self):
+        assert _tracer(sample=7.0).sample == 1.0
+        assert _tracer(sample=-1.0).sample == 0.0
+
+    def test_disabled_tracer_never_samples(self):
+        assert Tracer(enabled=False, sample=1.0).sampled() is False
+
+    def test_trace_only_scope_propagates_id_without_spans(self):
+        tracer = _tracer(sample=0.0)
+        with use_tracer(tracer):
+            with tracer.trace_only() as scope:
+                # The id is visible to headers/logs/WAL journaling...
+                assert current_trace_id() == scope.trace
+                assert len(scope.trace) == 16
+                # ...but there is no active *span*: hand-offs see nothing,
+                assert tracer.capture() is None
+                assert tracer.snapshot() is None
+                # the handle's span is falsy for span-gated call sites,
+                assert not scope.span
+                scope.set(status=200)  # and attrs go nowhere, harmlessly
+            assert current_trace_id() is None
+        assert tracer.export() == []
+
+    def test_trace_only_on_disabled_tracer_is_noop(self):
+        tracer = Tracer(enabled=False)
+        with tracer.trace_only() as scope:
+            assert scope.trace is None
+        assert tracer.export() == []
+
+
+# ---------------------------------------------------------------------------
+# Ring, sink, flush, close
+# ---------------------------------------------------------------------------
+
+
+class TestStorage:
+    def test_ring_keeps_most_recent_spans(self):
+        tracer = _tracer(ring_size=4)
+        for index in range(10):
+            tracer.record(f"event.{index}", trace="t" * 16)
+        names = [span["name"] for span in tracer.export()]
+        assert names == ["event.6", "event.7", "event.8", "event.9"]
+
+    def test_sink_file_holds_every_span_after_close(self, tmp_path):
+        out = tmp_path / "spans.jsonl"
+        tracer = _tracer(out=out)
+        with tracer.span("a"):
+            pass
+        tracer.record("b", trace="t" * 16, note="hello")
+        tracer.close()
+        spans = load_trace_file(out)
+        assert [span["name"] for span in spans] == ["a", "b"]
+        assert spans[1]["attrs"] == {"note": "hello"}
+
+    def test_flush_is_synchronous_and_repeatable(self, tmp_path):
+        out = tmp_path / "spans.jsonl"
+        tracer = _tracer(out=out)
+        tracer.record("first", trace="t" * 16)
+        tracer.flush()
+        assert len(load_trace_file(out)) == 1
+        tracer.record("second", trace="t" * 16)
+        tracer.flush()
+        tracer.flush()  # idempotent on an empty buffer
+        assert [s["name"] for s in load_trace_file(out)] == ["first", "second"]
+        tracer.close()
+
+    def test_record_after_close_does_not_deadlock(self, tmp_path):
+        out = tmp_path / "spans.jsonl"
+        tracer = _tracer(out=out)
+        tracer.record("before", trace="t" * 16)
+        tracer.close()
+        # A straggler span after close must neither hang flush() nor be
+        # lost from the ring (the file handle is gone, the ring is not).
+        tracer.record("after", trace="t" * 16)
+        tracer.flush()
+        assert [s["name"] for s in tracer.export()] == ["before", "after"]
+
+    def test_concurrent_recorders_lose_nothing(self, tmp_path):
+        out = tmp_path / "spans.jsonl"
+        tracer = _tracer(out=out)
+        per_thread = 500
+
+        def hammer(worker: int) -> None:
+            for index in range(per_thread):
+                tracer.record(f"w{worker}", trace="t" * 16, i=index)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(hammer, range(4)))
+        tracer.close()
+        spans = load_trace_file(out)
+        assert len(spans) == 4 * per_thread
+        # Deferred span ids must come out unique even across threads.
+        assert len({span["span"] for span in spans}) == len(spans)
+
+    def test_dump_writes_ring_to_jsonl(self, tmp_path):
+        tracer = _tracer()
+        with tracer.span("only"):
+            pass
+        target = tmp_path / "dumped" / "spans.jsonl"
+        assert tracer.dump(target) == 1
+        assert load_trace_file(target)[0]["name"] == "only"
+
+
+class TestGlobals:
+    def test_set_tracer_swaps_and_returns_previous(self):
+        original = get_tracer()
+        replacement = _tracer()
+        assert set_tracer(replacement) is original
+        try:
+            assert get_tracer() is replacement
+        finally:
+            set_tracer(original)
+
+    def test_configure_tracing_installs_and_respects_sample(self, tmp_path):
+        original = get_tracer()
+        try:
+            tracer = configure_tracing(out=tmp_path / "t.jsonl", sample=0.25)
+            assert get_tracer() is tracer
+            assert tracer.enabled and tracer.sample == 0.25
+            tracer.close()
+        finally:
+            set_tracer(original)
+
+
+# ---------------------------------------------------------------------------
+# Lean serialization: byte parity with json.dumps
+# ---------------------------------------------------------------------------
+
+
+class TestSinkSerialization:
+    def _parity(self, record: SpanRecord) -> None:
+        assert json.loads(record.to_line()) == record.to_json()
+        # The hand-formatted attrs fragment is byte-identical to what
+        # json.dumps(…, sort_keys=True) would emit for the same mapping.
+        if record.attrs:
+            fragment = json.dumps(dict(record.attrs), sort_keys=True)
+            assert record.to_line().endswith(f', "attrs": {fragment}}}')
+
+    def test_simple_record_matches_json_dumps(self):
+        self._parity(
+            SpanRecord(
+                trace="a" * 16, span="b" * 16, parent=None,
+                name="serve.request", ts=1712000000.5, ms=3.25,
+                attrs={"path": "/predict", "status": 200, "hit": True,
+                       "ratio": 0.125, "empty": ""},
+            )
+        )
+
+    def test_parented_attr_free_record_matches(self):
+        self._parity(
+            SpanRecord(
+                trace="a" * 16, span="b" * 16, parent="c" * 16,
+                name="serve.serialize", ts=0.0, ms=0.0,
+            )
+        )
+
+    def test_fallback_attrs_still_parse_identically(self):
+        # Escapes, non-ASCII, containers, NaN-free floats only — each
+        # forces the json.dumps fallback but must parse to the same dict.
+        for attrs in (
+            {"msg": 'quote " inside'},
+            {"msg": "back\\slash"},
+            {"msg": "unïcode"},
+            {"msg": "tab\there"},
+            {"traces": ["x" * 16, "y" * 16]},
+            {"nested": {"k": 1}},
+        ):
+            record = SpanRecord(
+                trace="a" * 16, span="b" * 16, parent=None,
+                name="n", ts=1.0, ms=2.0, attrs=attrs,
+            )
+            assert json.loads(record.to_line()) == record.to_json()
+
+    def test_pathological_name_falls_back(self):
+        record = SpanRecord(
+            trace="a" * 16, span="b" * 16, parent=None,
+            name='we"ird\\name', ts=1.0, ms=2.0, attrs={"k": 1},
+        )
+        assert json.loads(record.to_line()) == record.to_json()
+
+    def test_format_attrs_bails_on_nonfinite_floats(self):
+        assert _format_attrs({"v": float("nan")}) is None
+        assert _format_attrs({"v": float("inf")}) is None
+        assert _format_attrs({"v": 1.5}) == '{"v": 1.5}'
+
+    def test_format_attrs_sorts_keys(self):
+        assert _format_attrs({"b": 2, "a": 1}) == json.dumps(
+            {"b": 2, "a": 1}, sort_keys=True
+        )
+
+    def test_format_line_roundtrips_through_loader(self, tmp_path):
+        line = _format_line("a" * 16, "b" * 16, None, "x.y", 1.5, 2.5, None)
+        path = tmp_path / "one.jsonl"
+        path.write_text(line + "\n", encoding="utf-8")
+        (span,) = load_trace_file(path)
+        assert span["name"] == "x.y" and span["parent"] is None
+
+
+# ---------------------------------------------------------------------------
+# Analysis: summarize_spans and load_trace_file
+# ---------------------------------------------------------------------------
+
+
+def _span(name, ms, trace="t1", span="s?", parent=None):
+    return {
+        "schema": TRACE_SCHEMA, "trace": trace, "span": span,
+        "parent": parent, "name": name, "ts": 0.0, "ms": ms,
+    }
+
+
+class TestAnalysis:
+    def test_summary_stages_and_critical_path(self):
+        spans = [
+            _span("serve.request", 10.0, span="root1"),
+            _span("serve.batch.flush", 7.0, span="flush1", parent="root1"),
+            _span("serve.serialize", 1.0, span="ser1", parent="root1"),
+            _span("serve.request", 2.0, trace="t2", span="root2"),
+        ]
+        summary = summarize_spans(spans)
+        assert summary["schema"] == "repro-trace-summary/1"
+        assert summary["spans"] == 4
+        assert summary["traces"] == {"count": 2, "roots": 2}
+        assert list(summary["stages"]) == [
+            "serve.request", "serve.batch.flush", "serve.serialize",
+        ]  # sorted by total time descending
+        assert summary["stages"]["serve.request"]["count"] == 2
+        # Critical path: slowest root, then most expensive child chain.
+        path = [node["name"] for node in summary["critical_path"]]
+        assert path == ["serve.request", "serve.batch.flush"]
+        assert summary["critical_path"][0]["self_ms"] == pytest.approx(2.0)
+
+    def test_outliers_are_slowest_roots_at_or_above_p95(self):
+        spans = [
+            _span("r", float(ms), trace=f"t{ms}", span=f"s{ms}")
+            for ms in range(1, 21)
+        ]
+        summary = summarize_spans(spans, outliers=3)
+        assert [row["ms"] for row in summary["outliers"]] == [20.0, 19.0]
+
+    def test_empty_span_list(self):
+        summary = summarize_spans([])
+        assert summary["spans"] == 0
+        assert summary["critical_path"] == []
+        assert summary["outliers"] == []
+
+    def test_load_trace_file_rejects_garbage(self, tmp_path):
+        bad_json = tmp_path / "bad.jsonl"
+        bad_json.write_text("not json\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_trace_file(bad_json)
+        wrong_schema = tmp_path / "schema.jsonl"
+        wrong_schema.write_text('{"schema": "other/9"}\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="expected schema"):
+            load_trace_file(wrong_schema)
+
+    def test_load_trace_file_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        record = SpanRecord(
+            trace="a" * 16, span="b" * 16, parent=None, name="n", ts=0.0, ms=1.0
+        )
+        path.write_text("\n" + record.to_line() + "\n\n", encoding="utf-8")
+        assert len(load_trace_file(path)) == 1

@@ -1,0 +1,329 @@
+"""End-to-end trace propagation: one id from the HTTP request to the swap.
+
+The observability claim worth a test: a single trace id minted for a
+``POST /ingest`` request shows up at *every* hop of the streaming loop —
+
+- the ``X-Trace-Id`` response header (and the response body),
+- the WAL record journaled for the event,
+- the ``foldin.cycle`` span of the fold that applies the event,
+- the published artifact's fold-in metadata,
+
+with the request's own spans (``serve.request``, ``serve.batch.queue``,
+``serve.batch.flush``, ``serve.serialize``) all carrying the same id.
+Head sampling must not break the id chain: at ``sample=0.0`` every hop
+still sees the trace id — only the span *detail* disappears.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import http.client
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.serialize import artifact_metadata, save_model
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.trace import Tracer, load_trace_file, use_tracer
+from repro.serve import ModelState, ServeConfig, ServerThread, SkillServer
+from repro.serve.foldin import FoldinConfig, FoldinWorker
+from repro.serve.ingest import WriteAheadLog
+
+_CHECKER_PATH = Path(__file__).resolve().parents[1] / "tools" / "check_obs_output.py"
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location("check_obs_output", _CHECKER_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _request(host, port, method, path, body=None):
+    """Like the other serve tests' helper, but also returns the headers."""
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn.request(method, path, payload, headers)
+        response = conn.getresponse()
+        return response.status, response.read(), dict(response.getheaders())
+    finally:
+        conn.close()
+
+
+@pytest.fixture
+def traced_stack(fitted_tiny_model, tiny_log, tmp_path, request):
+    """A server + WAL + fold-in worker under a fully-sampling traced tracer.
+
+    Parametrize indirectly with a sample rate to get the same stack at a
+    different head-sampling setting.
+    """
+    sample = getattr(request, "param", 1.0)
+    prefix = tmp_path / "model"
+    save_model(fitted_tiny_model, prefix)
+    trace_path = tmp_path / "spans.jsonl"
+    tracer = Tracer(enabled=True, sample=sample, out=trace_path)
+    wal = WriteAheadLog(tmp_path / "wal")
+    worker = FoldinWorker(
+        wal, prefix, tiny_log, config=FoldinConfig(interval_seconds=60.0)
+    )
+    worker.bootstrap()
+    with use_registry(MetricsRegistry()) as registry, use_tracer(tracer):
+        server = SkillServer(
+            ModelState(prefix, poll_seconds=0.02),
+            ServeConfig(port=0, max_batch=8, max_wait_ms=2.0),
+            wal=wal,
+            foldin=worker,
+        )
+        thread = ServerThread(server)
+        host, port = thread.start()
+        try:
+            yield {
+                "host": host, "port": port, "prefix": prefix,
+                "wal": wal, "worker": worker, "tracer": tracer,
+                "trace_path": trace_path, "registry": registry,
+            }
+        finally:
+            thread.stop()
+            worker.stop()
+            wal.close()
+            tracer.close()
+
+
+class TestTraceEveryHop:
+    def test_one_id_from_ingest_to_swap(self, traced_stack, checker):
+        stack = traced_stack
+        host, port = stack["host"], stack["port"]
+        events = [
+            {"user": "u0", "item": f"i{index}", "time": 100.0 + index}
+            for index in range(3)
+        ]
+        status, raw, headers = _request(
+            host, port, "POST", "/ingest", {"events": events}
+        )
+        assert status == 200
+        body = json.loads(raw)
+        trace_id = headers.get("X-Trace-Id")
+
+        # Hop 1 — the response: header and body agree on the id.
+        assert isinstance(trace_id, str) and len(trace_id) == 16
+        assert body["trace"] == trace_id
+
+        # Hop 2 — the WAL: every journaled event carries the id.
+        journaled = list(stack["wal"].read())
+        assert len(journaled) == 3
+        assert all(record.event["_trace"] == trace_id for record in journaled)
+
+        # Hop 3 — the fold-in cycle span links back to the request.
+        assert stack["worker"].run_once() == 3
+        tracer = stack["tracer"]
+        tracer.flush()
+        spans = tracer.export()
+        cycle = next(span for span in spans if span["name"] == "foldin.cycle")
+        assert trace_id in cycle["attrs"]["traces"]
+
+        # Hop 4 — the published artifact remembers which requests it folded.
+        folded = artifact_metadata(stack["prefix"])["extra"]["foldin"]
+        assert trace_id in folded["traces"]
+
+        # The request's own spans all share the id, across the batcher
+        # hand-off (serve.batch.* run on the flusher task, not the
+        # request's context).
+        in_trace = {
+            span["name"] for span in spans if span["trace"] == trace_id
+        }
+        assert {
+            "serve.request", "serve.batch.queue",
+            "serve.batch.flush", "serve.serialize",
+        } <= in_trace
+        root = next(
+            span for span in spans
+            if span["trace"] == trace_id and span["name"] == "serve.request"
+        )
+        assert root["parent"] is None
+        assert root["attrs"]["path"] == "/ingest"
+        assert root["attrs"]["status"] == 200
+
+        # The sink file passes the CI checker, spans required.
+        with stack["trace_path"].open(encoding="utf-8") as handle:
+            problems, names = checker.check_trace_lines(handle)
+        assert problems == []
+        assert {"serve.request", "foldin.cycle", "foldin.extend",
+                "foldin.publish"} <= names
+
+    def test_predict_roundtrip_is_traced(self, traced_stack):
+        stack = traced_stack
+        status, _raw, headers = _request(
+            stack["host"], stack["port"], "POST", "/predict",
+            {"user": "u0", "time": 3.0, "k": 2},
+        )
+        assert status == 200
+        trace_id = headers["X-Trace-Id"]
+        tracer = stack["tracer"]
+        tracer.flush()
+        names = {
+            span["name"] for span in tracer.export()
+            if span["trace"] == trace_id
+        }
+        assert {"serve.request", "serve.batch.queue", "serve.batch.flush",
+                "serve.serialize"} <= names
+
+    def test_request_exemplars_point_at_traces(self, traced_stack, checker):
+        stack = traced_stack
+        host, port = stack["host"], stack["port"]
+        _request(host, port, "POST", "/predict", {"user": "u0", "time": 3.0})
+        status, raw, _headers = _request(host, port, "GET", "/metrics")
+        assert status == 200
+        payload = json.loads(raw)
+        assert checker.check_metrics(payload) == []
+        rows = payload["histograms"]["serve.request_seconds"]["exemplars"]
+        assert rows and all(len(row["trace"]) == 16 for row in rows)
+        # The resource gauges ride along in the same snapshot.
+        assert payload["gauges"]["proc.peak_rss_bytes"] > 0
+        assert payload["counters"]["proc.gc_collections"] >= 0
+
+
+class TestUnsampledRequests:
+    @pytest.mark.parametrize("traced_stack", [0.0], indirect=True)
+    def test_id_chain_survives_without_span_detail(self, traced_stack):
+        """sample=0.0: every hop still sees the trace id; no spans exist."""
+        stack = traced_stack
+        host, port = stack["host"], stack["port"]
+        events = [{"user": "u1", "item": "i4", "time": 200.0}]
+        status, raw, headers = _request(
+            host, port, "POST", "/ingest", {"events": events}
+        )
+        assert status == 200
+        trace_id = headers.get("X-Trace-Id")
+        assert isinstance(trace_id, str) and len(trace_id) == 16
+        assert json.loads(raw)["trace"] == trace_id
+
+        # Journaled with the id despite zero sampling...
+        (record,) = list(stack["wal"].read())
+        assert record.event["_trace"] == trace_id
+
+        # ...and the fold still links back to it: cycle spans are driven
+        # by tracer.enabled (rare, worth their cost), not by sampling.
+        assert stack["worker"].run_once() == 1
+        folded = artifact_metadata(stack["prefix"])["extra"]["foldin"]
+        assert trace_id in folded["traces"]
+
+        tracer = stack["tracer"]
+        tracer.flush()
+        request_spans = [
+            span for span in tracer.export()
+            if span["name"].startswith("serve.")
+        ]
+        assert request_spans == []  # no per-request detail at sample=0.0
+
+    @pytest.mark.parametrize("traced_stack", [0.0], indirect=True)
+    def test_unsampled_responses_stay_byte_identical(self, traced_stack):
+        # Sampling decides observability detail, never response content.
+        stack = traced_stack
+        body = {"user": "u0", "time": 3.0, "k": 2}
+        _status, first, _ = _request(
+            stack["host"], stack["port"], "POST", "/predict", body
+        )
+        _status, second, _ = _request(
+            stack["host"], stack["port"], "POST", "/predict", body
+        )
+        assert first == second
+
+
+class TestGracefulSigterm:
+    @pytest.mark.skipif(
+        not hasattr(signal, "SIGTERM") or sys.platform == "win32",
+        reason="POSIX signal delivery",
+    )
+    def test_sigterm_flushes_the_span_sink(self, fitted_tiny_model, tmp_path):
+        """`kill $PID` on the serve CLI must exit 0 with spans on disk.
+
+        Supervisors and CI scripts stop the server with SIGTERM, and a
+        `&`-backgrounded process starts with SIGINT ignored — so SIGTERM
+        is the *only* clean-stop path scripts actually have.  The CLI
+        must treat it like Ctrl-C: drain, flush the sink, exit 0.
+        """
+        prefix = tmp_path / "model"
+        save_model(fitted_tiny_model, prefix)
+        trace_path = tmp_path / "spans.jsonl"
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        repo_root = Path(__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(repo_root / "src")]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", str(prefix),
+                "--port", str(port),
+                "--trace-out", str(trace_path), "--trace-sample", "1.0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                try:
+                    status, _body, _headers = _request(
+                        "127.0.0.1", port, "GET", "/healthz"
+                    )
+                    if status == 200:
+                        break
+                except OSError:
+                    time.sleep(0.1)
+            else:
+                pytest.fail("server never came up")
+            status, _body, headers = _request(
+                "127.0.0.1", port, "POST", "/predict",
+                {"user": "u0", "time": 3.0, "k": 2},
+            )
+            assert status == 200
+            trace_id = headers["X-Trace-Id"]
+
+            proc.send_signal(signal.SIGTERM)
+            output, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, output
+        assert "shutting down (SIGTERM)" in output
+        assert f"wrote trace spans to {trace_path}" in output
+        spans = load_trace_file(trace_path)
+        assert trace_id in {
+            span["trace"] for span in spans if span["name"] == "serve.request"
+        }
+
+
+class TestTraceVerb:
+    def test_cli_summarizes_the_sink_file(self, traced_stack, capsys):
+        stack = traced_stack
+        _request(
+            stack["host"], stack["port"], "POST", "/predict",
+            {"user": "u0", "time": 3.0, "k": 2},
+        )
+        stack["tracer"].flush()
+        assert len(load_trace_file(stack["trace_path"])) > 0
+        from repro.cli import main as cli_main
+
+        assert cli_main(["trace", str(stack["trace_path"]), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["schema"] == "repro-trace-summary/1"
+        assert "serve.request" in summary["stages"]
+        assert summary["traces"]["roots"] >= 1
+        assert summary["critical_path"]

@@ -18,6 +18,20 @@ response body is **byte-identical** across modes before reporting numbers
 (batching is a throughput/latency lever, never a semantic one — JSON float
 repr is shortest-round-trip, so byte equality means bit equality).
 
+A third section measures tracing overhead: three warm ``repro serve``
+server *subprocesses* — untraced, traced at the default head-sampling
+rate, and traced at full detail (JSONL sink included in both) — answer
+the same batched workload in ~1s slices whose order rotates every
+round, and each arm's reported overhead is the median of its per-round
+throughput ratios against the untraced slice.  Out-of-process, so the
+load generator's GIL does not tax the serving loop and the delta is
+the server-side tracing cost as deployed; time-adjacent rotated
+rounds, so shared-runner throughput drift cancels out of each ratio
+instead of masquerading as overhead.  The full bench asserts the
+default configuration's overhead < 5% throughput, so the
+``--trace-out`` lever stays safe to reach for in production; the
+full-detail (``--trace-sample 1.0``) cost is reported unasserted.
+
 Run from the repo root::
 
     PYTHONPATH=src python tools/bench_serve.py
@@ -32,8 +46,13 @@ from __future__ import annotations
 import argparse
 import http.client
 import json
+import os
 import platform
+import re
+import signal
 import statistics
+import subprocess
+import sys
 import tempfile
 import threading
 import time
@@ -44,6 +63,7 @@ import numpy as np
 from repro.core.serialize import save_model
 from repro.core.training import fit_skill_model
 from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.obs.trace import Tracer, set_tracer
 from repro.serve import (
     FoldinConfig,
     FoldinWorker,
@@ -134,26 +154,13 @@ def _workload(info: dict, num_requests: int) -> list[tuple[str, bytes]]:
     return requests
 
 
-def _run_mode(
-    prefix: Path,
-    workload: list[tuple[str, bytes]],
-    *,
-    max_batch: int,
-    concurrency: int,
-) -> dict:
-    """Serve the whole workload once; returns stats + response bodies."""
-    registry = MetricsRegistry()
-    set_registry(registry)
-    state = ModelState(prefix)
-    server = SkillServer(
-        state,
-        ServeConfig(port=0, max_batch=max_batch, max_wait_ms=2.0, max_queue=4096,
-                    timeout_seconds=60.0),
-    )
-    thread = ServerThread(server)
-    host, port = thread.start()
-    _wait_for_healthz(host, port)
+def _drive_workload(
+    host: str, port: int, workload: list[tuple[str, bytes]], concurrency: int
+) -> tuple[list[bytes | None], list[float], int, float]:
+    """Fire the workload from ``concurrency`` client threads.
 
+    Returns (bodies, per-request latencies, error count, wall seconds).
+    """
     bodies: list[bytes | None] = [None] * len(workload)
     latencies: list[float] = [0.0] * len(workload)
     errors = [0]
@@ -187,22 +194,156 @@ def _run_mode(
     for t in threads:
         t.join()
     wall = time.perf_counter() - wall_start
-    thread.stop()
+    return bodies, latencies, errors[0], wall
 
-    batch_hist = registry.snapshot()["histograms"].get("serve.batch_size", {})
+
+def _count_spans(trace_out: Path | None) -> int:
+    # Count spans from the sink file, not Tracer.export(): the in-memory
+    # ring is bounded and undercounts runs larger than its capacity.
+    if trace_out is None:
+        return 0
+    with open(trace_out, encoding="utf-8") as fh:
+        return sum(1 for line in fh if line.strip())
+
+
+def _stats(
+    *,
+    max_batch: int,
+    spans: int,
+    wall: float,
+    workload_size: int,
+    latencies: list[float],
+    errors: int,
+    bodies: list[bytes | None],
+    mean_batch_size: float | None = None,
+    flushes: float | None = None,
+) -> dict:
     ordered = sorted(latencies)
     return {
         "max_batch": max_batch,
+        "spans": spans,
         "wall_seconds": wall,
-        "throughput_rps": len(workload) / wall,
+        "throughput_rps": workload_size / wall,
         "p50_ms": 1000.0 * statistics.median(ordered),
         "p95_ms": 1000.0 * ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))],
         "mean_ms": 1000.0 * statistics.fmean(ordered),
-        "mean_batch_size": batch_hist.get("mean"),
-        "flushes": batch_hist.get("count"),
-        "errors": errors[0],
+        "mean_batch_size": mean_batch_size,
+        "flushes": flushes,
+        "errors": errors,
         "bodies": bodies,
     }
+
+
+def _run_mode(
+    prefix: Path,
+    workload: list[tuple[str, bytes]],
+    *,
+    max_batch: int,
+    concurrency: int,
+    trace_out: Path | None = None,
+) -> dict:
+    """Serve the whole workload once in-process; returns stats + bodies.
+
+    ``trace_out`` turns span tracing on for the run; otherwise the run
+    uses the disabled default tracer, exactly like an untraced
+    production server.
+    """
+    registry = MetricsRegistry()
+    set_registry(registry)
+    tracer = Tracer(enabled=trace_out is not None, out=trace_out)
+    set_tracer(tracer)
+    state = ModelState(prefix)
+    server = SkillServer(
+        state,
+        ServeConfig(port=0, max_batch=max_batch, max_wait_ms=2.0, max_queue=4096,
+                    timeout_seconds=60.0),
+    )
+    thread = ServerThread(server)
+    host, port = thread.start()
+    _wait_for_healthz(host, port)
+    bodies, latencies, errors, wall = _drive_workload(
+        host, port, workload, concurrency
+    )
+    thread.stop()
+    tracer.close()
+    set_tracer(Tracer())  # back to the disabled default for later runs
+
+    batch_hist = registry.snapshot()["histograms"].get("serve.batch_size", {})
+    return _stats(
+        max_batch=max_batch,
+        spans=_count_spans(trace_out),
+        wall=wall,
+        workload_size=len(workload),
+        latencies=latencies,
+        errors=errors,
+        bodies=bodies,
+        mean_batch_size=batch_hist.get("mean"),
+        flushes=batch_hist.get("count"),
+    )
+
+
+class _ServeSubprocess:
+    """A ``repro serve`` server in its own process.
+
+    Used for the tracing-overhead measurement: with the server
+    out-of-process (as in any real deployment) the workload delta
+    reflects server-side tracing cost, not GIL contention between the
+    in-process load generator threads and the serving event loop — which
+    amplifies every microsecond of loop-thread work several-fold and
+    would gate the budget on an artifact of this harness.
+    """
+
+    def __init__(
+        self,
+        prefix: Path,
+        *,
+        max_batch: int,
+        trace_out: Path | None = None,
+        trace_sample: float | None = None,
+    ) -> None:
+        self.trace_out = trace_out
+        argv = [
+            sys.executable, "-u", "-m", "repro.cli", "serve", str(prefix),
+            "--host", "127.0.0.1", "--port", "0",
+            "--max-batch", str(max_batch), "--max-wait-ms", "2",
+            "--max-queue", "4096", "--timeout", "60",
+            "--log-level", "WARNING",
+        ]
+        if trace_out is not None:
+            argv += ["--trace-out", str(trace_out)]
+        if trace_sample is not None:
+            argv += ["--trace-sample", str(trace_sample)]
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+        self._proc = subprocess.Popen(
+            argv, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            text=True, env=env,
+        )
+        match = None
+        assert self._proc.stdout is not None
+        for line in self._proc.stdout:
+            match = re.search(r"on http://([\d.]+):(\d+)", line)
+            if match:
+                break
+        if match is None:
+            raise RuntimeError("serve subprocess exited before binding a port")
+        self.host, self.port = match.group(1), int(match.group(2))
+        _wait_for_healthz(self.host, self.port)
+
+    def drive(self, workload: list[tuple[str, bytes]], concurrency: int):
+        return _drive_workload(self.host, self.port, workload, concurrency)
+
+    def stop(self) -> None:
+        # SIGINT, not SIGTERM: the CLI's KeyboardInterrupt path flushes
+        # and closes the span sink before exiting.
+        self._proc.send_signal(signal.SIGINT)
+        try:
+            self._proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:  # pragma: no cover - hung server
+            self._proc.kill()
+            self._proc.wait()
 
 
 def _bench_ingest(
@@ -370,6 +511,116 @@ def main() -> int:
                 f"mean_batch={best['mean_batch_size'] or 1:.1f}"
             )
 
+        # Tracing overhead: the same batched workload with span tracing on
+        # (JSONL sink included — the production cost, not just the ring).
+        # Tracing must be a diagnosis lever, never a throughput one.
+        #
+        # Methodology: three long-lived server subprocesses — untraced,
+        # traced at the default head-sampling rate, and traced at full
+        # detail (out-of-process so the load generator's GIL does not tax
+        # the serving loop, see _ServeSubprocess) — answer the same
+        # workload in ~1s slices.  Machine throughput on shared runners
+        # drifts by double-digit percent over tens of seconds, so
+        # back-to-back whole-run comparisons cannot resolve a few-percent
+        # effect.  Slices are grouped into rounds whose server order
+        # rotates every round, so monotonic drift cannot systematically
+        # tax one arm, and each arm's overhead is the median of its
+        # per-round throughput ratios against the untraced slice of the
+        # same round — comparisons between slices adjacent in time, where
+        # drift is smallest.
+        #
+        # The <5% budget is asserted for the *default* configuration
+        # (--trace-out with the default --trace-sample): that is what
+        # production reaches for.  Full-detail tracing (--trace-sample
+        # 1.0) is measured and reported alongside, unasserted — on a
+        # single-core host its per-request span work is expected to cost
+        # more than the budget allows.
+        round_count = max(args.repeats, 1 if args.quick else 12)
+        trace_path = Path(tmp) / "bench_spans.jsonl"
+        full_trace_path = Path(tmp) / "bench_spans_full.jsonl"
+        plain_server = _ServeSubprocess(prefix, max_batch=64)
+        traced_server = _ServeSubprocess(prefix, max_batch=64, trace_out=trace_path)
+        full_server = _ServeSubprocess(
+            prefix, max_batch=64, trace_out=full_trace_path, trace_sample=1.0
+        )
+        servers = [plain_server, traced_server, full_server]
+        runs: dict[int, list[dict]] = {id(server): [] for server in servers}
+        try:
+            for server in servers:  # warm every arm
+                server.drive(workload[: max(64, len(workload) // 8)],
+                             args.concurrency)
+            for round_index in range(round_count):
+                order = servers[round_index % 3:] + servers[:round_index % 3]
+                for server in order:
+                    bodies, latencies, errors, wall = server.drive(
+                        workload, args.concurrency
+                    )
+                    runs[id(server)].append(
+                        _stats(
+                            max_batch=64, spans=0, wall=wall,
+                            workload_size=len(workload), latencies=latencies,
+                            errors=errors, bodies=bodies,
+                        )
+                    )
+        finally:
+            for server in servers:
+                server.stop()
+        plain_runs = runs[id(plain_server)]
+        traced_runs = runs[id(traced_server)]
+        full_runs = runs[id(full_server)]
+        traced_best = min(traced_runs, key=lambda run: run["wall_seconds"])
+        traced_best["spans"] = _count_spans(trace_path)
+        full_spans = _count_spans(full_trace_path)
+        assert all(
+            r["errors"] == 0 for arm in runs.values() for r in arm
+        ), "tracing A/B runs had HTTP errors"
+        assert traced_best["spans"] > 0, "tracing was on but produced no spans"
+        # Full detail records ~3 spans/request; the sampled default must
+        # journal strictly fewer while still seeing every request.
+        assert full_spans > traced_best["spans"], (
+            f"full-detail tracing wrote {full_spans} spans, sampled wrote "
+            f"{traced_best['spans']} — sampling is not thinning span detail"
+        )
+        for label, arm_runs in (("sampled", traced_runs), ("full", full_runs)):
+            mismatches = sum(
+                1 for a, b in zip(
+                    results["batched"]["bodies"],
+                    min(arm_runs, key=lambda run: run["wall_seconds"])["bodies"],
+                )
+                if a != b
+            )
+            assert mismatches == 0, (
+                f"{mismatches} responses differ with {label} tracing enabled"
+            )
+        plain_median = statistics.median(r["throughput_rps"] for r in plain_runs)
+        traced_median = statistics.median(r["throughput_rps"] for r in traced_runs)
+
+        def _overhead(arm_runs: list[dict]) -> float:
+            return 100.0 * (
+                1.0
+                - statistics.median(
+                    arm["throughput_rps"] / plain["throughput_rps"]
+                    for arm, plain in zip(arm_runs, plain_runs)
+                )
+            )
+
+        overhead_pct = _overhead(traced_runs)
+        full_overhead_pct = _overhead(full_runs)
+        print(
+            f"traced     p50={traced_best['p50_ms']:7.2f}ms "
+            f"p95={traced_best['p95_ms']:7.2f}ms "
+            f"throughput={traced_median:7.1f} req/s "
+            f"(untraced {plain_median:7.1f} req/s, {traced_best['spans']} spans, "
+            f"overhead {overhead_pct:+.1f}% over {round_count} rotated rounds; "
+            f"full detail {full_overhead_pct:+.1f}%, {full_spans} spans)"
+        )
+        if not args.quick:
+            # Quick CI runs are too small/noisy for a tight bound; the full
+            # bench enforces the documented <5% tracing-overhead budget.
+            assert overhead_pct < 5.0, (
+                f"tracing overhead {overhead_pct:.1f}% exceeds the 5% budget"
+            )
+
         # Streaming loop: durable journaling rate, then fold-in latency.
         # Runs after the parity modes — fold-in republishes the artifact.
         ingest_events = 512 if args.quick else 4096
@@ -400,6 +651,7 @@ def main() -> int:
 
     for mode in results.values():
         mode.pop("bodies")
+    traced_best.pop("bodies")
     payload = {
         "machine": {
             "platform": platform.platform(),
@@ -426,6 +678,27 @@ def main() -> int:
             ),
         },
         "parity": {"responses_compared": len(workload), "mismatches": 0},
+        "tracing": {
+            "sample": 0.1,
+            "throughput_rps": traced_median,
+            "p50_ms": traced_best["p50_ms"],
+            "p95_ms": traced_best["p95_ms"],
+            "spans": traced_best["spans"],
+            "overhead_pct": overhead_pct,
+            "untraced_throughput_rps": plain_median,
+            "slice_throughputs_rps": {
+                "untraced": [round(r["throughput_rps"], 1) for r in plain_runs],
+                "traced": [round(r["throughput_rps"], 1) for r in traced_runs],
+                "full_detail": [round(r["throughput_rps"], 1) for r in full_runs],
+            },
+            "budget_pct": 5.0,
+            # --trace-sample 1.0: unasserted, for reference only.
+            "full_detail": {
+                "sample": 1.0,
+                "overhead_pct": full_overhead_pct,
+                "spans": full_spans,
+            },
+        },
         "ingest": ingest,
     }
     Path(args.out).write_text(

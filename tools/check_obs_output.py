@@ -9,19 +9,29 @@ standard library so CI can run it without installing the package:
   ``repro/obs/logging.py`` (ts, level, run, component, event, elapsed_ms);
 - a metrics file produced with ``--metrics-out`` — must declare schema
   ``repro-metrics/1`` and carry numeric counters/gauges, histogram digests
-  with count/total/mean/p50/p95/max, a telemetry object (or null), and —
-  when present — an ``info`` section of string-or-null values.
+  with count/total/mean/p50/p95/max (plus, when present, well-formed
+  ``exemplars`` rows pairing a numeric value with a trace id), a telemetry
+  object (or null), and — when present — an ``info`` section of
+  string-or-null values;
+- a span file produced with ``--trace-out`` — every line must be a
+  ``repro-trace/1`` JSON object with trace/span ids, a parent id or null,
+  a name, numeric ts/ms, and (when present) an ``attrs`` object.
 
 ``--require-metric NAME`` (repeatable) additionally asserts that a named
 instrument exists somewhere in the snapshot, so CI can prove a subsystem
 (e.g. the streaming ingest loop's ``ingest.*``/``foldin.*`` instruments)
-actually ran, not just that the file parses.
+actually ran, not just that the file parses.  ``--require-span NAME``
+(repeatable) does the same for span names in the trace file — e.g. that a
+serve round-trip really produced ``serve.request`` and ``foldin.cycle``
+spans.
 
 Usage::
 
     python tools/check_obs_output.py --log fit.log.jsonl --metrics metrics.json
     python tools/check_obs_output.py --metrics m.json \
         --require-metric ingest.events --require-metric foldin.folds
+    python tools/check_obs_output.py --trace spans.jsonl \
+        --require-span serve.request --require-span foldin.cycle
 
 Exit status 0 when every given artifact validates, 1 otherwise; problems
 are printed one per line.
@@ -42,6 +52,12 @@ LOG_RECORD_KEYS = ("ts", "level", "run", "component", "event", "elapsed_ms")
 HISTOGRAM_KEYS = ("count", "total", "mean", "p50", "p95", "max")
 
 METRICS_SCHEMA = "repro-metrics/1"
+
+TRACE_SCHEMA = "repro-trace/1"
+
+#: Keys every span record must carry (mirrors SpanRecord.to_json in
+#: repro.obs.trace — duplicated here so this tool stays stdlib-only).
+SPAN_KEYS = ("schema", "trace", "span", "parent", "name", "ts", "ms")
 
 
 def _is_number(value) -> bool:
@@ -116,6 +132,23 @@ def check_metrics(payload) -> list[str]:
                     problems.append(f"histograms[{name!r}] missing {key!r}")
                 elif not _is_number(digest[key]):
                     problems.append(f"histograms[{name!r}][{key!r}] is not a number")
+            exemplars = digest.get("exemplars")
+            if exemplars is not None:  # optional: only with tracing enabled
+                if not isinstance(exemplars, list) or not exemplars:
+                    problems.append(
+                        f"histograms[{name!r}].exemplars is not a non-empty list"
+                    )
+                    continue
+                for position, row in enumerate(exemplars):
+                    where = f"histograms[{name!r}].exemplars[{position}]"
+                    if not isinstance(row, dict):
+                        problems.append(f"{where} is not an object")
+                        continue
+                    if not _is_number(row.get("value")):
+                        problems.append(f"{where}.value is not a number")
+                    trace = row.get("trace")
+                    if not isinstance(trace, str) or not trace:
+                        problems.append(f"{where}.trace is not a non-empty string")
 
     info = payload.get("info")
     if info is not None:  # optional: only emitted once an Info instrument is set
@@ -144,6 +177,60 @@ def check_metrics(payload) -> list[str]:
     return problems
 
 
+def check_trace_lines(lines: Iterable[str]) -> tuple[list[str], set[str]]:
+    """Problems found in a ``repro-trace/1`` span stream, plus the span
+    names seen (for ``--require-span``).
+
+    Blank lines are permitted; anything else must be one JSON span object.
+    """
+    problems: list[str] = []
+    names: set[str] = set()
+    count = 0
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        count += 1
+        try:
+            span = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {lineno}: not valid JSON ({exc})")
+            continue
+        if not isinstance(span, dict):
+            problems.append(f"line {lineno}: span is not a JSON object")
+            continue
+        for key in SPAN_KEYS:
+            if key not in span:
+                problems.append(f"line {lineno}: missing key {key!r}")
+        if "schema" in span and span["schema"] != TRACE_SCHEMA:
+            problems.append(
+                f"line {lineno}: schema is {span['schema']!r}, "
+                f"expected {TRACE_SCHEMA!r}"
+            )
+        for key in ("trace", "span"):
+            value = span.get(key)
+            if key in span and (not isinstance(value, str) or not value):
+                problems.append(f"line {lineno}: {key} is not a non-empty string")
+        parent = span.get("parent")
+        if "parent" in span and parent is not None and not isinstance(parent, str):
+            problems.append(f"line {lineno}: parent is neither a string nor null")
+        name = span.get("name")
+        if "name" in span:
+            if not isinstance(name, str) or not name:
+                problems.append(f"line {lineno}: name is not a non-empty string")
+            else:
+                names.add(name)
+        for key in ("ts", "ms"):
+            if key in span and not _is_number(span[key]):
+                problems.append(f"line {lineno}: {key} is not a number")
+        attrs = span.get("attrs")
+        if attrs is not None and not isinstance(attrs, dict):
+            problems.append(f"line {lineno}: attrs is not an object")
+    if count == 0:
+        problems.append("trace stream contains no spans")
+    return problems, names
+
+
 def check_required_metrics(payload, required: Iterable[str]) -> list[str]:
     """Names in ``required`` that appear in no instrument section."""
     sections = ("counters", "gauges", "histograms", "info")
@@ -164,6 +251,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--log", help="JSONL log file to validate")
     parser.add_argument("--metrics", help="metrics JSON file to validate")
+    parser.add_argument("--trace", help="repro-trace/1 JSONL span file to validate")
     parser.add_argument(
         "--require-metric",
         action="append",
@@ -172,11 +260,21 @@ def main(argv: list[str] | None = None) -> int:
         help="fail unless this instrument exists in the metrics snapshot "
         "(repeatable; implies --metrics)",
     )
+    parser.add_argument(
+        "--require-span",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless a span with this name exists in the trace file "
+        "(repeatable; implies --trace)",
+    )
     args = parser.parse_args(argv)
-    if not args.log and not args.metrics:
-        parser.error("nothing to check: pass --log and/or --metrics")
+    if not args.log and not args.metrics and not args.trace:
+        parser.error("nothing to check: pass --log, --metrics, and/or --trace")
     if args.require_metric and not args.metrics:
         parser.error("--require-metric needs --metrics")
+    if args.require_span and not args.trace:
+        parser.error("--require-span needs --trace")
 
     problems: list[str] = []
     if args.log:
@@ -197,11 +295,24 @@ def main(argv: list[str] | None = None) -> int:
                 f"{args.metrics}: {p}"
                 for p in check_required_metrics(payload, args.require_metric)
             ]
+    if args.trace:
+        try:
+            with open(args.trace, encoding="utf-8") as handle:
+                trace_problems, span_names = check_trace_lines(handle)
+        except OSError as exc:
+            problems.append(f"{args.trace}: cannot read ({exc})")
+        else:
+            problems += [f"{args.trace}: {p}" for p in trace_problems]
+            problems += [
+                f"{args.trace}: required span {name!r} not found"
+                for name in args.require_span
+                if name not in span_names
+            ]
 
     for problem in problems:
         print(problem)
     if not problems:
-        checked = ", ".join(p for p in (args.log, args.metrics) if p)
+        checked = ", ".join(p for p in (args.log, args.metrics, args.trace) if p)
         print(f"ok: {checked}")
     return 1 if problems else 0
 
