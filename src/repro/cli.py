@@ -13,6 +13,18 @@ End-to-end tool usage on files (JSONL logs/catalogs, JSON+NPZ models)::
     python -m repro simulate cooking --out data/cooking --users 500
     python -m repro fit data/cooking --levels 5 --model models/cooking
     python -m repro score models/cooking --top 10
+
+Out-of-core training on corpora that don't fit in RAM (columnar store
+directories; see docs/architecture.md)::
+
+    python -m repro simulate synthetic --out data/big --users 100000 --store
+    python -m repro convert data/cooking.log.jsonl data/cooking.store
+    python -m repro fit data/big --levels 5 --model models/big --workers 4
+    python -m repro inspect data/big.store
+
+Serving::
+
+
     python -m repro serve models/cooking --port 8080
     python -m repro serve models/cooking --ingest-wal wal/ --data data/cooking
     python -m repro wal inspect wal/
@@ -112,11 +124,47 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--users", type=int, default=None)
     simulate_parser.add_argument("--items", type=int, default=None)
     simulate_parser.add_argument("--seed", type=int, default=0)
+    simulate_parser.add_argument(
+        "--store",
+        action="store_true",
+        help="write the actions as an out-of-core columnar store "
+        "(<out>.store/) instead of a JSONL log; synthetic domain only — "
+        "generation then streams and never holds the corpus in RAM",
+    )
+    simulate_parser.add_argument(
+        "--users-per-shard",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="with --store: how many users each shard buckets (default: 4096)",
+    )
+
+    convert_parser = sub.add_parser(
+        "convert",
+        help="convert a JSONL action log into an out-of-core columnar store",
+    )
+    convert_parser.add_argument(
+        "data", help="JSONL log file, or a path prefix written by `simulate`"
+    )
+    convert_parser.add_argument("store", help="store directory to create")
+    convert_parser.add_argument(
+        "--users-per-shard",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="how many users each shard buckets (default: 4096)",
+    )
 
     fit_parser = sub.add_parser(
-        "fit", help="train a skill model from JSONL data and save it"
+        "fit", help="train a skill model from JSONL data (or a columnar "
+        "store) and save it"
     )
-    fit_parser.add_argument("data", help="path prefix written by `simulate`")
+    fit_parser.add_argument(
+        "data",
+        help="path prefix written by `simulate`, or a columnar store "
+        "directory written by `convert`/`simulate --store` (a prefix with "
+        "a sibling <data>.store also selects the store)",
+    )
     fit_parser.add_argument("--levels", type=int, required=True)
     fit_parser.add_argument("--model", required=True, help="model output path prefix")
     fit_parser.add_argument("--max-iterations", type=int, default=50)
@@ -136,6 +184,15 @@ def build_parser() -> argparse.ArgumentParser:
         "configuration is taken from the checkpoint, so --levels and "
         "--max-iterations are ignored",
     )
+    fit_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the E-step (N > 1 enables the "
+        "user-parallel pool; parallelism changes wall-clock, never "
+        "results)",
+    )
     add_obs_flags(fit_parser)
 
     score_parser = sub.add_parser(
@@ -149,9 +206,15 @@ def build_parser() -> argparse.ArgumentParser:
     score_parser.add_argument("--output", default=None, help="optional JSONL output")
 
     inspect_parser = sub.add_parser(
-        "inspect", help="print a model card for a saved model"
+        "inspect",
+        help="print a model card for a saved model, or a shard/checksum "
+        "report for a columnar action store",
     )
-    inspect_parser.add_argument("model", help="model path prefix written by `fit`")
+    inspect_parser.add_argument(
+        "model",
+        help="model path prefix written by `fit`, or a store directory "
+        "written by `convert`/`simulate --store`",
+    )
     inspect_parser.add_argument(
         "--data",
         default=None,
@@ -421,7 +484,15 @@ def _cmd_report(scale: str, output: str) -> int:
     return 1 if any_failed else 0
 
 
-def _cmd_simulate(domain: str, out: str, users: int | None, items: int | None, seed: int) -> int:
+def _cmd_simulate(
+    domain: str,
+    out: str,
+    users: int | None,
+    items: int | None,
+    seed: int,
+    store: bool = False,
+    users_per_shard: int = 4096,
+) -> int:
     import dataclasses
     import json
     from pathlib import Path
@@ -445,6 +516,34 @@ def _cmd_simulate(domain: str, out: str, users: int | None, items: int | None, s
             print("error: this domain has no --items knob", file=sys.stderr)
             return 2
         overrides["num_items"] = items
+
+    if store:
+        if domain != "synthetic":
+            print(
+                "error: --store is only supported for the synthetic domain "
+                "(the sized-down real domains fit in RAM as JSONL)",
+                file=sys.stderr,
+            )
+            return 2
+        prefix = Path(out)
+        prefix.parent.mkdir(parents=True, exist_ok=True)
+        store_path = Path(str(prefix) + ".store")
+        result = synth.generate_synthetic_store(
+            config_cls(**overrides), store_path, users_per_shard=users_per_shard
+        )
+        save_catalog(result.catalog, Path(str(prefix) + ".catalog.jsonl"))
+        Path(str(prefix) + ".schema.json").write_text(
+            json.dumps(result.feature_set.to_json()), encoding="utf-8"
+        )
+        written = result.store
+        print(
+            f"wrote {written.num_users} users / {written.num_items} items / "
+            f"{written.num_actions} actions to {store_path} "
+            f"({written.num_shards} shards, {written.total_bytes} bytes) "
+            "+ catalog/schema"
+        )
+        return 0
+
     dataset = generate(config_cls(**overrides))
 
     prefix = Path(out)
@@ -461,6 +560,32 @@ def _cmd_simulate(domain: str, out: str, users: int | None, items: int | None, s
     return 0
 
 
+def _cmd_convert(data: str, store: str, users_per_shard: int) -> int:
+    from pathlib import Path
+
+    from repro.data.store import convert_log_file
+
+    log_path = Path(data)
+    if not log_path.is_file():
+        candidate = Path(str(log_path) + ".log.jsonl")
+        if not candidate.is_file():
+            print(
+                f"error: no action log at {log_path} (also tried {candidate})",
+                file=sys.stderr,
+            )
+            return 2
+        log_path = candidate
+    start = time.perf_counter()
+    written = convert_log_file(log_path, store, users_per_shard=users_per_shard)
+    elapsed = time.perf_counter() - start
+    print(
+        f"converted {written.num_users} users / {written.num_actions} actions "
+        f"({written.num_items} items) into {written.num_shards} shard(s) at "
+        f"{store} [{written.total_bytes} bytes, {elapsed:.1f}s]"
+    )
+    return 0
+
+
 def _cmd_fit(
     data: str,
     levels: int,
@@ -469,6 +594,7 @@ def _cmd_fit(
     init_min_actions: int,
     checkpoint_every: int = 0,
     resume: bool = False,
+    workers: int = 1,
     metrics_out: str | None = None,
 ) -> int:
     import json
@@ -476,16 +602,52 @@ def _cmd_fit(
 
     from repro.core.checkpoint import CheckpointConfig, read_checkpoint
     from repro.core.features import FeatureSet
+    from repro.core.parallel import ParallelConfig
     from repro.core.serialize import save_model
     from repro.core.training import fit_skill_model, resume_fit
     from repro.data.io import load_catalog, load_log
+    from repro.data.store import ActionStore, is_store
 
     prefix = Path(data)
-    log = load_log(Path(str(prefix) + ".log.jsonl"))
-    catalog = load_catalog(Path(str(prefix) + ".catalog.jsonl"))
+    # A store directory (passed directly, or sitting beside the prefix)
+    # selects the out-of-core sharded trainer; catalog and schema live
+    # under the prefix either way.
+    if is_store(prefix):
+        store_dir = prefix
+        base = (
+            Path(str(prefix)[: -len(".store")])
+            if str(prefix).endswith(".store")
+            else prefix
+        )
+    elif is_store(Path(str(prefix) + ".store")):
+        store_dir = Path(str(prefix) + ".store")
+        base = prefix
+    else:
+        store_dir = None
+        base = prefix
+    if store_dir is not None:
+        if resume or checkpoint_every:
+            print(
+                "error: --resume/--checkpoint-every are not supported for "
+                "store-backed fits (the sharded trainer keeps no mid-run "
+                "checkpoints); fit from the JSONL log to use them",
+                file=sys.stderr,
+            )
+            return 2
+        training_data = ActionStore(store_dir)
+        print(
+            f"training out-of-core from {store_dir} "
+            f"({training_data.num_users} users / "
+            f"{training_data.num_actions} actions in "
+            f"{training_data.num_shards} shards, workers={workers})"
+        )
+    else:
+        training_data = load_log(Path(str(base) + ".log.jsonl"))
+    catalog = load_catalog(Path(str(base) + ".catalog.jsonl"))
     feature_set = FeatureSet.from_json(
-        json.loads(Path(str(prefix) + ".schema.json").read_text(encoding="utf-8"))
+        json.loads(Path(str(base) + ".schema.json").read_text(encoding="utf-8"))
     )
+    parallel = ParallelConfig(users=True, workers=workers) if workers > 1 else None
     out = Path(model_out)
     # the directory must exist before training so checkpoints can land in it
     out.parent.mkdir(parents=True, exist_ok=True)
@@ -504,16 +666,25 @@ def _cmd_fit(
             return 2
         state = read_checkpoint(ckpt_path)
         print(f"resuming from {ckpt_path} (iteration {state.iteration})")
-        model = resume_fit(ckpt_path, log, catalog, feature_set, checkpoint=checkpoint)
+        model = resume_fit(
+            ckpt_path,
+            training_data,
+            catalog,
+            feature_set,
+            parallel=parallel,
+            checkpoint=checkpoint,
+        )
     else:
+        fit_kwargs = {"parallel": parallel} if parallel is not None else {}
         model = fit_skill_model(
-            log,
+            training_data,
             catalog,
             feature_set,
             levels,
             max_iterations=max_iterations,
             init_min_actions=init_min_actions,
             checkpoint=checkpoint,
+            **fit_kwargs,
         )
     json_path, npz_path = save_model(model, out)
     print(
@@ -549,13 +720,53 @@ def _cmd_score(model_path: str, prior: str, top: int, output: str | None) -> int
     return 0
 
 
+def _cmd_inspect_store(path: str) -> int:
+    from repro.data.store import ActionStore
+
+    store = ActionStore(path)
+    report = store.verify(deep=True)
+    status = "verified" if report["ok"] else "FAILED"
+    print("## Action store")
+    print()
+    print(f"- path: {store.path}")
+    print(f"- format: {store.manifest['format']}")
+    print(
+        f"- users: {store.num_users}  actions: {store.num_actions}  "
+        f"items: {store.num_items}"
+    )
+    print(
+        f"- shards: {store.num_shards} "
+        f"(users_per_shard={store.manifest['users_per_shard']})"
+    )
+    print(f"- bytes: {store.total_bytes}")
+    print(f"- checksums: {report['files_checked']} files deep-checked, {status}")
+    for problem in report["problems"]:
+        print(f"    ! {problem}")
+    print()
+    shards = store.manifest["shards"]
+    shown = shards[:20]
+    print(f"{'shard':12s} {'users':>8s} {'actions':>10s} {'bytes':>12s}")
+    for entry in shown:
+        shard_bytes = sum(int(f["bytes"]) for f in entry["files"].values())
+        print(
+            f"{entry['name']:12s} {entry['num_users']:8d} "
+            f"{entry['num_actions']:10d} {shard_bytes:12d}"
+        )
+    if len(shards) > len(shown):
+        print(f"... and {len(shards) - len(shown)} more shard(s)")
+    return 0 if report["ok"] else 1
+
+
 def _cmd_inspect(model_path: str, data: str | None) -> int:
     from pathlib import Path
 
     from repro.analysis.report import model_card
     from repro.core.serialize import artifact_metadata, load_model
     from repro.data.io import load_log
+    from repro.data.store import is_store
 
+    if is_store(Path(model_path)):
+        return _cmd_inspect_store(model_path)
     meta = artifact_metadata(model_path)
     checksum = meta["npz_checksum"] or "-"
     verified = "verified" if meta["checksum_verified"] else "NOT VERIFIED"
@@ -796,7 +1007,17 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "report":
             return _cmd_report(args.scale, args.output)
         if args.command == "simulate":
-            return _cmd_simulate(args.domain, args.out, args.users, args.items, args.seed)
+            return _cmd_simulate(
+                args.domain,
+                args.out,
+                args.users,
+                args.items,
+                args.seed,
+                store=args.store,
+                users_per_shard=args.users_per_shard,
+            )
+        if args.command == "convert":
+            return _cmd_convert(args.data, args.store, args.users_per_shard)
         if args.command == "fit":
             _configure_obs(args.log_level, args.log_json, args.trace_out)
             try:
@@ -808,6 +1029,7 @@ def main(argv: list[str] | None = None) -> int:
                     args.init_min_actions,
                     checkpoint_every=args.checkpoint_every,
                     resume=args.resume,
+                    workers=args.workers,
                     metrics_out=args.metrics_out,
                 )
             finally:

@@ -19,6 +19,7 @@ from repro.core.engine import ASSIGNMENT_STRATEGIES, AssignmentEngine
 from repro.core.parallel import (
     ParallelConfig,
     PoolAssigner,
+    RecoveringPool,
     WorkerPoolWarning,
     assign_paths,
     make_cell_fitter,
@@ -35,6 +36,12 @@ from repro.core.training import (
     fit_skill_model,
     resume_fit,
     uniform_segment_levels,
+)
+from repro.core.shard import (
+    SHARD_STAGES,
+    ShardedFitResult,
+    ShardedTrainer,
+    ShardPool,
 )
 from repro.core.baselines import fit_id_baseline, fit_uniform_baseline, id_feature_set
 from repro.core.difficulty import (
@@ -78,9 +85,14 @@ __all__ = [
     "TrainingTrace",
     "ParallelConfig",
     "PoolAssigner",
+    "RecoveringPool",
     "WorkerPoolWarning",
     "assign_paths",
     "make_cell_fitter",
+    "SHARD_STAGES",
+    "ShardedFitResult",
+    "ShardedTrainer",
+    "ShardPool",
     "CheckpointConfig",
     "TrainingCheckpoint",
     "read_checkpoint",

@@ -44,9 +44,11 @@ _log = get_logger("core.parallel")
 __all__ = [
     "ParallelConfig",
     "PoolAssigner",
+    "RecoveringPool",
     "WorkerPoolWarning",
     "assign_paths",
     "make_cell_fitter",
+    "publish_item_major",
 ]
 
 #: Prefix of every shared-memory segment this module creates; the
@@ -159,6 +161,40 @@ def _open_shared_table(ref: _SharedScoreTable):
     return view, segment
 
 
+def publish_item_major(
+    item_major: np.ndarray,
+) -> tuple[shared_memory.SharedMemory | None, _SharedScoreTable | None]:
+    """Copy an item-major float64 table into a fresh shared-memory segment.
+
+    Returns ``(segment, descriptor)``; the caller owns the segment and must
+    close **and** unlink it.  Returns ``(None, None)`` for empty tables or
+    when the platform refuses shared memory — callers then ship the array
+    inside each task instead.  Shared by :class:`PoolAssigner` (which
+    publishes ``(|I|, S)`` catalog-row tables) and the sharded trainer
+    (which publishes ``(V, S)`` store-code tables).
+    """
+    item_major = np.ascontiguousarray(np.asarray(item_major, dtype=np.float64))
+    if item_major.nbytes == 0:
+        return None, None
+    name = f"{SHM_PREFIX}{os.getpid()}_{secrets.token_hex(4)}"
+    try:
+        shm = shared_memory.SharedMemory(name=name, create=True, size=item_major.nbytes)
+    except OSError as exc:  # pragma: no cover - platform-dependent
+        _log.warning(
+            "shared-memory publish failed; shipping table per task",
+            extra={"obs": {"error": repr(exc)}},
+        )
+        return None, None
+    view = np.ndarray(item_major.shape, dtype=item_major.dtype, buffer=shm.buf)
+    view[:] = item_major
+    del view  # no exported buffer views may outlive close()
+    return shm, _SharedScoreTable(
+        name=name,
+        shape=(int(item_major.shape[0]), int(item_major.shape[1])),
+        dtype=item_major.dtype.str,
+    )
+
+
 def _assign_chunk(
     task: tuple[np.ndarray | _SharedScoreTable, list[np.ndarray], int, np.ndarray | None],
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -199,7 +235,160 @@ def _assign_chunk(
     return levels, lengths, lls
 
 
-class PoolAssigner:
+class RecoveringPool:
+    """A reusable, self-healing process pool with a serial escape hatch.
+
+    Worker death (OOM kill, preemption, segfault) and chunk timeouts are
+    absorbed rather than surfaced as raw executor exceptions: the pool is
+    rebuilt up to ``config.max_pool_restarts`` times with exponential
+    backoff, and past that budget the runner degrades permanently to the
+    caller's serial path (or raises
+    :class:`~repro.exceptions.WorkerPoolError` when
+    ``config.fallback_serial`` is off).  Every recovery step emits a
+    :class:`WorkerPoolWarning`.  Tasks must be pure functions of their
+    inputs so re-running a partially completed batch is always safe.
+
+    Two pools ride this ladder: :class:`PoolAssigner` (per-user assignment
+    chunks) and :class:`repro.core.shard.ShardPool` (per-shard E-step
+    tasks).  Subclasses set :attr:`pool_kind`/:attr:`serial_noun` for the
+    warning text and implement :meth:`_resolve_worker` — resolved at call
+    time so fault-injection harnesses can swap the worker body in.
+    """
+
+    #: Names this pool in warnings, logs, and errors.
+    pool_kind = "worker pool"
+    #: What the serial fallback is called in the degrade warning.
+    serial_noun = "execution"
+
+    def __init__(self, config: ParallelConfig | None = None):
+        self.config = config
+        self._pool: ProcessPoolExecutor | None = None
+        self._serial_fallback = False
+        #: Recovery-event counts for this pool's lifetime; the trainer
+        #: folds them into :class:`~repro.obs.telemetry.TrainingTelemetry`.
+        self.event_counts: dict[str, int] = {
+            "rebuilds": 0,
+            "degraded": 0,
+            "chunk_timeouts": 0,
+        }
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _discard_pool(self) -> None:
+        """Drop a broken/hung pool without waiting on its workers."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def _resolve_worker(self) -> Callable:
+        raise NotImplementedError
+
+    def _run_chunks(self, tasks: list) -> list:
+        """Submit every task and collect results under a single deadline.
+
+        ``config.chunk_timeout`` budgets the *whole batch*: each future
+        gets only what remains of the shared deadline, so a wedged pool
+        stalls for at most one budget rather than ``num_tasks ×`` it.
+        """
+        assert self.config is not None
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.config.workers)
+        worker = self._resolve_worker()
+        futures = [self._pool.submit(worker, task) for task in tasks]
+        timeout = self.config.chunk_timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        results = []
+        for future in futures:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            results.append(future.result(timeout=remaining))
+        return results
+
+    def _run_with_recovery(self, tasks: list, registry) -> tuple[str, list | None]:
+        """Run the batch through the rebuild→degrade ladder.
+
+        Returns ``("pooled", results)`` on success or ``("serial", None)``
+        after degrading (the caller then runs its serial path — the runner
+        cannot, because serial work may shortcut the task encoding).
+        Raises :class:`~repro.exceptions.WorkerPoolError` instead of
+        degrading when ``config.fallback_serial`` is off.
+        """
+        config = self.config
+        assert config is not None
+        attempts = 0
+        while True:
+            try:
+                return "pooled", self._run_chunks(tasks)
+            except (BrokenExecutor, _FuturesTimeoutError, TimeoutError, OSError) as exc:
+                self._discard_pool()
+                if isinstance(exc, (_FuturesTimeoutError, TimeoutError)):
+                    self.event_counts["chunk_timeouts"] += 1
+                    registry.counter("pool.chunk_timeouts").inc()
+                if attempts >= config.max_pool_restarts:
+                    if config.fallback_serial:
+                        self._serial_fallback = True
+                        self.event_counts["degraded"] += 1
+                        registry.counter("pool.degraded").inc()
+                        _log.error(
+                            f"{self.pool_kind} degraded to serial",
+                            extra={
+                                "obs": {
+                                    "failures": attempts + 1,
+                                    "last_error": repr(exc),
+                                }
+                            },
+                        )
+                        warnings.warn(
+                            WorkerPoolWarning(
+                                f"{self.pool_kind} failed {attempts + 1} time(s), "
+                                f"last error {exc!r}; degrading to serial "
+                                f"{self.serial_noun} for the rest of this run"
+                            ),
+                            stacklevel=4,
+                        )
+                        return "serial", None
+                    raise WorkerPoolError(
+                        f"{self.pool_kind} failed after {attempts + 1} attempt(s) "
+                        f"and serial fallback is disabled: {exc!r}"
+                    ) from exc
+                attempts += 1
+                delay = config.restart_backoff * (2 ** (attempts - 1))
+                self.event_counts["rebuilds"] += 1
+                registry.counter("pool.rebuilds").inc()
+                _log.warning(
+                    f"{self.pool_kind} rebuild",
+                    extra={
+                        "obs": {
+                            "attempt": attempts,
+                            "max_restarts": config.max_pool_restarts,
+                            "backoff_s": round(delay, 3),
+                            "error": repr(exc),
+                        }
+                    },
+                )
+                warnings.warn(
+                    WorkerPoolWarning(
+                        f"{self.pool_kind} failure ({exc!r}); rebuilding pool "
+                        f"(attempt {attempts}/{config.max_pool_restarts}, "
+                        f"backoff {delay:.2f}s)"
+                    ),
+                    stacklevel=4,
+                )
+                if delay > 0:
+                    time.sleep(delay)
+
+
+class PoolAssigner(RecoveringPool):
     """A reusable, self-healing process pool for the assignment step.
 
     Creating a process pool costs tens of milliseconds; the trainer runs
@@ -210,16 +399,12 @@ class PoolAssigner:
             for _ in range(iterations):
                 paths = assigner.assign(table, user_rows)
 
-    Worker death (OOM kill, preemption, segfault) and chunk timeouts are
-    absorbed rather than surfaced as raw executor exceptions: the pool is
-    rebuilt up to ``config.max_pool_restarts`` times with exponential
-    backoff, and past that budget the assigner degrades permanently to
-    serial assignment (or raises
-    :class:`~repro.exceptions.WorkerPoolError` when
-    ``config.fallback_serial`` is off).  Every recovery step emits a
-    :class:`WorkerPoolWarning`.  Chunks are pure functions of their
-    inputs, so re-running a partially completed step is always safe.
+    Failure handling (rebuild with backoff → degrade to serial assignment)
+    is inherited from :class:`RecoveringPool`.
     """
+
+    pool_kind = "assignment pool"
+    serial_noun = "assignment"
 
     def __init__(
         self,
@@ -228,41 +413,23 @@ class PoolAssigner:
         max_step: int = 1,
         step_log_penalties: np.ndarray | None = None,
     ):
-        self.config = config
+        super().__init__(config)
         self.max_step = max_step
         self.step_log_penalties = (
             None
             if step_log_penalties is None
             else np.asarray(step_log_penalties, dtype=np.float64)
         )
-        self._pool: ProcessPoolExecutor | None = None
         self._shm: shared_memory.SharedMemory | None = None
-        self._serial_fallback = False
-        #: Recovery-event counts for this assigner's lifetime; the trainer
-        #: folds them into :class:`~repro.obs.telemetry.TrainingTelemetry`.
-        self.event_counts: dict[str, int] = {
-            "rebuilds": 0,
-            "degraded": 0,
-            "chunk_timeouts": 0,
-        }
-
-    def __enter__(self) -> "PoolAssigner":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        super().close()
         self._release_table()  # defensive: normally released per assign call
 
-    def _discard_pool(self) -> None:
-        """Drop a broken/hung pool without waiting on its workers."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
+    def _resolve_worker(self) -> Callable:
+        # Through the module namespace, not a bound reference, so
+        # fault-injection harnesses can swap the worker body in.
+        return _assign_chunk
 
     def _publish_table(self, score_table: np.ndarray) -> _SharedScoreTable | None:
         """Copy the table, item-major, into a fresh shared-memory segment.
@@ -271,27 +438,9 @@ class PoolAssigner:
         each task) for empty tables or when the platform refuses shared
         memory.
         """
-        item_major = np.ascontiguousarray(np.asarray(score_table, dtype=np.float64).T)
-        if item_major.nbytes == 0:
-            return None
-        name = f"{SHM_PREFIX}{os.getpid()}_{secrets.token_hex(4)}"
-        try:
-            shm = shared_memory.SharedMemory(name=name, create=True, size=item_major.nbytes)
-        except OSError as exc:  # pragma: no cover - platform-dependent
-            _log.warning(
-                "shared-memory publish failed; shipping table per task",
-                extra={"obs": {"error": repr(exc)}},
-            )
-            return None
-        view = np.ndarray(item_major.shape, dtype=item_major.dtype, buffer=shm.buf)
-        view[:] = item_major
-        del view  # no exported buffer views may outlive close()
-        self._shm = shm
-        return _SharedScoreTable(
-            name=name,
-            shape=(int(item_major.shape[0]), int(item_major.shape[1])),
-            dtype=item_major.dtype.str,
-        )
+        item_major = np.asarray(score_table, dtype=np.float64).T
+        self._shm, ref = publish_item_major(item_major)
+        return ref
 
     def _release_table(self) -> None:
         """Close and unlink the published segment (idempotent)."""
@@ -353,70 +502,12 @@ class PoolAssigner:
                 (table_ref, chunk, self.max_step, self.step_log_penalties)
                 for chunk in row_buckets
             ]
-            attempts = 0
-            while True:
-                try:
-                    chunk_results = self._run_chunks(tasks)
-                    break
-                except (BrokenExecutor, _FuturesTimeoutError, TimeoutError, OSError) as exc:
-                    self._discard_pool()
-                    if isinstance(exc, (_FuturesTimeoutError, TimeoutError)):
-                        self.event_counts["chunk_timeouts"] += 1
-                        registry.counter("pool.chunk_timeouts").inc()
-                    if attempts >= config.max_pool_restarts:
-                        if config.fallback_serial:
-                            self._serial_fallback = True
-                            self.event_counts["degraded"] += 1
-                            registry.counter("pool.degraded").inc()
-                            _log.error(
-                                "assignment pool degraded to serial",
-                                extra={
-                                    "obs": {
-                                        "failures": attempts + 1,
-                                        "last_error": repr(exc),
-                                    }
-                                },
-                            )
-                            warnings.warn(
-                                WorkerPoolWarning(
-                                    f"assignment pool failed {attempts + 1} time(s), "
-                                    f"last error {exc!r}; degrading to serial assignment "
-                                    f"for the rest of this run"
-                                ),
-                                stacklevel=3,
-                            )
-                            return self._assign_serial(score_table, user_rows)
-                        raise WorkerPoolError(
-                            f"assignment pool failed after {attempts + 1} attempt(s) "
-                            f"and serial fallback is disabled: {exc!r}"
-                        ) from exc
-                    attempts += 1
-                    delay = config.restart_backoff * (2 ** (attempts - 1))
-                    self.event_counts["rebuilds"] += 1
-                    registry.counter("pool.rebuilds").inc()
-                    _log.warning(
-                        "assignment pool rebuild",
-                        extra={
-                            "obs": {
-                                "attempt": attempts,
-                                "max_restarts": config.max_pool_restarts,
-                                "backoff_s": round(delay, 3),
-                                "error": repr(exc),
-                            }
-                        },
-                    )
-                    warnings.warn(
-                        WorkerPoolWarning(
-                            f"assignment pool failure ({exc!r}); rebuilding pool "
-                            f"(attempt {attempts}/{config.max_pool_restarts}, "
-                            f"backoff {delay:.2f}s)"
-                        ),
-                        stacklevel=3,
-                    )
-                    if delay > 0:
-                        time.sleep(delay)
+            status, chunk_results = self._run_with_recovery(tasks, registry)
+            if status == "serial":
+                return self._assign_serial(score_table, user_rows)
         finally:
             self._release_table()
+        assert chunk_results is not None
         results: list[PathResult | None] = [None] * len(user_rows)
         for indices, (levels, lengths, lls) in zip(index_buckets, chunk_results):
             offsets = np.concatenate([[0], np.cumsum(lengths)])
@@ -439,30 +530,6 @@ class PoolAssigner:
             )
             for rows in user_rows
         ]
-
-    def _run_chunks(self, tasks: list[tuple]) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
-        """Submit every chunk and collect results under a single deadline.
-
-        ``config.chunk_timeout`` budgets the *whole batch*: each future
-        gets only what remains of the shared deadline, so a wedged pool
-        stalls for at most one budget rather than ``num_chunks ×`` it.
-
-        ``_assign_chunk`` is resolved through the module namespace at call
-        time so fault-injection harnesses can swap the worker body in.
-        """
-        assert self.config is not None
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.config.workers)
-        futures = [self._pool.submit(_assign_chunk, task) for task in tasks]
-        timeout = self.config.chunk_timeout
-        deadline = None if timeout is None else time.monotonic() + timeout
-        results = []
-        for future in futures:
-            remaining = (
-                None if deadline is None else max(0.0, deadline - time.monotonic())
-            )
-            results.append(future.result(timeout=remaining))
-        return results
 
 
 def assign_paths(

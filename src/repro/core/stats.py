@@ -165,6 +165,36 @@ class SkillStats:
         added = self.add(action_rows, new_levels)
         return np.union1d(removed, added)
 
+    def merge(self, other: "SkillStats") -> "SkillStats":
+        """Fold another partition's statistics into this one, in place.
+
+        This is the map-reduce combiner (:mod:`repro.core.shard`): every
+        matrix is integer counts, so merging shard deltas by addition is
+        exact and order-independent — any user partition reduces to the
+        statistics a cold single-pass build would produce.  Returns
+        ``self`` so reduces can fold left.
+        """
+        if other._num_levels != self._num_levels:
+            raise ConfigurationError(
+                f"cannot merge statistics over {other._num_levels} levels "
+                f"into {self._num_levels}"
+            )
+        if (
+            other._num_items != self._num_items
+            or other._categorical != self._categorical
+        ):
+            raise ConfigurationError(
+                "cannot merge statistics built over different item encodings"
+            )
+        self._level_counts += other._level_counts
+        if self._item_counts is not None:
+            self._item_counts += other._item_counts
+        for f, counts in self._cat_counts.items():
+            counts += other._cat_counts[f]
+        # Cached float views are stale after a bulk merge; rebuild lazily.
+        self._weights.clear()
+        return self
+
     def _apply(
         self, action_rows: np.ndarray, action_levels: np.ndarray, *, sign: int
     ) -> np.ndarray:

@@ -36,6 +36,7 @@ from repro.core.parallel import ParallelConfig, make_cell_fitter
 from repro.core.stats import SkillStats
 from repro.data.actions import ActionLog
 from repro.data.items import ItemCatalog
+from repro.data.store import ActionStore
 from repro.exceptions import (
     CheckpointError,
     ConfigurationError,
@@ -626,7 +627,7 @@ def _config_payload(config: TrainerConfig) -> dict:
 
 
 def fit_skill_model(
-    log: ActionLog,
+    log: ActionLog | "ActionStore",
     catalog: ItemCatalog,
     feature_set: FeatureSet,
     num_levels: int,
@@ -635,9 +636,22 @@ def fit_skill_model(
 ) -> SkillModel:
     """One-call convenience wrapper around :class:`Trainer`.
 
-    ``config_kwargs`` are forwarded to :class:`TrainerConfig`.
+    ``log`` may be an in-RAM :class:`~repro.data.actions.ActionLog` or an
+    out-of-core :class:`~repro.data.store.ActionStore` — store fits run
+    through the sharded map-reduce trainer (:mod:`repro.core.shard`) and
+    produce bit-identical models.  ``config_kwargs`` are forwarded to
+    :class:`TrainerConfig`.
     """
     config = TrainerConfig(num_levels=num_levels, **config_kwargs)
+    if isinstance(log, ActionStore):
+        if checkpoint is not None:
+            raise ConfigurationError(
+                "checkpointing is not supported for store-backed fits; "
+                "convert to an in-RAM log or drop the checkpoint config"
+            )
+        from repro.core.shard import ShardedTrainer
+
+        return ShardedTrainer(config).fit(log, catalog, feature_set)
     return Trainer(config).fit(log, catalog, feature_set, checkpoint=checkpoint)
 
 

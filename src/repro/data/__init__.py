@@ -9,8 +9,15 @@ from repro.data.splits import (
     holdout_last_position,
     holdout_random_position,
 )
-from repro.data.io import load_catalog, load_log, save_catalog, save_log
+from repro.data.io import iter_actions, load_catalog, load_log, save_catalog, save_log
 from repro.data.stats import LogStatistics, describe_log, popularity_gini
+from repro.data.store import (
+    ActionStore,
+    StoreShard,
+    StoreWriter,
+    convert_log_file,
+    is_store,
+)
 from repro.data.validation import ValidationIssue, ValidationReport, validate_inputs
 
 __all__ = [
@@ -25,10 +32,16 @@ __all__ = [
     "holdout_fraction",
     "holdout_last_position",
     "holdout_random_position",
+    "iter_actions",
     "load_catalog",
     "load_log",
     "save_catalog",
     "save_log",
+    "ActionStore",
+    "StoreShard",
+    "StoreWriter",
+    "convert_log_file",
+    "is_store",
     "LogStatistics",
     "describe_log",
     "popularity_gini",

@@ -15,15 +15,20 @@ rather than silently stringified.
 from __future__ import annotations
 
 import json
+from collections.abc import Iterator
 from pathlib import Path
 
 from repro.data.actions import Action, ActionLog
 from repro.data.items import Item, ItemCatalog
 from repro.exceptions import DataError
 
-__all__ = ["save_log", "load_log", "save_catalog", "load_catalog"]
+__all__ = ["save_log", "load_log", "iter_actions", "save_catalog", "load_catalog"]
 
 _JSON_ID_TYPES = (str, int, float, bool)
+
+#: ``save_log`` flushes its line buffer at this size; one syscall per
+#: ~64 KiB instead of one per action.
+_WRITE_BUFFER_BYTES = 1 << 16
 
 
 def _check_id(value, what: str):
@@ -38,6 +43,8 @@ def _check_id(value, what: str):
 def save_log(log: ActionLog, path: str | Path) -> None:
     """Write an action log as JSONL, one action per line, grouped by user."""
     path = Path(path)
+    buffer: list[str] = []
+    buffered = 0
     with path.open("w", encoding="utf-8") as handle:
         for seq in log:
             for action in seq:
@@ -48,13 +55,25 @@ def save_log(log: ActionLog, path: str | Path) -> None:
                 }
                 if action.rating is not None:
                     record["rating"] = action.rating
-                handle.write(json.dumps(record, ensure_ascii=False) + "\n")
+                line = json.dumps(record, ensure_ascii=False) + "\n"
+                buffer.append(line)
+                buffered += len(line)
+                if buffered >= _WRITE_BUFFER_BYTES:
+                    handle.write("".join(buffer))
+                    buffer.clear()
+                    buffered = 0
+        if buffer:
+            handle.write("".join(buffer))
 
 
-def load_log(path: str | Path) -> ActionLog:
-    """Read an action log written by :func:`save_log`."""
+def iter_actions(path: str | Path) -> Iterator[Action]:
+    """Stream actions from a :func:`save_log` JSONL file, one at a time.
+
+    This is the streaming substrate under :func:`load_log` and the
+    JSONL→store converter (:func:`repro.data.store.convert_log_file`):
+    consumers that group or bucket on the fly never hold the full corpus.
+    """
     path = Path(path)
-    actions = []
     with path.open("r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
@@ -62,17 +81,19 @@ def load_log(path: str | Path) -> ActionLog:
                 continue
             try:
                 record = json.loads(line)
-                actions.append(
-                    Action(
-                        time=record["time"],
-                        user=record["user"],
-                        item=record["item"],
-                        rating=record.get("rating"),
-                    )
+                yield Action(
+                    time=record["time"],
+                    user=record["user"],
+                    item=record["item"],
+                    rating=record.get("rating"),
                 )
             except (json.JSONDecodeError, KeyError, TypeError) as exc:
                 raise DataError(f"{path}:{line_number}: malformed action record ({exc})") from exc
-    return ActionLog.from_actions(actions)
+
+
+def load_log(path: str | Path) -> ActionLog:
+    """Read an action log written by :func:`save_log`."""
+    return ActionLog.from_actions(iter_actions(path))
 
 
 def save_catalog(catalog: ItemCatalog, path: str | Path) -> None:

@@ -1,0 +1,666 @@
+"""Out-of-core columnar action store.
+
+An :class:`~repro.data.actions.ActionLog` materializes every action as a
+Python object — fine for the paper's filtered corpora, a wall at the
+ROADMAP's millions-of-users scale.  The store keeps the same data as plain
+``numpy`` columns on disk, bucketed into per-shard files that training
+reads one shard at a time, so corpus size is bounded by disk, not RAM:
+
+``store/``
+    ``manifest.json``   — shard index + per-file byte sizes and SHA-256s
+    ``items.json``      — item ids in code order (the store's vocabulary)
+    ``shard-00000/``
+        ``users.json``  — user ids of this shard, in order
+        ``offsets.npy`` — int64 ``(U+1,)`` action prefix sums per user
+        ``time.npy``    — float64 action times, user-contiguous
+        ``item.npy``    — int64 item *codes* (indices into ``items.json``)
+        ``rating.npy``  — float64 ratings, ``NaN`` = absent (file omitted
+        when no action in the shard carries a rating)
+
+Item ids are interned once into a store-level vocabulary so the hot
+columns are pure integers; training maps codes to catalog rows with one
+vectorized gather.  Users are bucketed into shards in first-appearance
+order, so a store converted from a JSONL log preserves the log's user
+order exactly — the property that makes sharded fits bit-identical to
+in-RAM fits (see :mod:`repro.core.shard`).
+
+Crash safety follows :mod:`repro.core.serialize`'s staged commit: shard
+files are written and fsynced first, then ``items.json`` and
+``manifest.json`` are staged to ``.tmp`` siblings and moved into place
+together.  A directory without a committed manifest is not a store; a
+torn shard file is caught by the manifest's size/checksum report
+(:meth:`ActionStore.verify`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.actions import Action, ActionLog, ActionSequence
+from repro.exceptions import ConfigurationError, DataError
+
+__all__ = [
+    "ActionStore",
+    "StoreShard",
+    "StoreWriter",
+    "convert_log_file",
+    "is_store",
+]
+
+#: Manifest ``format`` tag; bump on incompatible layout changes.
+STORE_FORMAT = "repro-store/1"
+MANIFEST_NAME = "manifest.json"
+ITEMS_NAME = "items.json"
+
+_JSON_ID_TYPES = (str, int, float, bool)
+
+#: Shard column files in manifest order; ``rating.npy`` is optional.
+_COLUMN_FILES = ("users.json", "offsets.npy", "time.npy", "item.npy", "rating.npy")
+
+
+def is_store(path: str | Path) -> bool:
+    """True when ``path`` is a directory with a committed store manifest."""
+    return (Path(path) / MANIFEST_NAME).is_file()
+
+
+# --------------------------------------------------------------------------
+# Staged atomic commit — the same pattern as repro.core.serialize (the data
+# layer sits below core, so the helpers live here rather than import up).
+# --------------------------------------------------------------------------
+
+
+def _sha256_hex(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _sha256_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def _write_bytes(path: Path, data: bytes) -> None:
+    with open(path, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _replace(src: Path, dst: Path) -> None:
+    os.replace(src, dst)
+
+
+def _atomic_commit(writes: list[tuple[Path, bytes]]) -> None:
+    """Stage every payload to a ``.tmp`` sibling, then move all into place."""
+    staged: list[tuple[Path, Path]] = []
+    try:
+        for final, data in writes:
+            tmp = final.with_name(final.name + ".tmp")
+            _write_bytes(tmp, data)
+            staged.append((tmp, final))
+        for tmp, final in staged:
+            _replace(tmp, final)
+    except BaseException:
+        for tmp, _final in staged:
+            tmp.unlink(missing_ok=True)
+        raise
+
+
+def _write_npy(path: Path, array: np.ndarray) -> None:
+    """Write one column as a plain ``.npy`` file and fsync it.
+
+    Raw ``.npy`` (not NPZ) because NPZ is a zip container and cannot be
+    memory-mapped; ``np.load(..., mmap_mode="r")`` on these files is a
+    zero-copy window into the shard.
+    """
+    with open(path, "wb") as handle:
+        np.lib.format.write_array(
+            handle, np.ascontiguousarray(array), allow_pickle=False
+        )
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _check_id(value, what: str):
+    if not isinstance(value, _JSON_ID_TYPES):
+        raise DataError(
+            f"{what} {value!r} of type {type(value).__name__} is not "
+            "JSON-serializable; use str/int/float/bool identifiers for "
+            "persisted data"
+        )
+    return value
+
+
+# --------------------------------------------------------------------------
+# Reading
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class StoreShard:
+    """One shard's columns, loaded lazily by :meth:`ActionStore.shard`.
+
+    ``times``/``codes``/``ratings`` are memmaps by default (random access
+    without residency) or plain arrays with ``eager=True`` (the training
+    path: one bounded copy per shard keeps peak RSS independent of corpus
+    size, since memmapped pages a fit touches would otherwise stay
+    resident and count against the process).
+    """
+
+    index: int
+    name: str
+    users: list
+    offsets: np.ndarray
+    times: np.ndarray
+    codes: np.ndarray
+    ratings: np.ndarray | None
+
+    @property
+    def num_users(self) -> int:
+        return len(self.users)
+
+    @property
+    def num_actions(self) -> int:
+        return int(self.offsets[-1])
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Actions per user, in shard user order."""
+        return np.diff(self.offsets)
+
+    def user_rows(self) -> list[np.ndarray]:
+        """Per-user item-code arrays, in shard user order."""
+        return [
+            self.codes[self.offsets[k] : self.offsets[k + 1]]
+            for k in range(self.num_users)
+        ]
+
+
+class ActionStore:
+    """Reader over a committed store directory (see module docstring)."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        manifest_path = self.path / MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise DataError(
+                f"{self.path} is not an action store (no {MANIFEST_NAME}); "
+                f"create one with StoreWriter, convert_log_file, or `repro convert`"
+            )
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise DataError(f"{manifest_path}: unreadable store manifest ({exc})") from exc
+        if not isinstance(manifest, dict) or manifest.get("format") != STORE_FORMAT:
+            raise DataError(
+                f"{manifest_path}: not a {STORE_FORMAT} manifest "
+                f"(format={manifest.get('format') if isinstance(manifest, dict) else None!r})"
+            )
+        self.manifest = manifest
+        self._item_ids: list | None = None
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def num_users(self) -> int:
+        return int(self.manifest["num_users"])
+
+    @property
+    def num_actions(self) -> int:
+        return int(self.manifest["num_actions"])
+
+    @property
+    def num_items(self) -> int:
+        """Distinct items referenced by the store (vocabulary size)."""
+        return int(self.manifest["num_items"])
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.manifest["shards"])
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes of all shard column files plus the item vocabulary."""
+        total = int(self.manifest["items_file"]["bytes"])
+        for shard in self.manifest["shards"]:
+            total += sum(int(f["bytes"]) for f in shard["files"].values())
+        return total
+
+    @property
+    def item_ids(self) -> list:
+        """Item ids in code order (code ``c`` names ``item_ids[c]``)."""
+        if self._item_ids is None:
+            data = (self.path / ITEMS_NAME).read_bytes()
+            if _sha256_hex(data) != self.manifest["items_file"]["sha256"]:
+                raise DataError(
+                    f"{self.path / ITEMS_NAME}: checksum mismatch against the "
+                    "manifest — the store vocabulary is torn or corrupted"
+                )
+            self._item_ids = json.loads(data.decode("utf-8"))
+        return self._item_ids
+
+    # --------------------------------------------------------------- reading
+
+    def shard(self, index: int, *, eager: bool = False) -> StoreShard:
+        """Load shard ``index``'s columns (memmapped, or copies with
+        ``eager=True`` — see :class:`StoreShard`)."""
+        if not 0 <= index < self.num_shards:
+            raise ConfigurationError(
+                f"shard index {index} outside [0, {self.num_shards})"
+            )
+        entry = self.manifest["shards"][index]
+        shard_dir = self.path / entry["name"]
+        mmap_mode = None if eager else "r"
+
+        def _load(name: str) -> np.ndarray:
+            try:
+                return np.load(shard_dir / name, mmap_mode=mmap_mode, allow_pickle=False)
+            except (OSError, ValueError) as exc:
+                raise DataError(f"{shard_dir / name}: unreadable shard column ({exc})") from exc
+
+        try:
+            users = json.loads((shard_dir / "users.json").read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise DataError(f"{shard_dir / 'users.json'}: unreadable user index ({exc})") from exc
+        ratings = _load("rating.npy") if "rating.npy" in entry["files"] else None
+        return StoreShard(
+            index=index,
+            name=entry["name"],
+            users=users,
+            offsets=np.load(shard_dir / "offsets.npy", allow_pickle=False),
+            times=_load("time.npy"),
+            codes=_load("item.npy"),
+            ratings=ratings,
+        )
+
+    def shard_codes(self, index: int) -> np.ndarray:
+        """Just shard ``index``'s item-code column, read eagerly."""
+        entry = self.manifest["shards"][index]
+        return np.load(self.path / entry["name"] / "item.npy", allow_pickle=False)
+
+    def iter_shards(self, *, eager: bool = False) -> Iterator[StoreShard]:
+        for index in range(self.num_shards):
+            yield self.shard(index, eager=eager)
+
+    def users(self) -> Iterator:
+        """All user ids in store (= shard, = first-appearance) order."""
+        for shard in self.iter_shards():
+            yield from shard.users
+
+    def iter_actions(self) -> Iterator[Action]:
+        """Stream the store back as :class:`~repro.data.actions.Action`
+        objects, one shard resident at a time."""
+        item_ids = self.item_ids
+        for shard in self.iter_shards(eager=True):
+            for k, user in enumerate(shard.users):
+                lo, hi = int(shard.offsets[k]), int(shard.offsets[k + 1])
+                for j in range(lo, hi):
+                    rating = None
+                    if shard.ratings is not None and not np.isnan(shard.ratings[j]):
+                        rating = float(shard.ratings[j])
+                    yield Action(
+                        time=float(shard.times[j]),
+                        user=user,
+                        item=item_ids[int(shard.codes[j])],
+                        rating=rating,
+                    )
+
+    def to_log(self) -> ActionLog:
+        """Materialize the whole store as an in-RAM action log.
+
+        Only sensible at test/debug scale — it rebuilds every Python
+        ``Action`` object the store exists to avoid.
+        """
+        sequences: list[ActionSequence] = []
+        item_ids = self.item_ids
+        for shard in self.iter_shards(eager=True):
+            for k, user in enumerate(shard.users):
+                lo, hi = int(shard.offsets[k]), int(shard.offsets[k + 1])
+                actions = []
+                for j in range(lo, hi):
+                    rating = None
+                    if shard.ratings is not None and not np.isnan(shard.ratings[j]):
+                        rating = float(shard.ratings[j])
+                    actions.append(
+                        Action(
+                            time=float(shard.times[j]),
+                            user=user,
+                            item=item_ids[int(shard.codes[j])],
+                            rating=rating,
+                        )
+                    )
+                sequences.append(ActionSequence(user, actions, presorted=True))
+        return ActionLog(sequences)
+
+    # ------------------------------------------------------------ integrity
+
+    def verify(self, *, deep: bool = False) -> dict:
+        """Check every manifest-listed file against its recorded size (and,
+        with ``deep=True``, its SHA-256).  Returns a report dict."""
+        problems: list[str] = []
+        checked = 0
+
+        def _check(path: Path, entry: dict) -> None:
+            nonlocal checked
+            checked += 1
+            if not path.is_file():
+                problems.append(f"{path.relative_to(self.path)}: missing")
+                return
+            size = path.stat().st_size
+            if size != int(entry["bytes"]):
+                problems.append(
+                    f"{path.relative_to(self.path)}: {size} bytes on disk, "
+                    f"manifest says {entry['bytes']}"
+                )
+                return
+            if deep and _sha256_file(path) != entry["sha256"]:
+                problems.append(f"{path.relative_to(self.path)}: checksum mismatch")
+
+        _check(self.path / ITEMS_NAME, self.manifest["items_file"])
+        for shard in self.manifest["shards"]:
+            for name, entry in shard["files"].items():
+                _check(self.path / shard["name"] / name, entry)
+        return {
+            "ok": not problems,
+            "deep": deep,
+            "files_checked": checked,
+            "problems": problems,
+        }
+
+    # --------------------------------------------------------- construction
+
+    @classmethod
+    def from_log(
+        cls, log: ActionLog, path: str | Path, *, users_per_shard: int = 4096
+    ) -> "ActionStore":
+        """Write an in-RAM log out as a store (user order preserved)."""
+        writer = StoreWriter(path, users_per_shard=users_per_shard)
+        for sequence in log:
+            times = np.asarray(sequence.times, dtype=np.float64)
+            ratings = [action.rating for action in sequence]
+            writer.add_user(
+                sequence.user,
+                times,
+                item_ids=list(sequence.items),
+                ratings=ratings if any(r is not None for r in ratings) else None,
+                presorted=True,
+            )
+        return writer.finalize()
+
+
+# --------------------------------------------------------------------------
+# Writing
+# --------------------------------------------------------------------------
+
+
+class StoreWriter:
+    """Streaming store builder: feed users one at a time, then commit.
+
+    Buffers at most one shard in RAM (``users_per_shard`` users or
+    ``max_shard_actions`` actions, whichever seals first — a single user
+    always lands whole in one shard, so a pathological user can exceed the
+    action threshold).  :meth:`finalize` commits ``items.json`` and the
+    checksummed manifest atomically; until then the directory is not a
+    store and readers refuse it.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        users_per_shard: int = 4096,
+        max_shard_actions: int = 2_000_000,
+    ):
+        if users_per_shard < 1:
+            raise ConfigurationError("users_per_shard must be >= 1")
+        if max_shard_actions < 1:
+            raise ConfigurationError("max_shard_actions must be >= 1")
+        self.path = Path(path)
+        if is_store(self.path):
+            raise DataError(
+                f"{self.path} already holds a committed store; refusing to overwrite"
+            )
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.users_per_shard = users_per_shard
+        self.max_shard_actions = max_shard_actions
+        self._item_codes: dict = {}
+        self._item_ids: list = []
+        self._seen_users: set = set()
+        self._shards: list[dict] = []
+        self._finalized = False
+        self._reset_buffers()
+
+    def _reset_buffers(self) -> None:
+        self._users: list = []
+        self._times: list[np.ndarray] = []
+        self._codes: list[np.ndarray] = []
+        self._ratings: list[np.ndarray | None] = []
+        self._buffered_actions = 0
+
+    # ------------------------------------------------------------ vocabulary
+
+    def register_item(self, item_id) -> int:
+        """Intern one item id; returns its stable store code."""
+        code = self._item_codes.get(item_id)
+        if code is None:
+            _check_id(item_id, "item id")
+            code = len(self._item_ids)
+            self._item_codes[item_id] = code
+            self._item_ids.append(item_id)
+        return code
+
+    def register_items(self, item_ids: Iterable) -> np.ndarray:
+        """Intern many item ids; returns their codes as int64."""
+        return np.fromiter(
+            (self.register_item(i) for i in item_ids), dtype=np.int64
+        )
+
+    # --------------------------------------------------------------- writing
+
+    def add_user(
+        self,
+        user,
+        times: Sequence[float] | np.ndarray,
+        item_ids: Sequence | None = None,
+        *,
+        item_codes: np.ndarray | None = None,
+        ratings: Sequence | np.ndarray | None = None,
+        presorted: bool = False,
+    ) -> None:
+        """Append one user's whole sequence.
+
+        Pass ``item_ids`` (interned here) or pre-interned ``item_codes``
+        from :meth:`register_items`.  Actions are sorted by time (stably)
+        unless ``presorted``.  Each user may be added exactly once — the
+        store's user order is its shard order, and split users would break
+        the per-user assignment DP.
+        """
+        if self._finalized:
+            raise ConfigurationError("store writer already finalized")
+        _check_id(user, "user id")
+        if user in self._seen_users:
+            raise DataError(
+                f"user {user!r} was already written; a store holds each "
+                "user's sequence whole, so input must arrive grouped by user"
+            )
+        if (item_ids is None) == (item_codes is None):
+            raise ConfigurationError("pass exactly one of item_ids / item_codes")
+        times = np.asarray(times, dtype=np.float64)
+        if item_codes is not None:
+            codes = np.asarray(item_codes, dtype=np.int64)
+            if len(codes) and (codes.min() < 0 or codes.max() >= len(self._item_ids)):
+                raise ConfigurationError(
+                    "item code outside the registered vocabulary"
+                )
+        else:
+            codes = self.register_items(item_ids)
+        if times.shape != codes.shape or times.ndim != 1:
+            raise ConfigurationError("times and items must be equal-length 1-D")
+        if ratings is not None:
+            rating_col = np.asarray(
+                [np.nan if r is None else float(r) for r in ratings], dtype=np.float64
+            )
+            if rating_col.shape != times.shape:
+                raise ConfigurationError("ratings must align with times")
+        else:
+            rating_col = None
+        if not presorted and len(times) > 1 and np.any(np.diff(times) < 0):
+            order = np.argsort(times, kind="stable")
+            times = times[order]
+            codes = codes[order]
+            if rating_col is not None:
+                rating_col = rating_col[order]
+        self._seen_users.add(user)
+        self._users.append(user)
+        self._times.append(times)
+        self._codes.append(codes)
+        self._ratings.append(rating_col)
+        self._buffered_actions += len(times)
+        if (
+            len(self._users) >= self.users_per_shard
+            or self._buffered_actions >= self.max_shard_actions
+        ):
+            self._seal_shard()
+
+    def _seal_shard(self) -> None:
+        if not self._users:
+            return
+        name = f"shard-{len(self._shards):05d}"
+        shard_dir = self.path / name
+        shard_dir.mkdir(exist_ok=True)
+        lengths = np.fromiter(
+            (len(t) for t in self._times), dtype=np.int64, count=len(self._times)
+        )
+        offsets = np.zeros(len(lengths) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        times = (
+            np.concatenate(self._times) if self._times else np.empty(0, np.float64)
+        )
+        codes = np.concatenate(self._codes) if self._codes else np.empty(0, np.int64)
+        has_ratings = any(
+            r is not None and np.any(~np.isnan(r)) for r in self._ratings
+        )
+        files: dict[str, dict] = {}
+
+        def _record(file_name: str) -> None:
+            path = shard_dir / file_name
+            files[file_name] = {
+                "bytes": path.stat().st_size,
+                "sha256": _sha256_file(path),
+            }
+
+        users_payload = json.dumps(self._users, ensure_ascii=False).encode("utf-8")
+        _write_bytes(shard_dir / "users.json", users_payload)
+        _record("users.json")
+        _write_npy(shard_dir / "offsets.npy", offsets)
+        _record("offsets.npy")
+        _write_npy(shard_dir / "time.npy", times)
+        _record("time.npy")
+        _write_npy(shard_dir / "item.npy", codes)
+        _record("item.npy")
+        if has_ratings:
+            rating_col = np.concatenate(
+                [
+                    r if r is not None else np.full(n, np.nan)
+                    for r, n in zip(self._ratings, lengths)
+                ]
+            )
+            _write_npy(shard_dir / "rating.npy", rating_col)
+            _record("rating.npy")
+        self._shards.append(
+            {
+                "name": name,
+                "num_users": len(self._users),
+                "num_actions": int(offsets[-1]),
+                "files": files,
+            }
+        )
+        self._reset_buffers()
+
+    def finalize(self) -> ActionStore:
+        """Seal the trailing shard and atomically commit the manifest."""
+        if self._finalized:
+            raise ConfigurationError("store writer already finalized")
+        self._seal_shard()
+        self._finalized = True
+        items_payload = json.dumps(self._item_ids, ensure_ascii=False).encode("utf-8")
+        manifest = {
+            "format": STORE_FORMAT,
+            "num_users": sum(s["num_users"] for s in self._shards),
+            "num_actions": sum(s["num_actions"] for s in self._shards),
+            "num_items": len(self._item_ids),
+            "users_per_shard": self.users_per_shard,
+            "items_file": {
+                "bytes": len(items_payload),
+                "sha256": _sha256_hex(items_payload),
+            },
+            "shards": self._shards,
+        }
+        manifest_payload = json.dumps(
+            manifest, ensure_ascii=False, indent=2
+        ).encode("utf-8")
+        _atomic_commit(
+            [
+                (self.path / ITEMS_NAME, items_payload),
+                (self.path / MANIFEST_NAME, manifest_payload),
+            ]
+        )
+        return ActionStore(self.path)
+
+
+# --------------------------------------------------------------------------
+# JSONL → store conversion
+# --------------------------------------------------------------------------
+
+_NO_USER = object()
+
+
+def convert_log_file(
+    log_path: str | Path,
+    store_path: str | Path,
+    *,
+    users_per_shard: int = 4096,
+) -> ActionStore:
+    """Convert a :func:`~repro.data.io.save_log` JSONL file into a store.
+
+    Streams one user at a time — peak memory is the longest single
+    sequence, never the corpus.  The input must be grouped by user (which
+    ``save_log`` output always is); within a user, actions in any time
+    order are accepted and sorted on write.
+    """
+    from repro.data.io import iter_actions
+
+    writer = StoreWriter(store_path, users_per_shard=users_per_shard)
+    current: object = _NO_USER
+    times: list[float] = []
+    items: list = []
+    ratings: list = []
+
+    def _flush() -> None:
+        if current is not _NO_USER:
+            writer.add_user(
+                current,
+                np.asarray(times, dtype=np.float64),
+                item_ids=items,
+                ratings=ratings if any(r is not None for r in ratings) else None,
+            )
+
+    for action in iter_actions(log_path):
+        if action.user != current or current is _NO_USER:
+            _flush()
+            current = action.user
+            times, items, ratings = [], [], []
+        times.append(action.time)
+        items.append(action.item)
+        ratings.append(action.rating)
+    _flush()
+    return writer.finalize()

@@ -10,6 +10,7 @@ substitution table).
 from repro.synth.base import SimulatedDataset, monotone_skill_path, sample_sequence_length
 from repro.synth.seeds import rng_for
 from repro.synth.generator import SyntheticConfig, generate_synthetic, synthetic_feature_set
+from repro.synth.stream import SyntheticStoreResult, generate_synthetic_store
 from repro.synth.language import (
     CORRECTION_RULES,
     LanguageConfig,
@@ -29,6 +30,8 @@ __all__ = [
     "SyntheticConfig",
     "generate_synthetic",
     "synthetic_feature_set",
+    "SyntheticStoreResult",
+    "generate_synthetic_store",
     "CORRECTION_RULES",
     "LanguageConfig",
     "generate_language",

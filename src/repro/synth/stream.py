@@ -1,0 +1,129 @@
+"""Out-of-core synthetic corpus generation, straight into an action store.
+
+:func:`repro.synth.generator.generate_synthetic` materializes every action
+as a Python object — the right shape for the paper-scale experiments, a
+wall at the ROADMAP's 1M-user / 100M-action scale.  This module runs the
+same three-step recipe (equal per-level item pools, Poisson sequence
+lengths, at-level-with-``p``/easier-otherwise item choice, stochastic
+level-ups) but simulates users in vectorized blocks and streams each
+block into a :class:`~repro.data.store.StoreWriter`, so peak memory is
+one block (~tens of MB), never the corpus.
+
+Item generation is shared with the in-RAM path (``_generate_items``), so
+catalogs and ground-truth difficulties agree exactly for a given config.
+Sequences draw from a *different* seed stream (``"stream"`` rather than
+``"sequences"``) because the vectorized simulation consumes randomness in
+a different order — the corpora are statistically identical twins, not
+byte-identical ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.features import FeatureSet
+from repro.data.items import ItemCatalog
+from repro.data.store import ActionStore, StoreWriter
+from repro.exceptions import ConfigurationError
+from repro.synth.generator import SyntheticConfig, _generate_items, synthetic_feature_set
+from repro.synth.seeds import rng_for
+
+__all__ = ["SyntheticStoreResult", "generate_synthetic_store"]
+
+
+@dataclass(frozen=True)
+class SyntheticStoreResult:
+    """What the streaming generator hands back.
+
+    Unlike :class:`~repro.synth.base.SimulatedDataset` there is no
+    ``true_skills`` map — per-action ground-truth levels for 100M actions
+    would defeat the out-of-core point.
+    """
+
+    store: ActionStore
+    catalog: ItemCatalog
+    feature_set: FeatureSet
+    true_difficulty: dict[int, float]
+
+
+def generate_synthetic_store(
+    config: SyntheticConfig | None = None,
+    path: str | Path = "synthetic.store",
+    *,
+    users_per_shard: int = 4096,
+    block_users: int = 8192,
+) -> SyntheticStoreResult:
+    """Generate the synthetic recipe at ``config`` scale into a store at
+    ``path`` without ever holding more than one user block in RAM."""
+    config = config or SyntheticConfig()
+    if block_users < 1:
+        raise ConfigurationError("block_users must be >= 1")
+    catalog, true_difficulty, _pools = _generate_items(config)
+    per_level = config.num_items // config.num_levels
+    num_levels = config.num_levels
+    rng = rng_for(config.seed, "synthetic", "stream")
+
+    if config.start_level_weights is None:
+        start_probs = None
+    else:
+        weights = np.asarray(config.start_level_weights, dtype=np.float64)
+        start_probs = weights / weights.sum()
+    jump_weights = np.asarray(config.level_up_jump_weights, dtype=np.float64)
+    jump_probs = jump_weights / jump_weights.sum()
+    jump_sizes = np.arange(1, len(jump_probs) + 1, dtype=np.int64)
+
+    writer = StoreWriter(path, users_per_shard=users_per_shard)
+    # Synthetic item ids are 0..num_items-1 in pool order, so registering
+    # them up front makes store code == item id (no per-action interning).
+    writer.register_items(range(config.num_items))
+
+    for block_start in range(0, config.num_users, block_users):
+        block = min(block_users, config.num_users - block_start)
+        lengths = np.maximum(1, rng.poisson(config.mean_sequence_length, size=block))
+        if start_probs is None:
+            levels = rng.integers(1, num_levels + 1, size=block)  # step 3b
+        else:
+            levels = rng.choice(num_levels, p=start_probs, size=block) + 1
+        levels = levels.astype(np.int64)
+        max_len = int(lengths.max())
+        items = np.zeros((block, max_len), dtype=np.int64)
+        for step in range(max_len):
+            active = np.flatnonzero(lengths > step)
+            if not len(active):
+                break
+            level = levels[active]
+            # Step 3c: at-level with probability p; a level-1 user has no
+            # easier pool and stays at level.  Draw both branches' source
+            # levels vectorized (the easier draw needs level >= 2, which
+            # at_level guarantees for the branch that uses it).
+            at_level = (level == 1) | (rng.random(len(active)) < config.at_level_prob)
+            easier = rng.integers(1, np.maximum(level, 2))
+            src = np.where(at_level, level, easier)
+            # Pools are contiguous id ranges, so an item draw is an offset
+            # into the source level's block.
+            offsets = rng.integers(0, per_level, size=len(active))
+            items[active, step] = (src - 1) * per_level + offsets
+            # Step 3d: only an at-level selection can improve the skill.
+            up = at_level & (level < num_levels) & (rng.random(len(active)) < config.level_up_prob)
+            if np.any(up):
+                jumps = jump_sizes[rng.choice(len(jump_sizes), p=jump_probs, size=int(up.sum()))]
+                levels[active[up]] = np.minimum(level[up] + jumps, num_levels)
+        for k in range(block):
+            length = int(lengths[k])
+            writer.add_user(
+                block_start + k,
+                np.arange(length, dtype=np.float64),
+                item_codes=items[k, :length],
+                presorted=True,
+            )
+
+    store = writer.finalize()
+    return SyntheticStoreResult(
+        store=store,
+        catalog=catalog,
+        feature_set=synthetic_feature_set(),
+        true_difficulty=true_difficulty,
+    )

@@ -56,6 +56,8 @@ __all__ = [
     "fail_from_call",
     "kill_worker_once",
     "lethal_assign_chunk",
+    "kill_shard_worker",
+    "lethal_estep_shard",
     "slow_workers",
     "slow_assign_chunk",
     "torn_wal_append",
@@ -340,6 +342,61 @@ def kill_worker_once(tmp_path):
         os.environ.pop(_KILL_TOKEN_ENV, None)
         token.unlink(missing_ok=True)
         claimed.unlink(missing_ok=True)
+
+
+_SHARD_KILL_DIR_ENV = "REPRO_FAULTS_SHARD_KILL_TOKENS"
+
+
+def lethal_estep_shard(task):
+    """Shard E-step worker body that dies while a kill token remains.
+
+    Tokens live in a directory (one file per scheduled death) so a single
+    context manager can drive anything from one rebuild to a full
+    degrade-to-serial: each dying worker claims one token atomically via
+    ``os.rename`` and exits hard.  With no tokens left it delegates to the
+    real implementation.
+    """
+    from repro.core import shard as _shard
+
+    token_dir = os.environ.get(_SHARD_KILL_DIR_ENV, "")
+    if token_dir and os.path.isdir(token_dir):
+        for name in sorted(os.listdir(token_dir)):
+            if name.endswith(".claimed"):
+                continue
+            token = os.path.join(token_dir, name)
+            try:
+                os.rename(token, token + ".claimed")
+            except OSError:
+                continue  # another worker claimed it first
+            os._exit(43)
+    return _shard._estep_shard_impl(task)
+
+
+@contextmanager
+def kill_shard_worker(tmp_path, *, deaths: int = 1):
+    """Arrange for ``deaths`` shard-pool workers to die mid-E-step.
+
+    One death exercises the rebuild path; more deaths than
+    ``max_pool_restarts + 1`` exhaust the ladder and force the
+    degrade-to-serial path (the serial fallback runs the real worker body
+    in-process, so results stay bit-identical).  Yields the token
+    directory; ``*.claimed`` files in it count the deaths that actually
+    happened.
+    """
+    from repro.core import shard as _shard
+
+    token_dir = Path(tmp_path) / "repro-shard-kill-tokens"
+    token_dir.mkdir(exist_ok=True)
+    for k in range(deaths):
+        (token_dir / f"token-{k}").write_text("kill")
+    os.environ[_SHARD_KILL_DIR_ENV] = str(token_dir)
+    original = _shard._estep_shard
+    _shard._estep_shard = lethal_estep_shard
+    try:
+        yield token_dir
+    finally:
+        _shard._estep_shard = original
+        os.environ.pop(_SHARD_KILL_DIR_ENV, None)
 
 
 def slow_assign_chunk(task):

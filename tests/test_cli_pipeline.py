@@ -262,3 +262,149 @@ class TestCliCheckpointing:
             ["fit", data, "--levels", "4", "--model", model, "--resume"]
         ) == 2
         assert "no checkpoint" in capsys.readouterr().err
+
+
+class TestCliStorePipeline:
+    """simulate --store / convert → fit → inspect on columnar stores."""
+
+    def _simulate_log(self, tmp_path):
+        data = str(tmp_path / "syn")
+        assert main(
+            [
+                "simulate", "synthetic",
+                "--out", data,
+                "--users", "30",
+                "--items", "80",
+                "--seed", "4",
+            ]
+        ) == 0
+        return data
+
+    def test_convert_fit_inspect(self, tmp_path, capsys):
+        data = self._simulate_log(tmp_path)
+        store = str(tmp_path / "syn.store")
+        assert main(
+            ["convert", data, store, "--users-per-shard", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "converted 30 users" in out
+        assert "4 shard(s)" in out
+
+        model = str(tmp_path / "model")
+        assert main(
+            [
+                "fit", data,
+                "--levels", "3",
+                "--model", model,
+                "--init-min-actions", "10",
+                "--max-iterations", "5",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "training out-of-core" in out
+        assert (tmp_path / "model.json").exists()
+
+        assert main(["inspect", store]) == 0
+        out = capsys.readouterr().out
+        assert "## Action store" in out
+        assert "users: 30" in out
+        assert "shards: 4" in out
+        assert "verified" in out
+        assert "shard-00000" in out
+
+    def test_store_fit_matches_log_fit(self, tmp_path, capsys):
+        data = self._simulate_log(tmp_path)
+        store = str(tmp_path / "syn.store")
+        assert main(["convert", data, store]) == 0
+        assert main(
+            [
+                "fit", store,
+                "--levels", "3",
+                "--model", str(tmp_path / "m_store"),
+                "--init-min-actions", "10",
+                "--max-iterations", "5",
+            ]
+        ) == 0
+        # Hide the store so the same prefix resolves to the JSONL log.
+        (tmp_path / "syn.store").rename(tmp_path / "aside.store")
+        assert main(
+            [
+                "fit", data,
+                "--levels", "3",
+                "--model", str(tmp_path / "m_log"),
+                "--init-min-actions", "10",
+                "--max-iterations", "5",
+            ]
+        ) == 0
+        capsys.readouterr()
+        a = json.loads((tmp_path / "m_store.json").read_text())
+        b = json.loads((tmp_path / "m_log.json").read_text())
+        assert a["trace"] == b["trace"]
+        assert a["cells"] == b["cells"]
+
+    def test_simulate_store_writes_trainable_store(self, tmp_path, capsys):
+        data = str(tmp_path / "big")
+        assert main(
+            [
+                "simulate", "synthetic",
+                "--out", data,
+                "--users", "25",
+                "--items", "60",
+                "--seed", "1",
+                "--store",
+                "--users-per-shard", "10",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wrote 25 users" in out
+        assert (tmp_path / "big.store" / "manifest.json").exists()
+        assert (tmp_path / "big.catalog.jsonl").exists()
+        assert (tmp_path / "big.schema.json").exists()
+        assert main(
+            [
+                "fit", data,
+                "--levels", "3",
+                "--model", str(tmp_path / "m"),
+                "--init-min-actions", "5",
+                "--max-iterations", "3",
+            ]
+        ) == 0
+
+    def test_simulate_store_rejects_real_domains(self, tmp_path, capsys):
+        assert main(
+            ["simulate", "cooking", "--out", str(tmp_path / "c"), "--store"]
+        ) == 2
+        assert "synthetic domain" in capsys.readouterr().err
+
+    def test_fit_store_rejects_checkpoint_flags(self, tmp_path, capsys):
+        data = str(tmp_path / "big")
+        assert main(
+            ["simulate", "synthetic", "--out", data, "--users", "10",
+             "--items", "40", "--store"]
+        ) == 0
+        capsys.readouterr()
+        args = ["fit", data, "--levels", "3", "--model", str(tmp_path / "m")]
+        assert main(args + ["--resume"]) == 2
+        assert "not supported for store-backed fits" in capsys.readouterr().err
+        assert main(args + ["--checkpoint-every", "2"]) == 2
+        assert "not supported for store-backed fits" in capsys.readouterr().err
+
+    def test_convert_missing_log_fails_cleanly(self, tmp_path, capsys):
+        assert main(
+            ["convert", str(tmp_path / "nope"), str(tmp_path / "n.store")]
+        ) == 2
+        assert "no action log" in capsys.readouterr().err
+
+    def test_inspect_corrupt_store_exits_nonzero(self, tmp_path, capsys):
+        data = self._simulate_log(tmp_path)
+        store = str(tmp_path / "syn.store")
+        assert main(["convert", data, store]) == 0
+        victim = tmp_path / "syn.store" / "shard-00000" / "item.npy"
+        blob = bytearray(victim.read_bytes())
+        blob[-1] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+        capsys.readouterr()
+        assert main(["inspect", store]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "checksum mismatch" in out

@@ -1,0 +1,207 @@
+"""Tests for the sharded map-reduce trainer (repro.core.shard).
+
+The contract under test is exactness: a store-backed sharded fit —
+serial, pooled, or recovering from worker deaths — must be bit-identical
+to the in-RAM :class:`~repro.core.training.Trainer` on the same data
+(LL trace, final assignments, fitted cells), for any shard geometry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.model import _cell_cache_key
+from repro.core.parallel import ParallelConfig, WorkerPoolWarning
+from repro.core.shard import SHARD_STAGES, ShardedFitResult, ShardedTrainer
+from repro.core.training import Trainer, TrainerConfig, fit_skill_model
+from repro.data.actions import Action, ActionLog
+from repro.data.store import ActionStore, StoreWriter
+from repro.exceptions import ConfigurationError, DataError
+from repro.testing.faults import kill_shard_worker
+
+
+def _progression_log(num_users=24, seed=11) -> ActionLog:
+    """Progression-flavoured sequences over the 12-item tiny catalog."""
+    rng = np.random.default_rng(seed)
+    actions = []
+    for u in range(num_users):
+        length = int(rng.integers(6, 18))
+        for t in range(length):
+            tier = min(2, (3 * t) // length)
+            item = f"i{int(rng.integers(4 * tier, 4 * tier + 4))}"
+            actions.append(Action(time=float(t), user=f"u{u:03d}", item=item))
+    return ActionLog.from_actions(actions)
+
+
+def _fit_pair(log, store, catalog, feature_set, **config_kwargs):
+    """Fit the same data in RAM and out of core with one configuration."""
+    defaults = dict(
+        num_levels=3, max_iterations=8, init_min_actions=8, smoothing=0.5
+    )
+    defaults.update(config_kwargs)
+    ram = Trainer(TrainerConfig(**defaults)).fit(log, catalog, feature_set)
+    sharded = ShardedTrainer(TrainerConfig(**defaults)).fit(
+        store, catalog, feature_set
+    )
+    return ram, sharded
+
+
+def _assert_identical(ram, sharded):
+    assert ram.trace.log_likelihoods == sharded.trace.log_likelihoods
+    assert ram.trace.converged == sharded.trace.converged
+    assert set(ram.assignments) == set(sharded.assignments)
+    for user in ram.assignments:
+        assert np.array_equal(ram.assignments[user], sharded.assignments[user])
+    for row_a, row_b in zip(ram.parameters.cells, sharded.parameters.cells):
+        for cell_a, cell_b in zip(row_a, row_b):
+            assert _cell_cache_key(cell_a) == _cell_cache_key(cell_b)
+
+
+@pytest.fixture
+def dataset(tiny_catalog, tiny_feature_set, tmp_path):
+    log = _progression_log()
+    feature_set = tiny_feature_set.with_id_feature()
+
+    def make_store(users_per_shard):
+        path = tmp_path / f"shards-{users_per_shard}.store"
+        return ActionStore.from_log(log, path, users_per_shard=users_per_shard)
+
+    return log, tiny_catalog, feature_set, make_store
+
+
+class TestShardedParity:
+    @pytest.mark.parametrize("users_per_shard", [1, 4, 1000])
+    def test_bit_identical_for_any_geometry(self, dataset, users_per_shard):
+        """One user per shard, several, or everything in a single shard."""
+        log, catalog, feature_set, make_store = dataset
+        store = make_store(users_per_shard)
+        ram, sharded = _fit_pair(log, store, catalog, feature_set)
+        _assert_identical(ram, sharded)
+
+    def test_cold_mstep_parity(self, dataset):
+        log, catalog, feature_set, make_store = dataset
+        store = make_store(5)
+        ram, sharded = _fit_pair(
+            log, store, catalog, feature_set, incremental_mstep=False
+        )
+        _assert_identical(ram, sharded)
+
+    def test_pooled_parity(self, dataset):
+        """workers > 1 routes shards through the process pool; results
+        must not depend on which process ran which shard."""
+        log, catalog, feature_set, make_store = dataset
+        store = make_store(4)
+        parallel = ParallelConfig(users=True, workers=2, restart_backoff=0.0)
+        ram, pooled = _fit_pair(
+            log, store, catalog, feature_set, parallel=parallel
+        )
+        _assert_identical(ram, pooled)
+
+    def test_fit_skill_model_dispatches_stores(self, dataset):
+        log, catalog, feature_set, make_store = dataset
+        store = make_store(6)
+        via_log = fit_skill_model(
+            log, catalog, feature_set, 3, max_iterations=6, init_min_actions=8
+        )
+        via_store = fit_skill_model(
+            store, catalog, feature_set, 3, max_iterations=6, init_min_actions=8
+        )
+        _assert_identical(via_log, via_store)
+
+    def test_checkpointing_rejected_for_stores(self, dataset, tmp_path):
+        from repro.core.checkpoint import CheckpointConfig
+
+        _, catalog, feature_set, make_store = dataset
+        store = make_store(6)
+        checkpoint = CheckpointConfig(path=tmp_path / "m.ckpt.json", every=1)
+        with pytest.raises(ConfigurationError, match="checkpoint"):
+            fit_skill_model(
+                store, catalog, feature_set, 3, checkpoint=checkpoint
+            )
+
+
+class TestShardedResultShape:
+    def test_materialize_false_skips_assignments(self, dataset):
+        log, catalog, feature_set, make_store = dataset
+        store = make_store(4)
+        config = TrainerConfig(
+            num_levels=3, max_iterations=6, init_min_actions=8
+        )
+        full = ShardedTrainer(config).fit(store, catalog, feature_set)
+        slim = ShardedTrainer(config).fit(
+            store, catalog, feature_set, materialize=False
+        )
+        assert isinstance(slim, ShardedFitResult)
+        assert slim.trace.log_likelihoods == full.trace.log_likelihoods
+        assert slim.num_users == store.num_users
+        assert slim.num_actions == store.num_actions
+        assert slim.num_shards == store.num_shards
+
+    def test_telemetry_covers_shard_stages(self, dataset):
+        _, catalog, feature_set, make_store = dataset
+        store = make_store(4)
+        config = TrainerConfig(
+            num_levels=3, max_iterations=4, init_min_actions=8
+        )
+        model = ShardedTrainer(config).fit(store, catalog, feature_set)
+        stage_names = {
+            name
+            for record in model.telemetry.iterations
+            for name in record.stage_seconds
+        }
+        assert stage_names == set(SHARD_STAGES)
+
+    def test_empty_store_rejected(self, tiny_catalog, tiny_feature_set, tmp_path):
+        store = StoreWriter(tmp_path / "empty.store").finalize()
+        config = TrainerConfig(num_levels=3)
+        with pytest.raises(DataError, match="empty action store"):
+            ShardedTrainer(config).fit(
+                store, tiny_catalog, tiny_feature_set.with_id_feature()
+            )
+
+
+class TestShardedFaults:
+    def test_worker_death_triggers_rebuild_with_parity(self, dataset, tmp_path):
+        """One shard worker dying mid-fit must cost a pool rebuild, not
+        correctness: the recovered fit stays bit-identical."""
+        log, catalog, feature_set, make_store = dataset
+        store = make_store(4)
+        parallel = ParallelConfig(users=True, workers=2, restart_backoff=0.0)
+        ram, _ = _fit_pair(log, store, catalog, feature_set)
+        config = TrainerConfig(
+            num_levels=3,
+            max_iterations=8,
+            init_min_actions=8,
+            smoothing=0.5,
+            parallel=parallel,
+        )
+        trainer = ShardedTrainer(config)
+        with kill_shard_worker(tmp_path, deaths=1) as token_dir:
+            with pytest.warns(WorkerPoolWarning, match="rebuilding pool"):
+                recovered = trainer.fit(store, catalog, feature_set)
+            claimed = [p for p in token_dir.iterdir() if p.suffix == ".claimed"]
+            assert len(claimed) == 1
+        _assert_identical(ram, recovered)
+
+    def test_repeated_deaths_degrade_to_serial_with_parity(
+        self, dataset, tmp_path
+    ):
+        """Exhausting the rebuild budget falls back to serial shard
+        execution for the rest of the run — still bit-identical."""
+        log, catalog, feature_set, make_store = dataset
+        store = make_store(4)
+        parallel = ParallelConfig(
+            users=True, workers=2, max_pool_restarts=1, restart_backoff=0.0
+        )
+        ram, _ = _fit_pair(log, store, catalog, feature_set)
+        config = TrainerConfig(
+            num_levels=3,
+            max_iterations=8,
+            init_min_actions=8,
+            smoothing=0.5,
+            parallel=parallel,
+        )
+        trainer = ShardedTrainer(config)
+        with kill_shard_worker(tmp_path, deaths=20):
+            with pytest.warns(WorkerPoolWarning, match="degrading to serial"):
+                degraded = trainer.fit(store, catalog, feature_set)
+        _assert_identical(ram, degraded)

@@ -318,3 +318,106 @@ class TestFitFromStats:
                 else:
                     expected = dist_cls.fit(values, weights=resp[:, s])
                 assert _cells_equal(fitted.cells[s][f], expected)
+
+
+# ---------------------------------------------------------------------------
+# Map-reduce combiner: merge across arbitrary user partitions == cold pass.
+# ---------------------------------------------------------------------------
+
+
+def _random_users(encoded, num_levels, num_users, seed):
+    """Per-user (rows, levels) chunks with jagged lengths."""
+    rng = np.random.default_rng(seed)
+    users = []
+    for _ in range(num_users):
+        n = int(rng.integers(1, 12))
+        rows = rng.integers(0, encoded.num_items, size=n).astype(np.int64)
+        levels = rng.integers(0, num_levels, size=n).astype(np.int64)
+        users.append((rows, levels))
+    return users
+
+
+def _counts_equal(a, b, encoded) -> None:
+    assert np.array_equal(a.level_counts, b.level_counts)
+    assert np.array_equal(a.item_counts, b.item_counts)
+    for f, vocab in enumerate(encoded.vocabularies):
+        if vocab is not None:
+            assert np.array_equal(a.category_counts(f), b.category_counts(f))
+
+
+class TestMergePartitions:
+    """``SkillStats.merge`` is the sharded trainer's reduce step: per-shard
+    counts summed with exact integer addition must equal a cold single-pass
+    build for *any* partition of the users — that invariant is what makes
+    map-reduce fits bit-identical to in-RAM fits.  The fixture covers all
+    four distributions (Categorical, Poisson, Gamma, LogNormal)."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_partition_equals_cold(self, full_kind_encoded, seed):
+        encoded = full_kind_encoded
+        num_levels = 4
+        rng = np.random.default_rng(100 + seed)
+        users = _random_users(encoded, num_levels, int(rng.integers(1, 25)), seed)
+        all_rows = np.concatenate([u[0] for u in users])
+        all_levels = np.concatenate([u[1] for u in users])
+        cold = SkillStats.from_assignments(
+            encoded, all_rows, all_levels, num_levels=num_levels
+        )
+        # Sometimes more shards than users, so empty shards and
+        # single-user shards both occur in the sample.
+        num_shards = int(rng.integers(1, len(users) + 4))
+        owner = rng.integers(0, num_shards, size=len(users))
+        merged = SkillStats(encoded, num_levels)
+        for s in range(num_shards):
+            part = SkillStats(encoded, num_levels)
+            for u in np.flatnonzero(owner == s):
+                part.add(users[u][0], users[u][1])
+            merged.merge(part)
+        _counts_equal(merged, cold, encoded)
+        p_merged = SkillParameters.fit_from_stats(merged)
+        p_cold = SkillParameters.fit_from_stats(cold)
+        for s in range(num_levels):
+            for f in range(len(encoded.feature_set)):
+                assert _cells_equal(p_merged.cells[s][f], p_cold.cells[s][f])
+
+    def test_merge_order_independent(self, full_kind_encoded):
+        encoded = full_kind_encoded
+        users = _random_users(encoded, 3, 9, seed=21)
+        parts = []
+        for rows, levels in users:
+            part = SkillStats(encoded, 3)
+            part.add(rows, levels)
+            parts.append(part)
+        forward = SkillStats(encoded, 3)
+        for part in parts:
+            forward.merge(part)
+        backward = SkillStats(encoded, 3)
+        for part in reversed(parts):
+            backward.merge(part)
+        _counts_equal(forward, backward, encoded)
+
+    def test_single_user_and_empty_shards(self, full_kind_encoded):
+        encoded = full_kind_encoded
+        users = _random_users(encoded, 3, 5, seed=42)
+        cold = SkillStats.from_assignments(
+            encoded,
+            np.concatenate([u[0] for u in users]),
+            np.concatenate([u[1] for u in users]),
+            num_levels=3,
+        )
+        merged = SkillStats(encoded, 3)
+        merged.merge(SkillStats(encoded, 3))  # leading empty shard
+        for rows, levels in users:  # one user per shard
+            part = SkillStats(encoded, 3)
+            part.add(rows, levels)
+            merged.merge(part)
+        merged.merge(SkillStats(encoded, 3))  # trailing empty shard
+        _counts_equal(merged, cold, encoded)
+        for s in range(3):
+            for f in range(len(encoded.feature_set)):
+                assert _cells_equal(merged.fit_cell(s, f), cold.fit_cell(s, f))
+
+    def test_merge_shape_mismatch_raises(self, full_kind_encoded):
+        stats = SkillStats(full_kind_encoded, 3)
+        with pytest.raises(ConfigurationError, match="merge"):
+            stats.merge(SkillStats(full_kind_encoded, 4))

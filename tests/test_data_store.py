@@ -1,0 +1,259 @@
+"""Tests for the out-of-core columnar action store (repro.data.store).
+
+The store is the disk twin of :class:`~repro.data.actions.ActionLog`:
+users bucketed into memmapped column shards under a checksummed manifest.
+These tests pin the invariants sharded training relies on — user order
+preserved, sequences stored whole and time-sorted, exact round-trips, and
+corruption surfacing through ``verify`` instead of silent garbage.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.actions import Action, ActionLog
+from repro.data.io import iter_actions, save_log
+from repro.data.store import (
+    ActionStore,
+    StoreWriter,
+    convert_log_file,
+    is_store,
+)
+from repro.exceptions import ConfigurationError, DataError
+
+
+def _sample_log(num_users=10, seed=0):
+    """A small jagged log with mixed id types and sparse ratings."""
+    rng = np.random.default_rng(seed)
+    actions = []
+    for u in range(num_users):
+        user = f"u{u}" if u % 2 else u  # string and integer ids both
+        for t in range(int(rng.integers(1, 8))):
+            actions.append(
+                Action(
+                    time=float(t),
+                    user=user,
+                    item=f"i{int(rng.integers(0, 12))}",
+                    rating=float(rng.integers(1, 6)) if rng.random() < 0.3 else None,
+                )
+            )
+    return ActionLog.from_actions(actions)
+
+
+class TestRoundTrip:
+    def test_from_log_round_trips(self, tmp_path):
+        log = _sample_log()
+        store = ActionStore.from_log(log, tmp_path / "s.store", users_per_shard=3)
+        assert store.num_users == log.num_users
+        assert store.num_actions == log.num_actions
+        back = store.to_log()
+        assert list(back.users) == list(log.users)
+        for user in log.users:
+            a, b = log.sequence(user), back.sequence(user)
+            assert a.items == b.items
+            assert a.times == b.times
+            assert tuple(x.rating for x in a) == tuple(x.rating for x in b)
+
+    def test_iter_actions_streams_in_user_order(self, tmp_path):
+        log = _sample_log(num_users=5, seed=1)
+        store = ActionStore.from_log(log, tmp_path / "s.store", users_per_shard=2)
+        seen = list(store.iter_actions())
+        expected = [a for user in log.users for a in log.sequence(user)]
+        assert [(a.user, a.item, a.time, a.rating) for a in seen] == [
+            (a.user, a.item, a.time, a.rating) for a in expected
+        ]
+
+    def test_shard_bucketing(self, tmp_path):
+        log = _sample_log(num_users=7)
+        store = ActionStore.from_log(log, tmp_path / "s.store", users_per_shard=3)
+        assert store.num_shards == 3
+        sizes = [store.shard(i).num_users for i in range(store.num_shards)]
+        assert sizes == [3, 3, 1]
+        assert sum(s.num_actions for s in store.iter_shards()) == log.num_actions
+
+    def test_eager_and_memmap_reads_agree(self, tmp_path):
+        log = _sample_log(num_users=4, seed=2)
+        store = ActionStore.from_log(log, tmp_path / "s.store", users_per_shard=2)
+        for i in range(store.num_shards):
+            lazy = store.shard(i)
+            eager = store.shard(i, eager=True)
+            assert isinstance(lazy.codes, np.memmap)
+            assert not isinstance(eager.codes, np.memmap)
+            assert np.array_equal(np.asarray(lazy.codes), eager.codes)
+            assert np.array_equal(np.asarray(lazy.times), eager.times)
+
+
+class TestWriter:
+    def test_unsorted_times_are_sorted_on_write(self, tmp_path):
+        writer = StoreWriter(tmp_path / "s.store")
+        writer.add_user("a", [3.0, 1.0, 2.0], item_ids=["x", "y", "z"])
+        store = writer.finalize()
+        seq = store.to_log().sequence("a")
+        assert seq.times == (1.0, 2.0, 3.0)
+        assert seq.items == ("y", "z", "x")
+
+    def test_duplicate_user_rejected(self, tmp_path):
+        writer = StoreWriter(tmp_path / "s.store")
+        writer.add_user("a", [0.0], item_ids=["x"])
+        with pytest.raises(DataError, match="grouped by user"):
+            writer.add_user("a", [1.0], item_ids=["y"])
+
+    def test_item_codes_path(self, tmp_path):
+        writer = StoreWriter(tmp_path / "s.store")
+        codes = writer.register_items(["x", "y"])
+        writer.add_user("a", [0.0, 1.0], item_codes=codes, presorted=True)
+        store = writer.finalize()
+        assert store.item_ids == ["x", "y"]
+        assert store.to_log().sequence("a").items == ("x", "y")
+        with pytest.raises(ConfigurationError):
+            StoreWriter(tmp_path / "t.store").add_user(
+                "a", [0.0], item_codes=np.array([5])
+            )
+
+    def test_exactly_one_item_argument(self, tmp_path):
+        writer = StoreWriter(tmp_path / "s.store")
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            writer.add_user("a", [0.0])
+
+    def test_refuses_committed_store(self, tmp_path):
+        path = tmp_path / "s.store"
+        writer = StoreWriter(path)
+        writer.add_user("a", [0.0], item_ids=["x"])
+        writer.finalize()
+        with pytest.raises(DataError, match="refusing to overwrite"):
+            StoreWriter(path)
+
+    def test_uncommitted_directory_is_not_a_store(self, tmp_path):
+        path = tmp_path / "s.store"
+        StoreWriter(path).add_user("a", [0.0], item_ids=["x"])
+        # No finalize: readers must refuse the half-written directory.
+        assert not is_store(path)
+        with pytest.raises(DataError, match="not an action store"):
+            ActionStore(path)
+
+    def test_max_shard_actions_seals_early(self, tmp_path):
+        writer = StoreWriter(
+            tmp_path / "s.store", users_per_shard=100, max_shard_actions=5
+        )
+        for u in range(4):
+            writer.add_user(u, np.arange(3.0), item_ids=["x", "y", "z"])
+        store = writer.finalize()
+        assert store.num_shards > 1
+        assert list(store.users()) == [0, 1, 2, 3]
+
+
+class TestConverter:
+    def test_convert_matches_source_log(self, tmp_path):
+        log = _sample_log(num_users=9, seed=3)
+        log_path = tmp_path / "d.log.jsonl"
+        save_log(log, log_path)
+        store = convert_log_file(log_path, tmp_path / "d.store", users_per_shard=4)
+        assert store.num_users == log.num_users
+        back = store.to_log()
+        for user in log.users:
+            assert back.sequence(user).items == log.sequence(user).items
+            assert tuple(a.rating for a in back.sequence(user)) == tuple(
+                a.rating for a in log.sequence(user)
+            )
+
+    def test_convert_rejects_ungrouped_users(self, tmp_path):
+        path = tmp_path / "bad.log.jsonl"
+        rows = [
+            {"time": 0.0, "user": "a", "item": "x"},
+            {"time": 0.0, "user": "b", "item": "x"},
+            {"time": 1.0, "user": "a", "item": "y"},
+        ]
+        path.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        with pytest.raises(DataError, match="grouped by user"):
+            convert_log_file(path, tmp_path / "bad.store")
+
+    def test_convert_sorts_within_user(self, tmp_path):
+        path = tmp_path / "d.log.jsonl"
+        rows = [
+            {"time": 2.0, "user": "a", "item": "x"},
+            {"time": 1.0, "user": "a", "item": "y"},
+        ]
+        path.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        store = convert_log_file(path, tmp_path / "d.store")
+        assert store.to_log().sequence("a").items == ("y", "x")
+
+
+class TestVerify:
+    def _store(self, tmp_path):
+        return ActionStore.from_log(
+            _sample_log(num_users=6, seed=4), tmp_path / "s.store", users_per_shard=2
+        )
+
+    def test_clean_store_verifies(self, tmp_path):
+        store = self._store(tmp_path)
+        shallow = store.verify()
+        deep = store.verify(deep=True)
+        assert shallow["ok"] and deep["ok"]
+        assert deep["files_checked"] == shallow["files_checked"] > 0
+
+    def test_truncation_detected_shallow(self, tmp_path):
+        store = self._store(tmp_path)
+        victim = store.path / store.manifest["shards"][0]["name"] / "item.npy"
+        victim.write_bytes(victim.read_bytes()[:-4])
+        report = store.verify()
+        assert not report["ok"]
+        assert any("item.npy" in p and "bytes" in p for p in report["problems"])
+
+    def test_bitflip_detected_only_deep(self, tmp_path):
+        store = self._store(tmp_path)
+        victim = store.path / store.manifest["shards"][1]["name"] / "time.npy"
+        data = bytearray(victim.read_bytes())
+        data[-1] ^= 0xFF  # same size, different content
+        victim.write_bytes(bytes(data))
+        assert store.verify()["ok"]  # size check cannot see it
+        report = store.verify(deep=True)
+        assert not report["ok"]
+        assert any("checksum mismatch" in p for p in report["problems"])
+
+    def test_missing_file_detected(self, tmp_path):
+        store = self._store(tmp_path)
+        (store.path / store.manifest["shards"][0]["name"] / "offsets.npy").unlink()
+        report = store.verify()
+        assert not report["ok"]
+        assert any("missing" in p for p in report["problems"])
+
+    def test_tampered_items_file_rejected_on_read(self, tmp_path):
+        store = self._store(tmp_path)
+        items_path = store.path / "items.json"
+        items_path.write_text(items_path.read_text() + " ")
+        fresh = ActionStore(store.path)
+        with pytest.raises(DataError, match="checksum"):
+            fresh.item_ids
+
+
+class TestIterActionsIO:
+    """The streaming reader feeding the converter (repro.data.io)."""
+
+    def test_matches_load_log(self, tmp_path):
+        log = _sample_log(num_users=5, seed=5)
+        path = tmp_path / "d.log.jsonl"
+        save_log(log, path)
+        streamed = list(iter_actions(path))
+        expected = [a for user in log.users for a in log.sequence(user)]
+        assert streamed == expected
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"time": 0, "user": "a", "item": "x"}\nnope\n')
+        with pytest.raises(DataError, match="bad.jsonl:2"):
+            list(iter_actions(path))
+
+    def test_large_log_crosses_write_buffer(self, tmp_path):
+        # Enough lines that save_log's chunked writer flushes mid-stream;
+        # the output must still round-trip exactly.
+        actions = [
+            Action(time=float(t), user=u, item=f"item-{t % 50}")
+            for u in range(40)
+            for t in range(60)
+        ]
+        log = ActionLog.from_actions(actions)
+        path = tmp_path / "big.log.jsonl"
+        save_log(log, path)
+        assert path.stat().st_size > (1 << 16)
+        assert list(iter_actions(path)) == actions

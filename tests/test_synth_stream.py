@@ -1,0 +1,101 @@
+"""Tests for the out-of-core synthetic generator (repro.synth.stream)."""
+
+import numpy as np
+import pytest
+
+from repro.synth import (
+    SyntheticConfig,
+    generate_synthetic,
+    generate_synthetic_store,
+)
+from repro.synth.stream import SyntheticStoreResult
+
+
+def _small_config(**overrides):
+    base = dict(num_users=30, num_items=60, num_levels=3, mean_sequence_length=8.0, seed=5)
+    base.update(overrides)
+    return SyntheticConfig(**base)
+
+
+class TestStreamGenerator:
+    def test_writes_a_valid_store(self, tmp_path):
+        config = _small_config()
+        result = generate_synthetic_store(
+            config, tmp_path / "s.store", users_per_shard=8
+        )
+        assert isinstance(result, SyntheticStoreResult)
+        store = result.store
+        assert store.num_users == config.num_users
+        assert store.num_items == config.num_items
+        assert store.num_shards == 4  # ceil(30 / 8)
+        assert store.verify(deep=True)["ok"]
+        # Store codes are item ids: the vocabulary was registered 0..N-1
+        # up front, so no per-action translation is ever needed.
+        assert store.item_ids == list(range(config.num_items))
+
+    def test_catalog_matches_in_ram_generator(self, tmp_path):
+        """Items come from the same recipe as the in-RAM path: identical
+        catalog and ground-truth difficulty for identical config."""
+        config = _small_config()
+        result = generate_synthetic_store(config, tmp_path / "s.store")
+        ram = generate_synthetic(config)
+        assert len(result.catalog) == len(ram.catalog)
+        for item in ram.catalog:
+            assert result.catalog[item.id].features == item.features
+        assert result.true_difficulty == ram.true_difficulty
+
+    def test_deterministic_for_seed(self, tmp_path):
+        config = _small_config(seed=9)
+        a = generate_synthetic_store(config, tmp_path / "a.store").store
+        b = generate_synthetic_store(config, tmp_path / "b.store").store
+        assert a.num_actions == b.num_actions
+        for i in range(a.num_shards):
+            sa, sb = a.shard(i, eager=True), b.shard(i, eager=True)
+            assert sa.users == sb.users
+            assert np.array_equal(sa.codes, sb.codes)
+            assert np.array_equal(sa.times, sb.times)
+
+    def test_sequences_are_plausible(self, tmp_path):
+        config = _small_config(num_users=100, mean_sequence_length=12.0)
+        store = generate_synthetic_store(config, tmp_path / "s.store").store
+        lengths = [
+            length
+            for shard in store.iter_shards(eager=True)
+            for length in shard.lengths
+        ]
+        assert min(lengths) >= 1
+        assert 6.0 < float(np.mean(lengths)) < 20.0
+        for shard in store.iter_shards(eager=True):
+            assert shard.codes.min() >= 0
+            assert shard.codes.max() < config.num_items
+            for times in np.split(np.asarray(shard.times), shard.offsets[1:-1]):
+                assert np.all(np.diff(times) >= 0)
+
+    def test_block_boundary_invariant_user_count(self, tmp_path):
+        """Generation in small blocks covers every user exactly once."""
+        config = _small_config(num_users=25)
+        store = generate_synthetic_store(
+            config, tmp_path / "s.store", block_users=4
+        ).store
+        assert store.num_users == 25
+        assert len(set(store.users())) == 25
+
+    def test_start_level_weights_accepted(self, tmp_path):
+        config = _small_config(start_level_weights=(5.0, 1.0, 1.0))
+        store = generate_synthetic_store(config, tmp_path / "s.store").store
+        assert store.num_users == config.num_users
+
+    def test_store_is_trainable(self, tmp_path, tiny_feature_set):
+        from repro.core.training import fit_skill_model
+
+        config = _small_config()
+        result = generate_synthetic_store(config, tmp_path / "s.store")
+        model = fit_skill_model(
+            result.store,
+            result.catalog,
+            result.feature_set,
+            config.num_levels,
+            max_iterations=3,
+            init_min_actions=5,
+        )
+        assert len(model.assignments) == config.num_users
