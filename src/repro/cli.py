@@ -297,6 +297,38 @@ def build_parser() -> argparse.ArgumentParser:
         "under the decay lattice (needs --decay-half-life)",
     )
     serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="prefork mode: N worker processes share the listen address "
+        "(SO_REUSEPORT) and one shared-memory copy of every model; "
+        "omit for the classic single-process server",
+    )
+    serve_parser.add_argument(
+        "--tenant",
+        action="append",
+        default=None,
+        metavar="NAME=PREFIX",
+        help="serve an additional named model at /t/NAME/... (repeatable); "
+        "the positional model is the default tenant",
+    )
+    serve_parser.add_argument(
+        "--residency-budget-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="LRU byte budget across resident tenant models (counted "
+        "against the shared-memory segments in prefork mode)",
+    )
+    serve_parser.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="prefork coordination directory (worker registrations, "
+        "generation manifests; default: a temporary directory)",
+    )
+    serve_parser.add_argument(
         "--trace-sample",
         type=float,
         default=0.1,
@@ -785,6 +817,82 @@ def _cmd_inspect(model_path: str, data: str | None) -> int:
     return 0
 
 
+def _parse_tenants(args) -> dict[str, str] | None:
+    """``--tenant NAME=PREFIX`` flags plus the positional default model;
+    returns None (having printed an error) on a malformed flag."""
+    tenants = {"default": args.model}
+    for entry in args.tenant or ():
+        name, sep, prefix = entry.partition("=")
+        if not sep or not name or not prefix:
+            print(f"error: --tenant expects NAME=PREFIX, got {entry!r}", file=sys.stderr)
+            return None
+        if "/" in name or name in tenants:
+            print(f"error: invalid or duplicate tenant name {name!r}", file=sys.stderr)
+            return None
+        tenants[name] = prefix
+    return tenants
+
+
+def _cmd_serve_prefork(args, tenants: dict[str, str]) -> int:
+    """``repro serve --workers N``: the prefork supervisor as pid 1."""
+    import signal
+    import tempfile
+    from pathlib import Path
+
+    from repro.serve import PreforkConfig, PreforkSupervisor, ServeConfig
+
+    if args.ingest_wal:
+        print(
+            "error: --workers is incompatible with --ingest-wal (ingest "
+            "needs a single writer; run a dedicated single-process "
+            "ingest server instead)",
+            file=sys.stderr,
+        )
+        return 2
+    run_dir = Path(args.run_dir or tempfile.mkdtemp(prefix="repro-prefork-"))
+    budget = (
+        int(args.residency_budget_mb * 1024 * 1024)
+        if args.residency_budget_mb
+        else None
+    )
+    supervisor = PreforkSupervisor(
+        tenants,
+        PreforkConfig(
+            workers=args.workers,
+            run_dir=run_dir,
+            poll_seconds=args.poll_seconds,
+            residency_budget_bytes=budget,
+        ),
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            max_queue=args.max_queue,
+            timeout_seconds=args.timeout,
+            poll_seconds=args.poll_seconds,
+        ),
+    )
+    host, port = supervisor.start()
+    names = ", ".join(sorted(tenants))
+    print(
+        f"serving {args.model} on http://{host}:{port} "
+        f"(workers={args.workers}, tenants=[{names}], run_dir={run_dir}); "
+        "Ctrl-C to stop"
+    )
+    # SIGTERM and Ctrl-C both drain: workers finish in-flight requests,
+    # then the parent unlinks every shm generation it owns.
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: supervisor.request_stop())
+    try:
+        supervisor.wait_ready()
+        supervisor.serve_forever()
+    finally:
+        supervisor.stop()
+    print("shutting down")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
     import gc
@@ -797,7 +905,13 @@ def _cmd_serve(args) -> int:
         SkillServer,
         WriteAheadLog,
     )
-    from repro.serve.state import ModelState
+    from repro.serve.state import ModelState, TenantRegistry, TenantSpec
+
+    tenants = _parse_tenants(args)
+    if tenants is None:
+        return 2
+    if args.workers is not None:
+        return _cmd_serve_prefork(args, tenants)
 
     config = ServeConfig(
         host=args.host,
@@ -808,7 +922,20 @@ def _cmd_serve(args) -> int:
         timeout_seconds=args.timeout,
         poll_seconds=args.poll_seconds,
     )
-    state = ModelState(args.model, poll_seconds=args.poll_seconds)
+    budget = (
+        int(args.residency_budget_mb * 1024 * 1024)
+        if args.residency_budget_mb
+        else None
+    )
+    registry = TenantRegistry(
+        [
+            TenantSpec(name, prefix=Path(prefix))
+            for name, prefix in tenants.items()
+        ],
+        residency_budget_bytes=budget,
+        poll_seconds=args.poll_seconds,
+    )
+    state = registry.state()
 
     wal = None
     foldin = None
@@ -837,7 +964,7 @@ def _cmd_serve(args) -> int:
         foldin.bootstrap()
 
     async def _run() -> None:
-        server = SkillServer(state, config, wal=wal, foldin=foldin)
+        server = SkillServer(registry, config, wal=wal, foldin=foldin)
         host, port = await server.start()
         meta = state.current.metadata
         print(

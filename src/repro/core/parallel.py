@@ -47,6 +47,8 @@ __all__ = [
     "RecoveringPool",
     "WorkerPoolWarning",
     "assign_paths",
+    "attach_segment",
+    "create_segment",
     "make_cell_fitter",
     "publish_item_major",
 ]
@@ -141,22 +143,44 @@ class _SharedScoreTable:
     dtype: str
 
 
-def _open_shared_table(ref: _SharedScoreTable):
-    """Attach to a published table; returns ``(array_view, segment)``."""
-    segment = shared_memory.SharedMemory(name=ref.name)
-    # Attaching registers the segment with the resource tracker, which
-    # would try to unlink it at interpreter exit even though the parent
-    # owns unlinking.  Under ``spawn`` each worker has its *own* tracker,
-    # so the attach-only registration must be removed here.  Under
-    # ``fork`` the worker shares the parent's tracker process and its
-    # cache is a set — the attach re-add is a no-op and unregistering
-    # here would erase the parent's own registration instead (making the
-    # parent's later unlink crash the tracker), so leave it alone.
+def create_segment(nbytes: int, *, tag: str = "") -> shared_memory.SharedMemory:
+    """A fresh shared-memory segment under this module's leak-scan prefix.
+
+    Every segment the project publishes — per-iteration score tables, the
+    sharded trainer's code tables, and the serving layer's whole-model
+    generations (:func:`repro.core.serialize.publish_model_shm`) — goes
+    through here so the fault-injection suites can assert nothing leaks by
+    scanning ``/dev/shm`` for :data:`SHM_PREFIX`.  The caller owns the
+    segment: it must ``close()`` *and* ``unlink()`` it.
+    """
+    name = f"{SHM_PREFIX}{tag}{os.getpid()}_{secrets.token_hex(4)}"
+    return shared_memory.SharedMemory(name=name, create=True, size=int(nbytes))
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to a segment another process published (never unlinks it).
+
+    Attaching registers the segment with the resource tracker, which
+    would try to unlink it at interpreter exit even though the publisher
+    owns unlinking.  Under ``spawn`` each worker has its *own* tracker,
+    so the attach-only registration must be removed here.  Under
+    ``fork`` the worker shares the parent's tracker process and its
+    cache is a set — the attach re-add is a no-op and unregistering
+    here would erase the parent's own registration instead (making the
+    parent's later unlink crash the tracker), so leave it alone.
+    """
+    segment = shared_memory.SharedMemory(name=name)
     if multiprocessing.get_start_method() != "fork":
         try:  # pragma: no cover - tracker internals vary across versions
             resource_tracker.unregister(segment._name, "shared_memory")  # type: ignore[attr-defined]
         except Exception:
             pass
+    return segment
+
+
+def _open_shared_table(ref: _SharedScoreTable):
+    """Attach to a published table; returns ``(array_view, segment)``."""
+    segment = attach_segment(ref.name)
     view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=segment.buf)
     return view, segment
 
@@ -176,9 +200,8 @@ def publish_item_major(
     item_major = np.ascontiguousarray(np.asarray(item_major, dtype=np.float64))
     if item_major.nbytes == 0:
         return None, None
-    name = f"{SHM_PREFIX}{os.getpid()}_{secrets.token_hex(4)}"
     try:
-        shm = shared_memory.SharedMemory(name=name, create=True, size=item_major.nbytes)
+        shm = create_segment(item_major.nbytes)
     except OSError as exc:  # pragma: no cover - platform-dependent
         _log.warning(
             "shared-memory publish failed; shipping table per task",
@@ -189,7 +212,7 @@ def publish_item_major(
     view[:] = item_major
     del view  # no exported buffer views may outlive close()
     return shm, _SharedScoreTable(
-        name=name,
+        name=shm.name,
         shape=(int(item_major.shape[0]), int(item_major.shape[1])),
         dtype=item_major.dtype.str,
     )

@@ -28,6 +28,8 @@ import hashlib
 import io
 import json
 import os
+import struct
+from collections.abc import Callable, Mapping
 from pathlib import Path
 
 import numpy as np
@@ -40,7 +42,14 @@ from repro.obs.logging import get_logger
 from repro.obs.metrics import get_registry
 from repro.obs.telemetry import TrainingTelemetry
 
-__all__ = ["artifact_metadata", "load_model", "save_model"]
+__all__ = [
+    "artifact_metadata",
+    "attach_model_shm",
+    "load_model",
+    "model_resident_bytes",
+    "publish_model_shm",
+    "save_model",
+]
 
 _log = get_logger("core.serialize")
 
@@ -111,30 +120,20 @@ def _atomic_commit(writes: list[tuple[Path, bytes]]) -> None:
         raise
 
 
-def save_model(
-    model: SkillModel, path_prefix: str | Path, *, extra: dict | None = None
-) -> tuple[Path, Path]:
-    """Write ``<prefix>.json`` and ``<prefix>.npz``; returns both paths.
+def _model_payload(
+    model: SkillModel, *, extra: dict | None = None
+) -> tuple[dict, dict[str, np.ndarray]]:
+    """(structure, named arrays) — the canonical flat form of a model.
 
-    The model's :class:`~repro.obs.telemetry.TrainingTelemetry` (when
-    present) rides along in the JSON, so ``repro inspect`` can report run
-    diagnostics for models loaded from disk.  Save duration and artifact
-    sizes land in the ``model.save_seconds`` / ``model.artifact_bytes``
-    metrics and an INFO log record.
-
-    ``extra`` is an optional JSON-representable object stored verbatim in
-    the structure file and surfaced by :func:`artifact_metadata`; it never
-    affects :func:`load_model`.  Because the JSON replace *is* the commit
-    point of the two-file save, anything in ``extra`` (the serving fold-in
-    watermark, for example) becomes durable atomically with the model it
-    describes.
+    Shared by the two publication paths: :func:`save_model` compresses
+    the arrays into the NPZ half of the artifact pair, and
+    :func:`publish_model_shm` lays them out in one shared-memory segment
+    for the prefork serving workers.  Both reconstruct through
+    :func:`_restore_model`, so the array naming (``cell_{s}_{f}``,
+    ``column_{f}``, ``assign_{k}``, ``times_{k}``) is the one contract.
     """
-    registry = get_registry()
-    start = registry.clock()
-    prefix = Path(path_prefix)
     feature_set = model.feature_set
     users = list(model.assignments)
-
     structure = {
         "format_version": _FORMAT_VERSION,
         "num_levels": model.num_levels,
@@ -169,6 +168,105 @@ def save_model(
     for k, user in enumerate(users):
         arrays[f"assign_{k}"] = np.asarray(model.assignments[user], dtype=np.int64)
         arrays[f"times_{k}"] = np.asarray(model._assignment_times[user], dtype=np.float64)
+    return structure, arrays
+
+
+def _restore_model(
+    structure: Mapping, get_array: Callable[[str], np.ndarray], *, source: str
+) -> SkillModel:
+    """Rebuild a :class:`SkillModel` from a structure dict and its arrays.
+
+    ``get_array`` maps one canonical array name to its payload — an NPZ
+    member for :func:`load_model`, a zero-copy view into a shared-memory
+    segment for :func:`attach_model_shm`.  ``source`` names the origin in
+    error messages.  The reconstruction is identical either way, which is
+    what the serving parity guarantee (byte-identical responses from disk-
+    and shm-backed models) rests on.
+    """
+    feature_set = FeatureSet(
+        FeatureSpec(entry["name"], FeatureKind(entry["kind"]))
+        for entry in structure["features"]
+    )
+    num_levels = int(structure["num_levels"])
+    try:
+        cells = tuple(
+            tuple(
+                _cell_restore(structure["cells"][s][f], get_array(f"cell_{s}_{f}"))
+                for f in range(len(feature_set))
+            )
+            for s in range(num_levels)
+        )
+        columns = tuple(get_array(f"column_{f}") for f in range(len(feature_set)))
+        users = structure["users"]
+        assignments = {user: get_array(f"assign_{k}") for k, user in enumerate(users)}
+        times = {user: get_array(f"times_{k}") for k, user in enumerate(users)}
+    except KeyError as exc:
+        raise DataError(
+            f"{source}: model payload is missing required array ({exc.args[0]})"
+        ) from None
+    parameters = SkillParameters(
+        feature_set=feature_set, num_levels=num_levels, cells=cells
+    )
+
+    # JSON round-trips tuples as lists and keeps ids JSON-typed, matching
+    # what repro.data.io enforces for persisted data.
+    item_ids = tuple(structure["item_ids"])
+    vocabularies = tuple(
+        tuple(vocab) if vocab is not None else None
+        for vocab in structure["vocabularies"]
+    )
+    encoded = EncodedItems(
+        feature_set=feature_set,
+        item_ids=item_ids,
+        index_of={item_id: pos for pos, item_id in enumerate(item_ids)},
+        columns=columns,
+        vocabularies=vocabularies,
+    )
+    trace = TrainingTrace(
+        log_likelihoods=tuple(structure["trace"]["log_likelihoods"]),
+        converged=bool(structure["trace"]["converged"]),
+        num_iterations=int(structure["trace"]["num_iterations"]),
+    )
+    telemetry_payload = structure.get("telemetry")
+    try:
+        telemetry = (
+            TrainingTelemetry.from_json(telemetry_payload) if telemetry_payload else None
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataError(f"{source}: malformed telemetry record ({exc})") from exc
+    return SkillModel(
+        parameters=parameters,
+        encoded=encoded,
+        assignments=assignments,
+        trace=trace,
+        _assignment_times=times,
+        telemetry=telemetry,
+    )
+
+
+def save_model(
+    model: SkillModel, path_prefix: str | Path, *, extra: dict | None = None
+) -> tuple[Path, Path]:
+    """Write ``<prefix>.json`` and ``<prefix>.npz``; returns both paths.
+
+    The model's :class:`~repro.obs.telemetry.TrainingTelemetry` (when
+    present) rides along in the JSON, so ``repro inspect`` can report run
+    diagnostics for models loaded from disk.  Save duration and artifact
+    sizes land in the ``model.save_seconds`` / ``model.artifact_bytes``
+    metrics and an INFO log record.
+
+    ``extra`` is an optional JSON-representable object stored verbatim in
+    the structure file and surfaced by :func:`artifact_metadata`; it never
+    affects :func:`load_model`.  Because the JSON replace *is* the commit
+    point of the two-file save, anything in ``extra`` (the serving fold-in
+    watermark, for example) becomes durable atomically with the model it
+    describes.
+    """
+    registry = get_registry()
+    start = registry.clock()
+    prefix = Path(path_prefix)
+    structure, arrays = _model_payload(model, extra=extra)
+    users = structure["users"]
 
     json_path = prefix.with_suffix(".json")
     npz_path = prefix.with_suffix(".npz")
@@ -292,66 +390,9 @@ def load_model(path_prefix: str | Path) -> SkillModel:
             f"{npz_path}: truncated or corrupted model archive ({exc})"
         ) from exc
 
-    feature_set = FeatureSet(
-        FeatureSpec(entry["name"], FeatureKind(entry["kind"]))
-        for entry in structure["features"]
-    )
-    num_levels = int(structure["num_levels"])
     with npz as arrays:
-        try:
-            cells = tuple(
-                tuple(
-                    _cell_restore(structure["cells"][s][f], arrays[f"cell_{s}_{f}"])
-                    for f in range(len(feature_set))
-                )
-                for s in range(num_levels)
-            )
-            columns = tuple(arrays[f"column_{f}"] for f in range(len(feature_set)))
-            users = structure["users"]
-            assignments = {user: arrays[f"assign_{k}"] for k, user in enumerate(users)}
-            times = {user: arrays[f"times_{k}"] for k, user in enumerate(users)}
-        except KeyError as exc:
-            raise DataError(
-                f"{npz_path}: model archive is missing required array ({exc.args[0]})"
-            ) from None
-    parameters = SkillParameters(
-        feature_set=feature_set, num_levels=num_levels, cells=cells
-    )
-
-    # JSON round-trips tuples as lists and keeps ids JSON-typed, matching
-    # what repro.data.io enforces for persisted data.
-    item_ids = tuple(structure["item_ids"])
-    vocabularies = tuple(
-        tuple(vocab) if vocab is not None else None
-        for vocab in structure["vocabularies"]
-    )
-    encoded = EncodedItems(
-        feature_set=feature_set,
-        item_ids=item_ids,
-        index_of={item_id: pos for pos, item_id in enumerate(item_ids)},
-        columns=columns,
-        vocabularies=vocabularies,
-    )
-    trace = TrainingTrace(
-        log_likelihoods=tuple(structure["trace"]["log_likelihoods"]),
-        converged=bool(structure["trace"]["converged"]),
-        num_iterations=int(structure["trace"]["num_iterations"]),
-    )
-    telemetry_payload = structure.get("telemetry")
-    try:
-        telemetry = (
-            TrainingTelemetry.from_json(telemetry_payload) if telemetry_payload else None
-        )
-    except (KeyError, TypeError, ValueError) as exc:
-        raise DataError(f"{json_path}: malformed telemetry record ({exc})") from exc
-    model = SkillModel(
-        parameters=parameters,
-        encoded=encoded,
-        assignments=assignments,
-        trace=trace,
-        _assignment_times=times,
-        telemetry=telemetry,
-    )
+        model = _restore_model(structure, arrays.__getitem__, source=str(npz_path))
+    users = structure["users"]
     elapsed = registry.clock() - start
     registry.histogram("model.load_seconds").observe(elapsed)
     _log.info(
@@ -366,3 +407,178 @@ def load_model(path_prefix: str | Path) -> SkillModel:
         },
     )
     return model
+
+
+# ------------------------------------------------------------- shared memory
+#
+# The prefork serving mode (repro.serve.prefork) places one whole model in a
+# single shared-memory segment so N worker processes read the same physical
+# arrays.  Layout, from offset 0:
+#
+#   [8-byte LE header length][header JSON][64-byte-aligned arrays...]
+#
+# The header carries the same ``structure`` dict save_model writes plus an
+# array table (name, dtype, shape, offset), so attach rebuilds the model
+# through the exact _restore_model path load_model uses — only with
+# zero-copy read-only views instead of freshly decompressed arrays.  The
+# descriptor names the segment and a SHA-256 over the whole payload;
+# attach re-hashes and refuses a mismatch, which is the checksum gate the
+# hot-swap generation protocol relies on.
+
+_SHM_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _SHM_ALIGN - 1) & ~(_SHM_ALIGN - 1)
+
+
+def model_resident_bytes(model: SkillModel) -> int:
+    """Bytes the model's numeric arrays occupy — the residency-budget unit.
+
+    Matches the shared-memory payload size to within header/alignment
+    slack, so disk-loaded and shm-attached tenants are charged the same
+    way by the serving registry's LRU budget.
+    """
+    _structure, arrays = _model_payload(model)
+    return sum(int(np.asarray(array).nbytes) for array in arrays.values())
+
+
+def publish_model_shm(model: SkillModel, *, extra: dict | None = None):
+    """Copy a model's arrays into one fresh shared-memory segment.
+
+    Returns ``(segment, descriptor)``.  The caller owns the segment and
+    must ``close()`` and ``unlink()`` it; the descriptor is a JSON-safe
+    dict (``name``/``bytes``/``header_bytes``/``sha256``) that any
+    process on the machine can hand to :func:`attach_model_shm`.
+    """
+    from repro.core.parallel import create_segment
+
+    registry = get_registry()
+    start = registry.clock()
+    structure, arrays = _model_payload(model, extra=extra)
+    contiguous = {
+        name: np.ascontiguousarray(array) for name, array in arrays.items()
+    }
+    table: list[dict] = []
+    offset = 0
+    for name, array in contiguous.items():
+        offset = _aligned(offset)
+        table.append(
+            {
+                "name": name,
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+                "offset": offset,
+            }
+        )
+        offset += array.nbytes
+    try:
+        header = json.dumps(
+            {"structure": structure, "arrays": table}, ensure_ascii=False
+        ).encode("utf-8")
+    except TypeError as exc:
+        raise DataError(f"model contains non-JSON identifiers: {exc}") from exc
+    arrays_start = _aligned(8 + len(header))
+    total = arrays_start + offset
+    segment = create_segment(total, tag="model_")
+    try:
+        buf = segment.buf
+        buf[:8] = struct.pack("<Q", len(header))
+        buf[8 : 8 + len(header)] = header
+        for entry, array in zip(table, contiguous.values()):
+            if array.nbytes == 0:
+                continue
+            view = np.ndarray(
+                array.shape,
+                dtype=array.dtype,
+                buffer=buf,
+                offset=arrays_start + entry["offset"],
+            )
+            view[:] = array
+            del view  # no exported views may outlive close()
+        digest = hashlib.sha256(buf[:total]).hexdigest()
+    except BaseException:
+        segment.close()
+        segment.unlink()
+        raise
+    descriptor = {
+        "name": segment.name,
+        "bytes": total,
+        "header_bytes": len(header),
+        "sha256": digest,
+    }
+    registry.histogram("model.shm_publish_seconds").observe(registry.clock() - start)
+    _log.info(
+        "model published to shared memory",
+        extra={
+            "obs": {
+                "segment": segment.name,
+                "bytes": total,
+                "users": len(structure["users"]),
+                "sha256": digest[:12],
+            }
+        },
+    )
+    return segment, descriptor
+
+
+def attach_model_shm(descriptor: Mapping):
+    """Rebuild a model around zero-copy views into a published segment.
+
+    Returns ``(model, segment)``.  The arrays inside the model are
+    read-only views into the segment's buffer: the segment must stay
+    mapped (not ``close()``d) for as long as the model is referenced, and
+    the caller never unlinks — the publisher owns the segment lifecycle.
+    A payload whose SHA-256 disagrees with the descriptor (torn publish,
+    wrong generation, reused name) raises
+    :class:`~repro.exceptions.DataError` before any view escapes.
+    """
+    from repro.core.parallel import attach_segment
+
+    name = str(descriptor["name"])
+    total = int(descriptor["bytes"])
+    segment = attach_segment(name)
+    try:
+        if segment.size < total:
+            raise DataError(
+                f"shm:{name}: segment is {segment.size} bytes, "
+                f"descriptor promises {total}"
+            )
+        digest = hashlib.sha256(segment.buf[:total]).hexdigest()
+        if digest != str(descriptor["sha256"]):
+            raise DataError(
+                f"shm:{name}: checksum mismatch (expected "
+                f"{str(descriptor['sha256'])[:12]}…, got {digest[:12]}…) — "
+                "the segment does not hold the generation the manifest names"
+            )
+        (header_bytes,) = struct.unpack("<Q", bytes(segment.buf[:8]))
+        if header_bytes != int(descriptor["header_bytes"]):
+            raise DataError(f"shm:{name}: header length disagrees with descriptor")
+        header = json.loads(bytes(segment.buf[8 : 8 + header_bytes]).decode("utf-8"))
+        structure = header["structure"]
+        if structure.get("format_version") != _FORMAT_VERSION:
+            raise DataError(
+                f"shm:{name}: unsupported model format version "
+                f"{structure.get('format_version')!r} (expected {_FORMAT_VERSION})"
+            )
+        arrays_start = _aligned(8 + header_bytes)
+        views: dict[str, np.ndarray] = {}
+        for entry in header["arrays"]:
+            view = np.ndarray(
+                tuple(entry["shape"]),
+                dtype=np.dtype(entry["dtype"]),
+                buffer=segment.buf,
+                offset=arrays_start + int(entry["offset"]),
+            )
+            view.flags.writeable = False  # N readers, one physical copy
+            views[entry["name"]] = view
+        model = _restore_model(structure, views.__getitem__, source=f"shm:{name}")
+    except BaseException:
+        # Views created above die with this frame; the mapping can close.
+        views = {}
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - interpreter-dependent
+            pass
+        raise
+    return model, segment

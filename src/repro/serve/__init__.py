@@ -21,37 +21,61 @@ standard library:
 - :class:`~repro.serve.foldin.FoldinWorker` — the background thread that
   drains the WAL through :func:`~repro.core.incremental.extend_model`
   and republishes the artifact, closing the ingest → fold-in → hot-swap
-  loop with an exactly-once watermark.
+  loop with an exactly-once watermark;
+- :class:`~repro.serve.state.TenantRegistry` — many named models behind
+  one deployment (``/t/<tenant>/...`` routing), LRU-cached under a byte
+  residency budget with per-tenant admission and metrics;
+- :class:`~repro.serve.prefork.PreforkSupervisor` — ``--workers N``
+  prefork serving: N processes sharing one listen address
+  (``SO_REUSEPORT``) and one shared-memory copy of every model, with
+  generation-based hot-swap, respawn-with-backoff, and drain-on-SIGTERM.
 
 Entry points: ``python -m repro serve <model-prefix>`` (CLI, with
-``--ingest-wal`` for the streaming loop), ``python -m repro wal inspect``
-(WAL operator tool), :class:`~repro.serve.server.ServerThread`
-(in-process embedding), and ``tools/bench_serve.py`` (the closed-loop
-load generator behind ``BENCH_serve.json``).  Operational guide:
-``docs/serving.md``.
+``--ingest-wal`` for the streaming loop and ``--workers N`` for
+prefork), ``python -m repro wal inspect`` (WAL operator tool),
+:class:`~repro.serve.server.ServerThread` (in-process embedding), and
+``tools/bench_serve.py`` (the closed-loop load generator behind
+``BENCH_serve.json``).  Operational guide: ``docs/serving.md``.
 """
 
 from repro.serve.admission import AdmissionConfig, AdmissionController, Ticket
-from repro.serve.batcher import MicroBatcher
+from repro.serve.batcher import MicroBatcher, TenantBatchers
 from repro.serve.foldin import FoldinConfig, FoldinWorker
 from repro.serve.ingest import WalConfig, WalRecord, WriteAheadLog, inspect_wal
-from repro.serve.server import ServeConfig, ServerThread, SkillServer
-from repro.serve.state import ModelState, ServingModel
+from repro.serve.prefork import PreforkConfig, PreforkSupervisor, WorkerRuntime
+from repro.serve.server import ServeConfig, ServerThread, SkillServer, merge_snapshots
+from repro.serve.state import (
+    DEFAULT_TENANT,
+    ManifestModelState,
+    ModelState,
+    ServingModel,
+    TenantRegistry,
+    TenantSpec,
+)
 
 __all__ = [
     "AdmissionConfig",
     "AdmissionController",
+    "DEFAULT_TENANT",
     "FoldinConfig",
     "FoldinWorker",
+    "ManifestModelState",
     "MicroBatcher",
     "ModelState",
+    "PreforkConfig",
+    "PreforkSupervisor",
     "ServeConfig",
     "ServerThread",
     "ServingModel",
     "SkillServer",
+    "TenantBatchers",
+    "TenantRegistry",
+    "TenantSpec",
     "Ticket",
     "WalConfig",
     "WalRecord",
+    "WorkerRuntime",
     "WriteAheadLog",
     "inspect_wal",
+    "merge_snapshots",
 ]

@@ -89,9 +89,11 @@ class AdmissionController:
         config: AdmissionConfig | None = None,
         *,
         clock: Callable[[], float] = time.monotonic,
+        label: str | None = None,
     ) -> None:
         self.config = config if config is not None else AdmissionConfig()
         self.clock = clock
+        self.label = label
         self._inflight = 0
 
     @property
@@ -104,12 +106,20 @@ class AdmissionController:
         if self._inflight >= self.config.max_queue:
             registry.counter("serve.shed").inc()
             registry.counter("serve.shed.queue_full").inc()
+            if self.label is not None:
+                registry.counter(f"serve.tenant.{self.label}.shed").inc()
             get_tracer().event(
                 "serve.shed", reason="queue_full", endpoint=endpoint
             )
             return None
         self._inflight += 1
-        registry.gauge("serve.queue_depth").set(self._inflight)
+        # A labelled controller is one of many (per tenant): it owns its
+        # labelled gauge and leaves the deployment-wide ``serve.queue_depth``
+        # to whoever can see every controller (SkillServer sums them).
+        if self.label is None:
+            registry.gauge("serve.queue_depth").set(self._inflight)
+        else:
+            registry.gauge(f"serve.tenant.{self.label}.queue_depth").set(self._inflight)
         now = self.clock()
         return Ticket(endpoint, now, now + self.config.timeout_for(endpoint))
 
@@ -119,7 +129,12 @@ class AdmissionController:
             return
         ticket._released = True
         self._inflight -= 1
-        get_registry().gauge("serve.queue_depth").set(self._inflight)
+        if self.label is None:
+            get_registry().gauge("serve.queue_depth").set(self._inflight)
+        else:
+            get_registry().gauge(f"serve.tenant.{self.label}.queue_depth").set(
+                self._inflight
+            )
 
     def remaining(self, ticket: Ticket) -> float:
         """Seconds until the ticket's deadline (negative when expired)."""

@@ -41,7 +41,7 @@ from repro.obs.logging import get_logger
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 
-__all__ = ["MicroBatcher"]
+__all__ = ["MicroBatcher", "TenantBatchers"]
 
 _log = get_logger("serve.batcher")
 
@@ -259,3 +259,54 @@ class MicroBatcher:
             duration=elapsed,
             **attrs,
         )
+
+
+class TenantBatchers:
+    """One :class:`MicroBatcher` per (tenant, endpoint), created lazily.
+
+    Multi-tenant serving must never coalesce requests *across* tenants —
+    a batch gathers from exactly one model bundle — so each tenant gets
+    its own queue per endpoint.  Batchers spin up on a tenant's first
+    request (an idle tenant costs nothing, which matters once the
+    registry holds many models) and are all drained by ``stop()``.
+
+    ``factory(tenant, endpoint)`` returns the batch function for that
+    pair; batch sizing is shared across tenants.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[str, str], Callable[[list[Any]], Sequence[Any]]],
+        *,
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+    ) -> None:
+        self._factory = factory
+        self.max_batch = int(max_batch)
+        self.max_wait_ms = float(max_wait_ms)
+        self._batchers: dict[tuple[str, str], MicroBatcher] = {}
+        self._closed = False
+
+    async def get(self, tenant: str, endpoint: str) -> MicroBatcher:
+        """The (started) batcher for this tenant/endpoint pair."""
+        if self._closed:
+            raise ConfigurationError("tenant batchers are stopped")
+        key = (tenant, endpoint)
+        batcher = self._batchers.get(key)
+        if batcher is None:
+            batcher = MicroBatcher(
+                self._factory(tenant, endpoint),
+                max_batch=self.max_batch,
+                max_wait_ms=self.max_wait_ms,
+                name=f"{endpoint}:{tenant}",
+            )
+            await batcher.start()
+            self._batchers[key] = batcher
+        return batcher
+
+    async def stop(self) -> None:
+        """Drain and retire every tenant batcher."""
+        self._closed = True
+        batchers, self._batchers = list(self._batchers.values()), {}
+        for batcher in batchers:
+            await batcher.stop()

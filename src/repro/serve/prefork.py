@@ -1,0 +1,620 @@
+"""Prefork multi-worker serving: N processes, one physical model copy.
+
+A single asyncio process tops out at one core; the serving counterpart
+of PR 8's shard pool is a classic prefork design with a shared-memory
+twist:
+
+- The **parent** never serves HTTP.  It binds the listen address (with
+  ``SO_REUSEPORT`` where the platform has it — each worker then binds
+  its own accept queue and the kernel load-balances connections; without
+  it, the parent binds+listens once and forked workers inherit the
+  socket object), watches every tenant's artifact pair on disk, and owns
+  the shared-memory segments: each loaded model is published **once**
+  via :func:`~repro.core.serialize.publish_model_shm` and named in a
+  per-tenant *generation manifest* the workers watch.
+- Each **worker** runs the ordinary :class:`~repro.serve.server
+  .SkillServer` + micro-batchers over a
+  :class:`~repro.serve.state.TenantRegistry` of
+  :class:`~repro.serve.state.ManifestModelState`s — zero-copy read-only
+  views into the parent's segments, so N workers serve one physical
+  copy of every model.
+
+Hot reload is a three-step generation handshake:
+
+1. the parent sees a new artifact pair, loads and validates it once,
+   publishes generation ``g+1`` into a fresh segment, and atomically
+   rewrites the tenant's manifest;
+2. each worker's watch loop notices the manifest change, re-attaches
+   (checksum-gated — a torn or wrong segment is refused before any view
+   escapes), swaps its bundle, and re-writes its registration file with
+   the observed generation (its **ack**);
+3. the parent unlinks generation ``g`` only after every live worker
+   that ever attached the tenant acks ``>= g+1``.  Unlink only removes
+   the name — a worker mid-request on the old mapping keeps its memory
+   until the last view dies — so in-flight requests never tear.
+
+Worker death is contained: the supervisor respawns the worker with
+capped exponential backoff, and a worker that keeps dying is dropped
+(**degraded** — fewer workers, still serving) rather than crash-looping
+the deployment.  SIGTERM to the parent drains every worker before the
+parent unlinks its segments.
+
+Coordination state lives in small JSON files under ``run_dir`` (worker
+registrations with admin ports + generation acks, per-tenant manifests,
+and ``prefork.json`` with the supervisor's gauges) — crash-legible,
+inspectable with ``cat``, and race-free via ``os.replace``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import signal
+import socket
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_registry
+from repro.serve.server import ServeConfig, SkillServer
+from repro.serve.state import (
+    DEFAULT_TENANT,
+    ModelState,
+    TenantRegistry,
+    TenantSpec,
+)
+
+__all__ = ["PreforkConfig", "PreforkSupervisor", "WorkerRuntime"]
+
+_log = get_logger("serve.prefork")
+
+_HAS_REUSEPORT = hasattr(socket, "SO_REUSEPORT")
+
+
+@dataclass(frozen=True)
+class PreforkConfig:
+    """Supervisor tuning: fleet size, respawn policy, drain budget."""
+
+    workers: int = 2
+    run_dir: Path = Path("prefork-run")
+    poll_seconds: float = 1.0
+    respawn_base_seconds: float = 0.2
+    respawn_cap_seconds: float = 5.0
+    max_respawns: int = 5  # per worker slot, before the slot degrades
+    drain_seconds: float = 10.0
+    residency_budget_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if self.poll_seconds <= 0:
+            raise ConfigurationError("poll_seconds must be positive")
+
+
+class WorkerRuntime:
+    """A worker's view of the prefork coordination directory.
+
+    Constructed inside the worker process and handed to
+    :class:`~repro.serve.server.SkillServer`; the server calls
+    ``register`` at start and after every swap (the generation ack), and
+    the aggregated ``/metrics`` handler uses ``peers``/``prefork_info``.
+    """
+
+    def __init__(self, index: int, run_dir: Path) -> None:
+        self.index = int(index)
+        self.run_dir = Path(run_dir)
+
+    # ------------------------------------------------------------ files
+
+    def _registration_path(self) -> Path:
+        return self.run_dir / "workers" / f"{self.index}.json"
+
+    def register(self, *, admin_port: int, generations: Mapping[str, int]) -> None:
+        """Atomically (re)write this worker's registration/ack file."""
+        path = self._registration_path()
+        payload = {
+            "worker": self.index,
+            "pid": os.getpid(),
+            "admin_port": int(admin_port),
+            "generations": dict(generations),
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload), "utf-8")
+        os.replace(tmp, path)
+
+    def peers(self) -> list[dict]:
+        """Every registered worker (self included), skipping torn files."""
+        found: list[dict] = []
+        workers_dir = self.run_dir / "workers"
+        try:
+            names = sorted(os.listdir(workers_dir))
+        except OSError:
+            return found
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            try:
+                found.append(json.loads((workers_dir / name).read_text("utf-8")))
+            except (OSError, ValueError):
+                continue
+        return found
+
+    def prefork_info(self) -> dict:
+        try:
+            return json.loads((self.run_dir / "prefork.json").read_text("utf-8"))
+        except (OSError, ValueError):
+            return {}
+
+
+@dataclass(frozen=True)
+class _WorkerSpec:
+    """Everything ``_worker_main`` needs; fork-inherited, so plain data."""
+
+    index: int
+    run_dir: Path
+    serve: ServeConfig
+    tenants: tuple[tuple[str, str], ...]  # (name, manifest path)
+    default_tenant: str
+    residency_budget_bytes: int | None
+    sock: Any  # inherited listen socket when SO_REUSEPORT is unavailable
+
+
+def _worker_main(spec: _WorkerSpec) -> None:
+    """Worker process entry: fresh metrics, ordinary server, SIGTERM drain."""
+    from repro.obs.metrics import MetricsRegistry, set_registry
+
+    set_registry(MetricsRegistry())
+    registry = TenantRegistry(
+        [
+            TenantSpec(name, manifest=Path(manifest))
+            for name, manifest in spec.tenants
+        ],
+        default=spec.default_tenant,
+        residency_budget_bytes=spec.residency_budget_bytes,
+        poll_seconds=spec.serve.poll_seconds,
+    )
+    runtime = WorkerRuntime(spec.index, spec.run_dir)
+    server = SkillServer(
+        registry, spec.serve, sock=spec.sock, worker=runtime
+    )
+
+    async def _run() -> None:
+        loop = asyncio.get_running_loop()
+        stopping = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stopping.set)
+        await server.start()
+        await stopping.wait()
+        await server.stop()
+
+    try:
+        asyncio.run(_run())
+    finally:
+        try:
+            os.unlink(runtime._registration_path())
+        except OSError:
+            pass
+
+
+@dataclass
+class _Generation:
+    number: int
+    segment: Any
+    descriptor: dict
+
+
+@dataclass
+class _Slot:
+    """One worker index: its process, respawn budget, and backoff clock."""
+
+    index: int
+    process: multiprocessing.process.BaseProcess | None = None
+    failures: int = 0
+    respawn_at: float = 0.0
+    degraded: bool = False
+
+
+@dataclass
+class _Tenant:
+    name: str
+    state: ModelState
+    manifest_path: Path
+    generations: list[_Generation] = field(default_factory=list)
+
+    @property
+    def latest(self) -> int:
+        return self.generations[-1].number if self.generations else 0
+
+
+class PreforkSupervisor:
+    """Parent process: publish models, herd workers, retire generations.
+
+    Usable from a CLI main thread (``start()`` then ``serve_forever()``
+    with signal handlers calling ``request_stop()``) and from tests
+    (``serve_forever`` on a background thread; ``wait_ready()`` to block
+    until every worker accepts traffic).
+    """
+
+    def __init__(
+        self,
+        tenants: Mapping[str, str | Path],
+        config: PreforkConfig,
+        serve: ServeConfig,
+        *,
+        default_tenant: str = DEFAULT_TENANT,
+    ) -> None:
+        if default_tenant not in tenants:
+            raise ConfigurationError(
+                f"default tenant {default_tenant!r} has no model path"
+            )
+        self.config = config
+        self.serve = serve
+        self.default_tenant = default_tenant
+        self.host: str | None = None
+        self.port: int | None = None
+        self.respawns = 0
+        self._tenants: dict[str, _Tenant] = {}
+        for name, prefix in tenants.items():
+            manifest = config.run_dir / "tenants" / f"{name}.json"
+            self._tenants[name] = _Tenant(
+                name=name,
+                state=ModelState(Path(prefix), poll_seconds=config.poll_seconds),
+                manifest_path=manifest,
+            )
+        self._slots: list[_Slot] = [
+            _Slot(index=i) for i in range(config.workers)
+        ]
+        self._sock: socket.socket | None = None
+        self._inherited_sock: socket.socket | None = None
+        # Workers must be forked: they inherit the (unpicklable) listen
+        # socket on non-SO_REUSEPORT platforms and any module-level fault
+        # seams the chaos tests patch before start().
+        self._mp = multiprocessing.get_context("fork")
+        self._stop = threading.Event()
+        self._started = False
+        self._closed = False
+
+    # --------------------------------------------------------- publication
+
+    def _publish(self, tenant: _Tenant) -> None:
+        """Place the tenant's current model into a fresh shm generation
+        and atomically point the manifest at it."""
+        from repro.core.serialize import publish_model_shm
+
+        bundle = tenant.state.current
+        segment, descriptor = publish_model_shm(bundle.model)
+        generation = tenant.latest + 1
+        tenant.generations.append(_Generation(generation, segment, descriptor))
+        manifest = {
+            "tenant": tenant.name,
+            "generation": generation,
+            "descriptor": descriptor,
+            "metadata": bundle.metadata,
+        }
+        tmp = tenant.manifest_path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(manifest), "utf-8")
+        os.replace(tmp, tenant.manifest_path)
+        get_registry().counter("serve.prefork.publishes").inc()
+        _log.info(
+            "generation published",
+            extra={
+                "obs": {
+                    "tenant": tenant.name,
+                    "generation": generation,
+                    "segment": descriptor["name"],
+                    "bytes": descriptor["bytes"],
+                }
+            },
+        )
+
+    def _retire(self, tenant: _Tenant, keep_from: int) -> None:
+        """Unlink generations older than ``keep_from``.  Unlink removes
+        the name only; any worker still mapped keeps its memory."""
+        keep: list[_Generation] = []
+        for generation in tenant.generations:
+            if generation.number >= keep_from:
+                keep.append(generation)
+                continue
+            try:
+                generation.segment.close()
+            except BufferError:  # pragma: no cover - parent holds no views
+                pass
+            try:
+                generation.segment.unlink()
+            except FileNotFoundError:
+                pass
+            _log.info(
+                "generation retired",
+                extra={
+                    "obs": {
+                        "tenant": tenant.name,
+                        "generation": generation.number,
+                    }
+                },
+            )
+        tenant.generations = keep
+
+    def _gc_generations(self) -> None:
+        """Retire generations every live worker has moved past.
+
+        A worker that never attached a tenant holds no mapping of any of
+        its generations, so only workers that ack the tenant gate its
+        GC; dead workers' stale registrations are ignored.
+        """
+        registrations = [
+            reg
+            for reg in WorkerRuntime(0, self.config.run_dir).peers()
+            if self._pid_alive(reg.get("pid"))
+        ]
+        for tenant in self._tenants.values():
+            if len(tenant.generations) <= 1:
+                continue
+            acks = [
+                int(reg["generations"][tenant.name])
+                for reg in registrations
+                if isinstance(reg.get("generations"), dict)
+                and tenant.name in reg["generations"]
+            ]
+            floor = min(acks) if acks else tenant.latest
+            self._retire(tenant, keep_from=min(floor, tenant.latest))
+
+    @staticmethod
+    def _pid_alive(pid: Any) -> bool:
+        if not isinstance(pid, int):
+            return False
+        try:
+            os.kill(pid, 0)
+        except OSError:
+            return False
+        return True
+
+    # ------------------------------------------------------------- socket
+
+    def _bind(self) -> None:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            if _HAS_REUSEPORT:
+                # Bind without listening: this only *reserves* the address
+                # (resolving port 0 to a concrete port before any worker
+                # exists); each worker binds its own SO_REUSEPORT socket
+                # and the kernel spreads accepts across them.
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+                sock.bind((self.serve.host, self.serve.port))
+            else:  # pragma: no cover - linux CI always has SO_REUSEPORT
+                # One listening socket, inherited by every forked worker;
+                # the kernel wakes one worker per connection.
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+                sock.bind((self.serve.host, self.serve.port))
+                sock.listen(512)
+                self._inherited_sock = sock
+        except BaseException:
+            sock.close()
+            raise
+        self._sock = sock
+        self.host, self.port = sock.getsockname()[:2]
+
+    # ---------------------------------------------------------- lifecycle
+
+    def start(self) -> tuple[str, int]:
+        """Publish every tenant, bind, spawn the fleet; returns (host, port)."""
+        if self._started:
+            raise ConfigurationError("supervisor already started")
+        self._started = True
+        run_dir = self.config.run_dir
+        (run_dir / "workers").mkdir(parents=True, exist_ok=True)
+        (run_dir / "tenants").mkdir(parents=True, exist_ok=True)
+        for tenant in self._tenants.values():
+            tenant.state.load()
+            self._publish(tenant)
+        self._bind()
+        for slot in self._slots:
+            self._spawn(slot)
+        self._write_prefork_info()
+        _log.info(
+            "prefork supervising",
+            extra={
+                "obs": {
+                    "host": self.host,
+                    "port": self.port,
+                    "workers": self.config.workers,
+                    "tenants": sorted(self._tenants),
+                    "reuseport": _HAS_REUSEPORT,
+                }
+            },
+        )
+        assert self.host is not None and self.port is not None
+        return self.host, self.port
+
+    def _spawn(self, slot: _Slot) -> None:
+        try:
+            os.unlink(self.config.run_dir / "workers" / f"{slot.index}.json")
+        except OSError:
+            pass
+        assert self.port is not None
+        spec = _WorkerSpec(
+            index=slot.index,
+            run_dir=self.config.run_dir,
+            serve=replace(
+                self.serve,
+                port=self.port,
+                reuse_port=self._inherited_sock is None,
+            ),
+            tenants=tuple(
+                (name, str(tenant.manifest_path))
+                for name, tenant in self._tenants.items()
+            ),
+            default_tenant=self.default_tenant,
+            residency_budget_bytes=self.config.residency_budget_bytes,
+            sock=self._inherited_sock,
+        )
+        process = self._mp.Process(
+            target=_worker_main,
+            args=(spec,),
+            name=f"serve-worker-{slot.index}",
+            daemon=True,
+        )
+        process.start()
+        slot.process = process
+
+    def _write_prefork_info(self) -> None:
+        live = sum(
+            1
+            for slot in self._slots
+            if slot.process is not None and slot.process.is_alive()
+        )
+        payload = {
+            "configured": self.config.workers,
+            "workers": live,
+            "respawns": self.respawns,
+            "degraded": sum(1 for slot in self._slots if slot.degraded),
+            "pid": os.getpid(),
+        }
+        path = self.config.run_dir / "prefork.json"
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload), "utf-8")
+        os.replace(tmp, path)
+        registry = get_registry()
+        registry.gauge("serve.prefork.workers").set(float(live))
+        registry.gauge("serve.prefork.configured").set(float(self.config.workers))
+        registry.gauge("serve.prefork.respawns").set(float(self.respawns))
+        registry.gauge("serve.prefork.degraded").set(float(payload["degraded"]))
+
+    def wait_ready(self, timeout: float = 30.0) -> None:
+        """Block until every non-degraded worker has registered an admin
+        port — i.e. is bound and answering traffic."""
+        deadline = time.monotonic() + timeout
+        runtime = WorkerRuntime(0, self.config.run_dir)
+        want = {slot.index for slot in self._slots if not slot.degraded}
+        while time.monotonic() < deadline:
+            ready = {
+                reg.get("worker")
+                for reg in runtime.peers()
+                if reg.get("admin_port") and self._pid_alive(reg.get("pid"))
+            }
+            if want <= ready:
+                return
+            time.sleep(0.02)
+        raise TimeoutError(
+            f"workers not ready after {timeout}s (want {sorted(want)})"
+        )
+
+    def serve_forever(self, *, tick_seconds: float = 0.05) -> None:
+        """Supervise until ``request_stop()``: respawn dead workers,
+        publish new artifact generations, retire acked ones."""
+        if not self._started:
+            self.start()
+        last_poll = 0.0
+        try:
+            while not self._stop.wait(tick_seconds):
+                self._reap_and_respawn()
+                now = time.monotonic()
+                if now - last_poll >= self.config.poll_seconds:
+                    last_poll = now
+                    self._poll_tenants()
+                self._gc_generations()
+        finally:
+            self._shutdown()
+
+    def _reap_and_respawn(self) -> None:
+        changed = False
+        for slot in self._slots:
+            process = slot.process
+            if process is None or process.is_alive() or slot.degraded:
+                continue
+            exitcode = process.exitcode
+            process.join()
+            slot.process = None
+            changed = True
+            get_registry().counter("serve.prefork.worker_deaths").inc()
+            _log.warning(
+                "worker died",
+                extra={"obs": {"worker": slot.index, "exitcode": exitcode}},
+            )
+            slot.failures += 1
+            if slot.failures > self.config.max_respawns:
+                slot.degraded = True
+                _log.error(
+                    "worker degraded after repeated deaths",
+                    extra={"obs": {"worker": slot.index, "failures": slot.failures}},
+                )
+                continue
+            backoff = min(
+                self.config.respawn_cap_seconds,
+                self.config.respawn_base_seconds * (2 ** (slot.failures - 1)),
+            )
+            slot.respawn_at = time.monotonic() + backoff
+        for slot in self._slots:
+            if (
+                slot.process is None
+                and not slot.degraded
+                and time.monotonic() >= slot.respawn_at
+                and not self._stop.is_set()
+            ):
+                self._spawn(slot)
+                self.respawns += 1
+                changed = True
+                _log.info(
+                    "worker respawned",
+                    extra={"obs": {"worker": slot.index, "respawns": self.respawns}},
+                )
+        if changed:
+            self._write_prefork_info()
+
+    def _poll_tenants(self) -> None:
+        for tenant in self._tenants.values():
+            try:
+                if tenant.state.maybe_reload():
+                    self._publish(tenant)
+            except Exception:  # per-tenant isolation, like the registry's
+                _log.exception("tenant publish failed: %s", tenant.name)
+
+    def request_stop(self) -> None:
+        """Thread/signal-safe: ask ``serve_forever`` to drain and exit."""
+        self._stop.set()
+
+    def _shutdown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        # Drain: SIGTERM every worker (the in-worker handler stops the
+        # server gracefully), then escalate to SIGKILL past the budget.
+        for slot in self._slots:
+            process = slot.process
+            if process is not None and process.is_alive():
+                process.terminate()
+        deadline = time.monotonic() + self.config.drain_seconds
+        for slot in self._slots:
+            process = slot.process
+            if process is None:
+                continue
+            process.join(max(0.0, deadline - time.monotonic()))
+            if process.is_alive():  # pragma: no cover - drain overrun
+                _log.warning(
+                    "worker did not drain; killing",
+                    extra={"obs": {"worker": slot.index}},
+                )
+                process.kill()
+                process.join()
+            slot.process = None
+        # Only after every worker exited: unlink all generations.  The
+        # old-generation safety argument doesn't apply at shutdown — no
+        # readers remain.
+        for tenant in self._tenants.values():
+            self._retire(tenant, keep_from=tenant.latest + 1)
+            tenant.state.close()
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+        self._write_prefork_info()
+        _log.info("prefork stopped", extra={"obs": {"respawns": self.respawns}})
+
+    def stop(self) -> None:
+        """Synchronous stop for callers not inside ``serve_forever``."""
+        self.request_stop()
+        self._shutdown()

@@ -37,8 +37,10 @@ balancers, ``curl``, and ``http.client``, with no framework dependency.
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
 import queue
+import socket as socket_module
 import threading
 import urllib.parse
 from dataclasses import dataclass, field
@@ -47,7 +49,7 @@ from typing import Any, Mapping
 from repro.core.features import ID_FEATURE
 from repro.data.splits import HeldOutAction
 from repro.data.actions import Action
-from repro.exceptions import ConfigurationError, ReproError
+from repro.exceptions import ConfigurationError, DataError, ReproError
 from repro.obs.logging import current_run_id, get_logger
 from repro.obs.metrics import get_registry
 from repro.obs.resource import ResourceSampler
@@ -55,12 +57,12 @@ from repro.obs.trace import get_tracer
 from repro.recsys.ranking import predict_items
 from repro.core.difficulty import PRIOR_EMPIRICAL, PRIOR_UNIFORM, difficulty_array
 from repro.serve.admission import AdmissionConfig, AdmissionController
-from repro.serve.batcher import MicroBatcher
+from repro.serve.batcher import MicroBatcher, TenantBatchers
 from repro.serve.foldin import FoldinWorker
 from repro.serve.ingest import WriteAheadLog
-from repro.serve.state import ModelState, ServingModel
+from repro.serve.state import ModelState, ServingModel, TenantRegistry
 
-__all__ = ["ServeConfig", "SkillServer", "ServerThread"]
+__all__ = ["ServeConfig", "SkillServer", "ServerThread", "merge_snapshots"]
 
 _log = get_logger("serve.server")
 
@@ -90,6 +92,9 @@ class ServeConfig:
     endpoint_timeouts: Mapping[str, float] = field(default_factory=dict)
     poll_seconds: float = 1.0
     default_top_k: int = 10
+    # Prefork workers bind N sockets to one address via SO_REUSEPORT, so
+    # the kernel load-balances accepts across them without a proxy.
+    reuse_port: bool = False
 
     def __post_init__(self) -> None:
         if self.default_top_k < 0:
@@ -129,47 +134,84 @@ class SkillServer:
 
     def __init__(
         self,
-        state: ModelState,
+        state: ModelState | TenantRegistry,
         config: ServeConfig | None = None,
         *,
         wal: WriteAheadLog | None = None,
         foldin: FoldinWorker | None = None,
+        sock: socket_module.socket | None = None,
+        worker: Any | None = None,
     ) -> None:
-        self.state = state
+        # A bare ModelState (the original single-model API, used by every
+        # existing test and the classic CLI path) becomes a one-tenant
+        # registry; ``self.state`` stays the default tenant's state so the
+        # legacy surface keeps reading through it.
+        if isinstance(state, TenantRegistry):
+            self.registry = state
+        else:
+            self.registry = TenantRegistry.single(state)
+        self.state = self.registry.state()
         self.config = config if config is not None else ServeConfig()
         self.wal = wal
         self.foldin = foldin
-        self.admission = AdmissionController(
-            AdmissionConfig(
-                max_queue=self.config.max_queue,
-                default_timeout_seconds=self.config.timeout_seconds,
-                endpoint_timeouts=dict(self.config.endpoint_timeouts),
-            )
-        )
-        self._predict_batcher = MicroBatcher(
-            self._predict_batch,
+        # ``sock`` is a pre-bound listen socket inherited from a prefork
+        # parent on platforms without SO_REUSEPORT; ``worker`` is the
+        # prefork WorkerRuntime (duck-typed: index / register / peers /
+        # prefork_info) — None outside prefork mode.
+        self._sock = sock
+        self.worker = worker
+        self._admissions: dict[str, AdmissionController] = {}
+        self.admission = self._admission_for(self.registry.default)
+        self._batchers = TenantBatchers(
+            self._batch_fn,
             max_batch=self.config.max_batch,
             max_wait_ms=self.config.max_wait_ms,
-            name="predict",
-        )
-        self._difficulty_batcher = MicroBatcher(
-            self._difficulty_batch,
-            max_batch=self.config.max_batch,
-            max_wait_ms=self.config.max_wait_ms,
-            name="difficulty",
-        )
-        # One fsync per flush: every /ingest request coalesced into a flush
-        # shares a single WAL append + fsync, which is the durability/IOPS
-        # trade the WAL's fsync-on-batch contract is about.
-        self._ingest_batcher = MicroBatcher(
-            self._ingest_batch,
-            max_batch=self.config.max_batch,
-            max_wait_ms=self.config.max_wait_ms,
-            name="ingest",
         )
         self._server: asyncio.AbstractServer | None = None
+        self._admin_server: asyncio.AbstractServer | None = None
+        self.admin_port: int | None = None
         self._watch_task: asyncio.Task | None = None
         self._resources = ResourceSampler(get_registry())
+
+    def _admission_for(self, tenant: str) -> AdmissionController:
+        """Per-tenant admission: each tenant gets its own bounded queue so
+        one tenant's burst can't starve the others.  The default tenant's
+        controller is unlabelled — it owns the deployment-wide
+        ``serve.queue_depth`` gauge, exactly as the single-tenant server
+        always did; named tenants report ``serve.tenant.<name>.*``."""
+        controller = self._admissions.get(tenant)
+        if controller is None:
+            spec = self.registry.spec(tenant)
+            controller = AdmissionController(
+                AdmissionConfig(
+                    max_queue=spec.max_queue or self.config.max_queue,
+                    default_timeout_seconds=self.config.timeout_seconds,
+                    endpoint_timeouts=dict(self.config.endpoint_timeouts),
+                ),
+                label=None if tenant == self.registry.default else tenant,
+            )
+            self._admissions[tenant] = controller
+        return controller
+
+    def _batch_fn(self, tenant: str, endpoint: str):
+        if endpoint == "predict":
+            return functools.partial(self._predict_batch, tenant)
+        if endpoint == "difficulty":
+            return functools.partial(self._difficulty_batch, tenant)
+        # One fsync per flush: every /ingest request coalesced into a flush
+        # shares a single WAL append + fsync, which is the durability/IOPS
+        # trade the WAL's fsync-on-batch contract is about.  Ingest is not
+        # tenant-scoped (the WAL feeds the default tenant's fold-in).
+        if endpoint == "ingest":
+            return self._ingest_batch
+        raise ConfigurationError(f"no batch function for endpoint {endpoint!r}")
+
+    def _bundle(self, tenant: str | None) -> ServingModel:
+        """Resolve a tenant to its bundle; 503 when its artifact is sick."""
+        try:
+            return self.registry.get(tenant)
+        except DataError as exc:
+            raise _HttpError(503, f"tenant model unavailable: {exc}") from None
 
     # ------------------------------------------------------------ lifecycle
 
@@ -179,19 +221,42 @@ class SkillServer:
             raise ConfigurationError("server already started")
         if not self.state.loaded:
             self.state.load()
-        await self._predict_batcher.start()
-        await self._difficulty_batcher.start()
-        if self.wal is not None:
-            await self._ingest_batcher.start()
-        if self.foldin is not None:
-            self.foldin.start()
         self._resources.install_gc_hooks()
         self._resources.sample()
         self._watch_task = asyncio.create_task(self._watch(), name="serve-watch")
-        self._server = await asyncio.start_server(
-            self._handle_client, host=self.config.host, port=self.config.port
-        )
+        if self._sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_client, sock=self._sock
+            )
+        elif self.config.reuse_port:
+            self._server = await asyncio.start_server(
+                self._handle_client,
+                host=self.config.host,
+                port=self.config.port,
+                reuse_port=True,
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_client, host=self.config.host, port=self.config.port
+            )
         host, port = self._server.sockets[0].getsockname()[:2]
+        if self.worker is not None:
+            # A loopback admin listener (same handler, same routes) lets
+            # peers and the parent scrape this worker without competing
+            # with public traffic on the shared accept queue.
+            self._admin_server = await asyncio.start_server(
+                self._handle_client, host="127.0.0.1", port=0
+            )
+            self.admin_port = self._admin_server.sockets[0].getsockname()[1]
+            self.worker.register(
+                admin_port=self.admin_port,
+                generations=self.registry.observed_generations(),
+            )
+            get_registry().gauge("serve.prefork.worker_index").set(
+                float(self.worker.index)
+            )
+        if self.foldin is not None:
+            self.foldin.start()
         _log.info(
             "serving",
             extra={
@@ -201,6 +266,8 @@ class SkillServer:
                     "model": str(self.state.prefix),
                     "max_batch": self.config.max_batch,
                     "max_wait_ms": self.config.max_wait_ms,
+                    "tenants": self.registry.names(),
+                    "worker": getattr(self.worker, "index", None),
                 }
             },
         )
@@ -220,26 +287,37 @@ class SkillServer:
             except asyncio.CancelledError:
                 pass
             self._watch_task = None
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
-        await self._predict_batcher.stop()
-        await self._difficulty_batcher.stop()
-        if self.wal is not None:
-            await self._ingest_batcher.stop()
+        for server in (self._server, self._admin_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        self._server = None
+        self._admin_server = None
+        await self._batchers.stop()
         if self.foldin is not None:
             self.foldin.stop()
         self._resources.uninstall_gc_hooks()
+        self.registry.close()
 
     async def _watch(self) -> None:
-        """Poll the artifact pair and hot-swap the model when it changes."""
+        """Poll every resident tenant and hot-swap models as they change."""
         while True:
             await asyncio.sleep(self.state.poll_seconds)
             try:
-                self.state.maybe_reload()
+                swapped = self.registry.maybe_reload_all()
             except Exception:  # the watcher must outlive any reload bug
                 _log.exception("model watch iteration failed")
+                continue
+            if swapped and self.worker is not None and self.admin_port is not None:
+                # Re-ack with the newest observed shm generations so the
+                # parent can retire old segments once every worker moved.
+                try:
+                    self.worker.register(
+                        admin_port=self.admin_port,
+                        generations=self.registry.observed_generations(),
+                    )
+                except Exception:
+                    _log.exception("worker ack update failed")
 
     # ------------------------------------------------------------ transport
 
@@ -286,11 +364,17 @@ class SkillServer:
                 trace_header = (
                     f"X-Trace-Id: {root.trace}\r\n" if root.trace is not None else ""
                 )
+                worker_header = (
+                    f"X-Serve-Worker: {self.worker.index}\r\n"
+                    if self.worker is not None
+                    else ""
+                )
                 head = (
                     f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
                     "Content-Type: application/json\r\n"
                     f"Content-Length: {len(body)}\r\n"
                     f"{trace_header}"
+                    f"{worker_header}"
                     f"Connection: {'keep-alive' if request.keep_alive else 'close'}\r\n"
                     "\r\n"
                 ).encode("latin-1")
@@ -342,8 +426,23 @@ class SkillServer:
 
     # ------------------------------------------------------------- routing
 
+    #: endpoints reachable under a ``/t/<tenant>/`` prefix.
+    _TENANT_ENDPOINTS = frozenset({"predict", "difficulty", "skill", "healthz"})
+
     async def _dispatch(self, request: _Request) -> tuple[int, Any]:
         registry = get_registry()
+        # ``/t/<tenant>/predict`` routes to the named tenant's model; the
+        # unprefixed routes are the default tenant, byte-for-byte the
+        # pre-multi-tenant behavior.
+        tenant: str | None = None
+        path = request.path
+        if path.startswith("/t/"):
+            name, slash, rest = path[3:].partition("/")
+            if not name or not slash:
+                registry.counter("serve.requests").inc()
+                registry.counter("serve.errors").inc()
+                return 404, {"error": "not found"}
+            tenant, path = name, "/" + rest
         route = {
             ("GET", "/healthz"): ("healthz", self._handle_healthz),
             ("GET", "/metrics"): ("metrics", self._handle_metrics),
@@ -351,12 +450,19 @@ class SkillServer:
             ("POST", "/predict"): ("predict", self._handle_predict),
             ("POST", "/difficulty"): ("difficulty", self._handle_difficulty),
             ("POST", "/ingest"): ("ingest", self._handle_ingest),
-        }.get((request.method, request.path))
+        }.get((request.method, path))
+        if route is not None and tenant is not None:
+            if route[0] not in self._TENANT_ENDPOINTS:
+                route = None
+            elif tenant not in self.registry.names():
+                registry.counter("serve.requests").inc()
+                registry.counter("serve.errors").inc()
+                return 404, {"error": f"unknown tenant {tenant!r}"}
         if route is None:
             known_paths = {
                 "/healthz", "/metrics", "/skill", "/predict", "/difficulty", "/ingest",
             }
-            status = 405 if request.path in known_paths else 404
+            status = 405 if path in known_paths and tenant is None else 404
             registry.counter("serve.requests").inc()
             registry.counter("serve.errors").inc()
             return status, {"error": _REASONS[status].lower()}
@@ -365,9 +471,11 @@ class SkillServer:
         trace_id = tracer.current_trace_id()
         registry.counter("serve.requests").inc()
         registry.counter(f"serve.requests.{endpoint}").inc()
+        if tenant is not None:
+            registry.counter(f"serve.tenant.{tenant}.requests").inc()
         start = registry.clock()
         try:
-            status, payload = await handler(request)
+            status, payload = await handler(request, tenant)
         except _HttpError as exc:
             status, payload = exc.status, {"error": str(exc)}
         except ReproError as exc:
@@ -386,15 +494,19 @@ class SkillServer:
             "status": status,
             "ms": round(elapsed * 1000.0, 3),
         }
+        if tenant is not None:
+            fields["tenant"] = tenant
         if trace_id is not None:
             fields["trace"] = trace_id
         _log.info("request", extra={"obs": fields})
         return status, payload
 
     async def _admit_and_submit(
-        self, endpoint: str, batcher: MicroBatcher, payload: Any
+        self, tenant: str, endpoint: str, payload: Any
     ) -> Any:
-        """Admission + deadline around one batched request."""
+        """Per-tenant admission + deadline around one batched request."""
+        admission = self._admission_for(tenant)
+        batcher = await self._batchers.get(tenant, endpoint)
         tracer = get_tracer()
         if tracer.enabled:
             # Admission is non-blocking (admit() answers immediately), so
@@ -405,18 +517,18 @@ class SkillServer:
             # events.  Skipping the always-~0ms record keeps per-request
             # tracing inside the bench's <5% overhead budget.
             adm_ts, adm_start = tracer.wall(), tracer.clock()
-            ticket = self.admission.admit(endpoint)
+            ticket = admission.admit(endpoint)
             adm_wait = tracer.clock() - adm_start
             if adm_wait >= 1e-4 or ticket is None:
                 tracer.record("serve.admission", ts=adm_ts, duration=adm_wait)
         else:
-            ticket = self.admission.admit(endpoint)
+            ticket = admission.admit(endpoint)
         if ticket is None:
             raise _HttpError(429, "queue full; retry with backoff")
         try:
-            remaining = self.admission.remaining(ticket)
+            remaining = admission.remaining(ticket)
             if remaining <= 0:
-                self.admission.shed_deadline()
+                admission.shed_deadline()
                 raise _HttpError(503, f"deadline exceeded for {endpoint}")
             try:
                 # The wait on the batcher is not separately recorded: the
@@ -424,26 +536,41 @@ class SkillServer:
                 # serve.batch.queue span in each request's trace.
                 result = await asyncio.wait_for(batcher.submit(payload), remaining)
             except (TimeoutError, asyncio.TimeoutError):
-                self.admission.shed_deadline()
+                admission.shed_deadline()
                 raise _HttpError(503, f"deadline exceeded for {endpoint}") from None
         finally:
-            self.admission.release(ticket)
+            admission.release(ticket)
         if isinstance(result, _RequestError):
             raise _HttpError(result.status, str(result))
         return result
 
     # ------------------------------------------------------------ endpoints
 
-    async def _handle_healthz(self, request: _Request) -> tuple[int, Any]:
-        bundle = self.state.current
+    async def _handle_healthz(
+        self, request: _Request, tenant: str | None = None
+    ) -> tuple[int, Any]:
+        name = self.registry.default if tenant is None else tenant
+        state = self.registry.state(name)
+        bundle = self._bundle(tenant)
         payload = {
             "status": "ok",
             "model": bundle.metadata,
             "model_version": bundle.version,
-            "reloads": self.state.reloads,
-            "reload_failures": self.state.reload_failures,
-            "inflight": self.admission.inflight,
+            "reloads": state.reloads,
+            "reload_failures": state.reload_failures,
+            "inflight": self._admission_for(name).inflight,
         }
+        if tenant is not None:
+            payload["tenant"] = tenant
+        else:
+            payload["tenants"] = {
+                "names": self.registry.names(),
+                "loaded": self.registry.loaded_names(),
+                "resident_bytes": self.registry.resident_bytes(),
+                "evictions": self.registry.evictions,
+            }
+        if self.worker is not None:
+            payload["worker"] = self.worker.index
         if self.wal is not None:
             payload["ingest"] = {
                 "last_seq": self.wal.last_seq,
@@ -460,28 +587,91 @@ class SkillServer:
                 payload["status"] = "degraded"
         return 200, payload
 
-    async def _handle_metrics(self, request: _Request) -> tuple[int, Any]:
+    async def _handle_metrics(
+        self, request: _Request, tenant: str | None = None
+    ) -> tuple[int, Any]:
         bundle = self.state.current
         telemetry = bundle.model.telemetry
         # Refresh proc.* gauges so every scrape sees current peak RSS and
         # open-fd counts, not the values from server start.
         self._resources.sample()
-        return 200, {
+        local = {
             "schema": "repro-metrics/1",
             "run": current_run_id(),
             **get_registry().snapshot(),
             "telemetry": telemetry.to_json() if telemetry is not None else None,
         }
+        scope = (request.params.get("scope") or [""])[0]
+        if self.worker is None or scope == "local":
+            return 200, local
+        # Prefork deployment view: fan out to every registered peer's
+        # admin listener for its local snapshot and merge, so any worker
+        # answers /metrics for the whole deployment.
+        snapshots = [local]
+        peers = [
+            peer
+            for peer in self.worker.peers()
+            if peer.get("admin_port") not in (None, self.admin_port)
+        ]
+        if peers:
+            fetched = await asyncio.gather(
+                *(self._fetch_peer_metrics(peer["admin_port"]) for peer in peers)
+            )
+            snapshots.extend(snapshot for snapshot in fetched if snapshot is not None)
+        merged = merge_snapshots(snapshots)
+        info = self.worker.prefork_info()
+        gauges = merged.setdefault("gauges", {})
+        gauges["serve.prefork.workers"] = float(len(snapshots))
+        gauges["serve.prefork.configured"] = float(info.get("configured", len(snapshots)))
+        gauges["serve.prefork.respawns"] = float(info.get("respawns", 0))
+        gauges["serve.prefork.degraded"] = float(info.get("degraded", 0))
+        return 200, merged
 
-    async def _handle_skill(self, request: _Request) -> tuple[int, Any]:
-        ticket = self.admission.admit("skill")
+    async def _fetch_peer_metrics(self, port: int) -> dict | None:
+        """One peer's local snapshot; ``None`` when the peer is mid-death
+        (its registration file outlives its sockets by a moment)."""
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection("127.0.0.1", port), 0.5
+            )
+        except (OSError, asyncio.TimeoutError):
+            return None
+        try:
+            writer.write(
+                b"GET /metrics?scope=local HTTP/1.1\r\n"
+                b"Host: localhost\r\nConnection: close\r\n\r\n"
+            )
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), 2.0)
+        except (OSError, asyncio.TimeoutError):
+            return None
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        head, _, body = raw.partition(b"\r\n\r\n")
+        if b" 200 " not in head.split(b"\r\n", 1)[0]:
+            return None
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+
+    async def _handle_skill(
+        self, request: _Request, tenant: str | None = None
+    ) -> tuple[int, Any]:
+        name = self.registry.default if tenant is None else tenant
+        admission = self._admission_for(name)
+        ticket = admission.admit("skill")
         if ticket is None:
             raise _HttpError(429, "queue full; retry with backoff")
         try:
-            if self.admission.expired(ticket):
-                self.admission.shed_deadline()
+            if admission.expired(ticket):
+                admission.shed_deadline()
                 raise _HttpError(503, "deadline exceeded for skill")
-            bundle = self.state.current
+            bundle = self._bundle(tenant)
             user = self._resolve_user(bundle, _single_param(request, "user"))
             time = _as_number(_single_param(request, "time"), "time")
             level = bundle.model.skill_at(user, time)
@@ -492,21 +682,27 @@ class SkillServer:
                 "model_version": bundle.version,
             }
         finally:
-            self.admission.release(ticket)
+            admission.release(ticket)
 
-    async def _handle_predict(self, request: _Request) -> tuple[int, Any]:
-        payload = self._validate_predict(_json_body(request))
-        result = await self._admit_and_submit("predict", self._predict_batcher, payload)
+    async def _handle_predict(
+        self, request: _Request, tenant: str | None = None
+    ) -> tuple[int, Any]:
+        name = self.registry.default if tenant is None else tenant
+        payload = self._validate_predict(_json_body(request), self._bundle(tenant))
+        result = await self._admit_and_submit(name, "predict", payload)
         return 200, result
 
-    async def _handle_difficulty(self, request: _Request) -> tuple[int, Any]:
+    async def _handle_difficulty(
+        self, request: _Request, tenant: str | None = None
+    ) -> tuple[int, Any]:
+        name = self.registry.default if tenant is None else tenant
         payload = self._validate_difficulty(_json_body(request))
-        result = await self._admit_and_submit(
-            "difficulty", self._difficulty_batcher, payload
-        )
+        result = await self._admit_and_submit(name, "difficulty", payload)
         return 200, result
 
-    async def _handle_ingest(self, request: _Request) -> tuple[int, Any]:
+    async def _handle_ingest(
+        self, request: _Request, tenant: str | None = None
+    ) -> tuple[int, Any]:
         if self.wal is None:
             raise _HttpError(
                 503, "ingest is not configured; start the server with --ingest-wal"
@@ -520,7 +716,9 @@ class SkillServer:
             # event — the ingest→swap half of the end-to-end trace.
             for event in events:
                 event["_trace"] = trace_id
-        result = await self._admit_and_submit("ingest", self._ingest_batcher, events)
+        result = await self._admit_and_submit(
+            self.registry.default, "ingest", events
+        )
         first_seq, last_seq = result
         payload: dict[str, Any] = {
             "accepted": len(events),
@@ -552,12 +750,11 @@ class SkillServer:
                 return coerced
         raise _HttpError(404, f"user {user!r} was not in the training data")
 
-    def _validate_predict(self, data: Any) -> dict[str, Any]:
+    def _validate_predict(self, data: Any, bundle: ServingModel) -> dict[str, Any]:
         if not isinstance(data, dict):
             raise _HttpError(400, "request body must be a JSON object")
         if "user" not in data:
             raise _HttpError(400, "missing required field 'user'")
-        bundle = self.state.current
         user = self._resolve_user(bundle, data["user"])
         time = _as_number(data.get("time"), "time")
         k = data.get("k", self.config.default_top_k)
@@ -636,7 +833,7 @@ class SkillServer:
 
     # -------------------------------------------------------- batched kernels
 
-    def _predict_batch(self, payloads: list[dict[str, Any]]) -> list[Any]:
+    def _predict_batch(self, tenant: str, payloads: list[dict[str, Any]]) -> list[Any]:
         """One flush of /predict requests against one model snapshot.
 
         The per-request answers are bit-identical to singleton dispatch:
@@ -644,9 +841,10 @@ class SkillServer:
         probability vector, independent of which other actions share the
         batch, and the top-k list per (level, k) is the same
         ``top_items`` call either way (cached per flush, not recomputed
-        per request).
+        per request).  Each flush gathers from exactly one tenant's
+        bundle — batches never mix tenants (see TenantBatchers).
         """
-        bundle = self.state.current
+        bundle = self.registry.get(tenant)
         model = bundle.model
         results: list[Any] = [None] * len(payloads)
         held: list[HeldOutAction] = []
@@ -714,14 +912,16 @@ class SkillServer:
         body["rank"] = rank
         body["reciprocal_rank"] = 1.0 / rank
 
-    def _difficulty_batch(self, payloads: list[dict[str, Any]]) -> list[Any]:
+    def _difficulty_batch(
+        self, tenant: str, payloads: list[dict[str, Any]]
+    ) -> list[Any]:
         """One flush of /difficulty requests: a single gather per prior.
 
         ``difficulty_array`` over the concatenation of the flush's item
         lists returns exactly the per-request gathers, so splitting the
         result by request offsets is bit-identical to singleton dispatch.
         """
-        bundle = self.state.current
+        bundle = self.registry.get(tenant)
         results: list[Any] = [None] * len(payloads)
         by_prior: dict[str, list[int]] = {}
         for slot, payload in enumerate(payloads):
@@ -855,6 +1055,63 @@ class ServerThread:
 
 
 # ---------------------------------------------------------------- helpers
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Merge per-worker ``/metrics`` snapshots into one deployment view.
+
+    Counters and gauges sum (queue depths, request totals, RSS: the
+    deployment-wide figures); histograms sum ``count``/``total`` exactly
+    and recompute the mean, while the quantile fields take the per-worker
+    max — the deployment's p95 is not derivable from per-worker p95s, so
+    the merge reports the most pessimistic worker, which is the honest
+    bound for alerting.  Exemplars are per-worker samples and don't
+    survive the merge.  Schema/run/telemetry come from the first (local)
+    snapshot, so the merged payload still validates as
+    ``repro-metrics/1``.
+    """
+    if not snapshots:
+        return {}
+    merged: dict[str, Any] = {
+        key: value
+        for key, value in snapshots[0].items()
+        if key not in ("counters", "gauges", "histograms")
+    }
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict[str, float]] = {}
+    for snapshot in snapshots:
+        for name, value in (snapshot.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in (snapshot.get("gauges") or {}).items():
+            gauges[name] = gauges.get(name, 0) + value
+        for name, summary in (snapshot.get("histograms") or {}).items():
+            if not isinstance(summary, dict):
+                continue
+            into = histograms.get(name)
+            if into is None:
+                histograms[name] = {
+                    key: value
+                    for key, value in summary.items()
+                    if isinstance(value, (int, float))
+                }
+                continue
+            for key, value in summary.items():
+                if not isinstance(value, (int, float)):
+                    continue
+                if key in ("count", "total"):
+                    into[key] = into.get(key, 0) + value
+                elif key in ("min",):
+                    into[key] = min(into.get(key, value), value)
+                else:
+                    into[key] = max(into.get(key, value), value)
+    for summary in histograms.values():
+        if summary.get("count"):
+            summary["mean"] = summary.get("total", 0.0) / summary["count"]
+    merged["counters"] = counters
+    merged["gauges"] = gauges
+    merged["histograms"] = histograms
+    return merged
 
 
 def _json_body(request: _Request) -> Any:

@@ -33,31 +33,80 @@ running server actually loaded.
 
 from __future__ import annotations
 
+import json
 import os
 import time
+from collections import OrderedDict
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
 from repro.core.difficulty import PRIOR_EMPIRICAL, PRIOR_UNIFORM, generation_difficulty
 from repro.core.model import SkillModel
-from repro.core.serialize import artifact_metadata, load_model
+from repro.core.serialize import (
+    artifact_metadata,
+    attach_model_shm,
+    load_model,
+    model_resident_bytes,
+)
 from repro.exceptions import DataError, ReproError
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 
-__all__ = ["ModelState", "ServingModel"]
+__all__ = [
+    "DEFAULT_TENANT",
+    "ManifestModelState",
+    "ModelState",
+    "ServingModel",
+    "TenantRegistry",
+    "TenantSpec",
+]
 
 _log = get_logger("serve.state")
+
+#: tenant the unprefixed routes (`/predict` vs `/t/<name>/predict`) map to.
+DEFAULT_TENANT = "default"
 
 #: stat fields that change whenever `os.replace` lands a new artifact.
 _Signature = tuple[tuple[int, int], tuple[int, int]]
 
 
+class _SegmentAttachment:
+    """Keeps a shared-memory mapping alive as long as its bundle is live.
+
+    Workers never unlink — the publisher owns segment lifecycle — but each
+    attached bundle must hold its mapping open until the last reader of
+    its zero-copy arrays is gone.  Tying the mapping to the bundle (and
+    closing on GC) makes eviction and hot-swap safe without reference
+    counting: an old generation's mapping dies exactly when the last
+    in-flight request drops the old bundle.
+    """
+
+    __slots__ = ("segment",)
+
+    def __init__(self, segment: Any) -> None:
+        self.segment = segment
+
+    def close(self) -> None:
+        segment, self.segment = self.segment, None
+        if segment is None:
+            return
+        try:
+            segment.close()
+        except BufferError:
+            # Views are still exported (in-flight readers); the interpreter
+            # unmaps when the last view dies, so this is not a leak.
+            pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing varies
+        self.close()
+
+
 class ServingModel:
     """One immutable, fully validated model bundle the server reads from."""
 
-    __slots__ = ("model", "metadata", "difficulties", "version")
+    __slots__ = ("model", "metadata", "difficulties", "version", "resident_bytes", "_attachment")
 
     def __init__(
         self,
@@ -65,11 +114,21 @@ class ServingModel:
         metadata: Mapping[str, Any],
         difficulties: Mapping[str, Mapping[Any, float]],
         version: int,
+        *,
+        resident_bytes: int = 0,
+        attachment: _SegmentAttachment | None = None,
     ) -> None:
         self.model = model
         self.metadata = dict(metadata)
         self.difficulties = difficulties
         self.version = version
+        self.resident_bytes = int(resident_bytes)
+        self._attachment = attachment
+
+    def close(self) -> None:
+        """Release any shared-memory mapping this bundle holds open."""
+        if self._attachment is not None:
+            self._attachment.close()
 
 
 def _build_bundle(prefix: Path, version: int) -> ServingModel:
@@ -79,7 +138,13 @@ def _build_bundle(prefix: Path, version: int) -> ServingModel:
         PRIOR_UNIFORM: generation_difficulty(model, prior=PRIOR_UNIFORM),
         PRIOR_EMPIRICAL: generation_difficulty(model, prior=PRIOR_EMPIRICAL),
     }
-    return ServingModel(model, metadata, difficulties, version)
+    return ServingModel(
+        model,
+        metadata,
+        difficulties,
+        version,
+        resident_bytes=model_resident_bytes(model),
+    )
 
 
 class ModelState:
@@ -144,13 +209,29 @@ class ModelState:
             (npz_stat.st_mtime_ns, npz_stat.st_size),
         )
 
+    def _build(self, version: int) -> ServingModel:
+        """Build the next bundle; subclasses change *where* models come
+        from (disk pair vs shm manifest) without touching the watch/swap
+        protocol above."""
+        return _build_bundle(self.prefix, version)
+
+    def unload(self) -> None:
+        """Drop the current bundle (LRU eviction); ``load()`` restores it."""
+        bundle, self._current = self._current, None
+        self._signature = None
+        if bundle is not None:
+            bundle.close()
+
+    def close(self) -> None:
+        self.unload()
+
     def load(self) -> ServingModel:
         """Initial load; raises :class:`~repro.exceptions.DataError` when
         the artifact pair is missing or invalid."""
         # Signature first: if the pair is replaced mid-read the signatures
         # diverge and the next poll re-reads — never a silent stale serve.
         self._signature = self._stat_signature()
-        bundle = _build_bundle(self.prefix, version=1)
+        bundle = self._build(version=1)
         self._current = bundle
         _log.info(
             "model loaded for serving",
@@ -187,7 +268,7 @@ class ModelState:
             get_registry().counter("serve.reload_retry").inc()
             return False
         try:
-            bundle = _build_bundle(self.prefix, version=self._current.version + 1)
+            bundle = self._build(version=self._current.version + 1)
         except (ReproError, OSError) as exc:
             self.reload_failures += 1
             self._failed_signature = signature
@@ -245,3 +326,304 @@ class ModelState:
             },
         )
         return True
+
+
+# ----------------------------------------------------------- shm generations
+
+
+def _reattach_hook() -> None:
+    """Fault seam: runs between reading a generation manifest and attaching
+    its segment.  ``testing.faults`` patches this to kill a worker inside
+    the re-attach window; forked workers inherit the patch."""
+
+
+class ManifestModelState(ModelState):
+    """Model state fed by a shared-memory generation manifest, not disk.
+
+    In prefork mode the parent process owns the artifact watch: it loads
+    each new pair once, publishes the arrays into one shm segment via
+    :func:`~repro.core.serialize.publish_model_shm`, and atomically
+    rewrites a per-tenant manifest JSON naming the segment, its SHA-256,
+    and a monotonically increasing *generation*.  Workers run this class
+    against the manifest file: the same watch/validate/swap protocol as
+    the disk watcher, except *validate* is the attach-time checksum gate
+    and *swap* maps zero-copy views instead of decompressing arrays.
+
+    ``version`` always equals the manifest generation, so every worker
+    reports the same version for the same physical segment — the parity
+    discipline the cross-worker tests pin.  ``observed_generation``
+    records the newest generation this process successfully attached
+    (even if the bundle was later evicted); the worker publishes it as
+    its ack, and the parent unlinks an old generation only once every
+    live worker acks a newer one.
+    """
+
+    def __init__(self, manifest_path: str | Path, **kwargs: Any) -> None:
+        super().__init__(manifest_path, **kwargs)
+        self.manifest_path = Path(manifest_path)
+        self.observed_generation = 0
+
+    def _stat_signature(self) -> _Signature | None:
+        try:
+            stat = os.stat(self.manifest_path)
+        except OSError:
+            return None
+        return ((stat.st_mtime_ns, stat.st_size), (0, 0))
+
+    def _build(self, version: int) -> ServingModel:
+        try:
+            manifest = json.loads(self.manifest_path.read_text("utf-8"))
+        except FileNotFoundError as exc:
+            raise DataError(f"{self.manifest_path}: no generation manifest") from exc
+        except (OSError, ValueError) as exc:
+            raise DataError(f"{self.manifest_path}: unreadable manifest: {exc}") from exc
+        descriptor = manifest.get("descriptor")
+        if not isinstance(descriptor, Mapping):
+            raise DataError(f"{self.manifest_path}: manifest has no segment descriptor")
+        _reattach_hook()
+        model, segment = attach_model_shm(descriptor)
+        generation = int(manifest.get("generation", version))
+        metadata = dict(manifest.get("metadata") or {})
+        metadata.setdefault("npz_checksum", str(descriptor.get("sha256", "")))
+        difficulties = {
+            PRIOR_UNIFORM: generation_difficulty(model, prior=PRIOR_UNIFORM),
+            PRIOR_EMPIRICAL: generation_difficulty(model, prior=PRIOR_EMPIRICAL),
+        }
+        self.observed_generation = max(self.observed_generation, generation)
+        return ServingModel(
+            model,
+            metadata,
+            difficulties,
+            generation,
+            resident_bytes=int(descriptor.get("bytes", 0)),
+            attachment=_SegmentAttachment(segment),
+        )
+
+
+# -------------------------------------------------------------- multi-tenant
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One named model a deployment serves.
+
+    Exactly one of ``prefix`` (disk artifact pair) or ``manifest`` (shm
+    generation manifest, prefork workers) names the model source.
+    ``max_queue`` optionally overrides the deployment-wide admission
+    queue bound for this tenant's endpoints.
+    """
+
+    name: str
+    prefix: Path | None = None
+    manifest: Path | None = None
+    max_queue: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.prefix is None) == (self.manifest is None):
+            raise DataError(
+                f"tenant {self.name!r}: exactly one of prefix/manifest required"
+            )
+
+
+class TenantRegistry:
+    """Many named :class:`ModelState`s behind one LRU residency budget.
+
+    The registry is the single place serving code resolves a tenant name
+    to a model bundle.  States load lazily on first request and stay
+    resident until the byte budget (counted against
+    ``ServingModel.resident_bytes`` — the shm segment size in prefork
+    workers) forces the least-recently-used tenant out.  An evicted
+    tenant is not an error: the next request reloads it, paying one
+    load/attach.  A single model larger than the whole budget still
+    serves (with a warning) — the budget bounds *aggregate* residency,
+    it never bricks a tenant.
+
+    Reload state — including the failure backoff in
+    :meth:`ModelState.maybe_reload` — lives per tenant, so one tenant's
+    corrupt artifact never stalls hot-reload for healthy ones;
+    :meth:`maybe_reload_all` additionally fences unexpected per-tenant
+    exceptions.
+    """
+
+    def __init__(
+        self,
+        specs: Iterable[TenantSpec],
+        *,
+        default: str = DEFAULT_TENANT,
+        residency_budget_bytes: int | None = None,
+        poll_seconds: float = 1.0,
+        retry_base_seconds: float = 1.0,
+        retry_cap_seconds: float = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.default = default
+        self.residency_budget_bytes = (
+            int(residency_budget_bytes) if residency_budget_bytes else None
+        )
+        self.evictions = 0
+        self._specs: dict[str, TenantSpec] = {}
+        self._states: "OrderedDict[str, ModelState]" = OrderedDict()
+        for spec in specs:
+            if spec.name in self._specs:
+                raise DataError(f"duplicate tenant {spec.name!r}")
+            self._specs[spec.name] = spec
+            kwargs: dict[str, Any] = {
+                "poll_seconds": poll_seconds,
+                "retry_base_seconds": retry_base_seconds,
+                "retry_cap_seconds": retry_cap_seconds,
+                "clock": clock,
+            }
+            if spec.manifest is not None:
+                state: ModelState = ManifestModelState(spec.manifest, **kwargs)
+            else:
+                state = ModelState(spec.prefix, **kwargs)
+            self._states[spec.name] = state
+        if self.default not in self._specs:
+            raise DataError(f"default tenant {self.default!r} has no spec")
+
+    @classmethod
+    def single(cls, state: ModelState, *, name: str = DEFAULT_TENANT) -> "TenantRegistry":
+        """Wrap an already-constructed state as a one-tenant registry —
+        the adapter that keeps the original single-model server API."""
+        registry = cls.__new__(cls)
+        registry.default = name
+        registry.residency_budget_bytes = None
+        registry.evictions = 0
+        if isinstance(state, ManifestModelState):
+            spec = TenantSpec(name, manifest=state.manifest_path)
+        else:
+            spec = TenantSpec(name, prefix=state.prefix)
+        registry._specs = {name: spec}
+        registry._states = OrderedDict({name: state})
+        return registry
+
+    # ------------------------------------------------------------- access
+
+    def names(self) -> list[str]:
+        return list(self._specs)
+
+    def spec(self, name: str) -> TenantSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise DataError(f"unknown tenant {name!r}") from None
+
+    def state(self, name: str | None = None) -> ModelState:
+        key = self.default if name is None else name
+        try:
+            return self._states[key]
+        except KeyError:
+            raise DataError(f"unknown tenant {key!r}") from None
+
+    def resident_bytes(self) -> int:
+        return sum(
+            state.current.resident_bytes
+            for state in self._states.values()
+            if state.loaded
+        )
+
+    def loaded_names(self) -> list[str]:
+        return [name for name, state in self._states.items() if state.loaded]
+
+    def get(self, name: str | None = None) -> ServingModel:
+        """Resolve a tenant to its current bundle, loading and evicting
+        as the residency budget requires.  Raises
+        :class:`~repro.exceptions.DataError` for unknown tenants and for
+        tenants whose artifact cannot be loaded."""
+        key = self.default if name is None else name
+        state = self.state(key)
+        if not state.loaded:
+            state.load()
+            get_registry().counter(f"serve.tenant.{key}.loads").inc()
+            self._enforce_budget(keep=key)
+        self._states.move_to_end(key)
+        self._update_gauges()
+        return state.current
+
+    # ------------------------------------------------------------ budget
+
+    def _enforce_budget(self, *, keep: str) -> None:
+        budget = self.residency_budget_bytes
+        if budget is None:
+            return
+        registry = get_registry()
+        while self.resident_bytes() > budget:
+            victim = next(
+                (
+                    name
+                    for name, state in self._states.items()
+                    if state.loaded and name != keep
+                ),
+                None,
+            )
+            if victim is None:
+                _log.warning(
+                    "tenant alone exceeds residency budget; serving anyway",
+                    extra={
+                        "obs": {
+                            "tenant": keep,
+                            "resident_bytes": self.resident_bytes(),
+                            "budget_bytes": budget,
+                        }
+                    },
+                )
+                return
+            self._states[victim].unload()
+            self.evictions += 1
+            registry.counter("serve.tenant.evictions").inc()
+            registry.gauge(f"serve.tenant.{victim}.resident_bytes").set(0.0)
+            _log.info(
+                "tenant evicted for residency budget",
+                extra={"obs": {"tenant": victim, "budget_bytes": budget}},
+            )
+
+    def _update_gauges(self) -> None:
+        registry = get_registry()
+        registry.gauge("serve.tenant.models").set(float(len(self.loaded_names())))
+        registry.gauge("serve.tenant.resident_bytes").set(float(self.resident_bytes()))
+        for name, state in self._states.items():
+            if state.loaded:
+                registry.gauge(f"serve.tenant.{name}.resident_bytes").set(
+                    float(state.current.resident_bytes)
+                )
+
+    # ----------------------------------------------------------- reloads
+
+    def maybe_reload_all(self) -> int:
+        """Poll every resident tenant for a new artifact; returns swap
+        count.  Failures (expected or not) are isolated per tenant."""
+        swapped = 0
+        for name, state in list(self._states.items()):
+            if not state.loaded:
+                continue
+            try:
+                if state.maybe_reload():
+                    swapped += 1
+            except Exception as exc:  # noqa: BLE001 - tenant isolation fence
+                _log.warning(
+                    "tenant reload raised; tenant keeps previous model",
+                    extra={"obs": {"tenant": name, "error": str(exc)}},
+                )
+        if swapped:
+            self._update_gauges()
+        return swapped
+
+    def observed_generations(self) -> dict[str, int]:
+        """Per-tenant newest attached shm generation — the worker's ack
+        payload.  Disk-backed tenants report their current version."""
+        acks: dict[str, int] = {}
+        for name, state in self._states.items():
+            if isinstance(state, ManifestModelState):
+                if state.observed_generation:
+                    acks[name] = state.observed_generation
+            elif state.loaded:
+                acks[name] = state.current.version
+        return acks
+
+    # ----------------------------------------------------------- teardown
+
+    def close(self) -> None:
+        """Unload every tenant and release their shm mappings."""
+        for state in self._states.values():
+            state.close()
+        self._update_gauges()

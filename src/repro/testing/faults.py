@@ -66,6 +66,9 @@ __all__ = [
     "crash_before_snapshot",
     "failing_foldin_extend",
     "failing_reload",
+    "kill_prefork_worker",
+    "lethal_reattach_hook",
+    "prefork_reattach_crash",
 ]
 
 
@@ -416,3 +419,99 @@ def slow_workers(seconds: float):
     finally:
         _parallel._assign_chunk = original
         os.environ.pop(_SLOW_SECONDS_ENV, None)
+
+
+# --------------------------------------------------------------------------
+# Prefork serving faults.  Workers are forked from the supervising process,
+# so a seam patched *before* PreforkSupervisor.start() is inherited by every
+# worker — including respawns — and the token-directory idiom bounds how
+# many workers actually die.
+# --------------------------------------------------------------------------
+
+_PREFORK_KILL_DIR_ENV = "REPRO_FAULTS_PREFORK_KILL_TOKENS"
+
+
+def lethal_reattach_hook():
+    """Re-attach seam that kills the worker inside the swap window.
+
+    Fires between a worker reading a new generation manifest and
+    attaching its segment — the exact window where a worker death must
+    not let the parent retire the old generation early (the dead worker
+    never acked the new one, and its replacement starts on whatever the
+    manifest names *now*).  Token-claimed via ``os.rename`` like every
+    other process-kill injector, so respawned workers (which inherit the
+    patch) survive once the tokens run out.
+    """
+    token_dir = os.environ.get(_PREFORK_KILL_DIR_ENV, "")
+    if token_dir and os.path.isdir(token_dir):
+        for name in sorted(os.listdir(token_dir)):
+            if name.endswith(".claimed"):
+                continue
+            token = os.path.join(token_dir, name)
+            try:
+                os.rename(token, token + ".claimed")
+            except OSError:
+                continue  # another worker claimed it first
+            os._exit(43)
+
+
+@contextmanager
+def prefork_reattach_crash(tmp_path, *, deaths: int = 1):
+    """Arrange for ``deaths`` prefork workers to die mid-re-attach.
+
+    Patch before ``PreforkSupervisor.start()`` so forked workers inherit
+    the seam; the hook only fires when a worker *re-attaches* (initial
+    load also passes through it, so schedule the swap before arming, or
+    count the initial attaches into ``deaths``).  Yields the token
+    directory; ``*.claimed`` files count the deaths that happened.
+    """
+    from repro.serve import state as _state
+
+    token_dir = Path(tmp_path) / "repro-prefork-kill-tokens"
+    token_dir.mkdir(exist_ok=True)
+    for k in range(deaths):
+        (token_dir / f"token-{k}").write_text("kill")
+    os.environ[_PREFORK_KILL_DIR_ENV] = str(token_dir)
+    original = _state._reattach_hook
+    _state._reattach_hook = lethal_reattach_hook
+    try:
+        yield token_dir
+    finally:
+        _state._reattach_hook = original
+        os.environ.pop(_PREFORK_KILL_DIR_ENV, None)
+
+
+def kill_prefork_worker(run_dir, *, index: int | None = None) -> int:
+    """SIGKILL one live registered prefork worker; returns its pid.
+
+    Reads the worker registration files under ``run_dir`` — the same
+    files the supervisor's generation GC trusts — picks the requested
+    (or lowest) live worker, and kills it without warning.  Models a
+    segfault/OOM-kill mid-traffic; the supervisor must respawn it and
+    no in-flight request on *other* workers may fail.
+    """
+    import json as _json
+    import signal as _signal
+
+    workers_dir = Path(run_dir) / "workers"
+    candidates = []
+    for path in sorted(workers_dir.glob("*.json")):
+        try:
+            reg = _json.loads(path.read_text("utf-8"))
+        except (OSError, ValueError):
+            continue
+        pid = reg.get("pid")
+        if not isinstance(pid, int):
+            continue
+        try:
+            os.kill(pid, 0)
+        except OSError:
+            continue
+        if index is None or reg.get("worker") == index:
+            candidates.append((reg.get("worker", 0), pid))
+    if not candidates:
+        raise RuntimeError(f"no live prefork worker registered under {run_dir}")
+    candidates.sort()
+    pid = candidates[0][1]
+    os.kill(pid, _signal.SIGKILL)
+    return pid

@@ -1,0 +1,578 @@
+"""Prefork supervisor: shared-memory generations, chaos, and drain.
+
+These tests exercise the full fork path (real worker processes, real
+``SO_REUSEPORT`` sockets, real ``/dev/shm`` segments), so every fixture
+is careful about cleanup: the supervisor's shutdown must leave zero
+shared-memory entries behind, and several tests assert exactly that.
+
+The chaos cases lean on :mod:`repro.testing.faults`:
+
+- ``kill_prefork_worker`` — SIGKILL mid-traffic; the supervisor must
+  respawn and no request on the surviving workers may fail;
+- ``prefork_reattach_crash`` — a worker dies *inside* the hot-swap
+  re-attach window; the old generation must survive until every live
+  worker acks the new one, and the fleet must converge afterwards.
+"""
+
+from __future__ import annotations
+
+import http.client
+import importlib.util
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.parallel import SHM_PREFIX
+from repro.core.serialize import save_model
+from repro.core.training import fit_skill_model
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.serve import (
+    ModelState,
+    PreforkConfig,
+    PreforkSupervisor,
+    ServeConfig,
+    ServerThread,
+    SkillServer,
+)
+from repro.serve.prefork import _Generation, _Tenant, WorkerRuntime
+from repro.testing.faults import kill_prefork_worker, prefork_reattach_crash
+
+_REPO = Path(__file__).resolve().parent.parent
+_CHECKER_PATH = _REPO / "tools" / "check_obs_output.py"
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location("check_obs_output", _CHECKER_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _request(host, port, method, path, body=None, timeout=30):
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn.request(method, path, payload, headers)
+        response = conn.getresponse()
+        return response.status, response.read(), dict(response.getheaders())
+    finally:
+        conn.close()
+
+
+def _model_segments(pid: int) -> list[str]:
+    """Live /dev/shm model segments published by process ``pid``."""
+    prefix = f"{SHM_PREFIX}model_{pid}_"
+    try:
+        return [name for name in os.listdir("/dev/shm") if name.startswith(prefix)]
+    except OSError:  # pragma: no cover - non-tmpfs platforms
+        return []
+
+
+class _Prefork:
+    """A supervised fleet on a background thread, torn down hard."""
+
+    def __init__(self, tenants, run_dir, *, workers=2, **config_kwargs):
+        config_kwargs.setdefault("poll_seconds", 0.2)
+        config_kwargs.setdefault("respawn_base_seconds", 0.05)
+        self.supervisor = PreforkSupervisor(
+            tenants,
+            PreforkConfig(workers=workers, run_dir=run_dir, **config_kwargs),
+            ServeConfig(port=0, max_wait_ms=0.5, poll_seconds=0.1),
+        )
+        self.host, self.port = self.supervisor.start()
+        self._thread = threading.Thread(
+            target=self.supervisor.serve_forever, daemon=True
+        )
+        self._thread.start()
+        self.supervisor.wait_ready()
+
+    def stop(self):
+        self.supervisor.request_stop()
+        self._thread.join(timeout=60)
+        self.supervisor.stop()  # idempotent; covers a wedged thread
+
+
+@pytest.fixture
+def alpha_prefix(fitted_tiny_model, tmp_path):
+    prefix = tmp_path / "alpha"
+    save_model(fitted_tiny_model, prefix)
+    return prefix
+
+
+@pytest.fixture
+def next_model(tiny_log, tiny_catalog, tiny_feature_set):
+    """What the trainer lands mid-flight: same data, fewer levels."""
+    return fit_skill_model(
+        tiny_log,
+        tiny_catalog,
+        tiny_feature_set.with_id_feature(),
+        num_levels=2,
+        init_min_actions=5,
+        max_iterations=20,
+    )
+
+
+class _Traffic(threading.Thread):
+    """Closed-loop request driver that survives worker churn.
+
+    ``SO_REUSEPORT`` hashes connections to workers; a SIGKILLed worker
+    takes its accept queue's pending connections with it.  Those show up
+    as *connection-level* errors (reset/refused) and are retried — the
+    chaos criterion is zero **HTTP-level** failures, i.e. no request
+    that reached a worker may produce a non-200.
+    """
+
+    def __init__(self, host, port, body):
+        super().__init__(daemon=True)
+        self.host, self.port, self.body = host, port, body
+        self.stop_event = threading.Event()
+        self.ok = 0
+        self.http_failures: list[int] = []
+        self.retries = 0
+        self.versions: set[int] = set()
+
+    def run(self):
+        while not self.stop_event.is_set():
+            try:
+                status, raw, _ = _request(
+                    self.host, self.port, "POST", "/predict", self.body, timeout=10
+                )
+            except (ConnectionError, OSError):
+                self.retries += 1
+                continue
+            if status == 200:
+                self.ok += 1
+                self.versions.add(json.loads(raw)["model_version"])
+            else:
+                self.http_failures.append(status)
+
+    def finish(self):
+        self.stop_event.set()
+        self.join(timeout=30)
+
+
+def _live_worker_pids(run_dir) -> set[int]:
+    pids = set()
+    for reg in WorkerRuntime(0, run_dir).peers():
+        pid = reg.get("pid")
+        if isinstance(pid, int):
+            try:
+                os.kill(pid, 0)
+            except OSError:
+                continue
+            pids.add(pid)
+    return pids
+
+
+# ------------------------------------------------------------ happy path
+
+
+class TestPreforkServing:
+    def test_two_workers_one_copy_identical_answers(
+        self, alpha_prefix, tmp_path, checker
+    ):
+        with use_registry(MetricsRegistry()):
+            fleet = _Prefork({"default": alpha_prefix}, tmp_path / "run")
+            try:
+                body = {"user": "u0", "time": 3.0, "k": 3}
+                seen_workers: set[str] = set()
+                bodies: set[bytes] = set()
+                for _ in range(300):
+                    status, raw, headers = _request(
+                        fleet.host, fleet.port, "POST", "/predict", body
+                    )
+                    assert status == 200
+                    seen_workers.add(headers["X-Serve-Worker"])
+                    bodies.add(raw)
+                    if len(seen_workers) == 2 and len(bodies) >= 1:
+                        break
+                # Kernel SO_REUSEPORT balancing reached both workers ...
+                assert seen_workers == {"0", "1"}
+                # ... and every answer, whichever worker served it, was
+                # byte-identical (satellite 4: parity across workers).
+                assert len(bodies) == 1
+
+                # Parity vs the single-process server on the same artifact.
+                with use_registry(MetricsRegistry()):
+                    solo = ServerThread(
+                        SkillServer(
+                            ModelState(alpha_prefix),
+                            ServeConfig(port=0, max_wait_ms=0.5),
+                        )
+                    )
+                    solo_host, solo_port = solo.start()
+                    try:
+                        status, solo_raw, _ = _request(
+                            solo_host, solo_port, "POST", "/predict", body
+                        )
+                    finally:
+                        solo.stop()
+                assert status == 200
+                assert bodies == {solo_raw}
+
+                # One tenant, N workers, exactly one physical model copy.
+                assert len(_model_segments(os.getpid())) == 1
+
+                # Aggregated /metrics: schema-valid, with the fleet gauges.
+                status, raw, _ = _request(fleet.host, fleet.port, "GET", "/metrics")
+                assert status == 200
+                payload = json.loads(raw)
+                assert checker.check_metrics(payload) == []
+                assert checker.check_required_metrics(
+                    payload, ["serve.prefork.workers"]
+                ) == []
+                assert payload["gauges"]["serve.prefork.workers"] == 2.0
+                assert payload["gauges"]["serve.prefork.configured"] == 2.0
+            finally:
+                fleet.stop()
+        # Shutdown unlinked every generation.
+        assert _model_segments(os.getpid()) == []
+
+    def test_hot_swap_mid_traffic_zero_failures(
+        self, alpha_prefix, next_model, tmp_path
+    ):
+        with use_registry(MetricsRegistry()):
+            fleet = _Prefork({"default": alpha_prefix}, tmp_path / "run")
+            traffic = _Traffic(
+                fleet.host, fleet.port, {"user": "u1", "time": 4.0, "k": 3}
+            )
+            try:
+                traffic.start()
+                deadline = time.monotonic() + 5
+                while traffic.ok < 20 and time.monotonic() < deadline:
+                    time.sleep(0.02)
+                assert traffic.ok >= 1
+
+                # The trainer lands a new artifact pair mid-traffic.
+                save_model(next_model, alpha_prefix)
+
+                # The fleet converges: both workers serve generation 2 and
+                # the parent retires generation 1 once both have acked.
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    if (
+                        2 in traffic.versions
+                        and len(_model_segments(os.getpid())) == 1
+                    ):
+                        break
+                    time.sleep(0.05)
+                assert 2 in traffic.versions
+                # Exactly one live generation after the swap.
+                assert len(_model_segments(os.getpid())) == 1
+            finally:
+                traffic.finish()
+                fleet.stop()
+        # Zero failed requests across the whole swap.
+        assert traffic.http_failures == []
+        assert traffic.versions <= {1, 2}
+        assert _model_segments(os.getpid()) == []
+
+
+# ------------------------------------------------------------------ GC
+
+
+class _FakeSegment:
+    def __init__(self):
+        self.unlinked = False
+
+    def close(self):
+        pass
+
+    def unlink(self):
+        self.unlinked = True
+
+
+class TestGenerationGc:
+    def test_gc_waits_for_every_live_ack(self, alpha_prefix, tmp_path):
+        """Deterministic replay of the ack handshake, no processes.
+
+        Registration files are the ground truth the GC trusts; this
+        writes them by hand to pin the policy: the old generation lives
+        while any live worker still acks it, dead workers' stale files
+        are ignored, and a worker that never attached the tenant does
+        not gate it.
+        """
+        run_dir = tmp_path / "run"
+        (run_dir / "workers").mkdir(parents=True)
+        supervisor = PreforkSupervisor(
+            {"default": alpha_prefix},
+            PreforkConfig(workers=2, run_dir=run_dir),
+            ServeConfig(port=0),
+        )
+        old, new = _FakeSegment(), _FakeSegment()
+        tenant = supervisor._tenants["default"]
+        tenant.generations = [
+            _Generation(1, old, {}),
+            _Generation(2, new, {}),
+        ]
+
+        def write_reg(index, pid, generations):
+            (run_dir / "workers" / f"{index}.json").write_text(
+                json.dumps(
+                    {
+                        "worker": index,
+                        "pid": pid,
+                        "admin_port": 1,
+                        "generations": generations,
+                    }
+                ),
+                "utf-8",
+            )
+
+        me = os.getpid()
+        # A dead worker's stale ack of generation 1 must not pin it.
+        reaped = subprocess.Popen([sys.executable, "-c", "pass"])
+        reaped.wait()
+        write_reg(7, reaped.pid, {"default": 1})
+        # A live worker that never attached this tenant does not gate it.
+        write_reg(2, me, {})
+
+        write_reg(0, me, {"default": 1})
+        write_reg(1, me, {"default": 2})
+        supervisor._gc_generations()
+        assert not old.unlinked  # worker 0 still reads generation 1
+
+        write_reg(0, me, {"default": 2})
+        supervisor._gc_generations()
+        assert old.unlinked  # every live ack moved past it
+        assert not new.unlinked
+        assert [g.number for g in tenant.generations] == [2]
+
+
+# ----------------------------------------------------------------- chaos
+
+
+class TestPreforkChaos:
+    def test_worker_kill_mid_traffic_respawns_with_zero_failures(
+        self, alpha_prefix, tmp_path
+    ):
+        run_dir = tmp_path / "run"
+        with use_registry(MetricsRegistry()):
+            fleet = _Prefork({"default": alpha_prefix}, run_dir)
+            traffic = _Traffic(
+                fleet.host, fleet.port, {"user": "u0", "time": 2.0, "k": 2}
+            )
+            try:
+                traffic.start()
+                deadline = time.monotonic() + 5
+                while traffic.ok < 10 and time.monotonic() < deadline:
+                    time.sleep(0.02)
+                before = _live_worker_pids(run_dir)
+                assert len(before) == 2
+
+                victim = kill_prefork_worker(run_dir)
+                assert victim in before
+
+                # The supervisor respawns a fresh process for the slot.
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    pids = _live_worker_pids(run_dir)
+                    if len(pids) == 2 and victim not in pids:
+                        break
+                    time.sleep(0.05)
+                pids = _live_worker_pids(run_dir)
+                assert len(pids) == 2 and victim not in pids
+                assert fleet.supervisor.respawns >= 1
+
+                # Traffic kept flowing throughout the kill + respawn.
+                settled = traffic.ok
+                deadline = time.monotonic() + 10
+                while traffic.ok < settled + 10 and time.monotonic() < deadline:
+                    time.sleep(0.02)
+                assert traffic.ok > settled
+            finally:
+                traffic.finish()
+                fleet.stop()
+        # SIGKILL dropped connections (retried), but zero HTTP failures.
+        assert traffic.http_failures == []
+        assert _model_segments(os.getpid()) == []
+
+    def test_death_inside_reattach_window_cannot_tear_the_swap(
+        self, alpha_prefix, next_model, tmp_path
+    ):
+        """Kill a worker between manifest read and segment attach.
+
+        The dying worker never acks generation 2, so the parent must keep
+        generation 1 alive until the *respawned* worker (which attaches
+        whatever the manifest names now) acks — then converge to exactly
+        one live generation with every request answered from gen 2.
+        """
+        with use_registry(MetricsRegistry()):
+            # deaths=0: arm the seam pre-fork (workers inherit the patch)
+            # but write the kill token only once startup's initial
+            # attaches — which pass through the same hook — are done.
+            with prefork_reattach_crash(tmp_path, deaths=0) as token_dir:
+                fleet = _Prefork({"default": alpha_prefix}, tmp_path / "run")
+                try:
+                    (token_dir / "token-0").write_text("kill")
+                    save_model(next_model, alpha_prefix)
+
+                    deadline = time.monotonic() + 30
+                    died = converged = False
+                    while time.monotonic() < deadline:
+                        died = any(token_dir.glob("*.claimed"))
+                        try:
+                            status, raw, _ = _request(
+                                fleet.host, fleet.port, "GET",
+                                "/skill?user=u0&time=3",
+                            )
+                        except (ConnectionError, OSError):
+                            time.sleep(0.05)  # hit the dying worker; retry
+                            continue
+                        converged = (
+                            status == 200
+                            and json.loads(raw)["model_version"] == 2
+                            and len(_model_segments(os.getpid())) == 1
+                            and len(_live_worker_pids(tmp_path / "run")) == 2
+                        )
+                        if died and converged:
+                            break
+                        time.sleep(0.05)
+                    # Exactly one worker claimed the token and died inside
+                    # the re-attach window ...
+                    assert died
+                    assert len(list(token_dir.glob("*.claimed"))) == 1
+                    # ... and the fleet still converged on generation 2
+                    # with the old generation retired only after all acks.
+                    assert converged
+                    assert len(_live_worker_pids(tmp_path / "run")) == 2
+                finally:
+                    fleet.stop()
+        assert _model_segments(os.getpid()) == []
+
+
+# ------------------------------------------------------------------- CLI
+
+
+def _free_port() -> int:
+    probe = socket.socket()
+    try:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+    finally:
+        probe.close()
+
+
+def _wait_healthz(port: int, proc, timeout: float = 45.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            out, err = proc.communicate(timeout=5)
+            raise AssertionError(f"server exited early: {out!r} {err!r}")
+        try:
+            status, _raw, _ = _request("127.0.0.1", port, "GET", "/healthz", timeout=5)
+            if status == 200:
+                return
+        except OSError:
+            time.sleep(0.1)
+    raise AssertionError("server did not become healthy")
+
+
+def _spawn_cli(args, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_REPO / "src")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=tmp_path,
+    )
+
+
+class TestPreforkCli:
+    def test_parent_sigterm_drains_children_and_unlinks_shm(
+        self, alpha_prefix, next_model, tmp_path
+    ):
+        beta_prefix = tmp_path / "beta"
+        save_model(next_model, beta_prefix)
+        run_dir = tmp_path / "run"
+        port = _free_port()
+        proc = _spawn_cli(
+            [
+                "serve", str(alpha_prefix),
+                "--workers", "2",
+                "--tenant", f"beta={beta_prefix}",
+                "--port", str(port),
+                "--run-dir", str(run_dir),
+            ],
+            tmp_path,
+        )
+        try:
+            _wait_healthz(port, proc)
+            status, _raw, _ = _request(
+                "127.0.0.1", port, "POST", "/predict",
+                {"user": "u0", "time": 3.0, "k": 2},
+            )
+            assert status == 200
+            status, raw, _ = _request("127.0.0.1", port, "GET", "/t/beta/healthz")
+            assert status == 200
+            assert json.loads(raw)["tenant"] == "beta"
+            children = _live_worker_pids(run_dir)
+            assert len(children) == 2
+            # Two tenants published: two live segments owned by the parent.
+            assert len(_model_segments(proc.pid)) == 2
+
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - hang cleanup
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, (out, err)
+        assert "shutting down" in out
+        # Drain completed: every child exited and every segment unlinked.
+        for pid in children:
+            with pytest.raises(OSError):
+                os.kill(pid, 0)
+        assert _model_segments(proc.pid) == []
+
+    def test_single_process_sigterm_leaves_no_shm(
+        self, alpha_prefix, next_model, tmp_path
+    ):
+        """Satellite regression beside TestGracefulSigterm: the classic
+        single-process path (now registry-backed, multi-tenant capable)
+        must close its registry on SIGTERM and leave /dev/shm untouched."""
+        beta_prefix = tmp_path / "beta"
+        save_model(next_model, beta_prefix)
+        port = _free_port()
+        proc = _spawn_cli(
+            [
+                "serve", str(alpha_prefix),
+                "--tenant", f"beta={beta_prefix}",
+                "--port", str(port),
+            ],
+            tmp_path,
+        )
+        try:
+            _wait_healthz(port, proc)
+            status, _raw, _ = _request(
+                "127.0.0.1", port, "POST", "/t/beta/predict",
+                {"user": "u0", "time": 2.0},
+            )
+            assert status == 200
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - hang cleanup
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, (out, err)
+        assert "shutting down (SIGTERM)" in out
+        leaked = [
+            name
+            for name in (os.listdir("/dev/shm") if os.path.isdir("/dev/shm") else [])
+            if name.startswith(SHM_PREFIX) and f"_{proc.pid}_" in name
+        ]
+        assert leaked == []

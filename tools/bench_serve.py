@@ -32,6 +32,15 @@ default configuration's overhead < 5% throughput, so the
 ``--trace-out`` lever stays safe to reach for in production; the
 full-detail (``--trace-sample 1.0``) cost is reported unasserted.
 
+A fourth section sweeps prefork core-scaling: real ``repro serve
+--workers N`` subprocess trees (N in {1, 2, 4}; {1, 2} under
+``--quick``) answer the same workload, with a byte-parity assert per
+point against the in-process batched reference, per-worker ``smaps``
+Pss samples proving the N workers map **one** physical model copy, and
+a >=2.5x workers=4 throughput floor that is asserted only on hosts
+with >=4 usable cores (recorded as ``checked``/``reason`` otherwise —
+a fleet cannot out-scale its scheduler).
+
 Run from the repo root::
 
     PYTHONPATH=src python tools/bench_serve.py
@@ -300,6 +309,8 @@ class _ServeSubprocess:
         max_batch: int,
         trace_out: Path | None = None,
         trace_sample: float | None = None,
+        workers: int | None = None,
+        run_dir: Path | None = None,
     ) -> None:
         self.trace_out = trace_out
         argv = [
@@ -313,6 +324,10 @@ class _ServeSubprocess:
             argv += ["--trace-out", str(trace_out)]
         if trace_sample is not None:
             argv += ["--trace-sample", str(trace_sample)]
+        if workers is not None:
+            argv += ["--workers", str(workers)]
+        if run_dir is not None:
+            argv += ["--run-dir", str(run_dir)]
         env = dict(os.environ)
         src = str(Path(__file__).resolve().parent.parent / "src")
         existing = env.get("PYTHONPATH")
@@ -344,6 +359,173 @@ class _ServeSubprocess:
         except subprocess.TimeoutExpired:  # pragma: no cover - hung server
             self._proc.kill()
             self._proc.wait()
+
+
+def _segment_residency(pid: int, segment_names: set[str]) -> dict[str, dict]:
+    """Per-segment Rss/Pss for one worker, from ``/proc/<pid>/smaps``.
+
+    Proportional set size is the sharing proof: a segment mapped by N
+    workers charges each ~size/N of Pss, while Rss reports the full
+    mapping in every worker.  Returns ``{segment_name: {rss_kb, pss_kb}}``.
+    """
+    found: dict[str, dict] = {}
+    current: str | None = None
+    try:
+        with open(f"/proc/{pid}/smaps", encoding="utf-8") as handle:
+            for line in handle:
+                # Mapping headers start with the hex address range; the
+                # Key: value lines that follow belong to that mapping.
+                if line[:1] in "0123456789abcdef" and "-" in line.split(" ", 1)[0]:
+                    name = line.rsplit("/", 1)[-1].strip() if "/dev/shm/" in line else ""
+                    current = name if name in segment_names else None
+                elif current is not None:
+                    # A worker can map a segment twice (its own attach plus
+                    # the fork-inherited parent mapping); sum across them.
+                    if line.startswith("Rss:"):
+                        entry = found.setdefault(current, {})
+                        entry["rss_kb"] = entry.get("rss_kb", 0) + int(line.split()[1])
+                    elif line.startswith("Pss:"):
+                        entry = found.setdefault(current, {})
+                        entry["pss_kb"] = entry.get("pss_kb", 0) + int(line.split()[1])
+    except OSError:
+        pass  # non-linux /proc or worker exited between samples
+    return found
+
+
+def _bench_prefork(
+    prefix: Path,
+    workload: list[tuple[str, bytes]],
+    reference_bodies: list[bytes | None],
+    tmp: Path,
+    *,
+    concurrency: int,
+    quick: bool,
+) -> dict:
+    """Core-scaling: the same batched workload against ``--workers N``.
+
+    Each point boots a real ``repro serve --workers N`` subprocess tree,
+    asserts byte-parity against the in-process batched reference, and
+    samples per-worker smaps residency of the shared model segment.  The
+    >=2.5x scaling floor is only *checked* when the host actually has
+    >=4 usable cores — prefork cannot out-schedule the scheduler — and
+    the result records whether it was.
+    """
+    points = [1, 2] if quick else [1, 2, 4]
+    if quick:
+        print("prefork: --quick caps the worker sweep at {1, 2} (not {1, 2, 4})")
+    cores = len(os.sched_getaffinity(0))
+    results: list[dict] = []
+    for n in points:
+        run_dir = tmp / f"prefork-w{n}"
+        server = _ServeSubprocess(prefix, max_batch=64, workers=n, run_dir=run_dir)
+        try:
+            # Warm every worker's first-request path before timing.
+            server.drive(workload[: max(64, len(workload) // 8)], concurrency)
+            bodies, latencies, errors, wall = server.drive(workload, concurrency)
+            assert errors == 0, f"workers={n}: {errors} HTTP errors"
+            mismatches = sum(
+                1 for a, b in zip(reference_bodies, bodies) if a != b
+            )
+            assert mismatches == 0, (
+                f"workers={n}: {mismatches} responses differ from the "
+                f"single-process batched reference"
+            )
+            worker_pids = []
+            for reg_path in sorted((run_dir / "workers").glob("*.json")):
+                try:
+                    worker_pids.append(json.loads(reg_path.read_text())["pid"])
+                except (OSError, ValueError, KeyError):
+                    continue
+            assert len(worker_pids) == n, (
+                f"workers={n}: only {len(worker_pids)} registered"
+            )
+            segments = {
+                name: os.path.getsize(f"/dev/shm/{name}")
+                for name in os.listdir("/dev/shm")
+                if name.startswith(f"repro_scores_model_{server._proc.pid}_")
+            } if os.path.isdir("/dev/shm") else {}
+            residency = {
+                pid: _segment_residency(pid, set(segments)) for pid in worker_pids
+            }
+            stats = _stats(
+                max_batch=64, spans=0, wall=wall, workload_size=len(workload),
+                latencies=latencies, errors=errors, bodies=bodies,
+            )
+            stats.pop("bodies")
+            point = {
+                "workers": n,
+                **{k: stats[k] for k in
+                   ("wall_seconds", "throughput_rps", "p50_ms", "p95_ms",
+                    "mean_ms", "errors")},
+                "parity_mismatches": 0,
+                "shm_segments": [
+                    {
+                        "name": name,
+                        "size_bytes": size,
+                        "per_worker": [
+                            {"pid": pid, **residency[pid].get(name, {})}
+                            for pid in worker_pids
+                        ],
+                    }
+                    for name, size in sorted(segments.items())
+                ],
+            }
+        finally:
+            server.stop()
+        results.append(point)
+        shared = ""
+        if point["shm_segments"]:
+            seg = point["shm_segments"][0]
+            pss = [w.get("pss_kb") for w in seg["per_worker"] if "pss_kb" in w]
+            if pss:
+                shared = (
+                    f" shm {seg['size_bytes'] / 1024:.0f}kB, per-worker "
+                    f"pss {'/'.join(str(p) for p in pss)}kB"
+                )
+        print(
+            f"workers={n}  p50={point['p50_ms']:7.2f}ms "
+            f"throughput={point['throughput_rps']:7.1f} req/s{shared}"
+        )
+    # One physical copy: with N workers mapping one segment, each
+    # worker's proportional share is ~size/N, so the per-worker Pss sum
+    # stays ~one segment size instead of N copies.  Checked for the
+    # largest fleet where /proc gave us numbers.
+    for point in reversed(results):
+        if point["workers"] < 2 or not point["shm_segments"]:
+            continue
+        seg = point["shm_segments"][0]
+        pss_kb = [w["pss_kb"] for w in seg["per_worker"] if "pss_kb" in w]
+        if len(pss_kb) == point["workers"]:
+            assert sum(pss_kb) * 1024 < 1.5 * seg["size_bytes"] + 1024 * len(pss_kb), (
+                f"workers={point['workers']}: summed Pss "
+                f"{sum(pss_kb)}kB looks like private copies of a "
+                f"{seg['size_bytes']}B segment"
+            )
+            break
+    by_workers = {p["workers"]: p["throughput_rps"] for p in results}
+    scaling_checked = cores >= 4 and 4 in by_workers
+    summary = {
+        "points": results,
+        "cores": cores,
+        "speedup_vs_single": {
+            str(n): by_workers[n] / by_workers[1] for n in sorted(by_workers) if n > 1
+        },
+        "scaling_assert": {
+            "required_at_workers_4": 2.5,
+            "checked": scaling_checked,
+            "reason": None if scaling_checked else (
+                f"host exposes {cores} usable core(s); a prefork fleet "
+                "cannot scale past the scheduler"
+            ),
+        },
+    }
+    if scaling_checked:
+        speedup = by_workers[4] / by_workers[1]
+        assert speedup >= 2.5, (
+            f"workers=4 throughput is {speedup:.2f}x single-worker "
+            f"(>=2.5x required on a {cores}-core host)"
+        )
+    return summary
 
 
 def _bench_ingest(
@@ -621,6 +803,15 @@ def main() -> int:
                 f"tracing overhead {overhead_pct:.1f}% exceeds the 5% budget"
             )
 
+        # Prefork core-scaling: same workload, real --workers N process
+        # trees, byte-parity per point.  Before ingest — fold-in rewrites
+        # the artifact, which would invalidate the parity reference.
+        print("prefork: core-scaling sweep...")
+        prefork = _bench_prefork(
+            prefix, workload, results["batched"]["bodies"], Path(tmp),
+            concurrency=args.concurrency, quick=args.quick,
+        )
+
         # Streaming loop: durable journaling rate, then fold-in latency.
         # Runs after the parity modes — fold-in republishes the artifact.
         ingest_events = 512 if args.quick else 4096
@@ -657,6 +848,7 @@ def main() -> int:
             "platform": platform.platform(),
             "python": platform.python_version(),
             "numpy": np.__version__,
+            "cores": len(os.sched_getaffinity(0)),
         },
         "workload": {
             "model_users": args.users,
@@ -699,6 +891,7 @@ def main() -> int:
                 "spans": full_spans,
             },
         },
+        "prefork": prefork,
         "ingest": ingest,
     }
     Path(args.out).write_text(
