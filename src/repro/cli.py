@@ -27,6 +27,7 @@ Serving::
 
     python -m repro serve models/cooking --port 8080
     python -m repro serve models/cooking --ingest-wal wal/ --data data/cooking
+    python -m repro recommend models/cooking --user u12 --data data/cooking
     python -m repro wal inspect wal/
 
 Observability (``fit``, ``run``, and ``serve``): ``--log-level INFO`` /
@@ -205,6 +206,75 @@ def build_parser() -> argparse.ArgumentParser:
     score_parser.add_argument("--top", type=int, default=0, help="print only the N hardest")
     score_parser.add_argument("--output", default=None, help="optional JSONL output")
 
+    recommend_parser = sub.add_parser(
+        "recommend",
+        help="difficulty-targeted next items from a saved model "
+        "(the offline twin of POST /recommend; see docs/recommendation.md)",
+    )
+    recommend_parser.add_argument("model", help="model path prefix written by `fit`")
+    recommend_parser.add_argument(
+        "--user", default=None, help="recommend for this training user"
+    )
+    recommend_parser.add_argument(
+        "--time",
+        type=float,
+        default=None,
+        help="infer the user's level at this time (default: their latest)",
+    )
+    recommend_parser.add_argument("--k", type=int, default=10)
+    recommend_parser.add_argument(
+        "--data",
+        default=None,
+        metavar="PREFIX",
+        help="data path prefix (written by `simulate`); enables "
+        "exclude-seen so already-done items are skipped",
+    )
+    recommend_parser.add_argument(
+        "--window",
+        default="-0.25,0.75",
+        metavar="LOW,HIGH",
+        help="challenge window relative to the user's level "
+        "(default: -0.25,0.75)",
+    )
+    recommend_parser.add_argument(
+        "--interest-weight",
+        type=float,
+        default=0.5,
+        metavar="W",
+        help="interest/challenge blend (0 = challenge only, 1 = interest only)",
+    )
+    recommend_parser.add_argument(
+        "--similar-harder",
+        default=None,
+        metavar="ITEM",
+        help="instead of the upskill blend: items performance-similar to "
+        "ITEM but strictly harder (Kappa-style progression)",
+    )
+    recommend_parser.add_argument(
+        "--margin",
+        type=float,
+        default=0.0,
+        help="with --similar-harder: require at least this much extra "
+        "difficulty over the anchor",
+    )
+    recommend_parser.add_argument(
+        "--max-jump",
+        type=float,
+        default=None,
+        help="re-rank: drop items more than this far above the user's "
+        "level (the skip-level extension)",
+    )
+    recommend_parser.add_argument(
+        "--satisfaction",
+        default=None,
+        metavar="PATH",
+        help="re-rank: JSONL of {item, satisfaction} weights in [0, 1] "
+        "(the satisfaction extension)",
+    )
+    recommend_parser.add_argument(
+        "--output", default=None, help="optional JSONL output path"
+    )
+
     inspect_parser = sub.add_parser(
         "inspect",
         help="print a model card for a saved model, or a shard/checksum "
@@ -327,6 +397,23 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="prefork coordination directory (worker registrations, "
         "generation manifests; default: a temporary directory)",
+    )
+    serve_parser.add_argument(
+        "--recommend-window",
+        default="-0.25,0.75",
+        metavar="LOW,HIGH",
+        help="challenge window for POST /recommend, relative to the "
+        "user's level (default: -0.25,0.75 — the 'moderately "
+        "challenging' zone; see docs/recommendation.md)",
+    )
+    serve_parser.add_argument(
+        "--interest-weight",
+        type=float,
+        default=0.5,
+        metavar="W",
+        help="geometric blend between interest and challenge for "
+        "POST /recommend (0 = challenge only, 1 = interest only; "
+        "default: 0.5)",
     )
     serve_parser.add_argument(
         "--trace-sample",
@@ -817,6 +904,144 @@ def _cmd_inspect(model_path: str, data: str | None) -> int:
     return 0
 
 
+def _parse_window(text: str) -> tuple[float, float] | None:
+    """``LOW,HIGH`` → floats; returns None (having printed) when malformed."""
+    low_text, sep, high_text = text.partition(",")
+    try:
+        if not sep:
+            raise ValueError(text)
+        return float(low_text), float(high_text)
+    except ValueError:
+        print(
+            f"error: expected a LOW,HIGH window like -0.25,0.75, got {text!r}",
+            file=sys.stderr,
+        )
+        return None
+
+
+def _resolve_id(identifier: str, known) -> str | int:
+    """CLI args arrive as strings; recover integer training ids the same
+    way the serve layer and the JSONL reader do."""
+    if identifier not in known:
+        try:
+            coerced = int(identifier)
+        except ValueError:
+            return identifier
+        if coerced in known:
+            return coerced
+    return identifier
+
+
+def _cmd_recommend(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.core.difficulty import generation_difficulty
+    from repro.core.serialize import load_model
+    from repro.recsys.ranking import rerank_recommendations
+    from repro.recsys.similarity import build_similarity_index, similar_harder
+    from repro.recsys.upskill import UpskillConfig, UpskillRecommender
+
+    window = _parse_window(args.window)
+    if window is None:
+        return 2
+    model = load_model(args.model)
+    recommender = UpskillRecommender(
+        model,
+        generation_difficulty(model, prior="empirical"),
+        UpskillConfig(
+            window_low=window[0],
+            window_high=window[1],
+            interest_weight=args.interest_weight,
+            exclude_seen=bool(args.data),
+        ),
+    )
+
+    if args.similar_harder is not None:
+        anchor = _resolve_id(args.similar_harder, model.encoded.index_of)
+        similars = similar_harder(
+            build_similarity_index(model),
+            recommender.difficulty_vector,
+            anchor,
+            k=args.k,
+            margin=args.margin,
+        )
+        rows = [
+            {
+                "item": one.item,
+                "similarity": one.similarity,
+                "difficulty": one.difficulty,
+            }
+            for one in similars
+        ]
+        print(f"{'similarity':>10s} {'difficulty':>10s}  item")
+        for row in rows:
+            print(
+                f"{row['similarity']:10.4f} {row['difficulty']:10.3f}  {row['item']}"
+            )
+    else:
+        if args.user is None:
+            print(
+                "error: recommend needs --user (or --similar-harder ITEM)",
+                file=sys.stderr,
+            )
+            return 2
+        user = _resolve_id(args.user, model.assignments)
+        log = None
+        if args.data:
+            from repro.data.io import load_log
+
+            log = load_log(Path(str(Path(args.data)) + ".log.jsonl"))
+        recommendations = recommender.recommend(
+            user, time=args.time, k=args.k, log=log
+        )
+        satisfaction = None
+        if args.satisfaction:
+            satisfaction = {}
+            with open(args.satisfaction, encoding="utf-8") as handle:
+                for line in handle:
+                    if line.strip():
+                        record = json.loads(line)
+                        satisfaction[record["item"]] = float(record["satisfaction"])
+        if args.max_jump is not None or satisfaction is not None:
+            recommendations = rerank_recommendations(
+                recommendations,
+                level=(
+                    recommender.level_of(user, args.time)
+                    if args.max_jump is not None
+                    else None
+                ),
+                max_jump=args.max_jump,
+                satisfaction=satisfaction,
+            )
+        level = recommender.level_of(user, args.time)
+        print(f"user {user!r} at level {level} (window {args.window}):")
+        print(f"{'score':>8s} {'difficulty':>10s} {'interest':>9s}  item")
+        rows = []
+        for rec in recommendations:
+            rows.append(
+                {
+                    "item": rec.item,
+                    "score": rec.score,
+                    "difficulty": rec.difficulty,
+                    "challenge_fit": rec.challenge_fit,
+                    "interest": rec.interest,
+                }
+            )
+            print(
+                f"{rec.score:8.4f} {rec.difficulty:10.3f} {rec.interest:9.4f}  "
+                f"{rec.item}"
+            )
+    if args.output:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        with out.open("w", encoding="utf-8") as handle:
+            for row in rows:
+                handle.write(json.dumps(row) + "\n")
+        print(f"wrote {len(rows)} rows to {out}")
+    return 0
+
+
 def _parse_tenants(args) -> dict[str, str] | None:
     """``--tenant NAME=PREFIX`` flags plus the positional default model;
     returns None (having printed an error) on a malformed flag."""
@@ -833,13 +1058,36 @@ def _parse_tenants(args) -> dict[str, str] | None:
     return tenants
 
 
+def _serve_config(args):
+    """One ServeConfig from the serve flags (shared by the single-process
+    and prefork paths so /recommend behaves identically under both);
+    returns None (having printed) on a malformed window."""
+    from repro.serve import ServeConfig
+
+    window = _parse_window(args.recommend_window)
+    if window is None:
+        return None
+    return ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_queue=args.max_queue,
+        timeout_seconds=args.timeout,
+        poll_seconds=args.poll_seconds,
+        recommend_window_low=window[0],
+        recommend_window_high=window[1],
+        interest_weight=args.interest_weight,
+    )
+
+
 def _cmd_serve_prefork(args, tenants: dict[str, str]) -> int:
     """``repro serve --workers N``: the prefork supervisor as pid 1."""
     import signal
     import tempfile
     from pathlib import Path
 
-    from repro.serve import PreforkConfig, PreforkSupervisor, ServeConfig
+    from repro.serve import PreforkConfig, PreforkSupervisor
 
     if args.ingest_wal:
         print(
@@ -855,6 +1103,9 @@ def _cmd_serve_prefork(args, tenants: dict[str, str]) -> int:
         if args.residency_budget_mb
         else None
     )
+    serve_config = _serve_config(args)
+    if serve_config is None:
+        return 2
     supervisor = PreforkSupervisor(
         tenants,
         PreforkConfig(
@@ -863,15 +1114,7 @@ def _cmd_serve_prefork(args, tenants: dict[str, str]) -> int:
             poll_seconds=args.poll_seconds,
             residency_budget_bytes=budget,
         ),
-        ServeConfig(
-            host=args.host,
-            port=args.port,
-            max_batch=args.max_batch,
-            max_wait_ms=args.max_wait_ms,
-            max_queue=args.max_queue,
-            timeout_seconds=args.timeout,
-            poll_seconds=args.poll_seconds,
-        ),
+        serve_config,
     )
     host, port = supervisor.start()
     names = ", ".join(sorted(tenants))
@@ -901,7 +1144,6 @@ def _cmd_serve(args) -> int:
     from repro.serve import (
         FoldinConfig,
         FoldinWorker,
-        ServeConfig,
         SkillServer,
         WriteAheadLog,
     )
@@ -913,15 +1155,9 @@ def _cmd_serve(args) -> int:
     if args.workers is not None:
         return _cmd_serve_prefork(args, tenants)
 
-    config = ServeConfig(
-        host=args.host,
-        port=args.port,
-        max_batch=args.max_batch,
-        max_wait_ms=args.max_wait_ms,
-        max_queue=args.max_queue,
-        timeout_seconds=args.timeout,
-        poll_seconds=args.poll_seconds,
-    )
+    config = _serve_config(args)
+    if config is None:
+        return 2
     budget = (
         int(args.residency_budget_mb * 1024 * 1024)
         if args.residency_budget_mb
@@ -1163,6 +1399,8 @@ def main(argv: list[str] | None = None) -> int:
                 _finish_tracing(args.trace_out)
         if args.command == "score":
             return _cmd_score(args.model, args.prior, args.top, args.output)
+        if args.command == "recommend":
+            return _cmd_recommend(args)
         if args.command == "inspect":
             return _cmd_inspect(args.model, args.data)
         if args.command == "serve":

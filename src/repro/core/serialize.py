@@ -46,16 +46,49 @@ __all__ = [
     "artifact_metadata",
     "attach_model_shm",
     "load_model",
+    "load_similarity_payload",
     "model_resident_bytes",
     "publish_model_shm",
     "save_model",
+    "shm_similarity_payload",
 ]
 
 _log = get_logger("core.serialize")
 
 _FORMAT_VERSION = 1
 
+#: Reserved array-name prefix for the optional item-similarity index
+#: (``repro.recsys.similarity``).  The canonical model arrays never use
+#: it, old artifacts simply lack these members, and ``_restore_model``
+#: never asks for them — so the payload is versioned-by-presence and
+#: fully backward/forward compatible.
+_SIMILARITY_PREFIX = "simidx_"
+
 _DIST_TAGS = {Categorical: "categorical", Poisson: "poisson", Gamma: "gamma", LogNormal: "lognormal"}
+
+
+def _similarity_arrays(similarity: Mapping, num_items: int) -> dict[str, np.ndarray]:
+    """Validate and name a similarity payload's arrays for persistence.
+
+    ``similarity`` is the serialization-layer payload dict
+    (``neighbors``/``scores``/``meta``) produced by
+    ``ItemSimilarityIndex.to_payload()`` — this layer deliberately takes
+    plain arrays, not the recsys class, to keep core below recsys in the
+    dependency order.
+    """
+    neighbors = np.ascontiguousarray(similarity["neighbors"], dtype=np.int32)
+    scores = np.ascontiguousarray(similarity["scores"], dtype=np.float64)
+    if neighbors.ndim != 2 or neighbors.shape != scores.shape:
+        raise DataError("similarity payload needs matching (n, k) tables")
+    if neighbors.shape[0] != num_items:
+        raise DataError(
+            f"similarity index has {neighbors.shape[0]} rows for "
+            f"{num_items} model items"
+        )
+    return {
+        f"{_SIMILARITY_PREFIX}neighbors": neighbors,
+        f"{_SIMILARITY_PREFIX}scores": scores,
+    }
 
 
 def _cell_payload(dist) -> tuple[str, np.ndarray]:
@@ -121,7 +154,7 @@ def _atomic_commit(writes: list[tuple[Path, bytes]]) -> None:
 
 
 def _model_payload(
-    model: SkillModel, *, extra: dict | None = None
+    model: SkillModel, *, extra: dict | None = None, similarity: Mapping | None = None
 ) -> tuple[dict, dict[str, np.ndarray]]:
     """(structure, named arrays) — the canonical flat form of a model.
 
@@ -131,6 +164,11 @@ def _model_payload(
     for the prefork serving workers.  Both reconstruct through
     :func:`_restore_model`, so the array naming (``cell_{s}_{f}``,
     ``column_{f}``, ``assign_{k}``, ``times_{k}``) is the one contract.
+
+    ``similarity`` optionally rides the precomputed item-similarity index
+    along (reserved ``simidx_*`` array names plus a ``similarity`` meta
+    key in the structure); absent in old artifacts, ignored by old
+    readers — see :func:`load_similarity_payload`.
     """
     feature_set = model.feature_set
     users = list(model.assignments)
@@ -168,6 +206,11 @@ def _model_payload(
     for k, user in enumerate(users):
         arrays[f"assign_{k}"] = np.asarray(model.assignments[user], dtype=np.int64)
         arrays[f"times_{k}"] = np.asarray(model._assignment_times[user], dtype=np.float64)
+    if similarity is not None:
+        arrays.update(
+            _similarity_arrays(similarity, len(structure["item_ids"]))
+        )
+        structure["similarity"] = dict(similarity.get("meta") or {})
     return structure, arrays
 
 
@@ -245,7 +288,11 @@ def _restore_model(
 
 
 def save_model(
-    model: SkillModel, path_prefix: str | Path, *, extra: dict | None = None
+    model: SkillModel,
+    path_prefix: str | Path,
+    *,
+    extra: dict | None = None,
+    similarity: Mapping | None = None,
 ) -> tuple[Path, Path]:
     """Write ``<prefix>.json`` and ``<prefix>.npz``; returns both paths.
 
@@ -261,11 +308,18 @@ def save_model(
     point of the two-file save, anything in ``extra`` (the serving fold-in
     watermark, for example) becomes durable atomically with the model it
     describes.
+
+    ``similarity`` optionally embeds a precomputed item-similarity index
+    payload (``ItemSimilarityIndex.to_payload()``) under reserved
+    ``simidx_*`` NPZ names; :func:`load_model` ignores it, and
+    :func:`load_similarity_payload` reads it back.  Artifacts without it
+    stay loadable unchanged — the serving layer builds the index
+    in-process when an artifact does not carry one.
     """
     registry = get_registry()
     start = registry.clock()
     prefix = Path(path_prefix)
-    structure, arrays = _model_payload(model, extra=extra)
+    structure, arrays = _model_payload(model, extra=extra, similarity=similarity)
     users = structure["users"]
 
     json_path = prefix.with_suffix(".json")
@@ -352,6 +406,7 @@ def artifact_metadata(path_prefix: str | Path) -> dict:
         "converged": trace.get("converged"),
         "num_iterations": trace.get("num_iterations"),
         "extra": structure.get("extra"),
+        "similarity": structure.get("similarity"),
     }
 
 
@@ -409,6 +464,55 @@ def load_model(path_prefix: str | Path) -> SkillModel:
     return model
 
 
+def load_similarity_payload(path_prefix: str | Path) -> dict | None:
+    """Read the optional similarity-index payload from a saved model pair.
+
+    Returns ``{"neighbors", "scores", "meta"}`` (fresh in-memory arrays)
+    when the artifact carries an index, ``None`` for artifacts written
+    before the index existed or saved without one — the caller decides
+    whether to build one in-process instead.  The NPZ checksum is
+    verified exactly as :func:`load_model` does: a torn pair must not
+    serve a stale index either.
+    """
+    prefix = Path(path_prefix)
+    json_path = prefix.with_suffix(".json")
+    npz_path = prefix.with_suffix(".npz")
+    if not json_path.exists() or not npz_path.exists():
+        raise DataError(f"missing model files {json_path} / {npz_path}")
+    try:
+        structure = json.loads(json_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise DataError(f"{json_path}: malformed model file ({exc})") from exc
+    meta = structure.get("similarity")
+    if meta is None:
+        return None
+    npz_bytes = npz_path.read_bytes()
+    checksums = structure.get("checksums")
+    if checksums and "npz" in checksums:
+        actual = _sha256_hex(npz_bytes)
+        if actual != checksums["npz"]:
+            raise DataError(
+                f"{npz_path}: checksum mismatch — the model pair is torn or "
+                f"corrupted; refusing to load its similarity index"
+            )
+    try:
+        npz = np.load(io.BytesIO(npz_bytes))
+    except Exception as exc:  # zipfile.BadZipFile, ValueError, OSError
+        raise DataError(
+            f"{npz_path}: truncated or corrupted model archive ({exc})"
+        ) from exc
+    with npz as arrays:
+        try:
+            neighbors = np.array(arrays[f"{_SIMILARITY_PREFIX}neighbors"])
+            scores = np.array(arrays[f"{_SIMILARITY_PREFIX}scores"])
+        except KeyError as exc:
+            raise DataError(
+                f"{npz_path}: structure promises a similarity index but the "
+                f"archive lacks {exc.args[0]}"
+            ) from None
+    return {"neighbors": neighbors, "scores": scores, "meta": dict(meta)}
+
+
 # ------------------------------------------------------------- shared memory
 #
 # The prefork serving mode (repro.serve.prefork) places one whole model in a
@@ -443,19 +547,27 @@ def model_resident_bytes(model: SkillModel) -> int:
     return sum(int(np.asarray(array).nbytes) for array in arrays.values())
 
 
-def publish_model_shm(model: SkillModel, *, extra: dict | None = None):
+def publish_model_shm(
+    model: SkillModel, *, extra: dict | None = None, similarity: Mapping | None = None
+):
     """Copy a model's arrays into one fresh shared-memory segment.
 
     Returns ``(segment, descriptor)``.  The caller owns the segment and
     must ``close()`` and ``unlink()`` it; the descriptor is a JSON-safe
     dict (``name``/``bytes``/``header_bytes``/``sha256``) that any
     process on the machine can hand to :func:`attach_model_shm`.
+
+    ``similarity`` optionally lays the precomputed item-similarity index
+    into the same segment (``simidx_*`` entries in the array table), so
+    every prefork worker answering ``/recommend`` maps the one physical
+    copy the parent built at publish time; workers read it back with
+    :func:`shm_similarity_payload`.
     """
     from repro.core.parallel import create_segment
 
     registry = get_registry()
     start = registry.clock()
-    structure, arrays = _model_payload(model, extra=extra)
+    structure, arrays = _model_payload(model, extra=extra, similarity=similarity)
     contiguous = {
         name: np.ascontiguousarray(array) for name, array in arrays.items()
     }
@@ -582,3 +694,39 @@ def attach_model_shm(descriptor: Mapping):
             pass
         raise
     return model, segment
+
+
+def shm_similarity_payload(segment) -> dict | None:
+    """The similarity-index payload inside an already-attached segment.
+
+    ``segment`` is the mapping :func:`attach_model_shm` returned — its
+    checksum gate already ran, so this only re-reads the header and
+    builds read-only zero-copy views over the ``simidx_*`` entries.
+    Returns ``{"neighbors", "scores", "meta"}`` or ``None`` when the
+    publisher shipped no index.  The views share the segment's lifetime
+    rule: keep the segment mapped for as long as the payload is used.
+    """
+    (header_bytes,) = struct.unpack("<Q", bytes(segment.buf[:8]))
+    header = json.loads(bytes(segment.buf[8 : 8 + header_bytes]).decode("utf-8"))
+    meta = header["structure"].get("similarity")
+    if meta is None:
+        return None
+    arrays_start = _aligned(8 + header_bytes)
+    views: dict[str, np.ndarray] = {}
+    for entry in header["arrays"]:
+        if not entry["name"].startswith(_SIMILARITY_PREFIX):
+            continue
+        view = np.ndarray(
+            tuple(entry["shape"]),
+            dtype=np.dtype(entry["dtype"]),
+            buffer=segment.buf,
+            offset=arrays_start + int(entry["offset"]),
+        )
+        view.flags.writeable = False
+        views[entry["name"][len(_SIMILARITY_PREFIX):]] = view
+    if "neighbors" not in views or "scores" not in views:
+        raise DataError(
+            f"shm:{segment.name}: header promises a similarity index but the "
+            "array table lacks its entries"
+        )
+    return {"neighbors": views["neighbors"], "scores": views["scores"], "meta": dict(meta)}

@@ -1,4 +1,5 @@
-"""Downstream recommendation tasks: item prediction and FFM rating prediction."""
+"""Downstream recommendation tasks: item prediction, FFM rating prediction,
+and the assembled upskilling recommender (+ its similarity index)."""
 
 from repro.recsys.encoding import FFMSample, RatingEncoder, RatingInstance
 from repro.recsys.ffm import FFMConfig, FFMModel
@@ -6,10 +7,22 @@ from repro.recsys.ranking import (
     ItemPredictionResult,
     predict_items,
     random_guess_expectation,
+    rerank_recommendations,
 )
 from repro.recsys.markov import MarkovItemModel
 from repro.recsys.metrics import mean_rank, ndcg_at_k, ranking_summary, recall_at_k
-from repro.recsys.upskill import Recommendation, UpskillConfig, UpskillRecommender
+from repro.recsys.similarity import (
+    ItemSimilarityIndex,
+    SimilarItem,
+    build_similarity_index,
+    similar_harder,
+)
+from repro.recsys.upskill import (
+    Recommendation,
+    RecommendQuery,
+    UpskillConfig,
+    UpskillRecommender,
+)
 from repro.recsys.rating import VARIANTS, RatingTaskResult, build_instances, run_rating_task
 
 __all__ = [
@@ -21,12 +34,18 @@ __all__ = [
     "ItemPredictionResult",
     "predict_items",
     "random_guess_expectation",
+    "rerank_recommendations",
     "MarkovItemModel",
     "mean_rank",
     "ndcg_at_k",
     "ranking_summary",
     "recall_at_k",
+    "ItemSimilarityIndex",
+    "SimilarItem",
+    "build_similarity_index",
+    "similar_harder",
     "Recommendation",
+    "RecommendQuery",
     "UpskillConfig",
     "UpskillRecommender",
     "VARIANTS",

@@ -1,15 +1,24 @@
 """Ranking metrics beyond the paper's Acc@10 / RR.
 
 The paper evaluates item prediction with top-10 accuracy and reciprocal
-rank.  Practitioners comparing against modern sequential-recommendation
-baselines usually also want NDCG@k and recall@k; these compute directly
-from the mid-rank arrays :class:`~repro.recsys.ranking.ItemPredictionResult`
-already carries, so any experiment's output can be re-scored without
-re-running models.
+rank (Tables X/XI, reproduced by the ``table10`` / ``table11``
+experiments).  Practitioners comparing against modern
+sequential-recommendation baselines usually also want NDCG@k and
+recall@k; these compute directly from the mid-rank arrays
+:class:`~repro.recsys.ranking.ItemPredictionResult` already carries, so
+any experiment's output can be re-scored without re-running models.  The
+extension experiments lean on this: ``extension_markov`` compares the
+skill model against the Markov baseline on the same cutoff grid, and
+``extension_skip`` / ``extension_satisfaction`` report their
+Section VII variants with the identical protocol so the deltas are
+attributable to the modelling change, not the metric.
 
 All functions take ranks (1-based, possibly fractional mid-ranks for tied
 items) with one entry per evaluated action and a single relevant item per
-action — the paper's protocol.
+action — the paper's protocol.  Fractional mid-ranks flow through every
+formula (the NDCG discount interpolates), which keeps tied items' credit
+independent of sort order — the same tie discipline
+``repro.recsys.ranking`` uses to produce the ranks.
 """
 
 from __future__ import annotations

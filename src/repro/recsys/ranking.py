@@ -1,4 +1,4 @@
-"""Item-prediction task (paper Section VI-E, Tables X/XI).
+"""Item-prediction task (paper Section VI-E, Tables X/XI) and re-ranking.
 
 Protocol, following the paper exactly:
 
@@ -15,20 +15,39 @@ Protocol, following the paper exactly:
 Ties — ubiquitous among items never seen at a level, which all share the
 smoothing floor — are scored with *mid-ranks* (the expected rank under
 random shuffling of tied items), so results don't depend on sort order.
+The registered experiments ``table10`` / ``table11`` reproduce the
+paper's two tables from this module; ``repro.recsys.metrics`` re-scores
+the same rank arrays at other cutoffs.
+
+Beyond the paper's protocol, :func:`rerank_recommendations` folds the two
+Section VII extension signals — skip-level progression
+(``extension_skip``: users rarely leap several levels at once, so
+recommending far above the user's level mostly produces skips) and
+satisfaction weighting (``extension_satisfaction``: actions the user did
+not enjoy should not pull recommendations) — into an upskilling
+recommendation list *after* scoring, as a composable post-pass rather
+than new model machinery, in the same spirit as
+``repro.recsys.upskill``.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
-from dataclasses import dataclass
+from collections.abc import Hashable, Mapping, Sequence
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.core.model import SkillModel
 from repro.data.splits import HeldOutAction
-from repro.exceptions import DataError
+from repro.exceptions import ConfigurationError, DataError
+from repro.recsys.upskill import Recommendation
 
-__all__ = ["ItemPredictionResult", "predict_items", "random_guess_expectation"]
+__all__ = [
+    "ItemPredictionResult",
+    "predict_items",
+    "random_guess_expectation",
+    "rerank_recommendations",
+]
 
 
 @dataclass(frozen=True)
@@ -97,6 +116,60 @@ def predict_items(
         left = np.searchsorted(sorted_probs, p, side="left")
         ranks[selected] = (len(probs) - right) + (right - left + 1) / 2.0
     return ItemPredictionResult(ranks=ranks, num_items=len(vocab))
+
+
+def rerank_recommendations(
+    recommendations: Sequence[Recommendation],
+    *,
+    level: float | None = None,
+    max_jump: float | None = None,
+    satisfaction: Mapping[Hashable, float] | None = None,
+    satisfaction_weight: float = 1.0,
+) -> list[Recommendation]:
+    """Skip- and satisfaction-aware post-pass over an upskilling list.
+
+    Two adjustments, both off by default:
+
+    - **skip cap** (``extension_skip``): with ``level`` and ``max_jump``
+      set, items whose difficulty exceeds ``level + max_jump`` are
+      dropped — the skip-level experiment shows monotone progressions
+      rarely leap levels, so such items are overwhelmingly skipped, not
+      attempted.
+    - **satisfaction blend** (``extension_satisfaction``): with a
+      ``satisfaction`` map (item → expected satisfaction in ``[0, 1]``,
+      e.g. mean observed rating rescaled), each score is multiplied by
+      ``satisfaction ** satisfaction_weight``.  Items absent from the map
+      keep their score (neutral 1.0) — partial satisfaction data must
+      not zero out the rest of the catalog.
+
+    Re-sorting is stable on the adjusted score, so untouched scores keep
+    their upstream (challenge/interest) order.  Returns new
+    :class:`~repro.recsys.upskill.Recommendation` rows with the adjusted
+    ``score``; the decomposition fields are preserved as computed by the
+    recommender.
+    """
+    if (max_jump is None) != (level is None):
+        raise ConfigurationError(
+            "the skip cap needs both level and max_jump (or neither)"
+        )
+    if satisfaction_weight < 0:
+        raise ConfigurationError("satisfaction_weight must be >= 0")
+    kept: list[Recommendation] = []
+    for rec in recommendations:
+        if max_jump is not None and rec.difficulty > level + max_jump:
+            continue
+        score = rec.score
+        if satisfaction is not None:
+            value = satisfaction.get(rec.item)
+            if value is not None:
+                if not 0.0 <= value <= 1.0:
+                    raise ConfigurationError(
+                        f"satisfaction for {rec.item!r} is {value}; expected [0, 1]"
+                    )
+                score = score * value**satisfaction_weight
+        kept.append(rec if score == rec.score else replace(rec, score=score))
+    kept.sort(key=lambda rec: -rec.score)
+    return kept
 
 
 def random_guess_expectation(num_items: int, k: int = 10) -> tuple[float, float]:

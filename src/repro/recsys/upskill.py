@@ -31,7 +31,12 @@ from repro.core.model import SkillModel
 from repro.data.actions import ActionLog
 from repro.exceptions import ConfigurationError, DataError
 
-__all__ = ["UpskillConfig", "Recommendation", "UpskillRecommender"]
+__all__ = [
+    "UpskillConfig",
+    "Recommendation",
+    "RecommendQuery",
+    "UpskillRecommender",
+]
 
 
 @dataclass(frozen=True)
@@ -73,6 +78,22 @@ class Recommendation:
     interest: float
 
 
+@dataclass(frozen=True)
+class RecommendQuery:
+    """One request in a vectorized :meth:`UpskillRecommender.recommend_batch`.
+
+    ``level`` is the user's already-resolved 1-based skill level (the
+    serve layer resolves users to levels before batching so the batch
+    kernel stays pure array work); ``exclude`` lists item ids to drop
+    (the caller-side stand-in for ``exclude_seen`` when no action log is
+    at hand, e.g. over HTTP).
+    """
+
+    level: int
+    k: int = 10
+    exclude: frozenset = frozenset()
+
+
 class UpskillRecommender:
     """Recommends items with appropriate difficulty for upskilling."""
 
@@ -94,6 +115,16 @@ class UpskillRecommender:
         self._items = list(vocab)
         self._difficulty = np.asarray([difficulties[item] for item in vocab])
 
+    @property
+    def items(self) -> list[Hashable]:
+        """Catalog item ids in index order (the model's item vocabulary)."""
+        return self._items
+
+    @property
+    def difficulty_vector(self) -> np.ndarray:
+        """Per-item difficulty aligned with :attr:`items` (read-only view)."""
+        return self._difficulty
+
     def challenge_fit(self, level: int) -> np.ndarray:
         """Per-item challenge credit in [0, 1] for a user at ``level``."""
         cfg = self.config
@@ -105,6 +136,31 @@ class UpskillRecommender:
             np.where(self._difficulty > high, self._difficulty - high, 0.0),
         )
         return np.exp(-cfg.decay * distance)
+
+    def level_of(self, user: Hashable, time: float | None = None) -> int:
+        """The user's 1-based level at ``time`` (default: their latest)."""
+        if time is None:
+            return int(self.model.skill_trajectory(user)[-1])
+        return self.model.skill_at(user, time)
+
+    def score_components(
+        self, level: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(interest, challenge, blended score)`` per item at ``level``.
+
+        This is the request-independent part of a recommendation: every
+        query at the same level shares these three vectors, which is what
+        the serve layer's micro-batched path reuses across a flush.
+        """
+        interest = self.model.item_probabilities(level)
+        challenge = self.challenge_fit(level)
+        w = self.config.interest_weight
+        # Geometric blend; epsilon keeps log finite for zero-interest items.
+        score = np.exp(
+            w * np.log(np.maximum(interest, 1e-300))
+            + (1.0 - w) * np.log(np.maximum(challenge, 1e-300))
+        )
+        return interest, challenge, score
 
     def recommend(
         self,
@@ -121,26 +177,77 @@ class UpskillRecommender:
         """
         if k < 1:
             raise ConfigurationError("k must be >= 1")
-        if time is None:
-            level = int(self.model.skill_trajectory(user)[-1])
-        else:
-            level = self.model.skill_at(user, time)
-        interest = self.model.item_probabilities(level)
-        challenge = self.challenge_fit(level)
-        w = self.config.interest_weight
-        # Geometric blend; epsilon keeps log finite for zero-interest items.
-        score = np.exp(
-            w * np.log(np.maximum(interest, 1e-300))
-            + (1.0 - w) * np.log(np.maximum(challenge, 1e-300))
-        )
+        level = self.level_of(user, time)
         if self.config.exclude_seen:
             if log is None:
                 raise ConfigurationError(
                     "exclude_seen=True needs the action log to know what was seen"
                 )
-            seen = log.sequence(user).unique_items
+            exclude = log.sequence(user).unique_items
+        else:
+            exclude = frozenset()
+        return self._recommend_at(level, k=k, exclude=exclude)
+
+    def recommend_for_level(
+        self, level: int, *, k: int = 10, exclude: frozenset = frozenset()
+    ) -> list[Recommendation]:
+        """Top-``k`` for an already-resolved ``level`` (the serve-layer entry).
+
+        ``exclude`` replaces ``config.exclude_seen``'s log lookup with an
+        explicit item-id set — over HTTP the server has no action log, so
+        clients ship the history they want excluded.  Identical math to
+        :meth:`recommend`; the two share one scoring path so offline and
+        served recommendations can never drift.
+        """
+        if k < 1:
+            raise ConfigurationError("k must be >= 1")
+        return self._recommend_at(level, k=k, exclude=exclude)
+
+    def recommend_batch(
+        self, queries: list[RecommendQuery]
+    ) -> list[list[Recommendation]]:
+        """Vectorized batch path: one score evaluation per distinct level.
+
+        Each query's answer is computed exactly as its singleton
+        :meth:`recommend_for_level` call would — only the level-dependent
+        vectors are shared — so batched dispatch stays byte-identical to
+        sequential dispatch (the serve layer's parity contract).
+        """
+        by_level: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        results: list[list[Recommendation]] = []
+        for query in queries:
+            if query.k < 1:
+                raise ConfigurationError("k must be >= 1")
+            components = by_level.get(query.level)
+            if components is None:
+                components = self.score_components(query.level)
+                by_level[query.level] = components
+            results.append(
+                self._recommend_at(
+                    query.level,
+                    k=query.k,
+                    exclude=query.exclude,
+                    components=components,
+                )
+            )
+        return results
+
+    def _recommend_at(
+        self,
+        level: int,
+        *,
+        k: int,
+        exclude,
+        components: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+    ) -> list[Recommendation]:
+        interest, challenge, base = (
+            components if components is not None else self.score_components(level)
+        )
+        score = base
+        if exclude:
+            score = base.copy()
             for pos, item in enumerate(self._items):
-                if item in seen:
+                if item in exclude:
                     score[pos] = -np.inf
         order = np.argsort(-score)[:k]
         return [

@@ -1,10 +1,12 @@
 """Request coalescing: micro-batching for the serving hot paths.
 
-The PR 3/4 kernels (`predict_items`, `difficulty_array`) are vectorized —
-their cost is dominated by per-call work that is shared across requests
-(one sort of the level's probability vector ranks *every* item in the
-batch).  A server answering each request with its own kernel call throws
-that sharing away.  :class:`MicroBatcher` buys it back: requests queue on
+The serving kernels (`predict_items`, `difficulty_array`, and the
+recommender's `recommend_batch`) are vectorized — their cost is dominated
+by per-call work that is shared across requests (one sort of the level's
+probability vector ranks *every* item in the batch; one score evaluation
+per distinct level answers every /recommend query at it).  A server
+answering each request with its own kernel call throws that sharing
+away.  :class:`MicroBatcher` buys it back: requests queue on
 an asyncio future, and a flusher drains the queue into one batched call
 whenever ``max_batch`` requests have accumulated or ``max_wait_ms`` has
 elapsed since the first queued request — whichever comes first.

@@ -288,7 +288,12 @@ class PreforkSupervisor:
         from repro.core.serialize import publish_model_shm
 
         bundle = tenant.state.current
-        segment, descriptor = publish_model_shm(bundle.model)
+        # Build (or reuse the artifact's) similarity index once, in the
+        # parent, and bake it into the segment: every worker then serves
+        # /recommend similar_harder from the same physical neighbor
+        # tables, the property the prefork bench's Pss check asserts.
+        similarity = bundle.similarity_index().to_payload()
+        segment, descriptor = publish_model_shm(bundle.model, similarity=similarity)
         generation = tenant.latest + 1
         tenant.generations.append(_Generation(generation, segment, descriptor))
         manifest = {

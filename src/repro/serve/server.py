@@ -12,6 +12,11 @@ tasks), plus the operational endpoints a running service requires:
                             mid-rank and reciprocal rank (Tables X/XI math)
 ``POST /difficulty``        difficulty estimates for a list of items under a
                             uniform or empirical prior (Section V)
+``POST /recommend``         difficulty-targeted next items (the paper's
+                            Figure 1 recommender): the upskilling blend at
+                            the user's level, or ``similar_harder``
+                            neighbors from the precomputed item-similarity
+                            index (see :mod:`repro.recsys.similarity`)
 ``GET /skill``              a user's inferred level at ``?user=&time=``
 ``GET /healthz``            liveness plus the loaded artifact's metadata
                             (checksum, format version, telemetry run id)
@@ -21,8 +26,9 @@ tasks), plus the operational endpoints a running service requires:
 ==========================  =================================================
 
 Request flow: parse → admission (429 when the bounded queue is full) →
-micro-batcher (``/predict`` and ``/difficulty`` coalesce into one
-``predict_items`` / ``difficulty_array`` call per flush; see
+micro-batcher (``/predict``, ``/difficulty``, and ``/recommend`` coalesce
+into one ``predict_items`` / ``difficulty_array`` / ``recommend_batch``
+call per flush; see
 :mod:`repro.serve.batcher`) → deadline check (503 past the per-endpoint
 timeout) → JSON response.  Model hot-reload runs as a background watch
 task over :class:`~repro.serve.state.ModelState`; each batch flush reads
@@ -55,6 +61,8 @@ from repro.obs.metrics import get_registry
 from repro.obs.resource import ResourceSampler
 from repro.obs.trace import get_tracer
 from repro.recsys.ranking import predict_items
+from repro.recsys.similarity import similar_harder
+from repro.recsys.upskill import RecommendQuery, UpskillConfig
 from repro.core.difficulty import PRIOR_EMPIRICAL, PRIOR_UNIFORM, difficulty_array
 from repro.serve.admission import AdmissionConfig, AdmissionController
 from repro.serve.batcher import MicroBatcher, TenantBatchers
@@ -92,6 +100,12 @@ class ServeConfig:
     endpoint_timeouts: Mapping[str, float] = field(default_factory=dict)
     poll_seconds: float = 1.0
     default_top_k: int = 10
+    # /recommend knobs: the challenge window around the user's level and
+    # the interest/challenge blend exponent (see recsys.upskill).
+    recommend_window_low: float = -0.25
+    recommend_window_high: float = 0.75
+    interest_weight: float = 0.5
+    recommend_decay: float = 2.0
     # Prefork workers bind N sockets to one address via SO_REUSEPORT, so
     # the kernel load-balances accepts across them without a proxy.
     reuse_port: bool = False
@@ -101,6 +115,19 @@ class ServeConfig:
             raise ConfigurationError("default_top_k must be >= 0")
         if self.poll_seconds <= 0:
             raise ConfigurationError("poll_seconds must be positive")
+        self.recommend_config()  # validates the window/weight/decay knobs
+
+    def recommend_config(self) -> UpskillConfig:
+        """The serve knobs as an UpskillConfig; ``exclude_seen`` is off
+        because the server has no action log — clients send an explicit
+        ``exclude`` list instead."""
+        return UpskillConfig(
+            window_low=self.recommend_window_low,
+            window_high=self.recommend_window_high,
+            interest_weight=self.interest_weight,
+            decay=self.recommend_decay,
+            exclude_seen=False,
+        )
 
 
 class _HttpError(Exception):
@@ -161,6 +188,7 @@ class SkillServer:
         self._sock = sock
         self.worker = worker
         self._admissions: dict[str, AdmissionController] = {}
+        self._recommend_config = self.config.recommend_config()
         self.admission = self._admission_for(self.registry.default)
         self._batchers = TenantBatchers(
             self._batch_fn,
@@ -198,6 +226,8 @@ class SkillServer:
             return functools.partial(self._predict_batch, tenant)
         if endpoint == "difficulty":
             return functools.partial(self._difficulty_batch, tenant)
+        if endpoint == "recommend":
+            return functools.partial(self._recommend_batch, tenant)
         # One fsync per flush: every /ingest request coalesced into a flush
         # shares a single WAL append + fsync, which is the durability/IOPS
         # trade the WAL's fsync-on-batch contract is about.  Ingest is not
@@ -427,7 +457,9 @@ class SkillServer:
     # ------------------------------------------------------------- routing
 
     #: endpoints reachable under a ``/t/<tenant>/`` prefix.
-    _TENANT_ENDPOINTS = frozenset({"predict", "difficulty", "skill", "healthz"})
+    _TENANT_ENDPOINTS = frozenset(
+        {"predict", "difficulty", "recommend", "skill", "healthz"}
+    )
 
     async def _dispatch(self, request: _Request) -> tuple[int, Any]:
         registry = get_registry()
@@ -449,6 +481,7 @@ class SkillServer:
             ("GET", "/skill"): ("skill", self._handle_skill),
             ("POST", "/predict"): ("predict", self._handle_predict),
             ("POST", "/difficulty"): ("difficulty", self._handle_difficulty),
+            ("POST", "/recommend"): ("recommend", self._handle_recommend),
             ("POST", "/ingest"): ("ingest", self._handle_ingest),
         }.get((request.method, path))
         if route is not None and tenant is not None:
@@ -460,7 +493,8 @@ class SkillServer:
                 return 404, {"error": f"unknown tenant {tenant!r}"}
         if route is None:
             known_paths = {
-                "/healthz", "/metrics", "/skill", "/predict", "/difficulty", "/ingest",
+                "/healthz", "/metrics", "/skill", "/predict", "/difficulty",
+                "/recommend", "/ingest",
             }
             status = 405 if path in known_paths and tenant is None else 404
             registry.counter("serve.requests").inc()
@@ -700,6 +734,31 @@ class SkillServer:
         result = await self._admit_and_submit(name, "difficulty", payload)
         return 200, result
 
+    async def _handle_recommend(
+        self, request: _Request, tenant: str | None = None
+    ) -> tuple[int, Any]:
+        name = self.registry.default if tenant is None else tenant
+        # Explicit counter (on top of the dispatcher's auto
+        # serve.requests.recommend) so dashboards and the CI gate can key
+        # on the serve.recommend.* namespace alongside index_builds etc.
+        get_registry().counter("serve.recommend.requests").inc()
+        tracer = get_tracer()
+        if tracer.sampled():
+            # User→level resolution (and anchor validation) is the one
+            # per-request model lookup on this path; record it under the
+            # request's root span so slow resolves surface in traces.
+            res_ts, res_start = tracer.wall(), tracer.clock()
+            payload = self._validate_recommend(_json_body(request), self._bundle(tenant))
+            tracer.record(
+                "serve.recommend.resolve",
+                ts=res_ts,
+                duration=tracer.clock() - res_start,
+            )
+        else:
+            payload = self._validate_recommend(_json_body(request), self._bundle(tenant))
+        result = await self._admit_and_submit(name, "recommend", payload)
+        return 200, result
+
     async def _handle_ingest(
         self, request: _Request, tenant: str | None = None
     ) -> tuple[int, Any]:
@@ -783,6 +842,65 @@ class SkillServer:
                 400, f"'prior' must be one of {list(_PRIORS)}, got {prior!r}"
             )
         return {"items": items, "prior": prior}
+
+    def _validate_recommend(self, data: Any, bundle: ServingModel) -> dict[str, Any]:
+        """Validate a /recommend body into a flush-ready payload.
+
+        The user→level resolution happens *here*, in the handler
+        coroutine, so the batch kernel is pure array work over
+        already-resolved levels (:class:`~repro.recsys.upskill.RecommendQuery`)
+        — the same shape the vectorized offline batch path takes.
+        """
+        if not isinstance(data, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        mode = data.get("mode", "upskill")
+        if mode not in ("upskill", "similar_harder"):
+            raise _HttpError(
+                400, f"'mode' must be 'upskill' or 'similar_harder', got {mode!r}"
+            )
+        k = data.get("k", self.config.default_top_k or 10)
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise _HttpError(400, "'k' must be a positive integer")
+        payload: dict[str, Any] = {"mode": mode, "k": k}
+        if mode == "similar_harder":
+            item = data.get("item")
+            if item is None:
+                raise _HttpError(
+                    400, "similar_harder needs 'item' (the anchor to grow from)"
+                )
+            if item not in bundle.model.encoded.index_of:
+                raise _HttpError(404, f"item {item!r} not in the model's catalog")
+            margin = data.get("margin", 0.0)
+            if isinstance(margin, bool) or not isinstance(margin, (int, float)):
+                raise _HttpError(400, "'margin' must be a number")
+            payload["item"] = item
+            payload["margin"] = float(margin)
+            return payload
+        if "user" not in data:
+            raise _HttpError(400, "missing required field 'user'")
+        user = self._resolve_user(bundle, data["user"])
+        time = data.get("time")
+        if time is not None:
+            time = _as_number(time, "time")
+        try:
+            level = (
+                bundle.model.skill_at(user, time)
+                if time is not None
+                else int(bundle.model.skill_trajectory(user)[-1])
+            )
+        except ReproError as exc:
+            raise _HttpError(404, str(exc)) from None
+        exclude = data.get("exclude", [])
+        if not isinstance(exclude, list):
+            raise _HttpError(400, "'exclude' must be a list of item ids")
+        try:
+            exclude_set = frozenset(exclude)
+        except TypeError:
+            raise _HttpError(400, "'exclude' entries must be item ids") from None
+        payload.update(
+            {"user": user, "time": time, "level": level, "exclude": exclude_set}
+        )
+        return payload
 
     def _validate_ingest(self, data: Any) -> list[dict[str, Any]]:
         """Validate an ingest request body into journal-ready event dicts.
@@ -955,6 +1073,109 @@ class SkillServer:
                     bundle, prior, items, values[offset : offset + len(items)]
                 )
                 offset += len(items)
+        return results
+
+    def _recommend_batch(
+        self, tenant: str, payloads: list[dict[str, Any]]
+    ) -> list[Any]:
+        """One flush of /recommend requests against one model snapshot.
+
+        Upskill queries go through the recommender's vectorized
+        ``recommend_batch``: the level-dependent score vectors are
+        computed once per distinct level in the flush, but each answer is
+        exactly what its singleton ``recommend_for_level`` call returns —
+        batch composition never changes a response byte.
+        ``similar_harder`` queries are pure gathers from the precomputed
+        similarity index (shared zero-copy across prefork workers), so
+        they are trivially batch-independent too.
+        """
+        bundle = self.registry.get(tenant)
+        recommender = bundle.recommender(self._recommend_config)
+        registry = get_registry()
+        results: list[Any] = [None] * len(payloads)
+        upskill_slots: list[int] = []
+        queries: list[RecommendQuery] = []
+        for slot, payload in enumerate(payloads):
+            if payload["mode"] == "similar_harder":
+                try:
+                    similars = similar_harder(
+                        bundle.similarity_index(),
+                        recommender.difficulty_vector,
+                        payload["item"],
+                        k=payload["k"],
+                        margin=payload["margin"],
+                    )
+                except ReproError as exc:
+                    results[slot] = _RequestError(404, str(exc))
+                    continue
+                results[slot] = {
+                    "mode": "similar_harder",
+                    "item": payload["item"],
+                    "margin": payload["margin"],
+                    "recommendations": [
+                        {
+                            "item": one.item,
+                            "similarity": one.similarity,
+                            "difficulty": one.difficulty,
+                        }
+                        for one in similars
+                    ],
+                    "model_version": bundle.version,
+                }
+                registry.histogram("serve.recommend.returned").observe(
+                    float(len(similars))
+                )
+            else:
+                upskill_slots.append(slot)
+                queries.append(
+                    RecommendQuery(
+                        level=payload["level"],
+                        k=payload["k"],
+                        exclude=payload["exclude"],
+                    )
+                )
+        if queries:
+            try:
+                answers = recommender.recommend_batch(queries)
+            except ReproError:
+                # A level invalidated by a hot-swap between validation and
+                # flush must not poison its batch-mates: answer each query
+                # alone (identical arithmetic) and fail only the bad slots.
+                answers = []
+                for query in queries:
+                    try:
+                        answers.append(
+                            recommender.recommend_for_level(
+                                query.level, k=query.k, exclude=query.exclude
+                            )
+                        )
+                    except ReproError as exc:
+                        answers.append(_RequestError(404, str(exc)))
+            for slot, answer in zip(upskill_slots, answers):
+                if isinstance(answer, _RequestError):
+                    results[slot] = answer
+                    continue
+                payload = payloads[slot]
+                results[slot] = {
+                    "mode": "upskill",
+                    "user": payload["user"],
+                    "time": payload["time"],
+                    "level": payload["level"],
+                    "recommendations": [
+                        {
+                            "item": rec.item,
+                            "score": rec.score,
+                            "difficulty": rec.difficulty,
+                            "challenge_fit": rec.challenge_fit,
+                            "interest": rec.interest,
+                        }
+                        for rec in answer
+                    ],
+                    "model_version": bundle.version,
+                }
+                registry.histogram("serve.recommend.returned").observe(
+                    float(len(answer))
+                )
         return results
 
     async def _ingest_batch(self, payloads: list[list[dict[str, Any]]]) -> list[Any]:

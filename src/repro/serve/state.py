@@ -47,12 +47,16 @@ from repro.core.serialize import (
     artifact_metadata,
     attach_model_shm,
     load_model,
+    load_similarity_payload,
     model_resident_bytes,
+    shm_similarity_payload,
 )
 from repro.exceptions import DataError, ReproError
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
+from repro.recsys.similarity import ItemSimilarityIndex, build_similarity_index
+from repro.recsys.upskill import UpskillConfig, UpskillRecommender
 
 __all__ = [
     "DEFAULT_TENANT",
@@ -104,9 +108,28 @@ class _SegmentAttachment:
 
 
 class ServingModel:
-    """One immutable, fully validated model bundle the server reads from."""
+    """One immutable, fully validated model bundle the server reads from.
 
-    __slots__ = ("model", "metadata", "difficulties", "version", "resident_bytes", "_attachment")
+    The recommendation surface hangs off the bundle too: ``similarity``
+    holds the item-similarity index (zero-copy shm views in prefork
+    workers, artifact arrays otherwise, built in-process on first use as
+    a last resort) and ``recommender()`` memoizes one
+    :class:`~repro.recsys.upskill.UpskillRecommender` per serve
+    configuration.  Both caches die with the bundle on hot-swap or LRU
+    eviction, so a reloaded tenant can never serve recommendations from
+    a previous model's difficulty scale.
+    """
+
+    __slots__ = (
+        "model",
+        "metadata",
+        "difficulties",
+        "version",
+        "resident_bytes",
+        "similarity",
+        "_attachment",
+        "_recommenders",
+    )
 
     def __init__(
         self,
@@ -116,6 +139,7 @@ class ServingModel:
         version: int,
         *,
         resident_bytes: int = 0,
+        similarity: ItemSimilarityIndex | None = None,
         attachment: _SegmentAttachment | None = None,
     ) -> None:
         self.model = model
@@ -123,10 +147,52 @@ class ServingModel:
         self.difficulties = difficulties
         self.version = version
         self.resident_bytes = int(resident_bytes)
+        self.similarity = similarity
         self._attachment = attachment
+        self._recommenders: dict[tuple, UpskillRecommender] = {}
+
+    def recommender(self, config: UpskillConfig) -> UpskillRecommender:
+        """The bundle's recommender for ``config``, built once per config.
+
+        Always blends against the empirical-prior difficulty estimates —
+        the ones the paper recommends for serving (they cover
+        never-selected items and are robust on rare ones).
+        """
+        key = (
+            config.window_low,
+            config.window_high,
+            config.interest_weight,
+            config.decay,
+        )
+        recommender = self._recommenders.get(key)
+        if recommender is None:
+            recommender = UpskillRecommender(
+                self.model, self.difficulties[PRIOR_EMPIRICAL], config
+            )
+            self._recommenders[key] = recommender
+        return recommender
+
+    def similarity_index(self) -> ItemSimilarityIndex:
+        """The bundle's similarity index, building it in-process if the
+        artifact shipped without one (pre-index artifacts stay servable).
+
+        The lazy build's footprint is added to ``resident_bytes`` so the
+        tenant registry's LRU budget keeps charging honestly.
+        """
+        if self.similarity is None:
+            self.similarity = build_similarity_index(self.model)
+            self.resident_bytes += self.similarity.nbytes
+            registry = get_registry()
+            registry.counter("serve.recommend.index_builds").inc()
+            registry.gauge("serve.recommend.index_items").set(
+                float(len(self.similarity.items))
+            )
+        return self.similarity
 
     def close(self) -> None:
         """Release any shared-memory mapping this bundle holds open."""
+        self._recommenders.clear()
+        self.similarity = None
         if self._attachment is not None:
             self._attachment.close()
 
@@ -138,12 +204,25 @@ def _build_bundle(prefix: Path, version: int) -> ServingModel:
         PRIOR_UNIFORM: generation_difficulty(model, prior=PRIOR_UNIFORM),
         PRIOR_EMPIRICAL: generation_difficulty(model, prior=PRIOR_EMPIRICAL),
     }
+    # Artifacts saved with a precomputed similarity index bring it along;
+    # older pairs leave ``similarity`` None and the bundle builds one
+    # in-process on the first /recommend that needs it.
+    payload = load_similarity_payload(prefix)
+    similarity = (
+        ItemSimilarityIndex.from_payload(
+            payload, model.encoded.vocabulary("__item_id__")
+        )
+        if payload is not None
+        else None
+    )
     return ServingModel(
         model,
         metadata,
         difficulties,
         version,
-        resident_bytes=model_resident_bytes(model),
+        resident_bytes=model_resident_bytes(model)
+        + (similarity.nbytes if similarity is not None else 0),
+        similarity=similarity,
     )
 
 
@@ -389,6 +468,18 @@ class ManifestModelState(ModelState):
             PRIOR_UNIFORM: generation_difficulty(model, prior=PRIOR_UNIFORM),
             PRIOR_EMPIRICAL: generation_difficulty(model, prior=PRIOR_EMPIRICAL),
         }
+        # The publisher bakes the similarity index into the same segment;
+        # attaching yields zero-copy views, so N workers share one physical
+        # copy of the neighbor tables (the smaps/Pss property the prefork
+        # bench asserts).  The mapping stays alive via the attachment.
+        payload = shm_similarity_payload(segment)
+        similarity = (
+            ItemSimilarityIndex.from_payload(
+                payload, model.encoded.vocabulary("__item_id__")
+            )
+            if payload is not None
+            else None
+        )
         self.observed_generation = max(self.observed_generation, generation)
         return ServingModel(
             model,
@@ -396,6 +487,7 @@ class ManifestModelState(ModelState):
             difficulties,
             generation,
             resident_bytes=int(descriptor.get("bytes", 0)),
+            similarity=similarity,
             attachment=_SegmentAttachment(segment),
         )
 

@@ -5,7 +5,12 @@ import pytest
 
 from repro.core.difficulty import generation_difficulty
 from repro.exceptions import ConfigurationError, DataError
-from repro.recsys.upskill import Recommendation, UpskillConfig, UpskillRecommender
+from repro.recsys.upskill import (
+    Recommendation,
+    RecommendQuery,
+    UpskillConfig,
+    UpskillRecommender,
+)
 
 
 @pytest.fixture
@@ -103,3 +108,76 @@ class TestRecommend:
         challenge_gap = gap(challenge_only.recommend(user, k=3, log=tiny_log))
         interest_gap = gap(interest_only.recommend(user, k=3, log=tiny_log))
         assert challenge_gap <= interest_gap + 1e-9
+
+
+class TestEdgeCases:
+    def test_excluding_whole_catalog_yields_empty(self, recommender):
+        """A user who has seen everything gets [], not an error."""
+        recs = recommender.recommend_for_level(
+            2, k=5, exclude=frozenset(recommender.items)
+        )
+        assert recs == []
+
+    def test_all_items_outside_window_decay_ordering(self, fitted_tiny_model):
+        """When nothing fits the window, nearer items still rank first."""
+        vocab = fitted_tiny_model.encoded.vocabulary("__item_id__")
+        # Every difficulty sits far above the window of a level-1 user,
+        # strictly increasing with catalog position.
+        difficulties = {item: 10.0 + pos for pos, item in enumerate(vocab)}
+        rec = UpskillRecommender(
+            fitted_tiny_model,
+            difficulties,
+            UpskillConfig(
+                window_low=-0.25,
+                window_high=0.25,
+                interest_weight=0.0,
+                exclude_seen=False,
+            ),
+        )
+        recs = rec.recommend_for_level(1, k=len(vocab))
+        assert len(recs) == len(vocab)
+        assert all(r.challenge_fit < 1.0 for r in recs)
+        diffs = [r.difficulty for r in recs]
+        assert diffs == sorted(diffs)
+
+    def test_interest_weight_zero_is_challenge_only(self, fitted_tiny_model):
+        difficulties = generation_difficulty(fitted_tiny_model, prior="empirical")
+        rec = UpskillRecommender(
+            fitted_tiny_model,
+            difficulties,
+            UpskillConfig(interest_weight=0.0, exclude_seen=False),
+        )
+        for r in rec.recommend_for_level(2, k=5):
+            assert r.score == pytest.approx(r.challenge_fit)
+
+    def test_interest_weight_one_is_interest_only(self, fitted_tiny_model):
+        difficulties = generation_difficulty(fitted_tiny_model, prior="empirical")
+        rec = UpskillRecommender(
+            fitted_tiny_model,
+            difficulties,
+            UpskillConfig(interest_weight=1.0, exclude_seen=False),
+        )
+        recs = rec.recommend_for_level(2, k=5)
+        for r in recs:
+            assert r.score == pytest.approx(r.interest)
+        top_interest = float(np.max(fitted_tiny_model.item_probabilities(2)))
+        assert recs[0].interest == pytest.approx(top_interest)
+
+    def test_batch_matches_sequential_calls(self, recommender):
+        """recommend_batch must reproduce recommend_for_level exactly."""
+        queries = [
+            RecommendQuery(level=1, k=4),
+            RecommendQuery(level=2, k=3, exclude=frozenset({"i0", "i5"})),
+            RecommendQuery(level=1, k=6, exclude=frozenset({"i1"})),
+            RecommendQuery(level=3, k=2),
+        ]
+        batched = recommender.recommend_batch(queries)
+        singles = [
+            recommender.recommend_for_level(q.level, k=q.k, exclude=q.exclude)
+            for q in queries
+        ]
+        assert batched == singles
+
+    def test_batch_k_validation(self, recommender):
+        with pytest.raises(ConfigurationError):
+            recommender.recommend_batch([RecommendQuery(level=1, k=0)])

@@ -20,13 +20,15 @@ from pathlib import Path
 
 import pytest
 
-from repro.core.difficulty import difficulty_array
+from repro.core.difficulty import difficulty_array, generation_difficulty
 from repro.core.serialize import save_model
 from repro.core.training import fit_skill_model
 from repro.data.actions import Action
 from repro.data.splits import HeldOutAction
 from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.recsys.ranking import predict_items
+from repro.recsys.similarity import build_similarity_index, similar_harder
+from repro.recsys.upskill import UpskillConfig, UpskillRecommender
 from repro.serve import ModelState, ServeConfig, ServerThread, SkillServer
 
 
@@ -107,12 +109,104 @@ class TestEndpoints:
         )
         assert status == 200
         body = json.loads(raw)
-        from repro.core.difficulty import generation_difficulty
-
         expected = difficulty_array(
             generation_difficulty(fitted_tiny_model, prior="empirical"), items
         )
         assert body["difficulties"] == [float(v) for v in expected]
+
+    def test_recommend_matches_direct_recommender(self, served, fitted_tiny_model):
+        host, port, _, _ = served
+        status, raw = _request(
+            host, port, "POST", "/recommend",
+            {"user": "u1", "k": 4, "exclude": ["i0"]},
+        )
+        assert status == 200
+        body = json.loads(raw)
+        level = int(fitted_tiny_model.skill_trajectory("u1")[-1])
+        assert body["mode"] == "upskill"
+        assert body["level"] == level
+        # ServeConfig's default window/blend is UpskillConfig's default.
+        recommender = UpskillRecommender(
+            fitted_tiny_model,
+            generation_difficulty(fitted_tiny_model, prior="empirical"),
+            UpskillConfig(exclude_seen=False),
+        )
+        expected = recommender.recommend_for_level(
+            level, k=4, exclude=frozenset({"i0"})
+        )
+        assert body["recommendations"] == [
+            {
+                "item": rec.item,
+                "score": rec.score,
+                "difficulty": rec.difficulty,
+                "challenge_fit": rec.challenge_fit,
+                "interest": rec.interest,
+            }
+            for rec in expected
+        ]
+        assert all(entry["item"] != "i0" for entry in body["recommendations"])
+
+    def test_recommend_similar_harder_matches_direct(self, served, fitted_tiny_model):
+        host, port, _, _ = served
+        difficulties = generation_difficulty(fitted_tiny_model, prior="empirical")
+        anchor = min(difficulties, key=difficulties.get)  # easiest: most headroom
+        status, raw = _request(
+            host, port, "POST", "/recommend",
+            {"mode": "similar_harder", "item": anchor, "k": 5},
+        )
+        assert status == 200
+        body = json.loads(raw)
+        assert body["mode"] == "similar_harder"
+        assert body["item"] == anchor
+        index = build_similarity_index(fitted_tiny_model)
+        recommender = UpskillRecommender(
+            fitted_tiny_model, difficulties, UpskillConfig(exclude_seen=False)
+        )
+        expected = similar_harder(
+            index, recommender.difficulty_vector, anchor, k=5
+        )
+        assert body["recommendations"] == [
+            {
+                "item": one.item,
+                "similarity": one.similarity,
+                "difficulty": one.difficulty,
+            }
+            for one in expected
+        ]
+
+    def test_recommend_counters(self, served):
+        host, port, _, registry = served
+        status, _ = _request(host, port, "POST", "/recommend", {"user": "u0"})
+        assert status == 200
+        counters = registry.snapshot()["counters"]
+        assert counters["serve.recommend.requests"] >= 1
+        assert counters["serve.requests.recommend"] >= 1
+        # The tiny artifact ships no index, so the first similar_harder
+        # request triggers exactly one lazy in-process build.
+        _request(
+            host, port, "POST", "/recommend",
+            {"mode": "similar_harder", "item": "i0"},
+        )
+        _request(
+            host, port, "POST", "/recommend",
+            {"mode": "similar_harder", "item": "i1"},
+        )
+        assert registry.snapshot()["counters"]["serve.recommend.index_builds"] == 1
+
+    def test_recommend_error_statuses(self, served):
+        host, port, _, _ = served
+        cases = [
+            ({"user": "ghost"}, 404),
+            ({"user": "u0", "mode": "bogus"}, 400),
+            ({"user": "u0", "k": 0}, 400),
+            ({"user": "u0", "exclude": "i0"}, 400),
+            ({"mode": "similar_harder"}, 400),
+            ({"mode": "similar_harder", "item": "nope"}, 404),
+            ({"mode": "upskill"}, 400),
+        ]
+        for body, expected in cases:
+            status, _ = _request(host, port, "POST", "/recommend", body)
+            assert status == expected, (body, status)
 
     def test_error_statuses(self, served):
         host, port, _, _ = served
@@ -163,6 +257,19 @@ class TestBatchedParity:
                     ("/predict",
                      {"user": f"u{r % 3}", "time": float(r % 9), "k": 5,
                       "item": f"i{(r * 5) % 12}"})
+                )
+        for r in range(8):
+            if r % 2:
+                workload.append(
+                    ("/recommend",
+                     {"mode": "similar_harder", "item": f"i{r}", "k": 4,
+                      "margin": 0.05 * r})
+                )
+            else:
+                workload.append(
+                    ("/recommend",
+                     {"user": f"u{r % 3}", "k": 5,
+                      "exclude": [f"i{(r * 7) % 12}"]})
                 )
 
         def collect(max_batch):

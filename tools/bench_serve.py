@@ -4,7 +4,8 @@
 One measurement, the one the serving layer exists for: a closed-loop load
 generator (``--concurrency`` client threads, each with a persistent
 ``http.client`` connection, each issuing its share of a fixed workload of
-``/predict`` and ``/difficulty`` requests) against the same in-process
+``/predict``, ``/difficulty``, and ``/recommend`` requests) against the
+same in-process
 :class:`~repro.serve.server.SkillServer` in two modes:
 
 - **sequential** — ``max_batch=1``: every request takes its own
@@ -17,6 +18,12 @@ Both modes answer the *identical* workload; the script asserts every
 response body is **byte-identical** across modes before reporting numbers
 (batching is a throughput/latency lever, never a semantic one — JSON float
 repr is shortest-round-trip, so byte equality means bit equality).
+
+A dedicated ``recommend`` section repeats the two-mode comparison over a
+``/recommend``-only workload (upskill queries plus ``similar_harder``
+gathers), with its own byte-parity assert — the recommendation batch
+kernel shares one score evaluation per distinct level, and that sharing
+must be invisible in the bytes.
 
 A third section measures tracing overhead: three warm ``repro serve``
 server *subprocesses* — untraced, traced at the default head-sampling
@@ -143,12 +150,34 @@ def _build_model(prefix: Path, *, users: int, quick: bool) -> tuple[dict, object
 
 
 def _workload(info: dict, num_requests: int) -> list[tuple[str, bytes]]:
-    """A deterministic request list: (path, body) pairs, predict-heavy."""
+    """A deterministic request list: (path, body) pairs, predict-heavy.
+
+    Every read endpoint the batcher serves is represented — /predict,
+    /difficulty, and both /recommend modes — so the parity asserts (and
+    the prefork sweep's shared-memory residency check) cover the
+    recommendation path with the same workload as everything else.
+    """
     users = info["users"]
     items = info["items"]
     requests: list[tuple[str, bytes]] = []
     for r in range(num_requests):
         if r % 3 == 2:
+            if (r // 3) % 2:
+                if (r // 6) % 2:
+                    body = {
+                        "mode": "similar_harder",
+                        "item": items[(r * 5) % len(items)],
+                        "k": 8,
+                        "margin": 0.0,
+                    }
+                else:
+                    body = {
+                        "user": users[(r * 3) % len(users)],
+                        "k": 8,
+                        "exclude": [items[(r * 7) % len(items)]],
+                    }
+                requests.append(("/recommend", json.dumps(body).encode("utf-8")))
+                continue
             batch = [items[(r * 13 + j * 7) % len(items)] for j in range(8)]
             body = {"items": batch, "prior": PRIORS[r % 2]}
             requests.append(("/difficulty", json.dumps(body).encode("utf-8")))
@@ -160,6 +189,37 @@ def _workload(info: dict, num_requests: int) -> list[tuple[str, bytes]]:
                 "item": items[(r * 11) % len(items)],
             }
             requests.append(("/predict", json.dumps(body).encode("utf-8")))
+    return requests
+
+
+def _recommend_workload(info: dict, num_requests: int) -> list[tuple[str, bytes]]:
+    """A /recommend-only request list for the dedicated recommend section.
+
+    Mostly upskill queries (the level-dedup path the batcher amortizes)
+    with a similar_harder gather every fourth request, over varied users,
+    exclude lists, and margins — enough shape diversity that byte parity
+    across dispatch modes exercises every branch of the batch kernel.
+    """
+    users = info["users"]
+    items = info["items"]
+    requests: list[tuple[str, bytes]] = []
+    for r in range(num_requests):
+        if r % 4 == 3:
+            body = {
+                "mode": "similar_harder",
+                "item": items[(r * 5) % len(items)],
+                "k": 8,
+                "margin": 0.1 * (r % 3),
+            }
+        else:
+            body = {
+                "user": users[(r * 3) % len(users)],
+                "k": 10,
+                "exclude": [
+                    items[(r * 7 + j) % len(items)] for j in range(r % 3)
+                ],
+            }
+        requests.append(("/recommend", json.dumps(body).encode("utf-8")))
     return requests
 
 
@@ -670,7 +730,8 @@ def main() -> int:
         print(
             f"workload: {len(workload)} requests "
             f"({sum(1 for p, _ in workload if p == '/predict')} predict / "
-            f"{sum(1 for p, _ in workload if p == '/difficulty')} difficulty) "
+            f"{sum(1 for p, _ in workload if p == '/difficulty')} difficulty / "
+            f"{sum(1 for p, _ in workload if p == '/recommend')} recommend) "
             f"at concurrency {args.concurrency}"
         )
 
@@ -692,6 +753,58 @@ def main() -> int:
                 f"throughput={best['throughput_rps']:7.1f} req/s "
                 f"mean_batch={best['mean_batch_size'] or 1:.1f}"
             )
+
+        # Difficulty-targeted recommendation: the same two dispatch modes
+        # over a /recommend-only workload.  Upskill queries share one
+        # score evaluation per distinct level in a flush and
+        # similar_harder is a pure index gather, so batching should win
+        # here too — and exactly as for /predict, it must win without
+        # changing a single response byte.
+        recommend_workload = _recommend_workload(
+            info, max(256, args.requests // 2)
+        )
+        print(f"recommend: {len(recommend_workload)} /recommend requests...")
+        recommend_results: dict[str, dict] = {}
+        for name, max_batch in modes.items():
+            best = None
+            for _ in range(args.repeats):
+                run = _run_mode(
+                    prefix, recommend_workload,
+                    max_batch=max_batch, concurrency=args.concurrency,
+                )
+                if best is None or run["wall_seconds"] < best["wall_seconds"]:
+                    best = run
+            assert best is not None
+            recommend_results[name] = best
+            print(
+                f"recommend/{name:10s} p50={best['p50_ms']:7.2f}ms "
+                f"p95={best['p95_ms']:7.2f}ms "
+                f"throughput={best['throughput_rps']:7.1f} req/s "
+                f"mean_batch={best['mean_batch_size'] or 1:.1f}"
+            )
+        recommend_mismatches = sum(
+            1 for a, b in zip(
+                recommend_results["sequential"]["bodies"],
+                recommend_results["batched"]["bodies"],
+            )
+            if a != b
+        )
+        assert recommend_mismatches == 0, (
+            f"{recommend_mismatches} /recommend responses differ between modes"
+        )
+        assert recommend_results["sequential"]["errors"] == 0, (
+            "sequential /recommend mode had HTTP errors"
+        )
+        assert recommend_results["batched"]["errors"] == 0, (
+            "batched /recommend mode had HTTP errors"
+        )
+        assert recommend_results["batched"]["mean_batch_size"] > 1.0, (
+            "/recommend batched mode never coalesced"
+        )
+        print(
+            f"recommend parity: all {len(recommend_workload)} response "
+            f"bodies byte-identical across modes"
+        )
 
         # Tracing overhead: the same batched workload with span tracing on
         # (JSONL sink included — the production cost, not just the ring).
@@ -842,6 +955,8 @@ def main() -> int:
 
     for mode in results.values():
         mode.pop("bodies")
+    for mode in recommend_results.values():
+        mode.pop("bodies")
     traced_best.pop("bodies")
     payload = {
         "machine": {
@@ -870,6 +985,29 @@ def main() -> int:
             ),
         },
         "parity": {"responses_compared": len(workload), "mismatches": 0},
+        "recommend": {
+            "requests": len(recommend_workload),
+            "sequential": recommend_results["sequential"],
+            "batched": recommend_results["batched"],
+            "speedup": {
+                "p50": (
+                    recommend_results["sequential"]["p50_ms"]
+                    / recommend_results["batched"]["p50_ms"]
+                ),
+                "p95": (
+                    recommend_results["sequential"]["p95_ms"]
+                    / recommend_results["batched"]["p95_ms"]
+                ),
+                "throughput": (
+                    recommend_results["batched"]["throughput_rps"]
+                    / recommend_results["sequential"]["throughput_rps"]
+                ),
+            },
+            "parity": {
+                "responses_compared": len(recommend_workload),
+                "mismatches": 0,
+            },
+        },
         "tracing": {
             "sample": 0.1,
             "throughput_rps": traced_median,
